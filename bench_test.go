@@ -1,0 +1,261 @@
+package objectswap
+
+// Benchmark harness: every table/figure of the paper's evaluation has a
+// testing.B entry point here (see EXPERIMENTS.md for the mapping).
+//
+//	BenchmarkFig5            — Figure 5: A1/A2/B1/B2 × swap-cluster sizes
+//	BenchmarkNaiveProxy      — §5 naive one-proxy-per-object comparison
+//	BenchmarkSwapTransfer    — §4 transfer behaviour over Bluetooth-class link
+//	BenchmarkCompression     — §6 heap-compression comparator
+//	BenchmarkOffload         — §6 surrogate per-object offloading comparator
+//	BenchmarkSwapCycle       — §3 swap-out + collect + swap-in round trip
+//	BenchmarkClusterSize     — ablation: the adaptable swap-cluster size knob
+//	BenchmarkVictimStrategy  — ablation: victim selection strategies
+//
+// Regenerate everything with:
+//
+//	go test -bench . -benchmem
+
+import (
+	"fmt"
+	"testing"
+
+	"objectswap/internal/baseline"
+	"objectswap/internal/bench"
+	"objectswap/internal/core"
+	"objectswap/internal/heap"
+	"objectswap/internal/link"
+	"objectswap/internal/store"
+)
+
+// fig5Objects is the paper's list length.
+const fig5Objects = 10000
+
+// BenchmarkFig5 regenerates every cell of Figure 5. The per-op time of each
+// sub-benchmark is the cell value; the paper's shape (overhead shrinking
+// with swap-cluster size; A2 ≫ A1; B1 ≫ B2; the NO SWAP-CLUSTERS floor) is
+// the reproduction target.
+func BenchmarkFig5(b *testing.B) {
+	for _, test := range bench.Tests {
+		for _, cfg := range bench.Fig5Configs(fig5Objects) {
+			name := fmt.Sprintf("%s/clusters=%s", test, cfg.Label())
+			b.Run(name, func(b *testing.B) {
+				env, err := bench.Build(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				// Warm-up outside the timer.
+				if _, err := bench.RunTest(env, test); err != nil {
+					b.Fatal(err)
+				}
+				if env.RT != nil {
+					env.RT.Collect()
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := bench.RunTest(env, test); err != nil {
+						b.Fatal(err)
+					}
+					// Proxy churn (B1, A2) is part of the measured cost; its
+					// cleanup is not.
+					if env.RT != nil {
+						b.StopTimer()
+						env.RT.Collect()
+						b.StartTimer()
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkNaiveProxy quantifies §5's closing comparison. The reported
+// metrics carry the memory story; per-op time covers the full dual
+// measurement.
+func BenchmarkNaiveProxy(b *testing.B) {
+	var last bench.NaiveComparison
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunNaiveComparison(2000, 64, 100)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(float64(last.SwapBytesLoaded), "swap-bytes-loaded")
+	b.ReportMetric(float64(last.NaiveBytesLoaded), "naive-bytes-loaded")
+	b.ReportMetric(float64(last.SwapBytesSwapped), "swap-bytes-out")
+	b.ReportMetric(float64(last.NaiveBytesSwapped), "naive-bytes-out")
+	b.ReportMetric(float64(last.SwapReloadFaults), "swap-reload-faults")
+	b.ReportMetric(float64(last.NaiveReloadFaults), "naive-reload-faults")
+}
+
+// BenchmarkSwapTransfer measures the §4 shipment path over the simulated
+// 700 Kbps Bluetooth link; virtual link milliseconds are reported as
+// metrics so wall-clock per-op covers only the real work (serialization,
+// installation).
+func BenchmarkSwapTransfer(b *testing.B) {
+	for _, n := range []int{20, 50, 100} {
+		b.Run(fmt.Sprintf("objects=%d", n), func(b *testing.B) {
+			var last bench.TransferResult
+			for i := 0; i < b.N; i++ {
+				rows, err := bench.RunSwapTransfer([]int{n}, 64, link.Bluetooth1())
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = rows[0]
+			}
+			b.ReportMetric(float64(last.XMLBytes), "xml-bytes")
+			b.ReportMetric(float64(last.SwapOutTime.Milliseconds()), "link-ms-out")
+			b.ReportMetric(float64(last.SwapInTime.Milliseconds()), "link-ms-in")
+		})
+	}
+}
+
+// BenchmarkCompression contrasts §6's in-heap compression against swapping
+// on the same graph.
+func BenchmarkCompression(b *testing.B) {
+	var last bench.CompressionComparison
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunCompressionComparison(500, 1024)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(float64(last.SwapFreedBytes), "swap-freed-bytes")
+	b.ReportMetric(float64(last.CompressSavedBytes), "compress-saved-bytes")
+	b.ReportMetric(float64(last.CompressCPU.Microseconds()), "compress-cpu-us")
+	b.ReportMetric(float64(last.DecompressCPU.Microseconds()), "decompress-cpu-us")
+}
+
+// BenchmarkOffload measures the surrogate (per-object) offloading
+// comparator: offload everything, then traverse (one fault per object).
+func BenchmarkOffload(b *testing.B) {
+	cls := bench.NodeClass()
+	for i := 0; i < b.N; i++ {
+		h := heap.New(0)
+		reg := heap.NewRegistry()
+		reg.MustRegister(cls)
+		p := baseline.NewPerObject(h, reg, store.NewMem(0))
+		refs := make([]heap.Value, 500)
+		for j := range refs {
+			v, err := p.NewObject(cls)
+			if err != nil {
+				b.Fatal(err)
+			}
+			refs[j] = v
+		}
+		for j := 0; j < len(refs)-1; j++ {
+			if err := p.SetFieldValue(refs[j], "next", refs[j+1]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := p.OffloadAll(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := p.Invoke(refs[0], "walk", heap.Int(1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSwapCycle measures the §3 detach → collect → reload round trip
+// for one 100-object cluster against an in-memory device.
+func BenchmarkSwapCycle(b *testing.B) {
+	env, err := bench.Build(bench.Config{Objects: 100, PayloadBytes: 64, ClusterSize: 100})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt := env.RT
+	victims := rt.Manager().SelectVictims(core.VictimColdest)
+	if len(victims) != 1 {
+		b.Fatalf("victims = %v", victims)
+	}
+	cluster := victims[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rt.SwapOut(cluster); err != nil {
+			b.Fatal(err)
+		}
+		rt.Collect()
+		if _, err := rt.SwapIn(cluster); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClusterSize runs the adaptable-size ablation: a Zipf-skewed
+// working set through a limited heap, per swap-cluster size. Link traffic
+// and fault counts are reported as metrics.
+func BenchmarkClusterSize(b *testing.B) {
+	for _, size := range []int{10, 20, 50, 100} {
+		b.Run(fmt.Sprintf("size=%d", size), func(b *testing.B) {
+			var last bench.SweepResult
+			for i := 0; i < b.N; i++ {
+				rows, err := bench.RunClusterSizeSweep(bench.SweepConfig{}, []int{size})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = rows[0]
+			}
+			b.ReportMetric(float64(last.SwapIns), "swap-ins")
+			b.ReportMetric(float64(last.BytesShipped), "bytes-shipped")
+			b.ReportMetric(float64(last.LinkTime.Milliseconds()), "link-ms")
+		})
+	}
+}
+
+// BenchmarkVictimStrategy runs the victim-selection ablation on the same
+// workload at cluster size 50.
+func BenchmarkVictimStrategy(b *testing.B) {
+	for _, strategy := range []core.VictimStrategy{
+		core.VictimColdest, core.VictimLargest, core.VictimLeastUsed,
+	} {
+		b.Run(strategy.String(), func(b *testing.B) {
+			var last bench.SweepResult
+			for i := 0; i < b.N; i++ {
+				rows, err := bench.RunVictimStrategySweep(bench.SweepConfig{}, 50)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, r := range rows {
+					if r.Strategy == strategy {
+						last = r
+					}
+				}
+			}
+			b.ReportMetric(float64(last.SwapIns), "swap-ins")
+			b.ReportMetric(float64(last.BytesShipped), "bytes-shipped")
+			b.ReportMetric(float64(last.LinkTime.Milliseconds()), "link-ms")
+		})
+	}
+}
+
+// BenchmarkProxyHop isolates the cost the paper's trade-off rests on: one
+// cross-cluster invocation vs one intra-cluster invocation.
+func BenchmarkProxyHop(b *testing.B) {
+	env, err := bench.Build(bench.Config{Objects: 40, PayloadBytes: 8, ClusterSize: 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt := env.RT
+	// env.Head is a proxy (root → cluster 1); resolve the direct object too.
+	direct, err := rt.Deref(env.Head)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("via-proxy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := rt.Invoke(env.Head, "next"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("direct", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := rt.Invoke(direct.RefTo(), "next"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

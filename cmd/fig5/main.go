@@ -1,0 +1,167 @@
+// Command fig5 regenerates the paper's Figure 5 ("Performance penalty of
+// Object-Swapping w.r.t. swap-cluster size and graph transversals") plus the
+// companion comparisons of Section 5/6.
+//
+// Usage:
+//
+//	fig5 [-n objects] [-runs N] [-naive] [-transfer] [-compress] [-reclaim]
+//
+// With no experiment flags, only Figure 5 is produced. Absolute numbers are
+// hardware-dependent (the paper used a 2003-era Pocket PC); the shape —
+// overhead shrinking with swap-cluster size, A2 ≫ A1, B1 ≫ B2, the no-swap
+// floor — is the reproduction target.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"objectswap/internal/bench"
+	"objectswap/internal/link"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "fig5:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	objects := flag.Int("n", bench.DefaultObjects, "list length (paper: 10000)")
+	runs := flag.Int("runs", 3, "repetitions per cell (best run reported)")
+	naive := flag.Bool("naive", false, "also run the naive proxy-per-object comparison (§5)")
+	transfer := flag.Bool("transfer", false, "also run the Bluetooth transfer experiment (§4)")
+	compress := flag.Bool("compress", false, "also run the compression comparison (§6)")
+	reclaim := flag.Bool("reclaim", false, "also run the memory-reclamation experiment (§3)")
+	sweep := flag.Bool("sweep", false, "also run the cluster-size and victim-strategy ablations")
+	flag.Parse()
+
+	best := make(map[string]bench.Result)
+	for r := 0; r < *runs; r++ {
+		results, err := bench.RunFig5(*objects)
+		if err != nil {
+			return err
+		}
+		for _, res := range results {
+			key := res.Test + "/" + res.Config.Label()
+			if cur, ok := best[key]; !ok || res.Elapsed < cur.Elapsed {
+				best[key] = res
+			}
+		}
+	}
+	var results []bench.Result
+	for _, res := range best {
+		results = append(results, res)
+	}
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].Test != results[j].Test {
+			return results[i].Test < results[j].Test
+		}
+		// Paper column order: 20, 50, 100, NO SWAP-CLUSTERS (0 last).
+		a, b := results[i].Config.ClusterSize, results[j].Config.ClusterSize
+		if a == 0 {
+			a = 1 << 30
+		}
+		if b == 0 {
+			b = 1 << 30
+		}
+		return a < b
+	})
+
+	fmt.Printf("Figure 5 — %d objects, %d bytes payload, best of %d runs\n\n",
+		*objects, bench.DefaultPayload, *runs)
+	fmt.Print(bench.FormatFig5(results))
+
+	fmt.Println("\nOverhead vs NO SWAP-CLUSTERS (×):")
+	ov := bench.Overheads(results)
+	for _, test := range bench.Tests {
+		fmt.Printf("  %-3s", test)
+		for _, col := range []string{"20", "50", "100"} {
+			fmt.Printf("  %s:%6.2f", col, ov[test][col])
+		}
+		fmt.Println()
+	}
+
+	if *naive {
+		fmt.Println("\n§5 naive proxy-per-object comparison:")
+		res, err := bench.RunNaiveComparison(*objects, bench.DefaultPayload, 100)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-28s %16s %16s\n", "", "swap-clusters", "naive")
+		fmt.Printf("  %-28s %16d %16d\n", "proxies", res.SwapProxies, res.NaiveProxies)
+		fmt.Printf("  %-28s %16d %16d\n", "bytes loaded", res.SwapBytesLoaded, res.NaiveBytesLoaded)
+		fmt.Printf("  %-28s %16d %16d\n", "bytes after full swap-out", res.SwapBytesSwapped, res.NaiveBytesSwapped)
+		fmt.Printf("  %-28s %16v %16v\n", "traversal time", res.SwapTraversalTime.Round(time.Microsecond), res.NaiveTraversalTime.Round(time.Microsecond))
+		fmt.Printf("  %-28s %16d %16d\n", "reload faults", res.SwapReloadFaults, res.NaiveReloadFaults)
+	}
+
+	if *transfer {
+		fmt.Println("\n§4 transfer behaviour (Bluetooth 700 Kbps, virtual time):")
+		rows, err := bench.RunSwapTransfer([]int{20, 50, 100, 200}, bench.DefaultPayload, link.Bluetooth1())
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %8s %12s %14s %14s %12s\n", "objects", "XML bytes", "swap-out", "swap-in", "radio")
+		for _, r := range rows {
+			fmt.Printf("  %8d %12d %14v %14v %12v\n", r.Objects, r.XMLBytes,
+				r.SwapOutTime.Round(time.Millisecond), r.SwapInTime.Round(time.Millisecond), r.Energy)
+		}
+	}
+
+	if *compress {
+		fmt.Println("\n§6 compression comparison (Chen et al. style):")
+		res, err := bench.RunCompressionComparison(1000, 1024)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  swapping freed %d bytes in %v CPU; energy %v (incl. %d XML bytes each way)\n",
+			res.SwapFreedBytes, res.SwapCPU.Round(time.Microsecond), res.SwapEnergy, res.SwapXMLBytes)
+		fmt.Printf("  compression saved %d bytes in %v compress + %v decompress CPU; energy %v\n",
+			res.CompressSavedBytes, res.CompressCPU.Round(time.Microsecond),
+			res.DecompressCPU.Round(time.Microsecond), res.CompressEnergy)
+		fmt.Printf("  note: swapping's joules buy fully freed objects; compression's buy\n")
+		fmt.Printf("  payload-only savings and recur on every re-access.\n")
+	}
+
+	if *reclaim {
+		fmt.Println("\n§3 memory reclamation:")
+		res, err := bench.RunReclaim(10, 100, bench.DefaultPayload)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  loaded: %d bytes; after swapping 9/10 clusters: %d bytes (%.0f%% freed); after reload: %d bytes; graph preserved: %v\n",
+			res.UsedLoaded, res.UsedAfterSwap, res.FreedFraction*100, res.UsedAfterBack, res.GraphPreserved)
+	}
+
+	if *sweep {
+		cfg := bench.SweepConfig{}
+		fmt.Println("\nAblation — swap-cluster size under a skewed working set (Bluetooth link, virtual time):")
+		rows, err := bench.RunClusterSizeSweep(cfg, []int{10, 20, 50, 100})
+		if err != nil {
+			return err
+		}
+		printSweep(rows)
+		fmt.Println("\nAblation — victim selection strategy (cluster size 50):")
+		rows, err = bench.RunVictimStrategySweep(cfg, 50)
+		if err != nil {
+			return err
+		}
+		printSweep(rows)
+	}
+	return nil
+}
+
+func printSweep(rows []bench.SweepResult) {
+	fmt.Printf("  %-14s %10s %10s %14s %12s %12s\n",
+		"config", "swap-outs", "swap-ins", "bytes shipped", "link time", "cpu time")
+	for _, r := range rows {
+		fmt.Printf("  %-14s %10d %10d %14d %12v %12v\n",
+			r.Label, r.SwapOuts, r.SwapIns, r.BytesShipped,
+			r.LinkTime.Round(time.Millisecond), r.WallTime.Round(time.Microsecond))
+	}
+}

@@ -1,0 +1,61 @@
+// Command obicomp is the reproduction's analogue of the OBIWAN compiler: it
+// reads an XML class schema and generates the Go boilerplate obicomp
+// produced for Java/C# classes — class declarations plus swapping-safe
+// accessor methods (writes route through reference interception, so
+// generated code can never store an un-mediated cross-cluster reference).
+//
+// The swap-cluster-proxy half of obicomp's output needs no code generation
+// here: proxy classes are synthesized when a class is registered with the
+// runtime.
+//
+// Usage:
+//
+//	obicomp -in classes.xml -out model_gen.go
+//	obicomp -in classes.xml            # writes to stdout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"objectswap/internal/schema"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "obicomp:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	in := flag.String("in", "", "input class schema (XML)")
+	out := flag.String("out", "", "output Go file (default: stdout)")
+	flag.Parse()
+
+	if *in == "" {
+		return fmt.Errorf("missing -in schema file")
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	s, err := schema.Parse(data)
+	if err != nil {
+		return err
+	}
+	src, err := schema.Generate(s)
+	if err != nil {
+		return err
+	}
+	if *out == "" {
+		_, err = os.Stdout.Write(src)
+		return err
+	}
+	if err := os.WriteFile(*out, src, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "obicomp: generated %d classes into %s\n", len(s.Classes), *out)
+	return nil
+}

@@ -1,0 +1,176 @@
+// Command obiswap demonstrates the full middleware loop on one simulated
+// constrained device: it builds object clusters until memory pressure makes
+// the policy engine swap cold clusters to a nearby device, then touches the
+// swapped data to fault it back, printing every middleware event as it
+// happens.
+//
+// Usage:
+//
+//	obiswap [-heap bytes] [-clusters N] [-per N] [-payload bytes]
+//	        [-device url] [-threshold 0.75]
+//
+// With -device, shipments go to a running swapstore over HTTP; otherwise an
+// in-process memory device is used.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"objectswap"
+	"objectswap/internal/event"
+	"objectswap/internal/heap"
+	"objectswap/internal/store"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "obiswap:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	heapBytes := flag.Int64("heap", 64<<10, "device heap capacity in bytes")
+	clusters := flag.Int("clusters", 12, "swap-clusters to build")
+	per := flag.Int("per", 50, "objects per swap-cluster")
+	payload := flag.Int("payload", 64, "payload bytes per object")
+	device := flag.String("device", "", "URL of a swapstore to use (default: in-process memory)")
+	threshold := flag.Float64("threshold", 0.75, "memory pressure threshold fraction")
+	dot := flag.Bool("dot", false, "after building, dump the object graph as Graphviz DOT to stdout and exit")
+	flag.Parse()
+
+	sys, err := objectswap.New(objectswap.Config{
+		HeapCapacity:    *heapBytes,
+		MemoryThreshold: *threshold,
+	})
+	if err != nil {
+		return err
+	}
+
+	var dev store.Store
+	if *device != "" {
+		dev = store.NewClient(*device)
+		fmt.Printf("using remote swapstore at %s\n", *device)
+	} else {
+		dev = store.NewMem(0)
+		fmt.Println("using in-process memory device")
+	}
+	if err := sys.AttachDevice("neighbor", dev); err != nil {
+		return err
+	}
+
+	// Narrate middleware events.
+	sys.Bus().Subscribe(event.TopicSwapOut, func(ev event.Event) {
+		e := ev.Payload.(objectswap.SwapEvent)
+		fmt.Printf("  >> swap-out  cluster %-3d %5d objects %7d XML bytes -> %s\n",
+			e.Cluster, e.Objects, e.Bytes, e.Device)
+	})
+	sys.Bus().Subscribe(event.TopicSwapIn, func(ev event.Event) {
+		e := ev.Payload.(objectswap.SwapEvent)
+		fmt.Printf("  << swap-in   cluster %-3d %5d objects\n", e.Cluster, e.Objects)
+	})
+	sys.Bus().Subscribe(event.TopicSwapDrop, func(ev event.Event) {
+		e := ev.Payload.(objectswap.SwapEvent)
+		fmt.Printf("  xx drop      cluster %-3d (unreachable)\n", e.Cluster)
+	})
+	sys.Bus().Subscribe(event.TopicMemoryThreshold, func(ev event.Event) {
+		fmt.Println("  !! memory pressure")
+	})
+
+	node := heap.NewClass("Record",
+		heap.FieldDef{Name: "data", Kind: heap.KindBytes},
+		heap.FieldDef{Name: "next", Kind: heap.KindRef},
+		heap.FieldDef{Name: "seq", Kind: heap.KindInt},
+	)
+	node.AddMethod("seq", func(c *heap.Call) ([]heap.Value, error) {
+		v, _ := c.Self.FieldByName("seq")
+		return []heap.Value{v}, nil
+	})
+	node.AddMethod("sum", func(c *heap.Call) ([]heap.Value, error) {
+		seq, _ := c.Self.FieldByName("seq")
+		next, _ := c.Self.FieldByName("next")
+		if next.IsNil() {
+			return []heap.Value{seq}, nil
+		}
+		rest, err := c.RT.Invoke(next, "sum")
+		if err != nil {
+			return nil, err
+		}
+		restSum, _ := rest[0].Int()
+		s, _ := seq.Int()
+		return []heap.Value{heap.Int(s + restSum)}, nil
+	})
+	sys.MustRegisterClass(node)
+
+	fmt.Printf("building %d clusters x %d objects (%d-byte payloads) into a %d-byte heap...\n",
+		*clusters, *per, *payload, *heapBytes)
+	data := make([]byte, *payload)
+	seq := int64(0)
+	var want int64
+	for c := 0; c < *clusters; c++ {
+		cluster := sys.NewCluster()
+		var prev *heap.Object
+		for i := 0; i < *per; i++ {
+			o, err := sys.NewObject(node, cluster)
+			if err != nil {
+				return fmt.Errorf("cluster %d object %d: %w", c, i, err)
+			}
+			if err := sys.SetField(o.RefTo(), "data", heap.Bytes(data)); err != nil {
+				return err
+			}
+			if err := sys.SetField(o.RefTo(), "seq", heap.Int(seq)); err != nil {
+				return err
+			}
+			want += seq
+			seq++
+			if prev == nil {
+				if err := sys.SetRoot(fmt.Sprintf("chain-%d", c), o.RefTo()); err != nil {
+					return err
+				}
+			} else if err := sys.SetField(prev.RefTo(), "next", o.RefTo()); err != nil {
+				return err
+			}
+			prev = o
+		}
+	}
+
+	if *dot {
+		return sys.Runtime().DumpDot(os.Stdout)
+	}
+
+	st := sys.Heap().StatsSnapshot()
+	fmt.Printf("\nheap: %d/%d bytes, %d objects resident\n", st.Used, st.Capacity, st.Objects)
+	fmt.Println("cluster states:")
+	for _, info := range sys.Clusters() {
+		state := "loaded"
+		if info.Swapped {
+			state = fmt.Sprintf("swapped (%d XML bytes on %s)", info.PayloadBytes, info.Device)
+		}
+		fmt.Printf("  cluster %-3d %4d objects  %s\n", info.ID, info.Objects, state)
+	}
+
+	fmt.Println("\ntraversing every chain (faults swapped clusters back in)...")
+	var got int64
+	for c := 0; c < *clusters; c++ {
+		root, err := sys.MustRoot(fmt.Sprintf("chain-%d", c))
+		if err != nil {
+			return err
+		}
+		out, err := sys.Invoke(root, "sum")
+		if err != nil {
+			return fmt.Errorf("chain %d: %w", c, err)
+		}
+		s, _ := out[0].Int()
+		got += s
+	}
+	fmt.Printf("checksum: got %d, want %d — %v\n", got, want, got == want)
+
+	fmt.Println("\nfinal middleware state:")
+	fmt.Print(sys.Report())
+	if got != want {
+		return fmt.Errorf("checksum mismatch")
+	}
+	return nil
+}

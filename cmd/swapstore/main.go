@@ -1,0 +1,74 @@
+// Command swapstore runs a nearby swapping device: a node that needs no VM
+// and no middleware — it only stores, returns and drops keyed XML text, over
+// the HTTP web-services bridge.
+//
+// Usage:
+//
+//	swapstore [-addr :9980] [-dir path] [-capacity bytes]
+//
+// With -dir, shipments persist as files (a desktop PC holding swap files);
+// otherwise they are held in memory (another PDA's RAM).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"objectswap/internal/store"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "swapstore:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", ":9980", "listen address")
+	dir := flag.String("dir", "", "persist shipments under this directory (default: in-memory)")
+	capacity := flag.Int64("capacity", 0, "byte capacity offered to neighbors (0 = unlimited)")
+	keep := flag.Int("keep", -1, "archive up to N replaced/dropped generations per key (-1 = off, 0 = unlimited)")
+	flag.Parse()
+
+	var (
+		s   store.Store
+		err error
+	)
+	if *dir != "" {
+		s, err = store.NewDisk(*dir, *capacity)
+		if err != nil {
+			return err
+		}
+		log.Printf("swapstore: disk store at %s (capacity %d)", *dir, *capacity)
+	} else {
+		s = store.NewMem(*capacity)
+		log.Printf("swapstore: in-memory store (capacity %d)", *capacity)
+	}
+
+	if *keep >= 0 {
+		s = store.NewVersioned(s, *keep)
+		log.Printf("swapstore: versioning enabled (keep %d generations)", *keep)
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           logging(store.NewHandler(s)),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Printf("swapstore: listening on %s", *addr)
+	return srv.ListenAndServe()
+}
+
+// logging wraps the store handler with one access-log line per request.
+func logging(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		log.Printf("%s %s (%v)", r.Method, r.URL.Path, time.Since(start).Round(time.Microsecond))
+	})
+}

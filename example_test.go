@@ -1,0 +1,78 @@
+package objectswap_test
+
+import (
+	"fmt"
+
+	"objectswap"
+	"objectswap/internal/heap"
+	"objectswap/internal/store"
+)
+
+// counterClass declares a tiny application class for the examples.
+func counterClass() *heap.Class {
+	c := heap.NewClass("Counter",
+		heap.FieldDef{Name: "n", Kind: heap.KindInt},
+		heap.FieldDef{Name: "peer", Kind: heap.KindRef},
+	)
+	c.AddMethod("incr", func(call *heap.Call) ([]heap.Value, error) {
+		v, err := call.Self.FieldByName("n")
+		if err != nil {
+			return nil, err
+		}
+		i, _ := v.Int()
+		if err := call.Self.SetFieldByName("n", heap.Int(i+1)); err != nil {
+			return nil, err
+		}
+		return []heap.Value{heap.Int(i + 1)}, nil
+	})
+	return c
+}
+
+// Example shows the complete lifecycle: build, swap out, reclaim, fault in.
+func Example() {
+	sys, _ := objectswap.New(objectswap.Config{HeapCapacity: 1 << 20})
+	_ = sys.AttachDevice("neighbor", store.NewMem(0))
+	cls := sys.MustRegisterClass(counterClass())
+
+	cluster := sys.NewCluster()
+	obj, _ := sys.NewObject(cls, cluster)
+	_ = sys.SetRoot("counter", obj.RefTo())
+	_, _ = sys.Invoke(obj.RefTo(), "incr")
+	_, _ = sys.Invoke(obj.RefTo(), "incr")
+
+	ev, _ := sys.SwapOut(cluster)
+	sys.Collect()
+	fmt.Printf("shipped %d object(s) away\n", ev.Objects)
+
+	// Touching the root faults the cluster back in transparently.
+	root, _ := sys.MustRoot("counter")
+	out, _ := sys.Invoke(root, "incr")
+	n, _ := out[0].Int()
+	fmt.Printf("counter after reload: %d\n", n)
+	// Output:
+	// shipped 1 object(s) away
+	// counter after reload: 3
+}
+
+// ExampleSystem_RefEqual demonstrates application-level identity across
+// swap-cluster-proxies.
+func ExampleSystem_RefEqual() {
+	sys, _ := objectswap.New(objectswap.Config{})
+	_ = sys.AttachDevice("neighbor", store.NewMem(0))
+	cls := sys.MustRegisterClass(counterClass())
+
+	a := sys.NewCluster()
+	b := sys.NewCluster()
+	target, _ := sys.NewObject(cls, a)
+	holder, _ := sys.NewObject(cls, b)
+	// Store the same target behind two different mediations.
+	_ = sys.SetRoot("direct-ish", target.RefTo()) // proxied for cluster 0
+	_ = sys.SetField(holder.RefTo(), "peer", target.RefTo())
+
+	viaRoot, _ := sys.MustRoot("direct-ish")
+	viaField, _ := sys.Field(holder.RefTo(), "peer")
+	eq, _ := sys.RefEqual(viaRoot, viaField)
+	fmt.Println("same object:", eq)
+	// Output:
+	// same object: true
+}

@@ -1,0 +1,163 @@
+// Contactbook: the obicomp workflow end to end.
+//
+// The application model (contacts and groups) is declared once in
+// contacts/schema.xml; `obicomp` generated contacts/contacts_gen.go with the
+// class definitions and swapping-safe accessors:
+//
+//	go run ./cmd/obicomp -in examples/contactbook/contacts/schema.xml \
+//	                     -out examples/contactbook/contacts/contacts_gen.go
+//
+// The program then builds contact groups purely through generated accessors
+// (setters route every reference through interception, so cross-cluster
+// links are proxied without any hand-written middleware code), swaps cold
+// groups out, and reads everything back.
+//
+// Run with:
+//
+//	go run ./examples/contactbook
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"objectswap"
+	"objectswap/examples/contactbook/contacts"
+	"objectswap/internal/heap"
+	"objectswap/internal/store"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	sys, err := objectswap.New(objectswap.Config{HeapCapacity: 96 << 10})
+	if err != nil {
+		return err
+	}
+	if err := sys.AttachDevice("laptop", store.NewMem(0)); err != nil {
+		return err
+	}
+	// Generated registration: one call installs every schema class.
+	if err := contacts.RegisterAll(sys); err != nil {
+		return err
+	}
+	// Allocation uses the registered class instances, resolved by name.
+	contactReg, err := sys.Runtime().Registry().Lookup("Contact")
+	if err != nil {
+		return err
+	}
+	groupReg, err := sys.Runtime().Registry().Lookup("Group")
+	if err != nil {
+		return err
+	}
+
+	vcard := make([]byte, 256)
+	groups := []string{"family", "work", "football", "archive"}
+	for gi, label := range groups {
+		cluster := sys.NewCluster()
+		g, err := sys.NewObject(groupReg, cluster)
+		if err != nil {
+			return err
+		}
+		// Generated accessors: setLabel / setSize / setFirst.
+		if _, err := sys.Invoke(g.RefTo(), "setLabel", heap.Str(label)); err != nil {
+			return err
+		}
+		var prev *heap.Object
+		const perGroup = 12
+		for i := 0; i < perGroup; i++ {
+			c, err := sys.NewObject(contactReg, cluster)
+			if err != nil {
+				return err
+			}
+			if _, err := sys.Invoke(c.RefTo(), "setName",
+				heap.Str(fmt.Sprintf("%s-contact-%02d", label, i))); err != nil {
+				return err
+			}
+			if _, err := sys.Invoke(c.RefTo(), "setPhone",
+				heap.Str(fmt.Sprintf("+351-9%02d-%03d", gi, i))); err != nil {
+				return err
+			}
+			if _, err := sys.Invoke(c.RefTo(), "setVcard", heap.Bytes(vcard)); err != nil {
+				return err
+			}
+			if prev == nil {
+				if _, err := sys.Invoke(g.RefTo(), "setFirst", c.RefTo()); err != nil {
+					return err
+				}
+			} else if _, err := sys.Invoke(prev.RefTo(), "setNext", c.RefTo()); err != nil {
+				return err
+			}
+			prev = c
+		}
+		if _, err := sys.Invoke(g.RefTo(), "setSize", heap.Int(perGroup)); err != nil {
+			return err
+		}
+		if err := sys.SetRoot("group-"+label, g.RefTo()); err != nil {
+			return err
+		}
+		fmt.Printf("built group %q (%d contacts)\n", label, perGroup)
+	}
+
+	// Swap the cold groups out explicitly.
+	for _, label := range []string{"football", "archive"} {
+		root, err := sys.MustRoot("group-" + label)
+		if err != nil {
+			return err
+		}
+		obj, err := sys.Runtime().Deref(root)
+		if err != nil {
+			return err
+		}
+		cluster := sys.Runtime().Manager().ClusterOf(obj.ID())
+		ev, err := sys.SwapOut(cluster)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("group %q swapped to %s (%d bytes XML)\n", label, ev.Device, ev.Bytes)
+	}
+	sys.Collect()
+	fmt.Printf("heap after swapping cold groups: %d bytes\n\n", sys.Heap().Used())
+
+	// Read every group back through generated getters; swapped groups fault
+	// back transparently.
+	for _, label := range groups {
+		root, err := sys.MustRoot("group-" + label)
+		if err != nil {
+			return err
+		}
+		out, err := sys.Invoke(root, "getLabel")
+		if err != nil {
+			return err
+		}
+		name, _ := out[0].Str()
+		out, err = sys.Invoke(root, "getFirst")
+		if err != nil {
+			return err
+		}
+		cur := out[0]
+		count := 0
+		var firstPhone string
+		for !cur.IsNil() {
+			if count == 0 {
+				p, err := sys.Invoke(cur, "getPhone")
+				if err != nil {
+					return err
+				}
+				firstPhone, _ = p[0].Str()
+			}
+			nx, err := sys.Invoke(cur, "getNext")
+			if err != nil {
+				return err
+			}
+			cur = nx[0]
+			count++
+		}
+		fmt.Printf("group %-10s %2d contacts (first: %s)\n", name, count, firstPhone)
+	}
+	return nil
+}

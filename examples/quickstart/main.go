@@ -1,0 +1,109 @@
+// Quickstart: the smallest complete Object-Swapping program.
+//
+// It builds one swap-cluster of objects on a constrained device, swaps it out
+// to a nearby in-memory device, shows that the memory came back, and then
+// touches the data — which transparently faults the whole cluster back in.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"objectswap"
+	"objectswap/internal/heap"
+	"objectswap/internal/store"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A device with a 64 KiB heap.
+	sys, err := objectswap.New(objectswap.Config{HeapCapacity: 64 << 10})
+	if err != nil {
+		return err
+	}
+	// A nearby device: anything that can store, return and drop XML text.
+	if err := sys.AttachDevice("desktop-pc", store.NewMem(0)); err != nil {
+		return err
+	}
+
+	// An application class: a note with text and a link to the next note.
+	note := heap.NewClass("Note",
+		heap.FieldDef{Name: "text", Kind: heap.KindString},
+		heap.FieldDef{Name: "next", Kind: heap.KindRef},
+	)
+	note.AddMethod("text", func(c *heap.Call) ([]heap.Value, error) {
+		v, err := c.Self.FieldByName("text")
+		if err != nil {
+			return nil, err
+		}
+		return []heap.Value{v}, nil
+	})
+	note.AddMethod("next", func(c *heap.Call) ([]heap.Value, error) {
+		v, err := c.Self.FieldByName("next")
+		if err != nil {
+			return nil, err
+		}
+		return []heap.Value{v}, nil
+	})
+	sys.MustRegisterClass(note)
+
+	// Build ten notes in one swap-cluster, rooted at "notes".
+	cluster := sys.NewCluster()
+	var prev *heap.Object
+	for i := 0; i < 10; i++ {
+		o, err := sys.NewObject(note, cluster)
+		if err != nil {
+			return err
+		}
+		if err := sys.SetField(o.RefTo(), "text", heap.Str(fmt.Sprintf("note #%d", i))); err != nil {
+			return err
+		}
+		if prev == nil {
+			if err := sys.SetRoot("notes", o.RefTo()); err != nil {
+				return err
+			}
+		} else if err := sys.SetField(prev.RefTo(), "next", o.RefTo()); err != nil {
+			return err
+		}
+		prev = o
+	}
+	fmt.Printf("built 10 notes: heap %d bytes used\n", sys.Heap().Used())
+
+	// Swap the cluster out and reclaim its memory.
+	ev, err := sys.SwapOut(cluster)
+	if err != nil {
+		return err
+	}
+	sys.Collect()
+	fmt.Printf("swapped cluster %d to %q (%d bytes of XML): heap %d bytes used\n",
+		ev.Cluster, ev.Device, ev.Bytes, sys.Heap().Used())
+
+	// Touch the data: the middleware faults the whole cluster back in.
+	cur, err := sys.MustRoot("notes")
+	if err != nil {
+		return err
+	}
+	for !cur.IsNil() {
+		out, err := sys.Invoke(cur, "text")
+		if err != nil {
+			return err
+		}
+		text, _ := out[0].Str()
+		fmt.Println(" ", text)
+		cur, err = sys.Field(cur, "next")
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Printf("after transparent reload: heap %d bytes used\n", sys.Heap().Used())
+	return nil
+}

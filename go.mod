@@ -1,0 +1,3 @@
+module objectswap
+
+go 1.22

@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"testing"
+
+	"objectswap/internal/core"
+)
+
+func smallSweep() SweepConfig {
+	return SweepConfig{
+		Chains:       6,
+		ChainLen:     40,
+		PayloadBytes: 32,
+		Accesses:     30,
+		Window:       15,
+		Seed:         7,
+	}
+}
+
+func TestClusterSizeSweepExposesTradeoff(t *testing.T) {
+	results, err := RunClusterSizeSweep(smallSweep(), []int{5, 20, 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("rows = %d", len(results))
+	}
+	for _, r := range results {
+		if r.SwapOuts == 0 || r.SwapIns == 0 {
+			t.Fatalf("%s: no swapping under pressure (%+v)", r.Label, r)
+		}
+		if r.BytesShipped <= 0 || r.LinkTime <= 0 {
+			t.Fatalf("%s: no traffic accounted (%+v)", r.Label, r)
+		}
+	}
+	// The trade-off: granular clusters swap more often...
+	if results[0].SwapIns <= results[2].SwapIns {
+		t.Fatalf("small clusters (%d swap-ins) should fault more often than large (%d)",
+			results[0].SwapIns, results[2].SwapIns)
+	}
+	// ...but each shipment of a large cluster moves more bytes.
+	perIn0 := results[0].BytesShipped / int64(results[0].SwapIns+results[0].SwapOuts)
+	perIn2 := results[2].BytesShipped / int64(results[2].SwapIns+results[2].SwapOuts)
+	if perIn0 >= perIn2 {
+		t.Fatalf("per-shipment bytes: small=%d, large=%d (expected small < large)", perIn0, perIn2)
+	}
+}
+
+func TestVictimStrategySweepRuns(t *testing.T) {
+	results, err := RunVictimStrategySweep(smallSweep(), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("rows = %d", len(results))
+	}
+	seen := make(map[core.VictimStrategy]bool)
+	for _, r := range results {
+		seen[r.Strategy] = true
+		if r.SwapOuts == 0 {
+			t.Fatalf("%s: no eviction under pressure", r.Label)
+		}
+	}
+	if len(seen) != 3 {
+		t.Fatalf("strategies covered: %v", seen)
+	}
+}
+
+func TestSweepDeterministic(t *testing.T) {
+	a, err := RunClusterSizeSweep(smallSweep(), []int{10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunClusterSizeSweep(smallSweep(), []int{10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0].SwapIns != b[0].SwapIns || a[0].BytesShipped != b[0].BytesShipped {
+		t.Fatalf("sweep not deterministic: %+v vs %+v", a[0], b[0])
+	}
+}

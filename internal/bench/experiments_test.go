@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"objectswap/internal/link"
+)
+
+func TestRunSwapTransfer(t *testing.T) {
+	results, err := RunSwapTransfer([]int{20, 50, 100}, 64, link.Bluetooth1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("rows = %d", len(results))
+	}
+	for i, r := range results {
+		if r.XMLBytes <= 0 || r.SwapOutTime <= 0 || r.SwapInTime <= 0 {
+			t.Fatalf("row %d: %+v", i, r)
+		}
+		if r.Profile != "bluetooth-700kbps" {
+			t.Fatalf("profile = %q", r.Profile)
+		}
+		if i > 0 {
+			prev := results[i-1]
+			if r.XMLBytes <= prev.XMLBytes {
+				t.Fatalf("XML size not increasing: %d then %d", prev.XMLBytes, r.XMLBytes)
+			}
+			if r.SwapOutTime <= prev.SwapOutTime {
+				t.Fatalf("transfer time not increasing with size")
+			}
+		}
+	}
+	// Sanity: 100 × 64-byte objects over 700 Kbps must take on the order of
+	// hundreds of milliseconds (XML overhead included), not microseconds.
+	if results[2].SwapOutTime < 50*time.Millisecond {
+		t.Fatalf("implausibly fast Bluetooth transfer: %v", results[2].SwapOutTime)
+	}
+}
+
+func TestRunReclaim(t *testing.T) {
+	res, err := RunReclaim(5, 40, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.GraphPreserved {
+		t.Fatal("graph not preserved across reclaim cycle")
+	}
+	// Swapping 4 of 5 clusters must free most of the memory.
+	if res.FreedFraction < 0.5 {
+		t.Fatalf("freed only %.0f%%", res.FreedFraction*100)
+	}
+	if res.UsedAfterBack < res.UsedLoaded {
+		t.Fatalf("reload lost objects: %d < %d", res.UsedAfterBack, res.UsedLoaded)
+	}
+}
+
+func TestRunNaiveComparison(t *testing.T) {
+	res, err := RunNaiveComparison(400, 64, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The naive design keeps one proxy per object; swap-clusters keep one
+	// per boundary.
+	if res.NaiveProxies != 400 {
+		t.Fatalf("naive proxies = %d", res.NaiveProxies)
+	}
+	if res.SwapProxies >= res.NaiveProxies/10 {
+		t.Fatalf("swap proxies = %d, naive = %d: no economy", res.SwapProxies, res.NaiveProxies)
+	}
+	// Loaded, the naive design uses more memory for the same data.
+	if res.NaiveBytesLoaded <= res.SwapBytesLoaded {
+		t.Fatalf("naive loaded %d <= swap %d", res.NaiveBytesLoaded, res.SwapBytesLoaded)
+	}
+	// Fully swapped, the naive design still holds all its proxies.
+	if res.NaiveBytesSwapped <= res.SwapBytesSwapped {
+		t.Fatalf("naive swapped %d <= swap %d", res.NaiveBytesSwapped, res.SwapBytesSwapped)
+	}
+	// Reload effort: whole clusters vs one fault per object.
+	if res.SwapReloadFaults >= res.NaiveReloadFaults {
+		t.Fatalf("swap reload faults %d >= naive %d", res.SwapReloadFaults, res.NaiveReloadFaults)
+	}
+	if res.NaiveReloadFaults != 400 {
+		t.Fatalf("naive reload faults = %d, want one per object", res.NaiveReloadFaults)
+	}
+}
+
+func TestRunCompressionComparison(t *testing.T) {
+	res, err := RunCompressionComparison(200, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SwapFreedBytes <= 0 {
+		t.Fatalf("swap freed %d", res.SwapFreedBytes)
+	}
+	if res.CompressSavedBytes <= 0 {
+		t.Fatalf("compression saved %d", res.CompressSavedBytes)
+	}
+	if res.CompressCPU <= 0 || res.DecompressCPU <= 0 {
+		t.Fatalf("compression CPU not accounted: %+v", res)
+	}
+	// Swapping frees the whole object, compression only part of the payload.
+	if res.SwapFreedBytes <= res.CompressSavedBytes {
+		t.Fatalf("swap freed %d <= compression saved %d", res.SwapFreedBytes, res.CompressSavedBytes)
+	}
+}

@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// FormatFig5 renders results as the paper's Figure 5 table: one row per
+// test, one column per swap-cluster configuration, cells in milliseconds.
+func FormatFig5(results []Result) string {
+	// Collect the column order as first seen (paper order: 20, 50, 100, none).
+	var cols []string
+	colSeen := make(map[string]bool)
+	cells := make(map[string]map[string]time.Duration)
+	var rows []string
+	rowSeen := make(map[string]bool)
+	for _, r := range results {
+		col := r.Config.Label()
+		if !colSeen[col] {
+			colSeen[col] = true
+			cols = append(cols, col)
+		}
+		if !rowSeen[r.Test] {
+			rowSeen[r.Test] = true
+			rows = append(rows, r.Test)
+		}
+		if cells[r.Test] == nil {
+			cells[r.Test] = make(map[string]time.Duration)
+		}
+		cells[r.Test][col] = r.Elapsed
+	}
+	sort.Strings(rows)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Performance Impact of Swapping on Graph Transversal (ms)\n")
+	fmt.Fprintf(&b, "%-6s", "Test")
+	for _, c := range cols {
+		fmt.Fprintf(&b, "%18s", c)
+	}
+	b.WriteByte('\n')
+	for _, row := range rows {
+		fmt.Fprintf(&b, "%-6s", row)
+		for _, c := range cols {
+			d, ok := cells[row][c]
+			if !ok {
+				fmt.Fprintf(&b, "%18s", "-")
+				continue
+			}
+			fmt.Fprintf(&b, "%18.3f", float64(d.Microseconds())/1000.0)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Overheads summarizes, per test, the slowdown of each swapping
+// configuration relative to the NO SWAP-CLUSTERS floor (1.0 = no overhead).
+func Overheads(results []Result) map[string]map[string]float64 {
+	floor := make(map[string]time.Duration)
+	for _, r := range results {
+		if r.Config.ClusterSize <= 0 {
+			floor[r.Test] = r.Elapsed
+		}
+	}
+	out := make(map[string]map[string]float64)
+	for _, r := range results {
+		if r.Config.ClusterSize <= 0 {
+			continue
+		}
+		f := floor[r.Test]
+		if f <= 0 {
+			continue
+		}
+		if out[r.Test] == nil {
+			out[r.Test] = make(map[string]float64)
+		}
+		out[r.Test][r.Config.Label()] = float64(r.Elapsed) / float64(f)
+	}
+	return out
+}

@@ -1,0 +1,409 @@
+package core
+
+import (
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"objectswap/internal/heap"
+	"objectswap/internal/xmlcodec"
+)
+
+// Device persistence — the Persistence module of OBIWAN's architecture
+// (Figure 1 of the paper): a device can checkpoint its entire middleware
+// state to a stream and restore it later (reboot, battery swap, process
+// restart), including clusters that are swapped out on nearby devices at
+// checkpoint time. The checkpoint stores:
+//
+//   - every resident cluster's objects (XML-wrapped, like any shipment);
+//   - for each swapped-out cluster: the device name and storage key where
+//     its XML lives, its member identities and classes, and the outbound
+//     slot table needed to rebuild its replacement-object;
+//   - the global roots and live object-fault placeholders;
+//   - the key-generation state, so post-restore shipments stay unique.
+//
+// Restore rebuilds the graph under the original object identities, then
+// re-mediates every boundary — swapped clusters come back as swapped, and
+// the first touch faults them in from wherever they were left.
+
+// ErrNotFresh reports a restore into a runtime that already holds state.
+var ErrNotFresh = errors.New("core: checkpoint restore requires a fresh runtime")
+
+// ErrBadCheckpoint reports a malformed checkpoint stream.
+var ErrBadCheckpoint = errors.New("core: malformed checkpoint")
+
+// checkpointVersion stamps the stream format.
+const checkpointVersion = 1
+
+// objProxyClassMarker prefixes object-fault placeholder references inside
+// checkpoint documents (distinguishing them from cross-cluster references).
+const objProxyClassMarker = "$objproxy:"
+
+type ckptDoc struct {
+	XMLName xml.Name      `xml:"checkpoint"`
+	Version int           `xml:"version,attr"`
+	Device  string        `xml:"device,attr"`
+	KeySeq  uint64        `xml:"keyseq,attr"`
+	MaxID   uint64        `xml:"maxid,attr"`
+	Plain   []ckptCluster `xml:"cluster"`
+	Roots   []ckptRoot    `xml:"root"`
+}
+
+type ckptCluster struct {
+	ID      uint32         `xml:"id,attr"`
+	Swapped bool           `xml:"swapped,attr"`
+	Device  string         `xml:"device,attr,omitempty"`
+	Key     string         `xml:"key,attr,omitempty"`
+	Payload int            `xml:"payload,attr,omitempty"`
+	Bytes   int64          `xml:"bytes,attr,omitempty"`
+	Members []ckptMember   `xml:"member"`
+	Out     []ckptOutbound `xml:"outbound"`
+	// Doc holds the XML wrapping of a resident cluster's objects.
+	Doc string `xml:"doc,omitempty"`
+}
+
+type ckptMember struct {
+	ID    uint64 `xml:"id,attr"`
+	Class string `xml:"class,attr"`
+}
+
+type ckptOutbound struct {
+	Slot   int    `xml:"slot,attr"`
+	Target uint64 `xml:"target,attr"`
+}
+
+type ckptRoot struct {
+	Name string `xml:"name,attr"`
+	// Target is the ultimate object identity (0 = nil root).
+	Target uint64 `xml:"target,attr"`
+	// Remote marks an object-fault placeholder root.
+	Remote uint64 `xml:"remote,attr,omitempty"`
+	Class  string `xml:"class,attr,omitempty"`
+}
+
+// SaveCheckpoint writes the device's full middleware state. It must not run
+// with in-flight invocations.
+func (rt *Runtime) SaveCheckpoint(w io.Writer) error {
+	if rt.depth != 0 {
+		return errors.New("core: checkpoint with in-flight invocations")
+	}
+	doc := ckptDoc{Version: checkpointVersion, Device: rt.name, KeySeq: rt.keyseq}
+
+	rt.mgr.mu.Lock()
+	clusterIDs := make([]ClusterID, 0, len(rt.mgr.clusters))
+	for id := range rt.mgr.clusters {
+		clusterIDs = append(clusterIDs, id)
+	}
+	rt.mgr.mu.Unlock()
+	sort.Slice(clusterIDs, func(i, j int) bool { return clusterIDs[i] < clusterIDs[j] })
+
+	var maxID heap.ObjID
+	note := func(id heap.ObjID) {
+		if id > maxID {
+			maxID = id
+		}
+	}
+
+	for _, cid := range clusterIDs {
+		if cid == RootCluster {
+			continue
+		}
+		rt.mgr.mu.Lock()
+		cs := rt.mgr.clusters[cid]
+		members := make([]heap.ObjID, 0, len(cs.objects))
+		for oid := range cs.objects {
+			members = append(members, oid)
+			note(oid)
+		}
+		swapped := cs.swapped
+		device, key, payload, bytesAtSwap := cs.device, cs.key, cs.payloadBytes, cs.bytesAtSwap
+		replID := cs.replacement
+		rt.mgr.mu.Unlock()
+		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+
+		ck := ckptCluster{ID: uint32(cid), Swapped: swapped}
+		for _, oid := range members {
+			class, _ := rt.mgr.classOf(oid)
+			ck.Members = append(ck.Members, ckptMember{ID: uint64(oid), Class: class})
+		}
+		if swapped {
+			ck.Device, ck.Key, ck.Payload, ck.Bytes = device, key, payload, bytesAtSwap
+			// The outbound slot table, by ultimate target identity.
+			repl, err := rt.h.Get(replID)
+			if err != nil {
+				return fmt.Errorf("core: checkpoint: cluster %d replacement: %w", cid, err)
+			}
+			outV, _ := repl.FieldByName(fldOut)
+			slots, _ := outV.List()
+			for slot, ref := range slots {
+				pid, _ := ref.Ref()
+				p, err := rt.h.Get(pid)
+				if err != nil {
+					return fmt.Errorf("core: checkpoint: cluster %d outbound slot %d: %w", cid, slot, err)
+				}
+				target := proxyUltimate(p)
+				note(target)
+				ck.Out = append(ck.Out, ckptOutbound{Slot: slot, Target: uint64(target)})
+			}
+		} else {
+			data, err := rt.encodeResidentCluster(cid, members)
+			if err != nil {
+				return err
+			}
+			ck.Doc = string(data)
+		}
+		doc.Plain = append(doc.Plain, ck)
+	}
+
+	// Roots.
+	for _, name := range rt.h.RootNames() {
+		v, _ := rt.h.Root(name)
+		id, err := v.Ref()
+		if err != nil {
+			return fmt.Errorf("core: checkpoint: root %s is not a reference", name)
+		}
+		cr := ckptRoot{Name: name, Target: uint64(id)}
+		if id != heap.NilID {
+			if o, err := rt.h.Get(id); err == nil {
+				switch o.Class().Special {
+				case heap.SpecialSCProxy:
+					cr.Target = uint64(proxyUltimate(o))
+				case heap.SpecialObjProxy:
+					cr.Target = 0
+					cr.Remote = uint64(ObjProxyRemote(o))
+					cr.Class = ObjProxyClass(o)
+				}
+			}
+			note(heap.ObjID(cr.Target))
+		}
+		doc.Roots = append(doc.Roots, cr)
+	}
+	doc.MaxID = uint64(maxID)
+
+	out, err := xml.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		return fmt.Errorf("core: checkpoint: %w", err)
+	}
+	if _, err := w.Write([]byte(xml.Header)); err != nil {
+		return err
+	}
+	_, err = w.Write(out)
+	return err
+}
+
+// encodeResidentCluster wraps a resident cluster for the checkpoint:
+// intra-cluster references are internal; everything else is encoded by
+// ultimate identity (or as an object-fault placeholder).
+func (rt *Runtime) encodeResidentCluster(cid ClusterID, members []heap.ObjID) ([]byte, error) {
+	memberSet := make(map[heap.ObjID]bool, len(members))
+	objs := make([]*heap.Object, 0, len(members))
+	for _, oid := range members {
+		memberSet[oid] = true
+		o, err := rt.h.Get(oid)
+		if err != nil {
+			return nil, fmt.Errorf("core: checkpoint: member @%d of cluster %d: %w", oid, cid, err)
+		}
+		objs = append(objs, o)
+	}
+	encodeRef := func(rid heap.ObjID) (xmlcodec.Value, error) {
+		if memberSet[rid] {
+			return xmlcodec.InternalRef(rid), nil
+		}
+		ro, err := rt.h.Get(rid)
+		if err != nil {
+			// Non-resident member of a swapped cluster: record its identity.
+			if _, known := rt.mgr.classOf(rid); known {
+				return xmlcodec.RemoteRef(rid), nil
+			}
+			return xmlcodec.Value{}, fmt.Errorf("core: checkpoint: dangling @%d", rid)
+		}
+		switch ro.Class().Special {
+		case heap.SpecialSCProxy:
+			return xmlcodec.RemoteRef(proxyUltimate(ro)), nil
+		case heap.SpecialObjProxy:
+			return xmlcodec.RemoteRefOf(ObjProxyRemote(ro), objProxyClassMarker+ObjProxyClass(ro)), nil
+		case heap.SpecialNone:
+			return xmlcodec.RemoteRef(rid), nil
+		default:
+			return xmlcodec.Value{}, fmt.Errorf("core: checkpoint: %s reference @%d", ro.Class().Special, rid)
+		}
+	}
+	doc, err := xmlcodec.EncodeObjects(fmt.Sprintf("ckpt-cluster-%d", cid), objs, encodeRef)
+	if err != nil {
+		return nil, err
+	}
+	return doc.Encode()
+}
+
+// LoadCheckpoint restores a previously saved state into this runtime. The
+// runtime must be fresh — classes registered, but no clusters, objects or
+// roots — and attached to the same store provider namespace, so swapped
+// clusters can be faulted back from their devices.
+func (rt *Runtime) LoadCheckpoint(r io.Reader) error {
+	if len(rt.mgr.Clusters()) != 1 || rt.h.Len() != 0 || len(rt.h.RootNames()) != 0 {
+		return ErrNotFresh
+	}
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return err
+	}
+	var doc ckptDoc
+	if err := xml.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadCheckpoint, err)
+	}
+	if doc.Version != checkpointVersion {
+		return fmt.Errorf("%w: version %d", ErrBadCheckpoint, doc.Version)
+	}
+	rt.name = doc.Device
+	rt.keyseq = doc.KeySeq
+	// Restoration is not user mutation.
+	defer rt.h.SuspendWriteObserver()()
+	rt.h.EnsureIDAbove(heap.ObjID(doc.MaxID))
+
+	// Pass 1: recreate cluster records with their original ids.
+	rt.mgr.mu.Lock()
+	for _, ck := range doc.Plain {
+		cid := ClusterID(ck.ID)
+		if _, dup := rt.mgr.clusters[cid]; dup {
+			rt.mgr.mu.Unlock()
+			return fmt.Errorf("%w: duplicate cluster %d", ErrBadCheckpoint, cid)
+		}
+		cs := &clusterState{id: cid, objects: make(map[heap.ObjID]bool, len(ck.Members))}
+		for _, m := range ck.Members {
+			oid := heap.ObjID(m.ID)
+			cs.objects[oid] = true
+			rt.mgr.objects[oid] = objInfo{cluster: cid, class: m.Class}
+		}
+		if ck.Swapped {
+			cs.swapped = true
+			cs.device, cs.key = ck.Device, ck.Key
+			cs.payloadBytes, cs.bytesAtSwap = ck.Payload, ck.Bytes
+		}
+		rt.mgr.clusters[cid] = cs
+		if cid > rt.mgr.nextCluster {
+			rt.mgr.nextCluster = cid
+		}
+	}
+	rt.mgr.mu.Unlock()
+
+	// Pass 2: install resident clusters under original identities.
+	decodeRef := func(v xmlcodec.Value) (heap.Value, error) {
+		if v.RefClass != xmlcodec.RefRemote {
+			return heap.Nil(), fmt.Errorf("%w: unexpected reference class", ErrBadCheckpoint)
+		}
+		if strings.HasPrefix(v.Class, objProxyClassMarker) {
+			pid, err := rt.ObjProxyFor(v.Target, strings.TrimPrefix(v.Class, objProxyClassMarker))
+			if err != nil {
+				return heap.Nil(), err
+			}
+			return heap.Ref(pid), nil
+		}
+		// Cross-cluster identity: temporarily direct; re-mediated below.
+		return heap.Ref(v.Target), nil
+	}
+	for _, ck := range doc.Plain {
+		if ck.Swapped {
+			continue
+		}
+		inner, err := xmlcodec.Decode([]byte(ck.Doc))
+		if err != nil {
+			return fmt.Errorf("%w: cluster %d: %v", ErrBadCheckpoint, ck.ID, err)
+		}
+		if _, err := inner.Install(rt.h, rt.reg, decodeRef); err != nil {
+			return fmt.Errorf("core: restore cluster %d: %w", ck.ID, err)
+		}
+	}
+
+	// Pass 3: rebuild replacement-objects and outbound proxies for swapped
+	// clusters (every cluster record exists by now, so proxies to other
+	// swapped clusters correctly target their replacements once created —
+	// order outbound creation after all replacements exist).
+	for _, ck := range doc.Plain {
+		if !ck.Swapped {
+			continue
+		}
+		repl, err := rt.allocMiddleware(rt.replacementClass)
+		if err != nil {
+			return fmt.Errorf("core: restore replacement for cluster %d: %w", ck.ID, err)
+		}
+		if err := repl.SetFieldByName(fldClust, heap.Int(int64(ck.ID))); err != nil {
+			return err
+		}
+		if err := repl.SetFieldByName(fldKey, heap.Str(ck.Key)); err != nil {
+			return err
+		}
+		if err := repl.SetFieldByName(fldStore, heap.Str(ck.Device)); err != nil {
+			return err
+		}
+		rt.mgr.mu.Lock()
+		rt.mgr.clusters[ClusterID(ck.ID)].replacement = repl.ID()
+		rt.mgr.mu.Unlock()
+	}
+	for _, ck := range doc.Plain {
+		if !ck.Swapped {
+			continue
+		}
+		slots := make([]heap.Value, len(ck.Out))
+		for _, ob := range ck.Out {
+			if ob.Slot < 0 || ob.Slot >= len(slots) {
+				return fmt.Errorf("%w: cluster %d outbound slot %d", ErrBadCheckpoint, ck.ID, ob.Slot)
+			}
+			target := heap.ObjID(ob.Target)
+			class, known := rt.mgr.classOf(target)
+			if !known {
+				return fmt.Errorf("%w: cluster %d outbound target @%d unknown", ErrBadCheckpoint, ck.ID, target)
+			}
+			pid, err := rt.newProxy(ClusterID(ck.ID), target, class, proxyModeNormal)
+			if err != nil {
+				return fmt.Errorf("core: restore outbound proxy: %w", err)
+			}
+			slots[ob.Slot] = heap.Ref(pid)
+		}
+		rt.mgr.mu.Lock()
+		replID := rt.mgr.clusters[ClusterID(ck.ID)].replacement
+		rt.mgr.mu.Unlock()
+		repl, err := rt.h.Get(replID)
+		if err != nil {
+			return err
+		}
+		if err := repl.SetFieldByName(fldOut, heap.List(slots...)); err != nil {
+			return err
+		}
+	}
+
+	// Pass 4: re-mediate resident clusters (cross-cluster refs installed
+	// directly in pass 2 gain their proxies; proxies to swapped clusters
+	// target the fresh replacements).
+	for _, ck := range doc.Plain {
+		if ck.Swapped {
+			continue
+		}
+		if err := rt.remediateCluster(ClusterID(ck.ID)); err != nil {
+			return err
+		}
+	}
+
+	// Pass 5: roots (mediated by SetRoot).
+	for _, cr := range doc.Roots {
+		switch {
+		case cr.Remote != 0:
+			pid, err := rt.ObjProxyFor(heap.ObjID(cr.Remote), cr.Class)
+			if err != nil {
+				return err
+			}
+			if err := rt.SetRoot(cr.Name, heap.Ref(pid)); err != nil {
+				return err
+			}
+		case cr.Target == 0:
+			rt.h.SetRoot(cr.Name, heap.Nil())
+		default:
+			if err := rt.SetRoot(cr.Name, heap.Ref(heap.ObjID(cr.Target))); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"objectswap/internal/heap"
+	"objectswap/internal/store"
+)
+
+// restoreTarget builds a fresh runtime sharing the checkpointed device's
+// store registry (the neighborhood survives the reboot).
+func restoreTarget(t testing.TB, devices *store.Registry) *Runtime {
+	t.Helper()
+	rt := NewRuntime(heap.New(0), heap.NewRegistry(), WithStores(devices))
+	rt.MustRegisterClass(newNodeClass())
+	return rt
+}
+
+func TestCheckpointRoundTripResident(t *testing.T) {
+	f := newFixture(t, 0)
+	_, _ = f.buildList(t, 30, 10, 16)
+	want := f.snapshotTags(t)
+
+	var buf bytes.Buffer
+	if err := f.rt.SaveCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	rt2 := restoreTarget(t, f.reg)
+	if err := rt2.LoadCheckpoint(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if errs := rt2.Manager().CheckInvariants(); len(errs) > 0 {
+		for _, e := range errs {
+			t.Error(e)
+		}
+		t.Fatal("invariants broken after restore")
+	}
+	f2 := &fixture{rt: rt2, reg: f.reg, mem: f.mem, node: f.node}
+	got := f2.snapshotTags(t)
+	if len(got) != len(want) {
+		t.Fatalf("restored list length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("tag[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCheckpointWithSwappedClusters(t *testing.T) {
+	// The crown case: checkpoint while clusters live on a nearby device,
+	// reboot, restore, and fault them back from where they were left.
+	f := newFixture(t, 0)
+	_, clusters := f.buildList(t, 40, 10, 16)
+	want := f.snapshotTags(t)
+	if _, err := f.rt.SwapOut(clusters[1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.rt.SwapOut(clusters[3]); err != nil {
+		t.Fatal(err)
+	}
+	f.rt.Collect()
+
+	var buf bytes.Buffer
+	if err := f.rt.SaveCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Reboot": a brand new runtime over the same neighborhood.
+	rt2 := restoreTarget(t, f.reg)
+	if err := rt2.LoadCheckpoint(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if rt2.Name() != f.rt.Name() {
+		t.Fatalf("device name not restored: %q vs %q", rt2.Name(), f.rt.Name())
+	}
+	if !rt2.Manager().IsSwapped(clusters[1]) || !rt2.Manager().IsSwapped(clusters[3]) {
+		t.Fatal("swapped state lost in restore")
+	}
+	if errs := rt2.Manager().CheckInvariants(); len(errs) > 0 {
+		for _, e := range errs {
+			t.Error(e)
+		}
+		t.Fatal("invariants broken after restore")
+	}
+
+	// Traversal faults both clusters back from the device.
+	f2 := &fixture{rt: rt2, reg: f.reg, mem: f.mem, node: f.node}
+	got := f2.snapshotTags(t)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("tag[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if rt2.Manager().IsSwapped(clusters[1]) {
+		t.Fatal("cluster not faulted in after restore traversal")
+	}
+	// Post-restore swapping works and generates non-colliding keys.
+	ev, err := rt2.SwapOut(clusters[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Key == "" {
+		t.Fatal("empty key")
+	}
+	if _, err := rt2.SwapIn(clusters[2]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckpointPreservesObjProxies(t *testing.T) {
+	// Un-replicated edges (object-fault placeholders) survive a reboot.
+	f := newFixture(t, 0)
+	c := f.rt.Manager().NewCluster()
+	o, _ := f.rt.NewObject(f.node, c)
+	pid, err := f.rt.ObjProxyFor(4242, "Node")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.rt.SetFieldValue(o.RefTo(), "next", heap.Ref(pid)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.rt.SetRoot("head", o.RefTo()); err != nil {
+		t.Fatal(err)
+	}
+	rootProxy, err := f.rt.ObjProxyFor(555, "Node")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.rt.SetRoot("pending", heap.Ref(rootProxy)); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := f.rt.SaveCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rt2 := restoreTarget(t, f.reg)
+	if err := rt2.LoadCheckpoint(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if rt2.Manager().ObjProxyCount() != 2 {
+		t.Fatalf("objproxies after restore = %d, want 2", rt2.Manager().ObjProxyCount())
+	}
+	ro, err := rt2.Heap().Get(heap.ObjID(o.ID()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nv, _ := ro.FieldByName("next")
+	np, err := rt2.Heap().Get(nv.MustRef())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ObjProxyRemote(np) != 4242 || ObjProxyClass(np) != "Node" {
+		t.Fatalf("restored placeholder = remote %d class %q", ObjProxyRemote(np), ObjProxyClass(np))
+	}
+}
+
+func TestCheckpointValidation(t *testing.T) {
+	f := newFixture(t, 0)
+	f.buildList(t, 10, 10, 8)
+
+	// Restore into a non-fresh runtime is refused.
+	var buf bytes.Buffer
+	if err := f.rt.SaveCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.rt.LoadCheckpoint(bytes.NewReader(buf.Bytes())); !errors.Is(err, ErrNotFresh) {
+		t.Fatalf("restore into used runtime: %v", err)
+	}
+	// Garbage input.
+	rt2 := restoreTarget(t, f.reg)
+	if err := rt2.LoadCheckpoint(bytes.NewReader([]byte("}{"))); !errors.Is(err, ErrBadCheckpoint) {
+		t.Fatalf("garbage checkpoint: %v", err)
+	}
+	// Wrong version.
+	rt3 := restoreTarget(t, f.reg)
+	bad := `<checkpoint version="9" device="d" keyseq="0" maxid="0"></checkpoint>`
+	if err := rt3.LoadCheckpoint(bytes.NewReader([]byte(bad))); !errors.Is(err, ErrBadCheckpoint) {
+		t.Fatalf("wrong version: %v", err)
+	}
+}

@@ -1,0 +1,356 @@
+// Package core implements the paper's primary contribution: transparent
+// Object-Swapping over swap-clusters.
+//
+// The object graph of a process is partitioned into swap-clusters — groups of
+// objects treated as a single macro-object for swapping. Every reference that
+// links two different swap-clusters is permanently mediated by a
+// swap-cluster-proxy; references inside one swap-cluster are direct, so
+// applications run at full speed on intra-cluster work. Proxies intercept
+// every reference passed across a boundary (arguments and returns) and
+// create, reuse, patch or dismantle swap-cluster-proxies so the invariant is
+// maintained as the application navigates and mutates the graph.
+//
+// When memory must be freed, a swap-cluster is detached: a replacement-object
+// (an array of references to the cluster's outbound proxies) is created,
+// every inbound proxy is patched to target it, the cluster's objects are
+// serialized to XML and shipped to a nearby device, and the local collector
+// reclaims their memory. Touching any inbound proxy afterwards faults the
+// whole cluster back in: the XML is fetched, objects are reinstalled under
+// their original identities, inbound proxies are re-patched, and the
+// replacement-object becomes garbage. When a replacement-object itself
+// becomes unreachable, the whole swapped cluster is dead and the storing
+// device is told to drop the XML — the paper's local-only GC integration.
+//
+// The Runtime type wires this machinery into the managed heap's Invoker
+// indirection; the Manager type is the paper's SwappingManager.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"objectswap/internal/event"
+	"objectswap/internal/heap"
+	"objectswap/internal/store"
+)
+
+// ClusterID names a swap-cluster within one Runtime. RootCluster (0) holds
+// global variables and static state (the paper's swap-cluster-0); it is never
+// swapped out.
+type ClusterID uint32
+
+// RootCluster is swap-cluster-0.
+const RootCluster ClusterID = 0
+
+// Hidden field names of middleware classes. The "$" prefix keeps them out of
+// application field namespaces.
+const (
+	fldTarget = "$target"   // proxy: ref to the target object or its replacement
+	fldObj    = "$obj"      // proxy: ultimate target ObjID (stable across swaps)
+	fldSrc    = "$src"      // proxy: source cluster id
+	fldMode   = "$mode"     // proxy: 0 = normal, 1 = assign-optimized
+	fldClust  = "$cluster"  // replacement: swapped cluster id
+	fldOut    = "$outbound" // replacement: list of refs to outbound proxies
+	fldKey    = "$key"      // replacement: storage key
+	fldStore  = "$store"    // replacement: device name
+)
+
+const (
+	proxyModeNormal int64 = 0
+	proxyModeAssign int64 = 1
+)
+
+// proxyClassPrefix prefixes synthesized swap-cluster-proxy class names
+// (obicomp generates one proxy class per application class).
+const proxyClassPrefix = "$SwapProxy:"
+
+// replacementClassName is the class of replacement-objects.
+const replacementClassName = "$Replacement"
+
+// Errors reported by the swapping runtime.
+var (
+	// ErrRootCluster reports an attempt to swap out swap-cluster-0.
+	ErrRootCluster = errors.New("core: swap-cluster-0 cannot be swapped")
+	// ErrClusterSwapped reports an operation requiring a resident cluster.
+	ErrClusterSwapped = errors.New("core: cluster is swapped out")
+	// ErrClusterLoaded reports a swap-in of a cluster that is resident.
+	ErrClusterLoaded = errors.New("core: cluster is not swapped out")
+	// ErrUnknownCluster reports an undeclared cluster id.
+	ErrUnknownCluster = errors.New("core: unknown cluster")
+	// ErrClusterEmpty reports a swap-out of a cluster with no members (its
+	// objects may all have been collected).
+	ErrClusterEmpty = errors.New("core: cluster is empty")
+	// ErrNoStores reports swapping without a configured store provider.
+	ErrNoStores = errors.New("core: no store provider configured")
+	// ErrNotProxy reports an Assign call on something that is not a
+	// swap-cluster-proxy reference.
+	ErrNotProxy = errors.New("core: not a swap-cluster-proxy reference")
+)
+
+// StoreProvider selects and resolves nearby swapping devices. It is
+// implemented by store.Registry.
+type StoreProvider interface {
+	// Pick selects a device with at least need free bytes.
+	Pick(need int64) (string, store.Store, error)
+	// Lookup resolves a previously picked device by name.
+	Lookup(name string) (store.Store, error)
+}
+
+var _ StoreProvider = (*store.Registry)(nil)
+
+// FaultHandler resolves an incremental-replication object fault: it must
+// replicate the cluster containing the proxy's target and return a reference
+// to the now-resident object. Implemented by the replication package.
+type FaultHandler interface {
+	HandleFault(rt *Runtime, proxy *heap.Object) (heap.Value, error)
+}
+
+// SwapEvent is the payload of swap.out / swap.in / swap.drop events.
+type SwapEvent struct {
+	Cluster ClusterID
+	Device  string
+	Key     string
+	Objects int
+	Bytes   int // XML payload size
+}
+
+// Runtime is the swapping-aware Invoker: the OBIWAN middleware instance
+// running on one constrained device.
+type Runtime struct {
+	h   *heap.Heap
+	reg *heap.Registry
+	bus *event.Bus
+
+	mgr    *Manager
+	stores StoreProvider
+
+	// evictor is invoked on allocation failure to free memory (the policy
+	// engine installs a swap-out action here).
+	evictor func(need int64) error
+
+	faultHandler FaultHandler
+
+	// stack holds the receivers, arguments and freshly created middleware
+	// objects of in-flight invocations; it stands in for thread stacks as GC
+	// roots.
+	stack []heap.ObjID
+	depth int
+
+	keepOnReload bool
+	name         string
+	keyseq       uint64
+	evicting     bool
+
+	replacementClass *heap.Class
+	objProxyClass    *heap.Class
+	proxyClasses     map[string]*heap.Class
+}
+
+var _ heap.Invoker = (*Runtime)(nil)
+
+// Option configures a Runtime.
+type Option func(*Runtime)
+
+// WithBus publishes middleware events (swap.out, swap.in, swap.drop) on bus.
+func WithBus(bus *event.Bus) Option {
+	return func(rt *Runtime) { rt.bus = bus }
+}
+
+// WithStores attaches the nearby-device provider used for swapping.
+func WithStores(p StoreProvider) Option {
+	return func(rt *Runtime) { rt.stores = p }
+}
+
+// WithKeepOnReload keeps the XML copy on the device after a successful
+// swap-in instead of dropping it (useful for versioning/reconciliation
+// scenarios the paper mentions).
+func WithKeepOnReload() Option {
+	return func(rt *Runtime) { rt.keepOnReload = true }
+}
+
+// WithName sets the device's name, which prefixes every storage key it
+// writes. The paper requires each stored set "be given a unique ID";
+// when several devices share a neighborhood store, the name keeps their
+// shipments apart. Defaults to a process-unique "devN".
+func WithName(name string) Option {
+	return func(rt *Runtime) {
+		if name != "" {
+			rt.name = name
+		}
+	}
+}
+
+// runtimeSeq hands out process-unique default device names.
+var runtimeSeq uint64
+
+// NewRuntime builds a swapping runtime over a device heap and class registry.
+// On capacity-limited heaps without a configured reserve, a default
+// middleware headroom is installed so proxies and replacement-objects can be
+// allocated under full memory pressure (see heap.SetReserve).
+func NewRuntime(h *heap.Heap, reg *heap.Registry, opts ...Option) *Runtime {
+	rt := &Runtime{
+		h:            h,
+		reg:          reg,
+		proxyClasses: make(map[string]*heap.Class),
+		name:         fmt.Sprintf("dev%d", atomic.AddUint64(&runtimeSeq, 1)),
+	}
+	rt.mgr = newManager(rt)
+	rt.replacementClass = buildReplacementClass()
+	rt.objProxyClass = buildObjProxyClass()
+	// The replacement class is middleware-internal; it is not registered in
+	// the application registry (swapped XML never mentions it).
+	for _, opt := range opts {
+		opt(rt)
+	}
+	if cap := h.Capacity(); cap > 0 && h.Reserve() == 0 {
+		reserve := cap / 16
+		if reserve < 512 {
+			reserve = 512
+		}
+		h.SetReserve(reserve)
+	}
+	return rt
+}
+
+// Heap returns the device heap.
+func (rt *Runtime) Heap() *heap.Heap { return rt.h }
+
+// Registry returns the class registry.
+func (rt *Runtime) Registry() *heap.Registry { return rt.reg }
+
+// Manager returns the SwappingManager.
+func (rt *Runtime) Manager() *Manager { return rt.mgr }
+
+// Bus returns the event bus, which may be nil.
+func (rt *Runtime) Bus() *event.Bus { return rt.bus }
+
+// SetEvictor installs the allocation-pressure hook: when an allocation fails
+// with ErrOutOfMemory, the runtime calls evict(need) once and retries.
+func (rt *Runtime) SetEvictor(evict func(need int64) error) { rt.evictor = evict }
+
+// SetFaultHandler installs the incremental-replication fault handler.
+func (rt *Runtime) SetFaultHandler(fh FaultHandler) { rt.faultHandler = fh }
+
+// emit publishes an event when a bus is attached.
+func (rt *Runtime) emit(topic event.Topic, payload any) {
+	if rt.bus != nil {
+		rt.bus.Emit(topic, payload)
+	}
+}
+
+// RegisterClass registers an application class and synthesizes its
+// swap-cluster-proxy class (the obicomp step). Middleware classes must not be
+// registered this way.
+func (rt *Runtime) RegisterClass(c *heap.Class) error {
+	if c == nil {
+		return errors.New("core: RegisterClass: nil class")
+	}
+	if c.Special != heap.SpecialNone {
+		return fmt.Errorf("core: RegisterClass: %s is a middleware class", c.Name)
+	}
+	if err := rt.reg.Register(c); err != nil {
+		return err
+	}
+	rt.proxyClasses[c.Name] = buildProxyClass(c)
+	return nil
+}
+
+// MustRegisterClass is RegisterClass that panics on error.
+func (rt *Runtime) MustRegisterClass(c *heap.Class) *heap.Class {
+	if err := rt.RegisterClass(c); err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// allocApp allocates an application object, invoking the evictor once on
+// memory pressure. Evictions do not nest: an allocation failing while an
+// eviction is already in progress reports ErrOutOfMemory directly rather
+// than recursing.
+func (rt *Runtime) allocApp(c *heap.Class) (*heap.Object, error) {
+	return rt.allocWith(rt.h.New, c)
+}
+
+// allocMiddleware allocates a middleware object (proxy, replacement-object)
+// with access to the heap's reserve headroom.
+func (rt *Runtime) allocMiddleware(c *heap.Class) (*heap.Object, error) {
+	return rt.allocWith(rt.h.NewPrivileged, c)
+}
+
+func (rt *Runtime) allocWith(allocFn func(*heap.Class) (*heap.Object, error), c *heap.Class) (*heap.Object, error) {
+	o, err := allocFn(c)
+	if err == nil || !errors.Is(err, heap.ErrOutOfMemory) || rt.evictor == nil || rt.evicting {
+		return o, err
+	}
+	need := int64(64 + 16*c.NumFields())
+	if everr := rt.runEvictor(need); everr != nil {
+		return nil, fmt.Errorf("%w (evictor: %v)", err, everr)
+	}
+	return allocFn(c)
+}
+
+// runEvictor invokes the evictor hook under the re-entrancy guard.
+func (rt *Runtime) runEvictor(need int64) error {
+	if rt.evicting {
+		return errors.New("core: eviction already in progress")
+	}
+	rt.evicting = true
+	defer func() { rt.evicting = false }()
+	return rt.evictor(need)
+}
+
+// NewObject allocates an application object and assigns it to a swap-cluster.
+// The cluster must have been created with Manager.NewCluster (or be
+// RootCluster).
+func (rt *Runtime) NewObject(c *heap.Class, cluster ClusterID) (*heap.Object, error) {
+	if c.Special != heap.SpecialNone {
+		return nil, fmt.Errorf("core: NewObject: %s is a middleware class", c.Name)
+	}
+	if _, ok := rt.proxyClasses[c.Name]; !ok {
+		return nil, fmt.Errorf("core: NewObject: class %s not registered with RegisterClass", c.Name)
+	}
+	// Allocating into a swapped-out cluster faults it back in first: the new
+	// object joins its cluster-mates wherever they are.
+	if rt.mgr.IsSwapped(cluster) {
+		if _, err := rt.SwapIn(cluster); err != nil {
+			return nil, fmt.Errorf("core: NewObject: reload cluster %d: %w", cluster, err)
+		}
+	}
+	o, err := rt.allocApp(c)
+	if err != nil {
+		return nil, err
+	}
+	if err := rt.mgr.assign(o.ID(), cluster, c.Name); err != nil {
+		_ = rt.h.Remove(o.ID())
+		return nil, err
+	}
+	return o, nil
+}
+
+// SetRoot assigns a global variable (swap-cluster-0 state). The value is
+// translated into cluster-0 perspective: references to objects of other
+// clusters are wrapped in swap-cluster-proxies.
+func (rt *Runtime) SetRoot(name string, v heap.Value) error {
+	tv, err := rt.translate(v, RootCluster)
+	if err != nil {
+		return err
+	}
+	rt.h.SetRoot(name, tv)
+	return nil
+}
+
+// Root reads a global variable as stored (possibly a proxy reference).
+func (rt *Runtime) Root(name string) (heap.Value, bool) {
+	return rt.h.Root(name)
+}
+
+// Name returns the device's key-namespace name.
+func (rt *Runtime) Name() string { return rt.name }
+
+// nextKey builds a storage key for a swap-out, unique across the devices
+// sharing a store (device name + cluster + generation).
+func (rt *Runtime) nextKey(cluster ClusterID) string {
+	rt.keyseq++
+	return fmt.Sprintf("%s-swapcluster-%d-gen%d", rt.name, cluster, rt.keyseq)
+}

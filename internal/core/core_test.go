@@ -1,0 +1,501 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"objectswap/internal/heap"
+	"objectswap/internal/store"
+)
+
+// newNodeClass builds the list-node class used throughout the core tests. Its
+// methods exercise every interception path: plain scalar passing ("walk"),
+// reference returns ("next", "fetch"), and reference arguments ("setNext").
+func newNodeClass() *heap.Class {
+	c := heap.NewClass("Node",
+		heap.FieldDef{Name: "payload", Kind: heap.KindBytes},
+		heap.FieldDef{Name: "next", Kind: heap.KindRef},
+		heap.FieldDef{Name: "tag", Kind: heap.KindInt},
+	)
+	c.AddMethod("next", func(call *heap.Call) ([]heap.Value, error) {
+		v, err := call.Self.FieldByName("next")
+		if err != nil {
+			return nil, err
+		}
+		return []heap.Value{v}, nil
+	})
+	c.AddMethod("tag", func(call *heap.Call) ([]heap.Value, error) {
+		v, err := call.Self.FieldByName("tag")
+		if err != nil {
+			return nil, err
+		}
+		return []heap.Value{v}, nil
+	})
+	// walk: Test A1's recursion — pass an int down the whole list.
+	c.AddMethod("walk", func(call *heap.Call) ([]heap.Value, error) {
+		depth, err := call.Arg(0).Int()
+		if err != nil {
+			return nil, err
+		}
+		next, err := call.Self.FieldByName("next")
+		if err != nil {
+			return nil, err
+		}
+		if next.IsNil() {
+			return []heap.Value{heap.Int(depth)}, nil
+		}
+		return call.RT.Invoke(next, "walk", heap.Int(depth+1))
+	})
+	// fetch: Test A2's inner recursion — return a reference k positions
+	// ahead (or the last node).
+	c.AddMethod("fetch", func(call *heap.Call) ([]heap.Value, error) {
+		k, err := call.Arg(0).Int()
+		if err != nil {
+			return nil, err
+		}
+		next, err := call.Self.FieldByName("next")
+		if err != nil {
+			return nil, err
+		}
+		if k <= 0 || next.IsNil() {
+			return []heap.Value{call.Self.RefTo()}, nil
+		}
+		return call.RT.Invoke(next, "fetch", heap.Int(k-1))
+	})
+	// setNext: reference-argument interception.
+	c.AddMethod("setNext", func(call *heap.Call) ([]heap.Value, error) {
+		if err := call.RT.SetFieldValue(call.Self.RefTo(), "next", call.Arg(0)); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	})
+	return c
+}
+
+// fixture bundles a runtime wired to an in-memory device registry.
+type fixture struct {
+	rt   *Runtime
+	reg  *store.Registry
+	mem  *store.Mem
+	node *heap.Class
+}
+
+func newFixture(t testing.TB, capacity int64) *fixture {
+	t.Helper()
+	h := heap.New(capacity)
+	classes := heap.NewRegistry()
+	devices := store.NewRegistry(store.SelectMostFree)
+	mem := store.NewMem(0)
+	if err := devices.Add("pda-neighbor", mem); err != nil {
+		t.Fatal(err)
+	}
+	rt := NewRuntime(h, classes, WithStores(devices))
+	f := &fixture{rt: rt, reg: devices, mem: mem, node: newNodeClass()}
+	rt.MustRegisterClass(f.node)
+	return f
+}
+
+// buildList creates n chained nodes, perCluster per swap-cluster, each with a
+// payload of payloadLen bytes, and installs the head as root "head". It
+// returns the node ids in list order and the cluster ids used.
+func (f *fixture) buildList(t testing.TB, n, perCluster, payloadLen int) ([]heap.ObjID, []ClusterID) {
+	t.Helper()
+	var clusters []ClusterID
+	ids := make([]heap.ObjID, n)
+	var objs []*heap.Object
+	for i := 0; i < n; i++ {
+		if i%perCluster == 0 {
+			clusters = append(clusters, f.rt.Manager().NewCluster())
+		}
+		o, err := f.rt.NewObject(f.node, clusters[len(clusters)-1])
+		if err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+		payload := make([]byte, payloadLen)
+		for j := range payload {
+			payload[j] = byte(i)
+		}
+		o.MustSet("payload", heap.Bytes(payload)).MustSet("tag", heap.Int(int64(i)))
+		ids[i] = o.ID()
+		objs = append(objs, o)
+	}
+	for i := 0; i < n-1; i++ {
+		if err := f.rt.SetFieldValue(objs[i].RefTo(), "next", objs[i+1].RefTo()); err != nil {
+			t.Fatalf("link %d: %v", i, err)
+		}
+	}
+	if err := f.rt.SetRoot("head", objs[0].RefTo()); err != nil {
+		t.Fatal(err)
+	}
+	return ids, clusters
+}
+
+func (f *fixture) head(t testing.TB) heap.Value {
+	t.Helper()
+	v, ok := f.rt.Root("head")
+	if !ok {
+		t.Fatal("missing head root")
+	}
+	return v
+}
+
+func TestBoundaryEdgesGetProxies(t *testing.T) {
+	f := newFixture(t, 0)
+	_, clusters := f.buildList(t, 30, 10, 8)
+	if len(clusters) != 3 {
+		t.Fatalf("clusters = %d", len(clusters))
+	}
+	// Two boundary edges inside the list, plus the root → cluster-1 edge.
+	if got := f.rt.Manager().ProxyCount(); got != 3 {
+		t.Fatalf("proxy count = %d, want 3", got)
+	}
+	if !f.rt.IsProxyRef(f.head(t)) {
+		t.Error("root should hold a proxy (cluster-0 → cluster-1 edge)")
+	}
+}
+
+func TestIntraClusterEdgesAreDirect(t *testing.T) {
+	f := newFixture(t, 0)
+	ids, _ := f.buildList(t, 10, 10, 8)
+	// Single cluster: no boundary edges except the root.
+	if got := f.rt.Manager().ProxyCount(); got != 1 {
+		t.Fatalf("proxy count = %d, want 1 (root only)", got)
+	}
+	o, _ := f.rt.Heap().Get(ids[0])
+	next, _ := o.FieldByName("next")
+	if next.MustRef() != ids[1] {
+		t.Fatalf("intra-cluster edge not direct: %v", next)
+	}
+}
+
+func TestWalkMatchesDirectRuntime(t *testing.T) {
+	for _, per := range []int{3, 7, 20, 100} {
+		per := per
+		t.Run(fmt.Sprintf("per=%d", per), func(t *testing.T) {
+			f := newFixture(t, 0)
+			f.buildList(t, 100, per, 8)
+			out, err := f.rt.Invoke(f.head(t), "walk", heap.Int(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out[0].MustInt() != 100 {
+				t.Fatalf("walk depth = %v, want 100", out[0])
+			}
+		})
+	}
+}
+
+func TestProxyReuseAcrossSamePair(t *testing.T) {
+	f := newFixture(t, 0)
+	ids, clusters := f.buildList(t, 20, 10, 8)
+	before := f.rt.Manager().ProxyCount()
+
+	// Add a second reference from cluster 1 to the same head of cluster 2:
+	// must reuse the existing boundary proxy.
+	src, _ := f.rt.Heap().Get(ids[3])
+	if err := f.rt.SetFieldValue(src.RefTo(), "next", heap.Ref(ids[10])); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.rt.Manager().ProxyCount(); got != before {
+		t.Fatalf("proxy count = %d, want %d (reuse)", got, before)
+	}
+	// Confirm both fields hold the same proxy object.
+	a, _ := f.rt.Heap().Get(ids[9])
+	b, _ := f.rt.Heap().Get(ids[3])
+	av, _ := a.FieldByName("next")
+	bv, _ := b.FieldByName("next")
+	if av.MustRef() != bv.MustRef() {
+		t.Fatalf("distinct proxies for same (src,target): %v vs %v", av, bv)
+	}
+	_ = clusters
+}
+
+func TestDismantleIntoOwnCluster(t *testing.T) {
+	f := newFixture(t, 0)
+	ids, _ := f.buildList(t, 20, 10, 8)
+	// Node 5 (cluster 1) gets a reference to node 2 (cluster 1) that arrives
+	// as a proxy-free direct ref even if expressed via the head proxy chain.
+	out, err := f.rt.Invoke(f.head(t), "fetch", heap.Int(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Result returned to cluster 0 — head's proxy source — so fetch(2)
+	// (a cluster-1 object) must be mediated for cluster 0.
+	if !f.rt.IsProxyRef(out[0]) {
+		t.Fatalf("cross-cluster return not proxied: %v", out[0])
+	}
+	eq, err := f.rt.RefEqual(out[0], heap.Ref(ids[2]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Fatal("fetch(2) did not reach node 2")
+	}
+
+	// Now store that (cluster-0-mediated) value into a cluster-1 object's
+	// field: interception must dismantle it back to a direct reference.
+	n5, _ := f.rt.Heap().Get(ids[5])
+	if err := f.rt.SetFieldValue(n5.RefTo(), "next", out[0]); err != nil {
+		t.Fatal(err)
+	}
+	nv, _ := n5.FieldByName("next")
+	if nv.MustRef() != ids[2] {
+		t.Fatalf("reference into own cluster not dismantled: %v", nv)
+	}
+}
+
+func TestCrossClusterReturnCreatesAndReusesProxy(t *testing.T) {
+	f := newFixture(t, 0)
+	_, _ = f.buildList(t, 40, 10, 8)
+	before := f.rt.Manager().ProxyCount()
+	// fetch(15) from the head reaches node 15 in cluster 2. The returned
+	// reference crosses two boundaries on its way back — the cluster-2→1
+	// proxy in the middle of the list and the cluster-1→0 head proxy — and
+	// each crossing mediates it with a fresh proxy (exactly the behaviour
+	// the paper describes for Test A2's inner recursions).
+	out1, err := f.rt.Invoke(f.head(t), "fetch", heap.Int(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	after1 := f.rt.Manager().ProxyCount()
+	if after1 != before+2 {
+		t.Fatalf("proxies after first fetch = %d, want %d", after1, before+2)
+	}
+	// The same fetch again must reuse the registered proxy.
+	out2, err := f.rt.Invoke(f.head(t), "fetch", heap.Int(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.rt.Manager().ProxyCount(); got != after1 {
+		t.Fatalf("proxies after second fetch = %d, want %d (reuse)", got, after1)
+	}
+	if out1[0].MustRef() != out2[0].MustRef() {
+		t.Fatal("same (src,target) pair produced different proxies")
+	}
+}
+
+func TestFieldAccessThroughProxy(t *testing.T) {
+	f := newFixture(t, 0)
+	ids, _ := f.buildList(t, 20, 10, 8)
+	// head is a proxy (cluster 0 → cluster 1).
+	tag, err := f.rt.Field(f.head(t), "tag")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tag.MustInt() != 0 {
+		t.Fatalf("tag via proxy = %v", tag)
+	}
+	// Reference-valued field read through a proxy is mediated for cluster 0.
+	next, err := f.rt.Field(f.head(t), "next")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.IsNil() {
+		t.Fatal("next is nil")
+	}
+	// node 1 is in cluster 1; the reader is cluster 0 → proxy.
+	if !f.rt.IsProxyRef(next) {
+		t.Fatalf("field read not mediated: %v", next)
+	}
+	eq, _ := f.rt.RefEqual(next, heap.Ref(ids[1]))
+	if !eq {
+		t.Fatal("field read reached wrong node")
+	}
+	// Writing through a proxy translates into the target's cluster.
+	if err := f.rt.SetFieldValue(f.head(t), "tag", heap.Int(99)); err != nil {
+		t.Fatal(err)
+	}
+	o, _ := f.rt.Heap().Get(ids[0])
+	tv, _ := o.FieldByName("tag")
+	if tv.MustInt() != 99 {
+		t.Fatalf("write through proxy lost: %v", tv)
+	}
+}
+
+func TestRefEqualIdentity(t *testing.T) {
+	f := newFixture(t, 0)
+	ids, clusters := f.buildList(t, 30, 10, 8)
+	// Build two distinct proxies to node 10 from two different clusters.
+	p1, err := f.rt.proxyFor(RootCluster, ids[10])
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := f.rt.proxyFor(ClusterID(clusters[2]), ids[10])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 == p2 {
+		t.Fatal("test needs two distinct proxies")
+	}
+	eq, err := f.rt.RefEqual(heap.Ref(p1), heap.Ref(p2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Fatal("two proxies to the same object must compare equal")
+	}
+	eq, _ = f.rt.RefEqual(heap.Ref(p1), heap.Ref(ids[11]))
+	if eq {
+		t.Fatal("proxy to node 10 equals node 11")
+	}
+	eq, _ = f.rt.RefEqual(heap.Ref(p1), heap.Ref(ids[10]))
+	if !eq {
+		t.Fatal("proxy vs direct reference to same object must compare equal")
+	}
+	// Nil handling and fallback for non-references.
+	if eq, _ := f.rt.RefEqual(heap.Nil(), heap.Nil()); !eq {
+		t.Fatal("nil == nil")
+	}
+	if eq, _ := f.rt.RefEqual(heap.Nil(), heap.Ref(ids[0])); eq {
+		t.Fatal("nil != ref")
+	}
+	if eq, _ := f.rt.RefEqual(heap.Int(3), heap.Int(3)); !eq {
+		t.Fatal("scalar fallback")
+	}
+}
+
+func TestAssignOptimizationAvoidsProxyChurn(t *testing.T) {
+	f := newFixture(t, 0)
+	const n = 60
+	f.buildList(t, n, 10, 8)
+
+	// B1 pattern: iterate via a global variable; each step creates a fresh
+	// proxy (distinct target, source cluster 0).
+	base := f.rt.Manager().ProxyCount()
+	cur := f.head(t)
+	for i := 0; i < n-1; i++ {
+		out, err := f.rt.Invoke(cur, "next") // each return mediated for cluster 0
+
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out[0].IsNil() {
+			t.Fatalf("list ended early at %d", i)
+		}
+		cur = out[0]
+		if err := f.rt.SetRoot("cursor", cur); err != nil {
+			t.Fatal(err)
+		}
+	}
+	churn := f.rt.Manager().ProxyCount() - base
+	if churn < n/2 {
+		t.Fatalf("B1 churn = %d proxies, expected many (≥%d)", churn, n/2)
+	}
+
+	// B2 pattern: the same iteration with the assign optimization reuses the
+	// single cursor proxy.
+	f.rt.Collect() // drop the churned proxies
+	base = f.rt.Manager().ProxyCount()
+	cur = f.head(t)
+	if err := f.rt.Assign(cur); err != nil {
+		t.Fatal(err)
+	}
+	firstProxy := cur.MustRef()
+	steps := 0
+	for {
+		out, err := f.rt.Invoke(cur, "next")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out[0].IsNil() {
+			break
+		}
+		cur = out[0]
+		steps++
+		if steps < n-10 && cur.MustRef() != firstProxy {
+			t.Fatalf("assign mode did not return self at step %d", steps)
+		}
+		if steps > n {
+			t.Fatal("runaway iteration")
+		}
+	}
+	if steps != n-1 {
+		t.Fatalf("iterated %d steps, want %d", steps, n-1)
+	}
+	created := f.rt.Manager().ProxyCount() - base
+	if created > 0 {
+		t.Fatalf("B2 created %d proxies, want 0", created)
+	}
+	// Unassign restores normal behaviour.
+	if err := f.rt.Unassign(heap.Ref(firstProxy)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.rt.Assign(heap.Ref(1234567)); err == nil {
+		t.Fatal("Assign on dangling ref: want error")
+	}
+	o, _ := f.rt.NewObject(f.node, f.rt.Manager().NewCluster())
+	if err := f.rt.Assign(o.RefTo()); !errors.Is(err, ErrNotProxy) {
+		t.Fatalf("Assign on non-proxy: got %v, want ErrNotProxy", err)
+	}
+}
+
+func TestAssignDismantlesIntoSourceCluster(t *testing.T) {
+	f := newFixture(t, 0)
+	// Two nodes: a in cluster 1, b in cluster 0 (root cluster). A proxy from
+	// cluster 0 to a, in assign mode, returning a reference to b (cluster 0)
+	// must dismantle to a direct reference — not patch itself.
+	c1 := f.rt.Manager().NewCluster()
+	a, _ := f.rt.NewObject(f.node, c1)
+	b, _ := f.rt.NewObject(f.node, RootCluster)
+	if err := f.rt.SetFieldValue(a.RefTo(), "next", b.RefTo()); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.rt.SetRoot("a", a.RefTo()); err != nil {
+		t.Fatal(err)
+	}
+	av, _ := f.rt.Root("a")
+	if err := f.rt.Assign(av); err != nil {
+		t.Fatal(err)
+	}
+	out, err := f.rt.Invoke(av, "next")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].MustRef() != b.ID() {
+		t.Fatalf("assign return into source cluster = %v, want direct @%d", out[0], b.ID())
+	}
+}
+
+func TestNewObjectValidation(t *testing.T) {
+	f := newFixture(t, 0)
+	if _, err := f.rt.NewObject(f.node, ClusterID(999)); !errors.Is(err, ErrUnknownCluster) {
+		t.Fatalf("unknown cluster: got %v", err)
+	}
+	unreg := heap.NewClass("Ghost")
+	if _, err := f.rt.NewObject(unreg, RootCluster); err == nil {
+		t.Fatal("unregistered class: want error")
+	}
+	if err := f.rt.RegisterClass(f.node); err == nil {
+		t.Fatal("duplicate RegisterClass: want error")
+	}
+	proxyC := buildProxyClass(f.node)
+	if err := f.rt.RegisterClass(proxyC); err == nil {
+		t.Fatal("registering middleware class: want error")
+	}
+}
+
+func TestInvokeErrorPaths(t *testing.T) {
+	f := newFixture(t, 0)
+	ids, _ := f.buildList(t, 10, 5, 8)
+	if _, err := f.rt.Invoke(heap.Nil(), "walk"); !errors.Is(err, heap.ErrNilTarget) {
+		t.Errorf("nil target: %v", err)
+	}
+	if _, err := f.rt.Invoke(heap.Ref(999999), "walk"); !errors.Is(err, heap.ErrNoSuchObject) {
+		t.Errorf("dangling: %v", err)
+	}
+	if _, err := f.rt.Invoke(heap.Ref(ids[0]), "nope"); !errors.Is(err, heap.ErrNoSuchMethod) {
+		t.Errorf("missing method: %v", err)
+	}
+	// Missing method via proxy.
+	if _, err := f.rt.Invoke(f.head(t), "nope"); !errors.Is(err, heap.ErrNoSuchMethod) {
+		t.Errorf("missing method via proxy: %v", err)
+	}
+	// Field errors.
+	if _, err := f.rt.Field(heap.Nil(), "tag"); !errors.Is(err, heap.ErrNilTarget) {
+		t.Errorf("nil field read: %v", err)
+	}
+	if err := f.rt.SetFieldValue(heap.Nil(), "tag", heap.Int(1)); !errors.Is(err, heap.ErrNilTarget) {
+		t.Errorf("nil field write: %v", err)
+	}
+}

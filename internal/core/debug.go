@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"objectswap/internal/heap"
+)
+
+// DumpDot writes the device's object graph in Graphviz DOT form, grouping
+// objects by swap-cluster and drawing the middleware artifacts the paper's
+// Figures 3 and 4 show: swap-cluster-proxies on boundary edges,
+// replacement-objects standing in for swapped clusters, and object-fault
+// proxies for un-replicated edges. Render with:
+//
+//	go run ./cmd/obiswap -dot | dot -Tsvg > graph.svg
+func (rt *Runtime) DumpDot(w io.Writer) error {
+	h := rt.h
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+
+	p("digraph objectswap {\n  rankdir=LR;\n  node [fontsize=10];\n")
+
+	// Group resident application objects per cluster.
+	byCluster := make(map[ClusterID][]heap.ObjID)
+	var middleware []heap.ObjID
+	for _, oid := range h.IDs() {
+		o, gerr := h.Get(oid)
+		if gerr != nil {
+			continue
+		}
+		if o.Class().Special == heap.SpecialNone {
+			c := rt.mgr.ClusterOf(oid)
+			byCluster[c] = append(byCluster[c], oid)
+		} else {
+			middleware = append(middleware, oid)
+		}
+	}
+	clusterIDs := make([]ClusterID, 0, len(byCluster))
+	for c := range byCluster {
+		clusterIDs = append(clusterIDs, c)
+	}
+	sort.Slice(clusterIDs, func(i, j int) bool { return clusterIDs[i] < clusterIDs[j] })
+
+	for _, c := range clusterIDs {
+		p("  subgraph cluster_%d {\n    label=\"swap-cluster %d\";\n    style=rounded;\n", c, c)
+		for _, oid := range byCluster[c] {
+			o, _ := h.Get(oid)
+			p("    n%d [label=\"%s@%d\", shape=box];\n", oid, o.Class().Name, oid)
+		}
+		p("  }\n")
+	}
+	// Swapped clusters appear as annotations.
+	for _, info := range rt.mgr.InfoAll() {
+		if !info.Swapped {
+			continue
+		}
+		p("  swapped_%d [label=\"cluster %d swapped\\n%d objects on %s\", shape=folder, style=dashed];\n",
+			info.ID, info.ID, info.Objects, info.Device)
+	}
+	// Middleware nodes.
+	for _, oid := range middleware {
+		o, _ := h.Get(oid)
+		switch o.Class().Special {
+		case heap.SpecialSCProxy:
+			p("  n%d [label=\"proxy@%d\\nsrc=%d -> @%d\", shape=diamond, color=blue];\n",
+				oid, oid, proxySrc(o), proxyUltimate(o))
+		case heap.SpecialReplacement:
+			cv, _ := o.FieldByName(fldClust)
+			ci, _ := cv.Int()
+			p("  n%d [label=\"replacement@%d\\ncluster %d\", shape=octagon, color=red];\n", oid, oid, ci)
+		case heap.SpecialObjProxy:
+			p("  n%d [label=\"objfault@%d\\nremote @%d\", shape=diamond, color=gray];\n",
+				oid, oid, ObjProxyRemote(o))
+		default:
+			p("  n%d [label=\"%s@%d\", shape=component];\n", oid, o.Class().Name, oid)
+		}
+	}
+
+	// Roots.
+	for _, name := range h.RootNames() {
+		v, _ := h.Root(name)
+		p("  root_%s [label=\"%s\", shape=plaintext];\n", sanitize(name), name)
+		v.MapRefs(func(rid heap.ObjID) heap.ObjID {
+			if rid != heap.NilID {
+				p("  root_%s -> n%d;\n", sanitize(name), rid)
+			}
+			return rid
+		})
+	}
+
+	// Edges.
+	for _, oid := range h.IDs() {
+		o, gerr := h.Get(oid)
+		if gerr != nil {
+			continue
+		}
+		for i := 0; i < o.NumFields(); i++ {
+			fieldName := o.Class().Field(i).Name
+			o.Field(i).MapRefs(func(rid heap.ObjID) heap.ObjID {
+				if rid != heap.NilID {
+					if h.Contains(rid) {
+						p("  n%d -> n%d [label=\"%s\", fontsize=8];\n", oid, rid, fieldName)
+					} else {
+						p("  n%d -> missing%d [label=\"%s (away)\", style=dotted, fontsize=8];\n",
+							oid, rid, fieldName)
+						p("  missing%d [label=\"@%d\", style=dotted];\n", rid, rid)
+					}
+				}
+				return rid
+			})
+		}
+	}
+	p("}\n")
+	return err
+}
+
+// sanitize makes a root name usable as a DOT identifier fragment.
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			out = append(out, r)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}

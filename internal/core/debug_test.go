@@ -1,0 +1,53 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDumpDotShowsPaperFigures(t *testing.T) {
+	// Reconstruct the paper's Figure 3/4 situation and check the DOT output
+	// carries each artifact.
+	f := newFixture(t, 0)
+	_, clusters := f.buildList(t, 20, 10, 8)
+
+	var loaded strings.Builder
+	if err := f.rt.DumpDot(&loaded); err != nil {
+		t.Fatal(err)
+	}
+	dot := loaded.String()
+	for _, want := range []string{
+		"digraph objectswap",
+		"subgraph cluster_1",
+		"subgraph cluster_2",
+		"proxy@",    // boundary proxies
+		"root_head", // the global
+		`label="next"`,
+	} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("loaded dump missing %q:\n%s", want, dot)
+		}
+	}
+
+	// After swap-out (Figure 4): replacement-object and swapped annotation.
+	if _, err := f.rt.SwapOut(clusters[1]); err != nil {
+		t.Fatal(err)
+	}
+	f.rt.Collect()
+	var swapped strings.Builder
+	if err := f.rt.DumpDot(&swapped); err != nil {
+		t.Fatal(err)
+	}
+	dot = swapped.String()
+	for _, want := range []string{"replacement@", "swapped_2", "cluster 2 swapped"} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("swapped dump missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	if got := sanitize("chain-0/α"); got != "chain_0__" {
+		t.Fatalf("sanitize = %q", got)
+	}
+}

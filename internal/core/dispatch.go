@@ -1,0 +1,373 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"objectswap/internal/heap"
+)
+
+// ErrClusterActive reports a swap-out of a cluster with objects currently on
+// the invocation stack.
+var ErrClusterActive = errors.New("core: cluster has in-flight invocations")
+
+// materialize resolves a reference to a resident object, transparently
+// faulting its swap-cluster back in when the object is a known member of a
+// swapped-out cluster (host code may legitimately hold direct references
+// across a swap).
+func (rt *Runtime) materialize(id heap.ObjID) (*heap.Object, error) {
+	o, err := rt.h.Get(id)
+	if err == nil {
+		return o, nil
+	}
+	if _, known := rt.mgr.classOf(id); !known {
+		return nil, err
+	}
+	cluster := rt.mgr.ClusterOf(id)
+	if !rt.mgr.IsSwapped(cluster) {
+		return nil, err
+	}
+	if _, serr := rt.SwapIn(cluster); serr != nil {
+		return nil, fmt.Errorf("core: reload cluster %d: %w", cluster, serr)
+	}
+	return rt.h.Get(id)
+}
+
+// pushStack protects middleware-created objects and invocation operands from
+// the collector for the duration of the enclosing invocation frame. Outside
+// any invocation (depth 0) there is no frame to anchor to — and no collection
+// can interleave before the host code stores the value — so it is a no-op.
+func (rt *Runtime) pushStack(ids ...heap.ObjID) {
+	if rt.depth == 0 {
+		return
+	}
+	rt.stack = append(rt.stack, ids...)
+}
+
+// pushValueRefs protects every reference contained in v.
+func (rt *Runtime) pushValueRefs(v heap.Value) {
+	switch v.Kind() {
+	case heap.KindRef:
+		if id, err := v.Ref(); err == nil {
+			rt.stack = append(rt.stack, id)
+		}
+	case heap.KindList:
+		elems, _ := v.List()
+		for _, e := range elems {
+			rt.pushValueRefs(e)
+		}
+	}
+}
+
+// Invoke dispatches a method on the object designated by target, applying
+// swap-cluster-proxy interception, replication faults and swap-in reloads as
+// the reference demands. It implements heap.Invoker, so nested invocations
+// made by method bodies flow back through it.
+func (rt *Runtime) Invoke(target heap.Value, method string, args ...heap.Value) (res []heap.Value, err error) {
+	id, err := target.Ref()
+	if err != nil {
+		return nil, err
+	}
+	if id == heap.NilID {
+		return nil, fmt.Errorf("%w: method %s", heap.ErrNilTarget, method)
+	}
+
+	rt.depth++
+	save := len(rt.stack)
+	// The target itself must survive any collection its own materialization
+	// or interception triggers (it may be held only by host code).
+	rt.stack = append(rt.stack, id)
+	defer func() {
+		// Drop this frame's protections, then anchor the results in the
+		// parent frame so interception-created proxies survive until stored.
+		rt.stack = rt.stack[:save]
+		if err == nil && rt.depth > 1 {
+			for _, v := range res {
+				rt.pushValueRefs(v)
+			}
+		}
+		rt.depth--
+		if rt.depth == 0 {
+			rt.stack = rt.stack[:0]
+		}
+	}()
+	for _, a := range args {
+		rt.pushValueRefs(a)
+	}
+
+	obj, err := rt.materialize(id)
+	if err != nil {
+		return nil, err
+	}
+	switch obj.Class().Special {
+	case heap.SpecialNone:
+		return rt.invokeDirect(obj, method, args)
+	case heap.SpecialSCProxy:
+		return rt.invokeProxy(obj, method, args)
+	case heap.SpecialObjProxy:
+		if rt.faultHandler == nil {
+			return nil, fmt.Errorf("core: object fault on @%d without fault handler", id)
+		}
+		resolved, err := rt.faultHandler.HandleFault(rt, obj)
+		if err != nil {
+			return nil, fmt.Errorf("core: object fault: %w", err)
+		}
+		return rt.Invoke(resolved, method, args...)
+	case heap.SpecialReplacement:
+		return nil, errors.New("core: replacement-object invoked directly (graph corruption)")
+	default:
+		return nil, fmt.Errorf("core: cannot dispatch on %s object", obj.Class().Special)
+	}
+}
+
+// invokeDirect is the intra-cluster fast path: plain class-table dispatch.
+func (rt *Runtime) invokeDirect(obj *heap.Object, method string, args []heap.Value) ([]heap.Value, error) {
+	m, ok := obj.Class().Method(method)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s.%s", heap.ErrNoSuchMethod, obj.Class().Name, method)
+	}
+	// The receiver and arguments were already stacked by Invoke.
+	return m(&heap.Call{RT: rt, Self: obj, Args: args})
+}
+
+// invokeProxy crosses a swap-cluster boundary: it reloads the target cluster
+// if needed, translates arguments into the target cluster's perspective,
+// dispatches, and translates results back — applying the assign optimization
+// when enabled on this proxy.
+func (rt *Runtime) invokeProxy(p *heap.Object, method string, args []heap.Value) ([]heap.Value, error) {
+	src := proxySrc(p)
+	ultimate := proxyUltimate(p)
+	dst, swapped := rt.mgr.enterCrossing(src, ultimate)
+	if swapped {
+		if _, err := rt.SwapIn(dst); err != nil {
+			return nil, fmt.Errorf("core: reload cluster %d: %w", dst, err)
+		}
+	}
+
+	obj, err := rt.h.Get(ultimate)
+	if err != nil {
+		return nil, fmt.Errorf("core: proxy target @%d: %w", ultimate, err)
+	}
+	m, ok := obj.Class().Method(method)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s.%s (via proxy)", heap.ErrNoSuchMethod, obj.Class().Name, method)
+	}
+
+	// Protect the receiver before argument interception: translating an
+	// argument can allocate, evict and collect (the proxy itself was stacked
+	// by Invoke).
+	rt.pushStack(obj.ID())
+
+	// Intercept arguments: rewrap for the receiving cluster.
+	targs := make([]heap.Value, len(args))
+	for i, a := range args {
+		ta, err := rt.translate(a, dst)
+		if err != nil {
+			return nil, fmt.Errorf("core: intercept argument %d: %w", i, err)
+		}
+		targs[i] = ta
+	}
+	for _, a := range targs {
+		rt.pushValueRefs(a)
+	}
+	res, err := m(&heap.Call{RT: rt, Self: obj, Args: targs})
+	if err != nil {
+		return nil, err
+	}
+
+	// Assign optimization: patch this proxy onto the single returned
+	// reference instead of creating a fresh proxy (Section 4).
+	if proxyMode(p) == proxyModeAssign && len(res) == 1 && res[0].IsRef() {
+		return rt.assignReturn(p, src, res[0])
+	}
+
+	// Intercept results: rewrap for the calling cluster.
+	out := make([]heap.Value, len(res))
+	for i, r := range res {
+		tr, err := rt.translate(r, src)
+		if err != nil {
+			return nil, fmt.Errorf("core: intercept result %d: %w", i, err)
+		}
+		out[i] = tr
+	}
+	return out, nil
+}
+
+// assignReturn implements the self-patching return path of an
+// assign-optimized proxy.
+func (rt *Runtime) assignReturn(p *heap.Object, src ClusterID, r heap.Value) ([]heap.Value, error) {
+	rid, _ := r.Ref()
+	if rid == heap.NilID {
+		return []heap.Value{heap.Nil()}, nil
+	}
+	ultimate, err := rt.resolveUltimate(rid)
+	if err != nil {
+		return nil, err
+	}
+	rcluster := rt.mgr.ClusterOf(ultimate)
+	if rcluster == src {
+		// No mediation needed toward the caller: dismantle.
+		return []heap.Value{heap.Ref(ultimate)}, nil
+	}
+	// Patch self: point at the returned object and hand back self.
+	tgt := heap.Ref(ultimate)
+	rt.mgr.mu.Lock()
+	if cs, ok := rt.mgr.clusters[rcluster]; ok && cs.swapped {
+		tgt = heap.Ref(cs.replacement)
+	}
+	rt.mgr.mu.Unlock()
+	if err := p.SetFieldByName(fldTarget, tgt); err != nil {
+		return nil, err
+	}
+	if err := p.SetFieldByName(fldObj, heap.Int(int64(ultimate))); err != nil {
+		return nil, err
+	}
+	rt.mgr.retargetProxy(p.ID(), ultimate, rcluster)
+	// An actively-used cursor stays alive across collections even when only
+	// host code references it.
+	rt.h.TouchNursery(p.ID())
+	return []heap.Value{heap.Ref(p.ID())}, nil
+}
+
+// Field reads a field through the swapping-aware indirection: reads through a
+// proxy reload the target cluster if needed and mediate any returned
+// reference for the proxy's source cluster; direct reads return the raw
+// value (same-cluster access).
+func (rt *Runtime) Field(target heap.Value, name string) (res heap.Value, err error) {
+	id, err := target.Ref()
+	if err != nil {
+		return heap.Nil(), err
+	}
+	if id == heap.NilID {
+		return heap.Nil(), fmt.Errorf("%w: field %s", heap.ErrNilTarget, name)
+	}
+	// Same frame discipline as Invoke: collections triggered inside the
+	// operation (reload evictions) must see the operand and result as live.
+	rt.depth++
+	save := len(rt.stack)
+	rt.stack = append(rt.stack, id)
+	defer func() {
+		rt.stack = rt.stack[:save]
+		if err == nil && rt.depth > 1 {
+			rt.pushValueRefs(res)
+		}
+		rt.depth--
+		if rt.depth == 0 {
+			rt.stack = rt.stack[:0]
+		}
+	}()
+	obj, err := rt.materialize(id)
+	if err != nil {
+		return heap.Nil(), err
+	}
+	switch obj.Class().Special {
+	case heap.SpecialNone:
+		return obj.FieldByName(name)
+	case heap.SpecialSCProxy:
+		src := proxySrc(obj)
+		ultimate := proxyUltimate(obj)
+		dst, swapped := rt.mgr.enterCrossing(src, ultimate)
+		if swapped {
+			if _, err := rt.SwapIn(dst); err != nil {
+				return heap.Nil(), fmt.Errorf("core: reload cluster %d: %w", dst, err)
+			}
+		}
+		real, err := rt.h.Get(ultimate)
+		if err != nil {
+			return heap.Nil(), err
+		}
+		v, err := real.FieldByName(name)
+		if err != nil {
+			return heap.Nil(), err
+		}
+		// The assign optimization covers field reads too: a self-patching
+		// cursor proxy advances to the referenced object instead of minting
+		// a fresh proxy per step.
+		if proxyMode(obj) == proxyModeAssign && v.IsRef() {
+			out, err := rt.assignReturn(obj, src, v)
+			if err != nil {
+				return heap.Nil(), err
+			}
+			return out[0], nil
+		}
+		return rt.translate(v, src)
+	case heap.SpecialObjProxy:
+		if rt.faultHandler == nil {
+			return heap.Nil(), fmt.Errorf("core: object fault on @%d without fault handler", id)
+		}
+		resolved, err := rt.faultHandler.HandleFault(rt, obj)
+		if err != nil {
+			return heap.Nil(), err
+		}
+		return rt.Field(resolved, name)
+	default:
+		return heap.Nil(), fmt.Errorf("core: cannot read field of %s object", obj.Class().Special)
+	}
+}
+
+// SetFieldValue writes a field through the swapping-aware indirection. The
+// assigned value is always translated into the owning object's cluster
+// perspective, maintaining the invariant that fields hold only intra-cluster
+// direct references or proxies sourced at the owning cluster.
+func (rt *Runtime) SetFieldValue(target heap.Value, name string, v heap.Value) error {
+	id, err := target.Ref()
+	if err != nil {
+		return err
+	}
+	if id == heap.NilID {
+		return fmt.Errorf("%w: field %s", heap.ErrNilTarget, name)
+	}
+	rt.depth++
+	save := len(rt.stack)
+	rt.stack = append(rt.stack, id)
+	rt.pushValueRefs(v)
+	defer func() {
+		rt.stack = rt.stack[:save]
+		rt.depth--
+		if rt.depth == 0 {
+			rt.stack = rt.stack[:0]
+		}
+	}()
+	obj, err := rt.materialize(id)
+	if err != nil {
+		return err
+	}
+	switch obj.Class().Special {
+	case heap.SpecialNone:
+		cluster := rt.mgr.ClusterOf(id)
+		tv, err := rt.translate(v, cluster)
+		if err != nil {
+			return err
+		}
+		return obj.SetFieldByName(name, tv)
+	case heap.SpecialSCProxy:
+		src := proxySrc(obj)
+		ultimate := proxyUltimate(obj)
+		dst, swapped := rt.mgr.enterCrossing(src, ultimate)
+		if swapped {
+			if _, err := rt.SwapIn(dst); err != nil {
+				return fmt.Errorf("core: reload cluster %d: %w", dst, err)
+			}
+		}
+		real, err := rt.h.Get(ultimate)
+		if err != nil {
+			return err
+		}
+		tv, err := rt.translate(v, dst)
+		if err != nil {
+			return err
+		}
+		return real.SetFieldByName(name, tv)
+	case heap.SpecialObjProxy:
+		if rt.faultHandler == nil {
+			return fmt.Errorf("core: object fault on @%d without fault handler", id)
+		}
+		resolved, err := rt.faultHandler.HandleFault(rt, obj)
+		if err != nil {
+			return err
+		}
+		return rt.SetFieldValue(resolved, name, v)
+	default:
+		return fmt.Errorf("core: cannot write field of %s object", obj.Class().Special)
+	}
+}

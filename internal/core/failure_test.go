@@ -1,0 +1,190 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"objectswap/internal/heap"
+	"objectswap/internal/link"
+	"objectswap/internal/store"
+)
+
+// flakyFixture builds a runtime whose only device sits behind a fault-
+// injecting link (every failEvery-th operation errors).
+func flakyFixture(t testing.TB, failEvery int) (*fixture, *link.Link) {
+	t.Helper()
+	h := heap.New(0)
+	classes := heap.NewRegistry()
+	devices := store.NewRegistry(store.SelectMostFree)
+	mem := store.NewMem(0)
+	flaky := link.Wrap(mem, link.Profile{Name: "flaky", FailEvery: failEvery}, &link.VirtualClock{})
+	if err := devices.Add("flaky-neighbor", flaky); err != nil {
+		t.Fatal(err)
+	}
+	rt := NewRuntime(h, classes, WithStores(devices))
+	f := &fixture{rt: rt, reg: devices, mem: mem, node: newNodeClass()}
+	rt.MustRegisterClass(f.node)
+	return f, flaky
+}
+
+func TestSwapOutSurvivesShipFailure(t *testing.T) {
+	// Every operation fails: the Put is rejected, and the graph must be
+	// untouched and fully usable afterwards.
+	f, _ := flakyFixture(t, 1)
+	_, clusters := f.buildList(t, 20, 10, 8)
+	want := f.snapshotTags(t)
+
+	// Depending on which operation hits the fault (the selection probe or
+	// the shipment itself), the failure surfaces as ErrNoDevice or
+	// ErrUnavailable; either way it must be clean.
+	_, err := f.rt.SwapOut(clusters[1])
+	if !errors.Is(err, store.ErrUnavailable) && !errors.Is(err, store.ErrNoDevice) {
+		t.Fatalf("swap-out over dead link: %v", err)
+	}
+	if f.rt.Manager().IsSwapped(clusters[1]) {
+		t.Fatal("cluster marked swapped after failed shipment")
+	}
+	checkClean(t, f.rt)
+	got := f.snapshotTags(t)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("graph damaged by failed swap-out at %d", i)
+		}
+	}
+}
+
+func TestSwapInRetriesAfterTransientFetchFailure(t *testing.T) {
+	// Every third operation fails. A swap-in that hits the bad operation
+	// errors out but leaves the swapped state intact; a retry succeeds.
+	f, _ := flakyFixture(t, 3)
+	_, clusters := f.buildList(t, 20, 10, 8)
+
+	// Operation 1 = Stats (device pick), 2 = Put: swap-out succeeds with the
+	// 3rd op still pending.
+	if _, err := f.rt.SwapOut(clusters[1]); err != nil {
+		t.Fatal(err)
+	}
+	f.rt.Collect()
+
+	// Keep attempting the traversal until it succeeds; every failed attempt
+	// must leave the middleware consistent.
+	var lastErr error
+	for attempt := 0; attempt < 6; attempt++ {
+		tags, err := trySnapshot(f)
+		if err != nil {
+			lastErr = err
+			checkClean(t, f.rt)
+			if !f.rt.Manager().IsSwapped(clusters[1]) {
+				t.Fatal("failed swap-in cleared the swapped state")
+			}
+			continue
+		}
+		if len(tags) != 20 {
+			t.Fatalf("tags = %d", len(tags))
+		}
+		return // success
+	}
+	t.Fatalf("traversal never succeeded over flaky link: %v", lastErr)
+}
+
+// trySnapshot walks the list, returning an error instead of failing the test.
+func trySnapshot(f *fixture) ([]int64, error) {
+	var tags []int64
+	cur, ok := f.rt.Root("head")
+	if !ok {
+		return nil, errors.New("no head")
+	}
+	for !cur.IsNil() {
+		tag, err := f.rt.Field(cur, "tag")
+		if err != nil {
+			return nil, err
+		}
+		tags = append(tags, tag.MustInt())
+		next, err := f.rt.Field(cur, "next")
+		if err != nil {
+			return nil, err
+		}
+		cur = next
+	}
+	return tags, nil
+}
+
+func TestDeviceVanishesWhileHoldingCluster(t *testing.T) {
+	// The device disappears from the registry entirely while holding a
+	// swapped cluster: swap-in must fail cleanly; after the device returns,
+	// the cluster is recoverable.
+	f := newFixture(t, 0)
+	_, clusters := f.buildList(t, 20, 10, 8)
+	if _, err := f.rt.SwapOut(clusters[1]); err != nil {
+		t.Fatal(err)
+	}
+	f.rt.Collect()
+
+	f.reg.Remove("pda-neighbor")
+	if _, err := f.rt.SwapIn(clusters[1]); !errors.Is(err, store.ErrUnavailable) {
+		t.Fatalf("swap-in with vanished device: %v", err)
+	}
+	checkClean(t, f.rt)
+
+	// Re-attach the same store under the same name: data is still there.
+	if err := f.reg.Add("pda-neighbor", f.mem); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.rt.SwapIn(clusters[1]); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.snapshotTags(t); len(got) != 20 {
+		t.Fatalf("recovered %d tags", len(got))
+	}
+}
+
+func TestCorruptedShipmentRejectedOnReload(t *testing.T) {
+	// The device returns tampered XML: swap-in must fail with a decode error
+	// and leave the middleware consistent (the cluster stays swapped).
+	f := newFixture(t, 0)
+	_, clusters := f.buildList(t, 20, 10, 8)
+	ev, err := f.rt.SwapOut(clusters[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.rt.Collect()
+
+	if err := f.mem.Put(ev.Key, []byte("<swapcluster id=\"x\" version=\"1\"><object id=\"0\"")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.rt.SwapIn(clusters[1]); err == nil {
+		t.Fatal("tampered shipment accepted")
+	}
+	if !f.rt.Manager().IsSwapped(clusters[1]) {
+		t.Fatal("cluster no longer swapped after rejected shipment")
+	}
+	checkClean(t, f.rt)
+}
+
+func TestWrongShipmentKeyRejected(t *testing.T) {
+	// The device returns a VALID document under the wrong key (mixed-up
+	// storage): the key check must reject it.
+	f := newFixture(t, 0)
+	_, clusters := f.buildList(t, 30, 10, 8)
+	ev1, err := f.rt.SwapOut(clusters[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev2, err := f.rt.SwapOut(clusters[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.rt.Collect()
+
+	// Cross the payloads.
+	d2, _ := f.mem.Get(ev2.Key)
+	if err := f.mem.Put(ev1.Key, d2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.rt.SwapIn(clusters[1]); err == nil {
+		t.Fatal("wrong shipment accepted")
+	}
+	if !f.rt.Manager().IsSwapped(clusters[1]) {
+		t.Fatal("cluster no longer swapped after rejected shipment")
+	}
+}

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"objectswap/internal/heap"
+	"objectswap/internal/store"
+)
+
+// FuzzLoadCheckpoint hardens checkpoint restoration against arbitrary
+// streams (a checkpoint may live on untrusted storage).
+func FuzzLoadCheckpoint(f *testing.F) {
+	// Seed with a genuine checkpoint.
+	{
+		devices := store.NewRegistry(store.SelectMostFree)
+		_ = devices.Add("d", store.NewMem(0))
+		rt := NewRuntime(heap.New(0), heap.NewRegistry(), WithStores(devices))
+		node := rt.MustRegisterClass(newNodeClass())
+		c := rt.Manager().NewCluster()
+		o, err := rt.NewObject(node, c)
+		if err != nil {
+			f.Fatal(err)
+		}
+		if err := rt.SetRoot("x", o.RefTo()); err != nil {
+			f.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := rt.SaveCheckpoint(&buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte(`<checkpoint version="1" device="d" keyseq="0" maxid="0"></checkpoint>`))
+	f.Add([]byte(`<checkpoint version="1" device="d" keyseq="0" maxid="9"><cluster id="1" swapped="true" device="x" key="k"><member id="3" class="Node"/><outbound slot="0" target="3"/></cluster></checkpoint>`))
+	f.Add([]byte(`}{`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		devices := store.NewRegistry(store.SelectMostFree)
+		_ = devices.Add("d", store.NewMem(0))
+		rt := NewRuntime(heap.New(0), heap.NewRegistry(), WithStores(devices))
+		rt.MustRegisterClass(newNodeClass())
+		if err := rt.LoadCheckpoint(bytes.NewReader(data)); err != nil {
+			return // rejection is fine; panics and corruption are not
+		}
+		// Whatever was accepted must leave consistent bookkeeping.
+		if errs := rt.Manager().CheckInvariants(); len(errs) > 0 {
+			for _, e := range errs {
+				t.Log(e)
+			}
+			t.Fatal("accepted checkpoint violates invariants")
+		}
+	})
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"objectswap/internal/event"
+	"objectswap/internal/heap"
+)
+
+// Collect runs a local garbage collection integrated with swapping, per the
+// paper's Section 3 "Integration with GC Mechanisms":
+//
+//   - the reachability of a swap-cluster is considered as a whole: while a
+//     swapped cluster's replacement-object is reachable, every outbound proxy
+//     it retains stays live, so downstream clusters are conservatively
+//     preserved (this falls out of ordinary marking, since the
+//     replacement-object holds heap references to those proxies);
+//   - when a replacement-object has become unreachable, the whole swapped
+//     cluster is dead: the storing device is instructed to drop the XML and
+//     the SwappingManager forgets the cluster. No DGC spans the devices — all
+//     decisions are local, and the device only ever stores, returns or drops.
+//
+// In-flight invocation operands (the middleware's stand-in for thread stacks)
+// are passed to the collector as extra roots.
+func (rt *Runtime) Collect() heap.CollectStats {
+	st := rt.h.Collect(rt.stack...)
+	rt.sweepSwapped()
+	rt.mgr.compact()
+	rt.mgr.retryDrops(rt)
+	return st
+}
+
+// sweepSwapped drops swapped clusters whose replacement-objects were
+// reclaimed.
+func (rt *Runtime) sweepSwapped() {
+	type victim struct {
+		id     ClusterID
+		device string
+		key    string
+		bytes  int
+	}
+	var victims []victim
+
+	rt.mgr.mu.Lock()
+	for id, cs := range rt.mgr.clusters {
+		if !cs.swapped {
+			continue
+		}
+		if rt.h.Contains(cs.replacement) {
+			continue
+		}
+		victims = append(victims, victim{id: id, device: cs.device, key: cs.key, bytes: cs.payloadBytes})
+		for oid := range cs.objects {
+			delete(rt.mgr.objects, oid)
+		}
+		delete(rt.mgr.inbound, id)
+		delete(rt.mgr.clusters, id)
+	}
+	rt.mgr.mu.Unlock()
+
+	for _, v := range victims {
+		if err := rt.dropFromDevice(v.device, v.key); err != nil {
+			rt.mgr.deferDrop(v.device, v.key, v.id)
+		}
+		rt.emit(event.TopicSwapDrop, SwapEvent{
+			Cluster: v.id, Device: v.device, Key: v.key, Bytes: v.bytes,
+		})
+	}
+}
+
+// dropFromDevice instructs a device to discard a stored shipment.
+func (rt *Runtime) dropFromDevice(device, key string) error {
+	if rt.stores == nil {
+		return ErrNoStores
+	}
+	s, err := rt.stores.Lookup(device)
+	if err != nil {
+		return err
+	}
+	return s.Drop(key)
+}
+
+// deferDrop queues a failed drop for retry on the next collection (the
+// device may be temporarily unreachable).
+func (m *Manager) deferDrop(device, key string, cluster ClusterID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.pendingDrops = append(m.pendingDrops, dropTicket{device: device, key: key, cluster: cluster})
+}
+
+// retryDrops re-attempts queued drops.
+func (m *Manager) retryDrops(rt *Runtime) {
+	m.mu.Lock()
+	pending := m.pendingDrops
+	m.pendingDrops = nil
+	m.mu.Unlock()
+
+	for _, t := range pending {
+		if err := rt.dropFromDevice(t.device, t.key); err != nil {
+			m.deferDrop(t.device, t.key, t.cluster)
+		}
+	}
+}
+
+// PendingDrops reports how many device-drop instructions await retry.
+func (m *Manager) PendingDrops() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.pendingDrops)
+}
+
+// compact removes membership records of loaded-cluster objects that the
+// collector has reclaimed, so cluster statistics and swap-out payloads track
+// the live graph.
+func (m *Manager) compact() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, cs := range m.clusters {
+		if cs.swapped {
+			continue // members are away, not dead
+		}
+		for oid := range cs.objects {
+			if !m.rt.h.Contains(oid) {
+				delete(cs.objects, oid)
+				delete(m.objects, oid)
+			}
+		}
+	}
+}
+
+// enterCrossing is the hot-path combination used by proxy dispatch: under a
+// single lock it resolves the target's cluster, records the crossing, and
+// reports whether the cluster is currently swapped out.
+func (m *Manager) enterCrossing(src ClusterID, ultimate heap.ObjID) (dst ClusterID, swapped bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if info, ok := m.objects[ultimate]; ok {
+		dst = info.cluster
+	}
+	m.clock++
+	if cs, ok := m.clusters[dst]; ok {
+		cs.crossings++
+		cs.lastAccess = m.clock
+		swapped = cs.swapped
+	}
+	if cs, ok := m.clusters[src]; ok {
+		cs.lastAccess = m.clock
+	}
+	return dst, swapped
+}

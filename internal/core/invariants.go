@@ -1,0 +1,185 @@
+package core
+
+import (
+	"fmt"
+
+	"objectswap/internal/heap"
+)
+
+// CheckInvariants validates the SwappingManager's bookkeeping against the
+// heap and the paper's structural rules, returning every violation found.
+// It is exercised by the property-based test suites after random operation
+// sequences, and is available to applications as a diagnostic.
+//
+// Checked invariants:
+//
+//  1. membership — every tracked object belongs to exactly one known
+//     cluster, and cluster member sets agree with the per-object index;
+//  2. residency — members of loaded clusters are resident unless awaiting
+//     collection; a swapped cluster's replacement-object is resident and
+//     none of its members are root-reachable;
+//  3. proxy registry — every registered proxy is resident, is a
+//     swap-cluster-proxy, agrees with its registry key (source cluster and
+//     ultimate target), and at most one shared proxy exists per
+//     (source, target) pair;
+//  4. mediation — every reference held in an application object's field is
+//     intra-cluster direct, or a proxy sourced at the holding cluster, or an
+//     object-fault placeholder;
+//  5. proxy targets — a proxy's target field designates its ultimate target
+//     when the target's cluster is loaded, and the cluster's
+//     replacement-object while it is swapped out;
+//  6. accounting — the heap's used-byte counter equals the sum of resident
+//     object sizes.
+func (m *Manager) CheckInvariants() []error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h := m.rt.h
+	var errs []error
+	fail := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf(format, args...))
+	}
+
+	// 1. Membership agreement.
+	for oid, info := range m.objects {
+		cs, ok := m.clusters[info.cluster]
+		if !ok {
+			fail("object @%d assigned to unknown cluster %d", oid, info.cluster)
+			continue
+		}
+		if !cs.objects[oid] {
+			fail("object @%d missing from cluster %d member set", oid, info.cluster)
+		}
+	}
+	for cid, cs := range m.clusters {
+		for oid := range cs.objects {
+			if info, ok := m.objects[oid]; !ok || info.cluster != cid {
+				fail("cluster %d lists @%d but object index disagrees", cid, oid)
+			}
+		}
+	}
+
+	// 2. Residency.
+	reach := h.ReachableFromRoots()
+	for cid, cs := range m.clusters {
+		if !cs.swapped {
+			continue
+		}
+		if !h.Contains(cs.replacement) {
+			fail("swapped cluster %d lost its replacement-object @%d", cid, cs.replacement)
+		}
+		for oid := range cs.objects {
+			if reach[oid] {
+				fail("swapped cluster %d member @%d is root-reachable", cid, oid)
+			}
+		}
+	}
+
+	// 3. Proxy registry consistency.
+	seenShared := make(map[proxyKey]heap.ObjID)
+	for pid, key := range m.proxyMeta {
+		p, err := h.Get(pid)
+		if err != nil {
+			fail("registered proxy @%d not resident (cursor=%v, key src=%d target=@%d)",
+				pid, m.cursorProxies[pid], key.src, key.target)
+			continue
+		}
+		if !isProxy(p) {
+			fail("registered proxy @%d is a %s", pid, p.Class().Name)
+			continue
+		}
+		if got := proxySrc(p); got != key.src {
+			fail("proxy @%d source %d disagrees with registry key %d", pid, got, key.src)
+		}
+		if got := proxyUltimate(p); got != key.target {
+			fail("proxy @%d ultimate @%d disagrees with registry key @%d", pid, got, key.target)
+		}
+	}
+	for key, pid := range m.proxies {
+		if prev, dup := seenShared[key]; dup {
+			fail("two shared proxies for (%d,@%d): @%d and @%d", key.src, key.target, prev, pid)
+		}
+		seenShared[key] = pid
+		if meta, ok := m.proxyMeta[pid]; !ok {
+			fail("shared proxy @%d has no meta record", pid)
+		} else if meta != key {
+			fail("shared proxy @%d meta %+v disagrees with registry key %+v", pid, meta, key)
+		}
+	}
+
+	// 6. Accounting.
+	var liveBytes int64
+	for _, oid := range h.IDs() {
+		if o, err := h.Get(oid); err == nil {
+			liveBytes += o.Size()
+		}
+	}
+	if used := h.Used(); used != liveBytes {
+		fail("heap accounting drift: used %d, live object bytes %d", used, liveBytes)
+	}
+
+	// 4+5. Field mediation and proxy target fields.
+	for _, oid := range h.IDs() {
+		o, err := h.Get(oid)
+		if err != nil {
+			continue
+		}
+		switch o.Class().Special {
+		case heap.SpecialNone:
+			holder := RootCluster
+			if info, ok := m.objects[oid]; ok {
+				holder = info.cluster
+			}
+			for i := 0; i < o.NumFields(); i++ {
+				o.Field(i).MapRefs(func(rid heap.ObjID) heap.ObjID {
+					if rid == heap.NilID {
+						return rid
+					}
+					ro, err := h.Get(rid)
+					if err != nil {
+						fail("object @%d field %s holds dangling @%d",
+							oid, o.Class().Field(i).Name, rid)
+						return rid
+					}
+					switch ro.Class().Special {
+					case heap.SpecialNone:
+						tc := RootCluster
+						if info, ok := m.objects[rid]; ok {
+							tc = info.cluster
+						}
+						if tc != holder {
+							fail("object @%d (cluster %d) holds un-proxied reference to @%d (cluster %d)",
+								oid, holder, rid, tc)
+						}
+					case heap.SpecialSCProxy:
+						if src := proxySrc(ro); src != holder {
+							fail("object @%d (cluster %d) holds proxy @%d sourced at %d",
+								oid, holder, rid, src)
+						}
+					case heap.SpecialObjProxy:
+						// Placeholders are cluster-agnostic.
+					default:
+						fail("object @%d holds %s reference @%d", oid, ro.Class().Special, rid)
+					}
+					return rid
+				})
+			}
+		case heap.SpecialSCProxy:
+			ultimate := proxyUltimate(o)
+			tc := RootCluster
+			if info, ok := m.objects[ultimate]; ok {
+				tc = info.cluster
+			}
+			tgt, _ := o.Field(slotTarget).Ref()
+			cs := m.clusters[tc]
+			if cs != nil && cs.swapped {
+				if tgt != cs.replacement {
+					fail("proxy @%d to swapped cluster %d targets @%d, want replacement @%d",
+						oid, tc, tgt, cs.replacement)
+				}
+			} else if tgt != ultimate {
+				fail("proxy @%d targets @%d, want ultimate @%d", oid, tgt, ultimate)
+			}
+		}
+	}
+	return errs
+}

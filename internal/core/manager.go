@@ -1,0 +1,444 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"objectswap/internal/heap"
+)
+
+// objInfo is the SwappingManager's per-object record: which swap-cluster the
+// object belongs to and its class name (needed to synthesize proxies for
+// objects that are currently swapped out, hence not resident).
+type objInfo struct {
+	cluster ClusterID
+	class   string
+}
+
+// clusterState is the SwappingManager's per-swap-cluster record.
+type clusterState struct {
+	id      ClusterID
+	objects map[heap.ObjID]bool
+
+	// Boundary-crossing statistics (recency and frequency), fed by proxy
+	// traversal as the paper describes.
+	crossings  uint64
+	lastAccess uint64
+
+	// Swapped-out state.
+	swapped      bool
+	replacement  heap.ObjID
+	device       string
+	key          string
+	payloadBytes int
+	// residentBytes at the moment of swap-out, used to pre-check reload room.
+	bytesAtSwap int64
+
+	swapOuts uint64
+	swapIns  uint64
+}
+
+// proxyKey identifies the unique swap-cluster-proxy for a
+// (source-cluster, target-object) pair. The paper: "When there are multiple
+// references to the same object, across the same pair of swap-clusters, only
+// a swap-cluster-proxy is required."
+type proxyKey struct {
+	src    ClusterID
+	target heap.ObjID
+}
+
+// Manager is the paper's SwappingManager: it tracks swap-clusters, the
+// objects belonging to each, and all swap-cluster-proxies (through weak
+// references purged by proxy finalizers).
+type Manager struct {
+	rt *Runtime
+
+	mu           sync.Mutex
+	clusters     map[ClusterID]*clusterState
+	nextCluster  ClusterID
+	objects      map[heap.ObjID]objInfo
+	proxies      map[proxyKey]heap.ObjID
+	proxyMeta    map[heap.ObjID]proxyKey
+	objProxies   map[heap.ObjID]heap.ObjID // remote identity -> proxy id
+	objProxyMeta map[heap.ObjID]heap.ObjID // proxy id -> remote identity
+	// cursorProxies marks private self-patching cursors: they are never
+	// offered for shared reuse (their targets are volatile).
+	cursorProxies map[heap.ObjID]bool
+	// inbound indexes live proxies by the cluster of their ultimate target,
+	// so swap-out can patch every inbound proxy of the victim cluster.
+	inbound map[ClusterID]map[heap.ObjID]bool
+
+	// pendingDrops holds (device, key) pairs whose Drop failed (device
+	// unreachable); retried on the next collection.
+	pendingDrops []dropTicket
+
+	clock uint64
+}
+
+type dropTicket struct {
+	device  string
+	key     string
+	cluster ClusterID
+}
+
+func newManager(rt *Runtime) *Manager {
+	m := &Manager{
+		rt:            rt,
+		clusters:      make(map[ClusterID]*clusterState),
+		objects:       make(map[heap.ObjID]objInfo),
+		proxies:       make(map[proxyKey]heap.ObjID),
+		proxyMeta:     make(map[heap.ObjID]proxyKey),
+		objProxies:    make(map[heap.ObjID]heap.ObjID),
+		objProxyMeta:  make(map[heap.ObjID]heap.ObjID),
+		cursorProxies: make(map[heap.ObjID]bool),
+		inbound:       make(map[ClusterID]map[heap.ObjID]bool),
+	}
+	m.clusters[RootCluster] = &clusterState{
+		id:      RootCluster,
+		objects: make(map[heap.ObjID]bool),
+	}
+	return m
+}
+
+// NewCluster declares a fresh, empty swap-cluster and returns its id.
+func (m *Manager) NewCluster() ClusterID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nextCluster++
+	id := m.nextCluster
+	m.clusters[id] = &clusterState{id: id, objects: make(map[heap.ObjID]bool)}
+	return id
+}
+
+// Clusters returns the ids of all known swap-clusters in order.
+func (m *Manager) Clusters() []ClusterID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ids := make([]ClusterID, 0, len(m.clusters))
+	for id := range m.clusters {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// assign records an object as a member of a cluster.
+func (m *Manager) assign(id heap.ObjID, cluster ClusterID, class string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cs, ok := m.clusters[cluster]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownCluster, cluster)
+	}
+	if cs.swapped {
+		return fmt.Errorf("%w: cluster %d", ErrClusterSwapped, cluster)
+	}
+	if prev, dup := m.objects[id]; dup {
+		return fmt.Errorf("core: object @%d already assigned to cluster %d", id, prev.cluster)
+	}
+	m.objects[id] = objInfo{cluster: cluster, class: class}
+	cs.objects[id] = true
+	// Allocation into a cluster is a use signal: advance its recency so
+	// victim selection does not evict the cluster being built.
+	m.clock++
+	cs.lastAccess = m.clock
+	return nil
+}
+
+// ClusterOf reports the swap-cluster an object belongs to. Objects never
+// assigned belong to RootCluster.
+func (m *Manager) ClusterOf(id heap.ObjID) ClusterID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if info, ok := m.objects[id]; ok {
+		return info.cluster
+	}
+	return RootCluster
+}
+
+// classOf returns the recorded class name of an object (valid even while the
+// object is swapped out).
+func (m *Manager) classOf(id heap.ObjID) (string, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	info, ok := m.objects[id]
+	return info.class, ok
+}
+
+// state returns the cluster record, or an error for unknown ids.
+func (m *Manager) state(id ClusterID) (*clusterState, error) {
+	cs, ok := m.clusters[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownCluster, id)
+	}
+	return cs, nil
+}
+
+// IsSwapped reports whether the cluster is currently swapped out.
+func (m *Manager) IsSwapped(id ClusterID) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cs, ok := m.clusters[id]
+	return ok && cs.swapped
+}
+
+// registerProxy records a freshly created proxy under its key and indexes it
+// as inbound to its target's cluster.
+func (m *Manager) registerProxy(pid heap.ObjID, key proxyKey, targetCluster ClusterID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.proxies[key] = pid
+	m.proxyMeta[pid] = key
+	idx := m.inbound[targetCluster]
+	if idx == nil {
+		idx = make(map[heap.ObjID]bool)
+		m.inbound[targetCluster] = idx
+	}
+	idx[pid] = true
+}
+
+// registerCursorProxy indexes a private cursor proxy for swap-out patching
+// and finalizer purging without exposing it to registry reuse.
+func (m *Manager) registerCursorProxy(pid heap.ObjID, key proxyKey, targetCluster ClusterID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.proxyMeta[pid] = key
+	m.cursorProxies[pid] = true
+	idx := m.inbound[targetCluster]
+	if idx == nil {
+		idx = make(map[heap.ObjID]bool)
+		m.inbound[targetCluster] = idx
+	}
+	idx[pid] = true
+}
+
+// lookupProxy finds the live proxy for key, if any.
+func (m *Manager) lookupProxy(key proxyKey) (heap.ObjID, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	pid, ok := m.proxies[key]
+	if !ok {
+		return heap.NilID, false
+	}
+	return pid, true
+}
+
+// retargetProxy moves a proxy from its old key to a new target (the Assign
+// iteration optimization). The registry slot for the new key is claimed only
+// if vacant.
+func (m *Manager) retargetProxy(pid heap.ObjID, newTarget heap.ObjID, newTargetCluster ClusterID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	old, ok := m.proxyMeta[pid]
+	if !ok {
+		// The proxy was collected and purged (or never registered): a
+		// retarget must not resurrect registry entries for a dead object.
+		return
+	}
+	if cur, live := m.proxies[old]; live && cur == pid {
+		delete(m.proxies, old)
+	}
+	if info, known := m.objects[old.target]; known {
+		if idx := m.inbound[info.cluster]; idx != nil {
+			delete(idx, pid)
+		}
+	}
+	nk := proxyKey{src: old.src, target: newTarget}
+	m.proxyMeta[pid] = nk
+	// Private cursors never enter the shared registry: their targets are
+	// volatile, and a shared reuse would hand out a reference that patches
+	// itself away underneath the holder.
+	if _, taken := m.proxies[nk]; !taken && !m.cursorProxies[pid] {
+		m.proxies[nk] = pid
+	}
+	idx := m.inbound[newTargetCluster]
+	if idx == nil {
+		idx = make(map[heap.ObjID]bool)
+		m.inbound[newTargetCluster] = idx
+	}
+	idx[pid] = true
+}
+
+// purgeProxy is the proxy finalizer: it removes all SwappingManager entries
+// referring to the reclaimed proxy, as the paper prescribes.
+func (m *Manager) purgeProxy(pid heap.ObjID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	key, ok := m.proxyMeta[pid]
+	if !ok {
+		return
+	}
+	delete(m.proxyMeta, pid)
+	delete(m.cursorProxies, pid)
+	if cur, live := m.proxies[key]; live && cur == pid {
+		delete(m.proxies, key)
+	}
+	for _, idx := range m.inbound {
+		delete(idx, pid)
+	}
+}
+
+// inboundProxies snapshots the live proxies whose ultimate target lies in
+// cluster id.
+func (m *Manager) inboundProxies(id ClusterID) []heap.ObjID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	idx := m.inbound[id]
+	out := make([]heap.ObjID, 0, len(idx))
+	for pid := range idx {
+		out = append(out, pid)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ProxyCount reports the number of live registered swap-cluster-proxies.
+func (m *Manager) ProxyCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.proxyMeta)
+}
+
+// ClusterInfo is a public snapshot of one swap-cluster's state.
+type ClusterInfo struct {
+	ID            ClusterID
+	Objects       int
+	ResidentBytes int64
+	Swapped       bool
+	Device        string
+	Key           string
+	PayloadBytes  int
+	Crossings     uint64
+	LastAccess    uint64
+	SwapOuts      uint64
+	SwapIns       uint64
+}
+
+// Info snapshots one cluster.
+func (m *Manager) Info(id ClusterID) (ClusterInfo, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cs, err := m.state(id)
+	if err != nil {
+		return ClusterInfo{}, err
+	}
+	return m.infoLocked(cs), nil
+}
+
+// InfoAll snapshots every cluster in id order.
+func (m *Manager) InfoAll() []ClusterInfo {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ids := make([]ClusterID, 0, len(m.clusters))
+	for id := range m.clusters {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]ClusterInfo, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, m.infoLocked(m.clusters[id]))
+	}
+	return out
+}
+
+func (m *Manager) infoLocked(cs *clusterState) ClusterInfo {
+	info := ClusterInfo{
+		ID:           cs.id,
+		Objects:      len(cs.objects),
+		Swapped:      cs.swapped,
+		Device:       cs.device,
+		Key:          cs.key,
+		PayloadBytes: cs.payloadBytes,
+		Crossings:    cs.crossings,
+		LastAccess:   cs.lastAccess,
+		SwapOuts:     cs.swapOuts,
+		SwapIns:      cs.swapIns,
+	}
+	if !cs.swapped {
+		for id := range cs.objects {
+			if o, err := m.rt.h.Get(id); err == nil {
+				info.ResidentBytes += o.Size()
+			}
+		}
+	}
+	return info
+}
+
+// VictimStrategy orders candidate clusters for eviction.
+type VictimStrategy uint8
+
+const (
+	// VictimColdest evicts the least-recently crossed cluster (LRU over
+	// boundary traversals).
+	VictimColdest VictimStrategy = iota + 1
+	// VictimLargest evicts the cluster holding the most resident bytes.
+	VictimLargest
+	// VictimLeastUsed evicts the least-frequently crossed cluster (LFU).
+	VictimLeastUsed
+)
+
+// String names the strategy (used by policy XML).
+func (s VictimStrategy) String() string {
+	switch s {
+	case VictimColdest:
+		return "coldest"
+	case VictimLargest:
+		return "largest"
+	case VictimLeastUsed:
+		return "least-used"
+	default:
+		return "strategy?"
+	}
+}
+
+// VictimStrategyFromString parses policy XML strategy names.
+func VictimStrategyFromString(s string) (VictimStrategy, error) {
+	switch s {
+	case "coldest":
+		return VictimColdest, nil
+	case "largest":
+		return VictimLargest, nil
+	case "least-used":
+		return VictimLeastUsed, nil
+	default:
+		return 0, fmt.Errorf("core: unknown victim strategy %q", s)
+	}
+}
+
+// SelectVictim picks the next loaded, non-empty, non-root cluster to swap out
+// under the given strategy. ok is false when no cluster is eligible.
+func (m *Manager) SelectVictim(strategy VictimStrategy) (ClusterID, bool) {
+	infos := m.InfoAll()
+	var best *ClusterInfo
+	better := func(a, b *ClusterInfo) bool {
+		switch strategy {
+		case VictimLargest:
+			if a.ResidentBytes != b.ResidentBytes {
+				return a.ResidentBytes > b.ResidentBytes
+			}
+		case VictimLeastUsed:
+			if a.Crossings != b.Crossings {
+				return a.Crossings < b.Crossings
+			}
+		default: // VictimColdest
+			if a.LastAccess != b.LastAccess {
+				return a.LastAccess < b.LastAccess
+			}
+		}
+		return a.ID < b.ID
+	}
+	for i := range infos {
+		info := &infos[i]
+		if info.ID == RootCluster || info.Swapped || info.Objects == 0 {
+			continue
+		}
+		if best == nil || better(info, best) {
+			best = info
+		}
+	}
+	if best == nil {
+		return 0, false
+	}
+	return best.ID, true
+}

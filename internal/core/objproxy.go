@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+
+	"objectswap/internal/heap"
+)
+
+// Object-fault proxies are the incremental-replication placeholders of
+// OBIWAN: an object that has not yet been replicated to the device is
+// represented by a proxy transparent to the application; invoking it
+// triggers replication of a whole cluster of objects (handled by the
+// FaultHandler the replication module installs on the Runtime).
+//
+// Unlike swap-cluster-proxies — which are permanent — object-fault proxies
+// are *replaced* after replication: the replication module sweeps the graph
+// substituting them with direct references or swap-cluster-proxies, so the
+// application thereafter runs at full speed.
+//
+// An object-fault proxy may also survive a swap-out: a partially replicated
+// cluster can be swapped with its un-replicated edges intact. Those edges are
+// wrapped as remote references ("rref") carrying the target's class, and
+// swap-in re-synthesizes the proxies.
+
+// Hidden fields of the generic object-fault proxy class.
+const (
+	fldRemote   = "$remote" // the object's identity on its home node
+	fldRemClass = "$rclass" // the remote object's class name
+)
+
+// objProxyClassName is the single generic class used for object-fault
+// proxies (dispatch never consults its method table, so one class serves all
+// application classes).
+const objProxyClassName = "$ObjProxy"
+
+// buildObjProxyClass synthesizes the object-fault proxy class.
+func buildObjProxyClass() *heap.Class {
+	c := heap.NewClass(objProxyClassName,
+		heap.FieldDef{Name: fldRemote, Kind: heap.KindInt},
+		heap.FieldDef{Name: fldRemClass, Kind: heap.KindString},
+	)
+	c.Special = heap.SpecialObjProxy
+	return c
+}
+
+// isObjProxy reports whether the object is an object-fault proxy.
+func isObjProxy(o *heap.Object) bool { return o.Class().Special == heap.SpecialObjProxy }
+
+// ObjProxyRemote reads the remote identity an object-fault proxy stands for.
+func ObjProxyRemote(o *heap.Object) heap.ObjID {
+	v, _ := o.FieldByName(fldRemote)
+	i, _ := v.Int()
+	return heap.ObjID(i)
+}
+
+// ObjProxyClass reads the remote class name an object-fault proxy stands for.
+func ObjProxyClass(o *heap.Object) string {
+	v, _ := o.FieldByName(fldRemClass)
+	s, _ := v.Str()
+	return s
+}
+
+// ObjProxyFor returns (creating or reusing) the object-fault proxy standing
+// for the remote object remote of class className. At most one live proxy
+// exists per remote identity.
+func (rt *Runtime) ObjProxyFor(remote heap.ObjID, className string) (heap.ObjID, error) {
+	if remote == heap.NilID {
+		return heap.NilID, fmt.Errorf("core: ObjProxyFor: nil remote id")
+	}
+	if pid, ok := rt.mgr.lookupObjProxy(remote); ok {
+		if rt.h.Contains(pid) {
+			return pid, nil
+		}
+		rt.mgr.purgeObjProxy(pid)
+	}
+	p, err := rt.allocMiddleware(rt.objProxyClass)
+	if err != nil {
+		return heap.NilID, fmt.Errorf("core: allocate object-fault proxy: %w", err)
+	}
+	if err := p.SetFieldByName(fldRemote, heap.Int(int64(remote))); err != nil {
+		return heap.NilID, err
+	}
+	if err := p.SetFieldByName(fldRemClass, heap.Str(className)); err != nil {
+		return heap.NilID, err
+	}
+	rt.mgr.registerObjProxy(p.ID(), remote)
+	rt.h.OnFinalize(p.ID(), rt.mgr.purgeObjProxy)
+	return p.ID(), nil
+}
+
+// lookupObjProxy finds the live object-fault proxy for a remote identity.
+func (m *Manager) lookupObjProxy(remote heap.ObjID) (heap.ObjID, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	pid, ok := m.objProxies[remote]
+	return pid, ok
+}
+
+// registerObjProxy records an object-fault proxy under its remote identity.
+func (m *Manager) registerObjProxy(pid, remote heap.ObjID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.objProxies[remote] = pid
+	m.objProxyMeta[pid] = remote
+}
+
+// purgeObjProxy is the object-fault proxy finalizer.
+func (m *Manager) purgeObjProxy(pid heap.ObjID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	remote, ok := m.objProxyMeta[pid]
+	if !ok {
+		return
+	}
+	delete(m.objProxyMeta, pid)
+	if cur, live := m.objProxies[remote]; live && cur == pid {
+		delete(m.objProxies, remote)
+	}
+}
+
+// ObjProxyCount reports the number of live object-fault proxies.
+func (m *Manager) ObjProxyCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.objProxyMeta)
+}

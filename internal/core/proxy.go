@@ -1,0 +1,370 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"objectswap/internal/heap"
+)
+
+// buildProxyClass synthesizes the swap-cluster-proxy class for an application
+// class — the moral equivalent of obicomp generating, for each class A, a
+// proxy type implementing ISwapClusterProxy plus A's public interface. The
+// method bodies exist so the class carries the full interface; actual
+// interception happens in Runtime dispatch, which recognizes
+// heap.SpecialSCProxy before consulting the method table.
+func buildProxyClass(app *heap.Class) *heap.Class {
+	p := heap.NewClass(proxyClassPrefix+app.Name,
+		heap.FieldDef{Name: fldTarget, Kind: heap.KindRef},
+		heap.FieldDef{Name: fldObj, Kind: heap.KindInt},
+		heap.FieldDef{Name: fldSrc, Kind: heap.KindInt},
+		heap.FieldDef{Name: fldMode, Kind: heap.KindInt},
+	)
+	p.Special = heap.SpecialSCProxy
+	for _, name := range app.MethodNames() {
+		method := name
+		p.AddMethod(method, func(*heap.Call) ([]heap.Value, error) {
+			return nil, fmt.Errorf("core: proxy method %s invoked without swapping runtime", method)
+		})
+	}
+	return p
+}
+
+// buildReplacementClass synthesizes the replacement-object class: "simply an
+// array of references" plus the bookkeeping needed to refetch the cluster.
+func buildReplacementClass() *heap.Class {
+	c := heap.NewClass(replacementClassName,
+		heap.FieldDef{Name: fldClust, Kind: heap.KindInt},
+		heap.FieldDef{Name: fldOut, Kind: heap.KindList},
+		heap.FieldDef{Name: fldKey, Kind: heap.KindString},
+		heap.FieldDef{Name: fldStore, Kind: heap.KindString},
+	)
+	c.Special = heap.SpecialReplacement
+	return c
+}
+
+// isProxy reports whether the object is a swap-cluster-proxy.
+func isProxy(o *heap.Object) bool { return o.Class().Special == heap.SpecialSCProxy }
+
+// Fixed slot indices of the proxy class layout (see buildProxyClass): the
+// boundary hop is the hot path of Figure 5, so proxy state is read by index
+// rather than by name.
+const (
+	slotTarget = 0
+	slotObj    = 1
+	slotSrc    = 2
+	slotMode   = 3
+)
+
+// proxyUltimate reads a proxy's ultimate target object id.
+func proxyUltimate(p *heap.Object) heap.ObjID {
+	i, _ := p.Field(slotObj).Int()
+	return heap.ObjID(i)
+}
+
+// proxySrc reads a proxy's source cluster.
+func proxySrc(p *heap.Object) ClusterID {
+	i, _ := p.Field(slotSrc).Int()
+	return ClusterID(i)
+}
+
+// proxyMode reads a proxy's mode field.
+func proxyMode(p *heap.Object) int64 {
+	i, _ := p.Field(slotMode).Int()
+	return i
+}
+
+// proxyFor returns (creating or reusing) the swap-cluster-proxy mediating
+// references from cluster src to the object target. It assumes target is NOT
+// a member of src (callers dismantle that case into a direct reference).
+func (rt *Runtime) proxyFor(src ClusterID, target heap.ObjID) (heap.ObjID, error) {
+	key := proxyKey{src: src, target: target}
+	if pid, ok := rt.mgr.lookupProxy(key); ok {
+		// The registry entry may be stale if the proxy was collected but its
+		// finalizer has not yet run (finalizers run at collection, so entries
+		// are purged promptly; this is a cheap belt-and-braces check).
+		if rt.h.Contains(pid) {
+			return pid, nil
+		}
+		rt.mgr.purgeProxy(pid)
+	}
+
+	className, ok := rt.mgr.classOf(target)
+	if !ok {
+		// Target was never assigned: it is a root-cluster object; resolve its
+		// class from residency.
+		o, err := rt.h.Get(target)
+		if err != nil {
+			return heap.NilID, fmt.Errorf("core: proxy target @%d: %w", target, err)
+		}
+		className = o.Class().Name
+	}
+	return rt.newProxy(src, target, className, proxyModeNormal)
+}
+
+// newProxy allocates and registers a swap-cluster-proxy.
+func (rt *Runtime) newProxy(src ClusterID, target heap.ObjID, className string, mode int64) (heap.ObjID, error) {
+	proxyClass, ok := rt.proxyClasses[className]
+	if !ok {
+		return heap.NilID, fmt.Errorf("core: no proxy class for %s (class not registered)", className)
+	}
+	p, err := rt.allocMiddleware(proxyClass)
+	if err != nil {
+		return heap.NilID, fmt.Errorf("core: allocate proxy: %w", err)
+	}
+	targetCluster := rt.mgr.ClusterOf(target)
+
+	// While the target's cluster is swapped out, fresh proxies point at the
+	// replacement-object so a traversal faults the cluster in.
+	tgt := heap.Ref(target)
+	rt.mgr.mu.Lock()
+	if cs, ok := rt.mgr.clusters[targetCluster]; ok && cs.swapped {
+		tgt = heap.Ref(cs.replacement)
+	}
+	rt.mgr.mu.Unlock()
+
+	if err := setProxyFields(p, tgt, target, src, mode); err != nil {
+		return heap.NilID, err
+	}
+	rt.mgr.registerProxy(p.ID(), proxyKey{src: src, target: target}, targetCluster)
+	rt.h.OnFinalize(p.ID(), rt.mgr.purgeProxy)
+	return p.ID(), nil
+}
+
+// AssignedCursor builds a dedicated, assign-optimized cursor proxy for the
+// object v designates, sourced at swap-cluster-0. This is the intended use of
+// SwapClusterUtils.assign in Section 4: the cursor variable gets its own
+// proxy instance, which patches itself as the iteration advances instead of
+// creating (and discarding) one proxy per step. The cursor proxy is private:
+// it is never handed out by the registry, so patching it cannot corrupt
+// other references to the same targets.
+//
+// If v designates an object of swap-cluster-0 itself, no mediation is needed
+// and v is returned unchanged.
+func (rt *Runtime) AssignedCursor(v heap.Value) (heap.Value, error) {
+	id, err := v.Ref()
+	if err != nil {
+		return heap.Nil(), err
+	}
+	if id == heap.NilID {
+		return heap.Nil(), heap.ErrNilTarget
+	}
+	ultimate, err := rt.resolveUltimate(id)
+	if err != nil {
+		return heap.Nil(), err
+	}
+	if rt.mgr.ClusterOf(ultimate) == RootCluster {
+		return heap.Ref(ultimate), nil
+	}
+	className, ok := rt.mgr.classOf(ultimate)
+	if !ok {
+		o, err := rt.h.Get(ultimate)
+		if err != nil {
+			return heap.Nil(), err
+		}
+		className = o.Class().Name
+	}
+	pid, err := rt.newCursorProxy(RootCluster, ultimate, className)
+	if err != nil {
+		return heap.Nil(), err
+	}
+	return heap.Ref(pid), nil
+}
+
+// newCursorProxy allocates an assign-mode proxy registered only in the
+// inbound index (for swap-out patching) — never in the shared registry.
+func (rt *Runtime) newCursorProxy(src ClusterID, target heap.ObjID, className string) (heap.ObjID, error) {
+	proxyClass, ok := rt.proxyClasses[className]
+	if !ok {
+		return heap.NilID, fmt.Errorf("core: no proxy class for %s (class not registered)", className)
+	}
+	p, err := rt.allocMiddleware(proxyClass)
+	if err != nil {
+		return heap.NilID, fmt.Errorf("core: allocate cursor proxy: %w", err)
+	}
+	targetCluster := rt.mgr.ClusterOf(target)
+	tgt := heap.Ref(target)
+	rt.mgr.mu.Lock()
+	if cs, ok := rt.mgr.clusters[targetCluster]; ok && cs.swapped {
+		tgt = heap.Ref(cs.replacement)
+	}
+	rt.mgr.mu.Unlock()
+	if err := setProxyFields(p, tgt, target, src, proxyModeAssign); err != nil {
+		return heap.NilID, err
+	}
+	rt.mgr.registerCursorProxy(p.ID(), proxyKey{src: src, target: target}, targetCluster)
+	rt.h.OnFinalize(p.ID(), rt.mgr.purgeProxy)
+	return p.ID(), nil
+}
+
+func setProxyFields(p *heap.Object, tgt heap.Value, ultimate heap.ObjID, src ClusterID, mode int64) error {
+	if err := p.SetFieldByName(fldTarget, tgt); err != nil {
+		return err
+	}
+	if err := p.SetFieldByName(fldObj, heap.Int(int64(ultimate))); err != nil {
+		return err
+	}
+	if err := p.SetFieldByName(fldSrc, heap.Int(int64(src))); err != nil {
+		return err
+	}
+	return p.SetFieldByName(fldMode, heap.Int(mode))
+}
+
+// resolveUltimate unwraps a reference to the identity of the application
+// object it ultimately designates: proxies yield their recorded target,
+// plain objects yield themselves.
+func (rt *Runtime) resolveUltimate(id heap.ObjID) (heap.ObjID, error) {
+	o, err := rt.h.Get(id)
+	if err != nil {
+		// Non-resident members of swapped clusters keep their identities.
+		if _, known := rt.mgr.classOf(id); known {
+			return id, nil
+		}
+		return heap.NilID, err
+	}
+	switch o.Class().Special {
+	case heap.SpecialSCProxy:
+		return proxyUltimate(o), nil
+	case heap.SpecialReplacement:
+		return heap.NilID, errors.New("core: replacement-object escaped into application graph")
+	default:
+		return id, nil
+	}
+}
+
+// translate rewrites a value into the perspective of cluster `to`: every
+// contained reference is dismantled to a direct reference when its ultimate
+// target belongs to `to`, and otherwise mediated by the (unique) proxy for
+// (to, target). This is the reference-interception rule set of Section 4.
+func (rt *Runtime) translate(v heap.Value, to ClusterID) (heap.Value, error) {
+	switch v.Kind() {
+	case heap.KindRef:
+		id, _ := v.Ref()
+		return rt.translateRef(id, to)
+	case heap.KindList:
+		elems, _ := v.List()
+		out := make([]heap.Value, len(elems))
+		for i, e := range elems {
+			te, err := rt.translate(e, to)
+			if err != nil {
+				return heap.Nil(), err
+			}
+			out[i] = te
+		}
+		return heap.List(out...), nil
+	default:
+		return v, nil
+	}
+}
+
+// translateRef applies the per-reference rules: dismantle, pass-through or
+// wrap in a proxy.
+func (rt *Runtime) translateRef(id heap.ObjID, to ClusterID) (heap.Value, error) {
+	if id == heap.NilID {
+		return heap.Nil(), nil
+	}
+	o, err := rt.h.Get(id)
+	if err != nil {
+		// A direct reference to a member of a swapped-out cluster is valid
+		// currency: it translates without faulting the cluster in (the proxy
+		// built for it targets the replacement-object).
+		if _, known := rt.mgr.classOf(id); known {
+			if rt.mgr.ClusterOf(id) == to {
+				// A same-cluster reference to a non-resident member cannot
+				// arise from the interception rules; surface the dangle.
+				return heap.Nil(), err
+			}
+			pid, perr := rt.proxyFor(to, id)
+			if perr != nil {
+				return heap.Nil(), perr
+			}
+			rt.pushStack(pid)
+			return heap.Ref(pid), nil
+		}
+		return heap.Nil(), err
+	}
+	ultimate := id
+	viaProxy := false
+	if isProxy(o) {
+		ultimate = proxyUltimate(o)
+		viaProxy = true
+	} else if isObjProxy(o) {
+		// Object-fault proxies are cluster-agnostic placeholders: they pass
+		// through unchanged and are replaced (not wrapped) after replication.
+		return heap.Ref(id), nil
+	} else if o.Class().Special == heap.SpecialReplacement {
+		return heap.Nil(), errors.New("core: replacement-object escaped into application graph")
+	}
+	targetCluster := rt.mgr.ClusterOf(ultimate)
+	if targetCluster == to {
+		// Rule iii: a reference into the receiving cluster itself is
+		// dismantled into a direct reference — including a stale proxy whose
+		// target was merged into the receiving cluster.
+		return heap.Ref(ultimate), nil
+	}
+	if viaProxy && proxySrc(o) == to {
+		// Already the right proxy for this cluster: reuse as-is.
+		return heap.Ref(id), nil
+	}
+	pid, err := rt.proxyFor(to, ultimate)
+	if err != nil {
+		return heap.Nil(), err
+	}
+	// Protect the possibly fresh proxy until the caller anchors it.
+	rt.pushStack(pid)
+	return heap.Ref(pid), nil
+}
+
+// Assign enables the iteration optimization of Section 4 on a
+// swap-cluster-proxy reference: instead of creating a fresh proxy for each
+// reference it returns, the proxy patches itself to the returned object and
+// hands back a reference to itself. This is SwapClusterUtils.assign.
+func (rt *Runtime) Assign(v heap.Value) error {
+	id, err := v.Ref()
+	if err != nil {
+		return err
+	}
+	o, err := rt.h.Get(id)
+	if err != nil {
+		return err
+	}
+	if !isProxy(o) {
+		return fmt.Errorf("%w: %s", ErrNotProxy, o.Class().Name)
+	}
+	return o.SetFieldByName(fldMode, heap.Int(proxyModeAssign))
+}
+
+// Unassign restores normal proxy behaviour.
+func (rt *Runtime) Unassign(v heap.Value) error {
+	id, err := v.Ref()
+	if err != nil {
+		return err
+	}
+	o, err := rt.h.Get(id)
+	if err != nil {
+		return err
+	}
+	if !isProxy(o) {
+		return fmt.Errorf("%w: %s", ErrNotProxy, o.Class().Name)
+	}
+	return o.SetFieldByName(fldMode, heap.Int(proxyModeNormal))
+}
+
+// ProxyTarget reports the ultimate application object a swap-cluster-proxy
+// designates. ok is false when o is not a swap-cluster-proxy.
+func ProxyTarget(o *heap.Object) (heap.ObjID, bool) {
+	if o == nil || !isProxy(o) {
+		return heap.NilID, false
+	}
+	return proxyUltimate(o), true
+}
+
+// IsProxyRef reports whether v currently designates a swap-cluster-proxy.
+func (rt *Runtime) IsProxyRef(v heap.Value) bool {
+	id, err := v.Ref()
+	if err != nil || id == heap.NilID {
+		return false
+	}
+	o, err := rt.h.Get(id)
+	return err == nil && isProxy(o)
+}

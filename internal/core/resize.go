@@ -1,0 +1,246 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"objectswap/internal/heap"
+)
+
+// Swap-cluster resizing: the paper makes both the replication-cluster size
+// and the number of clusters grouped into one swap-cluster "adaptable", and
+// the ablation benchmarks show why adaptation matters (bad granularity
+// thrashes the link). MergeClusters and SplitCluster adapt the granularity
+// of an already-built graph at runtime while preserving the mediation
+// invariant: after either operation, every cross-cluster reference is
+// proxied at the correct source cluster and every intra-cluster reference is
+// direct.
+
+// MergeClusters folds cluster src into cluster dst: all of src's objects
+// become members of dst, proxies across the former boundary are dismantled
+// into direct references, and src is removed. Both clusters must be resident
+// and inactive; dst may be RootCluster (demoting a cluster into the global
+// space), src may not.
+func (rt *Runtime) MergeClusters(dst, src ClusterID) error {
+	if src == RootCluster {
+		return ErrRootCluster
+	}
+	if src == dst {
+		return fmt.Errorf("core: merge: src and dst are both cluster %d", src)
+	}
+
+	rt.mgr.mu.Lock()
+	ds, err := rt.mgr.state(dst)
+	if err != nil {
+		rt.mgr.mu.Unlock()
+		return err
+	}
+	ss, err := rt.mgr.state(src)
+	if err != nil {
+		rt.mgr.mu.Unlock()
+		return err
+	}
+	if ds.swapped || ss.swapped {
+		rt.mgr.mu.Unlock()
+		return fmt.Errorf("%w: merge requires both clusters resident", ErrClusterSwapped)
+	}
+	moved := make(map[heap.ObjID]bool, len(ss.objects))
+	for oid := range ss.objects {
+		moved[oid] = true
+	}
+	rt.mgr.mu.Unlock()
+
+	members := make(map[heap.ObjID]bool, len(moved))
+	for oid := range moved {
+		members[oid] = true
+	}
+	if err := rt.checkInactive(src, members); err != nil {
+		return err
+	}
+	rt.mgr.mu.Lock()
+	for oid := range ds.objects {
+		members[oid] = true
+	}
+	rt.mgr.mu.Unlock()
+	if err := rt.checkInactive(dst, members); err != nil {
+		return err
+	}
+
+	// 1. Move membership.
+	rt.mgr.mu.Lock()
+	for oid := range moved {
+		info := rt.mgr.objects[oid]
+		info.cluster = dst
+		rt.mgr.objects[oid] = info
+		delete(ss.objects, oid)
+		ds.objects[oid] = true
+	}
+	// Merge statistics conservatively.
+	ds.crossings += ss.crossings
+	if ss.lastAccess > ds.lastAccess {
+		ds.lastAccess = ss.lastAccess
+	}
+	delete(rt.mgr.clusters, src)
+	// Inbound proxies previously indexed under src now target dst members.
+	if idx := rt.mgr.inbound[src]; idx != nil {
+		didx := rt.mgr.inbound[dst]
+		if didx == nil {
+			didx = make(map[heap.ObjID]bool)
+			rt.mgr.inbound[dst] = didx
+		}
+		for pid := range idx {
+			didx[pid] = true
+		}
+		delete(rt.mgr.inbound, src)
+	}
+	rt.mgr.mu.Unlock()
+
+	// 2. Re-mediate the fields of every member of the merged cluster:
+	// references to proxies whose ultimate target now shares the cluster are
+	// dismantled; proxies sourced at the vanished src are replaced by
+	// dst-sourced mediation.
+	if err := rt.remediateCluster(dst); err != nil {
+		return err
+	}
+	return nil
+}
+
+// SplitCluster moves the given members of cluster src into a fresh cluster
+// and returns its id. Boundary edges created by the split are mediated with
+// new proxies; references within each half stay direct. The cluster must be
+// resident and inactive, and every listed object must be a member.
+func (rt *Runtime) SplitCluster(src ClusterID, members []heap.ObjID) (ClusterID, error) {
+	if src == RootCluster {
+		return 0, ErrRootCluster
+	}
+	if len(members) == 0 {
+		return 0, fmt.Errorf("%w: empty split set", ErrClusterEmpty)
+	}
+
+	rt.mgr.mu.Lock()
+	ss, err := rt.mgr.state(src)
+	if err != nil {
+		rt.mgr.mu.Unlock()
+		return 0, err
+	}
+	if ss.swapped {
+		rt.mgr.mu.Unlock()
+		return 0, fmt.Errorf("%w: cluster %d", ErrClusterSwapped, src)
+	}
+	for _, oid := range members {
+		if !ss.objects[oid] {
+			rt.mgr.mu.Unlock()
+			return 0, fmt.Errorf("core: split: @%d is not a member of cluster %d", oid, src)
+		}
+	}
+	all := make(map[heap.ObjID]bool, len(ss.objects))
+	for oid := range ss.objects {
+		all[oid] = true
+	}
+	rt.mgr.mu.Unlock()
+	if err := rt.checkInactive(src, all); err != nil {
+		return 0, err
+	}
+
+	fresh := rt.mgr.NewCluster()
+	rt.mgr.mu.Lock()
+	fs := rt.mgr.clusters[fresh]
+	for _, oid := range members {
+		info := rt.mgr.objects[oid]
+		info.cluster = fresh
+		rt.mgr.objects[oid] = info
+		delete(ss.objects, oid)
+		fs.objects[oid] = true
+	}
+	fs.lastAccess = ss.lastAccess
+	// Inbound proxies whose ultimate moved follow it in the index.
+	if idx := rt.mgr.inbound[src]; idx != nil {
+		movedSet := make(map[heap.ObjID]bool, len(members))
+		for _, oid := range members {
+			movedSet[oid] = true
+		}
+		fidx := rt.mgr.inbound[fresh]
+		if fidx == nil {
+			fidx = make(map[heap.ObjID]bool)
+			rt.mgr.inbound[fresh] = fidx
+		}
+		for pid := range idx {
+			if p, err := rt.h.Get(pid); err == nil && movedSet[proxyUltimate(p)] {
+				delete(idx, pid)
+				fidx[pid] = true
+			}
+		}
+	}
+	rt.mgr.mu.Unlock()
+
+	// Re-mediate both halves: edges crossing the new boundary gain proxies;
+	// proxies that now point within their holder's cluster are dismantled.
+	if err := rt.remediateCluster(src); err != nil {
+		return fresh, err
+	}
+	if err := rt.remediateCluster(fresh); err != nil {
+		return fresh, err
+	}
+	return fresh, nil
+}
+
+// remediateCluster rewrites the fields of every member of cluster id so the
+// mediation invariant holds: intra-cluster references direct, cross-cluster
+// references proxied with source id. Object-fault placeholders pass through.
+func (rt *Runtime) remediateCluster(id ClusterID) error {
+	// Re-mediation rewrites references to semantically identical ones.
+	defer rt.h.SuspendWriteObserver()()
+	rt.mgr.mu.Lock()
+	cs, err := rt.mgr.state(id)
+	if err != nil {
+		rt.mgr.mu.Unlock()
+		return err
+	}
+	ids := make([]heap.ObjID, 0, len(cs.objects))
+	for oid := range cs.objects {
+		ids = append(ids, oid)
+	}
+	rt.mgr.mu.Unlock()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	for _, oid := range ids {
+		o, err := rt.h.Get(oid)
+		if err != nil {
+			continue // awaiting collection
+		}
+		for i := 0; i < o.NumFields(); i++ {
+			v := o.Field(i)
+			if v.Kind() != heap.KindRef && v.Kind() != heap.KindList {
+				continue
+			}
+			nv, err := rt.translate(v, id)
+			if err != nil {
+				return fmt.Errorf("core: re-mediate @%d field %s: %w",
+					oid, o.Class().Field(i).Name, err)
+			}
+			if !nv.Equal(v) {
+				if err := o.SetField(i, nv); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	// Roots are cluster-0 state: when id is the root cluster (a merge into
+	// it), re-mediate them too.
+	if id == RootCluster {
+		for _, name := range rt.h.RootNames() {
+			v, _ := rt.h.Root(name)
+			if v.Kind() != heap.KindRef && v.Kind() != heap.KindList {
+				continue
+			}
+			nv, err := rt.translate(v, RootCluster)
+			if err != nil {
+				return fmt.Errorf("core: re-mediate root %s: %w", name, err)
+			}
+			if !nv.Equal(v) {
+				rt.h.SetRoot(name, nv)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,455 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"objectswap/internal/event"
+	"objectswap/internal/heap"
+	"objectswap/internal/xmlcodec"
+)
+
+// SwapOut detaches the given swap-cluster from the application graph and
+// ships its objects, as XML, to a nearby device chosen by the store provider.
+//
+// The procedure follows Section 3 exactly:
+//
+//  1. a replacement-object is created and filled with references to every
+//     outbound swap-cluster-proxy referenced by the cluster's objects;
+//  2. the XML wrapping of the cluster's objects is stored on the device
+//     under a fresh key (outbound references encode as replacement slots);
+//  3. every inbound swap-cluster-proxy is patched to target the
+//     replacement-object;
+//  4. the cluster's objects, now unreachable from the application, await the
+//     local collector (call Runtime.Collect to reclaim immediately).
+//
+// It returns the SwapEvent describing the shipment.
+func (rt *Runtime) SwapOut(id ClusterID) (SwapEvent, error) {
+	if id == RootCluster {
+		return SwapEvent{}, ErrRootCluster
+	}
+	if rt.stores == nil {
+		return SwapEvent{}, ErrNoStores
+	}
+
+	rt.mgr.mu.Lock()
+	cs, err := rt.mgr.state(id)
+	if err != nil {
+		rt.mgr.mu.Unlock()
+		return SwapEvent{}, err
+	}
+	if cs.swapped {
+		rt.mgr.mu.Unlock()
+		return SwapEvent{}, fmt.Errorf("%w: cluster %d", ErrClusterSwapped, id)
+	}
+	if len(cs.objects) == 0 {
+		rt.mgr.mu.Unlock()
+		return SwapEvent{}, fmt.Errorf("%w: %d", ErrClusterEmpty, id)
+	}
+	members := make(map[heap.ObjID]bool, len(cs.objects))
+	memberIDs := make([]heap.ObjID, 0, len(cs.objects))
+	for oid := range cs.objects {
+		members[oid] = true
+		memberIDs = append(memberIDs, oid)
+	}
+	rt.mgr.mu.Unlock()
+	sort.Slice(memberIDs, func(i, j int) bool { return memberIDs[i] < memberIDs[j] })
+
+	// Refuse to detach a cluster with in-flight invocations: its objects are
+	// live on the stack and would collide with a later reload.
+	if err := rt.checkInactive(id, members); err != nil {
+		return SwapEvent{}, err
+	}
+
+	// Collect the member objects; every one must be resident.
+	objs := make([]*heap.Object, 0, len(memberIDs))
+	var residentBytes int64
+	for _, oid := range memberIDs {
+		o, err := rt.h.Get(oid)
+		if err != nil {
+			return SwapEvent{}, fmt.Errorf("core: swap-out cluster %d: member @%d: %w", id, oid, err)
+		}
+		objs = append(objs, o)
+		residentBytes += o.Size()
+	}
+
+	// Build the outbound slot table (the distinct swap-cluster-proxies
+	// referenced from the cluster, in deterministic traversal order) and note
+	// un-replicated edges (object-fault proxies), which ship as remote
+	// references rather than replacement slots.
+	slotOf := make(map[heap.ObjID]int)
+	remoteOf := make(map[heap.ObjID]heap.Value) // objproxy id -> rref descriptor placeholder
+	var outbound []heap.Value
+	for _, o := range objs {
+		var werr error
+		for i := 0; i < o.NumFields() && werr == nil; i++ {
+			o.Field(i).MapRefs(func(rid heap.ObjID) heap.ObjID {
+				if werr != nil || rid == heap.NilID || members[rid] {
+					return rid
+				}
+				if _, seen := slotOf[rid]; seen {
+					return rid
+				}
+				if _, seen := remoteOf[rid]; seen {
+					return rid
+				}
+				ro, err := rt.h.Get(rid)
+				if err != nil {
+					werr = fmt.Errorf("core: cluster %d: dangling outbound @%d: %w", id, rid, err)
+					return rid
+				}
+				switch {
+				case isProxy(ro):
+					if proxySrc(ro) != id {
+						werr = fmt.Errorf("core: cluster %d: object @%d holds proxy @%d sourced at cluster %d",
+							id, o.ID(), rid, proxySrc(ro))
+						return rid
+					}
+					slotOf[rid] = len(outbound)
+					outbound = append(outbound, heap.Ref(rid))
+				case isObjProxy(ro):
+					remoteOf[rid] = heap.Nil() // marker; encoded below
+				default:
+					werr = fmt.Errorf("core: cluster %d: object @%d holds un-proxied foreign reference @%d",
+						id, o.ID(), rid)
+				}
+				return rid
+			})
+		}
+		if werr != nil {
+			return SwapEvent{}, werr
+		}
+	}
+
+	// Wrap to XML with internal/slot reference classification.
+	key := rt.nextKey(id)
+	encodeRef := func(rid heap.ObjID) (xmlcodec.Value, error) {
+		if members[rid] {
+			return xmlcodec.InternalRef(rid), nil
+		}
+		if slot, ok := slotOf[rid]; ok {
+			return xmlcodec.SlotRef(slot), nil
+		}
+		if _, ok := remoteOf[rid]; ok {
+			ro, err := rt.h.Get(rid)
+			if err != nil {
+				return xmlcodec.Value{}, err
+			}
+			return xmlcodec.RemoteRefOf(ObjProxyRemote(ro), ObjProxyClass(ro)), nil
+		}
+		return xmlcodec.Value{}, fmt.Errorf("core: unclassified reference @%d", rid)
+	}
+	doc, err := xmlcodec.EncodeObjects(key, objs, encodeRef)
+	if err != nil {
+		return SwapEvent{}, fmt.Errorf("core: wrap cluster %d: %w", id, err)
+	}
+	data, err := doc.Encode()
+	if err != nil {
+		return SwapEvent{}, fmt.Errorf("core: wrap cluster %d: %w", id, err)
+	}
+
+	// Pick a nearby device with room.
+	device, s, err := rt.stores.Pick(int64(len(data)))
+	if err != nil {
+		return SwapEvent{}, fmt.Errorf("core: swap-out cluster %d: %w", id, err)
+	}
+
+	// Create the replacement-object and anchor it against collection until
+	// the inbound proxies reference it.
+	repl, err := rt.allocMiddleware(rt.replacementClass)
+	if err != nil {
+		return SwapEvent{}, fmt.Errorf("core: replacement for cluster %d: %w", id, err)
+	}
+	rt.h.Pin(repl.ID())
+	defer rt.h.Unpin(repl.ID())
+	if err := repl.SetFieldByName(fldClust, heap.Int(int64(id))); err != nil {
+		return SwapEvent{}, err
+	}
+	if err := repl.SetFieldByName(fldOut, heap.List(outbound...)); err != nil {
+		return SwapEvent{}, err
+	}
+	if err := repl.SetFieldByName(fldKey, heap.Str(key)); err != nil {
+		return SwapEvent{}, err
+	}
+	if err := repl.SetFieldByName(fldStore, heap.Str(device)); err != nil {
+		return SwapEvent{}, err
+	}
+
+	// Ship first: a failed transfer must leave the graph untouched.
+	if err := s.Put(key, data); err != nil {
+		_ = rt.h.Remove(repl.ID())
+		return SwapEvent{}, fmt.Errorf("core: ship cluster %d to %s: %w", id, device, err)
+	}
+
+	// Patch every inbound proxy to the replacement-object.
+	for _, pid := range rt.mgr.inboundProxies(id) {
+		p, err := rt.h.Get(pid)
+		if err != nil {
+			continue // collected since snapshot; finalizer will purge
+		}
+		if err := p.SetFieldByName(fldTarget, repl.RefTo()); err != nil {
+			return SwapEvent{}, fmt.Errorf("core: patch inbound proxy @%d: %w", pid, err)
+		}
+	}
+
+	rt.mgr.mu.Lock()
+	cs.swapped = true
+	cs.replacement = repl.ID()
+	cs.device = device
+	cs.key = key
+	cs.payloadBytes = len(data)
+	cs.bytesAtSwap = residentBytes
+	cs.swapOuts++
+	rt.mgr.mu.Unlock()
+
+	ev := SwapEvent{Cluster: id, Device: device, Key: key, Objects: len(objs), Bytes: len(data)}
+	rt.emit(event.TopicSwapOut, ev)
+	return ev, nil
+}
+
+// checkInactive fails when any member of the cluster is on the invocation
+// stack.
+func (rt *Runtime) checkInactive(id ClusterID, members map[heap.ObjID]bool) error {
+	for _, sid := range rt.stack {
+		if members[sid] {
+			return fmt.Errorf("%w: cluster %d (object @%d on stack)", ErrClusterActive, id, sid)
+		}
+	}
+	return nil
+}
+
+// SwapIn fetches a swapped-out cluster back from its device, reinstalls its
+// objects under their original identities, re-patches every inbound proxy,
+// and retires the replacement-object. Invoking any inbound proxy of a swapped
+// cluster does this implicitly; SwapIn is the explicit form (prefetch).
+func (rt *Runtime) SwapIn(id ClusterID) (SwapEvent, error) {
+	if rt.stores == nil {
+		return SwapEvent{}, ErrNoStores
+	}
+	rt.mgr.mu.Lock()
+	cs, err := rt.mgr.state(id)
+	if err != nil {
+		rt.mgr.mu.Unlock()
+		return SwapEvent{}, err
+	}
+	if !cs.swapped {
+		rt.mgr.mu.Unlock()
+		return SwapEvent{}, fmt.Errorf("%w: cluster %d", ErrClusterLoaded, id)
+	}
+	device, key := cs.device, cs.key
+	replID := cs.replacement
+	needBytes := cs.bytesAtSwap
+	rt.mgr.mu.Unlock()
+
+	repl, err := rt.h.Get(replID)
+	if err != nil {
+		return SwapEvent{}, fmt.Errorf("core: cluster %d replacement gone (cluster is garbage): %w", id, err)
+	}
+	// Keep the replacement alive across any eviction below.
+	rt.h.Pin(replID)
+	defer rt.h.Unpin(replID)
+
+	s, err := rt.stores.Lookup(device)
+	if err != nil {
+		return SwapEvent{}, fmt.Errorf("core: swap-in cluster %d: %w", id, err)
+	}
+	data, err := s.Get(key)
+	if err != nil {
+		return SwapEvent{}, fmt.Errorf("core: fetch cluster %d from %s: %w", id, device, err)
+	}
+	doc, err := xmlcodec.Decode(data)
+	if err != nil {
+		return SwapEvent{}, fmt.Errorf("core: unwrap cluster %d: %w", id, err)
+	}
+	if doc.ClusterID != key {
+		return SwapEvent{}, fmt.Errorf("core: cluster %d: device returned wrong shipment %q", id, doc.ClusterID)
+	}
+
+	// Make room before installing, if we can tell it is needed. Demand a
+	// little headroom beyond the payload: the reload path itself allocates
+	// middleware objects (proxies for un-replicated edges, patched state).
+	if cap := rt.h.Capacity(); cap > 0 && rt.evictor != nil && !rt.evicting {
+		const reloadSlack = 512
+		appLimit := cap - rt.h.Reserve()
+		if free := appLimit - rt.h.Used(); free < needBytes+reloadSlack {
+			if err := rt.runEvictor(needBytes + reloadSlack - free); err != nil {
+				return SwapEvent{}, fmt.Errorf("core: make room for cluster %d: %w", id, err)
+			}
+		}
+	}
+
+	// Resolve replacement slots back to the retained outbound proxies.
+	outboundVal, err := repl.FieldByName(fldOut)
+	if err != nil {
+		return SwapEvent{}, err
+	}
+	outbound, err := outboundVal.List()
+	if err != nil {
+		return SwapEvent{}, err
+	}
+	decodeRef := func(v xmlcodec.Value) (heap.Value, error) {
+		switch v.RefClass {
+		case xmlcodec.RefSlot:
+			if v.Slot < 0 || v.Slot >= len(outbound) {
+				return heap.Nil(), fmt.Errorf("core: replacement slot %d out of range (%d slots)", v.Slot, len(outbound))
+			}
+			return outbound[v.Slot], nil
+		case xmlcodec.RefRemote:
+			// An un-replicated edge: re-synthesize its object-fault proxy.
+			pid, err := rt.ObjProxyFor(v.Target, v.Class)
+			if err != nil {
+				return heap.Nil(), err
+			}
+			return heap.Ref(pid), nil
+		default:
+			return heap.Nil(), fmt.Errorf("core: unexpected reference class %v in swapped cluster", v.RefClass)
+		}
+	}
+
+	// The detached objects are merely *eligible* for collection; if no GC
+	// cycle ran since the swap-out they are still resident (as garbage) and
+	// their identities must be vacated before reinstalling.
+	rt.mgr.mu.Lock()
+	stale := make([]heap.ObjID, 0, len(cs.objects))
+	for oid := range cs.objects {
+		stale = append(stale, oid)
+	}
+	rt.mgr.mu.Unlock()
+	for _, oid := range stale {
+		if rt.h.Contains(oid) {
+			_ = rt.h.Remove(oid)
+		}
+	}
+
+	// Reinstallation restores state; it is not a user mutation.
+	resumeObserver := rt.h.SuspendWriteObserver()
+	installed, err := doc.Install(rt.h, rt.reg, decodeRef)
+	if err != nil {
+		resumeObserver()
+		for _, o := range installed {
+			_ = rt.h.Remove(o.ID())
+		}
+		return SwapEvent{}, fmt.Errorf("core: install cluster %d: %w", id, err)
+	}
+	resumeObserver()
+
+	// Re-patch inbound proxies onto the restored objects.
+	for _, pid := range rt.mgr.inboundProxies(id) {
+		p, err := rt.h.Get(pid)
+		if err != nil {
+			continue
+		}
+		if err := p.SetFieldByName(fldTarget, heap.Ref(proxyUltimate(p))); err != nil {
+			return SwapEvent{}, fmt.Errorf("core: re-patch inbound proxy @%d: %w", pid, err)
+		}
+	}
+
+	rt.mgr.mu.Lock()
+	cs.swapped = false
+	cs.replacement = heap.NilID
+	cs.device = ""
+	cs.key = ""
+	payload := cs.payloadBytes
+	cs.payloadBytes = 0
+	cs.bytesAtSwap = 0
+	cs.swapIns++
+	rt.mgr.mu.Unlock()
+
+	// The device's copy is stale once the cluster is live again.
+	if !rt.keepOnReload {
+		if err := s.Drop(key); err != nil {
+			rt.mgr.deferDrop(device, key, id)
+		}
+	}
+
+	ev := SwapEvent{Cluster: id, Device: device, Key: key, Objects: len(installed), Bytes: payload}
+	rt.emit(event.TopicSwapIn, ev)
+	return ev, nil
+}
+
+// EvictColdest is a ready-made evictor: it first runs a collection (garbage
+// alone may satisfy the request — the cheap path a real VM tries first), then
+// swaps out eligible clusters in ascending recency order until need bytes
+// have been freed, reclaiming after each swap. Install it with SetEvictor, or
+// let the policy engine drive finer-grained decisions.
+func (rt *Runtime) EvictColdest(need int64) error {
+	return rt.EvictBy(VictimColdest, need)
+}
+
+// Evictor returns an evictor hook bound to the given victim strategy,
+// suitable for SetEvictor.
+func (rt *Runtime) Evictor(strategy VictimStrategy) func(need int64) error {
+	return func(need int64) error { return rt.EvictBy(strategy, need) }
+}
+
+// EvictBy frees at least need bytes: collect first, then swap out victims in
+// strategy order, reclaiming after each swap. Progress is measured against
+// actual heap occupancy, so middleware allocations made by the eviction
+// itself (replacement-objects, proxies) are accounted honestly.
+func (rt *Runtime) EvictBy(strategy VictimStrategy, need int64) error {
+	target := rt.h.Used() - need
+	// Collections age the nursery (host-reference grace); a couple of extra
+	// cycles can satisfy the request from garbage alone.
+	for i := 0; i < 3 && rt.h.Used() > target; i++ {
+		rt.Collect()
+	}
+	for rt.h.Used() > target {
+		victims := rt.mgr.SelectVictims(strategy)
+		if len(victims) == 0 {
+			return errors.New("core: nothing left to evict")
+		}
+		progressed := false
+		for _, v := range victims {
+			if _, err := rt.SwapOut(v); err != nil {
+				if errors.Is(err, ErrClusterActive) {
+					continue // try the next victim
+				}
+				return err
+			}
+			rt.Collect()
+			progressed = true
+			break
+		}
+		if !progressed {
+			return errors.New("core: all eviction candidates are active")
+		}
+	}
+	return nil
+}
+
+// SelectVictims returns every eligible eviction candidate ordered by the
+// strategy (best victim first).
+func (m *Manager) SelectVictims(strategy VictimStrategy) []ClusterID {
+	infos := m.InfoAll()
+	var eligible []ClusterInfo
+	for _, info := range infos {
+		if info.ID == RootCluster || info.Swapped || info.Objects == 0 {
+			continue
+		}
+		eligible = append(eligible, info)
+	}
+	sort.Slice(eligible, func(i, j int) bool {
+		a, b := eligible[i], eligible[j]
+		switch strategy {
+		case VictimLargest:
+			if a.ResidentBytes != b.ResidentBytes {
+				return a.ResidentBytes > b.ResidentBytes
+			}
+		case VictimLeastUsed:
+			if a.Crossings != b.Crossings {
+				return a.Crossings < b.Crossings
+			}
+		default:
+			if a.LastAccess != b.LastAccess {
+				return a.LastAccess < b.LastAccess
+			}
+		}
+		return a.ID < b.ID
+	})
+	out := make([]ClusterID, len(eligible))
+	for i, info := range eligible {
+		out[i] = info.ID
+	}
+	return out
+}

@@ -1,0 +1,126 @@
+package event
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestPublishDeliversInSubscriptionOrder(t *testing.T) {
+	b := NewBus()
+	var order []int
+	b.Subscribe("t", func(Event) { order = append(order, 1) })
+	b.Subscribe("t", func(Event) { order = append(order, 2) })
+	b.Subscribe("t", func(Event) { order = append(order, 3) })
+	n := b.Emit("t", nil)
+	if n != 3 {
+		t.Fatalf("Emit returned %d, want 3", n)
+	}
+	for i, v := range order {
+		if v != i+1 {
+			t.Fatalf("delivery order = %v", order)
+		}
+	}
+}
+
+func TestPublishPayloadAndTopicIsolation(t *testing.T) {
+	b := NewBus()
+	var got any
+	b.Subscribe("a", func(ev Event) { got = ev.Payload })
+	other := 0
+	b.Subscribe("b", func(Event) { other++ })
+	b.Emit("a", 42)
+	if got != 42 {
+		t.Fatalf("payload = %v", got)
+	}
+	if other != 0 {
+		t.Fatal("handler on unrelated topic fired")
+	}
+	if n := b.Emit("missing", nil); n != 0 {
+		t.Fatalf("Emit on topic without subscribers = %d", n)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	b := NewBus()
+	calls := 0
+	sub := b.Subscribe("t", func(Event) { calls++ })
+	b.Emit("t", nil)
+	sub.Cancel()
+	b.Emit("t", nil)
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1", calls)
+	}
+	sub.Cancel() // double-cancel is a no-op
+	var nilSub *Subscription
+	nilSub.Cancel() // nil-cancel is a no-op
+	if b.Subscribers("t") != 0 {
+		t.Fatal("subscriber count not zero after cancel")
+	}
+}
+
+func TestDeliveredCounter(t *testing.T) {
+	b := NewBus()
+	b.Subscribe("t", func(Event) {})
+	b.Subscribe("t", func(Event) {})
+	b.Emit("t", nil)
+	b.Emit("t", nil)
+	if got := b.Delivered("t"); got != 4 {
+		t.Fatalf("Delivered = %d, want 4", got)
+	}
+}
+
+func TestNilHandlerPanics(t *testing.T) {
+	b := NewBus()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Subscribe(nil) should panic")
+		}
+	}()
+	b.Subscribe("t", nil)
+}
+
+func TestHandlerMayPublish(t *testing.T) {
+	// Synchronous cascading: a handler publishing on another topic must not
+	// deadlock (handlers run outside the bus lock).
+	b := NewBus()
+	hits := 0
+	b.Subscribe("second", func(Event) { hits++ })
+	b.Subscribe("first", func(Event) { b.Emit("second", nil) })
+	b.Emit("first", nil)
+	if hits != 1 {
+		t.Fatalf("cascaded delivery = %d, want 1", hits)
+	}
+}
+
+func TestConcurrentPublishSafe(t *testing.T) {
+	b := NewBus()
+	var mu sync.Mutex
+	count := 0
+	b.Subscribe("t", func(Event) {
+		mu.Lock()
+		count++
+		mu.Unlock()
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				b.Emit("t", j)
+			}
+		}()
+	}
+	wg.Wait()
+	if count != 1600 {
+		t.Fatalf("count = %d, want 1600", count)
+	}
+}
+
+func TestStringSummary(t *testing.T) {
+	b := NewBus()
+	b.Subscribe("x", func(Event) {})
+	if got := b.String(); got != "event.Bus{topics:1}" {
+		t.Fatalf("String = %q", got)
+	}
+}

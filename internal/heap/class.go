@@ -1,0 +1,231 @@
+package heap
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// SpecialKind tags middleware-generated classes so the swapping runtime can
+// recognize its own artifacts during dispatch, GC integration and
+// serialization. Application classes are SpecialNone.
+type SpecialKind uint8
+
+const (
+	// SpecialNone marks ordinary application classes.
+	SpecialNone SpecialKind = iota
+	// SpecialSCProxy marks swap-cluster-proxy classes: the permanent proxies
+	// that mediate every reference crossing a swap-cluster boundary.
+	SpecialSCProxy
+	// SpecialReplacement marks replacement-objects: the per-swapped-cluster
+	// arrays of references left behind by swap-out.
+	SpecialReplacement
+	// SpecialObjProxy marks incremental-replication proxies (object-fault
+	// handlers for objects not yet replicated to the device).
+	SpecialObjProxy
+	// SpecialSurrogate marks per-object surrogates used only by the
+	// baseline offloading comparator (Messer et al. style).
+	SpecialSurrogate
+)
+
+// String returns a short tag for the special kind.
+func (s SpecialKind) String() string {
+	switch s {
+	case SpecialNone:
+		return "app"
+	case SpecialSCProxy:
+		return "scproxy"
+	case SpecialReplacement:
+		return "replacement"
+	case SpecialObjProxy:
+		return "objproxy"
+	case SpecialSurrogate:
+		return "surrogate"
+	default:
+		return "special?"
+	}
+}
+
+// FieldDef declares one field of a class.
+type FieldDef struct {
+	Name string
+	Kind Kind
+}
+
+// Call carries the context of one method invocation: the invoker to use for
+// nested calls (so middleware interposition applies transitively), the
+// receiver, and the arguments.
+type Call struct {
+	RT   Invoker
+	Self *Object
+	Args []Value
+}
+
+// Arg returns the i-th argument or nil Value when absent.
+func (c *Call) Arg(i int) Value {
+	if i < 0 || i >= len(c.Args) {
+		return Nil()
+	}
+	return c.Args[i]
+}
+
+// Method is the body of one method. Returning an error aborts the invocation
+// chain.
+type Method func(c *Call) ([]Value, error)
+
+// zeroValue returns the initial value of a field of kind k, matching managed
+// runtime semantics: primitives are zeroed, reference-like kinds are nil.
+func zeroValue(k Kind) Value {
+	switch k {
+	case KindInt:
+		return Int(0)
+	case KindFloat:
+		return Float(0)
+	case KindBool:
+		return Bool(false)
+	case KindString:
+		return Str("")
+	default:
+		return Nil()
+	}
+}
+
+// Class describes a managed type: named fields and a method table. A Class is
+// immutable after registration with a Registry.
+type Class struct {
+	Name    string
+	Special SpecialKind
+
+	fields     []FieldDef
+	fieldIndex map[string]int
+	methods    map[string]Method
+}
+
+// NewClass builds a class with the given fields. Use AddMethod before
+// registering it.
+func NewClass(name string, fields ...FieldDef) *Class {
+	c := &Class{
+		Name:       name,
+		fields:     append([]FieldDef(nil), fields...),
+		fieldIndex: make(map[string]int, len(fields)),
+		methods:    make(map[string]Method),
+	}
+	for i, f := range fields {
+		if _, dup := c.fieldIndex[f.Name]; dup {
+			panic(fmt.Sprintf("heap: class %s: duplicate field %s", name, f.Name))
+		}
+		c.fieldIndex[f.Name] = i
+	}
+	return c
+}
+
+// AddMethod attaches a method body under name and returns the class for
+// chaining. Redefining an existing method panics: classes model compiled
+// code, not dynamic monkey-patching.
+func (c *Class) AddMethod(name string, m Method) *Class {
+	if m == nil {
+		panic("heap: nil method " + name)
+	}
+	if _, dup := c.methods[name]; dup {
+		panic(fmt.Sprintf("heap: class %s: duplicate method %s", c.Name, name))
+	}
+	c.methods[name] = m
+	return c
+}
+
+// Method looks up a method body by name.
+func (c *Class) Method(name string) (Method, bool) {
+	m, ok := c.methods[name]
+	return m, ok
+}
+
+// MethodNames returns the sorted method names — the class's public interface,
+// which swap-cluster-proxy classes replicate (the obicomp analogue).
+func (c *Class) MethodNames() []string {
+	names := make([]string, 0, len(c.methods))
+	for n := range c.methods {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// NumFields returns the number of declared fields.
+func (c *Class) NumFields() int { return len(c.fields) }
+
+// Field returns the i-th field definition.
+func (c *Class) Field(i int) FieldDef { return c.fields[i] }
+
+// FieldIndex resolves a field name to its slot index.
+func (c *Class) FieldIndex(name string) (int, bool) {
+	i, ok := c.fieldIndex[name]
+	return i, ok
+}
+
+// Fields returns a copy of the field definitions.
+func (c *Class) Fields() []FieldDef {
+	return append([]FieldDef(nil), c.fields...)
+}
+
+// ErrUnknownClass reports a class name absent from a registry.
+var ErrUnknownClass = errors.New("heap: unknown class")
+
+// Registry maps class names to classes. Both devices in a replication pair
+// and the swap-in path resolve classes by name through a registry, mirroring
+// how class files / assemblies name types.
+type Registry struct {
+	mu      sync.RWMutex
+	classes map[string]*Class
+}
+
+// NewRegistry returns an empty class registry.
+func NewRegistry() *Registry {
+	return &Registry{classes: make(map[string]*Class)}
+}
+
+// Register adds a class. Registering a second class under the same name is an
+// error (assemblies do not redefine types).
+func (r *Registry) Register(c *Class) error {
+	if c == nil || c.Name == "" {
+		return errors.New("heap: register: nil or unnamed class")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.classes[c.Name]; dup {
+		return fmt.Errorf("heap: register: class %q already registered", c.Name)
+	}
+	r.classes[c.Name] = c
+	return nil
+}
+
+// MustRegister is Register that panics on error, for program initialization.
+func (r *Registry) MustRegister(c *Class) *Class {
+	if err := r.Register(c); err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Lookup resolves a class by name.
+func (r *Registry) Lookup(name string) (*Class, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	c, ok := r.classes[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownClass, name)
+	}
+	return c, nil
+}
+
+// Names returns the sorted registered class names.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.classes))
+	for n := range r.classes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

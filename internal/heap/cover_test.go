@@ -1,0 +1,159 @@
+package heap
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// Coverage for the small accessor surface that larger tests bypass.
+
+func TestSpecialKindStrings(t *testing.T) {
+	want := map[SpecialKind]string{
+		SpecialNone:        "app",
+		SpecialSCProxy:     "scproxy",
+		SpecialReplacement: "replacement",
+		SpecialObjProxy:    "objproxy",
+		SpecialSurrogate:   "surrogate",
+		SpecialKind(99):    "special?",
+	}
+	for k, s := range want {
+		if got := k.String(); got != s {
+			t.Errorf("%d.String() = %q, want %q", k, got, s)
+		}
+	}
+}
+
+func TestZeroValuesPerKind(t *testing.T) {
+	cases := map[Kind]Value{
+		KindInt:    Int(0),
+		KindFloat:  Float(0),
+		KindBool:   Bool(false),
+		KindString: Str(""),
+		KindRef:    Nil(),
+		KindList:   Nil(),
+		KindBytes:  Nil(),
+	}
+	for k, want := range cases {
+		if got := zeroValue(k); !got.Equal(want) {
+			t.Errorf("zeroValue(%s) = %v, want %v", k, got, want)
+		}
+	}
+}
+
+func TestClassFieldsCopy(t *testing.T) {
+	c := nodeClass()
+	fields := c.Fields()
+	if len(fields) != 3 || fields[0].Name != "payload" {
+		t.Fatalf("Fields = %v", fields)
+	}
+	fields[0].Name = "mutated"
+	if c.Field(0).Name != "payload" {
+		t.Fatal("Fields did not copy")
+	}
+}
+
+func TestMustRegisterPanicsOnDuplicate(t *testing.T) {
+	r := NewRegistry()
+	r.MustRegister(nodeClass())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate MustRegister did not panic")
+		}
+	}()
+	r.MustRegister(nodeClass())
+}
+
+func TestReserveAccessors(t *testing.T) {
+	h := New(1000)
+	h.SetReserve(100)
+	if h.Reserve() != 100 {
+		t.Fatalf("Reserve = %d", h.Reserve())
+	}
+	// App allocations stop at capacity-reserve; privileged go to capacity.
+	c := nodeClass()
+	one := int64(objectOverhead) + 3*valueOverhead
+	var err error
+	allocated := int64(0)
+	for {
+		if _, err = h.New(c); err != nil {
+			break
+		}
+		allocated += one
+	}
+	if !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("expected OOM, got %v", err)
+	}
+	if allocated > 900 {
+		t.Fatalf("app allocations passed the reserve boundary (%d bytes)", allocated)
+	}
+	if _, err := h.NewPrivileged(c); err != nil {
+		t.Fatalf("privileged allocation within reserve failed: %v", err)
+	}
+	// Reserve larger than capacity blocks all app allocations.
+	h2 := New(50)
+	h2.SetReserve(100)
+	if _, err := h2.New(c); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("over-reserved heap allocated: %v", err)
+	}
+}
+
+func TestHeapIDsSorted(t *testing.T) {
+	h := New(0)
+	c := nodeClass()
+	var want []ObjID
+	for i := 0; i < 5; i++ {
+		o, _ := h.New(c)
+		want = append(want, o.ID())
+	}
+	got := h.IDs()
+	if len(got) != 5 {
+		t.Fatalf("IDs = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("IDs not sorted: %v", got)
+		}
+	}
+}
+
+func TestObjectAccessors(t *testing.T) {
+	h := New(0)
+	o, _ := h.New(nodeClass())
+	if o.NumFields() != 3 {
+		t.Errorf("NumFields = %d", o.NumFields())
+	}
+	o.MustSet("tag", Int(9))
+	idx, _ := o.Class().FieldIndex("tag")
+	if o.Field(idx).MustInt() != 9 {
+		t.Error("Field by index")
+	}
+	if !strings.Contains(o.String(), "Node@") {
+		t.Errorf("String = %q", o.String())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustSet with bad kind did not panic")
+		}
+	}()
+	o.MustSet("tag", Str("boom"))
+}
+
+func TestValueAccessorsCoverage(t *testing.T) {
+	if Bytes([]byte{1, 2, 3}).BytesLen() != 3 {
+		t.Error("BytesLen")
+	}
+	if Str("abc").Len() != 3 || Bytes([]byte{1}).Len() != 1 ||
+		List(Int(1), Int(2)).Len() != 2 || Int(7).Len() != 0 {
+		t.Error("Len")
+	}
+	for _, v := range []Value{Nil(), Int(-3), Float(1.5), Bool(true),
+		Str("x"), Bytes([]byte{1}), Ref(4), List(Int(1))} {
+		if v.String() == "" {
+			t.Errorf("empty String for %v kind", v.Kind())
+		}
+	}
+	if Ref(4).String() != "@4" || Int(-3).String() != "-3" {
+		t.Error("String formats")
+	}
+}

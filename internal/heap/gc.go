@@ -1,0 +1,173 @@
+package heap
+
+// CollectStats reports the outcome of one collection cycle.
+type CollectStats struct {
+	// Live is the number of objects that survived the cycle.
+	Live int
+	// Reclaimed is the number of objects swept.
+	Reclaimed int
+	// BytesFreed is the accounted memory returned to the budget.
+	BytesFreed int64
+	// Finalized is the number of finalizer functions executed.
+	Finalized int
+}
+
+// Collect runs a stop-the-world mark-sweep cycle. Liveness roots are: named
+// heap roots, pinned objects, and any extra ids supplied by the caller (the
+// swapping runtime passes the receivers and arguments of in-flight
+// invocations, standing in for thread stacks).
+//
+// Finalizers of reclaimed objects run synchronously after the sweep, outside
+// the heap lock, so they may freely call back into the heap (the
+// SwappingManager's table-purging finalizers do).
+func (h *Heap) Collect(extra ...ObjID) CollectStats {
+	h.mu.Lock()
+
+	marked := make(map[ObjID]bool, len(h.objects))
+	var stack []ObjID
+
+	push := func(id ObjID) {
+		if id == NilID || marked[id] {
+			return
+		}
+		if _, resident := h.objects[id]; !resident {
+			return
+		}
+		marked[id] = true
+		stack = append(stack, id)
+	}
+
+	for _, v := range h.roots {
+		v.forEachRef(push)
+	}
+	for id := range h.pins {
+		push(id)
+	}
+	for id := range h.nursery {
+		push(id)
+	}
+	for _, id := range extra {
+		push(id)
+	}
+
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		o := h.objects[id]
+		o.forEachRef(push)
+	}
+
+	var st CollectStats
+	var toFinalize []func()
+	for id, o := range h.objects {
+		if marked[id] {
+			continue
+		}
+		st.Reclaimed++
+		st.BytesFreed += o.Size()
+		delete(h.objects, id)
+		delete(h.pins, id)
+		if fns := h.finalizers[id]; len(fns) > 0 {
+			delete(h.finalizers, id)
+			finalID := id
+			for _, fn := range fns {
+				f := fn
+				toFinalize = append(toFinalize, func() { f(finalID) })
+			}
+		}
+	}
+	// Age the nursery: each cycle burns one unit of grace.
+	for id, grace := range h.nursery {
+		if grace <= 1 {
+			delete(h.nursery, id)
+		} else {
+			h.nursery[id] = grace - 1
+		}
+	}
+	st.Live = len(h.objects)
+	h.collections++
+	h.reclaimed += uint64(st.Reclaimed)
+	h.mu.Unlock()
+
+	h.release(st.BytesFreed)
+	for _, f := range toFinalize {
+		f()
+		st.Finalized++
+	}
+	return st
+}
+
+// ReachableFrom computes the set of resident objects transitively reachable
+// from the given seed references. It is a read-only traversal used by tests
+// and by the swapping manager's detachment-completeness checks.
+func (h *Heap) ReachableFrom(seeds ...ObjID) map[ObjID]bool {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+
+	marked := make(map[ObjID]bool)
+	var stack []ObjID
+	push := func(id ObjID) {
+		if id == NilID || marked[id] {
+			return
+		}
+		if _, resident := h.objects[id]; !resident {
+			return
+		}
+		marked[id] = true
+		stack = append(stack, id)
+	}
+	for _, id := range seeds {
+		push(id)
+	}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		h.objects[id].forEachRef(push)
+	}
+	return marked
+}
+
+// ReachableFromRoots computes the set of objects reachable from the
+// application roots only (no pins, no middleware stacks): the application's
+// view of liveness.
+func (h *Heap) ReachableFromRoots() map[ObjID]bool {
+	h.mu.RLock()
+	var seeds []ObjID
+	for _, v := range h.roots {
+		v.forEachRef(func(id ObjID) { seeds = append(seeds, id) })
+	}
+	h.mu.RUnlock()
+	return h.ReachableFrom(seeds...)
+}
+
+// WeakRef is a non-owning reference: it does not keep its target alive and
+// can be probed for validity. The SwappingManager tracks swap-cluster-proxies
+// through weak references, exactly as the paper prescribes.
+type WeakRef struct {
+	h  *Heap
+	id ObjID
+}
+
+// Weak returns a weak reference to id.
+func (h *Heap) Weak(id ObjID) WeakRef { return WeakRef{h: h, id: id} }
+
+// ID returns the referenced object id (which may no longer be resident).
+func (w WeakRef) ID() ObjID { return w.id }
+
+// Get returns the target if it is still resident.
+func (w WeakRef) Get() (*Object, bool) {
+	if w.h == nil || w.id == NilID {
+		return nil, false
+	}
+	o, err := w.h.Get(w.id)
+	if err != nil {
+		return nil, false
+	}
+	return o, true
+}
+
+// Alive reports whether the target is still resident.
+func (w WeakRef) Alive() bool {
+	_, ok := w.Get()
+	return ok
+}

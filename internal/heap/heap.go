@@ -1,0 +1,470 @@
+package heap
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Errors reported by heap operations.
+var (
+	// ErrOutOfMemory reports that an allocation or field growth would exceed
+	// the heap's configured capacity — the constrained-device condition that
+	// triggers Object-Swapping.
+	ErrOutOfMemory = errors.New("heap: out of memory")
+	// ErrNoSuchObject reports a dangling reference: the target is not (or is
+	// no longer) resident in this heap.
+	ErrNoSuchObject = errors.New("heap: no such object")
+	// ErrNoSuchMethod reports an invocation of an undeclared method.
+	ErrNoSuchMethod = errors.New("heap: no such method")
+	// ErrNoSuchField reports access to an undeclared field.
+	ErrNoSuchField = errors.New("heap: no such field")
+)
+
+// Stats summarizes heap occupancy and lifetime counters.
+type Stats struct {
+	Capacity    int64  // configured byte capacity; 0 = unlimited
+	Used        int64  // accounted live bytes
+	Objects     int    // resident object count
+	Allocated   uint64 // objects ever allocated
+	Collections uint64 // completed GC cycles
+	Reclaimed   uint64 // objects ever reclaimed by GC
+}
+
+// UsedFraction returns Used/Capacity, or 0 when capacity is unlimited.
+func (s Stats) UsedFraction() float64 {
+	if s.Capacity <= 0 {
+		return 0
+	}
+	return float64(s.Used) / float64(s.Capacity)
+}
+
+// Heap is a byte-accounted managed object store with named roots, middleware
+// pins, and a mark-sweep collector. It models the VM heap of one constrained
+// device.
+type Heap struct {
+	capacity int64 // read/written atomically
+	headroom int64 // middleware reserve; read/written atomically
+	used     int64 // atomic
+
+	mu      sync.RWMutex
+	nextID  uint64
+	objects map[ObjID]*Object
+	roots   map[string]Value
+	pins    map[ObjID]int
+
+	finalizers map[ObjID][]func(ObjID)
+
+	// writeObserver, when set, is invoked after every successful field
+	// write with the written object's id (replication uses it for dirty
+	// tracking). Invoked outside heap locks. observerSuspend > 0 silences
+	// it (middleware-internal writes such as swap-in reinstallation are not
+	// user mutations).
+	writeObserver   func(ObjID)
+	observerSuspend int
+
+	// nursery grants newly allocated objects a grace period of N collection
+	// cycles before they become collectable, protecting host-held references
+	// that have not yet been anchored in the managed graph (the analogue of
+	// JNI local references). Disabled (0) by default.
+	nurseryGrace int
+	nursery      map[ObjID]int
+
+	allocated   uint64
+	collections uint64
+	reclaimed   uint64
+}
+
+// New returns an empty heap. capacity is the byte budget of the device;
+// capacity <= 0 means unlimited (useful for master/server nodes).
+func New(capacity int64) *Heap {
+	return &Heap{
+		capacity:   capacity,
+		objects:    make(map[ObjID]*Object),
+		roots:      make(map[string]Value),
+		pins:       make(map[ObjID]int),
+		finalizers: make(map[ObjID][]func(ObjID)),
+		nursery:    make(map[ObjID]int),
+	}
+}
+
+// SetWriteObserver installs a hook invoked after every successful field
+// write. Pass nil to remove it.
+func (h *Heap) SetWriteObserver(fn func(ObjID)) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.writeObserver = fn
+}
+
+// observeWrite dispatches to the write observer, if any.
+func (h *Heap) observeWrite(id ObjID) {
+	h.mu.RLock()
+	fn := h.writeObserver
+	if h.observerSuspend > 0 {
+		fn = nil
+	}
+	h.mu.RUnlock()
+	if fn != nil {
+		fn(id)
+	}
+}
+
+// SuspendWriteObserver silences the write observer until the returned
+// resume function is called (nestable). Middleware uses it around writes
+// that restore rather than mutate state.
+func (h *Heap) SuspendWriteObserver() (resume func()) {
+	h.mu.Lock()
+	h.observerSuspend++
+	h.mu.Unlock()
+	return func() {
+		h.mu.Lock()
+		h.observerSuspend--
+		h.mu.Unlock()
+	}
+}
+
+// SetNurseryGrace grants future allocations a grace of n collection cycles
+// before they may be reclaimed, protecting them while host code wires them
+// into the graph. 0 (the default) disables the nursery.
+func (h *Heap) SetNurseryGrace(n int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.nurseryGrace = n
+}
+
+// TouchNursery refreshes an object's nursery grace, keeping a host-held
+// object (such as an iteration cursor) alive across collections for as long
+// as it is actively used. A no-op when the nursery is disabled or the object
+// is not resident.
+func (h *Heap) TouchNursery(id ObjID) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.nurseryGrace <= 0 {
+		return
+	}
+	if _, resident := h.objects[id]; resident {
+		h.nursery[id] = h.nurseryGrace
+	}
+}
+
+// SetCapacity adjusts the byte budget. Shrinking below current usage is
+// allowed: subsequent allocations fail until memory is freed (that is exactly
+// the memory-pressure situation swapping resolves).
+func (h *Heap) SetCapacity(capacity int64) {
+	atomic.StoreInt64(&h.capacity, capacity)
+}
+
+// Capacity returns the configured byte budget (0 = unlimited).
+func (h *Heap) Capacity() int64 { return atomic.LoadInt64(&h.capacity) }
+
+// SetReserve sets the middleware headroom: application allocations (New) stop
+// at Capacity-Reserve, while middleware allocations (NewPrivileged, NewAt,
+// field growth) may use the full budget. This models the VM headroom that
+// lets the swapping machinery allocate replacement-objects and proxies even
+// when the application has exhausted its share — freeing memory must not
+// itself require application-grade memory.
+func (h *Heap) SetReserve(reserve int64) {
+	atomic.StoreInt64(&h.headroom, reserve)
+}
+
+// Reserve returns the middleware headroom.
+func (h *Heap) Reserve() int64 { return atomic.LoadInt64(&h.headroom) }
+
+// Used returns the accounted live bytes.
+func (h *Heap) Used() int64 { return atomic.LoadInt64(&h.used) }
+
+// Len returns the number of resident objects.
+func (h *Heap) Len() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return len(h.objects)
+}
+
+// StatsSnapshot returns current occupancy and lifetime counters.
+func (h *Heap) StatsSnapshot() Stats {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return Stats{
+		Capacity:    h.Capacity(),
+		Used:        h.Used(),
+		Objects:     len(h.objects),
+		Allocated:   h.allocated,
+		Collections: h.collections,
+		Reclaimed:   h.reclaimed,
+	}
+}
+
+// reserve accounts delta bytes against the full budget (middleware grade).
+func (h *Heap) reserve(delta int64) error {
+	return h.reserveWithin(delta, atomic.LoadInt64(&h.capacity))
+}
+
+// reserveApp accounts delta bytes against the application share of the
+// budget (capacity minus the middleware reserve).
+func (h *Heap) reserveApp(delta int64) error {
+	limit := atomic.LoadInt64(&h.capacity)
+	if limit > 0 {
+		if limit -= atomic.LoadInt64(&h.headroom); limit < 0 {
+			limit = 1 // reserve swallows everything: all app allocs fail
+		}
+	}
+	return h.reserveWithin(delta, limit)
+}
+
+func (h *Heap) reserveWithin(delta, limit int64) error {
+	for {
+		used := atomic.LoadInt64(&h.used)
+		next := used + delta
+		if limit > 0 && next > limit {
+			return fmt.Errorf("%w: need %d bytes, used %d of %d",
+				ErrOutOfMemory, delta, used, limit)
+		}
+		if atomic.CompareAndSwapInt64(&h.used, used, next) {
+			return nil
+		}
+	}
+}
+
+// release returns delta bytes to the budget.
+func (h *Heap) release(delta int64) {
+	atomic.AddInt64(&h.used, -delta)
+}
+
+// New allocates an object of class c with zero-valued fields. It fails with
+// ErrOutOfMemory when the object does not fit the application share of the
+// budget (capacity minus middleware reserve).
+func (h *Heap) New(c *Class) (*Object, error) {
+	return h.newObject(c, false)
+}
+
+// NewPrivileged allocates like New but may use the middleware reserve. The
+// swapping runtime uses it for proxies and replacement-objects so that
+// freeing memory never deadlocks on the memory it is trying to free.
+func (h *Heap) NewPrivileged(c *Class) (*Object, error) {
+	return h.newObject(c, true)
+}
+
+func (h *Heap) newObject(c *Class, privileged bool) (*Object, error) {
+	if c == nil {
+		return nil, errors.New("heap: New: nil class")
+	}
+	size := int64(objectOverhead) + int64(c.NumFields())*valueOverhead
+	var err error
+	if privileged {
+		err = h.reserve(size)
+	} else {
+		err = h.reserveApp(size)
+	}
+	if err != nil {
+		return nil, err
+	}
+	h.mu.Lock()
+	h.nextID++
+	id := ObjID(h.nextID)
+	o := &Object{
+		id:     id,
+		class:  c,
+		heap:   h,
+		fields: newFieldVector(c),
+		size:   size,
+	}
+	h.objects[id] = o
+	h.allocated++
+	if h.nurseryGrace > 0 {
+		h.nursery[id] = h.nurseryGrace
+	}
+	h.mu.Unlock()
+	return o, nil
+}
+
+// newFieldVector builds the initial field slots of a class instance, with
+// every field set to the zero value of its declared kind.
+func newFieldVector(c *Class) []Value {
+	fields := make([]Value, c.NumFields())
+	for i := range fields {
+		fields[i] = zeroValue(c.Field(i).Kind)
+	}
+	return fields
+}
+
+// NewAt installs an object with a caller-chosen ID — used by swap-in and
+// replication to restore objects under their original identities. The ID must
+// not collide with a resident object; the internal ID counter advances past
+// it so fresh allocations never collide either.
+func (h *Heap) NewAt(id ObjID, c *Class) (*Object, error) {
+	if c == nil {
+		return nil, errors.New("heap: NewAt: nil class")
+	}
+	if id == NilID {
+		return nil, errors.New("heap: NewAt: nil id")
+	}
+	size := int64(objectOverhead) + int64(c.NumFields())*valueOverhead
+	// Restored objects are application data: they compete for the
+	// application share of the budget, never the middleware reserve —
+	// otherwise repeated reloads would squeeze out the very machinery
+	// (replacement-objects, proxies) that makes the next eviction possible.
+	if err := h.reserveApp(size); err != nil {
+		return nil, err
+	}
+	h.mu.Lock()
+	if _, exists := h.objects[id]; exists {
+		h.mu.Unlock()
+		h.release(size)
+		return nil, fmt.Errorf("heap: NewAt: object %d already resident", id)
+	}
+	if uint64(id) > h.nextID {
+		h.nextID = uint64(id)
+	}
+	o := &Object{
+		id:     id,
+		class:  c,
+		heap:   h,
+		fields: newFieldVector(c),
+		size:   size,
+	}
+	h.objects[id] = o
+	h.allocated++
+	if h.nurseryGrace > 0 {
+		h.nursery[id] = h.nurseryGrace
+	}
+	h.mu.Unlock()
+	return o, nil
+}
+
+// EnsureIDAbove advances the allocation counter so future ids exceed id —
+// used when restoring a checkpoint whose recorded objects (including ones
+// currently swapped out to devices) must keep their identities collision-free.
+func (h *Heap) EnsureIDAbove(id ObjID) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if uint64(id) > h.nextID {
+		h.nextID = uint64(id)
+	}
+}
+
+// Get resolves a reference to its resident object.
+func (h *Heap) Get(id ObjID) (*Object, error) {
+	h.mu.RLock()
+	o, ok := h.objects[id]
+	h.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: @%d", ErrNoSuchObject, id)
+	}
+	return o, nil
+}
+
+// Contains reports whether id is resident.
+func (h *Heap) Contains(id ObjID) bool {
+	h.mu.RLock()
+	_, ok := h.objects[id]
+	h.mu.RUnlock()
+	return ok
+}
+
+// Remove detaches an object immediately, without running finalizers (it is an
+// explicit middleware action, not a collection). Pending finalizers for the
+// id are discarded. Used by baseline comparators; Object-Swapping proper
+// detaches via reference patching and lets the collector reclaim.
+func (h *Heap) Remove(id ObjID) error {
+	h.mu.Lock()
+	o, ok := h.objects[id]
+	if !ok {
+		h.mu.Unlock()
+		return fmt.Errorf("%w: @%d", ErrNoSuchObject, id)
+	}
+	delete(h.objects, id)
+	delete(h.finalizers, id)
+	delete(h.pins, id)
+	delete(h.nursery, id)
+	h.mu.Unlock()
+	h.release(o.Size())
+	return nil
+}
+
+// SetRoot installs a named root (a global variable / static field — the
+// paper's swap-cluster-0 state). Assigning a nil Value keeps the root
+// declared but pointing nowhere.
+func (h *Heap) SetRoot(name string, v Value) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.roots[name] = v
+}
+
+// Root returns the named root value.
+func (h *Heap) Root(name string) (Value, bool) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	v, ok := h.roots[name]
+	return v, ok
+}
+
+// DelRoot removes a named root entirely.
+func (h *Heap) DelRoot(name string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.roots, name)
+}
+
+// RootNames returns the sorted names of declared roots.
+func (h *Heap) RootNames() []string {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	names := make([]string, 0, len(h.roots))
+	for n := range h.roots {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Pin marks an object as referenced by middleware bookkeeping so the
+// collector treats it as live even when unreachable from application roots.
+// Pins are counted; each Pin needs a matching Unpin.
+func (h *Heap) Pin(id ObjID) {
+	if id == NilID {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.pins[id]++
+}
+
+// Unpin removes one pin from the object.
+func (h *Heap) Unpin(id ObjID) {
+	if id == NilID {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.pins[id] <= 1 {
+		delete(h.pins, id)
+	} else {
+		h.pins[id]--
+	}
+}
+
+// OnFinalize registers fn to run (synchronously, during Collect) when the
+// object is reclaimed. The paper uses finalizers on swap-cluster-proxies to
+// purge the SwappingManager's weak-reference tables.
+func (h *Heap) OnFinalize(id ObjID, fn func(ObjID)) {
+	if fn == nil || id == NilID {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.finalizers[id] = append(h.finalizers[id], fn)
+}
+
+// IDs returns the sorted ids of all resident objects (test/diagnostic aid).
+func (h *Heap) IDs() []ObjID {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	ids := make([]ObjID, 0, len(h.objects))
+	for id := range h.objects {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

@@ -1,0 +1,74 @@
+package heap
+
+import "testing"
+
+func TestNurseryGraceProtectsFreshObjects(t *testing.T) {
+	h := New(0)
+	h.SetNurseryGrace(2)
+	o, _ := h.New(nodeClass())
+	id := o.ID()
+
+	// Unreachable but fresh: survives two cycles, reclaimed on the third.
+	if st := h.Collect(); st.Reclaimed != 0 {
+		t.Fatalf("collected in first grace cycle (%d)", st.Reclaimed)
+	}
+	if st := h.Collect(); st.Reclaimed != 0 {
+		t.Fatalf("collected in second grace cycle (%d)", st.Reclaimed)
+	}
+	if st := h.Collect(); st.Reclaimed != 1 {
+		t.Fatalf("not collected after grace expired (%d)", st.Reclaimed)
+	}
+	if h.Contains(id) {
+		t.Fatal("object survived past grace")
+	}
+}
+
+func TestNurseryDisabledByDefault(t *testing.T) {
+	h := New(0)
+	_, _ = h.New(nodeClass())
+	if st := h.Collect(); st.Reclaimed != 1 {
+		t.Fatalf("default heap should collect fresh garbage immediately (%d)", st.Reclaimed)
+	}
+}
+
+func TestNurseryObjectsRootedNormallyAfterGrace(t *testing.T) {
+	h := New(0)
+	h.SetNurseryGrace(1)
+	o, _ := h.New(nodeClass())
+	h.SetRoot("r", o.RefTo())
+	h.Collect()
+	h.Collect()
+	if !h.Contains(o.ID()) {
+		t.Fatal("rooted object collected")
+	}
+	h.DelRoot("r")
+	if st := h.Collect(); st.Reclaimed != 1 {
+		t.Fatal("unrooted object survived after grace and root removal")
+	}
+}
+
+func TestNurseryClearedByRemove(t *testing.T) {
+	h := New(0)
+	h.SetNurseryGrace(5)
+	o, _ := h.New(nodeClass())
+	if err := h.Remove(o.ID()); err != nil {
+		t.Fatal(err)
+	}
+	// No stale nursery entry should resurrect anything or break collection.
+	if st := h.Collect(); st.Reclaimed != 0 {
+		t.Fatalf("phantom reclaim: %d", st.Reclaimed)
+	}
+}
+
+func TestNurseryKeepsTransitiveReferences(t *testing.T) {
+	// A fresh object's fields keep their targets alive too (it is a root).
+	h := New(0)
+	h.SetNurseryGrace(1)
+	a, _ := h.New(nodeClass())
+	h.SetNurseryGrace(0)
+	b, _ := h.New(nodeClass()) // not in nursery
+	_ = a.SetFieldByName("next", b.RefTo())
+	if st := h.Collect(); st.Reclaimed != 0 {
+		t.Fatalf("nursery edge not traced (%d reclaimed)", st.Reclaimed)
+	}
+}

@@ -1,0 +1,99 @@
+package heap
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Invoker dispatches method invocations and field accesses on managed
+// objects. The indirection is the hook that makes the paper's architecture
+// expressible: application methods call back through their Call's Invoker, so
+// a middleware implementation (the swapping runtime) can interpose
+// swap-cluster-proxies, replication faults and replacement-object reloads on
+// every cross-object interaction, while DirectRuntime dispatches with no
+// interposition at all — the "NO SWAP-CLUSTERS" lower bound of Figure 5.
+type Invoker interface {
+	// Invoke calls method on the object designated by target (a ref Value)
+	// with the given arguments.
+	Invoke(target Value, method string, args ...Value) ([]Value, error)
+	// Field reads a field of the designated object (proxy-mediated
+	// implementations forward it like an accessor method invocation).
+	Field(target Value, name string) (Value, error)
+	// SetFieldValue writes a field of the designated object.
+	SetFieldValue(target Value, name string, v Value) error
+	// Heap exposes the underlying device heap.
+	Heap() *Heap
+}
+
+// ErrNilTarget reports invocation through a nil reference.
+var ErrNilTarget = errors.New("heap: invoke on nil reference")
+
+// DirectRuntime is the interposition-free Invoker: every reference designates
+// a resident object and dispatch is a class-table call. It provides the
+// baseline timing floor and serves master (well-resourced) nodes that never
+// swap.
+type DirectRuntime struct {
+	heap *Heap
+}
+
+var _ Invoker = (*DirectRuntime)(nil)
+
+// NewDirectRuntime returns a direct runtime over h.
+func NewDirectRuntime(h *Heap) *DirectRuntime {
+	return &DirectRuntime{heap: h}
+}
+
+// Heap returns the underlying heap.
+func (rt *DirectRuntime) Heap() *Heap { return rt.heap }
+
+// Invoke dispatches method on the target object.
+func (rt *DirectRuntime) Invoke(target Value, method string, args ...Value) ([]Value, error) {
+	id, err := target.Ref()
+	if err != nil {
+		return nil, err
+	}
+	if id == NilID {
+		return nil, fmt.Errorf("%w: method %s", ErrNilTarget, method)
+	}
+	obj, err := rt.heap.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	m, ok := obj.Class().Method(method)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s.%s", ErrNoSuchMethod, obj.Class().Name, method)
+	}
+	return m(&Call{RT: rt, Self: obj, Args: args})
+}
+
+// Field reads a field of the target object.
+func (rt *DirectRuntime) Field(target Value, name string) (Value, error) {
+	id, err := target.Ref()
+	if err != nil {
+		return Nil(), err
+	}
+	if id == NilID {
+		return Nil(), fmt.Errorf("%w: field %s", ErrNilTarget, name)
+	}
+	obj, err := rt.heap.Get(id)
+	if err != nil {
+		return Nil(), err
+	}
+	return obj.FieldByName(name)
+}
+
+// SetFieldValue writes a field of the target object.
+func (rt *DirectRuntime) SetFieldValue(target Value, name string, v Value) error {
+	id, err := target.Ref()
+	if err != nil {
+		return err
+	}
+	if id == NilID {
+		return fmt.Errorf("%w: field %s", ErrNilTarget, name)
+	}
+	obj, err := rt.heap.Get(id)
+	if err != nil {
+		return err
+	}
+	return obj.SetFieldByName(name, v)
+}

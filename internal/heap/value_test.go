@@ -1,0 +1,270 @@
+package heap
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueKinds(t *testing.T) {
+	tests := []struct {
+		name string
+		v    Value
+		kind Kind
+	}{
+		{"nil", Nil(), KindNil},
+		{"int", Int(42), KindInt},
+		{"float", Float(3.5), KindFloat},
+		{"bool", Bool(true), KindBool},
+		{"string", Str("x"), KindString},
+		{"bytes", Bytes([]byte{1, 2}), KindBytes},
+		{"ref", Ref(7), KindRef},
+		{"list", List(Int(1), Int(2)), KindList},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.v.Kind(); got != tt.kind {
+				t.Fatalf("Kind() = %v, want %v", got, tt.kind)
+			}
+		})
+	}
+}
+
+func TestValueAccessors(t *testing.T) {
+	if got := Int(42).MustInt(); got != 42 {
+		t.Errorf("Int round-trip = %d", got)
+	}
+	if f, err := Float(2.25).Float(); err != nil || f != 2.25 {
+		t.Errorf("Float round-trip = %v, %v", f, err)
+	}
+	if b, err := Bool(true).Bool(); err != nil || !b {
+		t.Errorf("Bool round-trip = %v, %v", b, err)
+	}
+	if s, err := Str("hi").Str(); err != nil || s != "hi" {
+		t.Errorf("Str round-trip = %q, %v", s, err)
+	}
+	raw := []byte{9, 8, 7}
+	bv := Bytes(raw)
+	raw[0] = 0 // mutation of the source must not leak in
+	if got, _ := bv.Bytes(); got[0] != 9 {
+		t.Errorf("Bytes not copied on construction: %v", got)
+	}
+	got, _ := bv.Bytes()
+	got[1] = 0 // mutation of the copy must not leak back
+	if again, _ := bv.Bytes(); again[1] != 8 {
+		t.Errorf("Bytes not copied on access: %v", again)
+	}
+	if id := Ref(12).MustRef(); id != 12 {
+		t.Errorf("Ref round-trip = %d", id)
+	}
+	if id := Nil().MustRef(); id != NilID {
+		t.Errorf("nil Ref = %d, want NilID", id)
+	}
+}
+
+func TestValueWrongKindErrors(t *testing.T) {
+	if _, err := Str("x").Int(); err == nil {
+		t.Error("Int() on string: want error")
+	}
+	if _, err := Int(1).Str(); err == nil {
+		t.Error("Str() on int: want error")
+	}
+	if _, err := Int(1).Ref(); err == nil {
+		t.Error("Ref() on int: want error")
+	}
+	if _, err := Int(1).List(); err == nil {
+		t.Error("List() on int: want error")
+	}
+	if _, err := Str("x").Bytes(); err == nil {
+		t.Error("Bytes() on string: want error")
+	}
+	if _, err := Int(1).Bool(); err == nil {
+		t.Error("Bool() on int: want error")
+	}
+	if _, err := Int(1).Float(); err == nil {
+		t.Error("Float() on int: want error")
+	}
+}
+
+func TestRefNilIDIsNilValue(t *testing.T) {
+	if !Ref(NilID).IsNil() {
+		t.Error("Ref(NilID) should be the nil value")
+	}
+	if Ref(NilID).IsRef() {
+		t.Error("Ref(NilID) should not report IsRef")
+	}
+	if !Ref(3).IsRef() {
+		t.Error("Ref(3) should report IsRef")
+	}
+}
+
+func TestKindStringRoundTrip(t *testing.T) {
+	for k := KindNil; k <= KindList; k++ {
+		got, err := KindFromString(k.String())
+		if err != nil {
+			t.Fatalf("KindFromString(%q): %v", k.String(), err)
+		}
+		if got != k {
+			t.Fatalf("round-trip %v -> %q -> %v", k, k.String(), got)
+		}
+	}
+	if _, err := KindFromString("bogus"); err == nil {
+		t.Error("KindFromString(bogus): want error")
+	}
+}
+
+func TestValueEqual(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Value
+		want bool
+	}{
+		{"nils", Nil(), Nil(), true},
+		{"ints equal", Int(1), Int(1), true},
+		{"ints differ", Int(1), Int(2), false},
+		{"kind mismatch", Int(1), Float(1), false},
+		{"bools", Bool(true), Bool(true), true},
+		{"strings", Str("a"), Str("a"), true},
+		{"strings differ", Str("a"), Str("b"), false},
+		{"bytes", Bytes([]byte{1}), Bytes([]byte{1}), true},
+		{"bytes differ", Bytes([]byte{1}), Bytes([]byte{2}), false},
+		{"bytes length", Bytes([]byte{1}), Bytes([]byte{1, 2}), false},
+		{"refs", Ref(3), Ref(3), true},
+		{"refs differ", Ref(3), Ref(4), false},
+		{"lists", List(Int(1), Ref(2)), List(Int(1), Ref(2)), true},
+		{"lists differ", List(Int(1)), List(Int(2)), false},
+		{"lists length", List(Int(1)), List(Int(1), Int(1)), false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.a.Equal(tt.b); got != tt.want {
+				t.Fatalf("Equal = %v, want %v", got, tt.want)
+			}
+			if got := tt.b.Equal(tt.a); got != tt.want {
+				t.Fatalf("Equal not symmetric: %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestValueSizeMonotonic(t *testing.T) {
+	if Str("aaaa").size() <= Str("").size() {
+		t.Error("longer string should account more bytes")
+	}
+	if Bytes(make([]byte, 64)).size() <= Bytes(nil).size() {
+		t.Error("longer bytes should account more bytes")
+	}
+	if List(Int(1), Int(2)).size() <= List(Int(1)).size() {
+		t.Error("longer list should account more bytes")
+	}
+	if Int(1).size() != valueOverhead {
+		t.Errorf("scalar size = %d, want %d", Int(1).size(), valueOverhead)
+	}
+}
+
+func TestForEachRefTraversesLists(t *testing.T) {
+	v := List(Ref(1), Int(9), List(Ref(2), List(Ref(3))), Nil())
+	var seen []ObjID
+	v.forEachRef(func(id ObjID) { seen = append(seen, id) })
+	want := []ObjID{1, 2, 3}
+	if !reflect.DeepEqual(seen, want) {
+		t.Fatalf("forEachRef = %v, want %v", seen, want)
+	}
+}
+
+func TestMapRefsRewritesNested(t *testing.T) {
+	v := List(Ref(1), Int(5), List(Ref(2)))
+	out := v.MapRefs(func(id ObjID) ObjID { return id + 100 })
+	elems, _ := out.List()
+	if elems[0].MustRef() != 101 {
+		t.Errorf("top-level ref = %v", elems[0])
+	}
+	inner, _ := elems[2].List()
+	if inner[0].MustRef() != 102 {
+		t.Errorf("nested ref = %v", inner[0])
+	}
+	// Original untouched.
+	orig, _ := v.List()
+	if orig[0].MustRef() != 1 {
+		t.Errorf("MapRefs mutated source: %v", orig[0])
+	}
+	// Mapping to NilID produces nil values.
+	gone := v.MapRefs(func(ObjID) ObjID { return NilID })
+	ge, _ := gone.List()
+	if !ge[0].IsNil() {
+		t.Errorf("MapRefs to NilID: got %v, want nil", ge[0])
+	}
+}
+
+// genValue builds a random Value of bounded depth for property tests.
+func genValue(r *rand.Rand, depth int) Value {
+	k := r.Intn(8)
+	if depth <= 0 && k == 7 {
+		k = r.Intn(7)
+	}
+	switch k {
+	case 0:
+		return Nil()
+	case 1:
+		return Int(r.Int63() - r.Int63())
+	case 2:
+		return Float(r.NormFloat64())
+	case 3:
+		return Bool(r.Intn(2) == 0)
+	case 4:
+		return Str(randString(r))
+	case 5:
+		b := make([]byte, r.Intn(32))
+		r.Read(b)
+		return Bytes(b)
+	case 6:
+		return Ref(ObjID(r.Intn(100) + 1))
+	default:
+		n := r.Intn(4)
+		elems := make([]Value, n)
+		for i := range elems {
+			elems[i] = genValue(r, depth-1)
+		}
+		return List(elems...)
+	}
+}
+
+func randString(r *rand.Rand) string {
+	b := make([]byte, r.Intn(16))
+	for i := range b {
+		b[i] = byte('a' + r.Intn(26))
+	}
+	return string(b)
+}
+
+// valueBox adapts genValue to testing/quick.
+type valueBox struct{ V Value }
+
+func (valueBox) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(valueBox{V: genValue(r, 3)})
+}
+
+func TestPropValueEqualReflexive(t *testing.T) {
+	f := func(b valueBox) bool { return b.V.Equal(b.V) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropValueSizeNonNegative(t *testing.T) {
+	f := func(b valueBox) bool { return b.V.size() >= valueOverhead }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropMapRefsIdentityPreservesEquality(t *testing.T) {
+	f := func(b valueBox) bool {
+		out := b.V.MapRefs(func(id ObjID) ObjID { return id })
+		return out.Equal(b.V)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,106 @@
+package policy
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"objectswap/internal/core"
+	"objectswap/internal/event"
+	"objectswap/internal/replication"
+)
+
+// BindSwapActions registers the standard Object-Swapping actions on an
+// engine, wired to a swapping runtime:
+//
+//	swap-out  strategy=coldest|largest|least-used  count=N  collect=bool
+//	    Selects count victim clusters under the strategy and swaps them out
+//	    (collecting afterwards when collect is true, the default).
+//	swap-in   cluster=N
+//	    Prefetches a swapped cluster back.
+//	collect
+//	    Runs a garbage collection.
+//	log       message=...
+//	    Writes a diagnostic line (through the standard logger).
+//
+// It also installs the runtime evictor so allocation pressure flows through
+// the same machinery.
+func BindSwapActions(e *Engine, rt *core.Runtime) {
+	rt.SetEvictor(rt.EvictColdest)
+	e.RegisterAction("swap-out", func(spec ActionSpec, _ event.Event) error {
+		strategy, err := core.VictimStrategyFromString(spec.Param("strategy", "coldest"))
+		if err != nil {
+			return err
+		}
+		count := spec.IntParam("count", 1)
+		collect := spec.BoolParam("collect", true)
+
+		swapped := 0
+		for _, victim := range rt.Manager().SelectVictims(strategy) {
+			if swapped >= count {
+				break
+			}
+			if _, err := rt.SwapOut(victim); err != nil {
+				if errors.Is(err, core.ErrClusterActive) {
+					continue
+				}
+				return fmt.Errorf("swap-out cluster %d: %w", victim, err)
+			}
+			swapped++
+		}
+		if collect && swapped > 0 {
+			rt.Collect()
+		}
+		if swapped == 0 {
+			return errors.New("swap-out: no eligible victim")
+		}
+		return nil
+	})
+
+	e.RegisterAction("swap-in", func(spec ActionSpec, _ event.Event) error {
+		id := spec.IntParam("cluster", -1)
+		if id < 0 {
+			return errors.New("swap-in: missing cluster parameter")
+		}
+		_, err := rt.SwapIn(core.ClusterID(id))
+		return err
+	})
+
+	e.RegisterAction("collect", func(ActionSpec, event.Event) error {
+		rt.Collect()
+		return nil
+	})
+
+	e.RegisterAction("log", func(spec ActionSpec, ev event.Event) error {
+		log.Printf("policy: %s (event %s)", spec.Param("message", "fired"), ev.Topic)
+		return nil
+	})
+}
+
+// BindReplicationActions registers replication-adaptation actions:
+//
+//	set-group-size  n=N
+//	    Changes how many future replication clusters share one swap-cluster
+//	    (the paper's adaptable macro-object size) — e.g. shrink the grouping
+//	    when the link degrades, so faults ship less per trip.
+func BindReplicationActions(e *Engine, r *replication.Replicator) {
+	e.RegisterAction("set-group-size", func(spec ActionSpec, _ event.Event) error {
+		n := spec.IntParam("n", 0)
+		if n <= 0 {
+			return errors.New("set-group-size: missing or invalid n")
+		}
+		r.SetGroupSize(n)
+		return nil
+	})
+}
+
+// DefaultSwapPolicy is a ready-to-load machine policy that swaps the coldest
+// cluster whenever the memory monitor signals pressure — the paper's
+// prototypical "middleware, evaluating the policies loaded, decides to
+// swap-out a set of objects to nearby devices".
+const DefaultSwapPolicy = `<policies>
+  <policy name="swap-on-pressure" category="machine">
+    <on event="memory.threshold"/>
+    <action do="swap-out" strategy="coldest" count="1" collect="true"/>
+  </policy>
+</policies>`

@@ -1,0 +1,38 @@
+package policy
+
+import "testing"
+
+// FuzzParseDocument hardens the policy parser against arbitrary documents
+// (policies may be user-authored files).
+func FuzzParseDocument(f *testing.F) {
+	seeds := []string{
+		DefaultSwapPolicy,
+		`<policies><policy name="p" category="user"><on event="t"/><when><all><gt left="a" right="1"/><not><eq left="b" right="c"/></not></all></when><action do="x" k="v"/></policy></policies>`,
+		`<policies></policies>`, `<policies`, ``, `<a/>`,
+		`<policies><policy name="p"><on event="t"/><action do="x"/></policy></policies>`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		policies, err := parseDocument(data)
+		if err != nil {
+			return
+		}
+		// Accepted documents must be well-formed: evaluable conditions and
+		// complete action specs.
+		for _, p := range policies {
+			if p.Name == "" || len(p.Events) == 0 || len(p.Actions) == 0 {
+				t.Fatalf("accepted incomplete policy: %+v", p)
+			}
+			if p.Cond != nil {
+				_ = p.Cond.Eval(nil) // must not panic on empty snapshots
+			}
+			for _, a := range p.Actions {
+				if a.Do == "" {
+					t.Fatalf("accepted empty action in %q", p.Name)
+				}
+			}
+		}
+	})
+}

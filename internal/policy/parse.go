@@ -1,0 +1,170 @@
+package policy
+
+import (
+	"encoding/xml"
+	"fmt"
+
+	"objectswap/internal/event"
+)
+
+// XML document-to-Policy parsing. The condition grammar nests, so the <when>
+// subtree is parsed from raw tokens into Condition values.
+
+type xmlPolicies struct {
+	XMLName  xml.Name    `xml:"policies"`
+	Policies []xmlPolicy `xml:"policy"`
+}
+
+type xmlPolicy struct {
+	Name     string      `xml:"name,attr"`
+	Category string      `xml:"category,attr"`
+	Priority *int        `xml:"priority,attr"`
+	On       []xmlOn     `xml:"on"`
+	When     *xmlWhen    `xml:"when"`
+	Actions  []xmlAction `xml:"action"`
+}
+
+type xmlOn struct {
+	Event string `xml:"event,attr"`
+}
+
+type xmlWhen struct {
+	Inner []xmlCond `xml:",any"`
+}
+
+type xmlCond struct {
+	XMLName xml.Name
+	Left    string    `xml:"left,attr"`
+	Right   string    `xml:"right,attr"`
+	Inner   []xmlCond `xml:",any"`
+}
+
+type xmlAction struct {
+	Do    string     `xml:"do,attr"`
+	Attrs []xml.Attr `xml:",any,attr"`
+}
+
+// parseDocument parses and validates a policy document.
+func parseDocument(data []byte) ([]*Policy, error) {
+	var doc xmlPolicies
+	if err := xml.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadPolicy, err)
+	}
+	if len(doc.Policies) == 0 {
+		return nil, fmt.Errorf("%w: no policies", ErrBadPolicy)
+	}
+	out := make([]*Policy, 0, len(doc.Policies))
+	seen := make(map[string]bool)
+	for _, xp := range doc.Policies {
+		p, err := buildPolicy(xp)
+		if err != nil {
+			return nil, err
+		}
+		if seen[p.Name] {
+			return nil, fmt.Errorf("%w: duplicate policy %q", ErrBadPolicy, p.Name)
+		}
+		seen[p.Name] = true
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+func buildPolicy(xp xmlPolicy) (*Policy, error) {
+	if xp.Name == "" {
+		return nil, fmt.Errorf("%w: policy without name", ErrBadPolicy)
+	}
+	cat := Category(xp.Category)
+	switch cat {
+	case CategoryUser, CategoryMachine, CategoryApplication, CategoryDomain:
+	case "":
+		cat = CategoryMachine
+	default:
+		return nil, fmt.Errorf("%w: policy %q: unknown category %q", ErrBadPolicy, xp.Name, xp.Category)
+	}
+	p := &Policy{
+		Name:     xp.Name,
+		Category: cat,
+		Priority: defaultPriority(cat),
+	}
+	if xp.Priority != nil {
+		p.Priority = *xp.Priority
+	}
+	if len(xp.On) == 0 {
+		return nil, fmt.Errorf("%w: policy %q: no <on> events", ErrBadPolicy, xp.Name)
+	}
+	for _, on := range xp.On {
+		if on.Event == "" {
+			return nil, fmt.Errorf("%w: policy %q: <on> without event", ErrBadPolicy, xp.Name)
+		}
+		p.Events = append(p.Events, event.Topic(on.Event))
+	}
+	if xp.When != nil {
+		if len(xp.When.Inner) != 1 {
+			return nil, fmt.Errorf("%w: policy %q: <when> must hold exactly one condition", ErrBadPolicy, xp.Name)
+		}
+		cond, err := buildCondition(xp.When.Inner[0], xp.Name)
+		if err != nil {
+			return nil, err
+		}
+		p.Cond = cond
+	}
+	if len(xp.Actions) == 0 {
+		return nil, fmt.Errorf("%w: policy %q: no actions", ErrBadPolicy, xp.Name)
+	}
+	for _, xa := range xp.Actions {
+		if xa.Do == "" {
+			return nil, fmt.Errorf("%w: policy %q: <action> without do", ErrBadPolicy, xp.Name)
+		}
+		spec := ActionSpec{Do: xa.Do, Params: make(map[string]string, len(xa.Attrs))}
+		for _, attr := range xa.Attrs {
+			if attr.Name.Local == "do" {
+				continue
+			}
+			spec.Params[attr.Name.Local] = attr.Value
+		}
+		p.Actions = append(p.Actions, spec)
+	}
+	return p, nil
+}
+
+func buildCondition(xc xmlCond, policyName string) (Condition, error) {
+	switch xc.XMLName.Local {
+	case "gt", "ge", "lt", "le", "eq", "ne":
+		if xc.Left == "" || xc.Right == "" {
+			return nil, fmt.Errorf("%w: policy %q: <%s> needs left and right",
+				ErrBadPolicy, policyName, xc.XMLName.Local)
+		}
+		return comparison{
+			op:    xc.XMLName.Local,
+			left:  parseOperand(xc.Left),
+			right: parseOperand(xc.Right),
+		}, nil
+	case "all", "any":
+		if len(xc.Inner) == 0 {
+			return nil, fmt.Errorf("%w: policy %q: empty <%s>", ErrBadPolicy, policyName, xc.XMLName.Local)
+		}
+		var inner []Condition
+		for _, child := range xc.Inner {
+			c, err := buildCondition(child, policyName)
+			if err != nil {
+				return nil, err
+			}
+			inner = append(inner, c)
+		}
+		if xc.XMLName.Local == "all" {
+			return allOf(inner), nil
+		}
+		return anyOf(inner), nil
+	case "not":
+		if len(xc.Inner) != 1 {
+			return nil, fmt.Errorf("%w: policy %q: <not> needs exactly one child", ErrBadPolicy, policyName)
+		}
+		inner, err := buildCondition(xc.Inner[0], policyName)
+		if err != nil {
+			return nil, err
+		}
+		return notOf{inner: inner}, nil
+	default:
+		return nil, fmt.Errorf("%w: policy %q: unknown condition <%s>", ErrBadPolicy, policyName, xc.XMLName.Local)
+	}
+}

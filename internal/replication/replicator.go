@@ -1,0 +1,449 @@
+package replication
+
+import (
+	"fmt"
+	"sync"
+
+	"objectswap/internal/core"
+	"objectswap/internal/event"
+	"objectswap/internal/heap"
+	"objectswap/internal/xmlcodec"
+)
+
+// ClusterEvent is the payload of replication.cluster events.
+type ClusterEvent struct {
+	// Seed is the remote identity whose fault triggered the shipment.
+	Seed heap.ObjID
+	// Objects is the number of objects installed.
+	Objects int
+	// SwapCluster is the swap-cluster the shipment was assigned to.
+	SwapCluster core.ClusterID
+}
+
+// Stats summarizes a replicator's activity.
+type Stats struct {
+	Faults           int // object faults taken
+	ClustersFetched  int // shipments installed
+	ObjectsInstalled int
+	ProxiesReplaced  int // object-fault proxies eliminated by replacement
+	UpdatesPushed    int // dirty replicas written back to the master
+}
+
+// Replicator drives incremental replication on a constrained device. It
+// implements core.FaultHandler: install it with Runtime.SetFaultHandler (the
+// Attach constructor does so).
+type Replicator struct {
+	rt        *core.Runtime
+	transport Transport
+
+	mu sync.Mutex
+	// remoteToLocal maps master identities to local replicas (and
+	// localToRemote the reverse, for write-back).
+	remoteToLocal map[heap.ObjID]heap.ObjID
+	localToRemote map[heap.ObjID]heap.ObjID
+	// dirty tracks replicas with unpushed writes.
+	dirty map[heap.ObjID]bool
+	// groupSize is the number of replication clusters grouped into one
+	// swap-cluster (the paper's adaptable macro-object size).
+	groupSize int
+	current   core.ClusterID
+	inCurrent int
+	stats     Stats
+}
+
+var _ core.FaultHandler = (*Replicator)(nil)
+
+// Option configures a Replicator.
+type Option func(*Replicator)
+
+// WithGroupSize sets how many replication clusters share one swap-cluster
+// (default 1: every shipment is its own swap-cluster).
+func WithGroupSize(n int) Option {
+	return func(r *Replicator) {
+		if n > 0 {
+			r.groupSize = n
+		}
+	}
+}
+
+// Attach builds a replicator over transport and installs it as rt's fault
+// handler.
+func Attach(rt *core.Runtime, transport Transport, opts ...Option) *Replicator {
+	r := &Replicator{
+		rt:            rt,
+		transport:     transport,
+		remoteToLocal: make(map[heap.ObjID]heap.ObjID),
+		localToRemote: make(map[heap.ObjID]heap.ObjID),
+		dirty:         make(map[heap.ObjID]bool),
+		groupSize:     1,
+	}
+	for _, opt := range opts {
+		opt(r)
+	}
+	rt.SetFaultHandler(r)
+	r.enableWriteback()
+	return r
+}
+
+// SetGroupSize adapts, at runtime, how many future replication clusters are
+// grouped into one swap-cluster (the paper's adaptable macro-object size).
+// The current group is closed: the next shipment starts a new swap-cluster.
+func (r *Replicator) SetGroupSize(n int) {
+	if n <= 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.groupSize = n
+	r.inCurrent = r.groupSize // force a fresh swap-cluster on next shipment
+}
+
+// GroupSize reports the current grouping factor.
+func (r *Replicator) GroupSize() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.groupSize
+}
+
+// StatsSnapshot returns a copy of the activity counters.
+func (r *Replicator) StatsSnapshot() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// LocalOf reports the local replica of a master identity, if replicated.
+func (r *Replicator) LocalOf(remote heap.ObjID) (heap.ObjID, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	id, ok := r.remoteToLocal[remote]
+	return id, ok
+}
+
+// ReplicateRoot makes the master's named root available on the device under
+// the same root name: as the local replica if already fetched, otherwise as
+// an object-fault proxy whose first use replicates its cluster.
+func (r *Replicator) ReplicateRoot(name string) (heap.Value, error) {
+	remote, class, err := r.transport.FetchRoot(name)
+	if err != nil {
+		return heap.Nil(), err
+	}
+	r.mu.Lock()
+	local, ok := r.remoteToLocal[remote]
+	r.mu.Unlock()
+	var ref heap.Value
+	if ok {
+		ref = heap.Ref(local)
+	} else {
+		pid, err := r.rt.ObjProxyFor(remote, class)
+		if err != nil {
+			return heap.Nil(), err
+		}
+		ref = heap.Ref(pid)
+	}
+	if err := r.rt.SetRoot(name, ref); err != nil {
+		return heap.Nil(), err
+	}
+	v, _ := r.rt.Root(name)
+	return v, nil
+}
+
+// Prefetch eagerly replicates up to maxObjects objects reachable from the
+// named master root — hoarding for disconnected operation: after a prefetch,
+// traversals within the hoarded region need no connectivity to the master
+// (swapping to nearby devices still works, and the catalogue survives master
+// loss entirely once fully hoarded). It returns the number of objects
+// installed by this call.
+func (r *Replicator) Prefetch(rootName string, maxObjects int) (int, error) {
+	if _, err := r.ReplicateRoot(rootName); err != nil {
+		return 0, err
+	}
+	before := r.StatsSnapshot().ObjectsInstalled
+	for {
+		installed := r.StatsSnapshot().ObjectsInstalled - before
+		if maxObjects > 0 && installed >= maxObjects {
+			return installed, nil
+		}
+		// Find any live object-fault placeholder and fault it in. The sweep
+		// in replicateCluster keeps replacing resolved ones, so each round
+		// makes progress toward a fully hoarded graph.
+		pid, ok := r.nextPlaceholder()
+		if !ok {
+			return installed, nil // fully hoarded
+		}
+		p, err := r.rt.Heap().Get(pid)
+		if err != nil {
+			continue
+		}
+		if _, err := r.HandleFault(r.rt, p); err != nil {
+			return r.StatsSnapshot().ObjectsInstalled - before, err
+		}
+	}
+}
+
+// nextPlaceholder returns a live object-fault proxy reachable from the
+// application graph, if any.
+func (r *Replicator) nextPlaceholder() (heap.ObjID, bool) {
+	h := r.rt.Heap()
+	reach := h.ReachableFromRoots()
+	ids := h.IDs()
+	for _, oid := range ids {
+		if !reach[oid] {
+			continue
+		}
+		o, err := h.Get(oid)
+		if err != nil {
+			continue
+		}
+		if o.Class().Special == heap.SpecialObjProxy {
+			return oid, true
+		}
+	}
+	return heap.NilID, false
+}
+
+// HandleFault implements core.FaultHandler: it replicates the cluster
+// containing the proxy's remote target and returns a reference to the local
+// replica.
+func (r *Replicator) HandleFault(rt *core.Runtime, proxy *heap.Object) (heap.Value, error) {
+	remote := core.ObjProxyRemote(proxy)
+	r.mu.Lock()
+	r.stats.Faults++
+	local, done := r.remoteToLocal[remote]
+	r.mu.Unlock()
+	if done {
+		// Already replicated (the proxy is a stale alias awaiting sweep).
+		return heap.Ref(local), nil
+	}
+	if err := r.replicateCluster(remote); err != nil {
+		return heap.Nil(), err
+	}
+	r.mu.Lock()
+	local, done = r.remoteToLocal[remote]
+	r.mu.Unlock()
+	if !done {
+		return heap.Nil(), fmt.Errorf("replication: shipment for @%d did not contain it", remote)
+	}
+	return heap.Ref(local), nil
+}
+
+// replicateCluster fetches and installs the shipment containing remote.
+func (r *Replicator) replicateCluster(remote heap.ObjID) error {
+	doc, err := r.transport.FetchCluster(remote)
+	if err != nil {
+		return fmt.Errorf("replication: fetch cluster of @%d: %w", remote, err)
+	}
+
+	// Installation and proxy-replacement writes are not user mutations:
+	// preserve the dirty set as it was when the fault began. (User code
+	// cannot interleave — replication runs inside the fault.)
+	r.mu.Lock()
+	preDirty := make(map[heap.ObjID]bool, len(r.dirty))
+	for id := range r.dirty {
+		preDirty[id] = true
+	}
+	r.mu.Unlock()
+	defer func() {
+		r.mu.Lock()
+		r.dirty = preDirty
+		r.mu.Unlock()
+	}()
+
+	// Pick the swap-cluster this shipment joins.
+	r.mu.Lock()
+	if r.current == core.RootCluster || r.inCurrent >= r.groupSize {
+		r.current = r.rt.Manager().NewCluster()
+		r.inCurrent = 0
+	}
+	sc := r.current
+	r.inCurrent++
+	r.mu.Unlock()
+
+	// Pass 1: allocate local replicas under fresh local identities.
+	type pending struct {
+		local *heap.Object
+		enc   xmlcodec.Object
+	}
+	installed := make([]pending, 0, len(doc.Objects))
+	newLocal := make(map[heap.ObjID]heap.ObjID, len(doc.Objects))
+	h := r.rt.Heap()
+	// Replicas are unreachable until pass 2 links them; pin them across any
+	// eviction-triggered collection in the meantime.
+	defer func() {
+		for _, p := range installed {
+			h.Unpin(p.local.ID())
+		}
+	}()
+	for _, eo := range doc.Objects {
+		// Clusters may overlap (shared subgraphs reached from several
+		// seeds); an object replicated earlier keeps its single replica.
+		r.mu.Lock()
+		_, exists := r.remoteToLocal[eo.ID]
+		r.mu.Unlock()
+		if exists {
+			continue
+		}
+		cls, err := r.rt.Registry().Lookup(eo.Class)
+		if err != nil {
+			return fmt.Errorf("replication: shipment class: %w", err)
+		}
+		o, err := r.rt.NewObject(cls, sc)
+		if err != nil {
+			return fmt.Errorf("replication: install replica of @%d: %w", eo.ID, err)
+		}
+		h.Pin(o.ID())
+		newLocal[eo.ID] = o.ID()
+		installed = append(installed, pending{local: o, enc: eo})
+	}
+	r.mu.Lock()
+	for remoteID, localID := range newLocal {
+		r.remoteToLocal[remoteID] = localID
+		r.localToRemote[localID] = remoteID
+	}
+	lookup := make(map[heap.ObjID]heap.ObjID, len(r.remoteToLocal))
+	for k, v := range r.remoteToLocal {
+		lookup[k] = v
+	}
+	r.stats.ClustersFetched++
+	r.stats.ObjectsInstalled += len(installed)
+	r.mu.Unlock()
+
+	// Pass 2: decode fields. Internal references resolve through the fresh
+	// replicas; remote references resolve to existing replicas (possibly in
+	// other swap-clusters — SetFieldValue re-mediates them with
+	// swap-cluster-proxies) or to object-fault proxies.
+	decodeRef := func(v xmlcodec.Value) (heap.Value, error) {
+		switch v.RefClass {
+		case xmlcodec.RefRemote:
+			if localID, ok := lookup[v.Target]; ok {
+				return heap.Ref(localID), nil
+			}
+			pid, err := r.rt.ObjProxyFor(v.Target, v.Class)
+			if err != nil {
+				return heap.Nil(), err
+			}
+			return heap.Ref(pid), nil
+		default:
+			return heap.Nil(), fmt.Errorf("replication: unexpected reference class %v", v.RefClass)
+		}
+	}
+	for _, p := range installed {
+		for _, f := range p.enc.Fields {
+			// Internal refs name master identities; rewrite them through the
+			// full replica map (overlapping shipments may reference replicas
+			// installed by earlier clusters).
+			fv := rewriteInternal(f.Value, lookup)
+			hv, err := fv.ToHeapValue(decodeRef)
+			if err != nil {
+				return fmt.Errorf("replication: field %s of replica @%d: %w", f.Name, p.local.ID(), err)
+			}
+			if err := r.rt.SetFieldValue(p.local.RefTo(), f.Name, hv); err != nil {
+				return fmt.Errorf("replication: field %s of replica @%d: %w", f.Name, p.local.ID(), err)
+			}
+		}
+	}
+
+	// Pass 3: proxy replacement — eliminate object-fault proxies that now
+	// have local replicas, from every resident object and root.
+	r.replaceProxies(lookup)
+
+	if bus := r.rt.Bus(); bus != nil {
+		bus.Emit(event.TopicClusterReplicated, ClusterEvent{
+			Seed:        remote,
+			Objects:     len(installed),
+			SwapCluster: sc,
+		})
+	}
+	return nil
+}
+
+// rewriteInternal maps the internal (master-identity) references of an
+// encoded value onto the fresh local identities.
+func rewriteInternal(v xmlcodec.Value, newLocal map[heap.ObjID]heap.ObjID) xmlcodec.Value {
+	switch {
+	case v.Kind == heap.KindRef && v.RefClass == xmlcodec.RefInternal:
+		if localID, ok := newLocal[v.Target]; ok {
+			return xmlcodec.InternalRef(localID)
+		}
+		return v
+	case v.Kind == heap.KindList:
+		out := v
+		out.List = make([]xmlcodec.Value, len(v.List))
+		for i, e := range v.List {
+			out.List[i] = rewriteInternal(e, newLocal)
+		}
+		return out
+	default:
+		return v
+	}
+}
+
+// replaceProxies sweeps the device graph replacing resolved object-fault
+// proxies: each reference to a proxy whose remote identity now has a local
+// replica is rewritten to target the replica (re-mediated by a
+// swap-cluster-proxy when it crosses a swap-cluster boundary). This is the
+// paper's proxy-replacement step, after which no replication indirection
+// remains on replicated paths.
+func (r *Replicator) replaceProxies(lookup map[heap.ObjID]heap.ObjID) {
+	h := r.rt.Heap()
+	replaced := 0
+
+	resolve := func(rid heap.ObjID) (heap.ObjID, bool) {
+		o, err := h.Get(rid)
+		if err != nil || o.Class().Special != heap.SpecialObjProxy {
+			return heap.NilID, false
+		}
+		localID, ok := lookup[core.ObjProxyRemote(o)]
+		return localID, ok
+	}
+
+	for _, oid := range h.IDs() {
+		o, err := h.Get(oid)
+		if err != nil || o.Class().Special != heap.SpecialNone {
+			continue
+		}
+		for i := 0; i < o.NumFields(); i++ {
+			v := o.Field(i)
+			if v.Kind() != heap.KindRef && v.Kind() != heap.KindList {
+				continue
+			}
+			dirty := false
+			nv := v.MapRefs(func(rid heap.ObjID) heap.ObjID {
+				if localID, ok := resolve(rid); ok {
+					dirty = true
+					replaced++
+					return localID
+				}
+				return rid
+			})
+			if dirty {
+				// SetFieldValue re-mediates cross-cluster references.
+				if err := r.rt.SetFieldValue(o.RefTo(), o.Class().Field(i).Name, nv); err != nil {
+					continue
+				}
+			}
+		}
+	}
+	for _, name := range h.RootNames() {
+		v, _ := h.Root(name)
+		if v.Kind() != heap.KindRef && v.Kind() != heap.KindList {
+			continue
+		}
+		dirty := false
+		nv := v.MapRefs(func(rid heap.ObjID) heap.ObjID {
+			if localID, ok := resolve(rid); ok {
+				dirty = true
+				replaced++
+				return localID
+			}
+			return rid
+		})
+		if dirty {
+			_ = r.rt.SetRoot(name, nv)
+		}
+	}
+
+	r.mu.Lock()
+	r.stats.ProxiesReplaced += replaced
+	r.mu.Unlock()
+}

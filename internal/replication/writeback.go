@@ -1,0 +1,174 @@
+package replication
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"objectswap/internal/core"
+	"objectswap/internal/heap"
+	"objectswap/internal/xmlcodec"
+)
+
+// Write-back: the "update of object replicas" half of OBIWAN's replication
+// core interfaces (Section 2 of the paper). The replicator tracks dirty
+// replicas through the heap's write observer and pushes their current state
+// back to the master in master-identity XML wrappers. Reconciliation policy
+// is last-writer-wins, as in OBIWAN's loosely-coupled replication: the
+// master applies whatever arrives.
+
+// ErrUpdatesUnsupported reports a transport without a write-back channel.
+var ErrUpdatesUnsupported = errors.New("replication: transport does not support updates")
+
+// ErrUnsyncedReference reports a dirty replica referencing a device-local
+// object the master has no identity for.
+var ErrUnsyncedReference = errors.New("replication: reference to unreplicated local object")
+
+// UpdateTransport is the optional write-back channel of a Transport.
+type UpdateTransport interface {
+	// PushCluster applies an update document (objects named by master
+	// identities) on the master.
+	PushCluster(doc *xmlcodec.Doc) error
+}
+
+// enableWriteback installs the dirty-tracking observer. Called by Attach.
+func (r *Replicator) enableWriteback() {
+	r.rt.Heap().SetWriteObserver(func(id heap.ObjID) {
+		r.mu.Lock()
+		if _, isReplica := r.localToRemote[id]; isReplica {
+			r.dirty[id] = true
+		}
+		r.mu.Unlock()
+	})
+}
+
+// DirtyCount reports how many replicas have unpushed writes.
+func (r *Replicator) DirtyCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.dirty)
+}
+
+// PushUpdates ships the current state of every dirty replica back to the
+// master and clears the dirty set. It returns the number of objects pushed.
+// Replicas that are currently swapped out are faulted back in first (their
+// state on the swapping device is the state to push).
+func (r *Replicator) PushUpdates() (int, error) {
+	ut, ok := r.transport.(UpdateTransport)
+	if !ok {
+		return 0, ErrUpdatesUnsupported
+	}
+
+	r.mu.Lock()
+	ids := make([]heap.ObjID, 0, len(r.dirty))
+	for id := range r.dirty {
+		ids = append(ids, id)
+	}
+	reverse := make(map[heap.ObjID]heap.ObjID, len(r.localToRemote))
+	for l, m := range r.localToRemote {
+		reverse[l] = m
+	}
+	r.mu.Unlock()
+	if len(ids) == 0 {
+		return 0, nil
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	// Encode each dirty replica under its MASTER identity; references are
+	// rewritten into the master namespace.
+	encodeRef := func(rid heap.ObjID) (xmlcodec.Value, error) {
+		ultimate := rid
+		if o, err := r.rt.Heap().Get(rid); err == nil {
+			if target, isProxy := core.ProxyTarget(o); isProxy {
+				// Resolve through the proxy to the replica it mediates.
+				ultimate = target
+			} else if o.Class().Special == heap.SpecialObjProxy {
+				// Un-replicated edge: the placeholder IS a master identity.
+				return xmlcodec.RemoteRef(core.ObjProxyRemote(o)), nil
+			}
+		}
+		master, known := reverse[ultimate]
+		if !known {
+			return xmlcodec.Value{}, fmt.Errorf("%w: @%d", ErrUnsyncedReference, ultimate)
+		}
+		return xmlcodec.RemoteRef(master), nil
+	}
+
+	doc := &xmlcodec.Doc{ClusterID: "update-" + r.rt.Name(), Version: xmlcodec.Version}
+	pushed := make([]heap.ObjID, 0, len(ids))
+	for _, id := range ids {
+		o, err := r.rt.Heap().Get(id)
+		if err != nil {
+			// The replica is swapped out: fault it in to read its state.
+			ro, derr := r.rt.Deref(heap.Ref(id))
+			if derr != nil {
+				return 0, fmt.Errorf("replication: dirty replica @%d unavailable: %w", id, derr)
+			}
+			o = ro
+		}
+		eo, err := xmlcodec.EncodeObject(o, encodeRef)
+		if err != nil {
+			return 0, err
+		}
+		r.mu.Lock()
+		master := r.localToRemote[id]
+		r.mu.Unlock()
+		eo.ID = master
+		doc.Objects = append(doc.Objects, eo)
+		pushed = append(pushed, id)
+	}
+
+	if err := ut.PushCluster(doc); err != nil {
+		return 0, fmt.Errorf("replication: push updates: %w", err)
+	}
+	r.mu.Lock()
+	for _, id := range pushed {
+		delete(r.dirty, id)
+	}
+	r.stats.UpdatesPushed += len(pushed)
+	r.mu.Unlock()
+	return len(pushed), nil
+}
+
+// ApplyUpdate applies an update document on the master: every contained
+// object names a master identity; its fields replace the master's
+// (last-writer-wins).
+func (m *Master) ApplyUpdate(doc *xmlcodec.Doc) error {
+	if doc == nil || doc.Version != xmlcodec.Version {
+		return errors.New("replication: bad update document")
+	}
+	decodeRef := func(v xmlcodec.Value) (heap.Value, error) {
+		if v.RefClass != xmlcodec.RefRemote {
+			return heap.Nil(), errors.New("replication: update refs must be master identities")
+		}
+		if !m.h.Contains(v.Target) {
+			return heap.Nil(), fmt.Errorf("%w: @%d", ErrUnknownObject, v.Target)
+		}
+		return heap.Ref(v.Target), nil
+	}
+	for _, eo := range doc.Objects {
+		o, err := m.h.Get(eo.ID)
+		if err != nil {
+			return fmt.Errorf("replication: update for unknown master object @%d", eo.ID)
+		}
+		if o.Class().Name != eo.Class {
+			return fmt.Errorf("replication: update class mismatch for @%d: %s vs %s",
+				eo.ID, eo.Class, o.Class().Name)
+		}
+		for _, f := range eo.Fields {
+			hv, err := f.Value.ToHeapValue(decodeRef)
+			if err != nil {
+				return err
+			}
+			if err := o.SetFieldByName(f.Name, hv); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// PushCluster implements UpdateTransport for the in-process master.
+func (m *Master) PushCluster(doc *xmlcodec.Doc) error { return m.ApplyUpdate(doc) }
+
+var _ UpdateTransport = (*Master)(nil)

@@ -1,0 +1,155 @@
+package store
+
+import (
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Disk is a Store backed by a directory of files — the paper's desktop or
+// laptop PC holding swapped XML as plain files. Keys are hex-encoded into
+// file names so arbitrary key strings are safe.
+type Disk struct {
+	mu       sync.Mutex
+	dir      string
+	capacity int64
+}
+
+var _ Store = (*Disk)(nil)
+
+const diskExt = ".swapxml"
+
+// NewDisk returns a disk store rooted at dir, creating it if needed.
+// capacity <= 0 means unlimited.
+func NewDisk(dir string, capacity int64) (*Disk, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: create dir: %w", err)
+	}
+	return &Disk{dir: dir, capacity: capacity}, nil
+}
+
+// Dir returns the backing directory.
+func (d *Disk) Dir() string { return d.dir }
+
+func (d *Disk) path(key string) string {
+	return filepath.Join(d.dir, hex.EncodeToString([]byte(key))+diskExt)
+}
+
+// Put stores data under key.
+func (d *Disk) Put(key string, data []byte) error {
+	if key == "" {
+		return errors.New("store: empty key")
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.capacity > 0 {
+		st, err := d.statsLocked()
+		if err != nil {
+			return err
+		}
+		var existing int64
+		if fi, err := os.Stat(d.path(key)); err == nil {
+			existing = fi.Size()
+		}
+		if st.Used-existing+int64(len(data)) > d.capacity {
+			return fmt.Errorf("%w: need %d bytes, %d of %d used",
+				ErrCapacity, len(data), st.Used, d.capacity)
+		}
+	}
+	tmp := d.path(key) + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("store: write: %w", err)
+	}
+	if err := os.Rename(tmp, d.path(key)); err != nil {
+		return fmt.Errorf("store: rename: %w", err)
+	}
+	return nil
+}
+
+// Get returns the payload stored under key.
+func (d *Disk) Get(key string) ([]byte, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	data, err := os.ReadFile(d.path(key))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: read: %w", err)
+	}
+	return data, nil
+}
+
+// Drop removes the payload stored under key.
+func (d *Disk) Drop(key string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	err := os.Remove(d.path(key))
+	if errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	if err != nil {
+		return fmt.Errorf("store: remove: %w", err)
+	}
+	return nil
+}
+
+// Keys enumerates stored keys in sorted order.
+func (d *Disk) Keys() ([]string, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.keysLocked()
+}
+
+func (d *Disk) keysLocked() ([]string, error) {
+	entries, err := os.ReadDir(d.dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: list: %w", err)
+	}
+	var keys []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, diskExt) {
+			continue
+		}
+		raw, err := hex.DecodeString(strings.TrimSuffix(name, diskExt))
+		if err != nil {
+			continue // foreign file; ignore
+		}
+		keys = append(keys, string(raw))
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// Stats reports occupancy.
+func (d *Disk) Stats() (Stats, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.statsLocked()
+}
+
+func (d *Disk) statsLocked() (Stats, error) {
+	entries, err := os.ReadDir(d.dir)
+	if err != nil {
+		return Stats{}, fmt.Errorf("store: list: %w", err)
+	}
+	st := Stats{Capacity: d.capacity}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), diskExt) {
+			continue
+		}
+		fi, err := e.Info()
+		if err != nil {
+			continue
+		}
+		st.Used += fi.Size()
+		st.Items++
+	}
+	return st, nil
+}

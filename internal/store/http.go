@@ -1,0 +1,242 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+)
+
+// HTTP transport for the store contract: the paper's prototype moved swapped
+// XML through a web-services communication bridge, because the .Net Compact
+// Framework of the day lacked remote method invocation. Handler exposes any
+// Store over HTTP; Client is the matching Store implementation used by the
+// constrained device.
+//
+// Wire protocol (keys are path-escaped):
+//
+//	PUT    /clusters/{key}   body = payload      -> 204
+//	GET    /clusters/{key}                       -> 200 body = payload | 404
+//	DELETE /clusters/{key}                       -> 204 | 404
+//	GET    /clusters                             -> 200 JSON ["key", ...]
+//	GET    /stats                                -> 200 JSON Stats
+
+// Handler adapts a Store to HTTP.
+type Handler struct {
+	s Store
+}
+
+var _ http.Handler = (*Handler)(nil)
+
+// NewHandler returns an HTTP handler serving s.
+func NewHandler(s Store) *Handler { return &Handler{s: s} }
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.URL.Path == "/stats" && r.Method == http.MethodGet:
+		st, err := h.s.Stats()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, st)
+	case r.URL.Path == "/clusters" && r.Method == http.MethodGet:
+		keys, err := h.s.Keys()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		if keys == nil {
+			keys = []string{}
+		}
+		writeJSON(w, keys)
+	case strings.HasPrefix(r.URL.Path, "/clusters/"):
+		rawKey := strings.TrimPrefix(r.URL.Path, "/clusters/")
+		key, err := url.PathUnescape(rawKey)
+		if err != nil || key == "" {
+			http.Error(w, "bad key", http.StatusBadRequest)
+			return
+		}
+		h.serveKey(w, r, key)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+func (h *Handler) serveKey(w http.ResponseWriter, r *http.Request, key string) {
+	switch r.Method {
+	case http.MethodPut:
+		data, err := io.ReadAll(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := h.s.Put(key, data); err != nil {
+			status := http.StatusInternalServerError
+			if errors.Is(err, ErrCapacity) {
+				status = http.StatusInsufficientStorage
+			}
+			http.Error(w, err.Error(), status)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	case http.MethodGet:
+		data, err := h.s.Get(key)
+		if errors.Is(err, ErrNotFound) {
+			http.NotFound(w, r)
+			return
+		}
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/xml")
+		_, _ = w.Write(data)
+	case http.MethodDelete:
+		err := h.s.Drop(key)
+		if errors.Is(err, ErrNotFound) {
+			http.NotFound(w, r)
+			return
+		}
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// Client is a Store talking to a remote Handler.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+var _ Store = (*Client)(nil)
+
+// NewClient returns a store client for the device at baseURL
+// (e.g. "http://192.168.0.7:9980").
+func NewClient(baseURL string) *Client {
+	return &Client{
+		base: strings.TrimRight(baseURL, "/"),
+		hc:   &http.Client{Timeout: 30 * time.Second},
+	}
+}
+
+func (c *Client) keyURL(key string) string {
+	return c.base + "/clusters/" + url.PathEscape(key)
+}
+
+// Put stores data under key on the remote device.
+func (c *Client) Put(key string, data []byte) error {
+	if key == "" {
+		return errors.New("store: empty key")
+	}
+	req, err := http.NewRequest(http.MethodPut, c.keyURL(key), bytes.NewReader(data))
+	if err != nil {
+		return fmt.Errorf("store: http: %w", err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrUnavailable, err)
+	}
+	defer drain(resp)
+	switch resp.StatusCode {
+	case http.StatusNoContent, http.StatusOK:
+		return nil
+	case http.StatusInsufficientStorage:
+		return fmt.Errorf("%w: remote device full", ErrCapacity)
+	default:
+		return fmt.Errorf("store: http put: status %d", resp.StatusCode)
+	}
+}
+
+// Get returns the payload stored under key on the remote device.
+func (c *Client) Get(key string) ([]byte, error) {
+	resp, err := c.hc.Get(c.keyURL(key))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrUnavailable, err)
+	}
+	defer drain(resp)
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return io.ReadAll(resp.Body)
+	case http.StatusNotFound:
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+	default:
+		return nil, fmt.Errorf("store: http get: status %d", resp.StatusCode)
+	}
+}
+
+// Drop removes the payload stored under key on the remote device.
+func (c *Client) Drop(key string) error {
+	req, err := http.NewRequest(http.MethodDelete, c.keyURL(key), nil)
+	if err != nil {
+		return fmt.Errorf("store: http: %w", err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrUnavailable, err)
+	}
+	defer drain(resp)
+	switch resp.StatusCode {
+	case http.StatusNoContent, http.StatusOK:
+		return nil
+	case http.StatusNotFound:
+		return fmt.Errorf("%w: %q", ErrNotFound, key)
+	default:
+		return fmt.Errorf("store: http delete: status %d", resp.StatusCode)
+	}
+}
+
+// Keys enumerates remote keys.
+func (c *Client) Keys() ([]string, error) {
+	resp, err := c.hc.Get(c.base + "/clusters")
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrUnavailable, err)
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("store: http keys: status %d", resp.StatusCode)
+	}
+	var keys []string
+	if err := json.NewDecoder(resp.Body).Decode(&keys); err != nil {
+		return nil, fmt.Errorf("store: http keys: %w", err)
+	}
+	return keys, nil
+}
+
+// Stats reports remote occupancy.
+func (c *Client) Stats() (Stats, error) {
+	resp, err := c.hc.Get(c.base + "/stats")
+	if err != nil {
+		return Stats{}, fmt.Errorf("%w: %v", ErrUnavailable, err)
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusOK {
+		return Stats{}, fmt.Errorf("store: http stats: status %d", resp.StatusCode)
+	}
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return Stats{}, fmt.Errorf("store: http stats: %w", err)
+	}
+	return st, nil
+}
+
+func drain(resp *http.Response) {
+	_, _ = io.Copy(io.Discard, resp.Body)
+	_ = resp.Body.Close()
+}

@@ -1,0 +1,73 @@
+package store
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestHTTPClientContract(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(NewMem(0)))
+	defer srv.Close()
+	storeContract(t, NewClient(srv.URL))
+}
+
+func TestHTTPCapacityMapsTo507(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(NewMem(4)))
+	defer srv.Close()
+	c := NewClient(srv.URL)
+	if err := c.Put("k", make([]byte, 16)); !errors.Is(err, ErrCapacity) {
+		t.Fatalf("remote capacity error: %v", err)
+	}
+}
+
+func TestHTTPUnreachable(t *testing.T) {
+	c := NewClient("http://127.0.0.1:1") // nothing listens there
+	if err := c.Put("k", []byte("x")); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("Put to dead host: %v", err)
+	}
+	if _, err := c.Get("k"); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("Get from dead host: %v", err)
+	}
+	if err := c.Drop("k"); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("Drop on dead host: %v", err)
+	}
+	if _, err := c.Keys(); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("Keys on dead host: %v", err)
+	}
+	if _, err := c.Stats(); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("Stats on dead host: %v", err)
+	}
+}
+
+func TestHTTPHandlerRejectsBadRequests(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(NewMem(0)))
+	defer srv.Close()
+	c := srv.Client()
+
+	for _, tc := range []struct {
+		method, path string
+		wantStatus   int
+	}{
+		{"GET", "/nope", 404},
+		{"POST", "/clusters/k", 405},
+		{"POST", "/clusters", 404},
+		{"GET", "/clusters/", 400},
+		{"DELETE", "/clusters/absent", 404},
+		{"GET", "/clusters/absent", 404},
+	} {
+		req, err := http.NewRequest(tc.method, srv.URL+tc.path, nil)
+		if err != nil {
+			t.Fatalf("%s %s: %v", tc.method, tc.path, err)
+		}
+		resp, err := c.Do(req)
+		if err != nil {
+			t.Fatalf("%s %s: %v", tc.method, tc.path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.wantStatus {
+			t.Errorf("%s %s: status %d, want %d", tc.method, tc.path, resp.StatusCode, tc.wantStatus)
+		}
+	}
+}

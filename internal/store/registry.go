@@ -1,0 +1,161 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// SelectStrategy chooses the destination device for a swap-out.
+type SelectStrategy uint8
+
+const (
+	// SelectMostFree picks the reachable device with the most free bytes —
+	// the sensible default for the paper's heterogeneous device population.
+	SelectMostFree SelectStrategy = iota + 1
+	// SelectFirstFit picks the first reachable device (by name order) with
+	// room for the payload.
+	SelectFirstFit
+	// SelectRoundRobin rotates across reachable devices with room,
+	// spreading clusters over the neighborhood.
+	SelectRoundRobin
+)
+
+// ErrNoDevice reports that no reachable device can hold a payload.
+var ErrNoDevice = errors.New("store: no reachable device with capacity")
+
+// Device is one named nearby device in the registry.
+type Device struct {
+	Name      string
+	Store     Store
+	Available bool
+}
+
+// Registry tracks the nearby devices currently visible to the constrained
+// node and selects swap-out destinations. It implements the core package's
+// StoreProvider contract.
+type Registry struct {
+	mu       sync.Mutex
+	devices  map[string]*Device
+	strategy SelectStrategy
+	rrCursor int
+}
+
+// NewRegistry returns an empty registry using the given selection strategy.
+func NewRegistry(strategy SelectStrategy) *Registry {
+	if strategy == 0 {
+		strategy = SelectMostFree
+	}
+	return &Registry{devices: make(map[string]*Device), strategy: strategy}
+}
+
+// Add registers a device as available. Adding a duplicate name is an error.
+func (r *Registry) Add(name string, s Store) error {
+	if name == "" || s == nil {
+		return errors.New("store: Add: empty name or nil store")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.devices[name]; dup {
+		return fmt.Errorf("store: device %q already registered", name)
+	}
+	r.devices[name] = &Device{Name: name, Store: s, Available: true}
+	return nil
+}
+
+// Remove forgets a device entirely.
+func (r *Registry) Remove(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.devices, name)
+}
+
+// SetAvailable flips a device's reachability (driven by the connectivity
+// monitor). Unknown names are ignored.
+func (r *Registry) SetAvailable(name string, available bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if d, ok := r.devices[name]; ok {
+		d.Available = available
+	}
+}
+
+// Names returns the sorted names of all registered devices.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.devices))
+	for n := range r.devices {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Lookup returns the store of a named device, failing when the device is
+// unknown or unreachable.
+func (r *Registry) Lookup(name string) (Store, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	d, ok := r.devices[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: device %q unknown", ErrUnavailable, name)
+	}
+	if !d.Available {
+		return nil, fmt.Errorf("%w: device %q unreachable", ErrUnavailable, name)
+	}
+	return d.Store, nil
+}
+
+// Pick selects a destination with at least need free bytes according to the
+// registry strategy. It returns the device name and its store.
+func (r *Registry) Pick(need int64) (string, Store, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	type candidate struct {
+		name string
+		s    Store
+		free int64
+	}
+	var candidates []candidate
+	names := make([]string, 0, len(r.devices))
+	for n := range r.devices {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		d := r.devices[n]
+		if !d.Available {
+			continue
+		}
+		st, err := d.Store.Stats()
+		if err != nil {
+			continue // unreachable right now; skip
+		}
+		if st.Free() >= need {
+			candidates = append(candidates, candidate{name: n, s: d.Store, free: st.Free()})
+		}
+	}
+	if len(candidates) == 0 {
+		return "", nil, fmt.Errorf("%w: need %d bytes", ErrNoDevice, need)
+	}
+	switch r.strategy {
+	case SelectFirstFit:
+		c := candidates[0]
+		return c.name, c.s, nil
+	case SelectRoundRobin:
+		c := candidates[r.rrCursor%len(candidates)]
+		r.rrCursor++
+		return c.name, c.s, nil
+	default: // SelectMostFree
+		best := candidates[0]
+		for _, c := range candidates[1:] {
+			if c.free > best.free {
+				best = c
+			}
+		}
+		return best.name, best.s, nil
+	}
+}

@@ -1,0 +1,143 @@
+// Package store implements the swapping-device substrate: the "nearby
+// devices" of the paper that receive swapped-out object clusters.
+//
+// The paper's key portability requirement is that such devices need no
+// virtual machine, no middleware and no application classes — they must only
+// be able to store, return and drop keyed XML text. The Store interface is
+// exactly that contract. Implementations cover the deployment spectrum the
+// paper envisions: an in-memory store (another PDA's RAM), a disk store (a
+// desktop PC holding files), and an HTTP store (the web-services
+// communication bridge of the OBIWAN prototype).
+//
+// A Registry aggregates several named devices and picks a destination for
+// each swap-out, modelling the paper's scenario of "a myriad of small
+// memory-enabled devices with wireless connectivity, scattered all-over".
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Errors reported by stores.
+var (
+	// ErrNotFound reports a key with no stored data.
+	ErrNotFound = errors.New("store: key not found")
+	// ErrCapacity reports that a device has no room for the payload.
+	ErrCapacity = errors.New("store: capacity exceeded")
+	// ErrUnavailable reports that the device is out of reach (link down).
+	ErrUnavailable = errors.New("store: device unavailable")
+)
+
+// Stats describes a device's occupancy.
+type Stats struct {
+	Capacity int64 `json:"capacity"` // bytes; 0 = unlimited
+	Used     int64 `json:"used"`
+	Items    int   `json:"items"`
+}
+
+// Free returns the remaining byte capacity, or a very large number when
+// unlimited.
+func (s Stats) Free() int64 {
+	if s.Capacity <= 0 {
+		return 1<<62 - 1
+	}
+	return s.Capacity - s.Used
+}
+
+// Store is the full contract a swapping device must honor: store, return,
+// drop (and enumerate) keyed opaque text.
+type Store interface {
+	// Put stores data under key, replacing any previous payload.
+	Put(key string, data []byte) error
+	// Get returns the payload stored under key.
+	Get(key string) ([]byte, error)
+	// Drop removes the payload stored under key. Dropping an absent key is
+	// an error (ErrNotFound) so protocol bugs surface.
+	Drop(key string) error
+	// Keys enumerates stored keys in sorted order.
+	Keys() ([]string, error)
+	// Stats reports occupancy.
+	Stats() (Stats, error)
+}
+
+// Mem is an in-memory Store with optional byte capacity.
+type Mem struct {
+	mu       sync.RWMutex
+	capacity int64
+	used     int64
+	items    map[string][]byte
+}
+
+var _ Store = (*Mem)(nil)
+
+// NewMem returns an empty in-memory store. capacity <= 0 means unlimited.
+func NewMem(capacity int64) *Mem {
+	return &Mem{capacity: capacity, items: make(map[string][]byte)}
+}
+
+// Put stores data under key.
+func (m *Mem) Put(key string, data []byte) error {
+	if key == "" {
+		return errors.New("store: empty key")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	next := m.used - int64(len(m.items[key])) + int64(len(data))
+	if m.capacity > 0 && next > m.capacity {
+		return fmt.Errorf("%w: need %d bytes, %d of %d used",
+			ErrCapacity, len(data), m.used, m.capacity)
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	m.items[key] = cp
+	m.used = next
+	return nil
+}
+
+// Get returns the payload stored under key.
+func (m *Mem) Get(key string) ([]byte, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	data, ok := m.items[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	return cp, nil
+}
+
+// Drop removes the payload stored under key.
+func (m *Mem) Drop(key string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	data, ok := m.items[key]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	delete(m.items, key)
+	m.used -= int64(len(data))
+	return nil
+}
+
+// Keys enumerates stored keys in sorted order.
+func (m *Mem) Keys() ([]string, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	keys := make([]string, 0, len(m.items))
+	for k := range m.items {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// Stats reports occupancy.
+func (m *Mem) Stats() (Stats, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return Stats{Capacity: m.capacity, Used: m.used, Items: len(m.items)}, nil
+}

@@ -1,0 +1,147 @@
+package store
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestVersionedBehavesAsPlainStoreForLiveKeys(t *testing.T) {
+	// The full storeContract does not apply: archived generations occupy the
+	// device, so Stats legitimately reports more than the live payloads.
+	// The live-key surface must still match a plain store.
+	v := NewVersioned(NewMem(0), 0)
+	if _, err := v.Get("missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get missing: %v", err)
+	}
+	if err := v.Put("a", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Put("b", []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := v.Get("a")
+	if err != nil || string(got) != "1" {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	keys, err := v.Keys()
+	if err != nil || len(keys) != 2 || keys[0] != "a" || keys[1] != "b" {
+		t.Fatalf("Keys = %v, %v", keys, err)
+	}
+	if err := v.Drop("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Get("a"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get after drop: %v", err)
+	}
+	if err := v.Put("", []byte("x")); err == nil {
+		t.Fatal("empty key accepted")
+	}
+}
+
+func TestVersionedArchivesOnPut(t *testing.T) {
+	v := NewVersioned(NewMem(0), 0)
+	_ = v.Put("k", []byte("v1"))
+	_ = v.Put("k", []byte("v2"))
+	_ = v.Put("k", []byte("v3"))
+
+	cur, err := v.Get("k")
+	if err != nil || string(cur) != "v3" {
+		t.Fatalf("current = %q, %v", cur, err)
+	}
+	gens, err := v.Versions("k")
+	if err != nil || len(gens) != 2 {
+		t.Fatalf("generations = %v, %v", gens, err)
+	}
+	g0, _ := v.GetVersion("k", gens[0])
+	g1, _ := v.GetVersion("k", gens[1])
+	if string(g0) != "v1" || string(g1) != "v2" {
+		t.Fatalf("archived = %q, %q", g0, g1)
+	}
+	// Live key listing hides archives.
+	keys, _ := v.Keys()
+	if len(keys) != 1 || keys[0] != "k" {
+		t.Fatalf("keys = %v", keys)
+	}
+}
+
+func TestVersionedDropSetsAside(t *testing.T) {
+	// The paper: dropped swap-clusters may be set aside rather than
+	// destroyed, for reconciliation/versioning.
+	v := NewVersioned(NewMem(0), 0)
+	_ = v.Put("cluster-7", []byte("<swapcluster/>"))
+	if err := v.Drop("cluster-7"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Get("cluster-7"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("live payload survived drop: %v", err)
+	}
+	gens, _ := v.Versions("cluster-7")
+	if len(gens) != 1 {
+		t.Fatalf("generations after drop = %v", gens)
+	}
+	data, err := v.GetVersion("cluster-7", gens[0])
+	if err != nil || string(data) != "<swapcluster/>" {
+		t.Fatalf("set-aside payload = %q, %v", data, err)
+	}
+	// Dropping a missing key still errors.
+	if err := v.Drop("ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("drop ghost: %v", err)
+	}
+}
+
+func TestVersionedRetentionBound(t *testing.T) {
+	v := NewVersioned(NewMem(0), 2)
+	for i := 0; i < 6; i++ {
+		_ = v.Put("k", []byte{byte('a' + i)})
+	}
+	gens, _ := v.Versions("k")
+	if len(gens) != 2 {
+		t.Fatalf("retained %d generations, want 2", len(gens))
+	}
+	// The newest two archives survive: "d" and "e" (current is "f").
+	g0, _ := v.GetVersion("k", gens[0])
+	g1, _ := v.GetVersion("k", gens[1])
+	if string(g0) != "d" || string(g1) != "e" {
+		t.Fatalf("retained = %q, %q", g0, g1)
+	}
+}
+
+func TestVersionedPrune(t *testing.T) {
+	v := NewVersioned(NewMem(0), 0)
+	_ = v.Put("k", []byte("1"))
+	_ = v.Put("k", []byte("2"))
+	_ = v.Put("other", []byte("x"))
+	_ = v.Put("other", []byte("y"))
+	if err := v.PruneVersions("k"); err != nil {
+		t.Fatal(err)
+	}
+	gens, _ := v.Versions("k")
+	if len(gens) != 0 {
+		t.Fatalf("generations after prune = %v", gens)
+	}
+	// Other keys' archives untouched.
+	gens, _ = v.Versions("other")
+	if len(gens) != 1 {
+		t.Fatalf("other generations = %v", gens)
+	}
+}
+
+func TestVersionedRejectsNamespaceCollisions(t *testing.T) {
+	v := NewVersioned(NewMem(0), 0)
+	if err := v.Put("bad#v1", []byte("x")); !errors.Is(err, ErrVersionedKey) {
+		t.Fatalf("collision accepted: %v", err)
+	}
+}
+
+func TestVersionedStatsIncludeArchives(t *testing.T) {
+	v := NewVersioned(NewMem(0), 0)
+	_ = v.Put("k", make([]byte, 10))
+	_ = v.Put("k", make([]byte, 10))
+	st, err := v.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Used != 20 || st.Items != 2 {
+		t.Fatalf("stats = %+v (archives must be accounted)", st)
+	}
+}

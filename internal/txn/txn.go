@@ -1,0 +1,175 @@
+// Package txn implements OBIWAN's Transactional Support module (Figure 1 of
+// the paper): local, undo-log transactions over the managed object graph.
+//
+// The swapping paper leaves replica consistency to the companion OBIWAN work
+// ("loosely-coupled, mobile replication of objects with transactions"), but
+// the module exists in the architecture and matters to swapping in one
+// concrete way: a transaction's write set must stay consistent even when the
+// middleware swaps clusters in and out mid-transaction. This implementation
+// provides exactly that — field-level undo records captured through the
+// swapping-aware runtime, so a rollback faults any swapped cluster back in
+// and restores the original values through the same mediation as any other
+// write.
+//
+// Transactions are local and single-threaded, like the runtime: one open
+// transaction per Txn manager, no isolation levels — Begin / write / Commit
+// or Rollback.
+package txn
+
+import (
+	"errors"
+	"fmt"
+
+	"objectswap/internal/core"
+	"objectswap/internal/heap"
+)
+
+// Errors reported by the transaction manager.
+var (
+	// ErrNoTransaction reports a write/commit/rollback without Begin.
+	ErrNoTransaction = errors.New("txn: no transaction in progress")
+	// ErrNested reports a Begin inside an open transaction.
+	ErrNested = errors.New("txn: transaction already in progress")
+)
+
+// undoRecord remembers one overwritten slot.
+type undoRecord struct {
+	target heap.ObjID // ultimate object identity
+	field  string
+	before heap.Value
+}
+
+// rootUndo remembers one overwritten global.
+type rootUndo struct {
+	name    string
+	before  heap.Value
+	existed bool
+}
+
+// Manager runs transactions over a swapping runtime.
+type Manager struct {
+	rt *core.Runtime
+
+	open  bool
+	undo  []undoRecord
+	roots []rootUndo
+
+	commits   uint64
+	rollbacks uint64
+}
+
+// New builds a transaction manager over rt.
+func New(rt *core.Runtime) *Manager {
+	return &Manager{rt: rt}
+}
+
+// Begin opens a transaction.
+func (m *Manager) Begin() error {
+	if m.open {
+		return ErrNested
+	}
+	m.open = true
+	m.undo = m.undo[:0]
+	m.roots = m.roots[:0]
+	return nil
+}
+
+// InTransaction reports whether a transaction is open.
+func (m *Manager) InTransaction() bool { return m.open }
+
+// Commits and Rollbacks report lifetime counters.
+func (m *Manager) Commits() uint64   { return m.commits }
+func (m *Manager) Rollbacks() uint64 { return m.rollbacks }
+
+// Set writes a field transactionally: the previous value is recorded for
+// rollback, then the write goes through the swapping-aware runtime (so
+// cross-cluster references are mediated and swapped clusters fault in).
+func (m *Manager) Set(target heap.Value, field string, v heap.Value) error {
+	if !m.open {
+		return ErrNoTransaction
+	}
+	obj, err := m.rt.Deref(target)
+	if err != nil {
+		return fmt.Errorf("txn: resolve write target: %w", err)
+	}
+	before, err := obj.FieldByName(field)
+	if err != nil {
+		return err
+	}
+	if err := m.rt.SetFieldValue(target, field, v); err != nil {
+		return err
+	}
+	m.undo = append(m.undo, undoRecord{target: obj.ID(), field: field, before: before})
+	return nil
+}
+
+// SetRoot writes a global transactionally.
+func (m *Manager) SetRoot(name string, v heap.Value) error {
+	if !m.open {
+		return ErrNoTransaction
+	}
+	before, existed := m.rt.Root(name)
+	if err := m.rt.SetRoot(name, v); err != nil {
+		return err
+	}
+	m.roots = append(m.roots, rootUndo{name: name, before: before, existed: existed})
+	return nil
+}
+
+// Commit closes the transaction, keeping every write.
+func (m *Manager) Commit() error {
+	if !m.open {
+		return ErrNoTransaction
+	}
+	m.open = false
+	m.undo = m.undo[:0]
+	m.roots = m.roots[:0]
+	m.commits++
+	return nil
+}
+
+// Rollback undoes every write of the open transaction, newest first, and
+// closes it. Undo writes flow through the swapping runtime, so clusters
+// swapped out since the write fault back in to be restored.
+func (m *Manager) Rollback() error {
+	if !m.open {
+		return ErrNoTransaction
+	}
+	var firstErr error
+	for i := len(m.undo) - 1; i >= 0; i-- {
+		rec := m.undo[i]
+		if err := m.rt.SetFieldValue(heap.Ref(rec.target), rec.field, rec.before); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("txn: undo @%d.%s: %w", rec.target, rec.field, err)
+		}
+	}
+	for i := len(m.roots) - 1; i >= 0; i-- {
+		rec := m.roots[i]
+		if !rec.existed {
+			m.rt.Heap().DelRoot(rec.name)
+			continue
+		}
+		if err := m.rt.SetRoot(rec.name, rec.before); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("txn: undo root %s: %w", rec.name, err)
+		}
+	}
+	m.open = false
+	m.undo = m.undo[:0]
+	m.roots = m.roots[:0]
+	m.rollbacks++
+	return firstErr
+}
+
+// Run executes fn inside a transaction: commit on nil, rollback on error
+// (the original error is returned; a rollback failure is attached).
+func (m *Manager) Run(fn func(tx *Manager) error) error {
+	if err := m.Begin(); err != nil {
+		return err
+	}
+	if err := fn(m); err != nil {
+		if rerr := m.Rollback(); rerr != nil {
+			return fmt.Errorf("%w (rollback: %v)", err, rerr)
+		}
+		return err
+	}
+	return m.Commit()
+}

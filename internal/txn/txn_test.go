@@ -1,0 +1,221 @@
+package txn
+
+import (
+	"errors"
+	"testing"
+
+	"objectswap/internal/core"
+	"objectswap/internal/heap"
+	"objectswap/internal/store"
+)
+
+func nodeClass() *heap.Class {
+	c := heap.NewClass("Node",
+		heap.FieldDef{Name: "next", Kind: heap.KindRef},
+		heap.FieldDef{Name: "tag", Kind: heap.KindInt},
+	)
+	c.AddMethod("tag", func(call *heap.Call) ([]heap.Value, error) {
+		v, _ := call.Self.FieldByName("tag")
+		return []heap.Value{v}, nil
+	})
+	return c
+}
+
+func fixture(t testing.TB) (*core.Runtime, *heap.Class) {
+	t.Helper()
+	devices := store.NewRegistry(store.SelectMostFree)
+	_ = devices.Add("d", store.NewMem(0))
+	rt := core.NewRuntime(heap.New(0), heap.NewRegistry(), core.WithStores(devices))
+	cls := nodeClass()
+	rt.MustRegisterClass(cls)
+	return rt, cls
+}
+
+func TestCommitKeepsWrites(t *testing.T) {
+	rt, cls := fixture(t)
+	m := New(rt)
+	c := rt.Manager().NewCluster()
+	o, _ := rt.NewObject(cls, c)
+	_ = rt.SetRoot("x", o.RefTo())
+
+	if err := m.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Set(o.RefTo(), "tag", heap.Int(7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := o.FieldByName("tag")
+	if v.MustInt() != 7 {
+		t.Fatalf("tag = %v", v)
+	}
+	if m.Commits() != 1 || m.InTransaction() {
+		t.Fatalf("state: commits=%d open=%v", m.Commits(), m.InTransaction())
+	}
+}
+
+func TestRollbackRestoresFieldsAndRoots(t *testing.T) {
+	rt, cls := fixture(t)
+	m := New(rt)
+	c := rt.Manager().NewCluster()
+	a, _ := rt.NewObject(cls, c)
+	b, _ := rt.NewObject(cls, c)
+	a.MustSet("tag", heap.Int(1))
+	_ = rt.SetRoot("x", a.RefTo())
+
+	if err := m.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	_ = m.Set(a.RefTo(), "tag", heap.Int(99))
+	_ = m.Set(a.RefTo(), "next", b.RefTo())
+	_ = m.SetRoot("x", b.RefTo())
+	_ = m.SetRoot("fresh", b.RefTo())
+	if err := m.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+
+	v, _ := a.FieldByName("tag")
+	if v.MustInt() != 1 {
+		t.Fatalf("tag after rollback = %v", v)
+	}
+	nv, _ := a.FieldByName("next")
+	if !nv.IsNil() {
+		t.Fatalf("next after rollback = %v", nv)
+	}
+	root, _ := rt.Root("x")
+	if eq, _ := rt.RefEqual(root, a.RefTo()); !eq {
+		t.Fatal("root x not restored")
+	}
+	if _, ok := rt.Root("fresh"); ok {
+		t.Fatal("root created in transaction survived rollback")
+	}
+	if m.Rollbacks() != 1 {
+		t.Fatalf("rollbacks = %d", m.Rollbacks())
+	}
+}
+
+func TestRollbackAcrossSwapOut(t *testing.T) {
+	// Write in a transaction, swap the cluster out, roll back: the cluster
+	// faults back and the original value is restored.
+	rt, cls := fixture(t)
+	m := New(rt)
+	c := rt.Manager().NewCluster()
+	o, _ := rt.NewObject(cls, c)
+	o.MustSet("tag", heap.Int(5))
+	_ = rt.SetRoot("x", o.RefTo())
+
+	if err := m.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Set(o.RefTo(), "tag", heap.Int(42)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.SwapOut(c); err != nil {
+		t.Fatal(err)
+	}
+	rt.Collect()
+	if err := m.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	root, _ := rt.Root("x")
+	out, err := rt.Invoke(root, "tag")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].MustInt() != 5 {
+		t.Fatalf("tag after rollback-through-swap = %v", out[0])
+	}
+}
+
+func TestTransactionStateMachine(t *testing.T) {
+	rt, cls := fixture(t)
+	m := New(rt)
+	c := rt.Manager().NewCluster()
+	o, _ := rt.NewObject(cls, c)
+
+	if err := m.Set(o.RefTo(), "tag", heap.Int(1)); !errors.Is(err, ErrNoTransaction) {
+		t.Errorf("Set outside txn: %v", err)
+	}
+	if err := m.Commit(); !errors.Is(err, ErrNoTransaction) {
+		t.Errorf("Commit outside txn: %v", err)
+	}
+	if err := m.Rollback(); !errors.Is(err, ErrNoTransaction) {
+		t.Errorf("Rollback outside txn: %v", err)
+	}
+	if err := m.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Begin(); !errors.Is(err, ErrNested) {
+		t.Errorf("nested Begin: %v", err)
+	}
+	_ = m.Commit()
+}
+
+func TestRunHelper(t *testing.T) {
+	rt, cls := fixture(t)
+	m := New(rt)
+	c := rt.Manager().NewCluster()
+	o, _ := rt.NewObject(cls, c)
+	_ = rt.SetRoot("x", o.RefTo())
+
+	// Success path commits.
+	if err := m.Run(func(tx *Manager) error {
+		return tx.Set(o.RefTo(), "tag", heap.Int(10))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := o.FieldByName("tag")
+	if v.MustInt() != 10 {
+		t.Fatalf("tag = %v", v)
+	}
+	// Failure path rolls back.
+	boom := errors.New("boom")
+	err := m.Run(func(tx *Manager) error {
+		if err := tx.Set(o.RefTo(), "tag", heap.Int(77)); err != nil {
+			return err
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("Run error = %v", err)
+	}
+	v, _ = o.FieldByName("tag")
+	if v.MustInt() != 10 {
+		t.Fatalf("tag after aborted Run = %v", v)
+	}
+	if m.Commits() != 1 || m.Rollbacks() != 1 {
+		t.Fatalf("counters: %d/%d", m.Commits(), m.Rollbacks())
+	}
+}
+
+func TestWriteThroughProxyIsTransactional(t *testing.T) {
+	// Writes addressed via a cross-cluster proxy reference roll back too.
+	rt, cls := fixture(t)
+	m := New(rt)
+	c1, c2 := rt.Manager().NewCluster(), rt.Manager().NewCluster()
+	a, _ := rt.NewObject(cls, c1)
+	b, _ := rt.NewObject(cls, c2)
+	b.MustSet("tag", heap.Int(3))
+	_ = rt.SetFieldValue(a.RefTo(), "next", b.RefTo())
+	_ = rt.SetRoot("a", a.RefTo())
+
+	proxyToB, err := rt.Field(heap.Ref(a.ID()), "next")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Set(proxyToB, "tag", heap.Int(300)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := b.FieldByName("tag")
+	if v.MustInt() != 3 {
+		t.Fatalf("tag after rollback via proxy = %v", v)
+	}
+}

@@ -1,0 +1,533 @@
+// Package xmlcodec converts managed object graphs to and from the textual XML
+// wrappers that Object-Swapping ships to nearby devices.
+//
+// The paper's pivotal portability claim rests on this layer: a device that
+// receives swapped objects needs no VM, no middleware and no application
+// classes — "they simply must be able to store and provide XML text". The
+// codec therefore produces self-contained documents: every object is wrapped
+// with its class name and per-field kind tags, and references are classified
+// so that a later swap-in can re-link the graph:
+//
+//   - internal references ("ref") target another object inside the same
+//     document (intra-swap-cluster edges survive verbatim);
+//   - slot references ("xref") index into the swapped cluster's
+//     replacement-object, which retains the cluster's outbound
+//     swap-cluster-proxies while the cluster is away;
+//   - remote references ("rref") name an object resident elsewhere — used by
+//     incremental replication to ship clusters whose edges leave the shipment.
+//
+// The codec is policy-free: callers supply callbacks that classify outgoing
+// references during encoding and resolve non-internal references during
+// installation.
+package xmlcodec
+
+import (
+	"encoding/base64"
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"strconv"
+
+	"objectswap/internal/heap"
+)
+
+// Version is the wrapper format version stamped on every document.
+const Version = 1
+
+// RefClass distinguishes the three reference flavors a document can carry.
+type RefClass uint8
+
+const (
+	// RefInternal targets another object within the same document.
+	RefInternal RefClass = iota + 1
+	// RefSlot indexes into the swapped cluster's replacement-object.
+	RefSlot
+	// RefRemote names an object resident on another node (replication).
+	RefRemote
+)
+
+// Errors reported by the codec.
+var (
+	ErrBadDocument = errors.New("xmlcodec: malformed document")
+	ErrVersion     = errors.New("xmlcodec: unsupported wrapper version")
+)
+
+// Value is the encoded form of one heap.Value.
+type Value struct {
+	Kind heap.Kind
+
+	// Scalar payloads (valid according to Kind).
+	I    int64
+	F    float64
+	B    bool
+	S    string
+	Data []byte
+
+	// Reference payload (Kind == KindRef).
+	RefClass RefClass
+	Target   heap.ObjID // RefInternal / RefRemote
+	Slot     int        // RefSlot
+	// Class optionally names the target's class on remote references, so a
+	// receiver can synthesize an object-fault proxy without contacting the
+	// object's home node.
+	Class string
+
+	// List payload (Kind == KindList).
+	List []Value
+}
+
+// Field is one named, encoded field of an object.
+type Field struct {
+	Name  string
+	Value Value
+}
+
+// Object is the encoded form of one managed object.
+type Object struct {
+	ID     heap.ObjID
+	Class  string
+	Fields []Field
+}
+
+// Doc is a self-contained shipment of wrapped objects — one swap-cluster or
+// one replication cluster.
+type Doc struct {
+	// ClusterID is the shipment key (the "unique ID (e.g., a number, a file
+	// name)" the paper requires nearby devices to associate with stored text).
+	ClusterID string
+	Version   int
+	Objects   []Object
+}
+
+// RefEncoder classifies a reference encountered while encoding. It returns
+// the encoded reference value (one of RefInternal/RefSlot/RefRemote forms).
+type RefEncoder func(id heap.ObjID) (Value, error)
+
+// RefDecoder resolves a non-internal encoded reference to a live heap value
+// during installation.
+type RefDecoder func(v Value) (heap.Value, error)
+
+// InternalRef builds an internal reference value.
+func InternalRef(id heap.ObjID) Value {
+	return Value{Kind: heap.KindRef, RefClass: RefInternal, Target: id}
+}
+
+// SlotRef builds a replacement-object slot reference value.
+func SlotRef(slot int) Value {
+	return Value{Kind: heap.KindRef, RefClass: RefSlot, Slot: slot}
+}
+
+// RemoteRef builds a remote reference value.
+func RemoteRef(id heap.ObjID) Value {
+	return Value{Kind: heap.KindRef, RefClass: RefRemote, Target: id}
+}
+
+// RemoteRefOf builds a remote reference value carrying the target's class.
+func RemoteRefOf(id heap.ObjID, class string) Value {
+	return Value{Kind: heap.KindRef, RefClass: RefRemote, Target: id, Class: class}
+}
+
+// FromHeapValue encodes v, classifying contained references via encodeRef.
+func FromHeapValue(v heap.Value, encodeRef RefEncoder) (Value, error) {
+	switch v.Kind() {
+	case heap.KindNil:
+		return Value{Kind: heap.KindNil}, nil
+	case heap.KindInt:
+		i, _ := v.Int()
+		return Value{Kind: heap.KindInt, I: i}, nil
+	case heap.KindFloat:
+		f, _ := v.Float()
+		return Value{Kind: heap.KindFloat, F: f}, nil
+	case heap.KindBool:
+		b, _ := v.Bool()
+		return Value{Kind: heap.KindBool, B: b}, nil
+	case heap.KindString:
+		s, _ := v.Str()
+		return Value{Kind: heap.KindString, S: s}, nil
+	case heap.KindBytes:
+		data, _ := v.Bytes()
+		return Value{Kind: heap.KindBytes, Data: data}, nil
+	case heap.KindRef:
+		id, _ := v.Ref()
+		if encodeRef == nil {
+			return Value{}, errors.New("xmlcodec: reference without RefEncoder")
+		}
+		ev, err := encodeRef(id)
+		if err != nil {
+			return Value{}, err
+		}
+		if ev.Kind != heap.KindRef && ev.Kind != heap.KindNil {
+			return Value{}, fmt.Errorf("xmlcodec: RefEncoder produced %s for @%d", ev.Kind, id)
+		}
+		return ev, nil
+	case heap.KindList:
+		elems, _ := v.List()
+		out := make([]Value, len(elems))
+		for i, e := range elems {
+			ev, err := FromHeapValue(e, encodeRef)
+			if err != nil {
+				return Value{}, err
+			}
+			out[i] = ev
+		}
+		return Value{Kind: heap.KindList, List: out}, nil
+	default:
+		return Value{}, fmt.Errorf("xmlcodec: cannot encode kind %s", v.Kind())
+	}
+}
+
+// ToHeapValue decodes v. Internal references become plain refs to their
+// target id; slot and remote references are resolved through decodeRef.
+func (v Value) ToHeapValue(decodeRef RefDecoder) (heap.Value, error) {
+	switch v.Kind {
+	case heap.KindNil:
+		return heap.Nil(), nil
+	case heap.KindInt:
+		return heap.Int(v.I), nil
+	case heap.KindFloat:
+		return heap.Float(v.F), nil
+	case heap.KindBool:
+		return heap.Bool(v.B), nil
+	case heap.KindString:
+		return heap.Str(v.S), nil
+	case heap.KindBytes:
+		return heap.Bytes(v.Data), nil
+	case heap.KindRef:
+		if v.RefClass == RefInternal {
+			return heap.Ref(v.Target), nil
+		}
+		if decodeRef == nil {
+			return heap.Nil(), errors.New("xmlcodec: non-internal reference without RefDecoder")
+		}
+		return decodeRef(v)
+	case heap.KindList:
+		out := make([]heap.Value, len(v.List))
+		for i, e := range v.List {
+			hv, err := e.ToHeapValue(decodeRef)
+			if err != nil {
+				return heap.Nil(), err
+			}
+			out[i] = hv
+		}
+		return heap.List(out...), nil
+	default:
+		return heap.Nil(), fmt.Errorf("xmlcodec: cannot decode kind %s", v.Kind)
+	}
+}
+
+// EncodeObject wraps a single managed object.
+func EncodeObject(o *heap.Object, encodeRef RefEncoder) (Object, error) {
+	out := Object{
+		ID:     o.ID(),
+		Class:  o.Class().Name,
+		Fields: make([]Field, 0, o.NumFields()),
+	}
+	for i := 0; i < o.NumFields(); i++ {
+		def := o.Class().Field(i)
+		ev, err := FromHeapValue(o.Field(i), encodeRef)
+		if err != nil {
+			return Object{}, fmt.Errorf("encode %s.%s: %w", o.Class().Name, def.Name, err)
+		}
+		out.Fields = append(out.Fields, Field{Name: def.Name, Value: ev})
+	}
+	return out, nil
+}
+
+// EncodeObjects wraps a set of objects into a document keyed by clusterID.
+func EncodeObjects(clusterID string, objs []*heap.Object, encodeRef RefEncoder) (*Doc, error) {
+	doc := &Doc{ClusterID: clusterID, Version: Version, Objects: make([]Object, 0, len(objs))}
+	for _, o := range objs {
+		eo, err := EncodeObject(o, encodeRef)
+		if err != nil {
+			return nil, err
+		}
+		doc.Objects = append(doc.Objects, eo)
+	}
+	return doc, nil
+}
+
+// Install materializes the document's objects into h under their original
+// IDs and re-links all fields. Internal references must target members of the
+// document; others resolve through decodeRef. On any error the heap is left
+// with whatever was installed so far — callers that need atomicity should
+// install into a scratch region or collect afterwards.
+func (d *Doc) Install(h *heap.Heap, reg *heap.Registry, decodeRef RefDecoder) ([]*heap.Object, error) {
+	if d.Version != Version {
+		return nil, fmt.Errorf("%w: %d", ErrVersion, d.Version)
+	}
+	members := make(map[heap.ObjID]bool, len(d.Objects))
+	for _, eo := range d.Objects {
+		members[eo.ID] = true
+	}
+
+	// Pass 1: allocate every object under its original identity.
+	installed := make([]*heap.Object, 0, len(d.Objects))
+	for _, eo := range d.Objects {
+		cls, err := reg.Lookup(eo.Class)
+		if err != nil {
+			return installed, fmt.Errorf("install @%d: %w", eo.ID, err)
+		}
+		o, err := h.NewAt(eo.ID, cls)
+		if err != nil {
+			return installed, fmt.Errorf("install @%d: %w", eo.ID, err)
+		}
+		installed = append(installed, o)
+	}
+
+	// Pass 2: decode and assign fields; validate internal edges.
+	checkInternal := func(v Value) error {
+		if v.Kind == heap.KindRef && v.RefClass == RefInternal &&
+			v.Target != heap.NilID && !members[v.Target] {
+			return fmt.Errorf("%w: internal ref to non-member @%d", ErrBadDocument, v.Target)
+		}
+		return nil
+	}
+	var walk func(v Value) error
+	walk = func(v Value) error {
+		if err := checkInternal(v); err != nil {
+			return err
+		}
+		for _, e := range v.List {
+			if err := walk(e); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for i, eo := range d.Objects {
+		o := installed[i]
+		for _, f := range eo.Fields {
+			if err := walk(f.Value); err != nil {
+				return installed, err
+			}
+			hv, err := f.Value.ToHeapValue(decodeRef)
+			if err != nil {
+				return installed, fmt.Errorf("install @%d field %s: %w", eo.ID, f.Name, err)
+			}
+			if err := o.SetFieldByName(f.Name, hv); err != nil {
+				return installed, fmt.Errorf("install @%d field %s: %w", eo.ID, f.Name, err)
+			}
+		}
+	}
+	return installed, nil
+}
+
+// ---- XML wire form ----------------------------------------------------
+
+type xmlDoc struct {
+	XMLName xml.Name `xml:"swapcluster"`
+	ID      string   `xml:"id,attr"`
+	Version int      `xml:"version,attr"`
+	Objects []xmlObj `xml:"object"`
+}
+
+type xmlObj struct {
+	ID     uint64     `xml:"id,attr"`
+	Class  string     `xml:"class,attr"`
+	Fields []xmlField `xml:"field"`
+}
+
+type xmlField struct {
+	Name   string    `xml:"name,attr"`
+	Kind   string    `xml:"kind,attr"`
+	Target string    `xml:"target,attr,omitempty"`
+	Slot   string    `xml:"slot,attr,omitempty"`
+	Class  string    `xml:"class,attr,omitempty"`
+	Body   string    `xml:",chardata"`
+	Items  []xmlItem `xml:"item"`
+}
+
+type xmlItem struct {
+	Kind   string    `xml:"kind,attr"`
+	Target string    `xml:"target,attr,omitempty"`
+	Slot   string    `xml:"slot,attr,omitempty"`
+	Class  string    `xml:"class,attr,omitempty"`
+	Body   string    `xml:",chardata"`
+	Items  []xmlItem `xml:"item"`
+}
+
+// kindTag returns the wire tag for an encoded value, distinguishing the three
+// reference flavors.
+func kindTag(v Value) string {
+	if v.Kind == heap.KindRef {
+		switch v.RefClass {
+		case RefSlot:
+			return "xref"
+		case RefRemote:
+			return "rref"
+		default:
+			return "ref"
+		}
+	}
+	return v.Kind.String()
+}
+
+func valueToWire(v Value) (kind, target, slot, class, body string, items []xmlItem, err error) {
+	kind = kindTag(v)
+	if v.Kind == heap.KindRef && v.RefClass == RefRemote {
+		class = v.Class
+	}
+	switch v.Kind {
+	case heap.KindNil:
+	case heap.KindInt:
+		body = strconv.FormatInt(v.I, 10)
+	case heap.KindFloat:
+		body = strconv.FormatFloat(v.F, 'g', -1, 64)
+	case heap.KindBool:
+		body = strconv.FormatBool(v.B)
+	case heap.KindString:
+		body = v.S
+	case heap.KindBytes:
+		body = base64.StdEncoding.EncodeToString(v.Data)
+	case heap.KindRef:
+		switch v.RefClass {
+		case RefSlot:
+			slot = strconv.Itoa(v.Slot)
+		default:
+			target = strconv.FormatUint(uint64(v.Target), 10)
+		}
+	case heap.KindList:
+		for _, e := range v.List {
+			k, tg, sl, cl, b, sub, werr := valueToWire(e)
+			if werr != nil {
+				return "", "", "", "", "", nil, werr
+			}
+			items = append(items, xmlItem{Kind: k, Target: tg, Slot: sl, Class: cl, Body: b, Items: sub})
+		}
+	default:
+		err = fmt.Errorf("xmlcodec: unencodable kind %s", v.Kind)
+	}
+	return kind, target, slot, class, body, items, err
+}
+
+func valueFromWire(kind, target, slot, class, body string, items []xmlItem) (Value, error) {
+	switch kind {
+	case "nil":
+		return Value{Kind: heap.KindNil}, nil
+	case "int":
+		i, err := strconv.ParseInt(trimWS(body), 10, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("%w: bad int %q", ErrBadDocument, body)
+		}
+		return Value{Kind: heap.KindInt, I: i}, nil
+	case "float":
+		f, err := strconv.ParseFloat(trimWS(body), 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("%w: bad float %q", ErrBadDocument, body)
+		}
+		return Value{Kind: heap.KindFloat, F: f}, nil
+	case "bool":
+		b, err := strconv.ParseBool(trimWS(body))
+		if err != nil {
+			return Value{}, fmt.Errorf("%w: bad bool %q", ErrBadDocument, body)
+		}
+		return Value{Kind: heap.KindBool, B: b}, nil
+	case "string":
+		return Value{Kind: heap.KindString, S: body}, nil
+	case "bytes":
+		data, err := base64.StdEncoding.DecodeString(trimWS(body))
+		if err != nil {
+			return Value{}, fmt.Errorf("%w: bad base64", ErrBadDocument)
+		}
+		return Value{Kind: heap.KindBytes, Data: data}, nil
+	case "ref", "rref":
+		t, err := strconv.ParseUint(trimWS(target), 10, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("%w: bad target %q", ErrBadDocument, target)
+		}
+		rc := RefInternal
+		if kind == "rref" {
+			rc = RefRemote
+		}
+		return Value{Kind: heap.KindRef, RefClass: rc, Target: heap.ObjID(t), Class: class}, nil
+	case "xref":
+		s, err := strconv.Atoi(trimWS(slot))
+		if err != nil {
+			return Value{}, fmt.Errorf("%w: bad slot %q", ErrBadDocument, slot)
+		}
+		return Value{Kind: heap.KindRef, RefClass: RefSlot, Slot: s}, nil
+	case "list":
+		out := Value{Kind: heap.KindList}
+		for _, it := range items {
+			ev, err := valueFromWire(it.Kind, it.Target, it.Slot, it.Class, it.Body, it.Items)
+			if err != nil {
+				return Value{}, err
+			}
+			out.List = append(out.List, ev)
+		}
+		return out, nil
+	default:
+		return Value{}, fmt.Errorf("%w: unknown kind %q", ErrBadDocument, kind)
+	}
+}
+
+// trimWS strips the whitespace encoding/xml accumulates around chardata when
+// documents are pretty-printed.
+func trimWS(s string) string {
+	start, end := 0, len(s)
+	for start < end && isSpace(s[start]) {
+		start++
+	}
+	for end > start && isSpace(s[end-1]) {
+		end--
+	}
+	return s[start:end]
+}
+
+func isSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r'
+}
+
+// Encode renders the document as XML text.
+func (d *Doc) Encode() ([]byte, error) {
+	wire := xmlDoc{ID: d.ClusterID, Version: d.Version}
+	for _, eo := range d.Objects {
+		xo := xmlObj{ID: uint64(eo.ID), Class: eo.Class}
+		for _, f := range eo.Fields {
+			kind, target, slot, class, body, items, err := valueToWire(f.Value)
+			if err != nil {
+				return nil, err
+			}
+			xo.Fields = append(xo.Fields, xmlField{
+				Name: f.Name, Kind: kind, Target: target, Slot: slot, Class: class,
+				Body: body, Items: items,
+			})
+		}
+		wire.Objects = append(wire.Objects, xo)
+	}
+	out, err := xml.MarshalIndent(&wire, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("xmlcodec: marshal: %w", err)
+	}
+	return append([]byte(xml.Header), out...), nil
+}
+
+// Decode parses XML text produced by Encode.
+func Decode(data []byte) (*Doc, error) {
+	var wire xmlDoc
+	if err := xml.Unmarshal(data, &wire); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadDocument, err)
+	}
+	if wire.Version != Version {
+		return nil, fmt.Errorf("%w: %d", ErrVersion, wire.Version)
+	}
+	doc := &Doc{ClusterID: wire.ID, Version: wire.Version}
+	for _, xo := range wire.Objects {
+		eo := Object{ID: heap.ObjID(xo.ID), Class: xo.Class}
+		if eo.ID == heap.NilID {
+			return nil, fmt.Errorf("%w: object with nil id", ErrBadDocument)
+		}
+		if eo.Class == "" {
+			return nil, fmt.Errorf("%w: object @%d without class", ErrBadDocument, eo.ID)
+		}
+		for _, xf := range xo.Fields {
+			ev, err := valueFromWire(xf.Kind, xf.Target, xf.Slot, xf.Class, xf.Body, xf.Items)
+			if err != nil {
+				return nil, fmt.Errorf("object @%d field %s: %w", eo.ID, xf.Name, err)
+			}
+			eo.Fields = append(eo.Fields, Field{Name: xf.Name, Value: ev})
+		}
+		doc.Objects = append(doc.Objects, eo)
+	}
+	return doc, nil
+}

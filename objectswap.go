@@ -1,0 +1,299 @@
+// Package objectswap is a Go implementation of Object-Swapping for
+// resource-constrained devices, reproducing Veiga & Ferreira's OBIWAN
+// middleware extension (ICDCS 2007).
+//
+// A System bundles one constrained device's middleware stack: a
+// byte-accounted managed heap, the swapping runtime (swap-clusters,
+// swap-cluster-proxies, replacement-objects), a nearby-device registry, the
+// memory and connectivity monitors, and an XML-policy engine that turns
+// memory pressure into swap-outs.
+//
+// Quick start:
+//
+//	sys, _ := objectswap.New(objectswap.Config{HeapCapacity: 1 << 20})
+//	sys.AttachDevice("desktop-pc", store.NewMem(0))
+//
+//	node := heap.NewClass("Node", heap.FieldDef{Name: "next", Kind: heap.KindRef})
+//	node.AddMethod("next", func(c *heap.Call) ([]heap.Value, error) { ... })
+//	sys.MustRegisterClass(node)
+//
+//	cluster := sys.NewCluster()
+//	obj, _ := sys.NewObject(node, cluster)
+//	_ = sys.SetRoot("head", obj.RefTo())
+//	...
+//	sys.SwapOut(cluster)    // or let the policy engine decide
+//
+// The exported sub-APIs remain available for advanced use: System.Runtime
+// (core), System.Devices (store registry), System.Engine (policy engine),
+// System.Bus (events).
+package objectswap
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"objectswap/internal/core"
+	"objectswap/internal/devctx"
+	"objectswap/internal/event"
+	"objectswap/internal/heap"
+	"objectswap/internal/policy"
+	"objectswap/internal/replication"
+	"objectswap/internal/store"
+	"objectswap/internal/txn"
+)
+
+// Re-exported identifier types, so the façade is usable without importing
+// internal packages directly.
+type (
+	// ClusterID names a swap-cluster (0 is the never-swapped root cluster).
+	ClusterID = core.ClusterID
+	// SwapEvent describes a completed swap operation.
+	SwapEvent = core.SwapEvent
+	// ClusterInfo snapshots one swap-cluster's state.
+	ClusterInfo = core.ClusterInfo
+	// VictimStrategy orders eviction candidates.
+	VictimStrategy = core.VictimStrategy
+)
+
+// Victim strategies, re-exported.
+const (
+	VictimColdest   = core.VictimColdest
+	VictimLargest   = core.VictimLargest
+	VictimLeastUsed = core.VictimLeastUsed
+)
+
+// RootCluster is swap-cluster-0: global variables and static state.
+const RootCluster = core.RootCluster
+
+// Config parameterizes a System.
+type Config struct {
+	// HeapCapacity is the device's byte budget (0 = unlimited, which
+	// disables pressure-driven swapping but keeps explicit swapping).
+	HeapCapacity int64
+	// MemoryThreshold is the occupancy fraction that fires the memory
+	// monitor (default 0.8).
+	MemoryThreshold float64
+	// Policies is an XML policy document to load; when empty, the default
+	// swap-coldest-on-pressure machine policy is installed.
+	Policies []byte
+	// DeviceSelection picks swap-out destinations (default most-free).
+	DeviceSelection store.SelectStrategy
+	// KeepOnReload retains device copies after swap-in (for versioning
+	// scenarios).
+	KeepOnReload bool
+	// DeviceName namespaces this device's storage keys on shared stores
+	// (default: a process-unique name).
+	DeviceName string
+}
+
+// System is the assembled middleware stack of one constrained device.
+type System struct {
+	heap    *heap.Heap
+	rt      *core.Runtime
+	bus     *event.Bus
+	devices *store.Registry
+	monitor *devctx.MemoryMonitor
+	conn    *devctx.ConnectivityMonitor
+	context *devctx.Context
+	engine  *policy.Engine
+}
+
+// New assembles a System from cfg.
+func New(cfg Config) (*System, error) {
+	h := heap.New(cfg.HeapCapacity)
+	// Host code builds graphs through Go references; give fresh objects a
+	// nursery grace so a policy-triggered collection between allocation and
+	// rooting cannot reclaim them.
+	h.SetNurseryGrace(2)
+	bus := event.NewBus()
+	devices := store.NewRegistry(cfg.DeviceSelection)
+
+	opts := []core.Option{core.WithStores(devices), core.WithBus(bus)}
+	if cfg.KeepOnReload {
+		opts = append(opts, core.WithKeepOnReload())
+	}
+	if cfg.DeviceName != "" {
+		opts = append(opts, core.WithName(cfg.DeviceName))
+	}
+	rt := core.NewRuntime(h, heap.NewRegistry(), opts...)
+
+	conn := devctx.NewConnectivityMonitor(bus, devices)
+	ctx := devctx.NewContext(h, conn)
+	engine := policy.NewEngine(bus, ctx)
+	policy.BindSwapActions(engine, rt)
+
+	doc := cfg.Policies
+	if len(doc) == 0 {
+		doc = []byte(policy.DefaultSwapPolicy)
+	}
+	if err := engine.Load(doc); err != nil {
+		return nil, fmt.Errorf("objectswap: load policies: %w", err)
+	}
+
+	return &System{
+		heap:    h,
+		rt:      rt,
+		bus:     bus,
+		devices: devices,
+		monitor: devctx.NewMemoryMonitor(h, bus, cfg.MemoryThreshold),
+		conn:    conn,
+		context: ctx,
+		engine:  engine,
+	}, nil
+}
+
+// Runtime exposes the swapping runtime.
+func (s *System) Runtime() *core.Runtime { return s.rt }
+
+// Heap exposes the device heap.
+func (s *System) Heap() *heap.Heap { return s.heap }
+
+// Bus exposes the middleware event bus.
+func (s *System) Bus() *event.Bus { return s.bus }
+
+// Devices exposes the nearby-device registry.
+func (s *System) Devices() *store.Registry { return s.devices }
+
+// Engine exposes the policy engine.
+func (s *System) Engine() *policy.Engine { return s.engine }
+
+// Context exposes the metric provider (for custom policy metrics).
+func (s *System) Context() *devctx.Context { return s.context }
+
+// Monitor exposes the memory monitor.
+func (s *System) Monitor() *devctx.MemoryMonitor { return s.monitor }
+
+// AttachDevice registers a nearby device able to store swapped XML and marks
+// it reachable.
+func (s *System) AttachDevice(name string, st store.Store) error {
+	if err := s.devices.Add(name, st); err != nil {
+		return err
+	}
+	s.conn.Set(name, true)
+	return nil
+}
+
+// SetDeviceAvailable flips a device's reachability (connectivity change).
+func (s *System) SetDeviceAvailable(name string, up bool) {
+	s.conn.Set(name, up)
+}
+
+// RegisterClass registers an application class (and synthesizes its
+// swap-cluster-proxy class).
+func (s *System) RegisterClass(c *heap.Class) error { return s.rt.RegisterClass(c) }
+
+// MustRegisterClass registers a class, panicking on error.
+func (s *System) MustRegisterClass(c *heap.Class) *heap.Class { return s.rt.MustRegisterClass(c) }
+
+// NewCluster declares a fresh swap-cluster.
+func (s *System) NewCluster() ClusterID { return s.rt.Manager().NewCluster() }
+
+// NewObject allocates an application object into a swap-cluster, checking
+// the memory monitor afterwards so pressure policies run promptly.
+func (s *System) NewObject(c *heap.Class, cluster ClusterID) (*heap.Object, error) {
+	o, err := s.rt.NewObject(c, cluster)
+	if err != nil {
+		return nil, err
+	}
+	s.monitor.Check()
+	return o, nil
+}
+
+// Invoke dispatches a method through the swapping-aware runtime.
+func (s *System) Invoke(target heap.Value, method string, args ...heap.Value) ([]heap.Value, error) {
+	return s.rt.Invoke(target, method, args...)
+}
+
+// Field reads a field through the swapping-aware runtime.
+func (s *System) Field(target heap.Value, name string) (heap.Value, error) {
+	return s.rt.Field(target, name)
+}
+
+// SetField writes a field through the swapping-aware runtime (references are
+// re-mediated for the owning cluster). The monitor is checked afterwards as
+// payload growth is an allocation too.
+func (s *System) SetField(target heap.Value, name string, v heap.Value) error {
+	if err := s.rt.SetFieldValue(target, name, v); err != nil {
+		return err
+	}
+	s.monitor.Check()
+	return nil
+}
+
+// SetRoot assigns a global variable (swap-cluster-0 state).
+func (s *System) SetRoot(name string, v heap.Value) error { return s.rt.SetRoot(name, v) }
+
+// Root reads a global variable.
+func (s *System) Root(name string) (heap.Value, bool) { return s.rt.Root(name) }
+
+// RefEqual compares two references for application-level identity across
+// any mediating proxies.
+func (s *System) RefEqual(a, b heap.Value) (bool, error) { return s.rt.RefEqual(a, b) }
+
+// Assign enables the iteration optimization on a proxy reference.
+func (s *System) Assign(v heap.Value) error { return s.rt.Assign(v) }
+
+// AssignedCursor returns a self-patching cursor for iterating from v: each
+// reference it yields (method return or field read) re-targets the same
+// proxy instead of minting a new one per step — the paper's Section 4
+// iteration optimization. Use it for long traversals on tight heaps.
+func (s *System) AssignedCursor(v heap.Value) (heap.Value, error) {
+	return s.rt.AssignedCursor(v)
+}
+
+// SwapOut detaches a swap-cluster to a nearby device.
+func (s *System) SwapOut(cluster ClusterID) (SwapEvent, error) { return s.rt.SwapOut(cluster) }
+
+// SwapIn prefetches a swapped cluster back.
+func (s *System) SwapIn(cluster ClusterID) (SwapEvent, error) { return s.rt.SwapIn(cluster) }
+
+// Collect runs a swapping-integrated garbage collection.
+func (s *System) Collect() heap.CollectStats { return s.rt.Collect() }
+
+// MergeClusters folds cluster src into dst, adapting swap granularity at
+// runtime (boundary proxies between them are dismantled).
+func (s *System) MergeClusters(dst, src ClusterID) error { return s.rt.MergeClusters(dst, src) }
+
+// SplitCluster moves the given objects of cluster src into a fresh cluster,
+// mediating the new boundary, and returns the new cluster's id.
+func (s *System) SplitCluster(src ClusterID, members []heap.ObjID) (ClusterID, error) {
+	return s.rt.SplitCluster(src, members)
+}
+
+// Clusters snapshots every swap-cluster's state.
+func (s *System) Clusters() []ClusterInfo { return s.rt.Manager().InfoAll() }
+
+// ReplicateFrom attaches an incremental replicator pulling from a master
+// node over the given transport; groupSize replication clusters form one
+// swap-cluster.
+func (s *System) ReplicateFrom(t replication.Transport, groupSize int) *replication.Replicator {
+	return replication.Attach(s.rt, t, replication.WithGroupSize(groupSize))
+}
+
+// SaveCheckpoint persists the device's full middleware state (resident
+// clusters, swapped-cluster locations, roots, placeholders) to w — the
+// Persistence module of the OBIWAN architecture.
+func (s *System) SaveCheckpoint(w io.Writer) error { return s.rt.SaveCheckpoint(w) }
+
+// LoadCheckpoint restores a checkpoint into this (fresh) system. Clusters
+// that were swapped out at save time come back as swapped and fault in from
+// their devices on first touch.
+func (s *System) LoadCheckpoint(r io.Reader) error { return s.rt.LoadCheckpoint(r) }
+
+// Transactions returns a transaction manager over this system's runtime
+// (OBIWAN's Transactional Support module): Begin/Set/Commit/Rollback with
+// field-level undo that works across swap-outs.
+func (s *System) Transactions() *txn.Manager { return txn.New(s.rt) }
+
+// ErrNoRoot reports a missing named root.
+var ErrNoRoot = errors.New("objectswap: no such root")
+
+// MustRoot returns a named root or an error (convenience over Root).
+func (s *System) MustRoot(name string) (heap.Value, error) {
+	v, ok := s.Root(name)
+	if !ok {
+		return heap.Nil(), fmt.Errorf("%w: %q", ErrNoRoot, name)
+	}
+	return v, nil
+}

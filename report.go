@@ -1,0 +1,57 @@
+package objectswap
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Report renders a human-readable snapshot of the middleware state: heap
+// occupancy, swap-cluster inventory with residency and traffic counters,
+// proxy population, and device reachability. Intended for diagnostics and
+// demo output.
+func (s *System) Report() string {
+	var b strings.Builder
+	st := s.heap.StatsSnapshot()
+	fmt.Fprintf(&b, "device %q\n", s.rt.Name())
+	if st.Capacity > 0 {
+		fmt.Fprintf(&b, "heap: %d/%d bytes (%.0f%%), %d objects, %d collections, %d reclaimed\n",
+			st.Used, st.Capacity, st.UsedFraction()*100, st.Objects, st.Collections, st.Reclaimed)
+	} else {
+		fmt.Fprintf(&b, "heap: %d bytes (unlimited), %d objects, %d collections, %d reclaimed\n",
+			st.Used, st.Objects, st.Collections, st.Reclaimed)
+	}
+	fmt.Fprintf(&b, "proxies: %d swap-cluster, %d object-fault; pending drops: %d\n",
+		s.rt.Manager().ProxyCount(), s.rt.Manager().ObjProxyCount(), s.rt.Manager().PendingDrops())
+
+	infos := s.Clusters()
+	fmt.Fprintf(&b, "swap-clusters (%d):\n", len(infos))
+	for _, info := range infos {
+		state := "loaded"
+		if info.Swapped {
+			state = fmt.Sprintf("swapped -> %s (%d XML bytes)", info.Device, info.PayloadBytes)
+		}
+		label := fmt.Sprintf("%d", info.ID)
+		if info.ID == RootCluster {
+			label = "0 (globals)"
+		}
+		fmt.Fprintf(&b, "  cluster %-12s %4d objects %8d bytes  out/in %d/%d  crossings %-6d %s\n",
+			label, info.Objects, info.ResidentBytes, info.SwapOuts, info.SwapIns, info.Crossings, state)
+	}
+
+	names := s.devices.Names()
+	fmt.Fprintf(&b, "devices (%d):\n", len(names))
+	for _, name := range names {
+		st, err := s.devices.Lookup(name)
+		if err != nil {
+			fmt.Fprintf(&b, "  %-16s unreachable\n", name)
+			continue
+		}
+		stats, err := st.Stats()
+		if err != nil {
+			fmt.Fprintf(&b, "  %-16s error: %v\n", name, err)
+			continue
+		}
+		fmt.Fprintf(&b, "  %-16s %d shipments, %d bytes used\n", name, stats.Items, stats.Used)
+	}
+	return b.String()
+}
