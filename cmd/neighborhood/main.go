@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -181,7 +182,7 @@ func run() error {
 		}
 		status := ""
 		for _, n := range nodeList {
-			st, _ := n.store.Stats()
+			st, _ := n.store.Stats(context.Background())
 			stored += st.Used
 			if n.up {
 				status += "+"

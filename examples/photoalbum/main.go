@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -175,7 +176,7 @@ func run() error {
 
 	st = sys.Heap().StatsSnapshot()
 	fmt.Printf("\nfinal heap: %d/%d bytes, %d collections\n", st.Used, st.Capacity, st.Collections)
-	keys, _ := disk.Keys()
+	keys, _ := disk.Keys(context.Background())
 	fmt.Printf("XML files on the desktop PC: %d\n", len(keys))
 	return nil
 }

@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"testing"
@@ -120,7 +121,7 @@ func TestPerObjectOffloadAndFaultBack(t *testing.T) {
 	if h.Used() >= before || h.Used() == 0 {
 		t.Fatalf("used %d (before %d): surrogates should remain", h.Used(), before)
 	}
-	keys, _ := dev.Keys()
+	keys, _ := dev.Keys(context.Background())
 	if len(keys) != 10 {
 		t.Fatalf("device holds %d shipments, want 10 (one per object)", len(keys))
 	}

@@ -13,6 +13,7 @@
 package baseline
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -200,7 +201,7 @@ func (p *PerObject) Offload(target heap.Value) error {
 	if err != nil {
 		return err
 	}
-	if err := p.dev.Put(key, data); err != nil {
+	if err := p.dev.Put(context.Background(), key, data); err != nil {
 		return err
 	}
 
@@ -236,7 +237,7 @@ func (p *PerObject) OffloadAll() (int, error) {
 // reload faults one object back from the device.
 func (p *PerObject) reload(oid heap.ObjID, key string) error {
 	p.faults++
-	data, err := p.dev.Get(key)
+	data, err := p.dev.Get(context.Background(), key)
 	if err != nil {
 		return fmt.Errorf("baseline: reload @%d: %w", oid, err)
 	}
@@ -262,7 +263,7 @@ func (p *PerObject) reload(oid heap.ObjID, key string) error {
 		return err
 	}
 	delete(p.offloaded, oid)
-	if err := p.dev.Drop(key); err != nil && !errors.Is(err, store.ErrNotFound) {
+	if err := p.dev.Drop(context.Background(), key); err != nil && !errors.Is(err, store.ErrNotFound) {
 		return err
 	}
 	return nil

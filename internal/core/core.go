@@ -26,6 +26,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -91,8 +92,10 @@ var (
 // StoreProvider selects and resolves nearby swapping devices. It is
 // implemented by store.Registry.
 type StoreProvider interface {
-	// Pick selects a device with at least need free bytes.
-	Pick(need int64) (string, store.Store, error)
+	// Pick selects a device with at least need free bytes, skipping any
+	// device named in exclude (failed shipment destinations during
+	// failover).
+	Pick(ctx context.Context, need int64, exclude ...string) (string, store.Store, error)
 	// Lookup resolves a previously picked device by name.
 	Lookup(name string) (store.Store, error)
 }
@@ -113,6 +116,9 @@ type SwapEvent struct {
 	Key     string
 	Objects int
 	Bytes   int // XML payload size
+	// Attempted lists the devices that failed the shipment before Device
+	// accepted it (swap-out failover trail; empty on the happy path).
+	Attempted []string
 }
 
 // Runtime is the swapping-aware Invoker: the OBIWAN middleware instance

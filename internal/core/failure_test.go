@@ -1,13 +1,19 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"testing"
+	"time"
+
+	"objectswap/internal/event"
 
 	"objectswap/internal/heap"
 	"objectswap/internal/link"
 	"objectswap/internal/store"
 )
+
+var ctx = context.Background()
 
 // flakyFixture builds a runtime whose only device sits behind a fault-
 // injecting link (every failEvery-th operation errors).
@@ -149,7 +155,7 @@ func TestCorruptedShipmentRejectedOnReload(t *testing.T) {
 	}
 	f.rt.Collect()
 
-	if err := f.mem.Put(ev.Key, []byte("<swapcluster id=\"x\" version=\"1\"><object id=\"0\"")); err != nil {
+	if err := f.mem.Put(ctx, ev.Key, []byte("<swapcluster id=\"x\" version=\"1\"><object id=\"0\"")); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := f.rt.SwapIn(clusters[1]); err == nil {
@@ -177,8 +183,8 @@ func TestWrongShipmentKeyRejected(t *testing.T) {
 	f.rt.Collect()
 
 	// Cross the payloads.
-	d2, _ := f.mem.Get(ev2.Key)
-	if err := f.mem.Put(ev1.Key, d2); err != nil {
+	d2, _ := f.mem.Get(ctx, ev2.Key)
+	if err := f.mem.Put(ctx, ev1.Key, d2); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := f.rt.SwapIn(clusters[1]); err == nil {
@@ -186,5 +192,210 @@ func TestWrongShipmentKeyRejected(t *testing.T) {
 	}
 	if !f.rt.Manager().IsSwapped(clusters[1]) {
 		t.Fatal("cluster no longer swapped after rejected shipment")
+	}
+}
+
+// failoverFixture wires a runtime to two unlimited devices. Under
+// SelectMostFree ties resolve to the alphabetically first name, so the
+// fault-injected "a-flaky" is always the registry's first choice and
+// "b-solid" is the failover target.
+func failoverFixture(t testing.TB) (*fixture, *store.Flaky, *event.Bus) {
+	t.Helper()
+	h := heap.New(0)
+	classes := heap.NewRegistry()
+	devices := store.NewRegistry(store.SelectMostFree)
+	solid := store.NewMem(0)
+	flaky := store.NewFlaky(store.NewMem(0), 1)
+	if err := devices.Add("a-flaky", flaky); err != nil {
+		t.Fatal(err)
+	}
+	if err := devices.Add("b-solid", solid); err != nil {
+		t.Fatal(err)
+	}
+	bus := event.NewBus()
+	rt := NewRuntime(h, classes, WithStores(devices), WithBus(bus))
+	f := &fixture{rt: rt, reg: devices, mem: solid, node: newNodeClass()}
+	rt.MustRegisterClass(f.node)
+	return f, flaky, bus
+}
+
+func TestSwapOutFailsOverToHealthyDevice(t *testing.T) {
+	f, flaky, bus := failoverFixture(t)
+	flaky.FailNext(store.OpPut, -1)
+
+	var failoverEvents []SwapEvent
+	bus.Subscribe(event.TopicSwapFailover, func(ev event.Event) {
+		if e, ok := ev.Payload.(SwapEvent); ok {
+			failoverEvents = append(failoverEvents, e)
+		}
+	})
+
+	_, clusters := f.buildList(t, 20, 10, 8)
+	want := f.snapshotTags(t)
+	ev, err := f.rt.SwapOut(clusters[1])
+	if err != nil {
+		t.Fatalf("swap-out with failover: %v", err)
+	}
+	if ev.Device != "b-solid" {
+		t.Fatalf("shipped to %q, want failover target b-solid", ev.Device)
+	}
+	if len(ev.Attempted) != 1 || ev.Attempted[0] != "a-flaky" {
+		t.Fatalf("attempted trail = %v", ev.Attempted)
+	}
+	if len(failoverEvents) != 1 || failoverEvents[0].Device != "a-flaky" {
+		t.Fatalf("failover events = %+v", failoverEvents)
+	}
+	// The payload lives on the healthy device under the same key.
+	if _, err := f.mem.Get(ctx, ev.Key); err != nil {
+		t.Fatalf("payload not on failover device: %v", err)
+	}
+	// And the cluster reloads transparently from there.
+	f.rt.Collect()
+	got := f.snapshotTags(t)
+	if len(got) != len(want) {
+		t.Fatalf("reloaded %d tags, want %d", len(got), len(want))
+	}
+	checkClean(t, f.rt)
+}
+
+func TestSwapOutNoFailoverFailsFast(t *testing.T) {
+	f, flaky, _ := failoverFixture(t)
+	flaky.FailNext(store.OpPut, -1)
+	_, clusters := f.buildList(t, 20, 10, 8)
+
+	_, err := f.rt.SwapOut(clusters[1], WithNoFailover())
+	if !errors.Is(err, store.ErrUnavailable) {
+		t.Fatalf("err = %v", err)
+	}
+	if f.rt.Manager().IsSwapped(clusters[1]) {
+		t.Fatal("cluster marked swapped after fail-fast rejection")
+	}
+	if keys, _ := f.mem.Keys(ctx); len(keys) != 0 {
+		t.Fatalf("fail-fast swap-out still shipped to %v", keys)
+	}
+	if flaky.Calls(store.OpPut) != 1 {
+		t.Fatalf("fail-fast made %d put attempts", flaky.Calls(store.OpPut))
+	}
+	checkClean(t, f.rt)
+}
+
+func TestSwapOutPinnedDevice(t *testing.T) {
+	f, flaky, _ := failoverFixture(t)
+	flaky.FailNext(store.OpPut, -1)
+	_, clusters := f.buildList(t, 30, 10, 8)
+
+	// Pinning to the healthy device overrides the registry's first choice.
+	ev, err := f.rt.SwapOut(clusters[1], WithDevice("b-solid"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Device != "b-solid" || len(ev.Attempted) != 0 {
+		t.Fatalf("event = %+v", ev)
+	}
+	if flaky.Calls(store.OpPut) != 0 {
+		t.Fatal("pinned shipment touched the wrong device")
+	}
+
+	// Pinning to the failing device must NOT fail over.
+	_, err = f.rt.SwapOut(clusters[2], WithDevice("a-flaky"))
+	if !errors.Is(err, store.ErrUnavailable) {
+		t.Fatalf("pinned-to-dead err = %v", err)
+	}
+	if f.rt.Manager().IsSwapped(clusters[2]) {
+		t.Fatal("cluster swapped despite pinned device failing")
+	}
+}
+
+func TestSwapOutFailureWhenAllDevicesFail(t *testing.T) {
+	f, flaky, _ := failoverFixture(t)
+	flaky.FailNext(store.OpPut, -1)
+	f.reg.Remove("b-solid")
+	_, clusters := f.buildList(t, 20, 10, 8)
+
+	_, err := f.rt.SwapOut(clusters[1])
+	if !errors.Is(err, store.ErrUnavailable) && !errors.Is(err, store.ErrNoDevice) {
+		t.Fatalf("err = %v", err)
+	}
+	if f.rt.Manager().IsSwapped(clusters[1]) {
+		t.Fatal("cluster marked swapped with every device failing")
+	}
+	checkClean(t, f.rt)
+}
+
+func TestSwapInDeadlineLeavesClusterSwapped(t *testing.T) {
+	f, flaky, _ := failoverFixture(t)
+	f.reg.Remove("b-solid") // single device, so the cluster lands on a-flaky
+	_, clusters := f.buildList(t, 20, 10, 8)
+	if _, err := f.rt.SwapOut(clusters[1]); err != nil {
+		t.Fatal(err)
+	}
+	f.rt.Collect()
+
+	// The device stops answering: a bounded swap-in must fail cleanly and
+	// leave the cluster consistently swapped.
+	flaky.HangOn(store.OpGet, 1)
+	_, err := f.rt.SwapIn(clusters[1], WithTimeout(30*time.Millisecond))
+	if err == nil {
+		t.Fatal("swap-in over hung device succeeded")
+	}
+	if !f.rt.Manager().IsSwapped(clusters[1]) {
+		t.Fatal("timed-out swap-in cleared the swapped state")
+	}
+	checkClean(t, f.rt)
+
+	// A retry (only the first call hangs) recovers the cluster.
+	if _, err := f.rt.SwapIn(clusters[1]); err != nil {
+		t.Fatalf("retry after timeout: %v", err)
+	}
+	if got := f.snapshotTags(t); len(got) != 20 {
+		t.Fatalf("recovered %d tags", len(got))
+	}
+}
+
+func TestDropAbandonedAfterRetryBudget(t *testing.T) {
+	f, flaky, bus := failoverFixture(t)
+	f.reg.Remove("b-solid")
+	_, clusters := f.buildList(t, 20, 10, 8)
+	if _, err := f.rt.SwapOut(clusters[1]); err != nil {
+		t.Fatal(err)
+	}
+	f.rt.Collect()
+
+	var abandoned []SwapEvent
+	bus.Subscribe(event.TopicDropAbandoned, func(ev event.Event) {
+		if e, ok := ev.Payload.(SwapEvent); ok {
+			abandoned = append(abandoned, e)
+		}
+	})
+
+	// The reload succeeds but the device refuses to discard the stale copy:
+	// the drop is deferred, retried a bounded number of times, then abandoned.
+	flaky.FailNext(store.OpDrop, -1)
+	f.rt.Manager().SetDropRetryLimit(2)
+	if _, err := f.rt.SwapIn(clusters[1]); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.rt.Manager().PendingDrops(); got != 1 {
+		t.Fatalf("pending drops = %d, want 1", got)
+	}
+
+	f.rt.Collect() // retry 1: fails, requeued
+	if got := f.rt.Manager().PendingDrops(); got != 1 {
+		t.Fatalf("pending drops after first retry = %d", got)
+	}
+	f.rt.Collect() // retry 2: budget spent, abandoned
+	if got := f.rt.Manager().PendingDrops(); got != 0 {
+		t.Fatalf("pending drops after abandonment = %d", got)
+	}
+	if f.rt.Manager().AbandonedDrops() != 1 {
+		t.Fatalf("abandoned drops = %d", f.rt.Manager().AbandonedDrops())
+	}
+	if len(abandoned) != 1 || abandoned[0].Device != "a-flaky" {
+		t.Fatalf("abandoned events = %+v", abandoned)
+	}
+	// Abandonment is terminal: further collections stay quiet.
+	f.rt.Collect()
+	if f.rt.Manager().AbandonedDrops() != 1 {
+		t.Fatal("abandonment double-counted")
 	}
 }

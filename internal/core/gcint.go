@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"objectswap/internal/event"
 	"objectswap/internal/heap"
 )
@@ -75,7 +77,7 @@ func (rt *Runtime) dropFromDevice(device, key string) error {
 	if err != nil {
 		return err
 	}
-	return s.Drop(key)
+	return s.Drop(context.Background(), key)
 }
 
 // deferDrop queues a failed drop for retry on the next collection (the
@@ -86,16 +88,47 @@ func (m *Manager) deferDrop(device, key string, cluster ClusterID) {
 	m.pendingDrops = append(m.pendingDrops, dropTicket{device: device, key: key, cluster: cluster})
 }
 
-// retryDrops re-attempts queued drops.
+// DefaultDropRetryLimit bounds how many collections may re-attempt one
+// deferred device-drop before it is abandoned.
+const DefaultDropRetryLimit = 8
+
+// SetDropRetryLimit overrides the per-ticket retry budget (n <= 0 restores
+// the default).
+func (m *Manager) SetDropRetryLimit(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if n <= 0 {
+		n = DefaultDropRetryLimit
+	}
+	m.dropRetryLimit = n
+}
+
+// retryDrops re-attempts queued drops. A ticket that keeps failing is not
+// retried forever: after the retry budget is spent it is abandoned with a
+// swap.drop.abandoned event, so operators learn about the leaked remote
+// payload instead of the queue growing without bound.
 func (m *Manager) retryDrops(rt *Runtime) {
 	m.mu.Lock()
 	pending := m.pendingDrops
 	m.pendingDrops = nil
+	limit := m.dropRetryLimit
 	m.mu.Unlock()
 
 	for _, t := range pending {
 		if err := rt.dropFromDevice(t.device, t.key); err != nil {
-			m.deferDrop(t.device, t.key, t.cluster)
+			t.attempts++
+			if t.attempts >= limit {
+				m.mu.Lock()
+				m.abandonedDrops++
+				m.mu.Unlock()
+				rt.emit(event.TopicDropAbandoned, SwapEvent{
+					Cluster: t.cluster, Device: t.device, Key: t.key,
+				})
+				continue
+			}
+			m.mu.Lock()
+			m.pendingDrops = append(m.pendingDrops, t)
+			m.mu.Unlock()
 		}
 	}
 }
@@ -105,6 +138,14 @@ func (m *Manager) PendingDrops() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return len(m.pendingDrops)
+}
+
+// AbandonedDrops reports how many deferred drops exhausted their retry
+// budget — each one is a payload possibly leaked on a remote device.
+func (m *Manager) AbandonedDrops() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.abandonedDrops
 }
 
 // compact removes membership records of loaded-cluster objects that the

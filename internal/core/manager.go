@@ -70,29 +70,34 @@ type Manager struct {
 	inbound map[ClusterID]map[heap.ObjID]bool
 
 	// pendingDrops holds (device, key) pairs whose Drop failed (device
-	// unreachable); retried on the next collection.
-	pendingDrops []dropTicket
+	// unreachable); retried on the next collection until the per-ticket
+	// budget is spent, then abandoned with a swap.drop.abandoned event.
+	pendingDrops   []dropTicket
+	dropRetryLimit int
+	abandonedDrops int
 
 	clock uint64
 }
 
 type dropTicket struct {
-	device  string
-	key     string
-	cluster ClusterID
+	device   string
+	key      string
+	cluster  ClusterID
+	attempts int
 }
 
 func newManager(rt *Runtime) *Manager {
 	m := &Manager{
-		rt:            rt,
-		clusters:      make(map[ClusterID]*clusterState),
-		objects:       make(map[heap.ObjID]objInfo),
-		proxies:       make(map[proxyKey]heap.ObjID),
-		proxyMeta:     make(map[heap.ObjID]proxyKey),
-		objProxies:    make(map[heap.ObjID]heap.ObjID),
-		objProxyMeta:  make(map[heap.ObjID]heap.ObjID),
-		cursorProxies: make(map[heap.ObjID]bool),
-		inbound:       make(map[ClusterID]map[heap.ObjID]bool),
+		rt:             rt,
+		clusters:       make(map[ClusterID]*clusterState),
+		objects:        make(map[heap.ObjID]objInfo),
+		proxies:        make(map[proxyKey]heap.ObjID),
+		proxyMeta:      make(map[heap.ObjID]proxyKey),
+		objProxies:     make(map[heap.ObjID]heap.ObjID),
+		objProxyMeta:   make(map[heap.ObjID]heap.ObjID),
+		cursorProxies:  make(map[heap.ObjID]bool),
+		inbound:        make(map[ClusterID]map[heap.ObjID]bool),
+		dropRetryLimit: DefaultDropRetryLimit,
 	}
 	m.clusters[RootCluster] = &clusterState{
 		id:      RootCluster,

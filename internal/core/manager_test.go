@@ -252,7 +252,7 @@ func TestRuntimeOptions(t *testing.T) {
 	if _, err := rt.SwapIn(c); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := mem.Get(ev.Key); err != nil {
+	if _, err := mem.Get(ctx, ev.Key); err != nil {
 		t.Fatalf("KeepOnReload copy dropped: %v", err)
 	}
 

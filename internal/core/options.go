@@ -1,0 +1,66 @@
+package core
+
+import (
+	"context"
+	"time"
+)
+
+// SwapOption tunes one SwapOut / SwapIn call. The zero set of options keeps
+// the historical behavior: no deadline, registry-selected device, failover
+// across devices enabled.
+type SwapOption func(*swapOpts)
+
+type swapOpts struct {
+	ctx        context.Context
+	deadline   time.Time
+	device     string
+	noFailover bool
+}
+
+// WithContext runs the swap under ctx: device operations observe its
+// deadline and cancellation.
+func WithContext(ctx context.Context) SwapOption {
+	return func(o *swapOpts) {
+		if ctx != nil {
+			o.ctx = ctx
+		}
+	}
+}
+
+// WithDeadline bounds the whole swap operation: every device transfer it
+// issues fails once t passes, and the middleware state is left consistent
+// (a timed-out swap-out stays resident, a timed-out swap-in stays swapped).
+func WithDeadline(t time.Time) SwapOption {
+	return func(o *swapOpts) { o.deadline = t }
+}
+
+// WithTimeout is WithDeadline relative to now.
+func WithTimeout(d time.Duration) SwapOption {
+	return func(o *swapOpts) { o.deadline = time.Now().Add(d) }
+}
+
+// WithDevice pins the swap-out destination to a named device instead of the
+// registry's selection. A pinned shipment does not fail over.
+func WithDevice(name string) SwapOption {
+	return func(o *swapOpts) { o.device = name }
+}
+
+// WithNoFailover disables multi-device failover: the swap-out fails if the
+// selected device rejects the shipment, as in the pre-resilience API.
+func WithNoFailover() SwapOption {
+	return func(o *swapOpts) { o.noFailover = true }
+}
+
+// resolve folds the options into a ready context (plus cancel) and the
+// shipment constraints.
+func resolveSwapOpts(opts []SwapOption) (swapOpts, context.Context, context.CancelFunc) {
+	o := swapOpts{ctx: context.Background()}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if !o.deadline.IsZero() {
+		ctx, cancel := context.WithDeadline(o.ctx, o.deadline)
+		return o, ctx, cancel
+	}
+	return o, o.ctx, func() {}
+}

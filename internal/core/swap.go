@@ -1,12 +1,15 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 
 	"objectswap/internal/event"
 	"objectswap/internal/heap"
+	"objectswap/internal/store"
 	"objectswap/internal/xmlcodec"
 )
 
@@ -24,8 +27,18 @@ import (
 //  4. the cluster's objects, now unreachable from the application, await the
 //     local collector (call Runtime.Collect to reclaim immediately).
 //
+// The shipment is resilient: when the selected device fails the Put, the
+// runtime fails over to the next-best device (excluding every destination
+// already attempted) until a device accepts the payload or no candidate is
+// left. The failed destinations are recorded in SwapEvent.Attempted and each
+// re-route is published as a swap.failover event. Options bound the whole
+// operation (WithDeadline), pin the destination (WithDevice) or restore the
+// fail-fast behavior (WithNoFailover).
+//
 // It returns the SwapEvent describing the shipment.
-func (rt *Runtime) SwapOut(id ClusterID) (SwapEvent, error) {
+func (rt *Runtime) SwapOut(id ClusterID, opts ...SwapOption) (SwapEvent, error) {
+	o, ctx, cancel := resolveSwapOpts(opts)
+	defer cancel()
 	if id == RootCluster {
 		return SwapEvent{}, ErrRootCluster
 	}
@@ -149,14 +162,9 @@ func (rt *Runtime) SwapOut(id ClusterID) (SwapEvent, error) {
 		return SwapEvent{}, fmt.Errorf("core: wrap cluster %d: %w", id, err)
 	}
 
-	// Pick a nearby device with room.
-	device, s, err := rt.stores.Pick(int64(len(data)))
-	if err != nil {
-		return SwapEvent{}, fmt.Errorf("core: swap-out cluster %d: %w", id, err)
-	}
-
 	// Create the replacement-object and anchor it against collection until
-	// the inbound proxies reference it.
+	// the inbound proxies reference it. The destination device is recorded
+	// after the shipment lands (failover may move it).
 	repl, err := rt.allocMiddleware(rt.replacementClass)
 	if err != nil {
 		return SwapEvent{}, fmt.Errorf("core: replacement for cluster %d: %w", id, err)
@@ -172,14 +180,18 @@ func (rt *Runtime) SwapOut(id ClusterID) (SwapEvent, error) {
 	if err := repl.SetFieldByName(fldKey, heap.Str(key)); err != nil {
 		return SwapEvent{}, err
 	}
-	if err := repl.SetFieldByName(fldStore, heap.Str(device)); err != nil {
+
+	// Ship first: a failed transfer must leave the graph untouched. When the
+	// selected device rejects the shipment, fail over to the next-best
+	// candidate; the key is device-independent, so the payload lands
+	// unchanged wherever it is accepted.
+	device, attempted, err := rt.ship(ctx, o, id, key, data)
+	if err != nil {
+		_ = rt.h.Remove(repl.ID())
 		return SwapEvent{}, err
 	}
-
-	// Ship first: a failed transfer must leave the graph untouched.
-	if err := s.Put(key, data); err != nil {
-		_ = rt.h.Remove(repl.ID())
-		return SwapEvent{}, fmt.Errorf("core: ship cluster %d to %s: %w", id, device, err)
+	if err := repl.SetFieldByName(fldStore, heap.Str(device)); err != nil {
+		return SwapEvent{}, err
 	}
 
 	// Patch every inbound proxy to the replacement-object.
@@ -203,9 +215,48 @@ func (rt *Runtime) SwapOut(id ClusterID) (SwapEvent, error) {
 	cs.swapOuts++
 	rt.mgr.mu.Unlock()
 
-	ev := SwapEvent{Cluster: id, Device: device, Key: key, Objects: len(objs), Bytes: len(data)}
+	ev := SwapEvent{Cluster: id, Device: device, Key: key, Objects: len(objs),
+		Bytes: len(data), Attempted: attempted}
 	rt.emit(event.TopicSwapOut, ev)
 	return ev, nil
+}
+
+// ship moves a wrapped cluster to a device, failing over across registry
+// candidates. It returns the accepting device and the failed destinations.
+func (rt *Runtime) ship(ctx context.Context, o swapOpts, id ClusterID, key string, data []byte) (string, []string, error) {
+	var attempted []string
+	var lastErr error
+	for {
+		var device string
+		var s store.Store
+		var err error
+		if o.device != "" {
+			device = o.device
+			s, err = rt.stores.Lookup(o.device)
+		} else {
+			device, s, err = rt.stores.Pick(ctx, int64(len(data)), attempted...)
+		}
+		if err != nil {
+			if lastErr != nil {
+				return "", attempted, fmt.Errorf("core: ship cluster %d: %d device(s) failed (%s), no candidate left: %w",
+					id, len(attempted), strings.Join(attempted, ", "), lastErr)
+			}
+			return "", attempted, fmt.Errorf("core: swap-out cluster %d: %w", id, err)
+		}
+		perr := s.Put(ctx, key, data)
+		if perr == nil {
+			return device, attempted, nil
+		}
+		if o.device != "" || o.noFailover || ctx.Err() != nil {
+			return "", attempted, fmt.Errorf("core: ship cluster %d to %s: %w", id, device, perr)
+		}
+		attempted = append(attempted, device)
+		lastErr = perr
+		rt.emit(event.TopicSwapFailover, SwapEvent{
+			Cluster: id, Device: device, Key: key, Bytes: len(data),
+			Attempted: append([]string(nil), attempted...),
+		})
+	}
 }
 
 // checkInactive fails when any member of the cluster is on the invocation
@@ -223,7 +274,15 @@ func (rt *Runtime) checkInactive(id ClusterID, members map[heap.ObjID]bool) erro
 // objects under their original identities, re-patches every inbound proxy,
 // and retires the replacement-object. Invoking any inbound proxy of a swapped
 // cluster does this implicitly; SwapIn is the explicit form (prefetch).
-func (rt *Runtime) SwapIn(id ClusterID) (SwapEvent, error) {
+//
+// WithDeadline / WithContext bound the fetch: a timed-out swap-in reports
+// the error and leaves the cluster consistently swapped, so a later retry
+// (or a reconnecting device) can still reload it. Destination options
+// (WithDevice, WithNoFailover) do not apply — a swapped cluster lives where
+// it was shipped.
+func (rt *Runtime) SwapIn(id ClusterID, opts ...SwapOption) (SwapEvent, error) {
+	_, ctx, cancel := resolveSwapOpts(opts)
+	defer cancel()
 	if rt.stores == nil {
 		return SwapEvent{}, ErrNoStores
 	}
@@ -254,7 +313,7 @@ func (rt *Runtime) SwapIn(id ClusterID) (SwapEvent, error) {
 	if err != nil {
 		return SwapEvent{}, fmt.Errorf("core: swap-in cluster %d: %w", id, err)
 	}
-	data, err := s.Get(key)
+	data, err := s.Get(ctx, key)
 	if err != nil {
 		return SwapEvent{}, fmt.Errorf("core: fetch cluster %d from %s: %w", id, device, err)
 	}
@@ -358,7 +417,7 @@ func (rt *Runtime) SwapIn(id ClusterID) (SwapEvent, error) {
 
 	// The device's copy is stale once the cluster is live again.
 	if !rt.keepOnReload {
-		if err := s.Drop(key); err != nil {
+		if err := s.Drop(ctx, key); err != nil {
 			rt.mgr.deferDrop(device, key, id)
 		}
 	}

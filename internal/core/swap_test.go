@@ -58,7 +58,7 @@ func TestSwapOutFreesMemoryAndDetaches(t *testing.T) {
 		t.Fatalf("swap event = %+v", ev)
 	}
 	// The XML is on the device.
-	data, err := f.mem.Get(ev.Key)
+	data, err := f.mem.Get(ctx, ev.Key)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +113,7 @@ func TestReloadRestoresGraph(t *testing.T) {
 		t.Fatal("cluster still marked swapped after traversal")
 	}
 	// The stale copy is dropped from the device.
-	keys, _ := f.mem.Keys()
+	keys, _ := f.mem.Keys(ctx)
 	if len(keys) != 0 {
 		t.Fatalf("device still holds %v after reload", keys)
 	}
@@ -229,7 +229,7 @@ func TestOutboundEdgesKeepDownstreamAlive(t *testing.T) {
 	if f.rt.Heap().Contains(bID) {
 		t.Fatal("B survived after the whole subgraph died")
 	}
-	if _, err := f.mem.Get(ev.Key); !errors.Is(err, store.ErrNotFound) {
+	if _, err := f.mem.Get(ctx, ev.Key); !errors.Is(err, store.ErrNotFound) {
 		t.Fatalf("device still holds dropped cluster: %v", err)
 	}
 	if f.rt.Manager().IsSwapped(ca) {
@@ -410,7 +410,7 @@ func TestDropRetryWhenDeviceUnreachable(t *testing.T) {
 	if f.rt.Manager().PendingDrops() != 0 {
 		t.Fatalf("pending drops = %d, want 0", f.rt.Manager().PendingDrops())
 	}
-	if _, err := f.mem.Get(ev.Key); !errors.Is(err, store.ErrNotFound) {
+	if _, err := f.mem.Get(ctx, ev.Key); !errors.Is(err, store.ErrNotFound) {
 		t.Fatalf("XML not dropped after retry: %v", err)
 	}
 }

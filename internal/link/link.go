@@ -10,6 +10,7 @@
 package link
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -162,19 +163,25 @@ func (l *Link) transfer(n int) error {
 }
 
 // Put forwards after accounting an upstream transfer of the payload.
-func (l *Link) Put(key string, data []byte) error {
+func (l *Link) Put(ctx context.Context, key string, data []byte) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if err := l.transfer(len(data)); err != nil {
 		return err
 	}
 	l.mu.Lock()
 	l.stats.BytesSent += int64(len(data))
 	l.mu.Unlock()
-	return l.inner.Put(key, data)
+	return l.inner.Put(ctx, key, data)
 }
 
 // Get forwards, then accounts a downstream transfer of the payload.
-func (l *Link) Get(key string) ([]byte, error) {
-	data, err := l.inner.Get(key)
+func (l *Link) Get(ctx context.Context, key string) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	data, err := l.inner.Get(ctx, key)
 	if err != nil {
 		// Account the (cheap) failed round trip.
 		if terr := l.transfer(0); terr != nil {
@@ -192,25 +199,34 @@ func (l *Link) Get(key string) ([]byte, error) {
 }
 
 // Drop forwards after accounting a control round trip.
-func (l *Link) Drop(key string) error {
+func (l *Link) Drop(ctx context.Context, key string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if err := l.transfer(0); err != nil {
 		return err
 	}
-	return l.inner.Drop(key)
+	return l.inner.Drop(ctx, key)
 }
 
 // Keys forwards after accounting a control round trip.
-func (l *Link) Keys() ([]string, error) {
+func (l *Link) Keys(ctx context.Context) ([]string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := l.transfer(0); err != nil {
 		return nil, err
 	}
-	return l.inner.Keys()
+	return l.inner.Keys(ctx)
 }
 
 // Stats forwards after accounting a control round trip.
-func (l *Link) Stats() (store.Stats, error) {
+func (l *Link) Stats(ctx context.Context) (store.Stats, error) {
+	if err := ctx.Err(); err != nil {
+		return store.Stats{}, err
+	}
 	if err := l.transfer(0); err != nil {
 		return store.Stats{}, err
 	}
-	return l.inner.Stats()
+	return l.inner.Stats(ctx)
 }

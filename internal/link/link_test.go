@@ -1,12 +1,15 @@
 package link
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
 
 	"objectswap/internal/store"
 )
+
+var ctx = context.Background()
 
 func TestTransferTimeModel(t *testing.T) {
 	p := Bluetooth1() // 700 Kbps, 30 ms latency
@@ -28,14 +31,14 @@ func TestLinkAccountsTraffic(t *testing.T) {
 	l := Wrap(store.NewMem(0), Bluetooth1(), clock)
 
 	payload := make([]byte, 8750)
-	if err := l.Put("k", payload); err != nil {
+	if err := l.Put(ctx, "k", payload); err != nil {
 		t.Fatal(err)
 	}
-	got, err := l.Get("k")
+	got, err := l.Get(ctx, "k")
 	if err != nil || len(got) != len(payload) {
 		t.Fatalf("Get = %d bytes, %v", len(got), err)
 	}
-	if err := l.Drop("k"); err != nil {
+	if err := l.Drop(ctx, "k"); err != nil {
 		t.Fatal(err)
 	}
 
@@ -67,7 +70,7 @@ func TestLinkJitterDeterministic(t *testing.T) {
 	}
 	run := func(l *Link) time.Duration {
 		for i := 0; i < 10; i++ {
-			_ = l.Put("k", []byte("x"))
+			_ = l.Put(ctx, "k", []byte("x"))
 		}
 		return l.TrafficStats().Delay
 	}
@@ -84,7 +87,7 @@ func TestLinkFaultInjection(t *testing.T) {
 	l := Wrap(store.NewMem(0), Profile{FailEvery: 3}, &VirtualClock{})
 	var failures int
 	for i := 0; i < 9; i++ {
-		if err := l.Put("k", []byte("x")); err != nil {
+		if err := l.Put(ctx, "k", []byte("x")); err != nil {
 			if !errors.Is(err, store.ErrUnavailable) {
 				t.Fatalf("unexpected failure type: %v", err)
 			}
@@ -102,15 +105,15 @@ func TestLinkFaultInjection(t *testing.T) {
 func TestLinkPropagatesStoreSemantics(t *testing.T) {
 	inner := store.NewMem(0)
 	l := Wrap(inner, Profile{}, &VirtualClock{})
-	if _, err := l.Get("missing"); !errors.Is(err, store.ErrNotFound) {
+	if _, err := l.Get(ctx, "missing"); !errors.Is(err, store.ErrNotFound) {
 		t.Fatalf("Get missing through link: %v", err)
 	}
-	_ = l.Put("a", []byte("1"))
-	keys, err := l.Keys()
+	_ = l.Put(ctx, "a", []byte("1"))
+	keys, err := l.Keys(ctx)
 	if err != nil || len(keys) != 1 {
 		t.Fatalf("Keys = %v, %v", keys, err)
 	}
-	st, err := l.Stats()
+	st, err := l.Stats(ctx)
 	if err != nil || st.Items != 1 {
 		t.Fatalf("Stats = %+v, %v", st, err)
 	}

@@ -1,6 +1,7 @@
 package policy
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -75,7 +76,7 @@ func TestPressureTriggersSwapViaPolicy(t *testing.T) {
 	if swapped == 0 {
 		t.Fatal("no cluster swapped out by policy")
 	}
-	keys, _ := mem.Keys()
+	keys, _ := mem.Keys(context.Background())
 	if len(keys) != swapped {
 		t.Fatalf("device holds %d shipments, %d clusters swapped", len(keys), swapped)
 	}

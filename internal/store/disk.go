@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"encoding/hex"
 	"errors"
 	"fmt"
@@ -41,7 +42,10 @@ func (d *Disk) path(key string) string {
 }
 
 // Put stores data under key.
-func (d *Disk) Put(key string, data []byte) error {
+func (d *Disk) Put(ctx context.Context, key string, data []byte) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if key == "" {
 		return errors.New("store: empty key")
 	}
@@ -72,7 +76,10 @@ func (d *Disk) Put(key string, data []byte) error {
 }
 
 // Get returns the payload stored under key.
-func (d *Disk) Get(key string) ([]byte, error) {
+func (d *Disk) Get(ctx context.Context, key string) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	data, err := os.ReadFile(d.path(key))
@@ -86,7 +93,10 @@ func (d *Disk) Get(key string) ([]byte, error) {
 }
 
 // Drop removes the payload stored under key.
-func (d *Disk) Drop(key string) error {
+func (d *Disk) Drop(ctx context.Context, key string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	err := os.Remove(d.path(key))
@@ -100,7 +110,10 @@ func (d *Disk) Drop(key string) error {
 }
 
 // Keys enumerates stored keys in sorted order.
-func (d *Disk) Keys() ([]string, error) {
+func (d *Disk) Keys(ctx context.Context) ([]string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.keysLocked()
@@ -128,7 +141,10 @@ func (d *Disk) keysLocked() ([]string, error) {
 }
 
 // Stats reports occupancy.
-func (d *Disk) Stats() (Stats, error) {
+func (d *Disk) Stats(ctx context.Context) (Stats, error) {
+	if err := ctx.Err(); err != nil {
+		return Stats{}, err
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.statsLocked()

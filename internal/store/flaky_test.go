@@ -1,0 +1,135 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestFlakyFailOnSpecificCalls(t *testing.T) {
+	f := NewFlaky(NewMem(0), 1)
+	f.FailOn(OpPut, 2)
+
+	if err := f.Put(ctx, "a", []byte("1")); err != nil {
+		t.Fatalf("call 1: %v", err)
+	}
+	if err := f.Put(ctx, "b", []byte("2")); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("call 2 = %v, want ErrUnavailable", err)
+	}
+	if err := f.Put(ctx, "b", []byte("2")); err != nil {
+		t.Fatalf("call 3: %v", err)
+	}
+	if f.Calls(OpPut) != 3 || f.Failures(OpPut) != 1 {
+		t.Fatalf("calls/failures = %d/%d", f.Calls(OpPut), f.Failures(OpPut))
+	}
+	// The failed call never reached the inner store.
+	keys, _ := f.Keys(ctx)
+	if len(keys) != 2 {
+		t.Fatalf("inner holds %v", keys)
+	}
+}
+
+func TestFlakyFailNextWindow(t *testing.T) {
+	f := NewFlaky(NewMem(0), 1)
+	_ = f.Put(ctx, "k", []byte("v"))
+
+	f.FailNext(OpGet, 2)
+	for i := 0; i < 2; i++ {
+		if _, err := f.Get(ctx, "k"); !errors.Is(err, ErrUnavailable) {
+			t.Fatalf("windowed call %d = %v", i+1, err)
+		}
+	}
+	if _, err := f.Get(ctx, "k"); err != nil {
+		t.Fatalf("after window: %v", err)
+	}
+
+	// FailNext(-1) fails forever until rescheduled.
+	f.FailNext(OpGet, -1)
+	for i := 0; i < 3; i++ {
+		if _, err := f.Get(ctx, "k"); err == nil {
+			t.Fatal("permanent failure window let a call through")
+		}
+	}
+	f.FailNext(OpGet, 0)
+	if _, err := f.Get(ctx, "k"); err != nil {
+		t.Fatalf("after reset: %v", err)
+	}
+}
+
+func TestFlakyFailRateIsDeterministic(t *testing.T) {
+	pattern := func(seed int64) []bool {
+		f := NewFlaky(NewMem(0), seed)
+		f.FailRate(OpPut, 0.5)
+		outcomes := make([]bool, 200)
+		for i := range outcomes {
+			outcomes[i] = f.Put(ctx, "k", []byte("x")) != nil
+		}
+		return outcomes
+	}
+
+	a, b := pattern(7), pattern(7)
+	var failures int
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at call %d", i)
+		}
+		if a[i] {
+			failures++
+		}
+	}
+	// With rate 0.5 over 200 calls, both extremes mean a broken stream.
+	if failures < 50 || failures > 150 {
+		t.Fatalf("rate 0.5 produced %d/200 failures", failures)
+	}
+}
+
+func TestFlakyHangBlocksUntilContextDone(t *testing.T) {
+	f := NewFlaky(NewMem(0), 1)
+	_ = f.Put(ctx, "k", []byte("v"))
+	f.HangOn(OpGet, 1)
+
+	cctx, cancel := context.WithTimeout(ctx, 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := f.Get(cctx, "k")
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("hung call = %v, want ErrUnavailable", err)
+	}
+	if time.Since(start) < 10*time.Millisecond {
+		t.Fatal("hung call returned before its context expired")
+	}
+	// Only the first call hangs.
+	if got, err := f.Get(ctx, "k"); err != nil || string(got) != "v" {
+		t.Fatalf("second get = %q, %v", got, err)
+	}
+	if f.Failures(OpGet) != 1 {
+		t.Fatalf("failures = %d", f.Failures(OpGet))
+	}
+}
+
+// countSleeper records injected latency without blocking.
+type countSleeper struct{ total time.Duration }
+
+func (c *countSleeper) Sleep(d time.Duration) { c.total += d }
+
+func TestFlakyLatencyGoesThroughSleeper(t *testing.T) {
+	f := NewFlaky(NewMem(0), 1)
+	clk := &countSleeper{}
+	f.SetLatency(30*time.Millisecond, clk)
+
+	_ = f.Put(ctx, "a", []byte("1"))
+	_, _ = f.Get(ctx, "a")
+	if clk.total != 60*time.Millisecond {
+		t.Fatalf("accounted latency = %v, want 60ms", clk.total)
+	}
+}
+
+func TestFlakyHonorsCanceledContext(t *testing.T) {
+	f := NewFlaky(NewMem(0), 1)
+	cctx, cancel := context.WithCancel(ctx)
+	cancel()
+	if err := f.Put(cctx, "k", []byte("x")); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -2,6 +2,7 @@ package store
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -40,14 +41,14 @@ func NewHandler(s Store) *Handler { return &Handler{s: s} }
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case r.URL.Path == "/stats" && r.Method == http.MethodGet:
-		st, err := h.s.Stats()
+		st, err := h.s.Stats(r.Context())
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
 		writeJSON(w, st)
 	case r.URL.Path == "/clusters" && r.Method == http.MethodGet:
-		keys, err := h.s.Keys()
+		keys, err := h.s.Keys(r.Context())
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
@@ -77,7 +78,7 @@ func (h *Handler) serveKey(w http.ResponseWriter, r *http.Request, key string) {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		if err := h.s.Put(key, data); err != nil {
+		if err := h.s.Put(r.Context(), key, data); err != nil {
 			status := http.StatusInternalServerError
 			if errors.Is(err, ErrCapacity) {
 				status = http.StatusInsufficientStorage
@@ -87,7 +88,7 @@ func (h *Handler) serveKey(w http.ResponseWriter, r *http.Request, key string) {
 		}
 		w.WriteHeader(http.StatusNoContent)
 	case http.MethodGet:
-		data, err := h.s.Get(key)
+		data, err := h.s.Get(r.Context(), key)
 		if errors.Is(err, ErrNotFound) {
 			http.NotFound(w, r)
 			return
@@ -99,7 +100,7 @@ func (h *Handler) serveKey(w http.ResponseWriter, r *http.Request, key string) {
 		w.Header().Set("Content-Type", "application/xml")
 		_, _ = w.Write(data)
 	case http.MethodDelete:
-		err := h.s.Drop(key)
+		err := h.s.Drop(r.Context(), key)
 		if errors.Is(err, ErrNotFound) {
 			http.NotFound(w, r)
 			return
@@ -141,11 +142,11 @@ func (c *Client) keyURL(key string) string {
 }
 
 // Put stores data under key on the remote device.
-func (c *Client) Put(key string, data []byte) error {
+func (c *Client) Put(ctx context.Context, key string, data []byte) error {
 	if key == "" {
 		return errors.New("store: empty key")
 	}
-	req, err := http.NewRequest(http.MethodPut, c.keyURL(key), bytes.NewReader(data))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, c.keyURL(key), bytes.NewReader(data))
 	if err != nil {
 		return fmt.Errorf("store: http: %w", err)
 	}
@@ -165,8 +166,12 @@ func (c *Client) Put(key string, data []byte) error {
 }
 
 // Get returns the payload stored under key on the remote device.
-func (c *Client) Get(key string) ([]byte, error) {
-	resp, err := c.hc.Get(c.keyURL(key))
+func (c *Client) Get(ctx context.Context, key string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.keyURL(key), nil)
+	if err != nil {
+		return nil, fmt.Errorf("store: http: %w", err)
+	}
+	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrUnavailable, err)
 	}
@@ -182,8 +187,8 @@ func (c *Client) Get(key string) ([]byte, error) {
 }
 
 // Drop removes the payload stored under key on the remote device.
-func (c *Client) Drop(key string) error {
-	req, err := http.NewRequest(http.MethodDelete, c.keyURL(key), nil)
+func (c *Client) Drop(ctx context.Context, key string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.keyURL(key), nil)
 	if err != nil {
 		return fmt.Errorf("store: http: %w", err)
 	}
@@ -203,8 +208,12 @@ func (c *Client) Drop(key string) error {
 }
 
 // Keys enumerates remote keys.
-func (c *Client) Keys() ([]string, error) {
-	resp, err := c.hc.Get(c.base + "/clusters")
+func (c *Client) Keys(ctx context.Context) ([]string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/clusters", nil)
+	if err != nil {
+		return nil, fmt.Errorf("store: http: %w", err)
+	}
+	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrUnavailable, err)
 	}
@@ -220,8 +229,12 @@ func (c *Client) Keys() ([]string, error) {
 }
 
 // Stats reports remote occupancy.
-func (c *Client) Stats() (Stats, error) {
-	resp, err := c.hc.Get(c.base + "/stats")
+func (c *Client) Stats(ctx context.Context) (Stats, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/stats", nil)
+	if err != nil {
+		return Stats{}, fmt.Errorf("store: http: %w", err)
+	}
+	resp, err := c.hc.Do(req)
 	if err != nil {
 		return Stats{}, fmt.Errorf("%w: %v", ErrUnavailable, err)
 	}

@@ -17,26 +17,26 @@ func TestHTTPCapacityMapsTo507(t *testing.T) {
 	srv := httptest.NewServer(NewHandler(NewMem(4)))
 	defer srv.Close()
 	c := NewClient(srv.URL)
-	if err := c.Put("k", make([]byte, 16)); !errors.Is(err, ErrCapacity) {
+	if err := c.Put(ctx, "k", make([]byte, 16)); !errors.Is(err, ErrCapacity) {
 		t.Fatalf("remote capacity error: %v", err)
 	}
 }
 
 func TestHTTPUnreachable(t *testing.T) {
 	c := NewClient("http://127.0.0.1:1") // nothing listens there
-	if err := c.Put("k", []byte("x")); !errors.Is(err, ErrUnavailable) {
+	if err := c.Put(ctx, "k", []byte("x")); !errors.Is(err, ErrUnavailable) {
 		t.Fatalf("Put to dead host: %v", err)
 	}
-	if _, err := c.Get("k"); !errors.Is(err, ErrUnavailable) {
+	if _, err := c.Get(ctx, "k"); !errors.Is(err, ErrUnavailable) {
 		t.Fatalf("Get from dead host: %v", err)
 	}
-	if err := c.Drop("k"); !errors.Is(err, ErrUnavailable) {
+	if err := c.Drop(ctx, "k"); !errors.Is(err, ErrUnavailable) {
 		t.Fatalf("Drop on dead host: %v", err)
 	}
-	if _, err := c.Keys(); !errors.Is(err, ErrUnavailable) {
+	if _, err := c.Keys(ctx); !errors.Is(err, ErrUnavailable) {
 		t.Fatalf("Keys on dead host: %v", err)
 	}
-	if _, err := c.Stats(); !errors.Is(err, ErrUnavailable) {
+	if _, err := c.Stats(ctx); !errors.Is(err, ErrUnavailable) {
 		t.Fatalf("Stats on dead host: %v", err)
 	}
 }

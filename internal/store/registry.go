@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -108,18 +109,40 @@ func (r *Registry) Lookup(name string) (Store, error) {
 	return d.Store, nil
 }
 
-// Pick selects a destination with at least need free bytes according to the
-// registry strategy. It returns the device name and its store.
-func (r *Registry) Pick(need int64) (string, Store, error) {
+// Peek returns a device's store regardless of availability. Health probes
+// need a handle on exactly the devices the registry has stopped offering.
+func (r *Registry) Peek(name string) (Store, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	d, ok := r.devices[name]
+	if !ok {
+		return nil, false
+	}
+	return d.Store, true
+}
+
+// Pick selects a destination with at least need free bytes according to the
+// registry strategy, skipping any device named in exclude (used by swap-out
+// failover to avoid re-selecting a device that just failed a shipment). It
+// returns the device name and its store.
+func (r *Registry) Pick(ctx context.Context, need int64, exclude ...string) (string, Store, error) {
+	skip := make(map[string]bool, len(exclude))
+	for _, n := range exclude {
+		skip[n] = true
+	}
 
 	type candidate struct {
 		name string
 		s    Store
 		free int64
 	}
-	var candidates []candidate
+
+	// Snapshot the eligible devices under the lock, but probe their Stats
+	// outside it: a probe may be a (slow) network call, and a resilience
+	// decorator that declares the device unhealthy mid-probe re-enters the
+	// registry through SetAvailable.
+	r.mu.Lock()
+	var eligible []candidate
 	names := make([]string, 0, len(r.devices))
 	for n := range r.devices {
 		names = append(names, n)
@@ -127,15 +150,22 @@ func (r *Registry) Pick(need int64) (string, Store, error) {
 	sort.Strings(names)
 	for _, n := range names {
 		d := r.devices[n]
-		if !d.Available {
+		if !d.Available || skip[n] {
 			continue
 		}
-		st, err := d.Store.Stats()
+		eligible = append(eligible, candidate{name: n, s: d.Store})
+	}
+	r.mu.Unlock()
+
+	var candidates []candidate
+	for _, c := range eligible {
+		st, err := c.s.Stats(ctx)
 		if err != nil {
 			continue // unreachable right now; skip
 		}
 		if st.Free() >= need {
-			candidates = append(candidates, candidate{name: n, s: d.Store, free: st.Free()})
+			c.free = st.Free()
+			candidates = append(candidates, c)
 		}
 	}
 	if len(candidates) == 0 {
@@ -146,8 +176,10 @@ func (r *Registry) Pick(need int64) (string, Store, error) {
 		c := candidates[0]
 		return c.name, c.s, nil
 	case SelectRoundRobin:
+		r.mu.Lock()
 		c := candidates[r.rrCursor%len(candidates)]
 		r.rrCursor++
+		r.mu.Unlock()
 		return c.name, c.s, nil
 	default: // SelectMostFree
 		best := candidates[0]

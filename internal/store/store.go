@@ -9,12 +9,18 @@
 // desktop PC holding files), and an HTTP store (the web-services
 // communication bridge of the OBIWAN prototype).
 //
+// Every operation takes a context.Context: the links to these devices are
+// flaky Bluetooth-class radios, so callers must be able to bound and cancel
+// each transfer. Third-party stores written against the original context-free
+// contract plug in through the Legacy adapter.
+//
 // A Registry aggregates several named devices and picks a destination for
 // each swap-out, modelling the paper's scenario of "a myriad of small
 // memory-enabled devices with wireless connectivity, scattered all-over".
 package store
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -48,19 +54,84 @@ func (s Stats) Free() int64 {
 }
 
 // Store is the full contract a swapping device must honor: store, return,
-// drop (and enumerate) keyed opaque text.
+// drop (and enumerate) keyed opaque text. Every operation observes the
+// context's deadline and cancellation — a store must not outlive ctx on a
+// slow or dead link.
 type Store interface {
 	// Put stores data under key, replacing any previous payload.
-	Put(key string, data []byte) error
+	Put(ctx context.Context, key string, data []byte) error
 	// Get returns the payload stored under key.
-	Get(key string) ([]byte, error)
+	Get(ctx context.Context, key string) ([]byte, error)
 	// Drop removes the payload stored under key. Dropping an absent key is
 	// an error (ErrNotFound) so protocol bugs surface.
-	Drop(key string) error
+	Drop(ctx context.Context, key string) error
 	// Keys enumerates stored keys in sorted order.
-	Keys() ([]string, error)
+	Keys(ctx context.Context) ([]string, error)
 	// Stats reports occupancy.
+	Stats(ctx context.Context) (Stats, error)
+}
+
+// ContextFree is the original store contract, kept for third-party device
+// implementations that predate the context-aware API. Wrap one in Legacy to
+// use it as a Store.
+type ContextFree interface {
+	Put(key string, data []byte) error
+	Get(key string) ([]byte, error)
+	Drop(key string) error
+	Keys() ([]string, error)
 	Stats() (Stats, error)
+}
+
+// Legacy adapts a context-free store to the Store contract. The inner store
+// cannot be interrupted mid-operation, so Legacy honors ctx at the only
+// point it can: it refuses to start an operation on an already-done context.
+type Legacy struct {
+	Inner ContextFree
+}
+
+var _ Store = Legacy{}
+
+// NewLegacy wraps a context-free store.
+func NewLegacy(s ContextFree) Legacy { return Legacy{Inner: s} }
+
+// Put forwards after a cancellation check.
+func (l Legacy) Put(ctx context.Context, key string, data []byte) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return l.Inner.Put(key, data)
+}
+
+// Get forwards after a cancellation check.
+func (l Legacy) Get(ctx context.Context, key string) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return l.Inner.Get(key)
+}
+
+// Drop forwards after a cancellation check.
+func (l Legacy) Drop(ctx context.Context, key string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return l.Inner.Drop(key)
+}
+
+// Keys forwards after a cancellation check.
+func (l Legacy) Keys(ctx context.Context) ([]string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return l.Inner.Keys()
+}
+
+// Stats forwards after a cancellation check.
+func (l Legacy) Stats(ctx context.Context) (Stats, error) {
+	if err := ctx.Err(); err != nil {
+		return Stats{}, err
+	}
+	return l.Inner.Stats()
 }
 
 // Mem is an in-memory Store with optional byte capacity.
@@ -79,7 +150,10 @@ func NewMem(capacity int64) *Mem {
 }
 
 // Put stores data under key.
-func (m *Mem) Put(key string, data []byte) error {
+func (m *Mem) Put(ctx context.Context, key string, data []byte) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if key == "" {
 		return errors.New("store: empty key")
 	}
@@ -98,7 +172,10 @@ func (m *Mem) Put(key string, data []byte) error {
 }
 
 // Get returns the payload stored under key.
-func (m *Mem) Get(key string) ([]byte, error) {
+func (m *Mem) Get(ctx context.Context, key string) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	data, ok := m.items[key]
@@ -111,7 +188,10 @@ func (m *Mem) Get(key string) ([]byte, error) {
 }
 
 // Drop removes the payload stored under key.
-func (m *Mem) Drop(key string) error {
+func (m *Mem) Drop(ctx context.Context, key string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	data, ok := m.items[key]
@@ -124,7 +204,10 @@ func (m *Mem) Drop(key string) error {
 }
 
 // Keys enumerates stored keys in sorted order.
-func (m *Mem) Keys() ([]string, error) {
+func (m *Mem) Keys(ctx context.Context) ([]string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	keys := make([]string, 0, len(m.items))
@@ -136,7 +219,10 @@ func (m *Mem) Keys() ([]string, error) {
 }
 
 // Stats reports occupancy.
-func (m *Mem) Stats() (Stats, error) {
+func (m *Mem) Stats(ctx context.Context) (Stats, error) {
+	if err := ctx.Err(); err != nil {
+		return Stats{}, err
+	}
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	return Stats{Capacity: m.capacity, Used: m.used, Items: len(m.items)}, nil

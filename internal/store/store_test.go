@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -8,53 +9,55 @@ import (
 	"testing/quick"
 )
 
+var ctx = context.Background()
+
 // storeContract runs the full Store contract against any implementation.
 func storeContract(t *testing.T, s Store) {
 	t.Helper()
 
 	// Empty store.
-	keys, err := s.Keys()
+	keys, err := s.Keys(ctx)
 	if err != nil || len(keys) != 0 {
 		t.Fatalf("fresh Keys = %v, %v", keys, err)
 	}
-	if _, err := s.Get("missing"); !errors.Is(err, ErrNotFound) {
+	if _, err := s.Get(ctx, "missing"); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("Get missing: %v", err)
 	}
-	if err := s.Drop("missing"); !errors.Is(err, ErrNotFound) {
+	if err := s.Drop(ctx, "missing"); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("Drop missing: %v", err)
 	}
 
 	// Put / Get round trip, including awkward keys.
 	awkward := "swap cluster/1:α?&#"
 	payload := []byte("<swapcluster id=\"x\"/>")
-	if err := s.Put(awkward, payload); err != nil {
+	if err := s.Put(ctx, awkward, payload); err != nil {
 		t.Fatal(err)
 	}
-	got, err := s.Get(awkward)
+	got, err := s.Get(ctx, awkward)
 	if err != nil || string(got) != string(payload) {
 		t.Fatalf("Get = %q, %v", got, err)
 	}
 
 	// Replacement under the same key.
-	if err := s.Put(awkward, []byte("v2")); err != nil {
+	if err := s.Put(ctx, awkward, []byte("v2")); err != nil {
 		t.Fatal(err)
 	}
-	got, _ = s.Get(awkward)
+	got, _ = s.Get(ctx, awkward)
 	if string(got) != "v2" {
 		t.Fatalf("replaced payload = %q", got)
 	}
 
 	// Keys are sorted and complete.
-	if err := s.Put("a-key", []byte("a")); err != nil {
+	if err := s.Put(ctx, "a-key", []byte("a")); err != nil {
 		t.Fatal(err)
 	}
-	keys, err = s.Keys()
+	keys, err = s.Keys(ctx)
 	if err != nil || len(keys) != 2 || keys[0] != "a-key" || keys[1] != awkward {
 		t.Fatalf("Keys = %v, %v", keys, err)
 	}
 
 	// Stats track items and bytes.
-	st, err := s.Stats()
+	st, err := s.Stats(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,18 +66,18 @@ func storeContract(t *testing.T, s Store) {
 	}
 
 	// Drop removes exactly one key.
-	if err := s.Drop("a-key"); err != nil {
+	if err := s.Drop(ctx, "a-key"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Get("a-key"); !errors.Is(err, ErrNotFound) {
+	if _, err := s.Get(ctx, "a-key"); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("Get after drop: %v", err)
 	}
-	if _, err := s.Get(awkward); err != nil {
+	if _, err := s.Get(ctx, awkward); err != nil {
 		t.Fatalf("unrelated key dropped: %v", err)
 	}
 
 	// Empty keys are rejected.
-	if err := s.Put("", []byte("x")); err == nil {
+	if err := s.Put(ctx, "", []byte("x")); err == nil {
 		t.Fatal("Put with empty key accepted")
 	}
 }
@@ -93,17 +96,17 @@ func TestDiskContract(t *testing.T) {
 
 func TestMemCapacity(t *testing.T) {
 	m := NewMem(10)
-	if err := m.Put("a", make([]byte, 8)); err != nil {
+	if err := m.Put(ctx, "a", make([]byte, 8)); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Put("b", make([]byte, 4)); !errors.Is(err, ErrCapacity) {
+	if err := m.Put(ctx, "b", make([]byte, 4)); !errors.Is(err, ErrCapacity) {
 		t.Fatalf("over capacity: %v", err)
 	}
 	// Replacing within budget is fine even at the edge.
-	if err := m.Put("a", make([]byte, 10)); err != nil {
+	if err := m.Put(ctx, "a", make([]byte, 10)); err != nil {
 		t.Fatal(err)
 	}
-	st, _ := m.Stats()
+	st, _ := m.Stats(ctx)
 	if st.Used != 10 || st.Free() != 0 {
 		t.Fatalf("stats = %+v free=%d", st, st.Free())
 	}
@@ -112,19 +115,19 @@ func TestMemCapacity(t *testing.T) {
 func TestDiskCapacityAndPersistence(t *testing.T) {
 	dir := t.TempDir()
 	d, _ := NewDisk(dir, 16)
-	if err := d.Put("k", make([]byte, 12)); err != nil {
+	if err := d.Put(ctx, "k", make([]byte, 12)); err != nil {
 		t.Fatal(err)
 	}
-	if err := d.Put("k2", make([]byte, 8)); !errors.Is(err, ErrCapacity) {
+	if err := d.Put(ctx, "k2", make([]byte, 8)); !errors.Is(err, ErrCapacity) {
 		t.Fatalf("over capacity: %v", err)
 	}
 	// Replacement accounting: replacing k with a same-size payload fits.
-	if err := d.Put("k", make([]byte, 16)); err != nil {
+	if err := d.Put(ctx, "k", make([]byte, 16)); err != nil {
 		t.Fatal(err)
 	}
 	// A second store over the same directory sees the data (persistence).
 	d2, _ := NewDisk(dir, 0)
-	got, err := d2.Get("k")
+	got, err := d2.Get(ctx, "k")
 	if err != nil || len(got) != 16 {
 		t.Fatalf("persisted Get = %d bytes, %v", len(got), err)
 	}
@@ -136,14 +139,14 @@ func TestDiskCapacityAndPersistence(t *testing.T) {
 func TestMemIsolation(t *testing.T) {
 	m := NewMem(0)
 	payload := []byte{1, 2, 3}
-	_ = m.Put("k", payload)
+	_ = m.Put(ctx, "k", payload)
 	payload[0] = 99 // caller mutation after Put
-	got, _ := m.Get("k")
+	got, _ := m.Get(ctx, "k")
 	if got[0] != 1 {
 		t.Fatal("Put did not copy payload")
 	}
 	got[1] = 99 // caller mutation after Get
-	again, _ := m.Get("k")
+	again, _ := m.Get(ctx, "k")
 	if again[1] != 2 {
 		t.Fatal("Get did not copy payload")
 	}
@@ -152,8 +155,8 @@ func TestMemIsolation(t *testing.T) {
 func TestRegistrySelection(t *testing.T) {
 	big := NewMem(1000)
 	small := NewMem(100)
-	_ = big.Put("pad", make([]byte, 100))  // 900 free
-	_ = small.Put("pad", make([]byte, 50)) // 50 free
+	_ = big.Put(ctx, "pad", make([]byte, 100))  // 900 free
+	_ = small.Put(ctx, "pad", make([]byte, 50)) // 50 free
 
 	r := NewRegistry(SelectMostFree)
 	if err := r.Add("big", big); err != nil {
@@ -166,22 +169,22 @@ func TestRegistrySelection(t *testing.T) {
 		t.Fatal("duplicate Add accepted")
 	}
 
-	name, _, err := r.Pick(10)
+	name, _, err := r.Pick(ctx, 10)
 	if err != nil || name != "big" {
 		t.Fatalf("MostFree pick = %q, %v", name, err)
 	}
 	// Only small fits? No: need > 900 rules out both but need 40 keeps both.
-	name, _, err = r.Pick(500)
+	name, _, err = r.Pick(ctx, 500)
 	if err != nil || name != "big" {
 		t.Fatalf("pick(500) = %q, %v", name, err)
 	}
-	if _, _, err := r.Pick(5000); !errors.Is(err, ErrNoDevice) {
+	if _, _, err := r.Pick(ctx, 5000); !errors.Is(err, ErrNoDevice) {
 		t.Fatalf("pick(5000): %v", err)
 	}
 
 	// Availability gates selection and lookup.
 	r.SetAvailable("big", false)
-	name, _, err = r.Pick(10)
+	name, _, err = r.Pick(ctx, 10)
 	if err != nil || name != "small" {
 		t.Fatalf("pick with big down = %q, %v", name, err)
 	}
@@ -207,7 +210,7 @@ func TestRegistryFirstFitAndRoundRobin(t *testing.T) {
 	r := NewRegistry(SelectFirstFit)
 	_ = r.Add("b", NewMem(0))
 	_ = r.Add("a", NewMem(0))
-	name, _, _ := r.Pick(1)
+	name, _, _ := r.Pick(ctx, 1)
 	if name != "a" {
 		t.Fatalf("first fit = %q, want a (name order)", name)
 	}
@@ -215,9 +218,9 @@ func TestRegistryFirstFitAndRoundRobin(t *testing.T) {
 	rr := NewRegistry(SelectRoundRobin)
 	_ = rr.Add("x", NewMem(0))
 	_ = rr.Add("y", NewMem(0))
-	n1, _, _ := rr.Pick(1)
-	n2, _, _ := rr.Pick(1)
-	n3, _, _ := rr.Pick(1)
+	n1, _, _ := rr.Pick(ctx, 1)
+	n2, _, _ := rr.Pick(ctx, 1)
+	n3, _, _ := rr.Pick(ctx, 1)
 	if n1 == n2 || n1 != n3 {
 		t.Fatalf("round robin sequence = %q %q %q", n1, n2, n3)
 	}
@@ -237,33 +240,33 @@ func TestPropMemDiskEquivalence(t *testing.T) {
 		for op := 0; op < 30; op++ {
 			k := keys[r.Intn(len(keys))]
 			if r.Intn(3) == 0 {
-				e1 := m.Drop(k)
-				e2 := d.Drop(k)
+				e1 := m.Drop(ctx, k)
+				e2 := d.Drop(ctx, k)
 				if (e1 == nil) != (e2 == nil) {
 					return false
 				}
 			} else {
 				payload := make([]byte, r.Intn(64))
 				r.Read(payload)
-				if m.Put(k, payload) != nil || d.Put(k, payload) != nil {
+				if m.Put(ctx, k, payload) != nil || d.Put(ctx, k, payload) != nil {
 					return false
 				}
 			}
 		}
-		mk, _ := m.Keys()
-		dk, _ := d.Keys()
+		mk, _ := m.Keys(ctx)
+		dk, _ := d.Keys(ctx)
 		if fmt.Sprint(mk) != fmt.Sprint(dk) {
 			return false
 		}
 		for _, k := range mk {
-			mv, _ := m.Get(k)
-			dv, _ := d.Get(k)
+			mv, _ := m.Get(ctx, k)
+			dv, _ := d.Get(ctx, k)
 			if string(mv) != string(dv) {
 				return false
 			}
 		}
-		ms, _ := m.Stats()
-		ds, _ := d.Stats()
+		ms, _ := m.Stats(ctx)
+		ds, _ := d.Stats(ctx)
 		return ms.Items == ds.Items && ms.Used == ds.Used
 	}
 	if err := quick.Check(fn, &quick.Config{MaxCount: 15}); err != nil {

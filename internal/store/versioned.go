@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -65,22 +66,22 @@ func isVersionKey(k string) (string, int, bool) {
 
 // Put stores data under key, archiving any previous payload as a new
 // generation.
-func (v *Versioned) Put(key string, data []byte) error {
+func (v *Versioned) Put(ctx context.Context, key string, data []byte) error {
 	if strings.Contains(key, versionSep) {
 		return fmt.Errorf("%w: %q", ErrVersionedKey, key)
 	}
 	v.mu.Lock()
 	defer v.mu.Unlock()
-	if err := v.archiveLocked(key); err != nil {
+	if err := v.archiveLocked(ctx, key); err != nil {
 		return err
 	}
-	return v.inner.Put(key, data)
+	return v.inner.Put(ctx, key, data)
 }
 
 // archiveLocked moves the current payload of key (if any) into the next
 // generation slot and prunes beyond the retention bound.
-func (v *Versioned) archiveLocked(key string) error {
-	cur, err := v.inner.Get(key)
+func (v *Versioned) archiveLocked(ctx context.Context, key string) error {
+	cur, err := v.inner.Get(ctx, key)
 	if errors.Is(err, ErrNotFound) {
 		return nil
 	}
@@ -89,23 +90,23 @@ func (v *Versioned) archiveLocked(key string) error {
 	}
 	gen := v.gens[key]
 	v.gens[key] = gen + 1
-	if err := v.inner.Put(versionKey(key, gen), cur); err != nil {
+	if err := v.inner.Put(ctx, versionKey(key, gen), cur); err != nil {
 		return err
 	}
-	return v.pruneLocked(key)
+	return v.pruneLocked(ctx, key)
 }
 
 // pruneLocked enforces the retention bound for key.
-func (v *Versioned) pruneLocked(key string) error {
+func (v *Versioned) pruneLocked(ctx context.Context, key string) error {
 	if v.keep <= 0 {
 		return nil
 	}
-	gens, err := v.versionsLocked(key)
+	gens, err := v.versionsLocked(ctx, key)
 	if err != nil {
 		return err
 	}
 	for len(gens) > v.keep {
-		if err := v.inner.Drop(versionKey(key, gens[0])); err != nil {
+		if err := v.inner.Drop(ctx, versionKey(key, gens[0])); err != nil {
 			return err
 		}
 		gens = gens[1:]
@@ -114,24 +115,24 @@ func (v *Versioned) pruneLocked(key string) error {
 }
 
 // Get returns the current payload of key.
-func (v *Versioned) Get(key string) ([]byte, error) {
-	return v.inner.Get(key)
+func (v *Versioned) Get(ctx context.Context, key string) ([]byte, error) {
+	return v.inner.Get(ctx, key)
 }
 
 // Drop sets the current payload aside as a generation instead of destroying
 // it, then removes the live key.
-func (v *Versioned) Drop(key string) error {
+func (v *Versioned) Drop(ctx context.Context, key string) error {
 	v.mu.Lock()
 	defer v.mu.Unlock()
-	if err := v.archiveLocked(key); err != nil {
+	if err := v.archiveLocked(ctx, key); err != nil {
 		return err
 	}
-	return v.inner.Drop(key)
+	return v.inner.Drop(ctx, key)
 }
 
 // Keys enumerates live keys only (archived generations are hidden).
-func (v *Versioned) Keys() ([]string, error) {
-	all, err := v.inner.Keys()
+func (v *Versioned) Keys(ctx context.Context) ([]string, error) {
+	all, err := v.inner.Keys(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -146,19 +147,19 @@ func (v *Versioned) Keys() ([]string, error) {
 
 // Stats reports the underlying occupancy (archives included: they do occupy
 // the device).
-func (v *Versioned) Stats() (Stats, error) {
-	return v.inner.Stats()
+func (v *Versioned) Stats(ctx context.Context) (Stats, error) {
+	return v.inner.Stats(ctx)
 }
 
 // Versions lists the archived generation numbers of key, oldest first.
-func (v *Versioned) Versions(key string) ([]int, error) {
+func (v *Versioned) Versions(ctx context.Context, key string) ([]int, error) {
 	v.mu.Lock()
 	defer v.mu.Unlock()
-	return v.versionsLocked(key)
+	return v.versionsLocked(ctx, key)
 }
 
-func (v *Versioned) versionsLocked(key string) ([]int, error) {
-	all, err := v.inner.Keys()
+func (v *Versioned) versionsLocked(ctx context.Context, key string) ([]int, error) {
+	all, err := v.inner.Keys(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -173,20 +174,20 @@ func (v *Versioned) versionsLocked(key string) ([]int, error) {
 }
 
 // GetVersion returns one archived generation of key.
-func (v *Versioned) GetVersion(key string, gen int) ([]byte, error) {
-	return v.inner.Get(versionKey(key, gen))
+func (v *Versioned) GetVersion(ctx context.Context, key string, gen int) ([]byte, error) {
+	return v.inner.Get(ctx, versionKey(key, gen))
 }
 
 // PruneVersions discards every archived generation of key.
-func (v *Versioned) PruneVersions(key string) error {
+func (v *Versioned) PruneVersions(ctx context.Context, key string) error {
 	v.mu.Lock()
 	defer v.mu.Unlock()
-	gens, err := v.versionsLocked(key)
+	gens, err := v.versionsLocked(ctx, key)
 	if err != nil {
 		return err
 	}
 	for _, gen := range gens {
-		if err := v.inner.Drop(versionKey(key, gen)); err != nil {
+		if err := v.inner.Drop(ctx, versionKey(key, gen)); err != nil {
 			return err
 		}
 	}

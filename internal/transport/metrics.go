@@ -1,0 +1,239 @@
+package transport
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"objectswap/internal/store"
+)
+
+// Metrics aggregates transport activity across every decorated device. One
+// Metrics instance is shared by all Resilient decorators of a System; the
+// façade exposes its Snapshot.
+type Metrics struct {
+	mu      sync.Mutex
+	total   counters
+	devices map[string]*counters
+}
+
+type counters struct {
+	Attempts     int64
+	Retries      int64
+	Successes    int64
+	Failures     int64
+	Rejected     int64 // fast-failed while the breaker was open
+	BreakerTrips int64
+	Failovers    int64
+	BytesOut     int64
+	BytesIn      int64
+	OpTime       time.Duration
+	Ops          int64
+	BreakerOpen  bool
+	perOp        map[store.Op]int64
+}
+
+// NewMetrics returns an empty aggregate sink.
+func NewMetrics() *Metrics {
+	return &Metrics{devices: make(map[string]*counters)}
+}
+
+func (m *Metrics) device(name string) *counters {
+	c := m.devices[name]
+	if c == nil {
+		c = &counters{perOp: make(map[store.Op]int64)}
+		m.devices[name] = c
+	}
+	return c
+}
+
+func (m *Metrics) register(name string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.device(name)
+}
+
+func (m *Metrics) attempt(name string, retry bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := m.device(name)
+	c.Attempts++
+	m.total.Attempts++
+	if retry {
+		c.Retries++
+		m.total.Retries++
+	}
+}
+
+func (m *Metrics) success(name string, op store.Op, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := m.device(name)
+	c.Successes++
+	c.Ops++
+	c.OpTime += d
+	c.perOp[op]++
+	m.total.Successes++
+	m.total.Ops++
+	m.total.OpTime += d
+}
+
+func (m *Metrics) failure(name string, op store.Op, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := m.device(name)
+	c.Failures++
+	c.Ops++
+	c.OpTime += d
+	c.perOp[op]++
+	m.total.Failures++
+	m.total.Ops++
+	m.total.OpTime += d
+}
+
+func (m *Metrics) rejected(name string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.device(name).Rejected++
+	m.total.Rejected++
+}
+
+func (m *Metrics) breakerTrip(name string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := m.device(name)
+	c.BreakerTrips++
+	c.BreakerOpen = true
+	m.total.BreakerTrips++
+}
+
+func (m *Metrics) breakerState(name string, open bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.device(name).BreakerOpen = open
+}
+
+// AddFailover records a swap-out shipment that was re-routed off the named
+// failed device.
+func (m *Metrics) AddFailover(name string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.device(name).Failovers++
+	m.total.Failovers++
+}
+
+func (m *Metrics) bytesOut(name string, n int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.device(name).BytesOut += n
+	m.total.BytesOut += n
+}
+
+func (m *Metrics) bytesIn(name string, n int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.device(name).BytesIn += n
+	m.total.BytesIn += n
+}
+
+// DeviceSnapshot is one device's transport counters at a point in time.
+type DeviceSnapshot struct {
+	Attempts     int64
+	Retries      int64
+	Successes    int64
+	Failures     int64
+	Rejected     int64
+	BreakerTrips int64
+	BreakerOpen  bool
+	Failovers    int64
+	BytesOut     int64
+	BytesIn      int64
+	// MeanOpTime averages the wall time of completed operations (retries and
+	// backoff included).
+	MeanOpTime time.Duration
+}
+
+// Snapshot is the aggregate transport view the façade exposes and publishes.
+type Snapshot struct {
+	Attempts     int64
+	Retries      int64
+	Successes    int64
+	Failures     int64
+	Rejected     int64
+	BreakerTrips int64
+	Failovers    int64
+	BytesOut     int64
+	BytesIn      int64
+	MeanOpTime   time.Duration
+	Devices      map[string]DeviceSnapshot
+}
+
+func (c *counters) snapshot() DeviceSnapshot {
+	s := DeviceSnapshot{
+		Attempts:     c.Attempts,
+		Retries:      c.Retries,
+		Successes:    c.Successes,
+		Failures:     c.Failures,
+		Rejected:     c.Rejected,
+		BreakerTrips: c.BreakerTrips,
+		BreakerOpen:  c.BreakerOpen,
+		Failovers:    c.Failovers,
+		BytesOut:     c.BytesOut,
+		BytesIn:      c.BytesIn,
+	}
+	if c.Ops > 0 {
+		s.MeanOpTime = c.OpTime / time.Duration(c.Ops)
+	}
+	return s
+}
+
+// Snapshot copies the current counters.
+func (m *Metrics) Snapshot() Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := Snapshot{
+		Attempts:     m.total.Attempts,
+		Retries:      m.total.Retries,
+		Successes:    m.total.Successes,
+		Failures:     m.total.Failures,
+		Rejected:     m.total.Rejected,
+		BreakerTrips: m.total.BreakerTrips,
+		Failovers:    m.total.Failovers,
+		BytesOut:     m.total.BytesOut,
+		BytesIn:      m.total.BytesIn,
+		Devices:      make(map[string]DeviceSnapshot, len(m.devices)),
+	}
+	if m.total.Ops > 0 {
+		s.MeanOpTime = m.total.OpTime / time.Duration(m.total.Ops)
+	}
+	for name, c := range m.devices {
+		s.Devices[name] = c.snapshot()
+	}
+	return s
+}
+
+// String renders the snapshot for reports.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "transport: %d attempts (%d retries), %d ok / %d failed, %d fast-rejected\n",
+		s.Attempts, s.Retries, s.Successes, s.Failures, s.Rejected)
+	fmt.Fprintf(&b, "transport: %d breaker trips, %d failovers, %d B out / %d B in, mean op %v\n",
+		s.BreakerTrips, s.Failovers, s.BytesOut, s.BytesIn, s.MeanOpTime)
+	names := make([]string, 0, len(s.Devices))
+	for n := range s.Devices {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		d := s.Devices[n]
+		state := "closed"
+		if d.BreakerOpen {
+			state = "OPEN"
+		}
+		fmt.Fprintf(&b, "  %-16s %4d attempts %3d retries %3d fail  breaker %s (%d trips)  %d/%d B out/in\n",
+			n, d.Attempts, d.Retries, d.Failures, state, d.BreakerTrips, d.BytesOut, d.BytesIn)
+	}
+	return b.String()
+}

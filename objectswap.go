@@ -29,6 +29,7 @@
 package objectswap
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -40,6 +41,7 @@ import (
 	"objectswap/internal/policy"
 	"objectswap/internal/replication"
 	"objectswap/internal/store"
+	"objectswap/internal/transport"
 	"objectswap/internal/txn"
 )
 
@@ -54,6 +56,29 @@ type (
 	ClusterInfo = core.ClusterInfo
 	// VictimStrategy orders eviction candidates.
 	VictimStrategy = core.VictimStrategy
+	// SwapOption tunes one SwapOut / SwapIn call (deadline, destination,
+	// failover behavior).
+	SwapOption = core.SwapOption
+	// TransportPolicy bounds the resilience decorator wrapped around every
+	// attached device: per-operation timeouts, retry/backoff, circuit
+	// breaker.
+	TransportPolicy = transport.Policy
+	// TransportSnapshot is the aggregate transport-metrics view.
+	TransportSnapshot = transport.Snapshot
+)
+
+// Swap options, re-exported from the runtime layer.
+var (
+	// WithContext runs the swap under a caller context.
+	WithContext = core.WithContext
+	// WithDeadline bounds the whole swap operation in absolute time.
+	WithDeadline = core.WithDeadline
+	// WithTimeout bounds the whole swap operation relative to now.
+	WithTimeout = core.WithTimeout
+	// WithDevice pins the swap-out destination to a named device.
+	WithDevice = core.WithDevice
+	// WithNoFailover restores fail-fast shipment (no multi-device retry).
+	WithNoFailover = core.WithNoFailover
 )
 
 // Victim strategies, re-exported.
@@ -85,6 +110,11 @@ type Config struct {
 	// DeviceName namespaces this device's storage keys on shared stores
 	// (default: a process-unique name).
 	DeviceName string
+	// Transport tunes the resilience decorator (timeouts, retry/backoff,
+	// circuit breaker) wrapped around every store registered with
+	// AttachDevice. The zero value selects the defaults; see
+	// TransportPolicy. Use AttachDeviceRaw to bypass the decorator.
+	Transport TransportPolicy
 }
 
 // System is the assembled middleware stack of one constrained device.
@@ -97,6 +127,9 @@ type System struct {
 	conn    *devctx.ConnectivityMonitor
 	context *devctx.Context
 	engine  *policy.Engine
+
+	transportPol TransportPolicy
+	metrics      *transport.Metrics
 }
 
 // New assembles a System from cfg.
@@ -131,15 +164,28 @@ func New(cfg Config) (*System, error) {
 		return nil, fmt.Errorf("objectswap: load policies: %w", err)
 	}
 
+	metrics := transport.NewMetrics()
+	// Every failed destination on a swap-out's failover trail counts as one
+	// failover in the transport metrics.
+	bus.Subscribe(event.TopicSwapOut, func(ev event.Event) {
+		if e, ok := ev.Payload.(core.SwapEvent); ok {
+			for _, d := range e.Attempted {
+				metrics.AddFailover(d)
+			}
+		}
+	})
+
 	return &System{
-		heap:    h,
-		rt:      rt,
-		bus:     bus,
-		devices: devices,
-		monitor: devctx.NewMemoryMonitor(h, bus, cfg.MemoryThreshold),
-		conn:    conn,
-		context: ctx,
-		engine:  engine,
+		heap:         h,
+		rt:           rt,
+		bus:          bus,
+		devices:      devices,
+		monitor:      devctx.NewMemoryMonitor(h, bus, cfg.MemoryThreshold),
+		conn:         conn,
+		context:      ctx,
+		engine:       engine,
+		transportPol: cfg.Transport,
+		metrics:      metrics,
 	}, nil
 }
 
@@ -165,13 +211,86 @@ func (s *System) Context() *devctx.Context { return s.context }
 func (s *System) Monitor() *devctx.MemoryMonitor { return s.monitor }
 
 // AttachDevice registers a nearby device able to store swapped XML and marks
-// it reachable.
+// it reachable. The store is wrapped in the transport resilience decorator
+// (per-operation timeouts, bounded retry with backoff, a circuit breaker):
+// breaker transitions feed the connectivity monitor — so the registry stops
+// selecting an unhealthy device — and are published as
+// transport.breaker.open / transport.breaker.close events.
 func (s *System) AttachDevice(name string, st store.Store) error {
+	res := transport.NewResilient(name, st, s.transportPol,
+		transport.WithMetrics(s.metrics),
+		transport.WithBreakerNotify(func(open bool) {
+			s.conn.Set(name, !open)
+			if open {
+				s.bus.Emit(event.TopicBreakerOpen, name)
+			} else {
+				s.bus.Emit(event.TopicBreakerClose, name)
+			}
+		}))
+	if err := s.devices.Add(name, res); err != nil {
+		return err
+	}
+	s.conn.Set(name, true)
+	return nil
+}
+
+// AttachDeviceRaw registers a nearby device without the transport resilience
+// decorator: every store call reaches it directly, and a single failure
+// surfaces to the swap path (which may still fail over across devices).
+func (s *System) AttachDeviceRaw(name string, st store.Store) error {
 	if err := s.devices.Add(name, st); err != nil {
 		return err
 	}
 	s.conn.Set(name, true)
 	return nil
+}
+
+// AttachLegacyDevice registers a third-party context-free store through the
+// store.Legacy adapter, with the full resilience decoration.
+func (s *System) AttachLegacyDevice(name string, st store.ContextFree) error {
+	return s.AttachDevice(name, store.NewLegacy(st))
+}
+
+// TransportSnapshot copies the aggregate transport metrics: attempts,
+// retries, failovers, breaker trips, bytes moved and mean per-operation
+// latency, in total and per device.
+func (s *System) TransportSnapshot() TransportSnapshot {
+	return s.metrics.Snapshot()
+}
+
+// PublishTransportSnapshot emits the current transport metrics on the event
+// bus (topic transport.snapshot) and returns them.
+func (s *System) PublishTransportSnapshot() TransportSnapshot {
+	snap := s.metrics.Snapshot()
+	s.bus.Emit(event.TopicTransportSnapshot, snap)
+	return snap
+}
+
+// ProbeDevices issues one direct health probe (a Stats round-trip through
+// the resilience decorator, past the breaker gate) to every attached device
+// whose circuit breaker is open, and returns the names of the devices that
+// answered. A recovered device's breaker closes, the connectivity monitor
+// marks it reachable, and transport.breaker.close / link.up events fire —
+// so the registry resumes selecting it. Call this on whatever cadence the
+// deployment's link dynamics suggest (or from a policy action); a
+// breaker-open device receives no regular traffic, so nothing else can
+// discover its recovery.
+func (s *System) ProbeDevices(ctx context.Context) []string {
+	var recovered []string
+	for _, name := range s.devices.Names() {
+		st, ok := s.devices.Peek(name)
+		if !ok {
+			continue
+		}
+		res, ok := st.(*transport.Resilient)
+		if !ok || !res.BreakerOpen() {
+			continue
+		}
+		if res.Probe(ctx) == nil {
+			recovered = append(recovered, name)
+		}
+	}
+	return recovered
 }
 
 // SetDeviceAvailable flips a device's reachability (connectivity change).
@@ -242,11 +361,19 @@ func (s *System) AssignedCursor(v heap.Value) (heap.Value, error) {
 	return s.rt.AssignedCursor(v)
 }
 
-// SwapOut detaches a swap-cluster to a nearby device.
-func (s *System) SwapOut(cluster ClusterID) (SwapEvent, error) { return s.rt.SwapOut(cluster) }
+// SwapOut detaches a swap-cluster to a nearby device. With no options the
+// registry selects the destination and failed shipments fail over to the
+// next-best device; WithDeadline bounds the operation, WithDevice pins the
+// destination, WithNoFailover restores fail-fast shipment.
+func (s *System) SwapOut(cluster ClusterID, opts ...SwapOption) (SwapEvent, error) {
+	return s.rt.SwapOut(cluster, opts...)
+}
 
-// SwapIn prefetches a swapped cluster back.
-func (s *System) SwapIn(cluster ClusterID) (SwapEvent, error) { return s.rt.SwapIn(cluster) }
+// SwapIn prefetches a swapped cluster back. WithDeadline / WithContext bound
+// the fetch; a timed-out swap-in leaves the cluster consistently swapped.
+func (s *System) SwapIn(cluster ClusterID, opts ...SwapOption) (SwapEvent, error) {
+	return s.rt.SwapIn(cluster, opts...)
+}
 
 // Collect runs a swapping-integrated garbage collection.
 func (s *System) Collect() heap.CollectStats { return s.rt.Collect() }

@@ -1,6 +1,7 @@
 package objectswap
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -128,7 +129,7 @@ func TestSystemPressurePolicyEndToEnd(t *testing.T) {
 	if len(swaps) == 0 {
 		t.Fatal("pressure policy never swapped")
 	}
-	if keys, _ := dev.Keys(); len(keys) == 0 {
+	if keys, _ := dev.Keys(context.Background()); len(keys) == 0 {
 		t.Fatal("device holds nothing")
 	}
 	// Everything still readable.

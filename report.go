@@ -1,6 +1,7 @@
 package objectswap
 
 import (
+	"context"
 	"fmt"
 	"strings"
 )
@@ -20,8 +21,9 @@ func (s *System) Report() string {
 		fmt.Fprintf(&b, "heap: %d bytes (unlimited), %d objects, %d collections, %d reclaimed\n",
 			st.Used, st.Objects, st.Collections, st.Reclaimed)
 	}
-	fmt.Fprintf(&b, "proxies: %d swap-cluster, %d object-fault; pending drops: %d\n",
-		s.rt.Manager().ProxyCount(), s.rt.Manager().ObjProxyCount(), s.rt.Manager().PendingDrops())
+	fmt.Fprintf(&b, "proxies: %d swap-cluster, %d object-fault; pending drops: %d, abandoned drops: %d\n",
+		s.rt.Manager().ProxyCount(), s.rt.Manager().ObjProxyCount(),
+		s.rt.Manager().PendingDrops(), s.rt.Manager().AbandonedDrops())
 
 	infos := s.Clusters()
 	fmt.Fprintf(&b, "swap-clusters (%d):\n", len(infos))
@@ -46,12 +48,13 @@ func (s *System) Report() string {
 			fmt.Fprintf(&b, "  %-16s unreachable\n", name)
 			continue
 		}
-		stats, err := st.Stats()
+		stats, err := st.Stats(context.Background())
 		if err != nil {
 			fmt.Fprintf(&b, "  %-16s error: %v\n", name, err)
 			continue
 		}
 		fmt.Fprintf(&b, "  %-16s %d shipments, %d bytes used\n", name, stats.Items, stats.Used)
 	}
+	b.WriteString(s.metrics.Snapshot().String())
 	return b.String()
 }

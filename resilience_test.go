@@ -1,0 +1,292 @@
+package objectswap
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"testing"
+
+	"objectswap/internal/event"
+	"objectswap/internal/heap"
+	"objectswap/internal/store"
+)
+
+// buildClusters allocates n single-object clusters on sys, rooted so they
+// survive collection.
+func buildClusters(t *testing.T, sys *System, cls *heap.Class, n int) []ClusterID {
+	t.Helper()
+	clusters := make([]ClusterID, n)
+	for i := range clusters {
+		clusters[i] = sys.NewCluster()
+		o, err := sys.NewObject(cls, clusters[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.SetField(o.RefTo(), "title", heap.Str("x")); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.SetRoot(string(rune('a'+i)), o.RefTo()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return clusters
+}
+
+func TestSystemFailoverBreakerAndMetrics(t *testing.T) {
+	sys, err := New(Config{
+		HeapCapacity: 1 << 20,
+		// One attempt per op, breaker trips on the first failure, no timeout
+		// machinery: the test exercises routing, not waiting.
+		Transport: TransportPolicy{MaxAttempts: 1, BreakerThreshold: 1, OpTimeout: -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flaky := store.NewFlaky(store.NewMem(0), 1)
+	flaky.FailNext(store.OpPut, -1)
+	// "a-bad" sorts first, so with two unlimited stores the registry's
+	// most-free selection tries it first.
+	if err := sys.AttachDevice("a-bad", flaky); err != nil {
+		t.Fatal(err)
+	}
+	good := store.NewMem(0)
+	if err := sys.AttachDevice("b-good", good); err != nil {
+		t.Fatal(err)
+	}
+	cls := sys.MustRegisterClass(taskClass())
+	clusters := buildClusters(t, sys, cls, 2)
+
+	// First swap-out: a-bad rejects the shipment, the swap fails over.
+	ev, err := sys.SwapOut(clusters[0])
+	if err != nil {
+		t.Fatalf("swap-out with failover: %v", err)
+	}
+	if ev.Device != "b-good" || len(ev.Attempted) != 1 || ev.Attempted[0] != "a-bad" {
+		t.Fatalf("event = %+v", ev)
+	}
+
+	snap := sys.TransportSnapshot()
+	if snap.Failovers != 1 {
+		t.Fatalf("failovers = %d", snap.Failovers)
+	}
+	bad := snap.Devices["a-bad"]
+	if bad.BreakerTrips != 1 || !bad.BreakerOpen || bad.Failovers != 1 {
+		t.Fatalf("a-bad snapshot = %+v", bad)
+	}
+	if snap.Devices["b-good"].BytesOut == 0 {
+		t.Fatal("no bytes accounted to the healthy device")
+	}
+
+	// The tripped breaker marked a-bad unreachable, so the second swap-out
+	// routes straight to b-good without a failover hop.
+	putsBefore := flaky.Calls(store.OpPut)
+	ev2, err := sys.SwapOut(clusters[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev2.Device != "b-good" || len(ev2.Attempted) != 0 {
+		t.Fatalf("second event = %+v", ev2)
+	}
+	if flaky.Calls(store.OpPut) != putsBefore {
+		t.Fatal("breaker-open device still received shipments")
+	}
+
+	// Both clusters reload from the healthy device.
+	sys.Collect()
+	for _, c := range clusters {
+		if _, err := sys.SwapIn(c); err != nil {
+			t.Fatalf("swap-in %d: %v", c, err)
+		}
+	}
+}
+
+func TestSystemSwapOptions(t *testing.T) {
+	sys, err := New(Config{HeapCapacity: 1 << 20, Transport: TransportPolicy{MaxAttempts: 1, OpTimeout: -1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flaky := store.NewFlaky(store.NewMem(0), 1)
+	flaky.FailNext(store.OpPut, -1)
+	if err := sys.AttachDevice("a-bad", flaky); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AttachDevice("b-good", store.NewMem(0)); err != nil {
+		t.Fatal(err)
+	}
+	cls := sys.MustRegisterClass(taskClass())
+	clusters := buildClusters(t, sys, cls, 2)
+
+	// WithNoFailover restores fail-fast shipment.
+	if _, err := sys.SwapOut(clusters[0], WithNoFailover()); !errors.Is(err, store.ErrUnavailable) {
+		t.Fatalf("no-failover err = %v", err)
+	}
+
+	// WithDevice pins the destination past the registry's first choice.
+	ev, err := sys.SwapOut(clusters[0], WithDevice("b-good"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Device != "b-good" || len(ev.Attempted) != 0 {
+		t.Fatalf("pinned event = %+v", ev)
+	}
+
+	// WithContext: an already-canceled swap does nothing.
+	cctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sys.SwapOut(clusters[1], WithContext(cctx)); err == nil {
+		t.Fatal("canceled swap-out succeeded")
+	}
+}
+
+func TestPublishTransportSnapshot(t *testing.T) {
+	sys, err := New(Config{HeapCapacity: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AttachDevice("desktop", store.NewMem(0)); err != nil {
+		t.Fatal(err)
+	}
+
+	var published []TransportSnapshot
+	sys.Bus().Subscribe(event.TopicTransportSnapshot, func(ev event.Event) {
+		if s, ok := ev.Payload.(TransportSnapshot); ok {
+			published = append(published, s)
+		}
+	})
+
+	snap := sys.PublishTransportSnapshot()
+	if len(published) != 1 {
+		t.Fatalf("published %d snapshots", len(published))
+	}
+	if published[0].Attempts != snap.Attempts {
+		t.Fatal("published snapshot differs from the returned one")
+	}
+	if _, ok := snap.Devices["desktop"]; !ok {
+		t.Fatalf("snapshot devices = %v", snap.Devices)
+	}
+}
+
+// mapStore is a minimal third-party store that predates the context API.
+type mapStore struct{ m map[string][]byte }
+
+func (s *mapStore) Put(key string, data []byte) error {
+	s.m[key] = append([]byte(nil), data...)
+	return nil
+}
+
+func (s *mapStore) Get(key string) ([]byte, error) {
+	d, ok := s.m[key]
+	if !ok {
+		return nil, store.ErrNotFound
+	}
+	return d, nil
+}
+
+func (s *mapStore) Drop(key string) error {
+	if _, ok := s.m[key]; !ok {
+		return store.ErrNotFound
+	}
+	delete(s.m, key)
+	return nil
+}
+
+func (s *mapStore) Keys() ([]string, error) {
+	keys := make([]string, 0, len(s.m))
+	for k := range s.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+func (s *mapStore) Stats() (store.Stats, error) {
+	var used int64
+	for _, d := range s.m {
+		used += int64(len(d))
+	}
+	return store.Stats{Items: len(s.m), Used: used}, nil
+}
+
+func TestAttachLegacyDevice(t *testing.T) {
+	sys, err := New(Config{HeapCapacity: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy := &mapStore{m: make(map[string][]byte)}
+	if err := sys.AttachLegacyDevice("old-pda", legacy); err != nil {
+		t.Fatal(err)
+	}
+	cls := sys.MustRegisterClass(taskClass())
+	clusters := buildClusters(t, sys, cls, 1)
+
+	ev, err := sys.SwapOut(clusters[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Device != "old-pda" {
+		t.Fatalf("shipped to %q", ev.Device)
+	}
+	if _, ok := legacy.m[ev.Key]; !ok {
+		t.Fatal("payload never reached the legacy store")
+	}
+	if _, err := sys.SwapIn(clusters[0]); err != nil {
+		t.Fatal(err)
+	}
+	if len(legacy.m) != 0 {
+		t.Fatal("stale copy left on the legacy store after reload")
+	}
+}
+
+func TestProbeDevicesRecoversBreakerOpenDevice(t *testing.T) {
+	sys, err := New(Config{
+		HeapCapacity: 1 << 20,
+		Transport:    TransportPolicy{MaxAttempts: 1, BreakerThreshold: 1, OpTimeout: -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := store.NewFlaky(store.NewMem(0), 1)
+	dead.FailNext(store.OpPut, -1)
+	dead.FailNext(store.OpStats, -1) // the whole link is down
+	if err := sys.AttachDevice("a-dead", dead); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AttachDevice("b-good", store.NewMem(0)); err != nil {
+		t.Fatal(err)
+	}
+	cls := sys.MustRegisterClass(taskClass())
+	clusters := buildClusters(t, sys, cls, 2)
+
+	// The selection probe trips a-dead's breaker; the swap lands on b-good
+	// without a Put ever reaching the dead device.
+	if _, err := sys.SwapOut(clusters[0]); err != nil {
+		t.Fatal(err)
+	}
+	if !sys.TransportSnapshot().Devices["a-dead"].BreakerOpen {
+		t.Fatal("breaker not open after failed selection probe")
+	}
+
+	// While the device is down, probing reports nothing recovered.
+	if got := sys.ProbeDevices(context.Background()); len(got) != 0 {
+		t.Fatalf("probe of dead device recovered %v", got)
+	}
+
+	// The link comes back: one sweep closes the breaker and restores the
+	// device to selection.
+	dead.FailNext(store.OpPut, 0)
+	dead.FailNext(store.OpStats, 0)
+	got := sys.ProbeDevices(context.Background())
+	if len(got) != 1 || got[0] != "a-dead" {
+		t.Fatalf("recovered = %v", got)
+	}
+	if sys.TransportSnapshot().Devices["a-dead"].BreakerOpen {
+		t.Fatal("breaker still open after recovery sweep")
+	}
+	ev, err := sys.SwapOut(clusters[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Device != "a-dead" {
+		t.Fatalf("recovered device not selected again (shipped to %q)", ev.Device)
+	}
+}
