@@ -90,7 +90,7 @@ func (rt *Runtime) SaveCheckpoint(w io.Writer) error {
 	if rt.depth != 0 {
 		return errors.New("core: checkpoint with in-flight invocations")
 	}
-	doc := ckptDoc{Version: checkpointVersion, Device: rt.name, KeySeq: rt.keyseq}
+	doc := ckptDoc{Version: checkpointVersion, Device: rt.name, KeySeq: rt.keyseq.Load()}
 
 	rt.mgr.mu.Lock()
 	clusterIDs := make([]ClusterID, 0, len(rt.mgr.clusters))
@@ -258,7 +258,7 @@ func (rt *Runtime) LoadCheckpoint(r io.Reader) error {
 		return fmt.Errorf("%w: version %d", ErrBadCheckpoint, doc.Version)
 	}
 	rt.name = doc.Device
-	rt.keyseq = doc.KeySeq
+	rt.keyseq.Store(doc.KeySeq)
 	// Restoration is not user mutation.
 	defer rt.h.SuspendWriteObserver()()
 	rt.h.EnsureIDAbove(heap.ObjID(doc.MaxID))

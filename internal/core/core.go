@@ -29,6 +29,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"objectswap/internal/event"
@@ -87,6 +88,9 @@ var (
 	// ErrNotProxy reports an Assign call on something that is not a
 	// swap-cluster-proxy reference.
 	ErrNotProxy = errors.New("core: not a swap-cluster-proxy reference")
+	// ErrClusterBusy reports a swap operation on a cluster whose swap-out or
+	// swap-in is already in flight on another goroutine.
+	ErrClusterBusy = errors.New("core: cluster swap in progress")
 )
 
 // StoreProvider selects and resolves nearby swapping devices. It is
@@ -143,10 +147,23 @@ type Runtime struct {
 	stack []heap.ObjID
 	depth int
 
+	// swapMu serializes graph mutation: swap-out snapshot/reserve and
+	// commit/patch phases, swap-in install/patch, cluster resize, and the
+	// collector's mark-sweep. The expensive middle phases — encoding, device
+	// shipment, fetch and XML decode — run outside it, which is what lets
+	// SwapOutMany overlap the encoding of one cluster with the shipment of
+	// another. Lock order: swapMu, then mgr.mu, then h.mu.
+	swapMu sync.Mutex
+	// mutating is set while the holder of swapMu is inside a critical section
+	// that may allocate (swap-in install). Allocation failures then report
+	// ErrOutOfMemory instead of re-entering the evictor, whose swap-outs would
+	// deadlock on swapMu.
+	mutating atomic.Bool
+
 	keepOnReload bool
 	name         string
-	keyseq       uint64
-	evicting     bool
+	keyseq       atomic.Uint64
+	evicting     atomic.Bool
 
 	replacementClass *heap.Class
 	objProxyClass    *heap.Class
@@ -286,7 +303,8 @@ func (rt *Runtime) allocMiddleware(c *heap.Class) (*heap.Object, error) {
 
 func (rt *Runtime) allocWith(allocFn func(*heap.Class) (*heap.Object, error), c *heap.Class) (*heap.Object, error) {
 	o, err := allocFn(c)
-	if err == nil || !errors.Is(err, heap.ErrOutOfMemory) || rt.evictor == nil || rt.evicting {
+	if err == nil || !errors.Is(err, heap.ErrOutOfMemory) || rt.evictor == nil ||
+		rt.evicting.Load() || rt.mutating.Load() {
 		return o, err
 	}
 	need := int64(64 + 16*c.NumFields())
@@ -298,11 +316,10 @@ func (rt *Runtime) allocWith(allocFn func(*heap.Class) (*heap.Object, error), c 
 
 // runEvictor invokes the evictor hook under the re-entrancy guard.
 func (rt *Runtime) runEvictor(need int64) error {
-	if rt.evicting {
+	if !rt.evicting.CompareAndSwap(false, true) {
 		return errors.New("core: eviction already in progress")
 	}
-	rt.evicting = true
-	defer func() { rt.evicting = false }()
+	defer rt.evicting.Store(false)
 	return rt.evictor(need)
 }
 
@@ -357,6 +374,5 @@ func (rt *Runtime) Name() string { return rt.name }
 // nextKey builds a storage key for a swap-out, unique across the devices
 // sharing a store (device name + cluster + generation).
 func (rt *Runtime) nextKey(cluster ClusterID) string {
-	rt.keyseq++
-	return fmt.Sprintf("%s-swapcluster-%d-gen%d", rt.name, cluster, rt.keyseq)
+	return fmt.Sprintf("%s-swapcluster-%d-gen%d", rt.name, cluster, rt.keyseq.Add(1))
 }

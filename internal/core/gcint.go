@@ -22,9 +22,17 @@ import (
 //
 // In-flight invocation operands (the middleware's stand-in for thread stacks)
 // are passed to the collector as extra roots.
+//
+// The mark-sweep and the swapped-cluster sweep run under the runtime's swap
+// lock: a collection never interleaves with the reserve/commit phases of a
+// concurrent swap-out or swap-in (in particular, freshly installed objects
+// cannot lose their nursery grace before the inbound proxies that make them
+// reachable are patched). Device-drop retries run unlocked — they are IO.
 func (rt *Runtime) Collect() heap.CollectStats {
+	rt.swapMu.Lock()
 	st := rt.h.Collect(rt.stack...)
 	rt.sweepSwapped()
+	rt.swapMu.Unlock()
 	rt.mgr.compact()
 	rt.mgr.retryDrops(rt)
 	return st
@@ -43,8 +51,8 @@ func (rt *Runtime) sweepSwapped() {
 
 	rt.mgr.mu.Lock()
 	for id, cs := range rt.mgr.clusters {
-		if !cs.swapped {
-			continue
+		if !cs.swapped || cs.busy {
+			continue // busy: a swap-in holds a pin on the replacement
 		}
 		if rt.h.Contains(cs.replacement) {
 			continue

@@ -26,6 +26,12 @@ type clusterState struct {
 	crossings  uint64
 	lastAccess uint64
 
+	// busy marks a swap-out or swap-in in flight on this cluster: the state
+	// transition has been reserved but not committed. Busy clusters are
+	// skipped by victim selection, refused by SwapOut/SwapIn, and left alone
+	// by sweepSwapped until the transition settles.
+	busy bool
+
 	// Swapped-out state.
 	swapped      bool
 	replacement  heap.ObjID
@@ -311,6 +317,8 @@ type ClusterInfo struct {
 	Objects       int
 	ResidentBytes int64
 	Swapped       bool
+	// Busy reports a swap transition in flight on another goroutine.
+	Busy bool
 	Device        string
 	Key           string
 	PayloadBytes  int
@@ -352,6 +360,7 @@ func (m *Manager) infoLocked(cs *clusterState) ClusterInfo {
 		ID:           cs.id,
 		Objects:      len(cs.objects),
 		Swapped:      cs.swapped,
+		Busy:         cs.busy,
 		Device:       cs.device,
 		Key:          cs.key,
 		PayloadBytes: cs.payloadBytes,
@@ -435,7 +444,7 @@ func (m *Manager) SelectVictim(strategy VictimStrategy) (ClusterID, bool) {
 	}
 	for i := range infos {
 		info := &infos[i]
-		if info.ID == RootCluster || info.Swapped || info.Objects == 0 {
+		if info.ID == RootCluster || info.Swapped || info.Busy || info.Objects == 0 {
 			continue
 		}
 		if best == nil || better(info, best) {

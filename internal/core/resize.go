@@ -29,6 +29,15 @@ func (rt *Runtime) MergeClusters(dst, src ClusterID) error {
 		return fmt.Errorf("core: merge: src and dst are both cluster %d", src)
 	}
 
+	// Resizing rewrites membership and member fields; it is a graph mutation
+	// and must not interleave with concurrent swaps or collections. The
+	// mutating flag keeps proxy allocations made during re-mediation from
+	// re-entering the evictor (whose swap-outs would deadlock on swapMu).
+	rt.swapMu.Lock()
+	defer rt.swapMu.Unlock()
+	rt.mutating.Store(true)
+	defer rt.mutating.Store(false)
+
 	rt.mgr.mu.Lock()
 	ds, err := rt.mgr.state(dst)
 	if err != nil {
@@ -43,6 +52,10 @@ func (rt *Runtime) MergeClusters(dst, src ClusterID) error {
 	if ds.swapped || ss.swapped {
 		rt.mgr.mu.Unlock()
 		return fmt.Errorf("%w: merge requires both clusters resident", ErrClusterSwapped)
+	}
+	if ds.busy || ss.busy {
+		rt.mgr.mu.Unlock()
+		return fmt.Errorf("%w: merge of clusters %d/%d", ErrClusterBusy, dst, src)
 	}
 	moved := make(map[heap.ObjID]bool, len(ss.objects))
 	for oid := range ss.objects {
@@ -117,6 +130,12 @@ func (rt *Runtime) SplitCluster(src ClusterID, members []heap.ObjID) (ClusterID,
 		return 0, fmt.Errorf("%w: empty split set", ErrClusterEmpty)
 	}
 
+	// See MergeClusters: resizing is a serialized graph mutation.
+	rt.swapMu.Lock()
+	defer rt.swapMu.Unlock()
+	rt.mutating.Store(true)
+	defer rt.mutating.Store(false)
+
 	rt.mgr.mu.Lock()
 	ss, err := rt.mgr.state(src)
 	if err != nil {
@@ -126,6 +145,10 @@ func (rt *Runtime) SplitCluster(src ClusterID, members []heap.ObjID) (ClusterID,
 	if ss.swapped {
 		rt.mgr.mu.Unlock()
 		return 0, fmt.Errorf("%w: cluster %d", ErrClusterSwapped, src)
+	}
+	if ss.busy {
+		rt.mgr.mu.Unlock()
+		return 0, fmt.Errorf("%w: cluster %d", ErrClusterBusy, src)
 	}
 	for _, oid := range members {
 		if !ss.objects[oid] {

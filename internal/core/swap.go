@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"objectswap/internal/event"
 	"objectswap/internal/heap"
@@ -35,8 +36,14 @@ import (
 // operation (WithDeadline), pin the destination (WithDevice) or restore the
 // fail-fast behavior (WithNoFailover).
 //
+// SwapOut is safe to call concurrently for distinct clusters: the snapshot
+// and commit phases are serialized under the runtime's swap lock, while
+// encoding and shipment — the expensive parts — run outside it, overlapping
+// across clusters. A cluster whose swap is already in flight elsewhere
+// reports ErrClusterBusy.
+//
 // It returns the SwapEvent describing the shipment.
-func (rt *Runtime) SwapOut(id ClusterID, opts ...SwapOption) (SwapEvent, error) {
+func (rt *Runtime) SwapOut(id ClusterID, opts ...SwapOption) (ev SwapEvent, retErr error) {
 	o, ctx, cancel := resolveSwapOpts(opts)
 	defer cancel()
 	if id == RootCluster {
@@ -46,36 +53,26 @@ func (rt *Runtime) SwapOut(id ClusterID, opts ...SwapOption) (SwapEvent, error) 
 		return SwapEvent{}, ErrNoStores
 	}
 
-	rt.mgr.mu.Lock()
-	cs, err := rt.mgr.state(id)
+	// Phase 1 — exclusive: validate the cluster and reserve it (busy) so no
+	// concurrent swap, victim selection or sweep touches it mid-flight.
+	rt.swapMu.Lock()
+	memberIDs, members, err := rt.beginSwapOut(id)
+	rt.swapMu.Unlock()
 	if err != nil {
-		rt.mgr.mu.Unlock()
 		return SwapEvent{}, err
 	}
-	if cs.swapped {
-		rt.mgr.mu.Unlock()
-		return SwapEvent{}, fmt.Errorf("%w: cluster %d", ErrClusterSwapped, id)
-	}
-	if len(cs.objects) == 0 {
-		rt.mgr.mu.Unlock()
-		return SwapEvent{}, fmt.Errorf("%w: %d", ErrClusterEmpty, id)
-	}
-	members := make(map[heap.ObjID]bool, len(cs.objects))
-	memberIDs := make([]heap.ObjID, 0, len(cs.objects))
-	for oid := range cs.objects {
-		members[oid] = true
-		memberIDs = append(memberIDs, oid)
-	}
-	rt.mgr.mu.Unlock()
-	sort.Slice(memberIDs, func(i, j int) bool { return memberIDs[i] < memberIDs[j] })
+	committed := false
+	defer func() {
+		if !committed {
+			rt.setBusy(id, false)
+		}
+	}()
 
-	// Refuse to detach a cluster with in-flight invocations: its objects are
-	// live on the stack and would collide with a later reload.
-	if err := rt.checkInactive(id, members); err != nil {
-		return SwapEvent{}, err
-	}
-
-	// Collect the member objects; every one must be resident.
+	// Phase 2 — concurrent: snapshot, classify and encode. Member fields are
+	// stable here: the application thread is the caller (or blocked behind the
+	// eviction that called us), concurrent swap commits only touch proxy
+	// $target fields and other clusters' objects, and the reserved busy state
+	// keeps this cluster out of every other transition.
 	objs := make([]*heap.Object, 0, len(memberIDs))
 	var residentBytes int64
 	for _, oid := range memberIDs {
@@ -157,14 +154,18 @@ func (rt *Runtime) SwapOut(id ClusterID, opts ...SwapOption) (SwapEvent, error) 
 	if err != nil {
 		return SwapEvent{}, fmt.Errorf("core: wrap cluster %d: %w", id, err)
 	}
-	data, err := doc.Encode()
+	buf, err := doc.EncodeBuffer()
 	if err != nil {
 		return SwapEvent{}, fmt.Errorf("core: wrap cluster %d: %w", id, err)
 	}
+	defer buf.Release()
+	payloadBytes := buf.Len()
 
-	// Create the replacement-object and anchor it against collection until
-	// the inbound proxies reference it. The destination device is recorded
-	// after the shipment lands (failover may move it).
+	// Phase 3 — concurrent: replacement-object and shipment. The replacement
+	// is fresh and unpublished, so its field writes race with nothing; it is
+	// anchored against collection until the inbound proxies reference it. The
+	// destination device is recorded after the shipment lands (failover may
+	// move it).
 	repl, err := rt.allocMiddleware(rt.replacementClass)
 	if err != nil {
 		return SwapEvent{}, fmt.Errorf("core: replacement for cluster %d: %w", id, err)
@@ -185,40 +186,109 @@ func (rt *Runtime) SwapOut(id ClusterID, opts ...SwapOption) (SwapEvent, error) 
 	// selected device rejects the shipment, fail over to the next-best
 	// candidate; the key is device-independent, so the payload lands
 	// unchanged wherever it is accepted.
-	device, attempted, err := rt.ship(ctx, o, id, key, data)
+	device, attempted, err := rt.ship(ctx, o, id, key, buf.Bytes())
 	if err != nil {
 		_ = rt.h.Remove(repl.ID())
 		return SwapEvent{}, err
 	}
-	if err := repl.SetFieldByName(fldStore, heap.Str(device)); err != nil {
+
+	// Phase 4 — exclusive: detach the cluster from the application graph.
+	rt.swapMu.Lock()
+	err = rt.commitSwapOut(id, repl, device, key, payloadBytes, residentBytes)
+	rt.swapMu.Unlock()
+	if err != nil {
 		return SwapEvent{}, err
 	}
+	committed = true
 
-	// Patch every inbound proxy to the replacement-object.
+	ev = SwapEvent{Cluster: id, Device: device, Key: key, Objects: len(objs),
+		Bytes: payloadBytes, Attempted: attempted}
+	rt.emit(event.TopicSwapOut, ev)
+	return ev, nil
+}
+
+// beginSwapOut validates and reserves a cluster for swap-out. Caller holds
+// swapMu.
+func (rt *Runtime) beginSwapOut(id ClusterID) ([]heap.ObjID, map[heap.ObjID]bool, error) {
+	rt.mgr.mu.Lock()
+	cs, err := rt.mgr.state(id)
+	if err != nil {
+		rt.mgr.mu.Unlock()
+		return nil, nil, err
+	}
+	if cs.busy {
+		rt.mgr.mu.Unlock()
+		return nil, nil, fmt.Errorf("%w: cluster %d", ErrClusterBusy, id)
+	}
+	if cs.swapped {
+		rt.mgr.mu.Unlock()
+		return nil, nil, fmt.Errorf("%w: cluster %d", ErrClusterSwapped, id)
+	}
+	if len(cs.objects) == 0 {
+		rt.mgr.mu.Unlock()
+		return nil, nil, fmt.Errorf("%w: %d", ErrClusterEmpty, id)
+	}
+	members := make(map[heap.ObjID]bool, len(cs.objects))
+	memberIDs := make([]heap.ObjID, 0, len(cs.objects))
+	for oid := range cs.objects {
+		members[oid] = true
+		memberIDs = append(memberIDs, oid)
+	}
+	cs.busy = true
+	rt.mgr.mu.Unlock()
+	sort.Slice(memberIDs, func(i, j int) bool { return memberIDs[i] < memberIDs[j] })
+
+	// Refuse to detach a cluster with in-flight invocations: its objects are
+	// live on the stack and would collide with a later reload.
+	if err := rt.checkInactive(id, members); err != nil {
+		rt.setBusy(id, false)
+		return nil, nil, err
+	}
+	return memberIDs, members, nil
+}
+
+// commitSwapOut publishes a shipped cluster's swapped state: the stored
+// device is recorded on the replacement, every inbound proxy is re-targeted
+// at it, and the manager record flips to swapped. Caller holds swapMu.
+func (rt *Runtime) commitSwapOut(id ClusterID, repl *heap.Object, device, key string, payloadBytes int, residentBytes int64) error {
+	if err := repl.SetFieldByName(fldStore, heap.Str(device)); err != nil {
+		return err
+	}
 	for _, pid := range rt.mgr.inboundProxies(id) {
 		p, err := rt.h.Get(pid)
 		if err != nil {
 			continue // collected since snapshot; finalizer will purge
 		}
 		if err := p.SetFieldByName(fldTarget, repl.RefTo()); err != nil {
-			return SwapEvent{}, fmt.Errorf("core: patch inbound proxy @%d: %w", pid, err)
+			return fmt.Errorf("core: patch inbound proxy @%d: %w", pid, err)
 		}
 	}
 
 	rt.mgr.mu.Lock()
+	cs, err := rt.mgr.state(id)
+	if err != nil {
+		rt.mgr.mu.Unlock()
+		return err
+	}
 	cs.swapped = true
+	cs.busy = false
 	cs.replacement = repl.ID()
 	cs.device = device
 	cs.key = key
-	cs.payloadBytes = len(data)
+	cs.payloadBytes = payloadBytes
 	cs.bytesAtSwap = residentBytes
 	cs.swapOuts++
 	rt.mgr.mu.Unlock()
+	return nil
+}
 
-	ev := SwapEvent{Cluster: id, Device: device, Key: key, Objects: len(objs),
-		Bytes: len(data), Attempted: attempted}
-	rt.emit(event.TopicSwapOut, ev)
-	return ev, nil
+// setBusy clears (or sets) a cluster's in-flight reservation.
+func (rt *Runtime) setBusy(id ClusterID, busy bool) {
+	rt.mgr.mu.Lock()
+	if cs, ok := rt.mgr.clusters[id]; ok {
+		cs.busy = busy
+	}
+	rt.mgr.mu.Unlock()
 }
 
 // ship moves a wrapped cluster to a device, failing over across registry
@@ -280,26 +350,48 @@ func (rt *Runtime) checkInactive(id ClusterID, members map[heap.ObjID]bool) erro
 // (or a reconnecting device) can still reload it. Destination options
 // (WithDevice, WithNoFailover) do not apply — a swapped cluster lives where
 // it was shipped.
-func (rt *Runtime) SwapIn(id ClusterID, opts ...SwapOption) (SwapEvent, error) {
+// Like SwapOut, SwapIn may run concurrently for distinct clusters: the fetch
+// and decode overlap freely, and only the install/re-patch phase is
+// serialized under the swap lock. A cluster mid-transition elsewhere reports
+// ErrClusterBusy.
+func (rt *Runtime) SwapIn(id ClusterID, opts ...SwapOption) (ev SwapEvent, retErr error) {
 	_, ctx, cancel := resolveSwapOpts(opts)
 	defer cancel()
 	if rt.stores == nil {
 		return SwapEvent{}, ErrNoStores
 	}
+
+	// Phase 1 — exclusive: validate and reserve.
+	rt.swapMu.Lock()
 	rt.mgr.mu.Lock()
 	cs, err := rt.mgr.state(id)
 	if err != nil {
 		rt.mgr.mu.Unlock()
+		rt.swapMu.Unlock()
 		return SwapEvent{}, err
+	}
+	if cs.busy {
+		rt.mgr.mu.Unlock()
+		rt.swapMu.Unlock()
+		return SwapEvent{}, fmt.Errorf("%w: cluster %d", ErrClusterBusy, id)
 	}
 	if !cs.swapped {
 		rt.mgr.mu.Unlock()
+		rt.swapMu.Unlock()
 		return SwapEvent{}, fmt.Errorf("%w: cluster %d", ErrClusterLoaded, id)
 	}
+	cs.busy = true
 	device, key := cs.device, cs.key
 	replID := cs.replacement
 	needBytes := cs.bytesAtSwap
 	rt.mgr.mu.Unlock()
+	rt.swapMu.Unlock()
+	committed := false
+	defer func() {
+		if !committed {
+			rt.setBusy(id, false)
+		}
+	}()
 
 	repl, err := rt.h.Get(replID)
 	if err != nil {
@@ -309,6 +401,7 @@ func (rt *Runtime) SwapIn(id ClusterID, opts ...SwapOption) (SwapEvent, error) {
 	rt.h.Pin(replID)
 	defer rt.h.Unpin(replID)
 
+	// Phase 2 — concurrent: fetch and decode the shipment.
 	s, err := rt.stores.Lookup(device)
 	if err != nil {
 		return SwapEvent{}, fmt.Errorf("core: swap-in cluster %d: %w", id, err)
@@ -328,7 +421,8 @@ func (rt *Runtime) SwapIn(id ClusterID, opts ...SwapOption) (SwapEvent, error) {
 	// Make room before installing, if we can tell it is needed. Demand a
 	// little headroom beyond the payload: the reload path itself allocates
 	// middleware objects (proxies for un-replicated edges, patched state).
-	if cap := rt.h.Capacity(); cap > 0 && rt.evictor != nil && !rt.evicting {
+	// This runs outside the swap lock — the evictor's own swap-outs take it.
+	if cap := rt.h.Capacity(); cap > 0 && rt.evictor != nil && !rt.evicting.Load() {
 		const reloadSlack = 512
 		appLimit := cap - rt.h.Reserve()
 		if free := appLimit - rt.h.Used(); free < needBytes+reloadSlack {
@@ -338,14 +432,44 @@ func (rt *Runtime) SwapIn(id ClusterID, opts ...SwapOption) (SwapEvent, error) {
 		}
 	}
 
-	// Resolve replacement slots back to the retained outbound proxies.
-	outboundVal, err := repl.FieldByName(fldOut)
+	// Phase 3 — exclusive: vacate stale identities, install, re-patch and
+	// publish, all in one critical section so no collection can run between
+	// installation (nursery-fresh objects) and the proxy patches that make
+	// them reachable.
+	rt.swapMu.Lock()
+	rt.mutating.Store(true)
+	installed, payload, err := rt.commitSwapIn(id, cs, repl, doc)
+	rt.mutating.Store(false)
+	rt.swapMu.Unlock()
 	if err != nil {
 		return SwapEvent{}, err
 	}
+	committed = true
+
+	// The device's copy is stale once the cluster is live again.
+	if !rt.keepOnReload {
+		if err := s.Drop(ctx, key); err != nil {
+			rt.mgr.deferDrop(device, key, id)
+		}
+	}
+
+	ev = SwapEvent{Cluster: id, Device: device, Key: key, Objects: installed, Bytes: payload}
+	rt.emit(event.TopicSwapIn, ev)
+	return ev, nil
+}
+
+// commitSwapIn reinstalls a fetched cluster and flips its record to loaded.
+// Caller holds swapMu and has set the mutating flag (installation allocates;
+// an allocation failure here must not re-enter the evictor).
+func (rt *Runtime) commitSwapIn(id ClusterID, cs *clusterState, repl *heap.Object, doc *xmlcodec.Doc) (int, int, error) {
+	// Resolve replacement slots back to the retained outbound proxies.
+	outboundVal, err := repl.FieldByName(fldOut)
+	if err != nil {
+		return 0, 0, err
+	}
 	outbound, err := outboundVal.List()
 	if err != nil {
-		return SwapEvent{}, err
+		return 0, 0, err
 	}
 	decodeRef := func(v xmlcodec.Value) (heap.Value, error) {
 		switch v.RefClass {
@@ -389,7 +513,7 @@ func (rt *Runtime) SwapIn(id ClusterID, opts ...SwapOption) (SwapEvent, error) {
 		for _, o := range installed {
 			_ = rt.h.Remove(o.ID())
 		}
-		return SwapEvent{}, fmt.Errorf("core: install cluster %d: %w", id, err)
+		return 0, 0, fmt.Errorf("core: install cluster %d: %w", id, err)
 	}
 	resumeObserver()
 
@@ -400,12 +524,13 @@ func (rt *Runtime) SwapIn(id ClusterID, opts ...SwapOption) (SwapEvent, error) {
 			continue
 		}
 		if err := p.SetFieldByName(fldTarget, heap.Ref(proxyUltimate(p))); err != nil {
-			return SwapEvent{}, fmt.Errorf("core: re-patch inbound proxy @%d: %w", pid, err)
+			return 0, 0, fmt.Errorf("core: re-patch inbound proxy @%d: %w", pid, err)
 		}
 	}
 
 	rt.mgr.mu.Lock()
 	cs.swapped = false
+	cs.busy = false
 	cs.replacement = heap.NilID
 	cs.device = ""
 	cs.key = ""
@@ -414,17 +539,7 @@ func (rt *Runtime) SwapIn(id ClusterID, opts ...SwapOption) (SwapEvent, error) {
 	cs.bytesAtSwap = 0
 	cs.swapIns++
 	rt.mgr.mu.Unlock()
-
-	// The device's copy is stale once the cluster is live again.
-	if !rt.keepOnReload {
-		if err := s.Drop(ctx, key); err != nil {
-			rt.mgr.deferDrop(device, key, id)
-		}
-	}
-
-	ev := SwapEvent{Cluster: id, Device: device, Key: key, Objects: len(installed), Bytes: payload}
-	rt.emit(event.TopicSwapIn, ev)
-	return ev, nil
+	return len(installed), payload, nil
 }
 
 // EvictColdest is a ready-made evictor: it first runs a collection (garbage
@@ -442,11 +557,39 @@ func (rt *Runtime) Evictor(strategy VictimStrategy) func(need int64) error {
 	return func(need int64) error { return rt.EvictBy(strategy, need) }
 }
 
+// EvictorWith returns an evictor hook bound to the given options (strategy
+// and parallelism), suitable for SetEvictor.
+func (rt *Runtime) EvictorWith(o EvictOptions) func(need int64) error {
+	return func(need int64) error { return rt.EvictWith(o, need) }
+}
+
 // EvictBy frees at least need bytes: collect first, then swap out victims in
 // strategy order, reclaiming after each swap. Progress is measured against
 // actual heap occupancy, so middleware allocations made by the eviction
 // itself (replacement-objects, proxies) are accounted honestly.
 func (rt *Runtime) EvictBy(strategy VictimStrategy, need int64) error {
+	return rt.EvictWith(EvictOptions{Strategy: strategy}, need)
+}
+
+// EvictOptions tunes an eviction pass.
+type EvictOptions struct {
+	// Strategy orders the victim candidates (default VictimColdest).
+	Strategy VictimStrategy
+	// Parallelism > 1 swaps out up to that many victims concurrently per
+	// batch, overlapping cluster encoding with device shipment. 0 or 1 keeps
+	// the sequential one-victim-then-collect behavior.
+	Parallelism int
+}
+
+// EvictWith frees at least need bytes under the given options. Victims are
+// ranked once per pass and walked in order — skipping clusters that turn out
+// to be active, busy, emptied or already swapped — rather than re-ranking the
+// whole manager state after every single swap-out; a fresh ranking happens
+// only when the list is exhausted and the target is still unmet.
+func (rt *Runtime) EvictWith(o EvictOptions, need int64) error {
+	if o.Strategy == 0 {
+		o.Strategy = VictimColdest
+	}
 	target := rt.h.Used() - need
 	// Collections age the nursery (host-reference grace); a couple of extra
 	// cycles can satisfy the request from garbage alone.
@@ -454,21 +597,40 @@ func (rt *Runtime) EvictBy(strategy VictimStrategy, need int64) error {
 		rt.Collect()
 	}
 	for rt.h.Used() > target {
-		victims := rt.mgr.SelectVictims(strategy)
+		victims := rt.mgr.SelectVictims(o.Strategy)
 		if len(victims) == 0 {
 			return errors.New("core: nothing left to evict")
 		}
 		progressed := false
-		for _, v := range victims {
-			if _, err := rt.SwapOut(v); err != nil {
-				if errors.Is(err, ErrClusterActive) {
-					continue // try the next victim
+		if o.Parallelism > 1 {
+			for start := 0; start < len(victims) && rt.h.Used() > target; start += o.Parallelism {
+				end := start + o.Parallelism
+				if end > len(victims) {
+					end = len(victims)
 				}
-				return err
+				evs, err := rt.SwapOutMany(victims[start:end], o.Parallelism)
+				if err != nil {
+					return err
+				}
+				if len(evs) > 0 {
+					progressed = true
+					rt.Collect()
+				}
 			}
-			rt.Collect()
-			progressed = true
-			break
+		} else {
+			for _, v := range victims {
+				if _, err := rt.SwapOut(v); err != nil {
+					if skippableVictimErr(err) {
+						continue // try the next victim
+					}
+					return err
+				}
+				progressed = true
+				rt.Collect()
+				if rt.h.Used() <= target {
+					break
+				}
+			}
 		}
 		if !progressed {
 			return errors.New("core: all eviction candidates are active")
@@ -477,13 +639,72 @@ func (rt *Runtime) EvictBy(strategy VictimStrategy, need int64) error {
 	return nil
 }
 
+// skippableVictimErr reports errors that disqualify one victim without
+// failing the whole eviction: the cluster is in use, mid-transition on
+// another goroutine, or no longer holds anything to swap.
+func skippableVictimErr(err error) bool {
+	return errors.Is(err, ErrClusterActive) || errors.Is(err, ErrClusterBusy) ||
+		errors.Is(err, ErrClusterSwapped) || errors.Is(err, ErrClusterEmpty)
+}
+
+// SwapOutMany swaps out the given clusters through a bounded worker pool of
+// the given width. Each worker snapshots and encodes its victim, then ships
+// it; because only the snapshot and commit phases serialize, the encode of
+// one cluster overlaps the device transfer of another — the paper's 700 Kbps
+// link stays busy while the CPU renders the next shipment.
+//
+// Clusters that are active, busy, already swapped or empty are skipped. The
+// returned events cover the clusters actually shipped, in input order; the
+// first hard failure is returned after all workers finish.
+func (rt *Runtime) SwapOutMany(ids []ClusterID, parallelism int, opts ...SwapOption) ([]SwapEvent, error) {
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	if parallelism > len(ids) {
+		parallelism = len(ids)
+	}
+	sem := make(chan struct{}, parallelism)
+	events := make([]*SwapEvent, len(ids))
+	errs := make([]error, len(ids))
+	var wg sync.WaitGroup
+	for i, id := range ids {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, id ClusterID) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			ev, err := rt.SwapOut(id, opts...)
+			if err != nil {
+				if !skippableVictimErr(err) {
+					errs[i] = err
+				}
+				return
+			}
+			events[i] = &ev
+		}(i, id)
+	}
+	wg.Wait()
+	out := make([]SwapEvent, 0, len(ids))
+	for _, ev := range events {
+		if ev != nil {
+			out = append(out, *ev)
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
 // SelectVictims returns every eligible eviction candidate ordered by the
 // strategy (best victim first).
 func (m *Manager) SelectVictims(strategy VictimStrategy) []ClusterID {
 	infos := m.InfoAll()
 	var eligible []ClusterInfo
 	for _, info := range infos {
-		if info.ID == RootCluster || info.Swapped || info.Objects == 0 {
+		if info.ID == RootCluster || info.Swapped || info.Busy || info.Objects == 0 {
 			continue
 		}
 		eligible = append(eligible, info)

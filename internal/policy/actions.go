@@ -13,9 +13,11 @@ import (
 // BindSwapActions registers the standard Object-Swapping actions on an
 // engine, wired to a swapping runtime:
 //
-//	swap-out  strategy=coldest|largest|least-used  count=N  collect=bool
+//	swap-out  strategy=coldest|largest|least-used  count=N  collect=bool  parallel=N
 //	    Selects count victim clusters under the strategy and swaps them out
-//	    (collecting afterwards when collect is true, the default).
+//	    (collecting afterwards when collect is true, the default). With
+//	    parallel > 1 the victims ship through a bounded worker pool,
+//	    overlapping encoding with device transfer.
 //	swap-in   cluster=N
 //	    Prefetches a swapped cluster back.
 //	collect
@@ -34,19 +36,39 @@ func BindSwapActions(e *Engine, rt *core.Runtime) {
 		}
 		count := spec.IntParam("count", 1)
 		collect := spec.BoolParam("collect", true)
+		parallel := spec.IntParam("parallel", 1)
 
+		victims := rt.Manager().SelectVictims(strategy)
 		swapped := 0
-		for _, victim := range rt.Manager().SelectVictims(strategy) {
-			if swapped >= count {
-				break
-			}
-			if _, err := rt.SwapOut(victim); err != nil {
-				if errors.Is(err, core.ErrClusterActive) {
-					continue
+		if parallel > 1 {
+			for start := 0; start < len(victims) && swapped < count; {
+				end := start + parallel
+				if rem := start + count - swapped; end > rem {
+					end = rem
 				}
-				return fmt.Errorf("swap-out cluster %d: %w", victim, err)
+				if end > len(victims) {
+					end = len(victims)
+				}
+				evs, err := rt.SwapOutMany(victims[start:end], parallel)
+				if err != nil {
+					return fmt.Errorf("swap-out: %w", err)
+				}
+				swapped += len(evs)
+				start = end
 			}
-			swapped++
+		} else {
+			for _, victim := range victims {
+				if swapped >= count {
+					break
+				}
+				if _, err := rt.SwapOut(victim); err != nil {
+					if errors.Is(err, core.ErrClusterActive) || errors.Is(err, core.ErrClusterBusy) {
+						continue
+					}
+					return fmt.Errorf("swap-out cluster %d: %w", victim, err)
+				}
+				swapped++
+			}
 		}
 		if collect && swapped > 0 {
 			rt.Collect()

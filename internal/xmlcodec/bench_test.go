@@ -1,0 +1,135 @@
+package xmlcodec
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"objectswap/internal/heap"
+)
+
+// benchDoc builds a shipment-shaped document: objs wrapped objects with the
+// field mix a swap-cluster typically carries (scalars, a payload blob,
+// intra-cluster refs, a slot ref and a list).
+func benchDoc(objs int) *Doc {
+	payload := make([]byte, 256)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	doc := &Doc{ClusterID: "bench-swapcluster-1-gen1", Version: Version}
+	for i := 0; i < objs; i++ {
+		id := heap.ObjID(i + 1)
+		next := heap.ObjID(i%objs + 1)
+		doc.Objects = append(doc.Objects, Object{
+			ID:    id,
+			Class: "Record",
+			Fields: []Field{
+				{Name: "title", Value: Value{Kind: heap.KindString, S: fmt.Sprintf("record #%d with \"quoted\" & <angled> text", i)}},
+				{Name: "seq", Value: Value{Kind: heap.KindInt, I: int64(i) * 7919}},
+				{Name: "weight", Value: Value{Kind: heap.KindFloat, F: float64(i) * 0.125}},
+				{Name: "dirty", Value: Value{Kind: heap.KindBool, B: i%2 == 0}},
+				{Name: "blob", Value: Value{Kind: heap.KindBytes, Data: payload}},
+				{Name: "next", Value: InternalRef(next)},
+				{Name: "out", Value: SlotRef(i % 4)},
+				{Name: "home", Value: RemoteRefOf(heap.ObjID(100000+i), "Record")},
+				{Name: "tags", Value: Value{Kind: heap.KindList, List: []Value{
+					{Kind: heap.KindString, S: "hot"},
+					{Kind: heap.KindInt, I: int64(i)},
+					InternalRef(id),
+				}}},
+			},
+		})
+	}
+	return doc
+}
+
+const benchObjects = 64
+
+// BenchmarkEncodeStream is the tentpole number: the hand-rolled compact
+// streaming encoder on the swap hot path.
+func BenchmarkEncodeStream(b *testing.B) {
+	doc := benchDoc(benchObjects)
+	buf, err := doc.EncodeBuffer()
+	if err != nil {
+		b.Fatal(err)
+	}
+	size := buf.Len()
+	buf.Release()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, err := doc.EncodeBuffer()
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf.Release()
+	}
+	// After the loop: ResetTimer discards metrics reported before it.
+	b.ReportMetric(float64(size), "xml-bytes")
+}
+
+// BenchmarkEncodeStreamTo measures the io.Writer path (pooled bufio.Writer),
+// as used when a shipment streams straight into a transport connection.
+func BenchmarkEncodeStreamTo(b *testing.B) {
+	doc := benchDoc(benchObjects)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := doc.EncodeTo(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEncodeReflect is the baseline this PR replaces: reflection-based
+// MarshalIndent producing the pretty-printed historical form.
+func BenchmarkEncodeReflect(b *testing.B) {
+	doc := benchDoc(benchObjects)
+	out, err := doc.EncodeIndent()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := doc.EncodeIndent(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(out)), "xml-bytes")
+}
+
+// BenchmarkDecodeStream measures the token-streaming decoder on compact text.
+func BenchmarkDecodeStream(b *testing.B) {
+	doc := benchDoc(benchObjects)
+	data, err := doc.Encode()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(data)), "xml-bytes")
+}
+
+// BenchmarkDecodeReflect is the replaced baseline: xml.Unmarshal into wire
+// structs, fed the same compact text for a like-for-like comparison.
+func BenchmarkDecodeReflect(b *testing.B) {
+	doc := benchDoc(benchObjects)
+	data, err := doc.Encode()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := decodeLegacy(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(data)), "xml-bytes")
+}

@@ -22,11 +22,8 @@
 package xmlcodec
 
 import (
-	"encoding/base64"
-	"encoding/xml"
 	"errors"
 	"fmt"
-	"strconv"
 
 	"objectswap/internal/heap"
 )
@@ -310,224 +307,4 @@ func (d *Doc) Install(h *heap.Heap, reg *heap.Registry, decodeRef RefDecoder) ([
 		}
 	}
 	return installed, nil
-}
-
-// ---- XML wire form ----------------------------------------------------
-
-type xmlDoc struct {
-	XMLName xml.Name `xml:"swapcluster"`
-	ID      string   `xml:"id,attr"`
-	Version int      `xml:"version,attr"`
-	Objects []xmlObj `xml:"object"`
-}
-
-type xmlObj struct {
-	ID     uint64     `xml:"id,attr"`
-	Class  string     `xml:"class,attr"`
-	Fields []xmlField `xml:"field"`
-}
-
-type xmlField struct {
-	Name   string    `xml:"name,attr"`
-	Kind   string    `xml:"kind,attr"`
-	Target string    `xml:"target,attr,omitempty"`
-	Slot   string    `xml:"slot,attr,omitempty"`
-	Class  string    `xml:"class,attr,omitempty"`
-	Body   string    `xml:",chardata"`
-	Items  []xmlItem `xml:"item"`
-}
-
-type xmlItem struct {
-	Kind   string    `xml:"kind,attr"`
-	Target string    `xml:"target,attr,omitempty"`
-	Slot   string    `xml:"slot,attr,omitempty"`
-	Class  string    `xml:"class,attr,omitempty"`
-	Body   string    `xml:",chardata"`
-	Items  []xmlItem `xml:"item"`
-}
-
-// kindTag returns the wire tag for an encoded value, distinguishing the three
-// reference flavors.
-func kindTag(v Value) string {
-	if v.Kind == heap.KindRef {
-		switch v.RefClass {
-		case RefSlot:
-			return "xref"
-		case RefRemote:
-			return "rref"
-		default:
-			return "ref"
-		}
-	}
-	return v.Kind.String()
-}
-
-func valueToWire(v Value) (kind, target, slot, class, body string, items []xmlItem, err error) {
-	kind = kindTag(v)
-	if v.Kind == heap.KindRef && v.RefClass == RefRemote {
-		class = v.Class
-	}
-	switch v.Kind {
-	case heap.KindNil:
-	case heap.KindInt:
-		body = strconv.FormatInt(v.I, 10)
-	case heap.KindFloat:
-		body = strconv.FormatFloat(v.F, 'g', -1, 64)
-	case heap.KindBool:
-		body = strconv.FormatBool(v.B)
-	case heap.KindString:
-		body = v.S
-	case heap.KindBytes:
-		body = base64.StdEncoding.EncodeToString(v.Data)
-	case heap.KindRef:
-		switch v.RefClass {
-		case RefSlot:
-			slot = strconv.Itoa(v.Slot)
-		default:
-			target = strconv.FormatUint(uint64(v.Target), 10)
-		}
-	case heap.KindList:
-		for _, e := range v.List {
-			k, tg, sl, cl, b, sub, werr := valueToWire(e)
-			if werr != nil {
-				return "", "", "", "", "", nil, werr
-			}
-			items = append(items, xmlItem{Kind: k, Target: tg, Slot: sl, Class: cl, Body: b, Items: sub})
-		}
-	default:
-		err = fmt.Errorf("xmlcodec: unencodable kind %s", v.Kind)
-	}
-	return kind, target, slot, class, body, items, err
-}
-
-func valueFromWire(kind, target, slot, class, body string, items []xmlItem) (Value, error) {
-	switch kind {
-	case "nil":
-		return Value{Kind: heap.KindNil}, nil
-	case "int":
-		i, err := strconv.ParseInt(trimWS(body), 10, 64)
-		if err != nil {
-			return Value{}, fmt.Errorf("%w: bad int %q", ErrBadDocument, body)
-		}
-		return Value{Kind: heap.KindInt, I: i}, nil
-	case "float":
-		f, err := strconv.ParseFloat(trimWS(body), 64)
-		if err != nil {
-			return Value{}, fmt.Errorf("%w: bad float %q", ErrBadDocument, body)
-		}
-		return Value{Kind: heap.KindFloat, F: f}, nil
-	case "bool":
-		b, err := strconv.ParseBool(trimWS(body))
-		if err != nil {
-			return Value{}, fmt.Errorf("%w: bad bool %q", ErrBadDocument, body)
-		}
-		return Value{Kind: heap.KindBool, B: b}, nil
-	case "string":
-		return Value{Kind: heap.KindString, S: body}, nil
-	case "bytes":
-		data, err := base64.StdEncoding.DecodeString(trimWS(body))
-		if err != nil {
-			return Value{}, fmt.Errorf("%w: bad base64", ErrBadDocument)
-		}
-		return Value{Kind: heap.KindBytes, Data: data}, nil
-	case "ref", "rref":
-		t, err := strconv.ParseUint(trimWS(target), 10, 64)
-		if err != nil {
-			return Value{}, fmt.Errorf("%w: bad target %q", ErrBadDocument, target)
-		}
-		rc := RefInternal
-		if kind == "rref" {
-			rc = RefRemote
-		}
-		return Value{Kind: heap.KindRef, RefClass: rc, Target: heap.ObjID(t), Class: class}, nil
-	case "xref":
-		s, err := strconv.Atoi(trimWS(slot))
-		if err != nil {
-			return Value{}, fmt.Errorf("%w: bad slot %q", ErrBadDocument, slot)
-		}
-		return Value{Kind: heap.KindRef, RefClass: RefSlot, Slot: s}, nil
-	case "list":
-		out := Value{Kind: heap.KindList}
-		for _, it := range items {
-			ev, err := valueFromWire(it.Kind, it.Target, it.Slot, it.Class, it.Body, it.Items)
-			if err != nil {
-				return Value{}, err
-			}
-			out.List = append(out.List, ev)
-		}
-		return out, nil
-	default:
-		return Value{}, fmt.Errorf("%w: unknown kind %q", ErrBadDocument, kind)
-	}
-}
-
-// trimWS strips the whitespace encoding/xml accumulates around chardata when
-// documents are pretty-printed.
-func trimWS(s string) string {
-	start, end := 0, len(s)
-	for start < end && isSpace(s[start]) {
-		start++
-	}
-	for end > start && isSpace(s[end-1]) {
-		end--
-	}
-	return s[start:end]
-}
-
-func isSpace(c byte) bool {
-	return c == ' ' || c == '\t' || c == '\n' || c == '\r'
-}
-
-// Encode renders the document as XML text.
-func (d *Doc) Encode() ([]byte, error) {
-	wire := xmlDoc{ID: d.ClusterID, Version: d.Version}
-	for _, eo := range d.Objects {
-		xo := xmlObj{ID: uint64(eo.ID), Class: eo.Class}
-		for _, f := range eo.Fields {
-			kind, target, slot, class, body, items, err := valueToWire(f.Value)
-			if err != nil {
-				return nil, err
-			}
-			xo.Fields = append(xo.Fields, xmlField{
-				Name: f.Name, Kind: kind, Target: target, Slot: slot, Class: class,
-				Body: body, Items: items,
-			})
-		}
-		wire.Objects = append(wire.Objects, xo)
-	}
-	out, err := xml.MarshalIndent(&wire, "", "  ")
-	if err != nil {
-		return nil, fmt.Errorf("xmlcodec: marshal: %w", err)
-	}
-	return append([]byte(xml.Header), out...), nil
-}
-
-// Decode parses XML text produced by Encode.
-func Decode(data []byte) (*Doc, error) {
-	var wire xmlDoc
-	if err := xml.Unmarshal(data, &wire); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadDocument, err)
-	}
-	if wire.Version != Version {
-		return nil, fmt.Errorf("%w: %d", ErrVersion, wire.Version)
-	}
-	doc := &Doc{ClusterID: wire.ID, Version: wire.Version}
-	for _, xo := range wire.Objects {
-		eo := Object{ID: heap.ObjID(xo.ID), Class: xo.Class}
-		if eo.ID == heap.NilID {
-			return nil, fmt.Errorf("%w: object with nil id", ErrBadDocument)
-		}
-		if eo.Class == "" {
-			return nil, fmt.Errorf("%w: object @%d without class", ErrBadDocument, eo.ID)
-		}
-		for _, xf := range xo.Fields {
-			ev, err := valueFromWire(xf.Kind, xf.Target, xf.Slot, xf.Class, xf.Body, xf.Items)
-			if err != nil {
-				return nil, fmt.Errorf("object @%d field %s: %w", eo.ID, xf.Name, err)
-			}
-			eo.Fields = append(eo.Fields, Field{Name: xf.Name, Value: ev})
-		}
-		doc.Objects = append(doc.Objects, eo)
-	}
-	return doc, nil
 }

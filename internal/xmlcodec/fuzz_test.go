@@ -43,6 +43,75 @@ func FuzzDecode(f *testing.F) {
 	})
 }
 
+// FuzzCrossCodec proves decoder compatibility in both directions: any
+// document either decoder accepts must decode identically through the other,
+// both in the historical pretty-printed rendering and the compact streaming
+// one. Run long with: go test -fuzz FuzzCrossCodec ./internal/xmlcodec
+func FuzzCrossCodec(f *testing.F) {
+	seeds := []string{
+		`<?xml version="1.0"?><swapcluster id="c" version="1"></swapcluster>`,
+		`<swapcluster id="c &quot;x&quot;" version="1"><object id="1" class="N"><field name="x" kind="int">7</field><field name="f" kind="float">-2.5e3</field><field name="g" kind="bool">true</field></object></swapcluster>`,
+		`<swapcluster id="c" version="1"><object id="1" class="N"><field name="r" kind="ref" target="2"/><field name="s" kind="xref" slot="0"/><field name="t" kind="rref" target="9" class="N"/></object></swapcluster>`,
+		`<swapcluster id="c" version="1"><object id="1" class="N"><field name="l" kind="list"><item kind="string"> padded </item><item kind="list"><item kind="ref" target="1"/></item></field></object></swapcluster>`,
+		`<swapcluster id="c" version="1"><object id="1" class="N"><field name="b" kind="bytes">aGVsbG8=</field><field name="n" kind="nil"/></object></swapcluster>`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		streamDoc, streamErr := Decode(data)
+		legacyDoc, legacyErr := decodeLegacy(data)
+		// The parsers need not agree on rejections (xml.Unmarshal and
+		// xml.Decoder differ on some malformed inputs); compatibility is about
+		// documents, so compare via each accepted document's renderings.
+		for _, doc := range []*Doc{streamDoc, legacyDoc} {
+			if doc == nil {
+				continue
+			}
+			compact, err := doc.Encode()
+			if err != nil {
+				t.Fatalf("accepted document failed compact encode: %v", err)
+			}
+			indented, err := doc.EncodeIndent()
+			if err != nil {
+				t.Fatalf("accepted document failed indented encode: %v", err)
+			}
+			a, err := Decode(compact)
+			if err != nil {
+				t.Fatalf("streaming decoder rejected compact rendering: %v", err)
+			}
+			b, err := decodeLegacy(compact)
+			if err != nil {
+				t.Fatalf("legacy decoder rejected compact rendering: %v", err)
+			}
+			c, err := Decode(indented)
+			if err != nil {
+				t.Fatalf("streaming decoder rejected indented rendering: %v", err)
+			}
+			d, err := decodeLegacy(indented)
+			if err != nil {
+				t.Fatalf("legacy decoder rejected indented rendering: %v", err)
+			}
+			// All four decodes must re-render to the same compact bytes.
+			for i, got := range []*Doc{b, c, d} {
+				out, err := got.Encode()
+				if err != nil {
+					t.Fatalf("re-encode %d: %v", i, err)
+				}
+				ref, err := a.Encode()
+				if err != nil {
+					t.Fatalf("re-encode reference: %v", err)
+				}
+				if string(out) != string(ref) {
+					t.Fatalf("decoder disagreement (case %d):\n got:  %s\n want: %s", i, out, ref)
+				}
+			}
+		}
+		_ = streamErr
+		_ = legacyErr
+	})
+}
+
 // FuzzValueRoundTrip drives random scalar payloads through the full
 // heap-value → wire → heap-value path.
 func FuzzValueRoundTrip(f *testing.F) {

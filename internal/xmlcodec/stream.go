@@ -1,0 +1,564 @@
+package xmlcodec
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/base64"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+	"unicode/utf8"
+
+	"objectswap/internal/heap"
+)
+
+// This file is the streaming wire layer: a hand-rolled compact encoder that
+// writes XML text directly from a Doc (no reflection, no intermediate wire
+// structs) and a token-streaming decoder built on xml.Decoder. The compact
+// form is semantically identical to the pretty-printed form the original
+// reflection encoder produced (same element names, attributes and Version);
+// it only drops the indentation whitespace, which a 700 Kbps link otherwise
+// has to carry on every shipment. The decoder accepts both forms — and, like
+// the reflection decoder before it, tolerates unknown attributes and skips
+// unknown elements, so lenient third-party producers interoperate.
+
+// ---- pooled buffers ---------------------------------------------------
+
+// Buffer is a pooled encode buffer holding one rendered document. It exists
+// so the swap-out hot path can hand rendered shipments to the transport layer
+// and recycle the backing memory once the device has accepted the payload.
+type Buffer struct {
+	buf *bytes.Buffer
+}
+
+// Bytes returns the rendered document. The slice is invalidated by Release.
+func (b *Buffer) Bytes() []byte {
+	if b == nil || b.buf == nil {
+		return nil
+	}
+	return b.buf.Bytes()
+}
+
+// Len returns the rendered document size in bytes.
+func (b *Buffer) Len() int {
+	if b == nil || b.buf == nil {
+		return 0
+	}
+	return b.buf.Len()
+}
+
+// Release returns the backing memory to the codec pool. The Buffer must not
+// be used afterwards; Release is idempotent.
+func (b *Buffer) Release() {
+	if b == nil || b.buf == nil {
+		return
+	}
+	bufPool.Put(b.buf)
+	b.buf = nil
+}
+
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+var bwPool = sync.Pool{New: func() any { return bufio.NewWriterSize(nil, 4096) }}
+
+// ---- streaming encoder ------------------------------------------------
+
+// streamWriter is the common surface of bytes.Buffer and bufio.Writer the
+// encoder renders into. Write errors are deferred: bytes.Buffer cannot fail
+// and bufio.Writer latches the first error until Flush reports it.
+type streamWriter interface {
+	io.Writer
+	WriteByte(byte) error
+	WriteString(string) (int, error)
+}
+
+// b64Chunk is a multiple of 3, so every full chunk encodes without padding.
+const b64Chunk = 510
+
+type encoder struct {
+	w       streamWriter
+	scratch [32]byte
+	// b64 lives here rather than on writeBase64's stack: slices of it cross
+	// the streamWriter interface, so a local would escape (one heap allocation
+	// per payload field); as a field it escapes once with the encoder.
+	b64 [b64Chunk / 3 * 4]byte
+}
+
+// EncodeBuffer renders the document compactly into a pooled Buffer. It is
+// the allocation-lean form Encode and the swap hot path build on; callers
+// must Release the buffer when the bytes are no longer needed.
+func (d *Doc) EncodeBuffer() (*Buffer, error) {
+	bb := bufPool.Get().(*bytes.Buffer)
+	bb.Reset()
+	e := encoder{w: bb}
+	if err := e.doc(d); err != nil {
+		bufPool.Put(bb)
+		return nil, err
+	}
+	return &Buffer{buf: bb}, nil
+}
+
+// EncodeTo streams the document, compactly rendered, into w.
+func (d *Doc) EncodeTo(w io.Writer) error {
+	if bb, ok := w.(*bytes.Buffer); ok {
+		e := encoder{w: bb}
+		return e.doc(d)
+	}
+	bw := bwPool.Get().(*bufio.Writer)
+	bw.Reset(w)
+	e := encoder{w: bw}
+	err := e.doc(d)
+	if ferr := bw.Flush(); err == nil {
+		err = ferr
+	}
+	bw.Reset(nil)
+	bwPool.Put(bw)
+	return err
+}
+
+// Encode renders the document as compact XML text. (The pretty-printed
+// historical form remains available as EncodeIndent.)
+func (d *Doc) Encode() ([]byte, error) {
+	buf, err := d.EncodeBuffer()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, buf.Len())
+	copy(out, buf.Bytes())
+	buf.Release()
+	return out, nil
+}
+
+func (e *encoder) doc(d *Doc) error {
+	e.w.WriteString(xml.Header)
+	e.w.WriteString(`<swapcluster id="`)
+	e.escape(d.ClusterID, true)
+	e.w.WriteString(`" version="`)
+	e.writeInt(int64(d.Version))
+	e.w.WriteString(`">`)
+	for i := range d.Objects {
+		if err := e.object(&d.Objects[i]); err != nil {
+			return err
+		}
+	}
+	_, err := e.w.WriteString("</swapcluster>")
+	return err
+}
+
+func (e *encoder) object(o *Object) error {
+	e.w.WriteString(`<object id="`)
+	e.writeUint(uint64(o.ID))
+	e.w.WriteString(`" class="`)
+	e.escape(o.Class, true)
+	e.w.WriteString(`">`)
+	for i := range o.Fields {
+		f := &o.Fields[i]
+		if err := e.value("field", f.Name, f.Value); err != nil {
+			return err
+		}
+	}
+	e.w.WriteString("</object>")
+	return nil
+}
+
+// value renders one encoded value as a <field> or <item> element. Elements
+// with no body self-close; the decoders (both of them) treat the two forms
+// identically.
+func (e *encoder) value(tag, name string, v Value) error {
+	e.w.WriteByte('<')
+	e.w.WriteString(tag)
+	if tag == "field" {
+		e.w.WriteString(` name="`)
+		e.escape(name, true)
+		e.w.WriteByte('"')
+	}
+	e.w.WriteString(` kind="`)
+	e.w.WriteString(kindTag(v))
+	e.w.WriteByte('"')
+
+	switch v.Kind {
+	case heap.KindNil:
+		e.w.WriteString("/>")
+	case heap.KindInt:
+		e.w.WriteByte('>')
+		e.writeInt(v.I)
+		e.close(tag)
+	case heap.KindFloat:
+		e.w.WriteByte('>')
+		e.w.Write(strconv.AppendFloat(e.scratch[:0], v.F, 'g', -1, 64))
+		e.close(tag)
+	case heap.KindBool:
+		e.w.WriteByte('>')
+		e.w.Write(strconv.AppendBool(e.scratch[:0], v.B))
+		e.close(tag)
+	case heap.KindString:
+		if v.S == "" {
+			e.w.WriteString("/>")
+			break
+		}
+		e.w.WriteByte('>')
+		e.escape(v.S, false)
+		e.close(tag)
+	case heap.KindBytes:
+		if len(v.Data) == 0 {
+			e.w.WriteString("/>")
+			break
+		}
+		e.w.WriteByte('>')
+		e.writeBase64(v.Data)
+		e.close(tag)
+	case heap.KindRef:
+		switch v.RefClass {
+		case RefSlot:
+			e.w.WriteString(` slot="`)
+			e.writeInt(int64(v.Slot))
+			e.w.WriteString(`"/>`)
+		case RefRemote:
+			e.w.WriteString(` target="`)
+			e.writeUint(uint64(v.Target))
+			e.w.WriteByte('"')
+			if v.Class != "" {
+				e.w.WriteString(` class="`)
+				e.escape(v.Class, true)
+				e.w.WriteByte('"')
+			}
+			e.w.WriteString("/>")
+		default:
+			e.w.WriteString(` target="`)
+			e.writeUint(uint64(v.Target))
+			e.w.WriteString(`"/>`)
+		}
+	case heap.KindList:
+		if len(v.List) == 0 {
+			e.w.WriteString("/>")
+			break
+		}
+		e.w.WriteByte('>')
+		for _, item := range v.List {
+			if err := e.value("item", "", item); err != nil {
+				return err
+			}
+		}
+		e.close(tag)
+	default:
+		return fmt.Errorf("xmlcodec: unencodable kind %s", v.Kind)
+	}
+	return nil
+}
+
+func (e *encoder) close(tag string) {
+	e.w.WriteString("</")
+	e.w.WriteString(tag)
+	e.w.WriteByte('>')
+}
+
+func (e *encoder) writeInt(v int64) {
+	e.w.Write(strconv.AppendInt(e.scratch[:0], v, 10))
+}
+
+func (e *encoder) writeUint(v uint64) {
+	e.w.Write(strconv.AppendUint(e.scratch[:0], v, 10))
+}
+
+// writeBase64 renders data as standard base64 without allocating: fixed-size
+// chunks are encoded through a stack scratch buffer.
+func (e *encoder) writeBase64(data []byte) {
+	for len(data) > 0 {
+		n := len(data)
+		if n > b64Chunk {
+			n = b64Chunk
+		}
+		m := base64.StdEncoding.EncodedLen(n)
+		base64.StdEncoding.Encode(e.b64[:m], data[:n])
+		e.w.Write(e.b64[:m])
+		data = data[n:]
+	}
+}
+
+// escape writes s with XML escaping, matching encoding/xml's escapeText
+// semantics: &, <, > and \r are always escaped; attribute text additionally
+// escapes quotes, tabs and newlines; runes XML cannot carry (control
+// characters, invalid UTF-8, surrogates) are replaced with U+FFFD — exactly
+// what the reflection encoder produced, so either encoder yields the same
+// decoded value.
+func (e *encoder) escape(s string, attr bool) {
+	last := 0
+	for i := 0; i < len(s); {
+		c := s[i]
+		if c < utf8.RuneSelf {
+			var repl string
+			switch c {
+			case '&':
+				repl = "&amp;"
+			case '<':
+				repl = "&lt;"
+			case '>':
+				repl = "&gt;"
+			case '\r':
+				repl = "&#xD;"
+			case '"':
+				if attr {
+					repl = "&#34;"
+				}
+			case '\t':
+				if attr {
+					repl = "&#x9;"
+				}
+			case '\n':
+				if attr {
+					repl = "&#xA;"
+				}
+			default:
+				if c < 0x20 {
+					repl = "�"
+				}
+			}
+			if repl == "" {
+				i++
+				continue
+			}
+			e.w.WriteString(s[last:i])
+			e.w.WriteString(repl)
+			i++
+			last = i
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if (r == utf8.RuneError && size == 1) || !validXMLRune(r) {
+			e.w.WriteString(s[last:i])
+			e.w.WriteString("�")
+			i += size
+			last = i
+			continue
+		}
+		i += size
+	}
+	e.w.WriteString(s[last:])
+}
+
+// validXMLRune reports whether XML 1.0 can carry r (the stdlib isInCharacterRange).
+func validXMLRune(r rune) bool {
+	return r == 0x09 || r == 0x0A || r == 0x0D ||
+		(r >= 0x20 && r <= 0xD7FF) ||
+		(r >= 0xE000 && r <= 0xFFFD) ||
+		(r >= 0x10000 && r <= 0x10FFFF)
+}
+
+// ---- streaming decoder ------------------------------------------------
+
+// Decode parses XML text produced by either encoder (compact or indented).
+func Decode(data []byte) (*Doc, error) {
+	return DecodeFrom(bytes.NewReader(data))
+}
+
+// DecodeFrom parses one wrapper document from r, token by token, without
+// reflection and without materializing intermediate wire structs. Reading
+// stops at the root element's end tag; trailing bytes are not consumed.
+func DecodeFrom(r io.Reader) (*Doc, error) {
+	dec := xml.NewDecoder(r)
+
+	// Locate the root element, skipping prolog, comments and directives.
+	var root xml.StartElement
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadDocument, err)
+		}
+		if se, ok := tok.(xml.StartElement); ok {
+			root = se
+			break
+		}
+	}
+	if root.Name.Local != "swapcluster" {
+		return nil, fmt.Errorf("%w: root element <%s>", ErrBadDocument, root.Name.Local)
+	}
+
+	doc := &Doc{}
+	for _, a := range root.Attr {
+		switch a.Name.Local {
+		case "id":
+			doc.ClusterID = a.Value
+		case "version":
+			v, err := strconv.Atoi(trimWS(a.Value))
+			if err != nil {
+				return nil, fmt.Errorf("%w: bad version %q", ErrBadDocument, a.Value)
+			}
+			doc.Version = v
+		}
+	}
+	if doc.Version != Version {
+		return nil, fmt.Errorf("%w: %d", ErrVersion, doc.Version)
+	}
+
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadDocument, err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			if t.Name.Local != "object" {
+				if err := dec.Skip(); err != nil {
+					return nil, fmt.Errorf("%w: %v", ErrBadDocument, err)
+				}
+				continue
+			}
+			eo, err := decodeObject(dec, t)
+			if err != nil {
+				return nil, err
+			}
+			doc.Objects = append(doc.Objects, eo)
+		case xml.EndElement:
+			return doc, nil
+		}
+	}
+}
+
+func decodeObject(dec *xml.Decoder, start xml.StartElement) (Object, error) {
+	var eo Object
+	for _, a := range start.Attr {
+		switch a.Name.Local {
+		case "id":
+			id, err := strconv.ParseUint(trimWS(a.Value), 10, 64)
+			if err != nil {
+				return Object{}, fmt.Errorf("%w: bad object id %q", ErrBadDocument, a.Value)
+			}
+			eo.ID = heap.ObjID(id)
+		case "class":
+			eo.Class = a.Value
+		}
+	}
+	if eo.ID == heap.NilID {
+		return Object{}, fmt.Errorf("%w: object with nil id", ErrBadDocument)
+	}
+	if eo.Class == "" {
+		return Object{}, fmt.Errorf("%w: object @%d without class", ErrBadDocument, eo.ID)
+	}
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return Object{}, fmt.Errorf("%w: %v", ErrBadDocument, err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			if t.Name.Local != "field" {
+				if err := dec.Skip(); err != nil {
+					return Object{}, fmt.Errorf("%w: %v", ErrBadDocument, err)
+				}
+				continue
+			}
+			name, v, err := decodeValue(dec, t)
+			if err != nil {
+				return Object{}, fmt.Errorf("object @%d field %s: %w", eo.ID, name, err)
+			}
+			eo.Fields = append(eo.Fields, Field{Name: name, Value: v})
+		case xml.EndElement:
+			return eo, nil
+		}
+	}
+}
+
+// decodeValue parses one <field> or <item> element (and its nested items)
+// into an encoded Value.
+func decodeValue(dec *xml.Decoder, start xml.StartElement) (string, Value, error) {
+	var name, kind, target, slot, class string
+	for _, a := range start.Attr {
+		switch a.Name.Local {
+		case "name":
+			name = a.Value
+		case "kind":
+			kind = a.Value
+		case "target":
+			target = a.Value
+		case "slot":
+			slot = a.Value
+		case "class":
+			class = a.Value
+		}
+	}
+	var body []byte
+	var items []Value
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return name, Value{}, fmt.Errorf("%w: %v", ErrBadDocument, err)
+		}
+		switch t := tok.(type) {
+		case xml.CharData:
+			body = append(body, t...)
+		case xml.StartElement:
+			if t.Name.Local != "item" {
+				if err := dec.Skip(); err != nil {
+					return name, Value{}, fmt.Errorf("%w: %v", ErrBadDocument, err)
+				}
+				continue
+			}
+			_, item, err := decodeValue(dec, t)
+			if err != nil {
+				return name, Value{}, err
+			}
+			items = append(items, item)
+		case xml.EndElement:
+			v, err := wireValue(kind, target, slot, class, string(body), items)
+			return name, v, err
+		}
+	}
+}
+
+// wireValue builds an encoded Value from its wire constituents. It is the
+// single source of truth for body/attribute parsing rules, shared by the
+// streaming decoder and the legacy reflection path.
+func wireValue(kind, target, slot, class, body string, items []Value) (Value, error) {
+	switch kind {
+	case "nil":
+		return Value{Kind: heap.KindNil}, nil
+	case "int":
+		i, err := strconv.ParseInt(trimWS(body), 10, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("%w: bad int %q", ErrBadDocument, body)
+		}
+		return Value{Kind: heap.KindInt, I: i}, nil
+	case "float":
+		f, err := strconv.ParseFloat(trimWS(body), 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("%w: bad float %q", ErrBadDocument, body)
+		}
+		return Value{Kind: heap.KindFloat, F: f}, nil
+	case "bool":
+		b, err := strconv.ParseBool(trimWS(body))
+		if err != nil {
+			return Value{}, fmt.Errorf("%w: bad bool %q", ErrBadDocument, body)
+		}
+		return Value{Kind: heap.KindBool, B: b}, nil
+	case "string":
+		return Value{Kind: heap.KindString, S: body}, nil
+	case "bytes":
+		data, err := base64.StdEncoding.DecodeString(trimWS(body))
+		if err != nil {
+			return Value{}, fmt.Errorf("%w: bad base64", ErrBadDocument)
+		}
+		return Value{Kind: heap.KindBytes, Data: data}, nil
+	case "ref", "rref":
+		t, err := strconv.ParseUint(trimWS(target), 10, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("%w: bad target %q", ErrBadDocument, target)
+		}
+		rc := RefInternal
+		if kind == "rref" {
+			rc = RefRemote
+		}
+		return Value{Kind: heap.KindRef, RefClass: rc, Target: heap.ObjID(t), Class: class}, nil
+	case "xref":
+		s, err := strconv.Atoi(trimWS(slot))
+		if err != nil {
+			return Value{}, fmt.Errorf("%w: bad slot %q", ErrBadDocument, slot)
+		}
+		return Value{Kind: heap.KindRef, RefClass: RefSlot, Slot: s}, nil
+	case "list":
+		return Value{Kind: heap.KindList, List: items}, nil
+	default:
+		return Value{}, fmt.Errorf("%w: unknown kind %q", ErrBadDocument, kind)
+	}
+}

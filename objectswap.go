@@ -59,6 +59,8 @@ type (
 	// SwapOption tunes one SwapOut / SwapIn call (deadline, destination,
 	// failover behavior).
 	SwapOption = core.SwapOption
+	// EvictOptions tunes an eviction pass (victim strategy, parallelism).
+	EvictOptions = core.EvictOptions
 	// TransportPolicy bounds the resilience decorator wrapped around every
 	// attached device: per-operation timeouts, retry/backoff, circuit
 	// breaker.
@@ -91,6 +93,10 @@ const (
 // RootCluster is swap-cluster-0: global variables and static state.
 const RootCluster = core.RootCluster
 
+// ErrClusterBusy reports a cluster already mid-swap on another goroutine;
+// concurrent SwapOut / SwapIn callers should skip it or retry later.
+var ErrClusterBusy = core.ErrClusterBusy
+
 // Config parameterizes a System.
 type Config struct {
 	// HeapCapacity is the device's byte budget (0 = unlimited, which
@@ -115,6 +121,11 @@ type Config struct {
 	// AttachDevice. The zero value selects the defaults; see
 	// TransportPolicy. Use AttachDeviceRaw to bypass the decorator.
 	Transport TransportPolicy
+	// EvictParallelism > 1 makes pressure-driven eviction swap out up to
+	// that many victim clusters concurrently, overlapping the XML encoding
+	// of one cluster with the device shipment of another. 0 or 1 keeps the
+	// sequential one-victim-then-collect evictor.
+	EvictParallelism int
 }
 
 // System is the assembled middleware stack of one constrained device.
@@ -155,6 +166,9 @@ func New(cfg Config) (*System, error) {
 	ctx := devctx.NewContext(h, conn)
 	engine := policy.NewEngine(bus, ctx)
 	policy.BindSwapActions(engine, rt)
+	if cfg.EvictParallelism > 1 {
+		rt.SetEvictor(rt.EvictorWith(core.EvictOptions{Parallelism: cfg.EvictParallelism}))
+	}
 
 	doc := cfg.Policies
 	if len(doc) == 0 {
@@ -373,6 +387,20 @@ func (s *System) SwapOut(cluster ClusterID, opts ...SwapOption) (SwapEvent, erro
 // the fetch; a timed-out swap-in leaves the cluster consistently swapped.
 func (s *System) SwapIn(cluster ClusterID, opts ...SwapOption) (SwapEvent, error) {
 	return s.rt.SwapIn(cluster, opts...)
+}
+
+// SwapOutMany swaps out the given clusters through a bounded worker pool,
+// overlapping the encoding of one cluster with the shipment of another.
+// Clusters that are active, busy, already swapped or empty are skipped; the
+// returned events cover the clusters actually shipped, in input order.
+func (s *System) SwapOutMany(clusters []ClusterID, parallelism int, opts ...SwapOption) ([]SwapEvent, error) {
+	return s.rt.SwapOutMany(clusters, parallelism, opts...)
+}
+
+// Evict frees at least need bytes under the given options: collect first,
+// then swap out ranked victims (concurrently when o.Parallelism > 1).
+func (s *System) Evict(o EvictOptions, need int64) error {
+	return s.rt.EvictWith(o, need)
 }
 
 // Collect runs a swapping-integrated garbage collection.
