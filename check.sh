@@ -1,10 +1,19 @@
 #!/bin/sh
-# Tier-1 verification entrypoint: static checks, build, tests, race tests,
-# and a one-iteration benchmark smoke run (benchmarks must at least execute).
+# Tier-1 verification entrypoint: static checks, formatting, build, tests,
+# race tests, coverage on the observability spine, and a one-iteration
+# benchmark smoke run (benchmarks must at least execute).
 set -eux
+
+UNFORMATTED=$(gofmt -l .)
+if [ -n "$UNFORMATTED" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$UNFORMATTED" >&2
+    exit 1
+fi
 
 go vet ./...
 go build ./...
 go test ./...
 go test -race ./...
+go test -cover ./internal/obs/ ./internal/core/
 go test -bench . -benchtime=1x -run '^$' ./...

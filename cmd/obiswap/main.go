@@ -7,7 +7,7 @@
 // Usage:
 //
 //	obiswap [-heap bytes] [-clusters N] [-per N] [-payload bytes]
-//	        [-device url] [-threshold 0.75]
+//	        [-device url] [-threshold 0.75] [-metrics]
 //
 // With -device, shipments go to a running swapstore over HTTP; otherwise an
 // in-process memory device is used.
@@ -39,6 +39,7 @@ func run() error {
 	device := flag.String("device", "", "URL of a swapstore to use (default: in-process memory)")
 	threshold := flag.Float64("threshold", 0.75, "memory pressure threshold fraction")
 	dot := flag.Bool("dot", false, "after building, dump the object graph as Graphviz DOT to stdout and exit")
+	metrics := flag.Bool("metrics", false, "after the run, dump the full metrics page (Prometheus text format) to stdout")
 	flag.Parse()
 
 	sys, err := objectswap.New(objectswap.Config{
@@ -169,6 +170,12 @@ func run() error {
 
 	fmt.Println("\nfinal middleware state:")
 	fmt.Print(sys.Report())
+	if *metrics {
+		fmt.Println("\nmetrics page:")
+		if err := sys.WriteMetrics(os.Stdout); err != nil {
+			return err
+		}
+	}
 	if got != want {
 		return fmt.Errorf("checksum mismatch")
 	}

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -105,7 +106,7 @@ func run() error {
 	})
 
 	// 1. HOARD.
-	n, err := repl.Prefetch("notebook", 0)
+	n, err := repl.Prefetch(context.Background(), "notebook", 0)
 	if err != nil {
 		return err
 	}
@@ -148,7 +149,7 @@ func run() error {
 
 	// 4. RECONNECT and write back.
 	fmt.Println("base station back in range; pushing updates...")
-	pushed, err := repl.PushUpdates()
+	pushed, err := repl.PushUpdates(context.Background())
 	if err != nil {
 		return err
 	}

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net/http/httptest"
@@ -138,7 +139,7 @@ func run() error {
 		fmt.Printf("   [swapping] cluster %d faulted back\n", e.Cluster)
 	})
 
-	if _, err := repl.ReplicateRoot("catalogue"); err != nil {
+	if _, err := repl.ReplicateRoot(context.Background(), "catalogue"); err != nil {
 		return err
 	}
 

@@ -31,9 +31,11 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"objectswap/internal/event"
 	"objectswap/internal/heap"
+	"objectswap/internal/obs"
 	"objectswap/internal/store"
 )
 
@@ -123,6 +125,13 @@ type SwapEvent struct {
 	// Attempted lists the devices that failed the shipment before Device
 	// accepted it (swap-out failover trail; empty on the happy path).
 	Attempted []string
+	// Phases is the per-phase timing and byte breakdown of the completed
+	// operation (reserve → snapshot → encode → ship → commit for a swap-out;
+	// reserve → fetch → decode → evict → install for a swap-in), as recorded
+	// by the runtime's tracer. Empty on mid-flight events (failover, drop).
+	Phases []obs.Phase
+	// Duration is the whole-operation time from the same trace span.
+	Duration time.Duration
 }
 
 // Runtime is the swapping-aware Invoker: the OBIWAN middleware instance
@@ -165,6 +174,14 @@ type Runtime struct {
 	keyseq       atomic.Uint64
 	evicting     atomic.Bool
 
+	// Observability spine. NewRuntime installs a private registry when none
+	// is supplied via WithObs, so swap spans (and SwapEvent.Phases) are
+	// always recorded.
+	obsReg     *obs.Registry
+	tracer     *obs.Tracer
+	swapErrors *obs.CounterVec
+	coreEvents *obs.CounterVec
+
 	replacementClass *heap.Class
 	objProxyClass    *heap.Class
 	proxyClasses     map[string]*heap.Class
@@ -183,6 +200,17 @@ func WithBus(bus *event.Bus) Option {
 // WithStores attaches the nearby-device provider used for swapping.
 func WithStores(p StoreProvider) Option {
 	return func(rt *Runtime) { rt.stores = p }
+}
+
+// WithObs records the runtime's swap spans, phase timings and event counters
+// in r instead of a private registry, so one scrape covers the whole
+// middleware instance.
+func WithObs(r *obs.Registry) Option {
+	return func(rt *Runtime) {
+		if r != nil {
+			rt.obsReg = r
+		}
+	}
 }
 
 // WithKeepOnReload keeps the XML copy on the device after a successful
@@ -233,8 +261,46 @@ func NewRuntime(h *heap.Heap, reg *heap.Registry, opts ...Option) *Runtime {
 		}
 		h.SetReserve(reserve)
 	}
+	if rt.obsReg == nil {
+		rt.obsReg = obs.NewRegistry(nil)
+	}
+	rt.instrument()
 	return rt
 }
+
+// instrument registers the runtime's span tracer, error and event counters,
+// and cluster-residency gauges in its registry.
+func (rt *Runtime) instrument() {
+	r := rt.obsReg
+	rt.tracer = obs.NewTracer(r, "objectswap_swap")
+	rt.swapErrors = r.CounterVec("objectswap_swap_errors_total",
+		"Failed swap operations by operation.", "op")
+	rt.coreEvents = r.CounterVec("objectswap_core_events_total",
+		"Middleware events published by the swapping runtime, by topic.", "topic")
+	clusters := r.GaugeVec("objectswap_core_clusters",
+		"Swap-clusters by residency state.", "state")
+	clusters.WithFunc(func() float64 {
+		n := 0.0
+		for _, info := range rt.mgr.InfoAll() {
+			if !info.Swapped {
+				n++
+			}
+		}
+		return n
+	}, "resident")
+	clusters.WithFunc(func() float64 {
+		n := 0.0
+		for _, info := range rt.mgr.InfoAll() {
+			if info.Swapped {
+				n++
+			}
+		}
+		return n
+	}, "swapped")
+}
+
+// Obs returns the runtime's observability registry (never nil).
+func (rt *Runtime) Obs() *obs.Registry { return rt.obsReg }
 
 // Heap returns the device heap.
 func (rt *Runtime) Heap() *heap.Heap { return rt.h }
@@ -255,8 +321,9 @@ func (rt *Runtime) SetEvictor(evict func(need int64) error) { rt.evictor = evict
 // SetFaultHandler installs the incremental-replication fault handler.
 func (rt *Runtime) SetFaultHandler(fh FaultHandler) { rt.faultHandler = fh }
 
-// emit publishes an event when a bus is attached.
+// emit publishes an event when a bus is attached, counting it either way.
 func (rt *Runtime) emit(topic event.Topic, payload any) {
+	rt.coreEvents.With(string(topic)).Inc()
 	if rt.bus != nil {
 		rt.bus.Emit(topic, payload)
 	}

@@ -318,14 +318,14 @@ type ClusterInfo struct {
 	ResidentBytes int64
 	Swapped       bool
 	// Busy reports a swap transition in flight on another goroutine.
-	Busy bool
-	Device        string
-	Key           string
-	PayloadBytes  int
-	Crossings     uint64
-	LastAccess    uint64
-	SwapOuts      uint64
-	SwapIns       uint64
+	Busy         bool
+	Device       string
+	Key          string
+	PayloadBytes int
+	Crossings    uint64
+	LastAccess   uint64
+	SwapOuts     uint64
+	SwapIns      uint64
 }
 
 // Info snapshots one cluster.

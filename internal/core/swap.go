@@ -52,9 +52,16 @@ func (rt *Runtime) SwapOut(id ClusterID, opts ...SwapOption) (ev SwapEvent, retE
 	if rt.stores == nil {
 		return SwapEvent{}, ErrNoStores
 	}
+	span := rt.tracer.Start("swap_out")
+	defer func() {
+		if retErr != nil {
+			rt.swapErrors.With("swap_out").Inc()
+		}
+	}()
 
 	// Phase 1 — exclusive: validate the cluster and reserve it (busy) so no
 	// concurrent swap, victim selection or sweep touches it mid-flight.
+	span.Phase("reserve")
 	rt.swapMu.Lock()
 	memberIDs, members, err := rt.beginSwapOut(id)
 	rt.swapMu.Unlock()
@@ -73,6 +80,7 @@ func (rt *Runtime) SwapOut(id ClusterID, opts ...SwapOption) (ev SwapEvent, retE
 	// eviction that called us), concurrent swap commits only touch proxy
 	// $target fields and other clusters' objects, and the reserved busy state
 	// keeps this cluster out of every other transition.
+	span.Phase("snapshot")
 	objs := make([]*heap.Object, 0, len(memberIDs))
 	var residentBytes int64
 	for _, oid := range memberIDs {
@@ -133,6 +141,7 @@ func (rt *Runtime) SwapOut(id ClusterID, opts ...SwapOption) (ev SwapEvent, retE
 	}
 
 	// Wrap to XML with internal/slot reference classification.
+	span.Phase("encode")
 	key := rt.nextKey(id)
 	encodeRef := func(rid heap.ObjID) (xmlcodec.Value, error) {
 		if members[rid] {
@@ -160,12 +169,14 @@ func (rt *Runtime) SwapOut(id ClusterID, opts ...SwapOption) (ev SwapEvent, retE
 	}
 	defer buf.Release()
 	payloadBytes := buf.Len()
+	span.AddBytes(int64(payloadBytes))
 
 	// Phase 3 — concurrent: replacement-object and shipment. The replacement
 	// is fresh and unpublished, so its field writes race with nothing; it is
 	// anchored against collection until the inbound proxies reference it. The
 	// destination device is recorded after the shipment lands (failover may
 	// move it).
+	span.Phase("ship")
 	repl, err := rt.allocMiddleware(rt.replacementClass)
 	if err != nil {
 		return SwapEvent{}, fmt.Errorf("core: replacement for cluster %d: %w", id, err)
@@ -191,8 +202,10 @@ func (rt *Runtime) SwapOut(id ClusterID, opts ...SwapOption) (ev SwapEvent, retE
 		_ = rt.h.Remove(repl.ID())
 		return SwapEvent{}, err
 	}
+	span.AddBytes(int64(payloadBytes))
 
 	// Phase 4 — exclusive: detach the cluster from the application graph.
+	span.Phase("commit")
 	rt.swapMu.Lock()
 	err = rt.commitSwapOut(id, repl, device, key, payloadBytes, residentBytes)
 	rt.swapMu.Unlock()
@@ -203,6 +216,7 @@ func (rt *Runtime) SwapOut(id ClusterID, opts ...SwapOption) (ev SwapEvent, retE
 
 	ev = SwapEvent{Cluster: id, Device: device, Key: key, Objects: len(objs),
 		Bytes: payloadBytes, Attempted: attempted}
+	ev.Phases, ev.Duration = span.End()
 	rt.emit(event.TopicSwapOut, ev)
 	return ev, nil
 }
@@ -360,8 +374,15 @@ func (rt *Runtime) SwapIn(id ClusterID, opts ...SwapOption) (ev SwapEvent, retEr
 	if rt.stores == nil {
 		return SwapEvent{}, ErrNoStores
 	}
+	span := rt.tracer.Start("swap_in")
+	defer func() {
+		if retErr != nil {
+			rt.swapErrors.With("swap_in").Inc()
+		}
+	}()
 
 	// Phase 1 — exclusive: validate and reserve.
+	span.Phase("reserve")
 	rt.swapMu.Lock()
 	rt.mgr.mu.Lock()
 	cs, err := rt.mgr.state(id)
@@ -402,6 +423,7 @@ func (rt *Runtime) SwapIn(id ClusterID, opts ...SwapOption) (ev SwapEvent, retEr
 	defer rt.h.Unpin(replID)
 
 	// Phase 2 — concurrent: fetch and decode the shipment.
+	span.Phase("fetch")
 	s, err := rt.stores.Lookup(device)
 	if err != nil {
 		return SwapEvent{}, fmt.Errorf("core: swap-in cluster %d: %w", id, err)
@@ -410,6 +432,8 @@ func (rt *Runtime) SwapIn(id ClusterID, opts ...SwapOption) (ev SwapEvent, retEr
 	if err != nil {
 		return SwapEvent{}, fmt.Errorf("core: fetch cluster %d from %s: %w", id, device, err)
 	}
+	span.AddBytes(int64(len(data)))
+	span.Phase("decode")
 	doc, err := xmlcodec.Decode(data)
 	if err != nil {
 		return SwapEvent{}, fmt.Errorf("core: unwrap cluster %d: %w", id, err)
@@ -422,6 +446,7 @@ func (rt *Runtime) SwapIn(id ClusterID, opts ...SwapOption) (ev SwapEvent, retEr
 	// little headroom beyond the payload: the reload path itself allocates
 	// middleware objects (proxies for un-replicated edges, patched state).
 	// This runs outside the swap lock — the evictor's own swap-outs take it.
+	span.Phase("evict")
 	if cap := rt.h.Capacity(); cap > 0 && rt.evictor != nil && !rt.evicting.Load() {
 		const reloadSlack = 512
 		appLimit := cap - rt.h.Reserve()
@@ -436,6 +461,7 @@ func (rt *Runtime) SwapIn(id ClusterID, opts ...SwapOption) (ev SwapEvent, retEr
 	// publish, all in one critical section so no collection can run between
 	// installation (nursery-fresh objects) and the proxy patches that make
 	// them reachable.
+	span.Phase("install")
 	rt.swapMu.Lock()
 	rt.mutating.Store(true)
 	installed, payload, err := rt.commitSwapIn(id, cs, repl, doc)
@@ -454,6 +480,7 @@ func (rt *Runtime) SwapIn(id ClusterID, opts ...SwapOption) (ev SwapEvent, retEr
 	}
 
 	ev = SwapEvent{Cluster: id, Device: device, Key: key, Objects: installed, Bytes: payload}
+	ev.Phases, ev.Duration = span.End()
 	rt.emit(event.TopicSwapIn, ev)
 	return ev, nil
 }

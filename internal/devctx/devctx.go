@@ -10,6 +10,7 @@ import (
 
 	"objectswap/internal/event"
 	"objectswap/internal/heap"
+	"objectswap/internal/obs"
 	"objectswap/internal/store"
 )
 
@@ -32,6 +33,8 @@ type MemoryMonitor struct {
 
 	mu    sync.Mutex
 	above bool
+	// edges counts threshold crossings by direction (nil until Instrument).
+	edges *obs.CounterVec
 
 	stop chan struct{}
 	done chan struct{}
@@ -68,13 +71,16 @@ func (m *MemoryMonitor) Check() (MemorySample, bool) {
 	wasAbove := m.above
 	isAbove := s.Capacity > 0 && s.Fraction >= m.threshold
 	m.above = isAbove
+	edges := m.edges
 	m.mu.Unlock()
 
 	switch {
 	case isAbove && !wasAbove:
+		edges.With("threshold").Inc()
 		m.bus.Emit(event.TopicMemoryThreshold, s)
 		return s, true
 	case !isAbove && wasAbove:
+		edges.With("relief").Inc()
 		m.bus.Emit(event.TopicMemoryRelief, s)
 		return s, true
 	default:
@@ -131,6 +137,9 @@ type ConnectivityMonitor struct {
 
 	mu    sync.Mutex
 	state map[string]bool
+	// obs instruments (nil until Instrument).
+	linkGauge   *obs.GaugeVec
+	transitions *obs.CounterVec
 }
 
 // NewConnectivityMonitor builds a monitor over the device registry.
@@ -144,15 +153,23 @@ func (c *ConnectivityMonitor) Set(name string, up bool) {
 	c.mu.Lock()
 	prev, known := c.state[name]
 	c.state[name] = up
+	linkGauge, transitions := c.linkGauge, c.transitions
 	c.mu.Unlock()
 
+	state := 0.0
+	if up {
+		state = 1
+	}
+	linkGauge.With(name).Set(state)
 	c.reg.SetAvailable(name, up)
 	if known && prev == up {
 		return
 	}
 	if up {
+		transitions.With(name, "up").Inc()
 		c.bus.Emit(event.TopicLinkUp, name)
 	} else {
+		transitions.With(name, "down").Inc()
 		c.bus.Emit(event.TopicLinkDown, name)
 	}
 }

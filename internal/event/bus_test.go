@@ -3,6 +3,9 @@ package event
 import (
 	"sync"
 	"testing"
+	"time"
+
+	"objectswap/internal/obs"
 )
 
 func TestPublishDeliversInSubscriptionOrder(t *testing.T) {
@@ -114,6 +117,63 @@ func TestConcurrentPublishSafe(t *testing.T) {
 	wg.Wait()
 	if count != 1600 {
 		t.Fatalf("count = %d, want 1600", count)
+	}
+}
+
+func TestPanickingSubscriberDoesNotKillPublisher(t *testing.T) {
+	r := obs.NewRegistry(nil)
+	b := NewBus(WithRegistry(r))
+	after := 0
+	b.Subscribe("t", func(Event) { panic("subscriber bug") })
+	b.Subscribe("t", func(Event) { after++ })
+
+	n := b.Emit("t", nil) // must not panic out of Publish
+	if n != 2 {
+		t.Fatalf("Emit returned %d, want 2", n)
+	}
+	if after != 1 {
+		t.Fatal("handler after the panicking one did not run")
+	}
+	if got := b.Panics("t"); got != 1 {
+		t.Fatalf("Panics = %d, want 1", got)
+	}
+	if v, ok := r.Value("objectswap_bus_subscriber_panics_total"); !ok || v != 1 {
+		t.Fatalf("panic counter = %v %v", v, ok)
+	}
+	if v, _ := r.Value("objectswap_bus_published_total", "t"); v != 1 {
+		t.Fatalf("published counter = %v", v)
+	}
+	if v, _ := r.Value("objectswap_bus_delivered_total", "t"); v != 2 {
+		t.Fatalf("delivered counter = %v", v)
+	}
+}
+
+func TestEnvelopeSeqAndTimestamp(t *testing.T) {
+	clk := obs.NewVirtualClock(time.Unix(500, 0))
+	b := NewBus(WithClock(clk))
+	var events []Event
+	b.Subscribe("a", func(ev Event) { events = append(events, ev) })
+	b.Subscribe("b", func(ev Event) { events = append(events, ev) })
+
+	b.Emit("a", nil)
+	clk.Advance(2 * time.Second)
+	b.Emit("b", nil)
+	b.Emit("a", nil)
+
+	if len(events) != 3 {
+		t.Fatalf("events = %d", len(events))
+	}
+	// Seq is bus-wide monotonic across topics.
+	for i, ev := range events {
+		if ev.Seq != uint64(i+1) {
+			t.Fatalf("event %d Seq = %d", i, ev.Seq)
+		}
+	}
+	if !events[0].At.Equal(time.Unix(500, 0)) {
+		t.Fatalf("first At = %v", events[0].At)
+	}
+	if !events[1].At.Equal(time.Unix(502, 0)) || !events[2].At.Equal(time.Unix(502, 0)) {
+		t.Fatalf("later At = %v, %v", events[1].At, events[2].At)
 	}
 }
 

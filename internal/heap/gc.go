@@ -1,5 +1,7 @@
 package heap
 
+import "time"
+
 // CollectStats reports the outcome of one collection cycle.
 type CollectStats struct {
 	// Live is the number of objects that survived the cycle.
@@ -22,6 +24,12 @@ type CollectStats struct {
 // SwappingManager's table-purging finalizers do).
 func (h *Heap) Collect(extra ...ObjID) CollectStats {
 	h.mu.Lock()
+
+	gcClock, gcSeconds, gcFreed := h.gcClock, h.gcSeconds, h.gcFreed
+	var began time.Time
+	if gcClock != nil {
+		began = gcClock.Now()
+	}
 
 	marked := make(map[ObjID]bool, len(h.objects))
 	var stack []ObjID
@@ -94,6 +102,10 @@ func (h *Heap) Collect(extra ...ObjID) CollectStats {
 		f()
 		st.Finalized++
 	}
+	if gcClock != nil {
+		gcSeconds.Observe(gcClock.Now().Sub(began).Seconds())
+	}
+	gcFreed.Add(float64(st.BytesFreed))
 	return st
 }
 

@@ -6,6 +6,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"objectswap/internal/obs"
 )
 
 // Errors reported by heap operations.
@@ -75,6 +77,13 @@ type Heap struct {
 	allocated   uint64
 	collections uint64
 	reclaimed   uint64
+
+	// GC observability hooks, installed by Instrument (nil when the heap is
+	// not instrumented). The clock keeps cycle timings deterministic in
+	// virtual-time tests.
+	gcClock   obs.Clock
+	gcSeconds *obs.Histogram
+	gcFreed   *obs.Counter
 }
 
 // New returns an empty heap. capacity is the byte budget of the device;

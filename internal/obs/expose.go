@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WriteMetrics renders every registered family in the Prometheus text
+// exposition format (version 0.0.4), in deterministic order: family names
+// ascending, series by label values ascending.
+func (r *Registry) WriteMetrics(w io.Writer) error {
+	for _, fs := range r.Gather() {
+		if fs.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", fs.Name, escapeHelp(fs.Help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", fs.Name, fs.Kind); err != nil {
+			return err
+		}
+		for _, p := range fs.Points {
+			if fs.Kind == KindHistogram && p.Hist != nil {
+				if err := writeHistogram(w, fs.Name, p); err != nil {
+					return err
+				}
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%s%s %s\n",
+				fs.Name, renderLabels(p.Labels), formatValue(p.Value)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeHistogram(w io.Writer, name string, p Point) error {
+	cumulative := uint64(0)
+	for i, c := range p.Hist.Counts {
+		cumulative += c
+		le := "+Inf"
+		if i < len(p.Hist.Bounds) {
+			le = formatValue(p.Hist.Bounds[i])
+		}
+		labels := append(append([]Label(nil), p.Labels...), Label{Name: "le", Value: le})
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, renderLabels(labels), cumulative); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, renderLabels(p.Labels), formatValue(p.Hist.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, renderLabels(p.Labels), p.Hist.Count)
+	return err
+}
+
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Name, l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, "\\", `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

@@ -35,6 +35,7 @@ import (
 
 	"objectswap/internal/devctx"
 	"objectswap/internal/event"
+	"objectswap/internal/obs"
 )
 
 // Errors reported by the policy engine.
@@ -214,6 +215,27 @@ type Engine struct {
 	subscribedTopics []event.Topic
 	// errorSink receives action failures (default: counted silently).
 	errorSink func(p *Policy, spec ActionSpec, err error)
+
+	// obs instruments (nil until Instrument; nil vecs record nothing).
+	evaluations    *obs.CounterVec
+	firedC         *obs.CounterVec
+	actionOutcomes *obs.CounterVec
+}
+
+// Instrument registers the engine's counters in r: condition evaluations and
+// triggers per policy, and action outcomes per action.
+func (e *Engine) Instrument(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.evaluations = r.CounterVec("objectswap_policy_evaluations_total",
+		"Policy condition evaluations, per policy.", "policy")
+	e.firedC = r.CounterVec("objectswap_policy_fired_total",
+		"Policies whose condition held and whose actions ran, per policy.", "policy")
+	e.actionOutcomes = r.CounterVec("objectswap_policy_action_outcomes_total",
+		"Action executions by action name and outcome.", "action", "outcome")
 }
 
 // NewEngine builds an engine over an event bus and a metric provider.
@@ -328,24 +350,30 @@ func (e *Engine) handle(ev event.Event) {
 	}
 	actions := e.actions
 	sink := e.errorSink
+	evaluations, fired, outcomes := e.evaluations, e.firedC, e.actionOutcomes
 	e.mu.Unlock()
 
 	for _, p := range matching {
+		evaluations.With(p.Name).Inc()
 		if p.Cond != nil && !p.Cond.Eval(snapshot) {
 			continue
 		}
 		e.mu.Lock()
 		p.fired++
 		e.mu.Unlock()
+		fired.With(p.Name).Inc()
 		for _, spec := range p.Actions {
 			fn := actions[spec.Do]
 			if err := fn(spec, ev); err != nil {
 				e.mu.Lock()
 				p.errors++
 				e.mu.Unlock()
+				outcomes.With(spec.Do, "error").Inc()
 				if sink != nil {
 					sink(p, spec, err)
 				}
+			} else {
+				outcomes.With(spec.Do, "ok").Inc()
 			}
 		}
 	}

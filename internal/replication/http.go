@@ -2,6 +2,7 @@ package replication
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -72,7 +73,7 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, "bad root name", http.StatusBadRequest)
 			return
 		}
-		id, class, err := h.m.FetchRoot(name)
+		id, class, err := h.m.FetchRoot(r.Context(), name)
 		if errors.Is(err, ErrUnknownRoot) {
 			http.NotFound(w, r)
 			return
@@ -90,7 +91,7 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, "bad object id", http.StatusBadRequest)
 			return
 		}
-		doc, err := h.m.FetchCluster(heap.ObjID(id))
+		doc, err := h.m.FetchCluster(r.Context(), heap.ObjID(id))
 		if errors.Is(err, ErrUnknownObject) {
 			http.NotFound(w, r)
 			return
@@ -127,9 +128,18 @@ func NewClient(baseURL string) *Client {
 	}
 }
 
+// get issues a context-bound GET.
+func (c *Client) get(ctx context.Context, url string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	return c.hc.Do(req)
+}
+
 // FetchRoot implements Transport.
-func (c *Client) FetchRoot(name string) (heap.ObjID, string, error) {
-	resp, err := c.hc.Get(c.base + "/repl/root/" + url.PathEscape(name))
+func (c *Client) FetchRoot(ctx context.Context, name string) (heap.ObjID, string, error) {
+	resp, err := c.get(ctx, c.base+"/repl/root/"+url.PathEscape(name))
 	if err != nil {
 		return heap.NilID, "", fmt.Errorf("replication: http: %w", err)
 	}
@@ -149,8 +159,8 @@ func (c *Client) FetchRoot(name string) (heap.ObjID, string, error) {
 }
 
 // FetchCluster implements Transport.
-func (c *Client) FetchCluster(id heap.ObjID) (*xmlcodec.Doc, error) {
-	resp, err := c.hc.Get(c.base + "/repl/cluster/" + strconv.FormatUint(uint64(id), 10))
+func (c *Client) FetchCluster(ctx context.Context, id heap.ObjID) (*xmlcodec.Doc, error) {
+	resp, err := c.get(ctx, c.base+"/repl/cluster/"+strconv.FormatUint(uint64(id), 10))
 	if err != nil {
 		return nil, fmt.Errorf("replication: http: %w", err)
 	}
@@ -170,12 +180,17 @@ func (c *Client) FetchCluster(id heap.ObjID) (*xmlcodec.Doc, error) {
 }
 
 // PushCluster implements UpdateTransport over HTTP.
-func (c *Client) PushCluster(doc *xmlcodec.Doc) error {
+func (c *Client) PushCluster(ctx context.Context, doc *xmlcodec.Doc) error {
 	data, err := doc.Encode()
 	if err != nil {
 		return err
 	}
-	resp, err := c.hc.Post(c.base+"/repl/update", "application/xml", bytes.NewReader(data))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/repl/update", bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/xml")
+	resp, err := c.hc.Do(req)
 	if err != nil {
 		return fmt.Errorf("replication: http update: %w", err)
 	}

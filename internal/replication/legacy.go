@@ -1,0 +1,67 @@
+package replication
+
+import (
+	"context"
+
+	"objectswap/internal/heap"
+	"objectswap/internal/xmlcodec"
+)
+
+// ContextFreeTransport is the original replication transport contract, kept
+// for third-party masters that predate the context-aware API. Wrap one in
+// LegacyTransport to use it as a Transport (mirroring store.Legacy).
+type ContextFreeTransport interface {
+	FetchRoot(name string) (heap.ObjID, string, error)
+	FetchCluster(id heap.ObjID) (*xmlcodec.Doc, error)
+}
+
+// contextFreeUpdater is the optional context-free write-back channel of a
+// ContextFreeTransport.
+type contextFreeUpdater interface {
+	PushCluster(doc *xmlcodec.Doc) error
+}
+
+// LegacyTransport adapts a context-free transport to the Transport contract.
+// The inner transport cannot be interrupted mid-fetch, so the adapter honors
+// ctx at the only point it can: it refuses to start an operation on an
+// already-done context.
+type LegacyTransport struct {
+	Inner ContextFreeTransport
+}
+
+var _ Transport = LegacyTransport{}
+var _ UpdateTransport = LegacyTransport{}
+
+// NewLegacyTransport wraps a context-free transport.
+func NewLegacyTransport(t ContextFreeTransport) LegacyTransport {
+	return LegacyTransport{Inner: t}
+}
+
+// FetchRoot forwards after a cancellation check.
+func (l LegacyTransport) FetchRoot(ctx context.Context, name string) (heap.ObjID, string, error) {
+	if err := ctx.Err(); err != nil {
+		return heap.NilID, "", err
+	}
+	return l.Inner.FetchRoot(name)
+}
+
+// FetchCluster forwards after a cancellation check.
+func (l LegacyTransport) FetchCluster(ctx context.Context, id heap.ObjID) (*xmlcodec.Doc, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return l.Inner.FetchCluster(id)
+}
+
+// PushCluster forwards after a cancellation check, when the inner transport
+// supports write-back.
+func (l LegacyTransport) PushCluster(ctx context.Context, doc *xmlcodec.Doc) error {
+	up, ok := l.Inner.(contextFreeUpdater)
+	if !ok {
+		return ErrUpdatesUnsupported
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return up.PushCluster(doc)
+}

@@ -18,6 +18,7 @@
 package replication
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -37,13 +38,16 @@ var (
 )
 
 // Transport fetches graph shipments from a master node. Implementations:
-// Local (in-process) and Client (HTTP web-services bridge).
+// Master (in-process) and Client (HTTP web-services bridge). Every fetch
+// takes a context so callers can bound transfers over flaky links; transports
+// written against the original context-free contract plug in through
+// LegacyTransport.
 type Transport interface {
 	// FetchRoot resolves a named root on the master to its object identity
 	// and class.
-	FetchRoot(name string) (heap.ObjID, string, error)
+	FetchRoot(ctx context.Context, name string) (heap.ObjID, string, error)
 	// FetchCluster returns the wrapped cluster of objects containing id.
-	FetchCluster(id heap.ObjID) (*xmlcodec.Doc, error)
+	FetchCluster(ctx context.Context, id heap.ObjID) (*xmlcodec.Doc, error)
 }
 
 // Master is the authoritative node: it owns the source object graph (on an
@@ -92,8 +96,12 @@ func (m *Master) Fetches() int {
 	return m.fetches
 }
 
-// FetchRoot implements Transport.
-func (m *Master) FetchRoot(name string) (heap.ObjID, string, error) {
+// FetchRoot implements Transport. The in-process master cannot block, so the
+// context is only checked for prior cancellation.
+func (m *Master) FetchRoot(ctx context.Context, name string) (heap.ObjID, string, error) {
+	if err := ctx.Err(); err != nil {
+		return heap.NilID, "", err
+	}
 	v, ok := m.h.Root(name)
 	if !ok {
 		return heap.NilID, "", fmt.Errorf("%w: %q", ErrUnknownRoot, name)
@@ -113,7 +121,10 @@ func (m *Master) FetchRoot(name string) (heap.ObjID, string, error) {
 // ClusterSize objects rooted at id. References leaving the shipment are
 // encoded as remote references carrying the target's class, so the receiver
 // can synthesize object-fault proxies without further round trips.
-func (m *Master) FetchCluster(id heap.ObjID) (*xmlcodec.Doc, error) {
+func (m *Master) FetchCluster(ctx context.Context, id heap.ObjID) (*xmlcodec.Doc, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	m.mu.Lock()
 	m.fetches++
 	m.mu.Unlock()

@@ -1,6 +1,7 @@
 package replication
 
 import (
+	"context"
 	"errors"
 	"net/http/httptest"
 	"testing"
@@ -83,7 +84,7 @@ func TestReplicateRootCreatesFaultProxy(t *testing.T) {
 	rt := newDevice(t, 0)
 	r := Attach(rt, m)
 
-	v, err := r.ReplicateRoot("head")
+	v, err := r.ReplicateRoot(context.Background(), "head")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +98,7 @@ func TestReplicateRootCreatesFaultProxy(t *testing.T) {
 	if rt.Manager().ObjProxyCount() != 1 {
 		t.Fatalf("object-fault proxies = %d, want 1", rt.Manager().ObjProxyCount())
 	}
-	if _, err := r.ReplicateRoot("ghost"); !errors.Is(err, ErrUnknownRoot) {
+	if _, err := r.ReplicateRoot(context.Background(), "ghost"); !errors.Is(err, ErrUnknownRoot) {
 		t.Fatalf("unknown root: %v", err)
 	}
 }
@@ -106,7 +107,7 @@ func TestFaultReplicatesWholeCluster(t *testing.T) {
 	m := buildMaster(t, 30, 10)
 	rt := newDevice(t, 0)
 	r := Attach(rt, m)
-	v, err := r.ReplicateRoot("head")
+	v, err := r.ReplicateRoot(context.Background(), "head")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +142,7 @@ func TestIncrementalWalkReplicatesOnDemand(t *testing.T) {
 	m := buildMaster(t, 30, 10)
 	rt := newDevice(t, 0)
 	r := Attach(rt, m)
-	v, err := r.ReplicateRoot("head")
+	v, err := r.ReplicateRoot(context.Background(), "head")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +174,7 @@ func TestGroupSizeFormsLargerSwapClusters(t *testing.T) {
 	m := buildMaster(t, 40, 10)
 	rt := newDevice(t, 0)
 	r := Attach(rt, m, WithGroupSize(2))
-	v, err := r.ReplicateRoot("head")
+	v, err := r.ReplicateRoot(context.Background(), "head")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,7 +201,7 @@ func TestReplicatedGraphSwapsOutAndBack(t *testing.T) {
 	m := buildMaster(t, 30, 10)
 	rt := newDevice(t, 0)
 	r := Attach(rt, m)
-	v, err := r.ReplicateRoot("head")
+	v, err := r.ReplicateRoot(context.Background(), "head")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,7 +235,7 @@ func TestPartiallyReplicatedClusterSwapsWithRemoteEdges(t *testing.T) {
 	m := buildMaster(t, 20, 10)
 	rt := newDevice(t, 0)
 	r := Attach(rt, m)
-	v, err := r.ReplicateRoot("head")
+	v, err := r.ReplicateRoot(context.Background(), "head")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -275,7 +276,7 @@ func TestReplicationEventsPublished(t *testing.T) {
 	bus.Subscribe(event.TopicClusterReplicated, func(ev event.Event) {
 		events = append(events, ev.Payload.(ClusterEvent))
 	})
-	v, _ := r.ReplicateRoot("head")
+	v, _ := r.ReplicateRoot(context.Background(), "head")
 	if _, err := rt.Invoke(v, "walk", heap.Int(1)); err != nil {
 		t.Fatal(err)
 	}
@@ -295,7 +296,7 @@ func TestHTTPTransport(t *testing.T) {
 	rt := newDevice(t, 0)
 	client := NewClient(srv.URL)
 	r := Attach(rt, client)
-	v, err := r.ReplicateRoot("head")
+	v, err := r.ReplicateRoot(context.Background(), "head")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -307,20 +308,20 @@ func TestHTTPTransport(t *testing.T) {
 		t.Fatalf("walk over HTTP = %v", out[0])
 	}
 	// Error paths.
-	if _, _, err := client.FetchRoot("ghost"); !errors.Is(err, ErrUnknownRoot) {
+	if _, _, err := client.FetchRoot(context.Background(), "ghost"); !errors.Is(err, ErrUnknownRoot) {
 		t.Fatalf("http unknown root: %v", err)
 	}
-	if _, err := client.FetchCluster(999999); !errors.Is(err, ErrUnknownObject) {
+	if _, err := client.FetchCluster(context.Background(), 999999); !errors.Is(err, ErrUnknownObject) {
 		t.Fatalf("http unknown object: %v", err)
 	}
 }
 
 func TestMasterFetchClusterErrors(t *testing.T) {
 	m := buildMaster(t, 10, 5)
-	if _, err := m.FetchCluster(424242); !errors.Is(err, ErrUnknownObject) {
+	if _, err := m.FetchCluster(context.Background(), 424242); !errors.Is(err, ErrUnknownObject) {
 		t.Fatalf("unknown object: %v", err)
 	}
-	if _, _, err := m.FetchRoot("nope"); !errors.Is(err, ErrUnknownRoot) {
+	if _, _, err := m.FetchRoot(context.Background(), "nope"); !errors.Is(err, ErrUnknownRoot) {
 		t.Fatalf("unknown root: %v", err)
 	}
 }
@@ -343,11 +344,11 @@ func TestSharedSubgraphKeepsIdentity(t *testing.T) {
 
 	rt := newDevice(t, 0)
 	r := Attach(rt, m)
-	va, err := r.ReplicateRoot("a")
+	va, err := r.ReplicateRoot(context.Background(), "a")
 	if err != nil {
 		t.Fatal(err)
 	}
-	vb, err := r.ReplicateRoot("b")
+	vb, err := r.ReplicateRoot(context.Background(), "b")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -382,7 +383,7 @@ func TestSetGroupSizeAdaptsAtRuntime(t *testing.T) {
 	if r.GroupSize() != 3 {
 		t.Fatalf("group size = %d", r.GroupSize())
 	}
-	v, err := r.ReplicateRoot("head")
+	v, err := r.ReplicateRoot(context.Background(), "head")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -444,14 +445,14 @@ func TestMasterAccessorsAndLocalOf(t *testing.T) {
 
 	rt := newDevice(t, 0)
 	r := Attach(rt, m)
-	headID, _, err := m.FetchRoot("head")
+	headID, _, err := m.FetchRoot(context.Background(), "head")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if _, ok := r.LocalOf(headID); ok {
 		t.Fatal("LocalOf before replication")
 	}
-	v, _ := r.ReplicateRoot("head")
+	v, _ := r.ReplicateRoot(context.Background(), "head")
 	if _, err := rt.Invoke(v, "tag"); err != nil {
 		t.Fatal(err)
 	}
@@ -467,7 +468,7 @@ func TestPrefetchHoardsForDisconnectedOperation(t *testing.T) {
 	r := Attach(rt, m)
 
 	// Hoard everything, then take the master away.
-	n, err := r.Prefetch("head", 0)
+	n, err := r.Prefetch(context.Background(), "head", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -504,7 +505,7 @@ func TestPrefetchBudget(t *testing.T) {
 	m := buildMaster(t, 50, 10)
 	rt := newDevice(t, 0)
 	r := Attach(rt, m)
-	n, err := r.Prefetch("head", 25)
+	n, err := r.Prefetch(context.Background(), "head", 25)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -513,7 +514,7 @@ func TestPrefetchBudget(t *testing.T) {
 		t.Fatalf("prefetched %d objects for budget 25", n)
 	}
 	// A second prefetch with no budget completes the hoard.
-	n2, err := r.Prefetch("head", 0)
+	n2, err := r.Prefetch(context.Background(), "head", 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package replication
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -122,9 +123,10 @@ func (r *Replicator) LocalOf(remote heap.ObjID) (heap.ObjID, bool) {
 
 // ReplicateRoot makes the master's named root available on the device under
 // the same root name: as the local replica if already fetched, otherwise as
-// an object-fault proxy whose first use replicates its cluster.
-func (r *Replicator) ReplicateRoot(name string) (heap.Value, error) {
-	remote, class, err := r.transport.FetchRoot(name)
+// an object-fault proxy whose first use replicates its cluster. ctx bounds
+// the master round trip.
+func (r *Replicator) ReplicateRoot(ctx context.Context, name string) (heap.Value, error) {
+	remote, class, err := r.transport.FetchRoot(ctx, name)
 	if err != nil {
 		return heap.Nil(), err
 	}
@@ -153,9 +155,10 @@ func (r *Replicator) ReplicateRoot(name string) (heap.Value, error) {
 // traversals within the hoarded region need no connectivity to the master
 // (swapping to nearby devices still works, and the catalogue survives master
 // loss entirely once fully hoarded). It returns the number of objects
-// installed by this call.
-func (r *Replicator) Prefetch(rootName string, maxObjects int) (int, error) {
-	if _, err := r.ReplicateRoot(rootName); err != nil {
+// installed by this call. ctx bounds the whole hoarding sweep: it is checked
+// between shipments and passed to every fetch.
+func (r *Replicator) Prefetch(ctx context.Context, rootName string, maxObjects int) (int, error) {
+	if _, err := r.ReplicateRoot(ctx, rootName); err != nil {
 		return 0, err
 	}
 	before := r.StatsSnapshot().ObjectsInstalled
@@ -163,6 +166,9 @@ func (r *Replicator) Prefetch(rootName string, maxObjects int) (int, error) {
 		installed := r.StatsSnapshot().ObjectsInstalled - before
 		if maxObjects > 0 && installed >= maxObjects {
 			return installed, nil
+		}
+		if err := ctx.Err(); err != nil {
+			return installed, err
 		}
 		// Find any live object-fault placeholder and fault it in. The sweep
 		// in replicateCluster keeps replacing resolved ones, so each round
@@ -175,7 +181,7 @@ func (r *Replicator) Prefetch(rootName string, maxObjects int) (int, error) {
 		if err != nil {
 			continue
 		}
-		if _, err := r.HandleFault(r.rt, p); err != nil {
+		if _, err := r.handleFault(ctx, p); err != nil {
 			return r.StatsSnapshot().ObjectsInstalled - before, err
 		}
 	}
@@ -204,8 +210,15 @@ func (r *Replicator) nextPlaceholder() (heap.ObjID, bool) {
 
 // HandleFault implements core.FaultHandler: it replicates the cluster
 // containing the proxy's remote target and returns a reference to the local
-// replica.
+// replica. Faults triggered by application traversal carry no caller
+// context, so the fetch runs unbounded (context.Background); Prefetch routes
+// through handleFault directly to keep its context.
 func (r *Replicator) HandleFault(rt *core.Runtime, proxy *heap.Object) (heap.Value, error) {
+	return r.handleFault(context.Background(), proxy)
+}
+
+// handleFault is HandleFault with an explicit context.
+func (r *Replicator) handleFault(ctx context.Context, proxy *heap.Object) (heap.Value, error) {
 	remote := core.ObjProxyRemote(proxy)
 	r.mu.Lock()
 	r.stats.Faults++
@@ -215,7 +228,7 @@ func (r *Replicator) HandleFault(rt *core.Runtime, proxy *heap.Object) (heap.Val
 		// Already replicated (the proxy is a stale alias awaiting sweep).
 		return heap.Ref(local), nil
 	}
-	if err := r.replicateCluster(remote); err != nil {
+	if err := r.replicateCluster(ctx, remote); err != nil {
 		return heap.Nil(), err
 	}
 	r.mu.Lock()
@@ -228,8 +241,8 @@ func (r *Replicator) HandleFault(rt *core.Runtime, proxy *heap.Object) (heap.Val
 }
 
 // replicateCluster fetches and installs the shipment containing remote.
-func (r *Replicator) replicateCluster(remote heap.ObjID) error {
-	doc, err := r.transport.FetchCluster(remote)
+func (r *Replicator) replicateCluster(ctx context.Context, remote heap.ObjID) error {
+	doc, err := r.transport.FetchCluster(ctx, remote)
 	if err != nil {
 		return fmt.Errorf("replication: fetch cluster of @%d: %w", remote, err)
 	}

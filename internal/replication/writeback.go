@@ -1,6 +1,7 @@
 package replication
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -27,8 +28,8 @@ var ErrUnsyncedReference = errors.New("replication: reference to unreplicated lo
 // UpdateTransport is the optional write-back channel of a Transport.
 type UpdateTransport interface {
 	// PushCluster applies an update document (objects named by master
-	// identities) on the master.
-	PushCluster(doc *xmlcodec.Doc) error
+	// identities) on the master. ctx bounds the round trip.
+	PushCluster(ctx context.Context, doc *xmlcodec.Doc) error
 }
 
 // enableWriteback installs the dirty-tracking observer. Called by Attach.
@@ -52,8 +53,8 @@ func (r *Replicator) DirtyCount() int {
 // PushUpdates ships the current state of every dirty replica back to the
 // master and clears the dirty set. It returns the number of objects pushed.
 // Replicas that are currently swapped out are faulted back in first (their
-// state on the swapping device is the state to push).
-func (r *Replicator) PushUpdates() (int, error) {
+// state on the swapping device is the state to push). ctx bounds the push.
+func (r *Replicator) PushUpdates(ctx context.Context) (int, error) {
 	ut, ok := r.transport.(UpdateTransport)
 	if !ok {
 		return 0, ErrUpdatesUnsupported
@@ -118,7 +119,7 @@ func (r *Replicator) PushUpdates() (int, error) {
 		pushed = append(pushed, id)
 	}
 
-	if err := ut.PushCluster(doc); err != nil {
+	if err := ut.PushCluster(ctx, doc); err != nil {
 		return 0, fmt.Errorf("replication: push updates: %w", err)
 	}
 	r.mu.Lock()
@@ -169,6 +170,11 @@ func (m *Master) ApplyUpdate(doc *xmlcodec.Doc) error {
 }
 
 // PushCluster implements UpdateTransport for the in-process master.
-func (m *Master) PushCluster(doc *xmlcodec.Doc) error { return m.ApplyUpdate(doc) }
+func (m *Master) PushCluster(ctx context.Context, doc *xmlcodec.Doc) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return m.ApplyUpdate(doc)
+}
 
 var _ UpdateTransport = (*Master)(nil)

@@ -1,6 +1,7 @@
 package replication
 
 import (
+	"context"
 	"errors"
 	"net/http/httptest"
 	"testing"
@@ -13,7 +14,7 @@ func TestWritebackScalarUpdate(t *testing.T) {
 	m := buildMaster(t, 20, 10)
 	rt := newDevice(t, 0)
 	r := Attach(rt, m)
-	v, _ := r.ReplicateRoot("head")
+	v, _ := r.ReplicateRoot(context.Background(), "head")
 	if _, err := rt.Invoke(v, "walk", heap.Int(1)); err != nil {
 		t.Fatal(err)
 	}
@@ -30,7 +31,7 @@ func TestWritebackScalarUpdate(t *testing.T) {
 		t.Fatalf("dirty = %d, want 1", r.DirtyCount())
 	}
 
-	n, err := r.PushUpdates()
+	n, err := r.PushUpdates(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,7 +39,7 @@ func TestWritebackScalarUpdate(t *testing.T) {
 		t.Fatalf("pushed %d, dirty %d", n, r.DirtyCount())
 	}
 	// Verify on the master.
-	masterHeadID, _, _ := m.FetchRoot("head")
+	masterHeadID, _, _ := m.FetchRoot(context.Background(), "head")
 	mo, _ := m.Heap().Get(masterHeadID)
 	tag, _ := mo.FieldByName("tag")
 	if tag.MustInt() != 777 {
@@ -55,13 +56,13 @@ func TestWritebackReferenceRewiring(t *testing.T) {
 	m := buildMaster(t, 20, 10)
 	rt := newDevice(t, 0)
 	r := Attach(rt, m)
-	v, _ := r.ReplicateRoot("head")
+	v, _ := r.ReplicateRoot(context.Background(), "head")
 	if _, err := rt.Invoke(v, "walk", heap.Int(1)); err != nil {
 		t.Fatal(err)
 	}
 
 	// Point local head's next at the local tail replica.
-	masterHeadID, _, _ := m.FetchRoot("head")
+	masterHeadID, _, _ := m.FetchRoot(context.Background(), "head")
 	localHead, _ := r.LocalOf(masterHeadID)
 	// Find the master tail (tag 19) and its replica.
 	var masterTail heap.ObjID
@@ -78,7 +79,7 @@ func TestWritebackReferenceRewiring(t *testing.T) {
 	if err := rt.SetFieldValue(heap.Ref(localHead), "next", heap.Ref(localTail)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := r.PushUpdates(); err != nil {
+	if _, err := r.PushUpdates(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	mo, _ := m.Heap().Get(masterHeadID)
@@ -100,7 +101,7 @@ func TestWritebackRejectsUnsyncedReference(t *testing.T) {
 	m := buildMaster(t, 10, 10)
 	rt := newDevice(t, 0)
 	r := Attach(rt, m)
-	v, _ := r.ReplicateRoot("head")
+	v, _ := r.ReplicateRoot(context.Background(), "head")
 	if _, err := rt.Invoke(v, "tag"); err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +118,7 @@ func TestWritebackRejectsUnsyncedReference(t *testing.T) {
 	if err := rt.SetFieldValue(head, "next", localOnly.RefTo()); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := r.PushUpdates(); !errors.Is(err, ErrUnsyncedReference) {
+	if _, err := r.PushUpdates(context.Background()); !errors.Is(err, ErrUnsyncedReference) {
 		t.Fatalf("push with local-only ref: %v", err)
 	}
 }
@@ -128,7 +129,7 @@ func TestWritebackOverHTTP(t *testing.T) {
 	defer srv.Close()
 	rt := newDevice(t, 0)
 	r := Attach(rt, NewClient(srv.URL))
-	v, _ := r.ReplicateRoot("head")
+	v, _ := r.ReplicateRoot(context.Background(), "head")
 	if _, err := rt.Invoke(v, "tag"); err != nil {
 		t.Fatal(err)
 	}
@@ -136,10 +137,10 @@ func TestWritebackOverHTTP(t *testing.T) {
 	if err := rt.SetFieldValue(head, "tag", heap.Int(31337)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := r.PushUpdates(); err != nil {
+	if _, err := r.PushUpdates(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	masterHeadID, _, _ := m.FetchRoot("head")
+	masterHeadID, _, _ := m.FetchRoot(context.Background(), "head")
 	mo, _ := m.Heap().Get(masterHeadID)
 	tag, _ := mo.FieldByName("tag")
 	if tag.MustInt() != 31337 {
@@ -151,7 +152,7 @@ func TestWritebackNoDirtyIsNoop(t *testing.T) {
 	m := buildMaster(t, 10, 10)
 	rt := newDevice(t, 0)
 	r := Attach(rt, m)
-	if n, err := r.PushUpdates(); err != nil || n != 0 {
+	if n, err := r.PushUpdates(context.Background()); err != nil || n != 0 {
 		t.Fatalf("empty push = %d, %v", n, err)
 	}
 }
@@ -166,7 +167,7 @@ func TestApplyUpdateValidation(t *testing.T) {
 	}}); err == nil {
 		t.Error("update for unknown master object accepted")
 	}
-	headID, _, _ := m.FetchRoot("head")
+	headID, _, _ := m.FetchRoot(context.Background(), "head")
 	if err := m.ApplyUpdate(&xmlcodec.Doc{Version: xmlcodec.Version, Objects: []xmlcodec.Object{
 		{ID: headID, Class: "WrongClass"},
 	}}); err == nil {
@@ -179,7 +180,7 @@ func TestWritebackAfterSwapCycle(t *testing.T) {
 	m := buildMaster(t, 20, 10)
 	rt := newDevice(t, 0)
 	r := Attach(rt, m)
-	v, _ := r.ReplicateRoot("head")
+	v, _ := r.ReplicateRoot(context.Background(), "head")
 	if _, err := rt.Invoke(v, "walk", heap.Int(1)); err != nil {
 		t.Fatal(err)
 	}
@@ -193,14 +194,14 @@ func TestWritebackAfterSwapCycle(t *testing.T) {
 		t.Fatal(err)
 	}
 	rt.Collect()
-	n, err := r.PushUpdates()
+	n, err := r.PushUpdates(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if n != 1 {
 		t.Fatalf("pushed %d", n)
 	}
-	masterHeadID, _, _ := m.FetchRoot("head")
+	masterHeadID, _, _ := m.FetchRoot(context.Background(), "head")
 	mo, _ := m.Heap().Get(masterHeadID)
 	tag, _ := mo.FieldByName("tag")
 	if tag.MustInt() != 555 {

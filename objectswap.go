@@ -38,6 +38,7 @@ import (
 	"objectswap/internal/devctx"
 	"objectswap/internal/event"
 	"objectswap/internal/heap"
+	"objectswap/internal/obs"
 	"objectswap/internal/policy"
 	"objectswap/internal/replication"
 	"objectswap/internal/store"
@@ -67,6 +68,10 @@ type (
 	TransportPolicy = transport.Policy
 	// TransportSnapshot is the aggregate transport-metrics view.
 	TransportSnapshot = transport.Snapshot
+	// MetricsRegistry is the observability registry every layer reports into.
+	MetricsRegistry = obs.Registry
+	// Clock is the time source driving all observability timings.
+	Clock = obs.Clock
 )
 
 // Swap options, re-exported from the runtime layer.
@@ -126,6 +131,11 @@ type Config struct {
 	// of one cluster with the device shipment of another. 0 or 1 keeps the
 	// sequential one-victim-then-collect evictor.
 	EvictParallelism int
+	// Clock is the time source for all observability timings — event
+	// timestamps, swap-phase durations, GC pauses, transport latencies
+	// (default: the wall clock). Inject obs.NewVirtualClock in tests for
+	// deterministic timings.
+	Clock obs.Clock
 }
 
 // System is the assembled middleware stack of one constrained device.
@@ -141,19 +151,22 @@ type System struct {
 
 	transportPol TransportPolicy
 	metrics      *transport.Metrics
+	obsReg       *obs.Registry
 }
 
-// New assembles a System from cfg.
+// New assembles a System from cfg. Every layer reports into one shared
+// observability registry — the spine exposed by Metrics / WriteMetrics.
 func New(cfg Config) (*System, error) {
+	reg := obs.NewRegistry(cfg.Clock)
 	h := heap.New(cfg.HeapCapacity)
 	// Host code builds graphs through Go references; give fresh objects a
 	// nursery grace so a policy-triggered collection between allocation and
 	// rooting cannot reclaim them.
 	h.SetNurseryGrace(2)
-	bus := event.NewBus()
+	bus := event.NewBus(event.WithClock(reg.Clock()), event.WithRegistry(reg))
 	devices := store.NewRegistry(cfg.DeviceSelection)
 
-	opts := []core.Option{core.WithStores(devices), core.WithBus(bus)}
+	opts := []core.Option{core.WithStores(devices), core.WithBus(bus), core.WithObs(reg)}
 	if cfg.KeepOnReload {
 		opts = append(opts, core.WithKeepOnReload())
 	}
@@ -161,10 +174,13 @@ func New(cfg Config) (*System, error) {
 		opts = append(opts, core.WithName(cfg.DeviceName))
 	}
 	rt := core.NewRuntime(h, heap.NewRegistry(), opts...)
+	h.Instrument(reg, rt.Name())
 
 	conn := devctx.NewConnectivityMonitor(bus, devices)
+	conn.Instrument(reg)
 	ctx := devctx.NewContext(h, conn)
 	engine := policy.NewEngine(bus, ctx)
+	engine.Instrument(reg)
 	policy.BindSwapActions(engine, rt)
 	if cfg.EvictParallelism > 1 {
 		rt.SetEvictor(rt.EvictorWith(core.EvictOptions{Parallelism: cfg.EvictParallelism}))
@@ -178,7 +194,7 @@ func New(cfg Config) (*System, error) {
 		return nil, fmt.Errorf("objectswap: load policies: %w", err)
 	}
 
-	metrics := transport.NewMetrics()
+	metrics := transport.NewMetricsWith(reg)
 	// Every failed destination on a swap-out's failover trail counts as one
 	// failover in the transport metrics.
 	bus.Subscribe(event.TopicSwapOut, func(ev event.Event) {
@@ -189,19 +205,32 @@ func New(cfg Config) (*System, error) {
 		}
 	})
 
+	monitor := devctx.NewMemoryMonitor(h, bus, cfg.MemoryThreshold)
+	monitor.Instrument(reg)
+
 	return &System{
 		heap:         h,
 		rt:           rt,
 		bus:          bus,
 		devices:      devices,
-		monitor:      devctx.NewMemoryMonitor(h, bus, cfg.MemoryThreshold),
+		monitor:      monitor,
 		conn:         conn,
 		context:      ctx,
 		engine:       engine,
 		transportPol: cfg.Transport,
 		metrics:      metrics,
+		obsReg:       reg,
 	}, nil
 }
+
+// Metrics exposes the shared observability registry: every layer — heap,
+// swap runtime, event bus, transport, policy engine, device monitors —
+// reports into it.
+func (s *System) Metrics() *obs.Registry { return s.obsReg }
+
+// WriteMetrics renders the full metrics page in the Prometheus text
+// exposition format (version 0.0.4).
+func (s *System) WriteMetrics(w io.Writer) error { return s.obsReg.WriteMetrics(w) }
 
 // Runtime exposes the swapping runtime.
 func (s *System) Runtime() *core.Runtime { return s.rt }

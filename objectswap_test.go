@@ -222,7 +222,7 @@ func TestSystemReplication(t *testing.T) {
 	_ = sys.AttachDevice("neighbor", store.NewMem(0))
 	sys.MustRegisterClass(taskClass())
 	repl := sys.ReplicateFrom(master, 1)
-	if _, err := repl.ReplicateRoot("inbox"); err != nil {
+	if _, err := repl.ReplicateRoot(context.Background(), "inbox"); err != nil {
 		t.Fatal(err)
 	}
 	root, _ := sys.MustRoot("inbox")

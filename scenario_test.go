@@ -6,6 +6,7 @@ package objectswap
 // clusters fully isolated per device.
 
 import (
+	"context"
 	"fmt"
 	"net/http/httptest"
 	"sync"
@@ -91,10 +92,40 @@ func runPDA(id int, masterURL, store1URL, store2URL string, items int, swaps *at
 	if err := sys.AttachDevice("shared-2", store.NewClient(store2URL)); err != nil {
 		return err
 	}
-	sys.Bus().Subscribe(event.TopicSwapOut, func(event.Event) { swaps.Add(1) })
+	// Every published swap event must carry the pipeline's phase breakdown.
+	var phaseErr atomic.Value
+	checkPhases := func(ev event.Event, want []string) {
+		e, ok := ev.Payload.(SwapEvent)
+		if !ok {
+			phaseErr.Store(fmt.Errorf("swap event payload is %T", ev.Payload))
+			return
+		}
+		if len(e.Phases) != len(want) {
+			phaseErr.Store(fmt.Errorf("swap event has %d phases, want %d", len(e.Phases), len(want)))
+			return
+		}
+		var bytes int64
+		for i, ph := range e.Phases {
+			if ph.Name != want[i] {
+				phaseErr.Store(fmt.Errorf("phase %d is %q, want %q", i, ph.Name, want[i]))
+				return
+			}
+			bytes += ph.Bytes
+		}
+		if bytes == 0 {
+			phaseErr.Store(fmt.Errorf("swap event phases carry no bytes"))
+		}
+	}
+	sys.Bus().Subscribe(event.TopicSwapOut, func(ev event.Event) {
+		swaps.Add(1)
+		checkPhases(ev, []string{"reserve", "snapshot", "encode", "ship", "commit"})
+	})
+	sys.Bus().Subscribe(event.TopicSwapIn, func(ev event.Event) {
+		checkPhases(ev, []string{"reserve", "fetch", "decode", "evict", "install"})
+	})
 	sys.MustRegisterClass(taskClass())
 	repl := sys.ReplicateFrom(replication.NewClient(masterURL), 1)
-	if _, err := repl.ReplicateRoot("catalogue"); err != nil {
+	if _, err := repl.ReplicateRoot(context.Background(), "catalogue"); err != nil {
 		return err
 	}
 
@@ -126,6 +157,9 @@ func runPDA(id int, masterURL, store1URL, store2URL string, items int, swaps *at
 		if count != items {
 			return fmt.Errorf("pass %d: %d items, want %d", pass, count, items)
 		}
+	}
+	if err, ok := phaseErr.Load().(error); ok {
+		return err
 	}
 	return nil
 }
