@@ -303,6 +303,60 @@ func BenchmarkVictimStrategy(b *testing.B) {
 	}
 }
 
+// BenchmarkSwapEndToEnd measures one full swap-out/swap-in round trip at the
+// facade level — bus events, metrics, flight recorder, transport resilience
+// and trace propagation all enabled — against a simulated 100 Mbps / 1 ms
+// LAN store. This is the latency an operator of a wired System sees, as
+// opposed to BenchmarkSwapCycle's bare-runtime figure; results are recorded
+// in BENCH_swap.json.
+func BenchmarkSwapEndToEnd(b *testing.B) {
+	lan := link.Profile{Name: "lan", BitsPerSecond: 100_000_000, Latency: time.Millisecond}
+	for _, n := range []int{20, 50, 100} {
+		b.Run(fmt.Sprintf("objects=%d", n), func(b *testing.B) {
+			sys, err := New(Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := sys.AttachDevice("lan-neighbor",
+				link.Wrap(store.NewMem(0), lan, link.RealClock{})); err != nil {
+				b.Fatal(err)
+			}
+			cls := bench.NodeClass()
+			sys.MustRegisterClass(cls)
+			cluster := sys.NewCluster()
+			payload := make([]byte, 64)
+			var prev *heap.Object
+			for i := 0; i < n; i++ {
+				o, err := sys.NewObject(cls, cluster)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := o.SetFieldByName("payload", heap.Bytes(payload)); err != nil {
+					b.Fatal(err)
+				}
+				if prev == nil {
+					if err := sys.SetRoot("head", o.RefTo()); err != nil {
+						b.Fatal(err)
+					}
+				} else if err := sys.SetField(prev.RefTo(), "next", o.RefTo()); err != nil {
+					b.Fatal(err)
+				}
+				prev = o
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sys.SwapOut(cluster); err != nil {
+					b.Fatal(err)
+				}
+				sys.Collect()
+				if _, err := sys.SwapIn(cluster); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkProxyHop isolates the cost the paper's trade-off rests on: one
 // cross-cluster invocation vs one intra-cluster invocation.
 func BenchmarkProxyHop(b *testing.B) {

@@ -15,5 +15,8 @@ go vet ./...
 go build ./...
 go test ./...
 go test -race ./...
-go test -cover ./internal/obs/ ./internal/core/
+go test -cover ./internal/obs/ ./internal/core/ ./internal/opshttp/
+# Ops-surface smoke: a real listener on :0 must answer 200 on /metrics,
+# /healthz, /debug/traces and /debug/events.
+go test -run '^TestSmoke$' -count=1 ./internal/opshttp/
 go test -bench . -benchtime=1x -run '^$' ./...

@@ -8,19 +8,26 @@
 //
 //	obiswap [-heap bytes] [-clusters N] [-per N] [-payload bytes]
 //	        [-device url] [-threshold 0.75] [-metrics]
+//	        [-ops :9982] [-linger 30s] [-log-level info] [-log-json]
 //
 // With -device, shipments go to a running swapstore over HTTP; otherwise an
-// in-process memory device is used.
+// in-process memory device is used. With -ops, the operator surface
+// (/metrics, /healthz, /debug/traces, /debug/events, /debug/pprof) is served
+// on a side port; -linger keeps the process alive after the run so the
+// endpoints can be inspected.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"objectswap"
 	"objectswap/internal/event"
 	"objectswap/internal/heap"
+	olog "objectswap/internal/obs/log"
+	"objectswap/internal/opshttp"
 	"objectswap/internal/store"
 )
 
@@ -40,14 +47,38 @@ func run() error {
 	threshold := flag.Float64("threshold", 0.75, "memory pressure threshold fraction")
 	dot := flag.Bool("dot", false, "after building, dump the object graph as Graphviz DOT to stdout and exit")
 	metrics := flag.Bool("metrics", false, "after the run, dump the full metrics page (Prometheus text format) to stdout")
+	ops := flag.String("ops", "", "serve the ops surface (/metrics, /healthz, /debug/traces, /debug/pprof) on this address, e.g. :9982")
+	linger := flag.Duration("linger", 0, "keep the process (and ops server) alive this long after the run")
+	logLevel := flag.String("log-level", "info", "structured log level: debug, info, warn, error")
+	logJSON := flag.Bool("log-json", false, "emit structured logs as JSON instead of key=value")
 	flag.Parse()
+
+	level, err := olog.ParseLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	format := olog.FormatKV
+	if *logJSON {
+		format = olog.FormatJSON
+	}
+	logger := olog.New(os.Stderr, olog.WithLevel(level), olog.WithFormat(format))
 
 	sys, err := objectswap.New(objectswap.Config{
 		HeapCapacity:    *heapBytes,
 		MemoryThreshold: *threshold,
+		Logger:          logger,
 	})
 	if err != nil {
 		return err
+	}
+
+	if *ops != "" {
+		srv, err := opshttp.Start(*ops, sys.OpsHandler())
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		logger.Info("ops server listening", "url", srv.URL())
 	}
 
 	var dev store.Store
@@ -178,6 +209,10 @@ func run() error {
 	}
 	if got != want {
 		return fmt.Errorf("checksum mismatch")
+	}
+	if *linger > 0 {
+		logger.Info("lingering for ops inspection", "dur", *linger)
+		time.Sleep(*linger)
 	}
 	return nil
 }

@@ -5,19 +5,27 @@
 // Usage:
 //
 //	swapstore [-addr :9980] [-dir path] [-capacity bytes]
+//	          [-ops :9981] [-log-level info] [-log-json]
 //
 // With -dir, shipments persist as files (a desktop PC holding swap files);
-// otherwise they are held in memory (another PDA's RAM).
+// otherwise they are held in memory (another PDA's RAM). Every request is
+// access-logged through the structured logger, carrying the requesting
+// device's X-Obiswap-Trace ID when present, and retained in a flight
+// recorder; -ops serves /metrics, /healthz and /debug/traces on a side port
+// so the serving side of a swap is as observable as the constrained device.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
 	"os"
 	"time"
 
+	"objectswap/internal/obs"
+	olog "objectswap/internal/obs/log"
+	"objectswap/internal/opshttp"
 	"objectswap/internal/store"
 )
 
@@ -33,42 +41,112 @@ func run() error {
 	dir := flag.String("dir", "", "persist shipments under this directory (default: in-memory)")
 	capacity := flag.Int64("capacity", 0, "byte capacity offered to neighbors (0 = unlimited)")
 	keep := flag.Int("keep", -1, "archive up to N replaced/dropped generations per key (-1 = off, 0 = unlimited)")
+	ops := flag.String("ops", "", "serve the ops surface (/metrics, /healthz, /debug/traces) on this address, e.g. :9981")
+	logLevel := flag.String("log-level", "info", "structured log level: debug, info, warn, error")
+	logJSON := flag.Bool("log-json", false, "emit structured logs as JSON instead of key=value")
 	flag.Parse()
 
-	var (
-		s   store.Store
-		err error
-	)
+	level, err := olog.ParseLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	format := olog.FormatKV
+	if *logJSON {
+		format = olog.FormatJSON
+	}
+	logger := olog.New(os.Stderr, olog.WithLevel(level), olog.WithFormat(format))
+
+	var s store.Store
 	if *dir != "" {
 		s, err = store.NewDisk(*dir, *capacity)
 		if err != nil {
 			return err
 		}
-		log.Printf("swapstore: disk store at %s (capacity %d)", *dir, *capacity)
+		logger.Info("disk store ready", "dir", *dir, "capacity", *capacity)
 	} else {
 		s = store.NewMem(*capacity)
-		log.Printf("swapstore: in-memory store (capacity %d)", *capacity)
+		logger.Info("in-memory store ready", "capacity", *capacity)
 	}
 
 	if *keep >= 0 {
 		s = store.NewVersioned(s, *keep)
-		log.Printf("swapstore: versioning enabled (keep %d generations)", *keep)
+		logger.Info("versioning enabled", "keep", *keep)
+	}
+
+	reg := obs.NewRegistry(nil)
+	recorder := obs.NewRecorder(0, 0)
+	requests := reg.CounterVec("swapstore_requests_total",
+		"Requests served, by method and status.", "method", "status")
+
+	if *ops != "" {
+		opsSrv, err := opshttp.Start(*ops, opshttp.NewHandler(opshttp.Options{
+			Metrics:  reg,
+			Recorder: recorder,
+			Checks: []opshttp.Check{{Name: "store", Probe: func(ctx context.Context) error {
+				_, err := s.Stats(ctx)
+				return err
+			}}},
+			Logger: logger,
+		}))
+		if err != nil {
+			return err
+		}
+		defer opsSrv.Close()
+		logger.Info("ops server listening", "url", opsSrv.URL())
 	}
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           logging(store.NewHandler(s)),
+		Handler:           accessLog(logger, recorder, requests, store.NewHandler(s)),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	log.Printf("swapstore: listening on %s", *addr)
+	logger.Info("listening", "addr", *addr)
 	return srv.ListenAndServe()
 }
 
-// logging wraps the store handler with one access-log line per request.
-func logging(next http.Handler) http.Handler {
+// accessLog wraps the store handler with one structured access-log line per
+// request — carrying the requesting device's swap trace ID when the request
+// has one — and retains each request as a span in the flight recorder.
+func accessLog(lg *olog.Logger, rec *obs.Recorder, requests *obs.CounterVec, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		next.ServeHTTP(w, r)
-		log.Printf("%s %s (%v)", r.Method, r.URL.Path, time.Since(start).Round(time.Microsecond))
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sw, r)
+		dur := time.Since(start)
+		trace := r.Header.Get(obs.TraceHeader)
+
+		pairs := []any{"method", r.Method, "path", r.URL.Path,
+			"status", sw.status, "dur", dur.Round(time.Microsecond)}
+		if trace != "" {
+			pairs = append(pairs, "trace", trace)
+		}
+		lg.Info("request", pairs...)
+
+		requests.With(r.Method, fmt.Sprint(sw.status)).Inc()
+		outcome, errText := "ok", ""
+		if sw.status >= http.StatusBadRequest {
+			outcome = "error"
+			errText = fmt.Sprintf("status %d", sw.status)
+		}
+		rec.RecordSpan(obs.SpanRecord{
+			Op:         "http." + r.Method,
+			Trace:      trace,
+			Key:        r.URL.Path,
+			Outcome:    outcome,
+			Error:      errText,
+			Start:      start,
+			DurationNS: dur.Nanoseconds(),
+		})
 	})
+}
+
+// statusWriter captures the response status for the access log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
 }

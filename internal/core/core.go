@@ -36,6 +36,7 @@ import (
 	"objectswap/internal/event"
 	"objectswap/internal/heap"
 	"objectswap/internal/obs"
+	olog "objectswap/internal/obs/log"
 	"objectswap/internal/store"
 )
 
@@ -122,6 +123,10 @@ type SwapEvent struct {
 	Key     string
 	Objects int
 	Bytes   int // XML payload size
+	// Trace is the operation's cross-device trace ID, carried to the serving
+	// device in the X-Obiswap-Trace header. Empty on events that are not tied
+	// to one traced operation (drop).
+	Trace string
 	// Attempted lists the devices that failed the shipment before Device
 	// accepted it (swap-out failover trail; empty on the happy path).
 	Attempted []string
@@ -173,6 +178,11 @@ type Runtime struct {
 	name         string
 	keyseq       atomic.Uint64
 	evicting     atomic.Bool
+	// evictStart is the registry-clock start time (unix nanos) of the
+	// in-flight eviction, 0 when idle. Health checks use it to spot a wedged
+	// evictor.
+	evictStart atomic.Int64
+	traceSeq   atomic.Uint64
 
 	// Observability spine. NewRuntime installs a private registry when none
 	// is supplied via WithObs, so swap spans (and SwapEvent.Phases) are
@@ -181,6 +191,8 @@ type Runtime struct {
 	tracer     *obs.Tracer
 	swapErrors *obs.CounterVec
 	coreEvents *obs.CounterVec
+	recorder   *obs.Recorder
+	logger     *olog.Logger
 
 	replacementClass *heap.Class
 	objProxyClass    *heap.Class
@@ -211,6 +223,18 @@ func WithObs(r *obs.Registry) Option {
 			rt.obsReg = r
 		}
 	}
+}
+
+// WithFlightRecorder retains every finished swap span (with phase timings,
+// trace ID, device and outcome) in rec for post-incident look-back.
+func WithFlightRecorder(rec *obs.Recorder) Option {
+	return func(rt *Runtime) { rt.recorder = rec }
+}
+
+// WithLogger emits structured records for swap outcomes and evictions. A nil
+// logger (the default) logs nothing.
+func WithLogger(lg *olog.Logger) Option {
+	return func(rt *Runtime) { rt.logger = lg }
 }
 
 // WithKeepOnReload keeps the XML copy on the device after a successful
@@ -273,6 +297,7 @@ func NewRuntime(h *heap.Heap, reg *heap.Registry, opts ...Option) *Runtime {
 func (rt *Runtime) instrument() {
 	r := rt.obsReg
 	rt.tracer = obs.NewTracer(r, "objectswap_swap")
+	rt.tracer.SetRecorder(rt.recorder)
 	rt.swapErrors = r.CounterVec("objectswap_swap_errors_total",
 		"Failed swap operations by operation.", "op")
 	rt.coreEvents = r.CounterVec("objectswap_core_events_total",
@@ -301,6 +326,26 @@ func (rt *Runtime) instrument() {
 
 // Obs returns the runtime's observability registry (never nil).
 func (rt *Runtime) Obs() *obs.Registry { return rt.obsReg }
+
+// FlightRecorder returns the runtime's flight recorder, which may be nil.
+func (rt *Runtime) FlightRecorder() *obs.Recorder { return rt.recorder }
+
+// Logger returns the runtime's structured logger, which may be nil.
+func (rt *Runtime) Logger() *olog.Logger { return rt.logger }
+
+// HasEvictor reports whether an allocation-pressure hook is installed.
+func (rt *Runtime) HasEvictor() bool { return rt.evictor != nil }
+
+// EvictingSince reports the registry-clock start time of the in-flight
+// eviction pass, if one is running. Health checks use it to flag a wedged
+// evictor.
+func (rt *Runtime) EvictingSince() (time.Time, bool) {
+	ns := rt.evictStart.Load()
+	if ns == 0 {
+		return time.Time{}, false
+	}
+	return time.Unix(0, ns), true
+}
 
 // Heap returns the device heap.
 func (rt *Runtime) Heap() *heap.Heap { return rt.h }
@@ -386,8 +431,24 @@ func (rt *Runtime) runEvictor(need int64) error {
 	if !rt.evicting.CompareAndSwap(false, true) {
 		return errors.New("core: eviction already in progress")
 	}
-	defer rt.evicting.Store(false)
-	return rt.evictor(need)
+	rt.evictStart.Store(rt.obsReg.Clock().Now().UnixNano())
+	defer func() {
+		rt.evictStart.Store(0)
+		rt.evicting.Store(false)
+	}()
+	rt.logger.Debug("eviction start", "need", need)
+	err := rt.evictor(need)
+	if err != nil {
+		rt.logger.Warn("eviction failed", "need", need, "err", err)
+	}
+	return err
+}
+
+// newTrace mints a device-unique trace ID for one swap operation. IDs are
+// deterministic (device name + sequence), so replayed runs produce identical
+// flight-recorder dumps.
+func (rt *Runtime) newTrace() string {
+	return fmt.Sprintf("%s-%08x", rt.name, rt.traceSeq.Add(1))
 }
 
 // NewObject allocates an application object and assigns it to a swap-cluster.

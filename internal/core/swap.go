@@ -10,6 +10,7 @@ import (
 
 	"objectswap/internal/event"
 	"objectswap/internal/heap"
+	"objectswap/internal/obs"
 	"objectswap/internal/store"
 	"objectswap/internal/xmlcodec"
 )
@@ -52,10 +53,17 @@ func (rt *Runtime) SwapOut(id ClusterID, opts ...SwapOption) (ev SwapEvent, retE
 	if rt.stores == nil {
 		return SwapEvent{}, ErrNoStores
 	}
+	trace := rt.newTrace()
+	ctx = obs.ContextWithTrace(ctx, trace)
 	span := rt.tracer.Start("swap_out")
+	span.SetTrace(trace)
+	span.SetCluster(uint32(id))
 	defer func() {
 		if retErr != nil {
 			rt.swapErrors.With("swap_out").Inc()
+			span.Fail(retErr)
+			rt.logger.Warn("swap-out failed",
+				"trace", trace, "cluster", uint32(id), "err", retErr)
 		}
 	}()
 
@@ -143,6 +151,7 @@ func (rt *Runtime) SwapOut(id ClusterID, opts ...SwapOption) (ev SwapEvent, retE
 	// Wrap to XML with internal/slot reference classification.
 	span.Phase("encode")
 	key := rt.nextKey(id)
+	span.SetKey(key)
 	encodeRef := func(rid heap.ObjID) (xmlcodec.Value, error) {
 		if members[rid] {
 			return xmlcodec.InternalRef(rid), nil
@@ -202,6 +211,7 @@ func (rt *Runtime) SwapOut(id ClusterID, opts ...SwapOption) (ev SwapEvent, retE
 		_ = rt.h.Remove(repl.ID())
 		return SwapEvent{}, err
 	}
+	span.SetDevice(device)
 	span.AddBytes(int64(payloadBytes))
 
 	// Phase 4 — exclusive: detach the cluster from the application graph.
@@ -215,8 +225,11 @@ func (rt *Runtime) SwapOut(id ClusterID, opts ...SwapOption) (ev SwapEvent, retE
 	committed = true
 
 	ev = SwapEvent{Cluster: id, Device: device, Key: key, Objects: len(objs),
-		Bytes: payloadBytes, Attempted: attempted}
+		Bytes: payloadBytes, Attempted: attempted, Trace: trace}
 	ev.Phases, ev.Duration = span.End()
+	rt.logger.Info("swap-out", "trace", trace, "cluster", uint32(id),
+		"device", device, "key", key, "objects", len(objs),
+		"bytes", payloadBytes, "dur", ev.Duration)
 	rt.emit(event.TopicSwapOut, ev)
 	return ev, nil
 }
@@ -336,9 +349,12 @@ func (rt *Runtime) ship(ctx context.Context, o swapOpts, id ClusterID, key strin
 		}
 		attempted = append(attempted, device)
 		lastErr = perr
+		rt.logger.Warn("swap-out failover", "trace", obs.TraceFrom(ctx),
+			"cluster", uint32(id), "device", device, "err", perr)
 		rt.emit(event.TopicSwapFailover, SwapEvent{
 			Cluster: id, Device: device, Key: key, Bytes: len(data),
 			Attempted: append([]string(nil), attempted...),
+			Trace:     obs.TraceFrom(ctx),
 		})
 	}
 }
@@ -374,10 +390,17 @@ func (rt *Runtime) SwapIn(id ClusterID, opts ...SwapOption) (ev SwapEvent, retEr
 	if rt.stores == nil {
 		return SwapEvent{}, ErrNoStores
 	}
+	trace := rt.newTrace()
+	ctx = obs.ContextWithTrace(ctx, trace)
 	span := rt.tracer.Start("swap_in")
+	span.SetTrace(trace)
+	span.SetCluster(uint32(id))
 	defer func() {
 		if retErr != nil {
 			rt.swapErrors.With("swap_in").Inc()
+			span.Fail(retErr)
+			rt.logger.Warn("swap-in failed",
+				"trace", trace, "cluster", uint32(id), "err", retErr)
 		}
 	}()
 
@@ -424,6 +447,8 @@ func (rt *Runtime) SwapIn(id ClusterID, opts ...SwapOption) (ev SwapEvent, retEr
 
 	// Phase 2 — concurrent: fetch and decode the shipment.
 	span.Phase("fetch")
+	span.SetDevice(device)
+	span.SetKey(key)
 	s, err := rt.stores.Lookup(device)
 	if err != nil {
 		return SwapEvent{}, fmt.Errorf("core: swap-in cluster %d: %w", id, err)
@@ -479,8 +504,12 @@ func (rt *Runtime) SwapIn(id ClusterID, opts ...SwapOption) (ev SwapEvent, retEr
 		}
 	}
 
-	ev = SwapEvent{Cluster: id, Device: device, Key: key, Objects: installed, Bytes: payload}
+	ev = SwapEvent{Cluster: id, Device: device, Key: key, Objects: installed,
+		Bytes: payload, Trace: trace}
 	ev.Phases, ev.Duration = span.End()
+	rt.logger.Info("swap-in", "trace", trace, "cluster", uint32(id),
+		"device", device, "key", key, "objects", installed,
+		"bytes", payload, "dur", ev.Duration)
 	rt.emit(event.TopicSwapIn, ev)
 	return ev, nil
 }

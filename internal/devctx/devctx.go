@@ -11,6 +11,7 @@ import (
 	"objectswap/internal/event"
 	"objectswap/internal/heap"
 	"objectswap/internal/obs"
+	olog "objectswap/internal/obs/log"
 	"objectswap/internal/store"
 )
 
@@ -34,10 +35,18 @@ type MemoryMonitor struct {
 	mu    sync.Mutex
 	above bool
 	// edges counts threshold crossings by direction (nil until Instrument).
-	edges *obs.CounterVec
+	edges  *obs.CounterVec
+	logger *olog.Logger
 
 	stop chan struct{}
 	done chan struct{}
+}
+
+// SetLogger emits structured records on threshold edges (nil logs nothing).
+func (m *MemoryMonitor) SetLogger(lg *olog.Logger) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.logger = lg
 }
 
 // NewMemoryMonitor builds a monitor firing at the given occupancy fraction
@@ -71,16 +80,20 @@ func (m *MemoryMonitor) Check() (MemorySample, bool) {
 	wasAbove := m.above
 	isAbove := s.Capacity > 0 && s.Fraction >= m.threshold
 	m.above = isAbove
-	edges := m.edges
+	edges, logger := m.edges, m.logger
 	m.mu.Unlock()
 
 	switch {
 	case isAbove && !wasAbove:
 		edges.With("threshold").Inc()
+		logger.Warn("memory threshold crossed", "used", s.Used,
+			"capacity", s.Capacity, "fraction", s.Fraction)
 		m.bus.Emit(event.TopicMemoryThreshold, s)
 		return s, true
 	case !isAbove && wasAbove:
 		edges.With("relief").Inc()
+		logger.Info("memory pressure relieved", "used", s.Used,
+			"capacity", s.Capacity, "fraction", s.Fraction)
 		m.bus.Emit(event.TopicMemoryRelief, s)
 		return s, true
 	default:
@@ -140,6 +153,14 @@ type ConnectivityMonitor struct {
 	// obs instruments (nil until Instrument).
 	linkGauge   *obs.GaugeVec
 	transitions *obs.CounterVec
+	logger      *olog.Logger
+}
+
+// SetLogger emits structured records on link transitions (nil logs nothing).
+func (c *ConnectivityMonitor) SetLogger(lg *olog.Logger) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.logger = lg
 }
 
 // NewConnectivityMonitor builds a monitor over the device registry.
@@ -153,7 +174,7 @@ func (c *ConnectivityMonitor) Set(name string, up bool) {
 	c.mu.Lock()
 	prev, known := c.state[name]
 	c.state[name] = up
-	linkGauge, transitions := c.linkGauge, c.transitions
+	linkGauge, transitions, logger := c.linkGauge, c.transitions, c.logger
 	c.mu.Unlock()
 
 	state := 0.0
@@ -167,9 +188,11 @@ func (c *ConnectivityMonitor) Set(name string, up bool) {
 	}
 	if up {
 		transitions.With(name, "up").Inc()
+		logger.Info("link up", "device", name)
 		c.bus.Emit(event.TopicLinkUp, name)
 	} else {
 		transitions.With(name, "down").Inc()
+		logger.Warn("link down", "device", name)
 		c.bus.Emit(event.TopicLinkDown, name)
 	}
 }

@@ -1,0 +1,346 @@
+// Package log is the middleware's structured, leveled logger. It is
+// dependency-free by design (ROADMAP.md: only the Go standard library), emits
+// either logfmt-style key=value lines or single-line JSON objects with a
+// deterministic field order, and stamps timestamps from an obs.Clock so tests
+// and replayed traces log reproducible times.
+//
+// A nil *Logger is valid everywhere and logs nothing, so library code can
+// accept an optional logger without guarding every call site.
+package log
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+	"unicode/utf8"
+
+	"objectswap/internal/obs"
+)
+
+// Level is a log severity. Records below the logger's level are dropped.
+type Level int32
+
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String returns the lower-case level name used in output.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	default:
+		return "level(" + strconv.Itoa(int(l)) + ")"
+	}
+}
+
+// ParseLevel maps a level name ("debug", "info", "warn", "error",
+// case-insensitive) to its Level.
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return LevelDebug, nil
+	case "info":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	}
+	return LevelInfo, fmt.Errorf("unknown log level %q", s)
+}
+
+// Format selects the output encoding.
+type Format int
+
+const (
+	// FormatKV emits logfmt-style lines: ts=... level=info msg="..." k=v ...
+	FormatKV Format = iota
+	// FormatJSON emits one JSON object per line with fields in the same
+	// order as FormatKV (ts, level, msg, then pairs in call order).
+	FormatJSON
+)
+
+// Logger writes structured records to a single io.Writer. Each record is one
+// line; concurrent callers are serialized by an internal mutex so lines never
+// interleave. The level can be changed at runtime (SetLevel) without racing
+// in-flight records.
+type Logger struct {
+	mu    *sync.Mutex // shared across With-derived loggers (same writer)
+	w     io.Writer
+	clock obs.Clock
+	level *atomic.Int32 // shared across With-derived loggers
+	fmt   Format
+	base  []kv // fields attached by With, in attachment order
+}
+
+type kv struct {
+	key string
+	val any
+}
+
+// Option configures a Logger.
+type Option func(*Logger)
+
+// WithLevel sets the minimum severity emitted (default LevelInfo).
+func WithLevel(l Level) Option {
+	return func(lg *Logger) { lg.level.Store(int32(l)) }
+}
+
+// WithFormat selects the output encoding (default FormatKV).
+func WithFormat(f Format) Option {
+	return func(lg *Logger) { lg.fmt = f }
+}
+
+// WithClock stamps records from the given clock (default obs.RealClock).
+func WithClock(c obs.Clock) Option {
+	return func(lg *Logger) {
+		if c != nil {
+			lg.clock = c
+		}
+	}
+}
+
+// New returns a Logger writing to w. A nil w yields a nil Logger (which is
+// safe to use and logs nothing).
+func New(w io.Writer, opts ...Option) *Logger {
+	if w == nil {
+		return nil
+	}
+	lg := &Logger{
+		mu:    &sync.Mutex{},
+		w:     w,
+		clock: obs.RealClock{},
+		level: &atomic.Int32{},
+	}
+	lg.level.Store(int32(LevelInfo))
+	for _, opt := range opts {
+		opt(lg)
+	}
+	return lg
+}
+
+// With returns a logger that attaches the given key/value pairs to every
+// record. The derived logger shares the writer, mutex, and level with its
+// parent. A dangling key (odd pair count) gets the value "(missing)".
+func (lg *Logger) With(pairs ...any) *Logger {
+	if lg == nil || len(pairs) == 0 {
+		return lg
+	}
+	child := *lg
+	child.base = append(append([]kv(nil), lg.base...), toKVs(pairs)...)
+	return &child
+}
+
+// SetLevel changes the minimum emitted severity, affecting this logger and
+// every logger derived from the same root via With.
+func (lg *Logger) SetLevel(l Level) {
+	if lg != nil {
+		lg.level.Store(int32(l))
+	}
+}
+
+// Enabled reports whether records at the given level would be emitted.
+func (lg *Logger) Enabled(l Level) bool {
+	return lg != nil && int32(l) >= lg.level.Load()
+}
+
+// Debug logs at LevelDebug. Pairs are alternating keys and values.
+func (lg *Logger) Debug(msg string, pairs ...any) { lg.log(LevelDebug, msg, pairs) }
+
+// Info logs at LevelInfo.
+func (lg *Logger) Info(msg string, pairs ...any) { lg.log(LevelInfo, msg, pairs) }
+
+// Warn logs at LevelWarn.
+func (lg *Logger) Warn(msg string, pairs ...any) { lg.log(LevelWarn, msg, pairs) }
+
+// Error logs at LevelError.
+func (lg *Logger) Error(msg string, pairs ...any) { lg.log(LevelError, msg, pairs) }
+
+func (lg *Logger) log(l Level, msg string, pairs []any) {
+	if !lg.Enabled(l) {
+		return
+	}
+	now := lg.clock.Now().UTC()
+	fields := lg.base
+	if len(pairs) > 0 {
+		fields = append(append([]kv(nil), lg.base...), toKVs(pairs)...)
+	}
+
+	var b strings.Builder
+	if lg.fmt == FormatJSON {
+		writeJSONRecord(&b, now, l, msg, fields)
+	} else {
+		writeKVRecord(&b, now, l, msg, fields)
+	}
+	b.WriteByte('\n')
+
+	lg.mu.Lock()
+	io.WriteString(lg.w, b.String())
+	lg.mu.Unlock()
+}
+
+func toKVs(pairs []any) []kv {
+	out := make([]kv, 0, (len(pairs)+1)/2)
+	for i := 0; i < len(pairs); i += 2 {
+		key, ok := pairs[i].(string)
+		if !ok {
+			key = fmt.Sprint(pairs[i])
+		}
+		var val any = "(missing)"
+		if i+1 < len(pairs) {
+			val = pairs[i+1]
+		}
+		out = append(out, kv{key: key, val: val})
+	}
+	return out
+}
+
+const timeLayout = "2006-01-02T15:04:05.000Z07:00"
+
+func writeKVRecord(b *strings.Builder, now time.Time, l Level, msg string, fields []kv) {
+	b.WriteString("ts=")
+	b.WriteString(now.Format(timeLayout))
+	b.WriteString(" level=")
+	b.WriteString(l.String())
+	b.WriteString(" msg=")
+	b.WriteString(quoteKV(msg))
+	for _, f := range fields {
+		b.WriteByte(' ')
+		b.WriteString(safeKey(f.key))
+		b.WriteByte('=')
+		b.WriteString(quoteKV(renderValue(f.val)))
+	}
+}
+
+func writeJSONRecord(b *strings.Builder, now time.Time, l Level, msg string, fields []kv) {
+	// Hand-built JSON keeps the field order deterministic (ts, level, msg,
+	// then pairs in call order) — encoding/json on a map would sort keys and
+	// lose it, and a struct cannot carry variadic fields.
+	b.WriteByte('{')
+	b.WriteString(`"ts":`)
+	b.WriteString(quoteJSON(now.Format(timeLayout)))
+	b.WriteString(`,"level":`)
+	b.WriteString(quoteJSON(l.String()))
+	b.WriteString(`,"msg":`)
+	b.WriteString(quoteJSON(msg))
+	seen := map[string]bool{"ts": true, "level": true, "msg": true}
+	for _, f := range fields {
+		key := f.key
+		if seen[key] {
+			key = "field_" + key // never emit duplicate JSON keys
+		}
+		seen[key] = true
+		b.WriteByte(',')
+		b.WriteString(quoteJSON(key))
+		b.WriteByte(':')
+		writeJSONValue(b, f.val)
+	}
+	b.WriteByte('}')
+}
+
+// renderValue flattens a field value to its text form.
+func renderValue(v any) string {
+	switch t := v.(type) {
+	case nil:
+		return "null"
+	case string:
+		return t
+	case error:
+		return t.Error()
+	case time.Duration:
+		return t.String()
+	case time.Time:
+		return t.UTC().Format(timeLayout)
+	case fmt.Stringer:
+		return t.String()
+	default:
+		return fmt.Sprint(v)
+	}
+}
+
+func writeJSONValue(b *strings.Builder, v any) {
+	switch t := v.(type) {
+	case nil:
+		b.WriteString("null")
+	case bool:
+		b.WriteString(strconv.FormatBool(t))
+	case int:
+		b.WriteString(strconv.Itoa(t))
+	case int32:
+		b.WriteString(strconv.FormatInt(int64(t), 10))
+	case int64:
+		b.WriteString(strconv.FormatInt(t, 10))
+	case uint32:
+		b.WriteString(strconv.FormatUint(uint64(t), 10))
+	case uint64:
+		b.WriteString(strconv.FormatUint(t, 10))
+	case float64:
+		b.WriteString(strconv.FormatFloat(t, 'g', -1, 64))
+	default:
+		b.WriteString(quoteJSON(renderValue(v)))
+	}
+}
+
+// safeKey replaces characters that would break logfmt parsing in a key.
+func safeKey(k string) string {
+	if k == "" {
+		return "_"
+	}
+	if !strings.ContainsAny(k, " =\"\n\t") {
+		return k
+	}
+	repl := strings.NewReplacer(" ", "_", "=", "_", "\"", "_", "\n", "_", "\t", "_")
+	return repl.Replace(k)
+}
+
+// quoteKV quotes a logfmt value only when it needs it.
+func quoteKV(s string) string {
+	if s == "" {
+		return `""`
+	}
+	if !strings.ContainsAny(s, " =\"\n\t") && utf8.ValidString(s) {
+		return s
+	}
+	return strconv.Quote(s)
+}
+
+func quoteJSON(s string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for _, r := range s {
+		switch r {
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\r':
+			b.WriteString(`\r`)
+		case '\t':
+			b.WriteString(`\t`)
+		default:
+			if r < 0x20 {
+				fmt.Fprintf(&b, `\u%04x`, r)
+			} else {
+				b.WriteRune(r)
+			}
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}

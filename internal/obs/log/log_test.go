@@ -1,0 +1,171 @@
+package log
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"objectswap/internal/obs"
+)
+
+func fixedClock() *obs.VirtualClock {
+	return obs.NewVirtualClock(time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC))
+}
+
+func TestKVOutput(t *testing.T) {
+	var buf bytes.Buffer
+	lg := New(&buf, WithClock(fixedClock()))
+	lg.Info("swap out", "device", "neighbor", "cluster", uint32(3), "bytes", int64(2048))
+	want := `ts=2026-08-05T12:00:00.000Z level=info msg="swap out" device=neighbor cluster=3 bytes=2048` + "\n"
+	if buf.String() != want {
+		t.Fatalf("got  %q\nwant %q", buf.String(), want)
+	}
+}
+
+func TestKVQuoting(t *testing.T) {
+	var buf bytes.Buffer
+	lg := New(&buf, WithClock(fixedClock()))
+	lg.Info("ok", "err", errors.New(`device "a" = gone`), "empty", "", "dur", 1500*time.Millisecond)
+	line := buf.String()
+	for _, want := range []string{`err="device \"a\" = gone"`, `empty=""`, `dur=1.5s`} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("line %q missing %q", line, want)
+		}
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	var buf bytes.Buffer
+	lg := New(&buf, WithClock(fixedClock()), WithFormat(FormatJSON))
+	lg.Info("swap out", "device", "neighbor", "ok", true, "ratio", 0.5, "note", "a\nb")
+	line := buf.String()
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(line), &rec); err != nil {
+		t.Fatalf("invalid JSON %q: %v", line, err)
+	}
+	if rec["ts"] != "2026-08-05T12:00:00.000Z" || rec["level"] != "info" ||
+		rec["msg"] != "swap out" || rec["device"] != "neighbor" ||
+		rec["ok"] != true || rec["ratio"] != 0.5 || rec["note"] != "a\nb" {
+		t.Fatalf("record %#v", rec)
+	}
+	// Deterministic field order: ts, level, msg, then pairs in call order.
+	if !strings.HasPrefix(line, `{"ts":"2026-08-05T12:00:00.000Z","level":"info","msg":"swap out","device":"neighbor",`) {
+		t.Fatalf("field order changed: %q", line)
+	}
+}
+
+func TestLevelFiltering(t *testing.T) {
+	var buf bytes.Buffer
+	lg := New(&buf, WithClock(fixedClock()), WithLevel(LevelWarn))
+	lg.Debug("d")
+	lg.Info("i")
+	lg.Warn("w")
+	lg.Error("e")
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 || !strings.Contains(lines[0], "level=warn") || !strings.Contains(lines[1], "level=error") {
+		t.Fatalf("lines = %q", lines)
+	}
+	if lg.Enabled(LevelInfo) || !lg.Enabled(LevelWarn) {
+		t.Fatal("Enabled disagrees with configured level")
+	}
+	lg.SetLevel(LevelDebug)
+	lg.Debug("now visible")
+	if !strings.Contains(buf.String(), "now visible") {
+		t.Fatal("SetLevel did not take effect")
+	}
+}
+
+func TestWithFields(t *testing.T) {
+	var buf bytes.Buffer
+	root := New(&buf, WithClock(fixedClock()))
+	child := root.With("subsys", "transport", "device", "neighbor")
+	child.Info("retry", "attempt", 2)
+	want := `ts=2026-08-05T12:00:00.000Z level=info msg=retry subsys=transport device=neighbor attempt=2` + "\n"
+	if buf.String() != want {
+		t.Fatalf("got  %q\nwant %q", buf.String(), want)
+	}
+	// SetLevel on the child silences the root too (shared level).
+	child.SetLevel(LevelError)
+	buf.Reset()
+	root.Info("hidden")
+	if buf.Len() != 0 {
+		t.Fatalf("root logged despite shared level: %q", buf.String())
+	}
+}
+
+func TestOddPairsAndNonStringKeys(t *testing.T) {
+	var buf bytes.Buffer
+	lg := New(&buf, WithClock(fixedClock()))
+	lg.Info("m", "key")
+	if !strings.Contains(buf.String(), `key=(missing)`) {
+		t.Fatalf("dangling key not marked: %q", buf.String())
+	}
+	buf.Reset()
+	lg.Info("m", 42, "v", "bad key", "x")
+	line := buf.String()
+	if !strings.Contains(line, "42=v") || !strings.Contains(line, "bad_key=x") {
+		t.Fatalf("key coercion wrong: %q", line)
+	}
+}
+
+func TestNilLoggerIsSafe(t *testing.T) {
+	var lg *Logger
+	lg.Debug("a")
+	lg.Info("b", "k", "v")
+	lg.Warn("c")
+	lg.Error("d")
+	lg.SetLevel(LevelDebug)
+	if lg.Enabled(LevelError) {
+		t.Fatal("nil logger claims enabled")
+	}
+	if lg.With("k", "v") != nil {
+		t.Fatal("With on nil logger should stay nil")
+	}
+	if New(nil) != nil {
+		t.Fatal("New(nil) should yield nil logger")
+	}
+}
+
+func TestConcurrentLinesDoNotInterleave(t *testing.T) {
+	var buf bytes.Buffer
+	lg := New(&buf, WithClock(fixedClock()))
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				lg.Info("tick", "payload", strings.Repeat("x", 40))
+			}
+		}()
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 8*200 {
+		t.Fatalf("got %d lines, want %d", len(lines), 8*200)
+	}
+	for _, line := range lines {
+		if !strings.HasPrefix(line, "ts=") || !strings.HasSuffix(line, strings.Repeat("x", 40)) {
+			t.Fatalf("interleaved line: %q", line)
+		}
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]Level{
+		"debug": LevelDebug, "INFO": LevelInfo, " warn ": LevelWarn,
+		"warning": LevelWarn, "Error": LevelError,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseLevel(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Fatal("ParseLevel accepted junk")
+	}
+}

@@ -13,6 +13,8 @@ type Phase struct {
 // Tracer mints per-operation spans and folds their phase timings into the
 // registry: one histogram of whole-operation durations per op, one histogram
 // of per-phase durations per (op, phase), and byte counters per (op, phase).
+// With a Recorder attached (SetRecorder), every finished span — successful or
+// failed — is additionally retained in the flight recorder with its labels.
 // A nil Tracer is valid and records nothing.
 type Tracer struct {
 	clock        Clock
@@ -20,6 +22,14 @@ type Tracer struct {
 	seconds      *HistogramVec
 	phaseSeconds *HistogramVec
 	phaseBytes   *CounterVec
+	recorder     *Recorder
+}
+
+// SetRecorder retains finished spans in rec (nil detaches).
+func (t *Tracer) SetRecorder(rec *Recorder) {
+	if t != nil {
+		t.recorder = rec
+	}
 }
 
 // NewTracer registers the span instruments under the given metric prefix
@@ -49,6 +59,48 @@ type Span struct {
 	phaseStart time.Time
 	open       bool
 	phases     []Phase
+
+	// Correlation labels retained by the flight recorder.
+	trace   string
+	device  string
+	cluster uint32
+	key     string
+}
+
+// SetTrace labels the span with a cross-device trace ID.
+func (s *Span) SetTrace(id string) {
+	if s != nil {
+		s.trace = id
+	}
+}
+
+// Trace returns the span's trace ID ("" on a nil span).
+func (s *Span) Trace() string {
+	if s == nil {
+		return ""
+	}
+	return s.trace
+}
+
+// SetDevice labels the span with the nearby device it talked to.
+func (s *Span) SetDevice(name string) {
+	if s != nil {
+		s.device = name
+	}
+}
+
+// SetCluster labels the span with the swap-cluster it moved.
+func (s *Span) SetCluster(c uint32) {
+	if s != nil {
+		s.cluster = c
+	}
+}
+
+// SetKey labels the span with the storage key it shipped or fetched.
+func (s *Span) SetKey(k string) {
+	if s != nil {
+		s.key = k
+	}
 }
 
 // Start opens a span for the named operation.
@@ -89,8 +141,9 @@ func (s *Span) closePhase(now time.Time) {
 }
 
 // End closes the span, records every phase into the tracer's instruments,
-// and returns the phase breakdown plus the whole-operation duration (for
-// attachment to an event payload).
+// retains it in the flight recorder (outcome "ok"), and returns the phase
+// breakdown plus the whole-operation duration (for attachment to an event
+// payload).
 func (s *Span) End() ([]Phase, time.Duration) {
 	if s == nil {
 		return nil, 0
@@ -106,5 +159,49 @@ func (s *Span) End() ([]Phase, time.Duration) {
 			s.t.phaseBytes.With(s.op, p.Name).Add(float64(p.Bytes))
 		}
 	}
+	s.record("ok", "", total)
 	return s.phases, total
+}
+
+// Fail closes the span with outcome "error" and retains it in the flight
+// recorder. Failed spans do not feed the duration histograms — error counting
+// lives in dedicated counters — but their partial phase breakdown is exactly
+// what a post-incident look-back needs ("it died mid-ship after 9.8s").
+func (s *Span) Fail(err error) {
+	if s == nil {
+		return
+	}
+	now := s.t.clock.Now()
+	s.closePhase(now)
+	detail := ""
+	if err != nil {
+		detail = err.Error()
+	}
+	s.record("error", detail, now.Sub(s.start))
+}
+
+// record retains the finished span in the tracer's flight recorder, if any.
+func (s *Span) record(outcome, errDetail string, total time.Duration) {
+	rec := s.t.recorder
+	if rec == nil {
+		return
+	}
+	sr := SpanRecord{
+		Op:         s.op,
+		Trace:      s.trace,
+		Device:     s.device,
+		Cluster:    s.cluster,
+		Key:        s.key,
+		Outcome:    outcome,
+		Error:      errDetail,
+		Start:      s.start,
+		DurationNS: total.Nanoseconds(),
+	}
+	if len(s.phases) > 0 {
+		sr.Phases = make([]PhaseRecord, len(s.phases))
+		for i, p := range s.phases {
+			sr.Phases[i] = PhaseRecord{Name: p.Name, DurationNS: p.Duration.Nanoseconds(), Bytes: p.Bytes}
+		}
+	}
+	rec.RecordSpan(sr)
 }

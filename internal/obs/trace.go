@@ -1,0 +1,30 @@
+package obs
+
+import "context"
+
+// TraceHeader is the HTTP header that carries a swap trace ID across the
+// store and replication boundaries, so the span recorded on the constrained
+// device correlates with the serving node's access log and flight recorder.
+// See PROTOCOL.md.
+const TraceHeader = "X-Obiswap-Trace"
+
+// traceKey is the context key for the in-flight trace ID.
+type traceKey struct{}
+
+// ContextWithTrace returns ctx carrying the given trace ID. An empty id
+// returns ctx unchanged.
+func ContextWithTrace(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey{}, id)
+}
+
+// TraceFrom extracts the trace ID carried by ctx ("" when absent).
+func TraceFrom(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	id, _ := ctx.Value(traceKey{}).(string)
+	return id
+}

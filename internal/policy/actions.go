@@ -3,7 +3,6 @@ package policy
 import (
 	"errors"
 	"fmt"
-	"log"
 
 	"objectswap/internal/core"
 	"objectswap/internal/event"
@@ -23,7 +22,8 @@ import (
 //	collect
 //	    Runs a garbage collection.
 //	log       message=...
-//	    Writes a diagnostic line (through the standard logger).
+//	    Writes a structured line through the engine's logger (SetLogger),
+//	    carrying the swap trace ID when the triggering event has one.
 //
 // It also installs the runtime evictor so allocation pressure flows through
 // the same machinery.
@@ -94,7 +94,11 @@ func BindSwapActions(e *Engine, rt *core.Runtime) {
 	})
 
 	e.RegisterAction("log", func(spec ActionSpec, ev event.Event) error {
-		log.Printf("policy: %s (event %s)", spec.Param("message", "fired"), ev.Topic)
+		pairs := []any{"event", ev.Topic}
+		if se, ok := ev.Payload.(core.SwapEvent); ok && se.Trace != "" {
+			pairs = append(pairs, "trace", se.Trace, "cluster", uint32(se.Cluster))
+		}
+		e.Logger().Info(spec.Param("message", "fired"), pairs...)
 		return nil
 	})
 }

@@ -36,6 +36,7 @@ import (
 	"objectswap/internal/devctx"
 	"objectswap/internal/event"
 	"objectswap/internal/obs"
+	olog "objectswap/internal/obs/log"
 )
 
 // Errors reported by the policy engine.
@@ -215,6 +216,8 @@ type Engine struct {
 	subscribedTopics []event.Topic
 	// errorSink receives action failures (default: counted silently).
 	errorSink func(p *Policy, spec ActionSpec, err error)
+	// logger emits structured records for action outcomes (nil logs nothing).
+	logger *olog.Logger
 
 	// obs instruments (nil until Instrument; nil vecs record nothing).
 	evaluations    *obs.CounterVec
@@ -236,6 +239,22 @@ func (e *Engine) Instrument(r *obs.Registry) {
 		"Policies whose condition held and whose actions ran, per policy.", "policy")
 	e.actionOutcomes = r.CounterVec("objectswap_policy_action_outcomes_total",
 		"Action executions by action name and outcome.", "action", "outcome")
+}
+
+// SetLogger installs the engine's structured logger: action failures log at
+// warn, successful action runs at debug, and the "log" policy action writes
+// through it.
+func (e *Engine) SetLogger(lg *olog.Logger) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.logger = lg
+}
+
+// Logger returns the engine's structured logger, which may be nil.
+func (e *Engine) Logger() *olog.Logger {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.logger
 }
 
 // NewEngine builds an engine over an event bus and a metric provider.
@@ -350,6 +369,7 @@ func (e *Engine) handle(ev event.Event) {
 	}
 	actions := e.actions
 	sink := e.errorSink
+	logger := e.logger
 	evaluations, fired, outcomes := e.evaluations, e.firedC, e.actionOutcomes
 	e.mu.Unlock()
 
@@ -369,11 +389,15 @@ func (e *Engine) handle(ev event.Event) {
 				p.errors++
 				e.mu.Unlock()
 				outcomes.With(spec.Do, "error").Inc()
+				logger.Warn("policy action failed", "policy", p.Name,
+					"action", spec.Do, "event", ev.Topic, "err", err)
 				if sink != nil {
 					sink(p, spec, err)
 				}
 			} else {
 				outcomes.With(spec.Do, "ok").Inc()
+				logger.Debug("policy action ok", "policy", p.Name,
+					"action", spec.Do, "event", ev.Topic)
 			}
 		}
 	}

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"objectswap/internal/heap"
+	"objectswap/internal/obs"
 	"objectswap/internal/xmlcodec"
 )
 
@@ -128,11 +129,15 @@ func NewClient(baseURL string) *Client {
 	}
 }
 
-// get issues a context-bound GET.
+// get issues a context-bound GET, carrying any swap trace ID from ctx in the
+// X-Obiswap-Trace header.
 func (c *Client) get(ctx context.Context, url string) (*http.Response, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
 		return nil, err
+	}
+	if id := obs.TraceFrom(ctx); id != "" {
+		req.Header.Set(obs.TraceHeader, id)
 	}
 	return c.hc.Do(req)
 }
@@ -190,6 +195,9 @@ func (c *Client) PushCluster(ctx context.Context, doc *xmlcodec.Doc) error {
 		return err
 	}
 	req.Header.Set("Content-Type", "application/xml")
+	if id := obs.TraceFrom(ctx); id != "" {
+		req.Header.Set(obs.TraceHeader, id)
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return fmt.Errorf("replication: http update: %w", err)

@@ -11,6 +11,8 @@ import (
 	"net/url"
 	"strings"
 	"time"
+
+	"objectswap/internal/obs"
 )
 
 // HTTP transport for the store contract: the paper's prototype moved swapped
@@ -141,6 +143,15 @@ func (c *Client) keyURL(key string) string {
 	return c.base + "/clusters/" + url.PathEscape(key)
 }
 
+// setTrace stamps the request with the swap trace ID carried by its context
+// (X-Obiswap-Trace), so the serving device can correlate its access log and
+// flight recorder with the requesting device's span.
+func setTrace(req *http.Request) {
+	if id := obs.TraceFrom(req.Context()); id != "" {
+		req.Header.Set(obs.TraceHeader, id)
+	}
+}
+
 // Put stores data under key on the remote device.
 func (c *Client) Put(ctx context.Context, key string, data []byte) error {
 	if key == "" {
@@ -150,6 +161,7 @@ func (c *Client) Put(ctx context.Context, key string, data []byte) error {
 	if err != nil {
 		return fmt.Errorf("store: http: %w", err)
 	}
+	setTrace(req)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return fmt.Errorf("%w: %v", ErrUnavailable, err)
@@ -171,6 +183,7 @@ func (c *Client) Get(ctx context.Context, key string) ([]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("store: http: %w", err)
 	}
+	setTrace(req)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrUnavailable, err)
@@ -192,6 +205,7 @@ func (c *Client) Drop(ctx context.Context, key string) error {
 	if err != nil {
 		return fmt.Errorf("store: http: %w", err)
 	}
+	setTrace(req)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return fmt.Errorf("%w: %v", ErrUnavailable, err)
@@ -213,6 +227,7 @@ func (c *Client) Keys(ctx context.Context) ([]string, error) {
 	if err != nil {
 		return nil, fmt.Errorf("store: http: %w", err)
 	}
+	setTrace(req)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrUnavailable, err)
@@ -234,6 +249,7 @@ func (c *Client) Stats(ctx context.Context) (Stats, error) {
 	if err != nil {
 		return Stats{}, fmt.Errorf("store: http: %w", err)
 	}
+	setTrace(req)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return Stats{}, fmt.Errorf("%w: %v", ErrUnavailable, err)

@@ -29,6 +29,7 @@ import (
 	"sync"
 	"time"
 
+	olog "objectswap/internal/obs/log"
 	"objectswap/internal/store"
 )
 
@@ -107,6 +108,12 @@ func WithMetrics(m *Metrics) Option {
 	return func(r *Resilient) { r.metrics = m }
 }
 
+// WithLogger emits structured records for retries and breaker transitions.
+// A nil logger (the default) logs nothing.
+func WithLogger(lg *olog.Logger) Option {
+	return func(r *Resilient) { r.logger = lg }
+}
+
 // WithBreakerNotify registers a callback invoked on every breaker
 // transition: open=true when the device is declared unhealthy, open=false
 // when a probe succeeds and the breaker closes. The callback runs outside
@@ -123,6 +130,7 @@ type Resilient struct {
 	pol     Policy
 	clock   Clock
 	metrics *Metrics
+	logger  *olog.Logger
 
 	onBreaker func(open bool)
 
@@ -188,6 +196,7 @@ func (r *Resilient) recordSuccess() {
 	r.rejected = 0
 	r.mu.Unlock()
 	if wasOpen {
+		r.logger.Info("breaker closed", "device", r.name)
 		if r.metrics != nil {
 			r.metrics.breakerState(r.name, false)
 		}
@@ -212,6 +221,8 @@ func (r *Resilient) recordFailure() {
 	}
 	r.mu.Unlock()
 	if tripped {
+		r.logger.Warn("breaker open", "device", r.name,
+			"consecutive_failures", r.pol.BreakerThreshold)
 		if r.metrics != nil {
 			r.metrics.breakerTrip(r.name)
 		}
@@ -292,6 +303,8 @@ func (r *Resilient) do(ctx context.Context, op store.Op, fn func(context.Context
 		if ctx.Err() != nil || attempt >= r.pol.MaxAttempts || !retryable(err) {
 			break
 		}
+		r.logger.Debug("retrying", "device", r.name, "op", op,
+			"attempt", attempt, "err", err)
 		r.clock.Sleep(r.backoff(attempt))
 	}
 	if retryable(err) || errors.Is(err, context.DeadlineExceeded) {

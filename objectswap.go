@@ -33,12 +33,17 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net/http"
+	"strings"
+	"time"
 
 	"objectswap/internal/core"
 	"objectswap/internal/devctx"
 	"objectswap/internal/event"
 	"objectswap/internal/heap"
 	"objectswap/internal/obs"
+	olog "objectswap/internal/obs/log"
+	"objectswap/internal/opshttp"
 	"objectswap/internal/policy"
 	"objectswap/internal/replication"
 	"objectswap/internal/store"
@@ -72,6 +77,13 @@ type (
 	MetricsRegistry = obs.Registry
 	// Clock is the time source driving all observability timings.
 	Clock = obs.Clock
+	// Logger is the structured leveled logger threaded through the layers
+	// (construct with internal/obs/log.New).
+	Logger = olog.Logger
+	// FlightRecorder retains the last completed swap spans and bus events.
+	FlightRecorder = obs.Recorder
+	// HealthCheck is one named subsystem probe served on /healthz.
+	HealthCheck = opshttp.Check
 )
 
 // Swap options, re-exported from the runtime layer.
@@ -136,6 +148,14 @@ type Config struct {
 	// (default: the wall clock). Inject obs.NewVirtualClock in tests for
 	// deterministic timings.
 	Clock obs.Clock
+	// Logger receives structured records from every layer: swap outcomes,
+	// transport retries and breaker transitions, policy action outcomes,
+	// memory threshold edges and link changes. Nil logs nothing.
+	Logger *olog.Logger
+	// FlightSpans / FlightEvents size the flight recorder's span and bus-event
+	// rings (0 = defaults, 256 and 512; negative disables the recorder).
+	FlightSpans  int
+	FlightEvents int
 }
 
 // System is the assembled middleware stack of one constrained device.
@@ -152,6 +172,8 @@ type System struct {
 	transportPol TransportPolicy
 	metrics      *transport.Metrics
 	obsReg       *obs.Registry
+	recorder     *obs.Recorder
+	logger       *olog.Logger
 }
 
 // New assembles a System from cfg. Every layer reports into one shared
@@ -163,10 +185,16 @@ func New(cfg Config) (*System, error) {
 	// nursery grace so a policy-triggered collection between allocation and
 	// rooting cannot reclaim them.
 	h.SetNurseryGrace(2)
-	bus := event.NewBus(event.WithClock(reg.Clock()), event.WithRegistry(reg))
+	var recorder *obs.Recorder
+	if cfg.FlightSpans >= 0 && cfg.FlightEvents >= 0 {
+		recorder = obs.NewRecorder(cfg.FlightSpans, cfg.FlightEvents)
+	}
+	bus := event.NewBus(event.WithClock(reg.Clock()), event.WithRegistry(reg),
+		event.WithFlightRecorder(recorder))
 	devices := store.NewRegistry(cfg.DeviceSelection)
 
-	opts := []core.Option{core.WithStores(devices), core.WithBus(bus), core.WithObs(reg)}
+	opts := []core.Option{core.WithStores(devices), core.WithBus(bus), core.WithObs(reg),
+		core.WithFlightRecorder(recorder), core.WithLogger(cfg.Logger)}
 	if cfg.KeepOnReload {
 		opts = append(opts, core.WithKeepOnReload())
 	}
@@ -178,9 +206,11 @@ func New(cfg Config) (*System, error) {
 
 	conn := devctx.NewConnectivityMonitor(bus, devices)
 	conn.Instrument(reg)
+	conn.SetLogger(cfg.Logger)
 	ctx := devctx.NewContext(h, conn)
 	engine := policy.NewEngine(bus, ctx)
 	engine.Instrument(reg)
+	engine.SetLogger(cfg.Logger)
 	policy.BindSwapActions(engine, rt)
 	if cfg.EvictParallelism > 1 {
 		rt.SetEvictor(rt.EvictorWith(core.EvictOptions{Parallelism: cfg.EvictParallelism}))
@@ -207,6 +237,7 @@ func New(cfg Config) (*System, error) {
 
 	monitor := devctx.NewMemoryMonitor(h, bus, cfg.MemoryThreshold)
 	monitor.Instrument(reg)
+	monitor.SetLogger(cfg.Logger)
 
 	return &System{
 		heap:         h,
@@ -220,6 +251,8 @@ func New(cfg Config) (*System, error) {
 		transportPol: cfg.Transport,
 		metrics:      metrics,
 		obsReg:       reg,
+		recorder:     recorder,
+		logger:       cfg.Logger,
 	}, nil
 }
 
@@ -231,6 +264,86 @@ func (s *System) Metrics() *obs.Registry { return s.obsReg }
 // WriteMetrics renders the full metrics page in the Prometheus text
 // exposition format (version 0.0.4).
 func (s *System) WriteMetrics(w io.Writer) error { return s.obsReg.WriteMetrics(w) }
+
+// FlightRecorder exposes the always-on flight recorder retaining the last
+// completed swap spans and bus events (nil when disabled via negative
+// Config.FlightSpans / FlightEvents).
+func (s *System) FlightRecorder() *obs.Recorder { return s.recorder }
+
+// evictorStuckAfter is how long one in-flight eviction pass may run before
+// the evictor health check reports it wedged.
+const evictorStuckAfter = 30 * time.Second
+
+// HealthChecks returns the system's standard subsystem probes, suitable for
+// opshttp.Options.Checks:
+//
+//	heap      fails when occupancy has crossed the memory monitor's threshold
+//	breakers  fails when any attached device's circuit breaker is open
+//	stores    fails when devices are attached but none is reachable
+//	evictor   fails when no evictor hook is installed, or one eviction pass
+//	          has been in flight implausibly long
+func (s *System) HealthChecks() []opshttp.Check {
+	return []opshttp.Check{
+		{Name: "heap", Probe: func(context.Context) error {
+			sample := s.monitor.Sample()
+			if sample.Capacity > 0 && sample.Fraction >= s.monitor.Threshold() {
+				return fmt.Errorf("heap at %.0f%% (threshold %.0f%%)",
+					sample.Fraction*100, s.monitor.Threshold()*100)
+			}
+			return nil
+		}},
+		{Name: "breakers", Probe: func(context.Context) error {
+			var open []string
+			for _, name := range s.devices.Names() {
+				if st, ok := s.devices.Peek(name); ok {
+					if res, ok := st.(*transport.Resilient); ok && res.BreakerOpen() {
+						open = append(open, name)
+					}
+				}
+			}
+			if len(open) > 0 {
+				return fmt.Errorf("circuit breaker open: %s", strings.Join(open, ", "))
+			}
+			return nil
+		}},
+		{Name: "stores", Probe: func(context.Context) error {
+			names := s.devices.Names()
+			if len(names) == 0 {
+				return nil // a store-less system is valid (no swapping)
+			}
+			for _, name := range names {
+				if s.conn.Up(name) {
+					return nil
+				}
+			}
+			return fmt.Errorf("no reachable device (%d attached)", len(names))
+		}},
+		{Name: "evictor", Probe: func(context.Context) error {
+			if !s.rt.HasEvictor() {
+				return errors.New("no evictor installed")
+			}
+			if since, running := s.rt.EvictingSince(); running {
+				if age := s.obsReg.Clock().Now().Sub(since); age > evictorStuckAfter {
+					return fmt.Errorf("eviction in flight for %s", age)
+				}
+			}
+			return nil
+		}},
+	}
+}
+
+// OpsHandler assembles the operator-facing HTTP surface for this system:
+// /metrics, /healthz (HealthChecks), /debug/traces, /debug/events and
+// /debug/pprof. Mount it on a side port via opshttp.Start (the obiswap
+// command's -ops flag does exactly this).
+func (s *System) OpsHandler() http.Handler {
+	return opshttp.NewHandler(opshttp.Options{
+		Metrics:  s.obsReg,
+		Recorder: s.recorder,
+		Checks:   s.HealthChecks(),
+		Logger:   s.logger,
+	})
+}
 
 // Runtime exposes the swapping runtime.
 func (s *System) Runtime() *core.Runtime { return s.rt }
@@ -262,6 +375,7 @@ func (s *System) Monitor() *devctx.MemoryMonitor { return s.monitor }
 func (s *System) AttachDevice(name string, st store.Store) error {
 	res := transport.NewResilient(name, st, s.transportPol,
 		transport.WithMetrics(s.metrics),
+		transport.WithLogger(s.logger),
 		transport.WithBreakerNotify(func(open bool) {
 			s.conn.Set(name, !open)
 			if open {

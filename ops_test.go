@@ -1,0 +1,199 @@
+package objectswap
+
+// Facade-level tests of the operator surface: /healthz tracking the circuit
+// breakers, and a swap trace ID propagating from the constrained device's
+// flight recorder across the HTTP store boundary into the serving side's
+// access log.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"objectswap/internal/obs"
+	olog "objectswap/internal/obs/log"
+	"objectswap/internal/opshttp"
+	"objectswap/internal/store"
+)
+
+// getHealth hits /healthz on the system's ops handler.
+func getHealth(t *testing.T, sys *System) (int, opshttp.HealthResponse) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	sys.OpsHandler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	var hr opshttp.HealthResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &hr); err != nil {
+		t.Fatalf("healthz body: %v\n%s", err, rec.Body.String())
+	}
+	return rec.Code, hr
+}
+
+func checkNamed(t *testing.T, hr opshttp.HealthResponse, name string) opshttp.CheckResult {
+	t.Helper()
+	for _, c := range hr.Checks {
+		if c.Name == name {
+			return c
+		}
+	}
+	t.Fatalf("no %q check in %+v", name, hr.Checks)
+	return opshttp.CheckResult{}
+}
+
+// TestHealthzTracksBreaker drives /healthz through a breaker trip and the
+// ProbeDevices recovery sweep: 200 while healthy, 503 naming the open
+// breaker's device while tripped, 200 again once the sweep closes it.
+func TestHealthzTracksBreaker(t *testing.T) {
+	sys, err := New(Config{
+		HeapCapacity: 1 << 20,
+		Transport:    TransportPolicy{MaxAttempts: 1, BreakerThreshold: 1, OpTimeout: -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := store.NewFlaky(store.NewMem(0), 1)
+	if err := sys.AttachDevice("a-dead", dead); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AttachDevice("b-good", store.NewMem(0)); err != nil {
+		t.Fatal(err)
+	}
+	cls := sys.MustRegisterClass(taskClass())
+	clusters := buildClusters(t, sys, cls, 1)
+
+	if code, hr := getHealth(t, sys); code != http.StatusOK || hr.Status != "ok" {
+		t.Fatalf("healthy system: code %d, %+v", code, hr)
+	}
+
+	// Kill the link; the selection probe trips a-dead's breaker.
+	dead.FailNext(store.OpPut, -1)
+	dead.FailNext(store.OpStats, -1)
+	if _, err := sys.SwapOut(clusters[0]); err != nil {
+		t.Fatal(err)
+	}
+	if !sys.TransportSnapshot().Devices["a-dead"].BreakerOpen {
+		t.Fatal("breaker not open after failed selection probe")
+	}
+	code, hr := getHealth(t, sys)
+	if code != http.StatusServiceUnavailable || hr.Status != "degraded" {
+		t.Fatalf("tripped breaker: code %d, %+v", code, hr)
+	}
+	breakers := checkNamed(t, hr, "breakers")
+	if breakers.OK || !strings.Contains(breakers.Error, "a-dead") {
+		t.Fatalf("breakers check should name a-dead: %+v", breakers)
+	}
+
+	// The link returns; one recovery sweep closes the breaker and /healthz
+	// goes green again.
+	dead.FailNext(store.OpPut, 0)
+	dead.FailNext(store.OpStats, 0)
+	if got := sys.ProbeDevices(context.Background()); len(got) != 1 || got[0] != "a-dead" {
+		t.Fatalf("recovered = %v", got)
+	}
+	if code, hr := getHealth(t, sys); code != http.StatusOK || hr.Status != "ok" {
+		t.Fatalf("recovered system: code %d, %+v", code, hr)
+	}
+}
+
+// traceCapture wraps the store handler the way cmd/swapstore does: it
+// records each request's X-Obiswap-Trace header and emits a structured
+// access-log line carrying the trace when present.
+type traceCapture struct {
+	next http.Handler
+	lg   *olog.Logger
+
+	mu     sync.Mutex
+	traces []string
+}
+
+func (tc *traceCapture) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	trace := r.Header.Get(obs.TraceHeader)
+	tc.mu.Lock()
+	tc.traces = append(tc.traces, trace)
+	tc.mu.Unlock()
+	pairs := []any{"method", r.Method, "path", r.URL.Path}
+	if trace != "" {
+		pairs = append(pairs, "trace", trace)
+	}
+	tc.lg.Info("request", pairs...)
+	tc.next.ServeHTTP(w, r)
+}
+
+// TestTracePropagatesToStoreLog runs one swap-out against an HTTP store and
+// follows its trace ID end to end: the span in the constrained device's
+// /debug/traces dump, the X-Obiswap-Trace header observed by the serving
+// side, and the serving side's structured access-log line all carry the same
+// ID.
+func TestTracePropagatesToStoreLog(t *testing.T) {
+	var logBuf bytes.Buffer
+	capture := &traceCapture{
+		next: store.NewHandler(store.NewMem(0)),
+		lg:   olog.New(&logBuf, olog.WithClock(obs.NewVirtualClock(time.Unix(0, 0)))),
+	}
+	srv := httptest.NewServer(capture)
+	defer srv.Close()
+
+	sys, err := New(Config{HeapCapacity: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AttachDevice("lan-pc", store.NewClient(srv.URL)); err != nil {
+		t.Fatal(err)
+	}
+	cls := sys.MustRegisterClass(taskClass())
+	clusters := buildClusters(t, sys, cls, 1)
+	ev, err := sys.SwapOut(clusters[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Trace == "" {
+		t.Fatal("swap event carries no trace ID")
+	}
+
+	// The constrained device's flight recorder has the span, under the same
+	// trace ID the event reported.
+	rec := httptest.NewRecorder()
+	sys.OpsHandler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/traces", nil))
+	var dump struct {
+		Spans []obs.SpanRecord `json:"spans"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &dump); err != nil {
+		t.Fatalf("/debug/traces: %v\n%s", err, rec.Body.String())
+	}
+	var span *obs.SpanRecord
+	for i := range dump.Spans {
+		if dump.Spans[i].Op == "swap_out" && dump.Spans[i].Trace == ev.Trace {
+			span = &dump.Spans[i]
+		}
+	}
+	if span == nil {
+		t.Fatalf("no swap_out span with trace %q in %+v", ev.Trace, dump.Spans)
+	}
+	if span.Outcome != "ok" || len(span.Phases) == 0 {
+		t.Fatalf("span missing phase timings: %+v", span)
+	}
+
+	// The serving side saw the same ID on the wire…
+	capture.mu.Lock()
+	traces := append([]string(nil), capture.traces...)
+	capture.mu.Unlock()
+	shipped := false
+	for _, tr := range traces {
+		if tr == ev.Trace {
+			shipped = true
+		}
+	}
+	if !shipped {
+		t.Fatalf("store never saw header %s=%q (got %v)", obs.TraceHeader, ev.Trace, traces)
+	}
+
+	// …and its access log carries it.
+	if !strings.Contains(logBuf.String(), "trace="+ev.Trace) {
+		t.Fatalf("store access log missing trace %q:\n%s", ev.Trace, logBuf.String())
+	}
+}
