@@ -357,6 +357,64 @@ func BenchmarkSwapEndToEnd(b *testing.B) {
 	}
 }
 
+// BenchmarkReplicatedSwapOut prices the durability knob: one swap-out of a
+// 50-object cluster shipped to K rendezvous-chosen donors (of four attached)
+// over a simulated 100 Mbps / 1 ms LAN. The K donors are written in parallel,
+// so the cost of K=2/K=3 over K=1 is serialization fan-out and the slowest
+// link, not K sequential transfers; results go to BENCH_placement.json.
+func BenchmarkReplicatedSwapOut(b *testing.B) {
+	lan := link.Profile{Name: "lan", BitsPerSecond: 100_000_000, Latency: time.Millisecond}
+	for _, k := range []int{1, 2, 3} {
+		b.Run(fmt.Sprintf("replicas=%d", k), func(b *testing.B) {
+			sys, err := New(Config{DeviceName: "bench-repl", Replicas: k})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer sys.Close()
+			for i := 0; i < 4; i++ {
+				if err := sys.AttachDevice(fmt.Sprintf("lan-donor-%d", i),
+					link.Wrap(store.NewMem(0), lan, link.RealClock{})); err != nil {
+					b.Fatal(err)
+				}
+			}
+			cls := bench.NodeClass()
+			sys.MustRegisterClass(cls)
+			cluster := sys.NewCluster()
+			payload := make([]byte, 64)
+			var prev *heap.Object
+			for i := 0; i < 50; i++ {
+				o, err := sys.NewObject(cls, cluster)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := o.SetFieldByName("payload", heap.Bytes(payload)); err != nil {
+					b.Fatal(err)
+				}
+				if prev == nil {
+					if err := sys.SetRoot("head", o.RefTo()); err != nil {
+						b.Fatal(err)
+					}
+				} else if err := sys.SetField(prev.RefTo(), "next", o.RefTo()); err != nil {
+					b.Fatal(err)
+				}
+				prev = o
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sys.SwapOut(cluster); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer() // the reload is not the figure being measured
+				sys.Collect()
+				if _, err := sys.SwapIn(cluster); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+			}
+		})
+	}
+}
+
 // BenchmarkProxyHop isolates the cost the paper's trade-off rests on: one
 // cross-cluster invocation vs one intra-cluster invocation.
 func BenchmarkProxyHop(b *testing.B) {

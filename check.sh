@@ -15,7 +15,7 @@ go vet ./...
 go build ./...
 go test ./...
 go test -race ./...
-go test -cover ./internal/obs/ ./internal/core/ ./internal/opshttp/
+go test -cover ./internal/obs/ ./internal/core/ ./internal/opshttp/ ./internal/placement/
 # Ops-surface smoke: a real listener on :0 must answer 200 on /metrics,
 # /healthz, /debug/traces and /debug/events.
 go test -run '^TestSmoke$' -count=1 ./internal/opshttp/

@@ -7,20 +7,23 @@
 // Usage:
 //
 //	obiswap [-heap bytes] [-clusters N] [-per N] [-payload bytes]
-//	        [-device url] [-threshold 0.75] [-metrics]
+//	        [-device url[,url...]] [-replicas K] [-threshold 0.75] [-metrics]
 //	        [-ops :9982] [-linger 30s] [-log-level info] [-log-json]
 //
-// With -device, shipments go to a running swapstore over HTTP; otherwise an
-// in-process memory device is used. With -ops, the operator surface
-// (/metrics, /healthz, /debug/traces, /debug/events, /debug/pprof) is served
-// on a side port; -linger keeps the process alive after the run so the
-// endpoints can be inspected.
+// With -device, shipments go to running swapstores over HTTP (comma-separate
+// several URLs to form a donor pool); otherwise in-process memory devices are
+// used. With -replicas K > 1, every swap-out ships to K rendezvous-ranked
+// donors and a background repair loop restores lost copies. With -ops, the
+// operator surface (/metrics, /healthz, /debug/traces, /debug/events,
+// /debug/pprof) is served on a side port; -linger keeps the process alive
+// after the run so the endpoints can be inspected.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"objectswap"
@@ -43,7 +46,8 @@ func run() error {
 	clusters := flag.Int("clusters", 12, "swap-clusters to build")
 	per := flag.Int("per", 50, "objects per swap-cluster")
 	payload := flag.Int("payload", 64, "payload bytes per object")
-	device := flag.String("device", "", "URL of a swapstore to use (default: in-process memory)")
+	device := flag.String("device", "", "comma-separated swapstore URLs to use (default: in-process memory)")
+	replicas := flag.Int("replicas", 1, "replication factor: ship each swapped cluster to K donors")
 	threshold := flag.Float64("threshold", 0.75, "memory pressure threshold fraction")
 	dot := flag.Bool("dot", false, "after building, dump the object graph as Graphviz DOT to stdout and exit")
 	metrics := flag.Bool("metrics", false, "after the run, dump the full metrics page (Prometheus text format) to stdout")
@@ -66,11 +70,13 @@ func run() error {
 	sys, err := objectswap.New(objectswap.Config{
 		HeapCapacity:    *heapBytes,
 		MemoryThreshold: *threshold,
+		Replicas:        *replicas,
 		Logger:          logger,
 	})
 	if err != nil {
 		return err
 	}
+	defer sys.Close()
 
 	if *ops != "" {
 		srv, err := opshttp.Start(*ops, sys.OpsHandler())
@@ -81,23 +87,38 @@ func run() error {
 		logger.Info("ops server listening", "url", srv.URL())
 	}
 
-	var dev store.Store
+	// Assemble the donor pool: one store.Client per swapstore URL, or enough
+	// in-process memory devices to satisfy the replication factor.
 	if *device != "" {
-		dev = store.NewClient(*device)
-		fmt.Printf("using remote swapstore at %s\n", *device)
+		for i, url := range strings.Split(*device, ",") {
+			url = strings.TrimSpace(url)
+			if url == "" {
+				continue
+			}
+			name := fmt.Sprintf("neighbor-%d", i)
+			if err := sys.AttachDevice(name, store.NewClient(url)); err != nil {
+				return err
+			}
+			fmt.Printf("using remote swapstore at %s as %s\n", url, name)
+		}
 	} else {
-		dev = store.NewMem(0)
-		fmt.Println("using in-process memory device")
-	}
-	if err := sys.AttachDevice("neighbor", dev); err != nil {
-		return err
+		donors := *replicas
+		if donors < 1 {
+			donors = 1
+		}
+		for i := 0; i < donors; i++ {
+			if err := sys.AttachDevice(fmt.Sprintf("neighbor-%d", i), store.NewMem(0)); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("using %d in-process memory device(s)\n", donors)
 	}
 
 	// Narrate middleware events.
 	sys.Bus().Subscribe(event.TopicSwapOut, func(ev event.Event) {
 		e := ev.Payload.(objectswap.SwapEvent)
 		fmt.Printf("  >> swap-out  cluster %-3d %5d objects %7d XML bytes -> %s\n",
-			e.Cluster, e.Objects, e.Bytes, e.Device)
+			e.Cluster, e.Objects, e.Bytes, strings.Join(e.Replicas, ","))
 	})
 	sys.Bus().Subscribe(event.TopicSwapIn, func(ev event.Event) {
 		e := ev.Payload.(objectswap.SwapEvent)
@@ -178,7 +199,8 @@ func run() error {
 	for _, info := range sys.Clusters() {
 		state := "loaded"
 		if info.Swapped {
-			state = fmt.Sprintf("swapped (%d XML bytes on %s)", info.PayloadBytes, info.Device)
+			state = fmt.Sprintf("swapped (%d XML bytes on %s)",
+				info.PayloadBytes, strings.Join(info.Devices, ","))
 		}
 		fmt.Printf("  cluster %-3d %4d objects  %s\n", info.ID, info.Objects, state)
 	}

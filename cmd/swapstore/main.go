@@ -8,11 +8,15 @@
 //	          [-ops :9981] [-log-level info] [-log-json]
 //
 // With -dir, shipments persist as files (a desktop PC holding swap files);
-// otherwise they are held in memory (another PDA's RAM). Every request is
-// access-logged through the structured logger, carrying the requesting
-// device's X-Obiswap-Trace ID when present, and retained in a flight
-// recorder; -ops serves /metrics, /healthz and /debug/traces on a side port
-// so the serving side of a swap is as observable as the constrained device.
+// otherwise they are held in memory (another PDA's RAM). The store's Stats
+// endpoint advertises real remaining capacity (-capacity minus bytes held),
+// which constrained devices feed into rendezvous placement as the donor's
+// weight — so a filling donor attracts proportionally fewer shipments.
+// Every request is access-logged through the structured logger, carrying the
+// requesting device's X-Obiswap-Trace ID when present, and retained in a
+// flight recorder; -ops serves /metrics, /healthz and /debug/traces on a side
+// port so the serving side of a swap is as observable as the constrained
+// device.
 package main
 
 import (
@@ -77,6 +81,29 @@ func run() error {
 	recorder := obs.NewRecorder(0, 0)
 	requests := reg.CounterVec("swapstore_requests_total",
 		"Requests served, by method and status.", "method", "status")
+
+	// Advertise the donor's live capacity on the metrics page, mirroring what
+	// the Stats endpoint reports to constrained devices for HRW weighting.
+	capGauge := reg.GaugeVec("swapstore_capacity_bytes",
+		"Advertised donor capacity, the placement weight neighbors see.", "stat")
+	capGauge.WithFunc(func() float64 {
+		st, err := s.Stats(context.Background())
+		if err != nil {
+			return -1
+		}
+		return float64(st.Free())
+	}, "free")
+	capGauge.WithFunc(func() float64 {
+		st, err := s.Stats(context.Background())
+		if err != nil {
+			return -1
+		}
+		return float64(st.Used)
+	}, "used")
+	if st, err := s.Stats(context.Background()); err == nil {
+		logger.Info("advertising capacity", "capacity", st.Capacity, "free", st.Free(),
+			"used", st.Used, "items", st.Items)
+	}
 
 	if *ops != "" {
 		opsSrv, err := opshttp.Start(*ops, opshttp.NewHandler(opshttp.Options{

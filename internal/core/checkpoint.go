@@ -53,16 +53,41 @@ type ckptDoc struct {
 }
 
 type ckptCluster struct {
-	ID      uint32         `xml:"id,attr"`
-	Swapped bool           `xml:"swapped,attr"`
-	Device  string         `xml:"device,attr,omitempty"`
-	Key     string         `xml:"key,attr,omitempty"`
-	Payload int            `xml:"payload,attr,omitempty"`
-	Bytes   int64          `xml:"bytes,attr,omitempty"`
-	Members []ckptMember   `xml:"member"`
-	Out     []ckptOutbound `xml:"outbound"`
+	ID      uint32 `xml:"id,attr"`
+	Swapped bool   `xml:"swapped,attr"`
+	// Device is the primary replica; Replicas holds the full replica set
+	// (primary first). Streams written before replication carry only the
+	// device attribute, which restores as a single-replica set — the format
+	// version is unchanged.
+	Device   string         `xml:"device,attr,omitempty"`
+	Key      string         `xml:"key,attr,omitempty"`
+	Payload  int            `xml:"payload,attr,omitempty"`
+	Bytes    int64          `xml:"bytes,attr,omitempty"`
+	Replicas []ckptReplica  `xml:"replica"`
+	Members  []ckptMember   `xml:"member"`
+	Out      []ckptOutbound `xml:"outbound"`
 	// Doc holds the XML wrapping of a resident cluster's objects.
 	Doc string `xml:"doc,omitempty"`
+}
+
+type ckptReplica struct {
+	Device string `xml:"device,attr"`
+}
+
+// replicaSet resolves a checkpointed cluster's replica devices: the replica
+// elements when present, else the legacy single device attribute.
+func (ck *ckptCluster) replicaSet() []string {
+	if len(ck.Replicas) == 0 {
+		if ck.Device == "" {
+			return nil
+		}
+		return []string{ck.Device}
+	}
+	out := make([]string, 0, len(ck.Replicas))
+	for _, r := range ck.Replicas {
+		out = append(out, r.Device)
+	}
+	return out
 }
 
 type ckptMember struct {
@@ -119,7 +144,8 @@ func (rt *Runtime) SaveCheckpoint(w io.Writer) error {
 			note(oid)
 		}
 		swapped := cs.swapped
-		device, key, payload, bytesAtSwap := cs.device, cs.key, cs.payloadBytes, cs.bytesAtSwap
+		devices := append([]string(nil), cs.devices...)
+		key, payload, bytesAtSwap := cs.key, cs.payloadBytes, cs.bytesAtSwap
 		replID := cs.replacement
 		rt.mgr.mu.Unlock()
 		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
@@ -130,7 +156,13 @@ func (rt *Runtime) SaveCheckpoint(w io.Writer) error {
 			ck.Members = append(ck.Members, ckptMember{ID: uint64(oid), Class: class})
 		}
 		if swapped {
-			ck.Device, ck.Key, ck.Payload, ck.Bytes = device, key, payload, bytesAtSwap
+			ck.Key, ck.Payload, ck.Bytes = key, payload, bytesAtSwap
+			if len(devices) > 0 {
+				ck.Device = devices[0]
+			}
+			for _, d := range devices {
+				ck.Replicas = append(ck.Replicas, ckptReplica{Device: d})
+			}
 			// The outbound slot table, by ultimate target identity.
 			repl, err := rt.h.Get(replID)
 			if err != nil {
@@ -278,8 +310,19 @@ func (rt *Runtime) LoadCheckpoint(r io.Reader) error {
 			rt.mgr.objects[oid] = objInfo{cluster: cid, class: m.Class}
 		}
 		if ck.Swapped {
+			devices := ck.replicaSet()
+			for _, d := range devices {
+				if d == "" {
+					rt.mgr.mu.Unlock()
+					return fmt.Errorf("%w: cluster %d has an empty replica device", ErrBadCheckpoint, cid)
+				}
+			}
+			if len(devices) == 0 {
+				rt.mgr.mu.Unlock()
+				return fmt.Errorf("%w: swapped cluster %d has no replica devices", ErrBadCheckpoint, cid)
+			}
 			cs.swapped = true
-			cs.device, cs.key = ck.Device, ck.Key
+			cs.devices, cs.key = devices, ck.Key
 			cs.payloadBytes, cs.bytesAtSwap = ck.Payload, ck.Bytes
 		}
 		rt.mgr.clusters[cid] = cs
@@ -335,7 +378,7 @@ func (rt *Runtime) LoadCheckpoint(r io.Reader) error {
 		if err := repl.SetFieldByName(fldKey, heap.Str(ck.Key)); err != nil {
 			return err
 		}
-		if err := repl.SetFieldByName(fldStore, heap.Str(ck.Device)); err != nil {
+		if err := repl.SetFieldByName(fldStore, heap.Str(strings.Join(ck.replicaSet(), ","))); err != nil {
 			return err
 		}
 		rt.mgr.mu.Lock()

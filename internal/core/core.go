@@ -26,7 +26,6 @@
 package core
 
 import (
-	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -37,6 +36,7 @@ import (
 	"objectswap/internal/heap"
 	"objectswap/internal/obs"
 	olog "objectswap/internal/obs/log"
+	"objectswap/internal/placement"
 	"objectswap/internal/store"
 )
 
@@ -94,20 +94,34 @@ var (
 	// ErrClusterBusy reports a swap operation on a cluster whose swap-out or
 	// swap-in is already in flight on another goroutine.
 	ErrClusterBusy = errors.New("core: cluster swap in progress")
+	// ErrNoPlacement reports an unpinned swap-out through a store provider
+	// that cannot enumerate donors (placement.Source): without the candidate
+	// set there is nothing to rendezvous-hash.
+	ErrNoPlacement = errors.New("core: store provider cannot enumerate donors for placement")
+	// ErrNoRepair reports a repair request for a cluster already holding its
+	// full replica set on live donors.
+	ErrNoRepair = errors.New("core: cluster needs no repair")
+	// ErrNoLiveReplica reports a repair (or swap-in) finding no reachable
+	// donor holding the cluster's payload — the cluster is unrecoverable
+	// until one of its donors returns.
+	ErrNoLiveReplica = errors.New("core: no live replica")
 )
 
-// StoreProvider selects and resolves nearby swapping devices. It is
-// implemented by store.Registry.
+// StoreProvider resolves nearby swapping devices by name. It is implemented
+// by store.Registry. Donor *selection* is no longer part of this contract:
+// the rendezvous placement planner picks destinations, and it is built
+// automatically when the provider also implements placement.Source
+// (enumeration of the reachable donors). A provider that only resolves
+// names supports pinned (WithDevice) swap-outs and swap-ins, but not
+// planner-placed shipments.
 type StoreProvider interface {
-	// Pick selects a device with at least need free bytes, skipping any
-	// device named in exclude (failed shipment destinations during
-	// failover).
-	Pick(ctx context.Context, need int64, exclude ...string) (string, store.Store, error)
-	// Lookup resolves a previously picked device by name.
+	// Lookup resolves a device by name, failing when it is unknown or
+	// unreachable.
 	Lookup(name string) (store.Store, error)
 }
 
 var _ StoreProvider = (*store.Registry)(nil)
+var _ placement.Source = (*store.Registry)(nil)
 
 // FaultHandler resolves an incremental-replication object fault: it must
 // replicate the cluster containing the proxy's target and return a reference
@@ -127,9 +141,15 @@ type SwapEvent struct {
 	// device in the X-Obiswap-Trace header. Empty on events that are not tied
 	// to one traced operation (drop).
 	Trace string
-	// Attempted lists the devices that failed the shipment before Device
-	// accepted it (swap-out failover trail; empty on the happy path).
+	// Attempted lists the devices that failed the operation before it
+	// settled: rejected swap-out destinations (failover trail), or dead
+	// replicas a swap-in fell through before one served the payload.
 	Attempted []string
+	// Replicas is the full replica set holding the shipment after the
+	// operation, primary (Device) first. A singleton under the default
+	// replication factor of 1; empty on swap-in completion (the copies are
+	// dropped).
+	Replicas []string
 	// Phases is the per-phase timing and byte breakdown of the completed
 	// operation (reserve → snapshot → encode → ship → commit for a swap-out;
 	// reserve → fetch → decode → evict → install for a swap-in), as recorded
@@ -148,6 +168,13 @@ type Runtime struct {
 
 	mgr    *Manager
 	stores StoreProvider
+	// placer ranks donors and ships replicated payloads. NewRuntime builds it
+	// automatically when the store provider can enumerate donors
+	// (placement.Source — store.Registry can); nil otherwise, in which case
+	// only pinned (WithDevice) swap-outs work.
+	placer *placement.Planner
+	// defaultReplicas is the runtime-wide replication factor K (minimum 1).
+	defaultReplicas int
 
 	// evictor is invoked on allocation failure to free memory (the policy
 	// engine installs a swap-out action here).
@@ -256,6 +283,18 @@ func WithName(name string) Option {
 	}
 }
 
+// WithDefaultReplicas sets the runtime-wide replication factor K: every
+// unpinned swap-out ships its payload to K donors (committing on a majority
+// write quorum) unless a per-call WithReplicas overrides it. Values below 1
+// are clamped to 1 — the paper's single-donor behavior.
+func WithDefaultReplicas(k int) Option {
+	return func(rt *Runtime) {
+		if k > 1 {
+			rt.defaultReplicas = k
+		}
+	}
+}
+
 // runtimeSeq hands out process-unique default device names.
 var runtimeSeq uint64
 
@@ -287,6 +326,9 @@ func NewRuntime(h *heap.Heap, reg *heap.Registry, opts ...Option) *Runtime {
 	}
 	if rt.obsReg == nil {
 		rt.obsReg = obs.NewRegistry(nil)
+	}
+	if src, ok := rt.stores.(placement.Source); ok && rt.stores != nil {
+		rt.placer = placement.New(src, placement.Options{Obs: rt.obsReg, Logger: rt.logger})
 	}
 	rt.instrument()
 	return rt
@@ -322,6 +364,18 @@ func (rt *Runtime) instrument() {
 		}
 		return n
 	}, "swapped")
+	repl := r.GaugeVec("objectswap_placement_replicas",
+		"Replica health of swapped clusters.", "stat")
+	repl.WithFunc(func() float64 {
+		return float64(len(rt.UnderReplicated(0)))
+	}, "underreplicated")
+	repl.WithFunc(func() float64 {
+		live, swapped := rt.liveReplicaTotals()
+		if swapped == 0 {
+			return 0
+		}
+		return float64(live) / float64(swapped)
+	}, "factor")
 }
 
 // Obs returns the runtime's observability registry (never nil).
@@ -498,6 +552,14 @@ func (rt *Runtime) Root(name string) (heap.Value, bool) {
 
 // Name returns the device's key-namespace name.
 func (rt *Runtime) Name() string { return rt.name }
+
+// Replicas returns the runtime's default replication factor K (at least 1).
+func (rt *Runtime) Replicas() int {
+	if rt.defaultReplicas < 1 {
+		return 1
+	}
+	return rt.defaultReplicas
+}
 
 // nextKey builds a storage key for a swap-out, unique across the devices
 // sharing a store (device name + cluster + generation).

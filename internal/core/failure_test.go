@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"errors"
+	"fmt"
 	"testing"
 	"time"
 
@@ -10,6 +11,7 @@ import (
 
 	"objectswap/internal/heap"
 	"objectswap/internal/link"
+	"objectswap/internal/placement"
 	"objectswap/internal/store"
 )
 
@@ -195,33 +197,42 @@ func TestWrongShipmentKeyRejected(t *testing.T) {
 	}
 }
 
-// failoverFixture wires a runtime to two unlimited devices. Under
-// SelectMostFree ties resolve to the alphabetically first name, so the
-// fault-injected "a-flaky" is always the registry's first choice and
-// "b-solid" is the failover target.
-func failoverFixture(t testing.TB) (*fixture, *store.Flaky, *event.Bus) {
+// failoverFixture wires a runtime (pinned name "fo-core", so storage keys are
+// reproducible) to two unlimited fault-injectable donors. The placement
+// planner rendezvous-ranks the pair per key — both donors are unlimited, so
+// the ranking is the pure equal-weight HRW order — and order-dependent tests
+// derive it with plannedOrder and fault the top-ranked donor.
+func failoverFixture(t testing.TB) (*fixture, map[string]*store.Flaky, *event.Bus) {
 	t.Helper()
 	h := heap.New(0)
 	classes := heap.NewRegistry()
 	devices := store.NewRegistry(store.SelectMostFree)
-	solid := store.NewMem(0)
-	flaky := store.NewFlaky(store.NewMem(0), 1)
-	if err := devices.Add("a-flaky", flaky); err != nil {
-		t.Fatal(err)
+	flakies := map[string]*store.Flaky{
+		"donor-a": store.NewFlaky(store.NewMem(0), 1),
+		"donor-b": store.NewFlaky(store.NewMem(0), 1),
 	}
-	if err := devices.Add("b-solid", solid); err != nil {
-		t.Fatal(err)
+	for name, st := range flakies {
+		if err := devices.Add(name, st); err != nil {
+			t.Fatal(err)
+		}
 	}
 	bus := event.NewBus()
-	rt := NewRuntime(h, classes, WithStores(devices), WithBus(bus))
-	f := &fixture{rt: rt, reg: devices, mem: solid, node: newNodeClass()}
+	rt := NewRuntime(h, classes, WithStores(devices), WithBus(bus), WithName("fo-core"))
+	f := &fixture{rt: rt, reg: devices, node: newNodeClass()}
 	rt.MustRegisterClass(f.node)
-	return f, flaky, bus
+	return f, flakies, bus
+}
+
+// plannedOrder predicts the planner's donor ranking for the NEXT storage key
+// the runtime will mint for cluster (keys embed a per-runtime generation
+// sequence, so gen is 1 for the first swap-out of a fresh fixture).
+func plannedOrder(f *fixture, cluster ClusterID, gen int) []string {
+	key := fmt.Sprintf("%s-swapcluster-%d-gen%d", f.rt.Name(), cluster, gen)
+	return placement.Order(key, []string{"donor-a", "donor-b"})
 }
 
 func TestSwapOutFailsOverToHealthyDevice(t *testing.T) {
-	f, flaky, bus := failoverFixture(t)
-	flaky.FailNext(store.OpPut, -1)
+	f, flakies, bus := failoverFixture(t)
 
 	var failoverEvents []SwapEvent
 	bus.Subscribe(event.TopicSwapFailover, func(ev event.Event) {
@@ -232,21 +243,25 @@ func TestSwapOutFailsOverToHealthyDevice(t *testing.T) {
 
 	_, clusters := f.buildList(t, 20, 10, 8)
 	want := f.snapshotTags(t)
+	// Fault the donor the planner will rank first, so the shipment must
+	// extend to the second-ranked one.
+	order := plannedOrder(f, clusters[1], 1)
+	flakies[order[0]].FailNext(store.OpPut, -1)
 	ev, err := f.rt.SwapOut(clusters[1])
 	if err != nil {
 		t.Fatalf("swap-out with failover: %v", err)
 	}
-	if ev.Device != "b-solid" {
-		t.Fatalf("shipped to %q, want failover target b-solid", ev.Device)
+	if ev.Device != order[1] {
+		t.Fatalf("shipped to %q, want failover target %q", ev.Device, order[1])
 	}
-	if len(ev.Attempted) != 1 || ev.Attempted[0] != "a-flaky" {
-		t.Fatalf("attempted trail = %v", ev.Attempted)
+	if len(ev.Attempted) != 1 || ev.Attempted[0] != order[0] {
+		t.Fatalf("attempted trail = %v, want [%s]", ev.Attempted, order[0])
 	}
-	if len(failoverEvents) != 1 || failoverEvents[0].Device != "a-flaky" {
+	if len(failoverEvents) != 1 || failoverEvents[0].Device != order[0] {
 		t.Fatalf("failover events = %+v", failoverEvents)
 	}
 	// The payload lives on the healthy device under the same key.
-	if _, err := f.mem.Get(ctx, ev.Key); err != nil {
+	if _, err := flakies[order[1]].Get(ctx, ev.Key); err != nil {
 		t.Fatalf("payload not on failover device: %v", err)
 	}
 	// And the cluster reloads transparently from there.
@@ -259,9 +274,10 @@ func TestSwapOutFailsOverToHealthyDevice(t *testing.T) {
 }
 
 func TestSwapOutNoFailoverFailsFast(t *testing.T) {
-	f, flaky, _ := failoverFixture(t)
-	flaky.FailNext(store.OpPut, -1)
+	f, flakies, _ := failoverFixture(t)
 	_, clusters := f.buildList(t, 20, 10, 8)
+	order := plannedOrder(f, clusters[1], 1)
+	flakies[order[0]].FailNext(store.OpPut, -1)
 
 	_, err := f.rt.SwapOut(clusters[1], WithNoFailover())
 	if !errors.Is(err, store.ErrUnavailable) {
@@ -270,34 +286,37 @@ func TestSwapOutNoFailoverFailsFast(t *testing.T) {
 	if f.rt.Manager().IsSwapped(clusters[1]) {
 		t.Fatal("cluster marked swapped after fail-fast rejection")
 	}
-	if keys, _ := f.mem.Keys(ctx); len(keys) != 0 {
+	if keys, _ := flakies[order[1]].Keys(ctx); len(keys) != 0 {
 		t.Fatalf("fail-fast swap-out still shipped to %v", keys)
 	}
-	if flaky.Calls(store.OpPut) != 1 {
-		t.Fatalf("fail-fast made %d put attempts", flaky.Calls(store.OpPut))
+	if flakies[order[0]].Calls(store.OpPut) != 1 {
+		t.Fatalf("fail-fast made %d put attempts", flakies[order[0]].Calls(store.OpPut))
+	}
+	if flakies[order[1]].Calls(store.OpPut) != 0 {
+		t.Fatal("fail-fast shipment touched the second-ranked donor")
 	}
 	checkClean(t, f.rt)
 }
 
 func TestSwapOutPinnedDevice(t *testing.T) {
-	f, flaky, _ := failoverFixture(t)
-	flaky.FailNext(store.OpPut, -1)
+	f, flakies, _ := failoverFixture(t)
+	flakies["donor-a"].FailNext(store.OpPut, -1)
 	_, clusters := f.buildList(t, 30, 10, 8)
 
-	// Pinning to the healthy device overrides the registry's first choice.
-	ev, err := f.rt.SwapOut(clusters[1], WithDevice("b-solid"))
+	// Pinning to the healthy device overrides the planner's ranking.
+	ev, err := f.rt.SwapOut(clusters[1], WithDevice("donor-b"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ev.Device != "b-solid" || len(ev.Attempted) != 0 {
+	if ev.Device != "donor-b" || len(ev.Attempted) != 0 {
 		t.Fatalf("event = %+v", ev)
 	}
-	if flaky.Calls(store.OpPut) != 0 {
+	if flakies["donor-a"].Calls(store.OpPut) != 0 {
 		t.Fatal("pinned shipment touched the wrong device")
 	}
 
 	// Pinning to the failing device must NOT fail over.
-	_, err = f.rt.SwapOut(clusters[2], WithDevice("a-flaky"))
+	_, err = f.rt.SwapOut(clusters[2], WithDevice("donor-a"))
 	if !errors.Is(err, store.ErrUnavailable) {
 		t.Fatalf("pinned-to-dead err = %v", err)
 	}
@@ -307,9 +326,9 @@ func TestSwapOutPinnedDevice(t *testing.T) {
 }
 
 func TestSwapOutFailureWhenAllDevicesFail(t *testing.T) {
-	f, flaky, _ := failoverFixture(t)
-	flaky.FailNext(store.OpPut, -1)
-	f.reg.Remove("b-solid")
+	f, flakies, _ := failoverFixture(t)
+	flakies["donor-a"].FailNext(store.OpPut, -1)
+	flakies["donor-b"].FailNext(store.OpPut, -1)
 	_, clusters := f.buildList(t, 20, 10, 8)
 
 	_, err := f.rt.SwapOut(clusters[1])
@@ -323,8 +342,9 @@ func TestSwapOutFailureWhenAllDevicesFail(t *testing.T) {
 }
 
 func TestSwapInDeadlineLeavesClusterSwapped(t *testing.T) {
-	f, flaky, _ := failoverFixture(t)
-	f.reg.Remove("b-solid") // single device, so the cluster lands on a-flaky
+	f, flakies, _ := failoverFixture(t)
+	flaky := flakies["donor-a"]
+	f.reg.Remove("donor-b") // single donor, so the cluster lands on donor-a
 	_, clusters := f.buildList(t, 20, 10, 8)
 	if _, err := f.rt.SwapOut(clusters[1]); err != nil {
 		t.Fatal(err)
@@ -353,8 +373,9 @@ func TestSwapInDeadlineLeavesClusterSwapped(t *testing.T) {
 }
 
 func TestDropAbandonedAfterRetryBudget(t *testing.T) {
-	f, flaky, bus := failoverFixture(t)
-	f.reg.Remove("b-solid")
+	f, flakies, bus := failoverFixture(t)
+	flaky := flakies["donor-a"]
+	f.reg.Remove("donor-b")
 	_, clusters := f.buildList(t, 20, 10, 8)
 	if _, err := f.rt.SwapOut(clusters[1]); err != nil {
 		t.Fatal(err)
@@ -390,7 +411,7 @@ func TestDropAbandonedAfterRetryBudget(t *testing.T) {
 	if f.rt.Manager().AbandonedDrops() != 1 {
 		t.Fatalf("abandoned drops = %d", f.rt.Manager().AbandonedDrops())
 	}
-	if len(abandoned) != 1 || abandoned[0].Device != "a-flaky" {
+	if len(abandoned) != 1 || abandoned[0].Device != "donor-a" {
 		t.Fatalf("abandoned events = %+v", abandoned)
 	}
 	// Abandonment is terminal: further collections stay quiet.

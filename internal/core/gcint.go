@@ -39,13 +39,14 @@ func (rt *Runtime) Collect() heap.CollectStats {
 }
 
 // sweepSwapped drops swapped clusters whose replacement-objects were
-// reclaimed.
+// reclaimed. Every replica of a dead cluster is told to discard its copy;
+// replicas on unreachable donors go to the deferred-drop queue.
 func (rt *Runtime) sweepSwapped() {
 	type victim struct {
-		id     ClusterID
-		device string
-		key    string
-		bytes  int
+		id      ClusterID
+		devices []string
+		key     string
+		bytes   int
 	}
 	var victims []victim
 
@@ -57,7 +58,8 @@ func (rt *Runtime) sweepSwapped() {
 		if rt.h.Contains(cs.replacement) {
 			continue
 		}
-		victims = append(victims, victim{id: id, device: cs.device, key: cs.key, bytes: cs.payloadBytes})
+		victims = append(victims, victim{id: id, devices: append([]string(nil), cs.devices...),
+			key: cs.key, bytes: cs.payloadBytes})
 		for oid := range cs.objects {
 			delete(rt.mgr.objects, oid)
 		}
@@ -67,11 +69,18 @@ func (rt *Runtime) sweepSwapped() {
 	rt.mgr.mu.Unlock()
 
 	for _, v := range victims {
-		if err := rt.dropFromDevice(v.device, v.key); err != nil {
-			rt.mgr.deferDrop(v.device, v.key, v.id)
+		for _, device := range v.devices {
+			if err := rt.dropFromDevice(device, v.key); err != nil {
+				rt.mgr.deferDrop(device, v.key, v.id)
+			}
+		}
+		primary := ""
+		if len(v.devices) > 0 {
+			primary = v.devices[0]
 		}
 		rt.emit(event.TopicSwapDrop, SwapEvent{
-			Cluster: v.id, Device: v.device, Key: v.key, Bytes: v.bytes,
+			Cluster: v.id, Device: primary, Key: v.key, Bytes: v.bytes,
+			Replicas: v.devices,
 		})
 	}
 }

@@ -32,10 +32,12 @@ type clusterState struct {
 	// by sweepSwapped until the transition settles.
 	busy bool
 
-	// Swapped-out state.
+	// Swapped-out state. devices is the replica set holding the shipment,
+	// primary first; under the default replication factor of 1 it is a
+	// singleton.
 	swapped      bool
 	replacement  heap.ObjID
-	device       string
+	devices      []string
 	key          string
 	payloadBytes int
 	// residentBytes at the moment of swap-out, used to pre-check reload room.
@@ -43,6 +45,15 @@ type clusterState struct {
 
 	swapOuts uint64
 	swapIns  uint64
+}
+
+// primaryDevice is the best-ranked donor holding the cluster's shipment
+// ("" while resident).
+func (cs *clusterState) primaryDevice() string {
+	if len(cs.devices) == 0 {
+		return ""
+	}
+	return cs.devices[0]
 }
 
 // proxyKey identifies the unique swap-cluster-proxy for a
@@ -318,8 +329,11 @@ type ClusterInfo struct {
 	ResidentBytes int64
 	Swapped       bool
 	// Busy reports a swap transition in flight on another goroutine.
-	Busy         bool
+	Busy bool
+	// Device is the primary replica (the best-ranked donor holding the
+	// shipment); Devices is the full replica set, primary first.
 	Device       string
+	Devices      []string
 	Key          string
 	PayloadBytes int
 	Crossings    uint64
@@ -361,7 +375,8 @@ func (m *Manager) infoLocked(cs *clusterState) ClusterInfo {
 		Objects:      len(cs.objects),
 		Swapped:      cs.swapped,
 		Busy:         cs.busy,
-		Device:       cs.device,
+		Device:       cs.primaryDevice(),
+		Devices:      append([]string(nil), cs.devices...),
 		Key:          cs.key,
 		PayloadBytes: cs.payloadBytes,
 		Crossings:    cs.crossings,

@@ -15,6 +15,7 @@ type swapOpts struct {
 	deadline   time.Time
 	device     string
 	noFailover bool
+	replicas   int
 }
 
 // WithContext runs the swap under ctx: device operations observe its
@@ -46,9 +47,23 @@ func WithDevice(name string) SwapOption {
 }
 
 // WithNoFailover disables multi-device failover: the swap-out fails if the
-// selected device rejects the shipment, as in the pre-resilience API.
+// selected device rejects the shipment, as in the pre-resilience API. Under
+// replication it confines the shipment to the top-K ranked donors (a
+// rejection is not replaced by the next candidate).
 func WithNoFailover() SwapOption {
 	return func(o *swapOpts) { o.noFailover = true }
+}
+
+// WithReplicas overrides the replication factor K for one swap-out: the
+// payload ships to the top K rendezvous-ranked donors and commits once a
+// majority accepted it. k < 1 falls back to the runtime default. Ignored by
+// pinned (WithDevice) shipments, which always write exactly one copy.
+func WithReplicas(k int) SwapOption {
+	return func(o *swapOpts) {
+		if k > 0 {
+			o.replicas = k
+		}
+	}
 }
 
 // resolve folds the options into a ready context (plus cancel) and the

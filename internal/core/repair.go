@@ -1,0 +1,247 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"objectswap/internal/event"
+	"objectswap/internal/heap"
+	"objectswap/internal/obs"
+	"objectswap/internal/placement"
+)
+
+// Replica maintenance: a swapped cluster's durability is only as good as its
+// replica set, and donors in the paper's ad-hoc neighborhood come and go.
+// UnderReplicated finds the swapped clusters whose replica count fell below
+// target (a replica is "live" when its donor still resolves through the
+// store provider — the breaker/connectivity machinery makes that a cheap
+// local check), and RepairCluster re-ships one cluster's payload to fresh
+// donors chosen by the same rendezvous planner that placed it. The
+// placement.Repairer drives both from breaker-open / device-removal /
+// read-repair events.
+
+// ReplicaSet returns a swapped cluster's recorded replica devices (primary
+// first), or nil when the cluster is resident or unknown.
+func (rt *Runtime) ReplicaSet(id ClusterID) []string {
+	rt.mgr.mu.Lock()
+	defer rt.mgr.mu.Unlock()
+	cs, ok := rt.mgr.clusters[id]
+	if !ok || !cs.swapped {
+		return nil
+	}
+	return append([]string(nil), cs.devices...)
+}
+
+// swappedSets snapshots the (id, replica set) pairs of every swapped,
+// non-busy cluster.
+func (rt *Runtime) swappedSets() map[ClusterID][]string {
+	rt.mgr.mu.Lock()
+	defer rt.mgr.mu.Unlock()
+	out := make(map[ClusterID][]string)
+	for id, cs := range rt.mgr.clusters {
+		if cs.swapped && !cs.busy {
+			out[id] = append([]string(nil), cs.devices...)
+		}
+	}
+	return out
+}
+
+// liveCount reports how many of the given replicas resolve through the
+// store provider right now. Called without manager locks held — Lookup takes
+// the registry's own lock.
+func (rt *Runtime) liveCount(devices []string) int {
+	if rt.stores == nil {
+		return 0
+	}
+	n := 0
+	for _, d := range devices {
+		if _, err := rt.stores.Lookup(d); err == nil {
+			n++
+		}
+	}
+	return n
+}
+
+// UnderReplicated returns the swapped, non-busy clusters with fewer than k
+// live replicas, in id order. k <= 0 selects the runtime's default
+// replication factor.
+func (rt *Runtime) UnderReplicated(k int) []ClusterID {
+	if k <= 0 {
+		k = rt.Replicas()
+	}
+	var out []ClusterID
+	for id, devices := range rt.swappedSets() {
+		if rt.liveCount(devices) < k {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// liveReplicaTotals sums live replicas across swapped clusters, for the
+// replication-factor gauge (mean = live / swapped).
+func (rt *Runtime) liveReplicaTotals() (live, swapped int) {
+	for _, devices := range rt.swappedSets() {
+		swapped++
+		live += rt.liveCount(devices)
+	}
+	return live, swapped
+}
+
+// RepairCluster restores a swapped cluster toward k live replicas: it reads
+// the payload from a surviving replica, ships fresh copies to donors chosen
+// by the planner (excluding every donor already in the set), prunes replicas
+// recorded on dead donors (their copies go to the deferred-drop queue so a
+// returning donor is cleaned up), and commits the new replica set. k <= 0
+// selects the runtime default. A fully replicated cluster reports ErrNoRepair;
+// a cluster with no reachable replica at all reports ErrNoLiveReplica and
+// stays swapped, recoverable when a donor returns.
+//
+// The cluster is reserved (busy) for the duration, exactly like a swap, so
+// repair never races a concurrent SwapIn/SwapOut or the sweep.
+func (rt *Runtime) RepairCluster(ctx context.Context, id ClusterID, k int) (ev SwapEvent, retErr error) {
+	if k <= 0 {
+		k = rt.Replicas()
+	}
+	if rt.stores == nil {
+		return SwapEvent{}, ErrNoStores
+	}
+	if rt.placer == nil {
+		return SwapEvent{}, fmt.Errorf("core: repair cluster %d: %w", id, ErrNoPlacement)
+	}
+	trace := rt.newTrace()
+	ctx = obs.ContextWithTrace(ctx, trace)
+	span := rt.tracer.Start("swap_repair")
+	span.SetTrace(trace)
+	span.SetCluster(uint32(id))
+	defer func() {
+		if retErr != nil {
+			span.Fail(retErr)
+			if !errors.Is(retErr, ErrNoRepair) {
+				rt.swapErrors.With("repair").Inc()
+				rt.logger.Warn("repair failed",
+					"trace", trace, "cluster", uint32(id), "err", retErr)
+			}
+		}
+	}()
+
+	// Reserve the cluster, like any swap transition.
+	span.Phase("reserve")
+	rt.swapMu.Lock()
+	rt.mgr.mu.Lock()
+	cs, err := rt.mgr.state(id)
+	if err == nil {
+		switch {
+		case cs.busy:
+			err = fmt.Errorf("%w: cluster %d", ErrClusterBusy, id)
+		case !cs.swapped:
+			err = fmt.Errorf("%w: cluster %d", ErrClusterLoaded, id)
+		}
+	}
+	if err != nil {
+		rt.mgr.mu.Unlock()
+		rt.swapMu.Unlock()
+		return SwapEvent{}, err
+	}
+	cs.busy = true
+	devices := append([]string(nil), cs.devices...)
+	key := cs.key
+	rt.mgr.mu.Unlock()
+	rt.swapMu.Unlock()
+	committed := false
+	defer func() {
+		if !committed {
+			rt.setBusy(id, false)
+		}
+	}()
+
+	// Probe the recorded replicas: live ones stay, dead ones are pruned.
+	span.Phase("probe")
+	var live, dead []string
+	for _, d := range devices {
+		if _, lerr := rt.stores.Lookup(d); lerr == nil {
+			live = append(live, d)
+		} else {
+			dead = append(dead, d)
+		}
+	}
+	if len(live) >= k && len(dead) == 0 {
+		return SwapEvent{}, ErrNoRepair
+	}
+	if len(live) == 0 {
+		return SwapEvent{}, fmt.Errorf("core: repair cluster %d (replicas %s): %w",
+			id, strings.Join(devices, ","), ErrNoLiveReplica)
+	}
+
+	// Fetch the payload from a surviving replica (fallthrough, like swap-in).
+	span.Phase("fetch")
+	span.SetKey(key)
+	var data []byte
+	var serving string
+	for _, d := range live {
+		s, lerr := rt.stores.Lookup(d)
+		if lerr != nil {
+			continue
+		}
+		if data, err = s.Get(ctx, key); err == nil {
+			serving = d
+			break
+		}
+	}
+	if serving == "" {
+		if err == nil {
+			err = ErrNoLiveReplica
+		}
+		return SwapEvent{}, fmt.Errorf("core: repair cluster %d: fetch: %w", id, err)
+	}
+	span.SetDevice(serving)
+	span.AddBytes(int64(len(data)))
+
+	// Ship fresh copies. Quorum 1: a partial repair still improves
+	// durability, and the next sweep finishes the job when donors appear.
+	span.Phase("ship")
+	var fresh []string
+	if need := k - len(live); need > 0 {
+		rep, serr := rt.placer.Ship(ctx, placement.ShipRequest{
+			Key: key, Data: data, Replicas: need, Quorum: 1, Exclude: devices,
+		})
+		if serr != nil && len(dead) == 0 {
+			// Nothing shipped and nothing to prune: the repair achieved
+			// nothing, report it.
+			return SwapEvent{}, fmt.Errorf("core: repair cluster %d: %w", id, serr)
+		}
+		fresh = rep.Replicas
+	}
+	newSet := append(append([]string(nil), live...), fresh...)
+
+	// Commit the new replica set, mirroring commitSwapOut's bookkeeping.
+	span.Phase("commit")
+	rt.swapMu.Lock()
+	rt.mgr.mu.Lock()
+	cs.devices = append([]string(nil), newSet...)
+	replID := cs.replacement
+	rt.mgr.mu.Unlock()
+	if repl, gerr := rt.h.Get(replID); gerr == nil {
+		_ = repl.SetFieldByName(fldStore, heap.Str(strings.Join(newSet, ",")))
+	}
+	rt.swapMu.Unlock()
+	committed = true
+	rt.setBusy(id, false)
+	for _, d := range dead {
+		rt.mgr.deferDrop(d, key, id)
+	}
+
+	ev = SwapEvent{Cluster: id, Device: newSet[0], Key: key, Bytes: len(data),
+		Attempted: dead, Replicas: newSet, Trace: trace}
+	span.SetReplicas(newSet)
+	ev.Phases, ev.Duration = span.End()
+	rt.logger.Info("cluster repaired", "trace", trace, "cluster", uint32(id),
+		"replicas", strings.Join(newSet, ","), "pruned", strings.Join(dead, ","),
+		"shipped", strings.Join(fresh, ","))
+	rt.emit(event.TopicSwapRepair, ev)
+	return ev, nil
+}

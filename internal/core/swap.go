@@ -11,7 +11,7 @@ import (
 	"objectswap/internal/event"
 	"objectswap/internal/heap"
 	"objectswap/internal/obs"
-	"objectswap/internal/store"
+	"objectswap/internal/placement"
 	"objectswap/internal/xmlcodec"
 )
 
@@ -29,11 +29,14 @@ import (
 //  4. the cluster's objects, now unreachable from the application, await the
 //     local collector (call Runtime.Collect to reclaim immediately).
 //
-// The shipment is resilient: when the selected device fails the Put, the
-// runtime fails over to the next-best device (excluding every destination
-// already attempted) until a device accepts the payload or no candidate is
-// left. The failed destinations are recorded in SwapEvent.Attempted and each
-// re-route is published as a swap.failover event. Options bound the whole
+// The shipment is placed by the rendezvous planner: the payload goes to the
+// top K donors ranked by weighted HRW over the swap key (K = WithReplicas or
+// the runtime default, 1) and the swap commits once a majority write quorum
+// accepted it. A rejecting donor is replaced by the next-ranked candidate —
+// the old single-device failover is the K=1 case of this walk. The failed
+// destinations are recorded in SwapEvent.Attempted and each re-route is
+// published as a swap.failover event; the accepting replica set lands in
+// SwapEvent.Replicas and the cluster state. Options bound the whole
 // operation (WithDeadline), pin the destination (WithDevice) or restore the
 // fail-fast behavior (WithNoFailover).
 //
@@ -202,34 +205,34 @@ func (rt *Runtime) SwapOut(id ClusterID, opts ...SwapOption) (ev SwapEvent, retE
 		return SwapEvent{}, err
 	}
 
-	// Ship first: a failed transfer must leave the graph untouched. When the
-	// selected device rejects the shipment, fail over to the next-best
-	// candidate; the key is device-independent, so the payload lands
-	// unchanged wherever it is accepted.
-	device, attempted, err := rt.ship(ctx, o, id, key, buf.Bytes())
+	// Ship first: a failed transfer must leave the graph untouched. The key
+	// is device-independent, so the payload lands unchanged (byte-identical
+	// replicas) on whichever donors accept it.
+	devices, attempted, err := rt.ship(ctx, o, id, key, buf.Bytes())
 	if err != nil {
 		_ = rt.h.Remove(repl.ID())
 		return SwapEvent{}, err
 	}
-	span.SetDevice(device)
+	span.SetDevice(devices[0])
+	span.SetReplicas(devices)
 	span.AddBytes(int64(payloadBytes))
 
 	// Phase 4 — exclusive: detach the cluster from the application graph.
 	span.Phase("commit")
 	rt.swapMu.Lock()
-	err = rt.commitSwapOut(id, repl, device, key, payloadBytes, residentBytes)
+	err = rt.commitSwapOut(id, repl, devices, key, payloadBytes, residentBytes)
 	rt.swapMu.Unlock()
 	if err != nil {
 		return SwapEvent{}, err
 	}
 	committed = true
 
-	ev = SwapEvent{Cluster: id, Device: device, Key: key, Objects: len(objs),
-		Bytes: payloadBytes, Attempted: attempted, Trace: trace}
+	ev = SwapEvent{Cluster: id, Device: devices[0], Key: key, Objects: len(objs),
+		Bytes: payloadBytes, Attempted: attempted, Replicas: devices, Trace: trace}
 	ev.Phases, ev.Duration = span.End()
 	rt.logger.Info("swap-out", "trace", trace, "cluster", uint32(id),
-		"device", device, "key", key, "objects", len(objs),
-		"bytes", payloadBytes, "dur", ev.Duration)
+		"device", devices[0], "replicas", len(devices), "key", key,
+		"objects", len(objs), "bytes", payloadBytes, "dur", ev.Duration)
 	rt.emit(event.TopicSwapOut, ev)
 	return ev, nil
 }
@@ -274,11 +277,12 @@ func (rt *Runtime) beginSwapOut(id ClusterID) ([]heap.ObjID, map[heap.ObjID]bool
 	return memberIDs, members, nil
 }
 
-// commitSwapOut publishes a shipped cluster's swapped state: the stored
-// device is recorded on the replacement, every inbound proxy is re-targeted
-// at it, and the manager record flips to swapped. Caller holds swapMu.
-func (rt *Runtime) commitSwapOut(id ClusterID, repl *heap.Object, device, key string, payloadBytes int, residentBytes int64) error {
-	if err := repl.SetFieldByName(fldStore, heap.Str(device)); err != nil {
+// commitSwapOut publishes a shipped cluster's swapped state: the replica set
+// is recorded on the replacement (comma-joined, primary first), every
+// inbound proxy is re-targeted at it, and the manager record flips to
+// swapped. Caller holds swapMu.
+func (rt *Runtime) commitSwapOut(id ClusterID, repl *heap.Object, devices []string, key string, payloadBytes int, residentBytes int64) error {
+	if err := repl.SetFieldByName(fldStore, heap.Str(strings.Join(devices, ","))); err != nil {
 		return err
 	}
 	for _, pid := range rt.mgr.inboundProxies(id) {
@@ -300,7 +304,7 @@ func (rt *Runtime) commitSwapOut(id ClusterID, repl *heap.Object, device, key st
 	cs.swapped = true
 	cs.busy = false
 	cs.replacement = repl.ID()
-	cs.device = device
+	cs.devices = append([]string(nil), devices...)
 	cs.key = key
 	cs.payloadBytes = payloadBytes
 	cs.bytesAtSwap = residentBytes
@@ -318,45 +322,47 @@ func (rt *Runtime) setBusy(id ClusterID, busy bool) {
 	rt.mgr.mu.Unlock()
 }
 
-// ship moves a wrapped cluster to a device, failing over across registry
-// candidates. It returns the accepting device and the failed destinations.
-func (rt *Runtime) ship(ctx context.Context, o swapOpts, id ClusterID, key string, data []byte) (string, []string, error) {
-	var attempted []string
-	var lastErr error
-	for {
-		var device string
-		var s store.Store
-		var err error
-		if o.device != "" {
-			device = o.device
-			s, err = rt.stores.Lookup(o.device)
-		} else {
-			device, s, err = rt.stores.Pick(ctx, int64(len(data)), attempted...)
-		}
+// ship places a wrapped cluster on its donors: pinned (WithDevice) shipments
+// write exactly one copy, everything else goes through the rendezvous
+// planner, which ranks the reachable donors for the key and writes K
+// replicas under a majority quorum. It returns the accepting replica set
+// (rank order, primary first) and the donors that rejected the payload.
+func (rt *Runtime) ship(ctx context.Context, o swapOpts, id ClusterID, key string, data []byte) ([]string, []string, error) {
+	if o.device != "" {
+		s, err := rt.stores.Lookup(o.device)
 		if err != nil {
-			if lastErr != nil {
-				return "", attempted, fmt.Errorf("core: ship cluster %d: %d device(s) failed (%s), no candidate left: %w",
-					id, len(attempted), strings.Join(attempted, ", "), lastErr)
-			}
-			return "", attempted, fmt.Errorf("core: swap-out cluster %d: %w", id, err)
+			return nil, nil, fmt.Errorf("core: swap-out cluster %d: %w", id, err)
 		}
-		perr := s.Put(ctx, key, data)
-		if perr == nil {
-			return device, attempted, nil
+		if err := s.Put(ctx, key, data); err != nil {
+			return nil, nil, fmt.Errorf("core: ship cluster %d to %s: %w", id, o.device, err)
 		}
-		if o.device != "" || o.noFailover || ctx.Err() != nil {
-			return "", attempted, fmt.Errorf("core: ship cluster %d to %s: %w", id, device, perr)
-		}
-		attempted = append(attempted, device)
-		lastErr = perr
-		rt.logger.Warn("swap-out failover", "trace", obs.TraceFrom(ctx),
-			"cluster", uint32(id), "device", device, "err", perr)
-		rt.emit(event.TopicSwapFailover, SwapEvent{
-			Cluster: id, Device: device, Key: key, Bytes: len(data),
-			Attempted: append([]string(nil), attempted...),
-			Trace:     obs.TraceFrom(ctx),
-		})
+		return []string{o.device}, nil, nil
 	}
+	if rt.placer == nil {
+		return nil, nil, fmt.Errorf("core: swap-out cluster %d: %w", id, ErrNoPlacement)
+	}
+	k := o.replicas
+	if k < 1 {
+		k = rt.Replicas()
+	}
+	rep, err := rt.placer.Ship(ctx, placement.ShipRequest{
+		Key:      key,
+		Data:     data,
+		Replicas: k,
+		NoExtend: o.noFailover,
+		OnFailure: func(device string, perr error) {
+			rt.logger.Warn("swap-out failover", "trace", obs.TraceFrom(ctx),
+				"cluster", uint32(id), "device", device, "err", perr)
+			rt.emit(event.TopicSwapFailover, SwapEvent{
+				Cluster: id, Device: device, Key: key, Bytes: len(data),
+				Trace: obs.TraceFrom(ctx),
+			})
+		},
+	})
+	if err != nil {
+		return nil, rep.Attempted, fmt.Errorf("core: ship cluster %d: %w", id, err)
+	}
+	return rep.Replicas, rep.Attempted, nil
 }
 
 // checkInactive fails when any member of the cluster is on the invocation
@@ -374,6 +380,14 @@ func (rt *Runtime) checkInactive(id ClusterID, members map[heap.ObjID]bool) erro
 // objects under their original identities, re-patches every inbound proxy,
 // and retires the replacement-object. Invoking any inbound proxy of a swapped
 // cluster does this implicitly; SwapIn is the explicit form (prefetch).
+//
+// The fetch reads the cluster's replicas in preference (rank) order and
+// falls through on error: a dead primary costs one failed request, not the
+// reload — the payload is byte-identical on every replica, so whichever
+// donor answers first serves the swap-in. Replicas that failed are listed
+// in SwapEvent.Attempted, and their loss is announced as a swap.readrepair
+// event so the background repair loop can re-replicate everything else
+// those donors held.
 //
 // WithDeadline / WithContext bound the fetch: a timed-out swap-in reports
 // the error and leaves the cluster consistently swapped, so a later retry
@@ -425,7 +439,8 @@ func (rt *Runtime) SwapIn(id ClusterID, opts ...SwapOption) (ev SwapEvent, retEr
 		return SwapEvent{}, fmt.Errorf("%w: cluster %d", ErrClusterLoaded, id)
 	}
 	cs.busy = true
-	device, key := cs.device, cs.key
+	devices := append([]string(nil), cs.devices...)
+	key := cs.key
 	replID := cs.replacement
 	needBytes := cs.bytesAtSwap
 	rt.mgr.mu.Unlock()
@@ -445,18 +460,43 @@ func (rt *Runtime) SwapIn(id ClusterID, opts ...SwapOption) (ev SwapEvent, retEr
 	rt.h.Pin(replID)
 	defer rt.h.Unpin(replID)
 
-	// Phase 2 — concurrent: fetch and decode the shipment.
+	// Phase 2 — concurrent: fetch and decode the shipment. Replicas are
+	// byte-identical, so read them in preference order and fall through on
+	// error — a dead primary costs one failed request, not the reload.
 	span.Phase("fetch")
-	span.SetDevice(device)
 	span.SetKey(key)
-	s, err := rt.stores.Lookup(device)
-	if err != nil {
-		return SwapEvent{}, fmt.Errorf("core: swap-in cluster %d: %w", id, err)
+	span.SetReplicas(devices)
+	var (
+		data    []byte
+		device  string
+		failed  []string
+		lastErr error
+	)
+	for _, d := range devices {
+		s, err := rt.stores.Lookup(d)
+		if err == nil {
+			data, err = s.Get(ctx, key)
+			if err == nil {
+				device = d
+				break
+			}
+		}
+		failed = append(failed, d)
+		lastErr = err
+		rt.logger.Warn("swap-in replica failed", "trace", trace,
+			"cluster", uint32(id), "device", d, "err", err)
+		if ctx.Err() != nil {
+			break
+		}
 	}
-	data, err := s.Get(ctx, key)
-	if err != nil {
-		return SwapEvent{}, fmt.Errorf("core: fetch cluster %d from %s: %w", id, device, err)
+	if device == "" {
+		if lastErr == nil {
+			lastErr = ErrNoLiveReplica
+		}
+		return SwapEvent{}, fmt.Errorf("core: fetch cluster %d (replicas %s): %w",
+			id, strings.Join(devices, ","), lastErr)
 	}
+	span.SetDevice(device)
 	span.AddBytes(int64(len(data)))
 	span.Phase("decode")
 	doc, err := xmlcodec.Decode(data)
@@ -497,20 +537,33 @@ func (rt *Runtime) SwapIn(id ClusterID, opts ...SwapOption) (ev SwapEvent, retEr
 	}
 	committed = true
 
-	// The device's copy is stale once the cluster is live again.
+	// Every replica's copy is stale once the cluster is live again. Drops
+	// that fail (a replica on an unreachable donor) are deferred so the
+	// payload is reclaimed when the donor returns.
 	if !rt.keepOnReload {
-		if err := s.Drop(ctx, key); err != nil {
-			rt.mgr.deferDrop(device, key, id)
+		for _, d := range devices {
+			s, err := rt.stores.Lookup(d)
+			if err != nil || s.Drop(ctx, key) != nil {
+				rt.mgr.deferDrop(d, key, id)
+			}
 		}
 	}
 
 	ev = SwapEvent{Cluster: id, Device: device, Key: key, Objects: installed,
-		Bytes: payload, Trace: trace}
+		Bytes: payload, Attempted: failed, Trace: trace}
 	ev.Phases, ev.Duration = span.End()
 	rt.logger.Info("swap-in", "trace", trace, "cluster", uint32(id),
 		"device", device, "key", key, "objects", installed,
 		"bytes", payload, "dur", ev.Duration)
 	rt.emit(event.TopicSwapIn, ev)
+	// A dead replica here means the donor likely lost everything it held:
+	// announce it so the repair loop re-replicates the rest.
+	if len(failed) > 0 {
+		rt.emit(event.TopicReadRepair, SwapEvent{
+			Cluster: id, Device: failed[0], Key: key,
+			Attempted: failed, Trace: trace,
+		})
+	}
 	return ev, nil
 }
 
@@ -588,7 +641,7 @@ func (rt *Runtime) commitSwapIn(id ClusterID, cs *clusterState, repl *heap.Objec
 	cs.swapped = false
 	cs.busy = false
 	cs.replacement = heap.NilID
-	cs.device = ""
+	cs.devices = nil
 	cs.key = ""
 	payload := cs.payloadBytes
 	cs.payloadBytes = 0

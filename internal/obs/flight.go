@@ -39,6 +39,9 @@ type SpanRecord struct {
 	Cluster uint32 `json:"cluster,omitempty"`
 	// Key is the storage key shipped or fetched, when known.
 	Key string `json:"key,omitempty"`
+	// Replicas is the replica set holding the shipment (primary first), for
+	// replicated placements.
+	Replicas []string `json:"replicas,omitempty"`
 	// Outcome is "ok" or "error".
 	Outcome string `json:"outcome"`
 	// Error is the failure text for Outcome == "error".

@@ -61,10 +61,11 @@ type Span struct {
 	phases     []Phase
 
 	// Correlation labels retained by the flight recorder.
-	trace   string
-	device  string
-	cluster uint32
-	key     string
+	trace    string
+	device   string
+	cluster  uint32
+	key      string
+	replicas []string
 }
 
 // SetTrace labels the span with a cross-device trace ID.
@@ -100,6 +101,14 @@ func (s *Span) SetCluster(c uint32) {
 func (s *Span) SetKey(k string) {
 	if s != nil {
 		s.key = k
+	}
+}
+
+// SetReplicas labels the span with the replica set holding the shipment
+// (primary first).
+func (s *Span) SetReplicas(devices []string) {
+	if s != nil {
+		s.replicas = append([]string(nil), devices...)
 	}
 }
 
@@ -192,6 +201,7 @@ func (s *Span) record(outcome, errDetail string, total time.Duration) {
 		Device:     s.device,
 		Cluster:    s.cluster,
 		Key:        s.key,
+		Replicas:   append([]string(nil), s.replicas...),
 		Outcome:    outcome,
 		Error:      errDetail,
 		Start:      s.start,

@@ -1,0 +1,301 @@
+// Package placement decides where swapped clusters live. It replaces the
+// single-winner device picker with one coherent placement layer shared by
+// swap-out, failover and repair:
+//
+//   - every swap key is rendezvous-hashed (weighted HRW) onto the donor
+//     devices currently reachable, weighted by each donor's free capacity
+//     from store.Stats — a donor offering more room wins proportionally more
+//     keys, and adding or removing one donor only remaps the keys that
+//     scored it highest;
+//   - a shipment goes to the top K donors in parallel and commits once a
+//     write quorum W (majority of K by default) has accepted the payload;
+//     a rejecting donor is replaced by the next-ranked candidate, which is
+//     exactly the old failover walk, now a by-product of ranking;
+//   - the same ranking re-ships under-replicated clusters during repair
+//     (see Repairer), so there are not two competing donor-selection paths.
+//
+// The key is device-independent, so a payload lands unchanged on whichever
+// donors accept it; replicas are byte-identical.
+package placement
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+	"strings"
+
+	"objectswap/internal/obs"
+	olog "objectswap/internal/obs/log"
+	"objectswap/internal/store"
+)
+
+// Source enumerates the donor devices currently offered for placement.
+// Implemented by *store.Registry.
+type Source interface {
+	Available() []store.Device
+}
+
+var _ Source = (*store.Registry)(nil)
+
+// Planner ranks donors for swap keys and ships payloads to K of them.
+type Planner struct {
+	src    Source
+	logger *olog.Logger
+	ships  *obs.CounterVec // quorum shipments by outcome
+	puts   *obs.CounterVec // per-replica Put attempts by outcome
+}
+
+// Options configures a Planner. Both fields are optional.
+type Options struct {
+	// Obs records the planner's shipment and replica-put counters. A private
+	// registry is used when nil.
+	Obs *obs.Registry
+	// Logger narrates quorum decisions. A nil logger logs nothing.
+	Logger *olog.Logger
+}
+
+// New builds a planner over the given donor source.
+func New(src Source, o Options) *Planner {
+	if o.Obs == nil {
+		o.Obs = obs.NewRegistry(nil)
+	}
+	return &Planner{
+		src:    src,
+		logger: o.Logger,
+		ships: o.Obs.CounterVec("objectswap_placement_ships_total",
+			"Quorum shipments planned, by outcome.", "outcome"),
+		puts: o.Obs.CounterVec("objectswap_placement_replica_puts_total",
+			"Individual replica Put attempts, by outcome.", "outcome"),
+	}
+}
+
+// Candidate is one ranked donor for a key.
+type Candidate struct {
+	Name  string
+	Store store.Store
+	// Free is the donor's advertised free capacity at ranking time.
+	Free int64
+	// Score is the donor's weighted rendezvous score for the key; candidates
+	// are returned best-first.
+	Score float64
+}
+
+// Rank orders the reachable donors for key by weighted rendezvous hash,
+// best-first. Donors named in exclude, donors whose Stats probe fails and
+// donors with less than need free bytes are left out. Stats probes run
+// outside any planner lock: a probe may be a slow network call, and a
+// resilience decorator declaring the device unhealthy mid-probe re-enters
+// the registry through its connectivity monitor.
+func (p *Planner) Rank(ctx context.Context, key string, need int64, exclude []string) []Candidate {
+	skip := make(map[string]bool, len(exclude))
+	for _, n := range exclude {
+		skip[n] = true
+	}
+	var cands []Candidate
+	for _, d := range p.src.Available() {
+		if skip[d.Name] {
+			continue
+		}
+		st, err := d.Store.Stats(ctx)
+		if err != nil {
+			continue // unreachable right now
+		}
+		free := st.Free()
+		if free < need {
+			continue
+		}
+		cands = append(cands, Candidate{
+			Name: d.Name, Store: d.Store, Free: free, Score: score(key, d.Name, free),
+		})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].Score != cands[j].Score {
+			return cands[i].Score > cands[j].Score
+		}
+		return cands[i].Name < cands[j].Name
+	})
+	return cands
+}
+
+// Order is the pure (equal-weight) HRW ranking of names for key. Tests and
+// tools use it to predict where a key lands without probing stores — with
+// donors of equal free capacity it matches Rank exactly.
+func Order(key string, names []string) []string {
+	out := append([]string(nil), names...)
+	scores := make(map[string]float64, len(out))
+	for _, n := range out {
+		scores[n] = score(key, n, 1)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if scores[out[i]] != scores[out[j]] {
+			return scores[out[i]] > scores[out[j]]
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// score is the weighted rendezvous score of donor name for key:
+// weight / -ln(h) with h the (key, name) hash normalized into (0, 1).
+// Donors win keys in proportion to their weight, and a donor-set change
+// only remaps keys whose top choice changed (the HRW minimal-disruption
+// property).
+func score(key, name string, weight int64) float64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	h.Write([]byte{0})
+	h.Write([]byte(name))
+	// Normalize the top 53 bits (a float64 mantissa) into (0, 1).
+	x := float64(h.Sum64()>>11) / float64(uint64(1)<<53)
+	if x <= 0 {
+		x = math.SmallestNonzeroFloat64
+	} else if x >= 1 {
+		x = 1 - 1e-16
+	}
+	w := float64(weight)
+	if w <= 0 {
+		w = 1
+	}
+	return -w / math.Log(x)
+}
+
+// DefaultQuorum is the write quorum applied when a ShipRequest leaves Quorum
+// zero: a majority of the requested replicas.
+func DefaultQuorum(replicas int) int {
+	if replicas < 1 {
+		replicas = 1
+	}
+	return replicas/2 + 1
+}
+
+// ShipRequest describes one replicated shipment.
+type ShipRequest struct {
+	Key  string
+	Data []byte
+	// Replicas is the target replica count K (minimum 1).
+	Replicas int
+	// Quorum is the write quorum W; 0 selects DefaultQuorum(Replicas).
+	Quorum int
+	// Exclude names donors that must not be selected (live replicas during a
+	// repair re-ship, or an operator blacklist).
+	Exclude []string
+	// NoExtend confines the shipment to the top K candidates: a rejecting
+	// donor is not replaced by the next-ranked one (the pre-resilience
+	// fail-fast behavior).
+	NoExtend bool
+	// OnFailure, when set, is invoked once per donor that rejects the
+	// payload, from the planner's collector goroutine (never concurrently).
+	OnFailure func(device string, err error)
+}
+
+// ShipReport describes where a shipment landed.
+type ShipReport struct {
+	// Replicas are the donors holding the payload, in rank order.
+	Replicas []string
+	// Attempted are the donors that rejected the payload, in rank order.
+	Attempted []string
+	// Quorum is the write quorum that applied.
+	Quorum int
+}
+
+// Ship stores the payload on the top K ranked donors in parallel and returns
+// once every attempt settles. It succeeds when at least W donors accepted
+// the payload; unless NoExtend is set, each rejection recruits the
+// next-ranked candidate, so the shipment degrades through the whole donor
+// population before giving up. On quorum failure the partial replicas are
+// dropped (best effort) so no orphan payloads linger, and the error wraps
+// the last Put failure — or store.ErrNoDevice when no donor was even
+// eligible.
+func (p *Planner) Ship(ctx context.Context, req ShipRequest) (ShipReport, error) {
+	k := req.Replicas
+	if k < 1 {
+		k = 1
+	}
+	quorum := req.Quorum
+	if quorum <= 0 {
+		quorum = DefaultQuorum(k)
+	}
+	if quorum > k {
+		quorum = k
+	}
+	rep := ShipReport{Quorum: quorum}
+
+	cands := p.Rank(ctx, req.Key, int64(len(req.Data)), req.Exclude)
+	if len(cands) == 0 {
+		p.ships.With("no_donor").Inc()
+		return rep, fmt.Errorf("placement: ship %q (%d bytes, %d replicas): %w",
+			req.Key, len(req.Data), k, store.ErrNoDevice)
+	}
+
+	type result struct {
+		idx int
+		err error
+	}
+	results := make(chan result, len(cands))
+	next, inflight := 0, 0
+	launch := func(n int) {
+		for ; n > 0 && next < len(cands); n-- {
+			i := next
+			next++
+			inflight++
+			go func() {
+				results <- result{i, cands[i].Store.Put(ctx, req.Key, req.Data)}
+			}()
+		}
+	}
+	launch(k)
+
+	var okIdx, failIdx []int
+	var lastErr error
+	for inflight > 0 {
+		r := <-results
+		inflight--
+		if r.err == nil {
+			p.puts.With("ok").Inc()
+			okIdx = append(okIdx, r.idx)
+			continue
+		}
+		p.puts.With("failed").Inc()
+		failIdx = append(failIdx, r.idx)
+		lastErr = r.err
+		if req.OnFailure != nil {
+			req.OnFailure(cands[r.idx].Name, r.err)
+		}
+		if !req.NoExtend && len(okIdx)+inflight < k {
+			launch(1)
+		}
+	}
+	sort.Ints(okIdx)
+	sort.Ints(failIdx)
+	for _, i := range okIdx {
+		rep.Replicas = append(rep.Replicas, cands[i].Name)
+	}
+	for _, i := range failIdx {
+		rep.Attempted = append(rep.Attempted, cands[i].Name)
+	}
+
+	if len(okIdx) >= quorum {
+		p.ships.With("ok").Inc()
+		p.logger.Debug("shipment placed", "key", req.Key,
+			"replicas", strings.Join(rep.Replicas, ","), "quorum", quorum)
+		return rep, nil
+	}
+	// Quorum failed: a partial replica set gives a false durability promise
+	// and leaks donor capacity — drop what landed, best effort.
+	for _, i := range okIdx {
+		_ = cands[i].Store.Drop(ctx, req.Key)
+	}
+	p.ships.With("quorum_failed").Inc()
+	landed := rep.Replicas
+	rep.Replicas = nil
+	if lastErr == nil {
+		// No Put failed — there simply were not enough eligible donors to
+		// reach the quorum.
+		lastErr = fmt.Errorf("%d donor(s) eligible: %w", len(cands), store.ErrNoDevice)
+	}
+	return rep, fmt.Errorf("placement: ship %q: %d/%d replicas landed (quorum %d, dropped %s, failed %s): %w",
+		req.Key, len(landed), k, quorum,
+		strings.Join(landed, ","), strings.Join(rep.Attempted, ","), lastErr)
+}

@@ -12,11 +12,13 @@ import (
 // BindSwapActions registers the standard Object-Swapping actions on an
 // engine, wired to a swapping runtime:
 //
-//	swap-out  strategy=coldest|largest|least-used  count=N  collect=bool  parallel=N
+//	swap-out  strategy=coldest|largest|least-used  count=N  collect=bool  parallel=N  replicas=K
 //	    Selects count victim clusters under the strategy and swaps them out
 //	    (collecting afterwards when collect is true, the default). With
 //	    parallel > 1 the victims ship through a bounded worker pool,
-//	    overlapping encoding with device transfer.
+//	    overlapping encoding with device transfer. With replicas > 0 each
+//	    shipment goes to K rendezvous-ranked donors (overriding the
+//	    runtime's default replication factor for this action).
 //	swap-in   cluster=N
 //	    Prefetches a swapped cluster back.
 //	collect
@@ -37,6 +39,10 @@ func BindSwapActions(e *Engine, rt *core.Runtime) {
 		count := spec.IntParam("count", 1)
 		collect := spec.BoolParam("collect", true)
 		parallel := spec.IntParam("parallel", 1)
+		var swapOpts []core.SwapOption
+		if replicas := spec.IntParam("replicas", 0); replicas > 0 {
+			swapOpts = append(swapOpts, core.WithReplicas(replicas))
+		}
 
 		victims := rt.Manager().SelectVictims(strategy)
 		swapped := 0
@@ -49,7 +55,7 @@ func BindSwapActions(e *Engine, rt *core.Runtime) {
 				if end > len(victims) {
 					end = len(victims)
 				}
-				evs, err := rt.SwapOutMany(victims[start:end], parallel)
+				evs, err := rt.SwapOutMany(victims[start:end], parallel, swapOpts...)
 				if err != nil {
 					return fmt.Errorf("swap-out: %w", err)
 				}
@@ -61,7 +67,7 @@ func BindSwapActions(e *Engine, rt *core.Runtime) {
 				if swapped >= count {
 					break
 				}
-				if _, err := rt.SwapOut(victim); err != nil {
+				if _, err := rt.SwapOut(victim, swapOpts...); err != nil {
 					if errors.Is(err, core.ErrClusterActive) || errors.Is(err, core.ErrClusterBusy) {
 						continue
 					}

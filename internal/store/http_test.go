@@ -22,6 +22,43 @@ func TestHTTPCapacityMapsTo507(t *testing.T) {
 	}
 }
 
+func TestHTTPStatsAdvertisesCapacity(t *testing.T) {
+	// The stats a swapstore serves over HTTP are the weights the placement
+	// planner ranks donors by: capacity, usage and the derived free space must
+	// survive the round trip exactly.
+	srv := httptest.NewServer(NewHandler(NewMem(1 << 20)))
+	defer srv.Close()
+	c := NewClient(srv.URL)
+
+	if err := c.Put(ctx, "k1", make([]byte, 300)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(ctx, "k2", make([]byte, 200)); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Capacity != 1<<20 || st.Used != 500 || st.Items != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Free() != 1<<20-500 {
+		t.Fatalf("free = %d", st.Free())
+	}
+
+	// An unlimited donor advertises the unlimited sentinel weight.
+	srv2 := httptest.NewServer(NewHandler(NewMem(0)))
+	defer srv2.Close()
+	st2, err := NewClient(srv2.URL).Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Capacity != 0 || st2.Free() != 1<<62-1 {
+		t.Fatalf("unlimited stats = %+v free %d", st2, st2.Free())
+	}
+}
+
 func TestHTTPUnreachable(t *testing.T) {
 	c := NewClient("http://127.0.0.1:1") // nothing listens there
 	if err := c.Put(ctx, "k", []byte("x")); !errors.Is(err, ErrUnavailable) {

@@ -94,6 +94,22 @@ func (r *Registry) Names() []string {
 	return names
 }
 
+// Available snapshots the reachable devices in name order. The placement
+// planner enumerates donors through this: rendezvous hashing needs the whole
+// candidate set, not a single winner.
+func (r *Registry) Available() []Device {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Device, 0, len(r.devices))
+	for _, d := range r.devices {
+		if d.Available {
+			out = append(out, *d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
 // Lookup returns the store of a named device, failing when the device is
 // unknown or unreachable.
 func (r *Registry) Lookup(name string) (Store, error) {

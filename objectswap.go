@@ -44,6 +44,7 @@ import (
 	"objectswap/internal/obs"
 	olog "objectswap/internal/obs/log"
 	"objectswap/internal/opshttp"
+	"objectswap/internal/placement"
 	"objectswap/internal/policy"
 	"objectswap/internal/replication"
 	"objectswap/internal/store"
@@ -98,6 +99,10 @@ var (
 	WithDevice = core.WithDevice
 	// WithNoFailover restores fail-fast shipment (no multi-device retry).
 	WithNoFailover = core.WithNoFailover
+	// WithReplicas overrides the replication factor for one swap-out: the
+	// payload ships to K rendezvous-ranked donors and commits once a write
+	// quorum (majority of K) lands.
+	WithReplicas = core.WithReplicas
 )
 
 // Victim strategies, re-exported.
@@ -133,6 +138,15 @@ type Config struct {
 	// DeviceName namespaces this device's storage keys on shared stores
 	// (default: a process-unique name).
 	DeviceName string
+	// Replicas is the default replication factor for swap-outs: each shipped
+	// cluster lands on K rendezvous-ranked donor devices (weighted by free
+	// capacity) and commits once a write quorum (majority of K) lands.
+	// Values <= 1 keep single-copy placement. With Replicas > 1 the System
+	// also runs a background re-replication loop that re-ships
+	// under-replicated clusters when donors fail (breaker-open, link-down,
+	// device removal, or a swap-in falling through a dead replica); call
+	// Close to stop it.
+	Replicas int
 	// Transport tunes the resilience decorator (timeouts, retry/backoff,
 	// circuit breaker) wrapped around every store registered with
 	// AttachDevice. The zero value selects the defaults; see
@@ -174,6 +188,7 @@ type System struct {
 	obsReg       *obs.Registry
 	recorder     *obs.Recorder
 	logger       *olog.Logger
+	repairer     *placement.Repairer
 }
 
 // New assembles a System from cfg. Every layer reports into one shared
@@ -200,6 +215,9 @@ func New(cfg Config) (*System, error) {
 	}
 	if cfg.DeviceName != "" {
 		opts = append(opts, core.WithName(cfg.DeviceName))
+	}
+	if cfg.Replicas > 1 {
+		opts = append(opts, core.WithDefaultReplicas(cfg.Replicas))
 	}
 	rt := core.NewRuntime(h, heap.NewRegistry(), opts...)
 	h.Instrument(reg, rt.Name())
@@ -239,6 +257,13 @@ func New(cfg Config) (*System, error) {
 	monitor.Instrument(reg)
 	monitor.SetLogger(cfg.Logger)
 
+	var repairer *placement.Repairer
+	if cfg.Replicas > 1 {
+		repairer = placement.NewRepairer(repairTarget{rt}, cfg.Replicas,
+			placement.RepairerOptions{Bus: bus, Obs: reg, Logger: cfg.Logger})
+		repairer.Start()
+	}
+
 	return &System{
 		heap:         h,
 		rt:           rt,
@@ -253,7 +278,68 @@ func New(cfg Config) (*System, error) {
 		obsReg:       reg,
 		recorder:     recorder,
 		logger:       cfg.Logger,
+		repairer:     repairer,
 	}, nil
+}
+
+// repairTarget adapts core.Runtime to placement.RepairTarget: cluster ids are
+// surfaced as raw uint32s, and the runtime conditions that mean "nothing to do
+// right now" — mid-swap on another goroutine, reloaded since the sweep, or
+// already fully replicated — collapse into placement.ErrSkip.
+type repairTarget struct{ rt *core.Runtime }
+
+func (t repairTarget) UnderReplicated(k int) []uint32 {
+	ids := t.rt.UnderReplicated(k)
+	out := make([]uint32, len(ids))
+	for i, id := range ids {
+		out[i] = uint32(id)
+	}
+	return out
+}
+
+func (t repairTarget) RepairCluster(ctx context.Context, cluster uint32, k int) error {
+	_, err := t.rt.RepairCluster(ctx, core.ClusterID(cluster), k)
+	if errors.Is(err, core.ErrClusterBusy) || errors.Is(err, core.ErrClusterLoaded) ||
+		errors.Is(err, core.ErrNoRepair) {
+		return fmt.Errorf("%w: %v", placement.ErrSkip, err)
+	}
+	return err
+}
+
+// RepairNow synchronously sweeps every under-replicated cluster once,
+// re-shipping each toward Config.Replicas live copies, and returns how many
+// clusters were repaired. With Replicas <= 1 it reports (0, nil) — there is
+// no repair loop to run. Use it in tests and drain points; during normal
+// operation the background loop reacts to failure events on its own.
+func (s *System) RepairNow(ctx context.Context) (int, error) {
+	if s.repairer == nil {
+		return 0, nil
+	}
+	return s.repairer.RepairNow(ctx)
+}
+
+// Close stops the System's background work (the re-replication loop). It is
+// safe to call multiple times and on systems without one.
+func (s *System) Close() {
+	if s.repairer != nil {
+		s.repairer.Close()
+	}
+}
+
+// DetachDevice removes a nearby device from the registry and announces the
+// removal on the bus (topic device.removed) so the re-replication loop
+// re-ships any clusters that held replicas on it. Swapped payloads on the
+// device are not fetched back first — replicated clusters survive through
+// their remaining copies; single-copy clusters on the device become
+// unrecoverable until it is re-attached.
+func (s *System) DetachDevice(name string) error {
+	if _, ok := s.devices.Peek(name); !ok {
+		return fmt.Errorf("objectswap: detach %q: %w", name, store.ErrNoDevice)
+	}
+	s.devices.Remove(name)
+	s.conn.Set(name, false)
+	s.bus.Emit(event.TopicDeviceRemoved, name)
+	return nil
 }
 
 // Metrics exposes the shared observability registry: every layer — heap,
@@ -277,13 +363,18 @@ const evictorStuckAfter = 30 * time.Second
 // HealthChecks returns the system's standard subsystem probes, suitable for
 // opshttp.Options.Checks:
 //
-//	heap      fails when occupancy has crossed the memory monitor's threshold
-//	breakers  fails when any attached device's circuit breaker is open
-//	stores    fails when devices are attached but none is reachable
-//	evictor   fails when no evictor hook is installed, or one eviction pass
-//	          has been in flight implausibly long
+//	heap             fails when occupancy has crossed the memory monitor's
+//	                 threshold
+//	breakers         fails when any attached device's circuit breaker is open
+//	stores           fails when devices are attached but none is reachable
+//	evictor          fails when no evictor hook is installed, or one eviction
+//	                 pass has been in flight implausibly long
+//	underreplicated  (Replicas > 1 only) fails while any swapped cluster has
+//	                 fewer live replicas than Config.Replicas — degraded on
+//	                 donor loss, ok again once the repair loop restores the
+//	                 factor
 func (s *System) HealthChecks() []opshttp.Check {
-	return []opshttp.Check{
+	checks := []opshttp.Check{
 		{Name: "heap", Probe: func(context.Context) error {
 			sample := s.monitor.Sample()
 			if sample.Capacity > 0 && sample.Fraction >= s.monitor.Threshold() {
@@ -330,6 +421,15 @@ func (s *System) HealthChecks() []opshttp.Check {
 			return nil
 		}},
 	}
+	if s.rt.Replicas() > 1 {
+		checks = append(checks, opshttp.Check{Name: "underreplicated", Probe: func(context.Context) error {
+			if under := s.rt.UnderReplicated(0); len(under) > 0 {
+				return fmt.Errorf("%d cluster(s) below %d live replicas", len(under), s.rt.Replicas())
+			}
+			return nil
+		}})
+	}
+	return checks
 }
 
 // OpsHandler assembles the operator-facing HTTP surface for this system:
@@ -518,10 +618,12 @@ func (s *System) AssignedCursor(v heap.Value) (heap.Value, error) {
 	return s.rt.AssignedCursor(v)
 }
 
-// SwapOut detaches a swap-cluster to a nearby device. With no options the
-// registry selects the destination and failed shipments fail over to the
-// next-best device; WithDeadline bounds the operation, WithDevice pins the
-// destination, WithNoFailover restores fail-fast shipment.
+// SwapOut detaches a swap-cluster to nearby devices. With no options the
+// placement planner rendezvous-ranks the donors (weighted by free capacity)
+// and ships Config.Replicas copies, extending past failed donors until a
+// write quorum lands; WithDeadline bounds the operation, WithDevice pins a
+// single destination, WithReplicas overrides the factor for this call,
+// WithNoFailover confines shipment to the top-ranked donors (no extension).
 func (s *System) SwapOut(cluster ClusterID, opts ...SwapOption) (SwapEvent, error) {
 	return s.rt.SwapOut(cluster, opts...)
 }

@@ -8,6 +8,7 @@ import (
 
 	"objectswap/internal/event"
 	"objectswap/internal/heap"
+	"objectswap/internal/placement"
 	"objectswap/internal/store"
 )
 
@@ -35,6 +36,9 @@ func buildClusters(t *testing.T, sys *System, cls *heap.Class, n int) []ClusterI
 func TestSystemFailoverBreakerAndMetrics(t *testing.T) {
 	sys, err := New(Config{
 		HeapCapacity: 1 << 20,
+		// Pin the device name so storage keys — and with them the planner's
+		// rendezvous ranking of the two donors — are reproducible.
+		DeviceName: "fo-sys",
 		// One attempt per op, breaker trips on the first failure, no timeout
 		// machinery: the test exercises routing, not waiting.
 		Transport: TransportPolicy{MaxAttempts: 1, BreakerThreshold: 1, OpTimeout: -1},
@@ -42,26 +46,30 @@ func TestSystemFailoverBreakerAndMetrics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// The first swap-out (cluster 1) mints key fo-sys-swapcluster-1-gen1;
+	// fault whichever donor the planner ranks first for it.
+	names := []string{"donor-a", "donor-b"}
+	order := placement.Order("fo-sys-swapcluster-1-gen1", names)
+	badName, goodName := order[0], order[1]
 	flaky := store.NewFlaky(store.NewMem(0), 1)
 	flaky.FailNext(store.OpPut, -1)
-	// "a-bad" sorts first, so with two unlimited stores the registry's
-	// most-free selection tries it first.
-	if err := sys.AttachDevice("a-bad", flaky); err != nil {
+	if err := sys.AttachDevice(badName, flaky); err != nil {
 		t.Fatal(err)
 	}
 	good := store.NewMem(0)
-	if err := sys.AttachDevice("b-good", good); err != nil {
+	if err := sys.AttachDevice(goodName, good); err != nil {
 		t.Fatal(err)
 	}
 	cls := sys.MustRegisterClass(taskClass())
 	clusters := buildClusters(t, sys, cls, 2)
 
-	// First swap-out: a-bad rejects the shipment, the swap fails over.
+	// First swap-out: the top-ranked donor rejects the shipment, the swap
+	// fails over.
 	ev, err := sys.SwapOut(clusters[0])
 	if err != nil {
 		t.Fatalf("swap-out with failover: %v", err)
 	}
-	if ev.Device != "b-good" || len(ev.Attempted) != 1 || ev.Attempted[0] != "a-bad" {
+	if ev.Device != goodName || len(ev.Attempted) != 1 || ev.Attempted[0] != badName {
 		t.Fatalf("event = %+v", ev)
 	}
 
@@ -69,22 +77,22 @@ func TestSystemFailoverBreakerAndMetrics(t *testing.T) {
 	if snap.Failovers != 1 {
 		t.Fatalf("failovers = %d", snap.Failovers)
 	}
-	bad := snap.Devices["a-bad"]
+	bad := snap.Devices[badName]
 	if bad.BreakerTrips != 1 || !bad.BreakerOpen || bad.Failovers != 1 {
-		t.Fatalf("a-bad snapshot = %+v", bad)
+		t.Fatalf("%s snapshot = %+v", badName, bad)
 	}
-	if snap.Devices["b-good"].BytesOut == 0 {
+	if snap.Devices[goodName].BytesOut == 0 {
 		t.Fatal("no bytes accounted to the healthy device")
 	}
 
-	// The tripped breaker marked a-bad unreachable, so the second swap-out
-	// routes straight to b-good without a failover hop.
+	// The tripped breaker marked the donor unreachable, so the second
+	// swap-out routes straight to the healthy one without a failover hop.
 	putsBefore := flaky.Calls(store.OpPut)
 	ev2, err := sys.SwapOut(clusters[1])
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ev2.Device != "b-good" || len(ev2.Attempted) != 0 {
+	if ev2.Device != goodName || len(ev2.Attempted) != 0 {
 		t.Fatalf("second event = %+v", ev2)
 	}
 	if flaky.Calls(store.OpPut) != putsBefore {
@@ -101,16 +109,22 @@ func TestSystemFailoverBreakerAndMetrics(t *testing.T) {
 }
 
 func TestSystemSwapOptions(t *testing.T) {
-	sys, err := New(Config{HeapCapacity: 1 << 20, Transport: TransportPolicy{MaxAttempts: 1, OpTimeout: -1}})
+	sys, err := New(Config{HeapCapacity: 1 << 20, DeviceName: "opt-sys",
+		Transport: TransportPolicy{MaxAttempts: 1, OpTimeout: -1}})
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Fault whichever donor the planner ranks first for the first swap-out's
+	// key, so fail-fast shipment hits the faulty donor.
+	names := []string{"donor-a", "donor-b"}
+	order := placement.Order("opt-sys-swapcluster-1-gen1", names)
+	badName, goodName := order[0], order[1]
 	flaky := store.NewFlaky(store.NewMem(0), 1)
 	flaky.FailNext(store.OpPut, -1)
-	if err := sys.AttachDevice("a-bad", flaky); err != nil {
+	if err := sys.AttachDevice(badName, flaky); err != nil {
 		t.Fatal(err)
 	}
-	if err := sys.AttachDevice("b-good", store.NewMem(0)); err != nil {
+	if err := sys.AttachDevice(goodName, store.NewMem(0)); err != nil {
 		t.Fatal(err)
 	}
 	cls := sys.MustRegisterClass(taskClass())
@@ -121,12 +135,12 @@ func TestSystemSwapOptions(t *testing.T) {
 		t.Fatalf("no-failover err = %v", err)
 	}
 
-	// WithDevice pins the destination past the registry's first choice.
-	ev, err := sys.SwapOut(clusters[0], WithDevice("b-good"))
+	// WithDevice pins the destination past the planner's first choice.
+	ev, err := sys.SwapOut(clusters[0], WithDevice(goodName))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ev.Device != "b-good" || len(ev.Attempted) != 0 {
+	if ev.Device != goodName || len(ev.Attempted) != 0 {
 		t.Fatalf("pinned event = %+v", ev)
 	}
 
@@ -240,29 +254,36 @@ func TestAttachLegacyDevice(t *testing.T) {
 func TestProbeDevicesRecoversBreakerOpenDevice(t *testing.T) {
 	sys, err := New(Config{
 		HeapCapacity: 1 << 20,
+		DeviceName:   "probe-sys",
 		Transport:    TransportPolicy{MaxAttempts: 1, BreakerThreshold: 1, OpTimeout: -1},
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
+	// The final swap-out (cluster 2, second key minted) must re-select the
+	// recovered donor, so make the dead one whichever the planner ranks
+	// first for that key.
+	names := []string{"donor-a", "donor-b"}
+	order := placement.Order("probe-sys-swapcluster-2-gen2", names)
+	deadName, goodName := order[0], order[1]
 	dead := store.NewFlaky(store.NewMem(0), 1)
 	dead.FailNext(store.OpPut, -1)
 	dead.FailNext(store.OpStats, -1) // the whole link is down
-	if err := sys.AttachDevice("a-dead", dead); err != nil {
+	if err := sys.AttachDevice(deadName, dead); err != nil {
 		t.Fatal(err)
 	}
-	if err := sys.AttachDevice("b-good", store.NewMem(0)); err != nil {
+	if err := sys.AttachDevice(goodName, store.NewMem(0)); err != nil {
 		t.Fatal(err)
 	}
 	cls := sys.MustRegisterClass(taskClass())
 	clusters := buildClusters(t, sys, cls, 2)
 
-	// The selection probe trips a-dead's breaker; the swap lands on b-good
-	// without a Put ever reaching the dead device.
+	// The ranking probe trips the dead donor's breaker; the swap lands on
+	// the healthy one without a Put ever reaching the dead device.
 	if _, err := sys.SwapOut(clusters[0]); err != nil {
 		t.Fatal(err)
 	}
-	if !sys.TransportSnapshot().Devices["a-dead"].BreakerOpen {
+	if !sys.TransportSnapshot().Devices[deadName].BreakerOpen {
 		t.Fatal("breaker not open after failed selection probe")
 	}
 
@@ -276,17 +297,17 @@ func TestProbeDevicesRecoversBreakerOpenDevice(t *testing.T) {
 	dead.FailNext(store.OpPut, 0)
 	dead.FailNext(store.OpStats, 0)
 	got := sys.ProbeDevices(context.Background())
-	if len(got) != 1 || got[0] != "a-dead" {
+	if len(got) != 1 || got[0] != deadName {
 		t.Fatalf("recovered = %v", got)
 	}
-	if sys.TransportSnapshot().Devices["a-dead"].BreakerOpen {
+	if sys.TransportSnapshot().Devices[deadName].BreakerOpen {
 		t.Fatal("breaker still open after recovery sweep")
 	}
 	ev, err := sys.SwapOut(clusters[1])
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ev.Device != "a-dead" {
+	if ev.Device != deadName {
 		t.Fatalf("recovered device not selected again (shipped to %q)", ev.Device)
 	}
 }
