@@ -19,4 +19,8 @@ go test -cover ./internal/obs/ ./internal/core/ ./internal/opshttp/ ./internal/p
 # Ops-surface smoke: a real listener on :0 must answer 200 on /metrics,
 # /healthz, /debug/traces and /debug/events.
 go test -run '^TestSmoke$' -count=1 ./internal/opshttp/
+# Codec-bench smoke: the binary wire codec's decode/encode ns ratio must stay
+# far below the XML baseline (~17.54, BENCH_codec.json) and within its
+# allocation budget (BENCH_wire.json records the numbers).
+go test -run '^TestCodecBenchSmoke$' -count=1 ./internal/wire/
 go test -bench . -benchtime=1x -run '^$' ./...

@@ -48,6 +48,7 @@ func run() error {
 	payload := flag.Int("payload", 64, "payload bytes per object")
 	device := flag.String("device", "", "comma-separated swapstore URLs to use (default: in-process memory)")
 	replicas := flag.Int("replicas", 1, "replication factor: ship each swapped cluster to K donors")
+	wire := flag.String("wire", "binary,xml", "shipment wire-format preference order negotiated with donors (binary, binary+flate, delta, xml)")
 	threshold := flag.Float64("threshold", 0.75, "memory pressure threshold fraction")
 	dot := flag.Bool("dot", false, "after building, dump the object graph as Graphviz DOT to stdout and exit")
 	metrics := flag.Bool("metrics", false, "after the run, dump the full metrics page (Prometheus text format) to stdout")
@@ -67,10 +68,17 @@ func run() error {
 	}
 	logger := olog.New(os.Stderr, olog.WithLevel(level), olog.WithFormat(format))
 
+	var wireFormats []string
+	for _, f := range strings.Split(*wire, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			wireFormats = append(wireFormats, f)
+		}
+	}
 	sys, err := objectswap.New(objectswap.Config{
 		HeapCapacity:    *heapBytes,
 		MemoryThreshold: *threshold,
 		Replicas:        *replicas,
+		WireFormats:     wireFormats,
 		Logger:          logger,
 	})
 	if err != nil {

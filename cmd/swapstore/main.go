@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	swapstore [-addr :9980] [-dir path] [-capacity bytes]
+//	swapstore [-addr :9980] [-dir path] [-capacity bytes] [-formats xml,...]
 //	          [-ops :9981] [-log-level info] [-log-json]
 //
 // With -dir, shipments persist as files (a desktop PC holding swap files);
@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"objectswap/internal/obs"
@@ -45,6 +46,7 @@ func run() error {
 	dir := flag.String("dir", "", "persist shipments under this directory (default: in-memory)")
 	capacity := flag.Int64("capacity", 0, "byte capacity offered to neighbors (0 = unlimited)")
 	keep := flag.Int("keep", -1, "archive up to N replaced/dropped generations per key (-1 = off, 0 = unlimited)")
+	formats := flag.String("formats", "", "wire formats to advertise, comma-separated (default: all built-in; e.g. \"xml\" models a legacy XML-only donor)")
 	ops := flag.String("ops", "", "serve the ops surface (/metrics, /healthz, /debug/traces) on this address, e.g. :9981")
 	logLevel := flag.String("log-level", "info", "structured log level: debug, info, warn, error")
 	logJSON := flag.Bool("log-json", false, "emit structured logs as JSON instead of key=value")
@@ -62,14 +64,25 @@ func run() error {
 
 	var s store.Store
 	if *dir != "" {
-		s, err = store.NewDisk(*dir, *capacity)
-		if err != nil {
-			return err
+		d, derr := store.NewDisk(*dir, *capacity)
+		if derr != nil {
+			return derr
 		}
+		if *formats != "" {
+			d.SetFormats(splitFormats(*formats)...)
+		}
+		s = d
 		logger.Info("disk store ready", "dir", *dir, "capacity", *capacity)
 	} else {
-		s = store.NewMem(*capacity)
+		m := store.NewMem(*capacity)
+		if *formats != "" {
+			m.SetFormats(splitFormats(*formats)...)
+		}
+		s = m
 		logger.Info("in-memory store ready", "capacity", *capacity)
+	}
+	if *formats != "" {
+		logger.Info("format advertisement narrowed", "formats", *formats)
 	}
 
 	if *keep >= 0 {
@@ -165,6 +178,17 @@ func accessLog(lg *olog.Logger, rec *obs.Recorder, requests *obs.CounterVec, nex
 			DurationNS: dur.Nanoseconds(),
 		})
 	})
+}
+
+// splitFormats parses the -formats flag value into its format list.
+func splitFormats(v string) []string {
+	var out []string
+	for _, f := range strings.Split(v, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
 }
 
 // statusWriter captures the response status for the access log.

@@ -59,15 +59,30 @@ type ckptCluster struct {
 	// (primary first). Streams written before replication carry only the
 	// device attribute, which restores as a single-replica set — the format
 	// version is unchanged.
-	Device   string         `xml:"device,attr,omitempty"`
-	Key      string         `xml:"key,attr,omitempty"`
-	Payload  int            `xml:"payload,attr,omitempty"`
-	Bytes    int64          `xml:"bytes,attr,omitempty"`
+	Device  string `xml:"device,attr,omitempty"`
+	Key     string `xml:"key,attr,omitempty"`
+	Payload int    `xml:"payload,attr,omitempty"`
+	Bytes   int64  `xml:"bytes,attr,omitempty"`
+	// Format is the negotiated wire format of the swapped shipment ("" = XML,
+	// as written by streams that predate negotiation).
+	Format   string         `xml:"format,attr,omitempty"`
 	Replicas []ckptReplica  `xml:"replica"`
 	Members  []ckptMember   `xml:"member"`
 	Out      []ckptOutbound `xml:"outbound"`
+	// Base records the delta-anchor shipment donors still hold, when the
+	// runtime ships deltas. Only the key, format and donor set survive the
+	// checkpoint — the base membership/slot snapshot does not, so a restored
+	// base supports donor-side cleanup and delta *decoding*, while the first
+	// post-restore swap-out ships full (and re-anchors a complete base).
+	Base *ckptBase `xml:"base,omitempty"`
 	// Doc holds the XML wrapping of a resident cluster's objects.
 	Doc string `xml:"doc,omitempty"`
+}
+
+type ckptBase struct {
+	Key      string        `xml:"key,attr"`
+	Format   string        `xml:"format,attr,omitempty"`
+	Replicas []ckptReplica `xml:"replica"`
 }
 
 type ckptReplica struct {
@@ -146,6 +161,12 @@ func (rt *Runtime) SaveCheckpoint(w io.Writer) error {
 		swapped := cs.swapped
 		devices := append([]string(nil), cs.devices...)
 		key, payload, bytesAtSwap := cs.key, cs.payloadBytes, cs.bytesAtSwap
+		format := cs.format
+		base := shipmentBase{
+			key:     cs.base.key,
+			format:  cs.base.format,
+			devices: append([]string(nil), cs.base.devices...),
+		}
 		replID := cs.replacement
 		rt.mgr.mu.Unlock()
 		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
@@ -157,13 +178,16 @@ func (rt *Runtime) SaveCheckpoint(w io.Writer) error {
 		}
 		if swapped {
 			ck.Key, ck.Payload, ck.Bytes = key, payload, bytesAtSwap
+			ck.Format = format
 			if len(devices) > 0 {
 				ck.Device = devices[0]
 			}
 			for _, d := range devices {
 				ck.Replicas = append(ck.Replicas, ckptReplica{Device: d})
 			}
-			// The outbound slot table, by ultimate target identity.
+			// The outbound slot table, by ultimate target identity. Nil slots
+			// (delta-remapped placeholders for targets no longer referenced)
+			// are simply omitted; the sparse slot list restores them as nil.
 			repl, err := rt.h.Get(replID)
 			if err != nil {
 				return fmt.Errorf("core: checkpoint: cluster %d replacement: %w", cid, err)
@@ -171,6 +195,9 @@ func (rt *Runtime) SaveCheckpoint(w io.Writer) error {
 			outV, _ := repl.FieldByName(fldOut)
 			slots, _ := outV.List()
 			for slot, ref := range slots {
+				if ref.IsNil() {
+					continue
+				}
 				pid, _ := ref.Ref()
 				p, err := rt.h.Get(pid)
 				if err != nil {
@@ -186,6 +213,12 @@ func (rt *Runtime) SaveCheckpoint(w io.Writer) error {
 				return err
 			}
 			ck.Doc = string(data)
+		}
+		if base.key != "" {
+			ck.Base = &ckptBase{Key: base.key, Format: base.format}
+			for _, d := range base.devices {
+				ck.Base.Replicas = append(ck.Base.Replicas, ckptReplica{Device: d})
+			}
 		}
 		doc.Plain = append(doc.Plain, ck)
 	}
@@ -324,6 +357,13 @@ func (rt *Runtime) LoadCheckpoint(r io.Reader) error {
 			cs.swapped = true
 			cs.devices, cs.key = devices, ck.Key
 			cs.payloadBytes, cs.bytesAtSwap = ck.Payload, ck.Bytes
+			cs.format = ck.Format
+		}
+		if ck.Base != nil {
+			cs.base = shipmentBase{key: ck.Base.Key, format: ck.Base.Format}
+			for _, r := range ck.Base.Replicas {
+				cs.base.devices = append(cs.base.devices, r.Device)
+			}
 		}
 		rt.mgr.clusters[cid] = cs
 		if cid > rt.mgr.nextCluster {
@@ -389,9 +429,17 @@ func (rt *Runtime) LoadCheckpoint(r io.Reader) error {
 		if !ck.Swapped {
 			continue
 		}
-		slots := make([]heap.Value, len(ck.Out))
+		// Size the table by the highest slot index: the list may be sparse
+		// (nil placeholder slots in delta-remapped tables are not saved).
+		maxSlot := -1
 		for _, ob := range ck.Out {
-			if ob.Slot < 0 || ob.Slot >= len(slots) {
+			if ob.Slot > maxSlot {
+				maxSlot = ob.Slot
+			}
+		}
+		slots := make([]heap.Value, maxSlot+1)
+		for _, ob := range ck.Out {
+			if ob.Slot < 0 {
 				return fmt.Errorf("%w: cluster %d outbound slot %d", ErrBadCheckpoint, ck.ID, ob.Slot)
 			}
 			target := heap.ObjID(ob.Target)

@@ -38,6 +38,7 @@ import (
 	olog "objectswap/internal/obs/log"
 	"objectswap/internal/placement"
 	"objectswap/internal/store"
+	"objectswap/internal/wire"
 )
 
 // ClusterID names a swap-cluster within one Runtime. RootCluster (0) holds
@@ -136,7 +137,19 @@ type SwapEvent struct {
 	Device  string
 	Key     string
 	Objects int
-	Bytes   int // XML payload size
+	Bytes   int // shipped payload size (in the negotiated wire format)
+	// Format is the wire format the payload moved in ("xml", "binary",
+	// "binary+flate", "delta"). Empty on events not tied to one transfer.
+	Format string
+	// Requested is the replica count K the swap-out aimed for; Quorum is the
+	// write quorum that applied. Shortfall = Requested - len(Replicas) when
+	// positive: the shipment committed (quorum met) but the donor
+	// neighborhood was too sparse for full replication — surfaced here on the
+	// event itself, not only through the underreplicated gauge, so callers
+	// see the degraded durability of this very swap-out.
+	Requested int
+	Quorum    int
+	Shortfall int
 	// Trace is the operation's cross-device trace ID, carried to the serving
 	// device in the X-Obiswap-Trace header. Empty on events that are not tied
 	// to one traced operation (drop).
@@ -151,9 +164,10 @@ type SwapEvent struct {
 	// dropped).
 	Replicas []string
 	// Phases is the per-phase timing and byte breakdown of the completed
-	// operation (reserve → snapshot → encode → ship → commit for a swap-out;
-	// reserve → fetch → decode → evict → install for a swap-in), as recorded
-	// by the runtime's tracer. Empty on mid-flight events (failover, drop).
+	// operation (reserve → snapshot → negotiate → encode → ship → commit for
+	// a swap-out; reserve → fetch → decode → evict → install for a swap-in),
+	// as recorded by the runtime's tracer. Empty on mid-flight events
+	// (failover, drop).
 	Phases []obs.Phase
 	// Duration is the whole-operation time from the same trace span.
 	Duration time.Duration
@@ -175,6 +189,11 @@ type Runtime struct {
 	placer *placement.Planner
 	// defaultReplicas is the runtime-wide replication factor K (minimum 1).
 	defaultReplicas int
+	// wireFormats is the shipment-format preference order (see WithWireFormats).
+	// Donors that do not advertise a preferred format get the next one; XML is
+	// the implicit universal fallback. Listing wire.FormatDelta opts the
+	// runtime into delta re-shipment.
+	wireFormats []string
 
 	// evictor is invoked on allocation failure to free memory (the policy
 	// engine installs a swap-out action here).
@@ -214,12 +233,14 @@ type Runtime struct {
 	// Observability spine. NewRuntime installs a private registry when none
 	// is supplied via WithObs, so swap spans (and SwapEvent.Phases) are
 	// always recorded.
-	obsReg     *obs.Registry
-	tracer     *obs.Tracer
-	swapErrors *obs.CounterVec
-	coreEvents *obs.CounterVec
-	recorder   *obs.Recorder
-	logger     *olog.Logger
+	obsReg      *obs.Registry
+	tracer      *obs.Tracer
+	swapErrors  *obs.CounterVec
+	coreEvents  *obs.CounterVec
+	wireBytes   *obs.CounterVec
+	wireSeconds *obs.HistogramVec
+	recorder    *obs.Recorder
+	logger      *olog.Logger
 
 	replacementClass *heap.Class
 	objProxyClass    *heap.Class
@@ -295,6 +316,23 @@ func WithDefaultReplicas(k int) Option {
 	}
 }
 
+// WithWireFormats sets the shipment-format preference order for negotiated
+// swap-outs (wire.FormatID strings, most preferred first). The default is
+// ["binary", "xml"]: the length-prefixed binary framing when the donors
+// support it, the universal XML wrapper otherwise. XML is always available as
+// the implicit fallback even when not listed. Including "delta" additionally
+// opts the runtime into delta re-shipment: full shipments stay on their
+// donors after a swap-in and act as the base for later dirty-only deltas
+// (this changes the drop-on-reload behavior for those payloads, which is why
+// it is opt-in).
+func WithWireFormats(formats ...string) Option {
+	return func(rt *Runtime) {
+		if len(formats) > 0 {
+			rt.wireFormats = append([]string(nil), formats...)
+		}
+	}
+}
+
 // runtimeSeq hands out process-unique default device names.
 var runtimeSeq uint64
 
@@ -327,11 +365,76 @@ func NewRuntime(h *heap.Heap, reg *heap.Registry, opts ...Option) *Runtime {
 	if rt.obsReg == nil {
 		rt.obsReg = obs.NewRegistry(nil)
 	}
+	if len(rt.wireFormats) == 0 {
+		rt.wireFormats = []string{string(wire.FormatBinary), string(wire.FormatXML)}
+	}
 	if src, ok := rt.stores.(placement.Source); ok && rt.stores != nil {
 		rt.placer = placement.New(src, placement.Options{Obs: rt.obsReg, Logger: rt.logger})
 	}
+	if rt.deltaEnabled() {
+		// Delta re-shipment needs to know which members changed since the
+		// base. The observer coexists with replication's SetWriteObserver slot.
+		h.AddWriteObserver(rt.markDirty)
+	}
 	rt.instrument()
 	return rt
+}
+
+// deltaEnabled reports whether the runtime was opted into delta re-shipment
+// (wire.FormatDelta listed in the format preferences).
+func (rt *Runtime) deltaEnabled() bool {
+	for _, f := range rt.wireFormats {
+		if f == string(wire.FormatDelta) {
+			return true
+		}
+	}
+	return false
+}
+
+// shipFormats is the preference order for full (self-contained) shipments:
+// the configured preferences minus delta, with XML appended as the universal
+// fallback when not listed.
+func (rt *Runtime) shipFormats() []string {
+	out := make([]string, 0, len(rt.wireFormats)+1)
+	sawXML := false
+	for _, f := range rt.wireFormats {
+		if f == string(wire.FormatDelta) {
+			continue
+		}
+		if f == string(wire.FormatXML) {
+			sawXML = true
+		}
+		out = append(out, f)
+	}
+	if !sawXML {
+		out = append(out, string(wire.FormatXML))
+	}
+	return out
+}
+
+// markDirty is the write observer feeding delta re-shipment: a field write on
+// a resident member of a cluster with a recorded base marks that member for
+// the next delta. Replacement-objects and proxies are not cluster members,
+// so middleware writes fall through.
+func (rt *Runtime) markDirty(oid heap.ObjID) {
+	m := rt.mgr
+	m.mu.Lock()
+	if info, ok := m.objects[oid]; ok {
+		if cs, ok := m.clusters[info.cluster]; ok && !cs.swapped && cs.base.key != "" {
+			if cs.dirty == nil {
+				cs.dirty = make(map[heap.ObjID]bool)
+			}
+			cs.dirty[oid] = true
+		}
+	}
+	m.mu.Unlock()
+}
+
+// recordWire folds one codec run into the per-format instruments and returns
+// nothing; op is "encode" or "decode".
+func (rt *Runtime) recordWire(format wire.FormatID, op string, bytes int, d time.Duration) {
+	rt.wireBytes.With(string(format), op).Add(float64(bytes))
+	rt.wireSeconds.With(string(format), op).Observe(d.Seconds())
 }
 
 // instrument registers the runtime's span tracer, error and event counters,
@@ -344,6 +447,11 @@ func (rt *Runtime) instrument() {
 		"Failed swap operations by operation.", "op")
 	rt.coreEvents = r.CounterVec("objectswap_core_events_total",
 		"Middleware events published by the swapping runtime, by topic.", "topic")
+	rt.wireBytes = r.CounterVec("objectswap_wire_bytes_total",
+		"Payload bytes produced (encode) or consumed (decode), by wire format.",
+		"format", "op")
+	rt.wireSeconds = r.HistogramVec("objectswap_wire_seconds",
+		"Codec run duration by wire format and operation.", nil, "format", "op")
 	clusters := r.GaugeVec("objectswap_core_clusters",
 		"Swap-clusters by residency state.", "state")
 	clusters.WithFunc(func() float64 {

@@ -47,6 +47,10 @@ func (rt *Runtime) sweepSwapped() {
 		devices []string
 		key     string
 		bytes   int
+		// Delta anchoring may retain a second payload (the base) under its
+		// own key; a dead cluster's base dies with it.
+		baseKey     string
+		baseDevices []string
 	}
 	var victims []victim
 
@@ -58,8 +62,13 @@ func (rt *Runtime) sweepSwapped() {
 		if rt.h.Contains(cs.replacement) {
 			continue
 		}
-		victims = append(victims, victim{id: id, devices: append([]string(nil), cs.devices...),
-			key: cs.key, bytes: cs.payloadBytes})
+		v := victim{id: id, devices: append([]string(nil), cs.devices...),
+			key: cs.key, bytes: cs.payloadBytes}
+		if cs.base.key != "" && cs.base.key != cs.key {
+			v.baseKey = cs.base.key
+			v.baseDevices = append([]string(nil), cs.base.devices...)
+		}
+		victims = append(victims, v)
 		for oid := range cs.objects {
 			delete(rt.mgr.objects, oid)
 		}
@@ -72,6 +81,11 @@ func (rt *Runtime) sweepSwapped() {
 		for _, device := range v.devices {
 			if err := rt.dropFromDevice(device, v.key); err != nil {
 				rt.mgr.deferDrop(device, v.key, v.id)
+			}
+		}
+		for _, device := range v.baseDevices {
+			if err := rt.dropFromDevice(device, v.baseKey); err != nil {
+				rt.mgr.deferDrop(device, v.baseKey, v.id)
 			}
 		}
 		primary := ""

@@ -16,6 +16,27 @@ type objInfo struct {
 	class   string
 }
 
+// shipmentBase records the last full shipment of a cluster that donors still
+// hold, the anchor a delta re-shipment applies against. members is the
+// cluster's membership at base time (needed to compute the removed set);
+// it is not checkpointed, so a restored base supports key cleanup but not
+// delta encoding — the first post-restore swap-out ships full.
+type shipmentBase struct {
+	key     string
+	devices []string
+	format  string
+	members []heap.ObjID
+	// slots is the base document's outbound slot table: the ultimate target
+	// of each outbound slot, in slot order. A delta re-shipment must keep
+	// this table as a prefix of its own so slot references encoded inside
+	// unchanged base objects still resolve after the merge.
+	slots []heap.ObjID
+}
+
+// usable reports whether the base can anchor a delta (key known AND the
+// membership snapshot survived — false after a checkpoint restore).
+func (b shipmentBase) usable() bool { return b.key != "" && len(b.members) > 0 }
+
 // clusterState is the SwappingManager's per-swap-cluster record.
 type clusterState struct {
 	id      ClusterID
@@ -42,6 +63,18 @@ type clusterState struct {
 	payloadBytes int
 	// residentBytes at the moment of swap-out, used to pre-check reload room.
 	bytesAtSwap int64
+	// format is the wire format of the current shipment ("" = XML, the
+	// pre-negotiation default). Informational: the payload self-describes.
+	format string
+
+	// Delta re-shipment state (only populated when the runtime enables the
+	// delta format). base is the last full shipment donors still hold; dirty
+	// accumulates the members mutated since that base — relative to base, not
+	// to the last delta, so it is cleared only when a new full shipment
+	// becomes the base (full swap-out) or the base provably matches resident
+	// state (full swap-in).
+	base  shipmentBase
+	dirty map[heap.ObjID]bool
 
 	swapOuts uint64
 	swapIns  uint64
@@ -336,10 +369,13 @@ type ClusterInfo struct {
 	Devices      []string
 	Key          string
 	PayloadBytes int
-	Crossings    uint64
-	LastAccess   uint64
-	SwapOuts     uint64
-	SwapIns      uint64
+	// Format is the wire format of the current shipment ("" while resident
+	// or for pre-negotiation XML shipments).
+	Format     string
+	Crossings  uint64
+	LastAccess uint64
+	SwapOuts   uint64
+	SwapIns    uint64
 }
 
 // Info snapshots one cluster.
@@ -379,6 +415,7 @@ func (m *Manager) infoLocked(cs *clusterState) ClusterInfo {
 		Devices:      append([]string(nil), cs.devices...),
 		Key:          cs.key,
 		PayloadBytes: cs.payloadBytes,
+		Format:       cs.format,
 		Crossings:    cs.crossings,
 		LastAccess:   cs.lastAccess,
 		SwapOuts:     cs.swapOuts,

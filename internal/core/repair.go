@@ -11,6 +11,8 @@ import (
 	"objectswap/internal/heap"
 	"objectswap/internal/obs"
 	"objectswap/internal/placement"
+	"objectswap/internal/store"
+	"objectswap/internal/wire"
 )
 
 // Replica maintenance: a swapped cluster's durability is only as good as its
@@ -150,6 +152,11 @@ func (rt *Runtime) RepairCluster(ctx context.Context, id ClusterID, k int) (ev S
 	cs.busy = true
 	devices := append([]string(nil), cs.devices...)
 	key := cs.key
+	base := shipmentBase{
+		key:     cs.base.key,
+		format:  cs.base.format,
+		devices: append([]string(nil), cs.base.devices...),
+	}
 	rt.mgr.mu.Unlock()
 	rt.swapMu.Unlock()
 	committed := false
@@ -177,18 +184,24 @@ func (rt *Runtime) RepairCluster(ctx context.Context, id ClusterID, k int) (ev S
 			id, strings.Join(devices, ","), ErrNoLiveReplica)
 	}
 
-	// Fetch the payload from a surviving replica (fallthrough, like swap-in).
+	// Fetch the payload from a surviving replica (fallthrough, like swap-in),
+	// keeping its format envelope so the fresh copies land tagged the same.
 	span.Phase("fetch")
 	span.SetKey(key)
-	var data []byte
-	var serving string
+	var (
+		data         []byte
+		popts        store.PutOpts
+		serving      string
+		servingStore store.Store
+	)
 	for _, d := range live {
 		s, lerr := rt.stores.Lookup(d)
 		if lerr != nil {
 			continue
 		}
-		if data, err = s.Get(ctx, key); err == nil {
+		if data, popts, err = store.GetWith(ctx, s, key); err == nil {
 			serving = d
+			servingStore = s
 			break
 		}
 	}
@@ -199,15 +212,18 @@ func (rt *Runtime) RepairCluster(ctx context.Context, id ClusterID, k int) (ev S
 		return SwapEvent{}, fmt.Errorf("core: repair cluster %d: fetch: %w", id, err)
 	}
 	span.SetDevice(serving)
+	span.SetFormat(popts.Format)
 	span.AddBytes(int64(len(data)))
 
-	// Ship fresh copies. Quorum 1: a partial repair still improves
-	// durability, and the next sweep finishes the job when donors appear.
+	// Ship fresh copies in the fetched format — the planner skips donors that
+	// do not accept it. Quorum 1: a partial repair still improves durability,
+	// and the next sweep finishes the job when donors appear.
 	span.Phase("ship")
 	var fresh []string
 	if need := k - len(live); need > 0 {
 		rep, serr := rt.placer.Ship(ctx, placement.ShipRequest{
 			Key: key, Data: data, Replicas: need, Quorum: 1, Exclude: devices,
+			Format: popts.Format,
 		})
 		if serr != nil && len(dead) == 0 {
 			// Nothing shipped and nothing to prune: the repair achieved
@@ -216,13 +232,68 @@ func (rt *Runtime) RepairCluster(ctx context.Context, id ClusterID, k int) (ev S
 		}
 		fresh = rep.Replicas
 	}
+
+	// A delta payload is useless without its base: every fresh donor must
+	// also receive the base payload, fetched from the replica that served the
+	// delta. A donor that cannot take the base loses its delta copy too —
+	// half a shipment serves nothing.
+	if popts.Format == string(wire.FormatDelta) && len(fresh) > 0 && base.key != "" {
+		baseData, baseOpts, berr := store.GetWith(ctx, servingStore, base.key)
+		usable := fresh[:0]
+		for _, d := range fresh {
+			var cerr error = berr
+			if cerr == nil {
+				if s, lerr := rt.stores.Lookup(d); lerr != nil {
+					cerr = lerr
+				} else {
+					cerr = store.PutWith(ctx, s, base.key, baseData, baseOpts)
+				}
+			}
+			if cerr != nil {
+				rt.logger.Warn("repair: base copy failed; dropping orphan delta",
+					"trace", trace, "cluster", uint32(id), "device", d, "err", cerr)
+				if derr := rt.dropFromDevice(d, key); derr != nil {
+					rt.mgr.deferDrop(d, key, id)
+				}
+				continue
+			}
+			usable = append(usable, d)
+			base.devices = append(base.devices, d)
+		}
+		fresh = usable
+		if len(fresh) == 0 && len(dead) == 0 {
+			if berr == nil {
+				berr = errors.New("no fresh donor accepted the base payload")
+			}
+			return SwapEvent{}, fmt.Errorf("core: repair cluster %d: base copy: %w", id, berr)
+		}
+	}
 	newSet := append(append([]string(nil), live...), fresh...)
 
-	// Commit the new replica set, mirroring commitSwapOut's bookkeeping.
+	// Commit the new replica set, mirroring commitSwapOut's bookkeeping. The
+	// delta-base record follows the repair: a full shipment that doubles as
+	// the base mirrors the new set directly, a repaired delta keeps the base
+	// donors minus the pruned dead ones plus the fresh copies made above.
 	span.Phase("commit")
+	deadSet := make(map[string]bool, len(dead))
+	for _, d := range dead {
+		deadSet[d] = true
+	}
 	rt.swapMu.Lock()
 	rt.mgr.mu.Lock()
 	cs.devices = append([]string(nil), newSet...)
+	baseKey := cs.base.key
+	if baseKey == key {
+		cs.base.devices = append([]string(nil), newSet...)
+	} else if baseKey != "" {
+		var bd []string
+		for _, d := range base.devices {
+			if !deadSet[d] {
+				bd = append(bd, d)
+			}
+		}
+		cs.base.devices = bd
+	}
 	replID := cs.replacement
 	rt.mgr.mu.Unlock()
 	if repl, gerr := rt.h.Get(replID); gerr == nil {
@@ -233,10 +304,13 @@ func (rt *Runtime) RepairCluster(ctx context.Context, id ClusterID, k int) (ev S
 	rt.setBusy(id, false)
 	for _, d := range dead {
 		rt.mgr.deferDrop(d, key, id)
+		if baseKey != "" && baseKey != key {
+			rt.mgr.deferDrop(d, baseKey, id)
+		}
 	}
 
 	ev = SwapEvent{Cluster: id, Device: newSet[0], Key: key, Bytes: len(data),
-		Attempted: dead, Replicas: newSet, Trace: trace}
+		Attempted: dead, Replicas: newSet, Trace: trace, Format: popts.Format}
 	span.SetReplicas(newSet)
 	ev.Phases, ev.Duration = span.End()
 	rt.logger.Info("cluster repaired", "trace", trace, "cluster", uint32(id),

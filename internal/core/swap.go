@@ -12,6 +12,8 @@ import (
 	"objectswap/internal/heap"
 	"objectswap/internal/obs"
 	"objectswap/internal/placement"
+	"objectswap/internal/store"
+	"objectswap/internal/wire"
 	"objectswap/internal/xmlcodec"
 )
 
@@ -74,7 +76,7 @@ func (rt *Runtime) SwapOut(id ClusterID, opts ...SwapOption) (ev SwapEvent, retE
 	// concurrent swap, victim selection or sweep touches it mid-flight.
 	span.Phase("reserve")
 	rt.swapMu.Lock()
-	memberIDs, members, err := rt.beginSwapOut(id)
+	memberIDs, members, base, dirty, err := rt.beginSwapOut(id)
 	rt.swapMu.Unlock()
 	if err != nil {
 		return SwapEvent{}, err
@@ -109,7 +111,11 @@ func (rt *Runtime) SwapOut(id ClusterID, opts ...SwapOption) (ev SwapEvent, retE
 	// references rather than replacement slots.
 	slotOf := make(map[heap.ObjID]int)
 	remoteOf := make(map[heap.ObjID]heap.Value) // objproxy id -> rref descriptor placeholder
-	var outbound []heap.Value
+	var (
+		outbound    []heap.Value
+		slotProxies []heap.ObjID // proxy id per slot, aligned with outbound
+		slotTargets []heap.ObjID // proxy's ultimate target per slot
+	)
 	for _, o := range objs {
 		var werr error
 		for i := 0; i < o.NumFields() && werr == nil; i++ {
@@ -137,6 +143,8 @@ func (rt *Runtime) SwapOut(id ClusterID, opts ...SwapOption) (ev SwapEvent, retE
 					}
 					slotOf[rid] = len(outbound)
 					outbound = append(outbound, heap.Ref(rid))
+					slotProxies = append(slotProxies, rid)
+					slotTargets = append(slotTargets, proxyUltimate(ro))
 				case isObjProxy(ro):
 					remoteOf[rid] = heap.Nil() // marker; encoded below
 				default:
@@ -151,10 +159,63 @@ func (rt *Runtime) SwapOut(id ClusterID, opts ...SwapOption) (ev SwapEvent, retE
 		}
 	}
 
-	// Wrap to XML with internal/slot reference classification.
-	span.Phase("encode")
+	// Negotiate the wire format with the donor neighborhood before encoding:
+	// rank the donors once (format advertisements ride the same Stats probe
+	// that weighs free capacity), match them against the runtime's preference
+	// order, and prefer a dirty-only delta against the retained base when one
+	// is anchored and cheap enough.
+	span.Phase("negotiate")
 	key := rt.nextKey(id)
 	span.SetKey(key)
+	k := o.replicas
+	if k < 1 {
+		k = rt.Replicas()
+	}
+	plan, err := rt.negotiate(ctx, o, key, k, base, dirty, memberIDs)
+	if err != nil {
+		return SwapEvent{}, fmt.Errorf("core: swap-out cluster %d: %w", id, err)
+	}
+	if plan.delta {
+		// A delta's slot table must keep the base table as a prefix: slot
+		// references encoded inside unchanged base objects resolve against
+		// THIS swap-out's replacement, so index i must still reach the same
+		// ultimate target the base's slot i did. Base slots whose target is no
+		// longer referenced get a nil placeholder (nothing unchanged can
+		// reference them — the referencing object would be dirty); proxies new
+		// since the base are appended after the prefix.
+		targetProxy := make(map[heap.ObjID]heap.ObjID, len(slotTargets))
+		for i, t := range slotTargets {
+			targetProxy[t] = slotProxies[i]
+		}
+		remapped := make([]heap.Value, 0, len(plan.baseSlots)+len(outbound))
+		newSlotOf := make(map[heap.ObjID]int, len(slotOf))
+		newTargets := make([]heap.ObjID, 0, cap(remapped))
+		used := make(map[heap.ObjID]bool, len(slotProxies))
+		for _, t := range plan.baseSlots {
+			if pid, ok := targetProxy[t]; ok && t != heap.NilID {
+				newSlotOf[pid] = len(remapped)
+				remapped = append(remapped, heap.Ref(pid))
+				newTargets = append(newTargets, t)
+				used[pid] = true
+				continue
+			}
+			remapped = append(remapped, heap.Nil())
+			newTargets = append(newTargets, heap.NilID)
+		}
+		for i, pid := range slotProxies {
+			if used[pid] {
+				continue
+			}
+			newSlotOf[pid] = len(remapped)
+			remapped = append(remapped, heap.Ref(pid))
+			newTargets = append(newTargets, slotTargets[i])
+		}
+		outbound, slotOf, slotTargets = remapped, newSlotOf, newTargets
+	}
+
+	// Wrap the members (the dirty subset for a delta) with internal/slot
+	// reference classification, then encode in the negotiated wire format.
+	span.Phase("encode")
 	encodeRef := func(rid heap.ObjID) (xmlcodec.Value, error) {
 		if members[rid] {
 			return xmlcodec.InternalRef(rid), nil
@@ -171,16 +232,37 @@ func (rt *Runtime) SwapOut(id ClusterID, opts ...SwapOption) (ev SwapEvent, retE
 		}
 		return xmlcodec.Value{}, fmt.Errorf("core: unclassified reference @%d", rid)
 	}
-	doc, err := xmlcodec.EncodeObjects(key, objs, encodeRef)
-	if err != nil {
-		return SwapEvent{}, fmt.Errorf("core: wrap cluster %d: %w", id, err)
+	encode := func(p shipPlan) ([]byte, error) {
+		encObjs := objs
+		if p.delta {
+			encObjs = make([]*heap.Object, 0, len(p.changed))
+			for _, obj := range objs {
+				if p.changed[obj.ID()] {
+					encObjs = append(encObjs, obj)
+				}
+			}
+		}
+		doc, err := xmlcodec.EncodeObjects(key, encObjs, encodeRef)
+		if err != nil {
+			return nil, fmt.Errorf("core: wrap cluster %d: %w", id, err)
+		}
+		start := rt.obsReg.Clock().Now()
+		payload, err := wire.Encode(p.format, doc, &wire.EncodeOpts{
+			BaseKey: p.baseKey,
+			Removed: p.removed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: encode cluster %d as %s: %w", id, p.format, err)
+		}
+		rt.recordWire(p.format, "encode", len(payload), rt.obsReg.Clock().Now().Sub(start))
+		return payload, nil
 	}
-	buf, err := doc.EncodeBuffer()
+	payload, err := encode(plan)
 	if err != nil {
-		return SwapEvent{}, fmt.Errorf("core: wrap cluster %d: %w", id, err)
+		return SwapEvent{}, err
 	}
-	defer buf.Release()
-	payloadBytes := buf.Len()
+	payloadBytes := len(payload)
+	span.SetFormat(string(plan.format))
 	span.AddBytes(int64(payloadBytes))
 
 	// Phase 3 — concurrent: replacement-object and shipment. The replacement
@@ -207,8 +289,24 @@ func (rt *Runtime) SwapOut(id ClusterID, opts ...SwapOption) (ev SwapEvent, retE
 
 	// Ship first: a failed transfer must leave the graph untouched. The key
 	// is device-independent, so the payload lands unchanged (byte-identical
-	// replicas) on whichever donors accept it.
-	devices, attempted, err := rt.ship(ctx, o, id, key, buf.Bytes())
+	// replicas) on whichever donors accept it. A failed delta shipment falls
+	// back to a freshly negotiated full shipment — the base donors may have
+	// vanished between the negotiation probe and the transfer.
+	devices, attempted, rep, err := rt.shipPlanned(ctx, o, id, key, payload, plan)
+	if err != nil && plan.delta {
+		rt.logger.Warn("delta shipment failed; renegotiating full",
+			"trace", trace, "cluster", uint32(id), "err", err)
+		plan, err = rt.negotiateFull(ctx, o, key, k)
+		if err == nil {
+			payload, err = encode(plan)
+		}
+		if err == nil {
+			payloadBytes = len(payload)
+			span.SetFormat(string(plan.format))
+			span.AddBytes(int64(len(payload)))
+			devices, attempted, rep, err = rt.shipPlanned(ctx, o, id, key, payload, plan)
+		}
+	}
 	if err != nil {
 		_ = rt.h.Remove(repl.ID())
 		return SwapEvent{}, err
@@ -220,49 +318,83 @@ func (rt *Runtime) SwapOut(id ClusterID, opts ...SwapOption) (ev SwapEvent, retE
 	// Phase 4 — exclusive: detach the cluster from the application graph.
 	span.Phase("commit")
 	rt.swapMu.Lock()
-	err = rt.commitSwapOut(id, repl, devices, key, payloadBytes, residentBytes)
+	oldBase, err := rt.commitSwapOut(id, repl, devices, key, payloadBytes, residentBytes, plan, memberIDs, slotTargets)
 	rt.swapMu.Unlock()
 	if err != nil {
 		return SwapEvent{}, err
 	}
 	committed = true
 
+	// A full shipment that just became the new delta base obsoletes the old
+	// base: reclaim its donor space now that nothing references it.
+	if oldBase.key != "" && oldBase.key != key {
+		for _, d := range oldBase.devices {
+			s, err := rt.stores.Lookup(d)
+			if err != nil || s.Drop(ctx, oldBase.key) != nil {
+				rt.mgr.deferDrop(d, oldBase.key, id)
+			}
+		}
+	}
+
+	shortfall := rep.Requested - len(devices)
+	if shortfall < 0 {
+		shortfall = 0
+	}
 	ev = SwapEvent{Cluster: id, Device: devices[0], Key: key, Objects: len(objs),
-		Bytes: payloadBytes, Attempted: attempted, Replicas: devices, Trace: trace}
+		Bytes: payloadBytes, Attempted: attempted, Replicas: devices, Trace: trace,
+		Format: string(plan.format), Requested: rep.Requested, Quorum: rep.Quorum,
+		Shortfall: shortfall}
 	ev.Phases, ev.Duration = span.End()
 	rt.logger.Info("swap-out", "trace", trace, "cluster", uint32(id),
 		"device", devices[0], "replicas", len(devices), "key", key,
-		"objects", len(objs), "bytes", payloadBytes, "dur", ev.Duration)
+		"format", string(plan.format), "objects", len(objs),
+		"bytes", payloadBytes, "dur", ev.Duration)
 	rt.emit(event.TopicSwapOut, ev)
 	return ev, nil
 }
 
-// beginSwapOut validates and reserves a cluster for swap-out. Caller holds
-// swapMu.
-func (rt *Runtime) beginSwapOut(id ClusterID) ([]heap.ObjID, map[heap.ObjID]bool, error) {
+// beginSwapOut validates and reserves a cluster for swap-out, additionally
+// snapshotting the delta-anchor state (retained base + dirty set) the
+// negotiate phase works from. Caller holds swapMu.
+func (rt *Runtime) beginSwapOut(id ClusterID) ([]heap.ObjID, map[heap.ObjID]bool, shipmentBase, map[heap.ObjID]bool, error) {
+	var noBase shipmentBase
 	rt.mgr.mu.Lock()
 	cs, err := rt.mgr.state(id)
 	if err != nil {
 		rt.mgr.mu.Unlock()
-		return nil, nil, err
+		return nil, nil, noBase, nil, err
 	}
 	if cs.busy {
 		rt.mgr.mu.Unlock()
-		return nil, nil, fmt.Errorf("%w: cluster %d", ErrClusterBusy, id)
+		return nil, nil, noBase, nil, fmt.Errorf("%w: cluster %d", ErrClusterBusy, id)
 	}
 	if cs.swapped {
 		rt.mgr.mu.Unlock()
-		return nil, nil, fmt.Errorf("%w: cluster %d", ErrClusterSwapped, id)
+		return nil, nil, noBase, nil, fmt.Errorf("%w: cluster %d", ErrClusterSwapped, id)
 	}
 	if len(cs.objects) == 0 {
 		rt.mgr.mu.Unlock()
-		return nil, nil, fmt.Errorf("%w: %d", ErrClusterEmpty, id)
+		return nil, nil, noBase, nil, fmt.Errorf("%w: %d", ErrClusterEmpty, id)
 	}
 	members := make(map[heap.ObjID]bool, len(cs.objects))
 	memberIDs := make([]heap.ObjID, 0, len(cs.objects))
 	for oid := range cs.objects {
 		members[oid] = true
 		memberIDs = append(memberIDs, oid)
+	}
+	base := shipmentBase{
+		key:     cs.base.key,
+		format:  cs.base.format,
+		devices: append([]string(nil), cs.base.devices...),
+		members: append([]heap.ObjID(nil), cs.base.members...),
+		slots:   append([]heap.ObjID(nil), cs.base.slots...),
+	}
+	var dirty map[heap.ObjID]bool
+	if len(cs.dirty) > 0 {
+		dirty = make(map[heap.ObjID]bool, len(cs.dirty))
+		for oid := range cs.dirty {
+			dirty[oid] = true
+		}
 	}
 	cs.busy = true
 	rt.mgr.mu.Unlock()
@@ -272,18 +404,24 @@ func (rt *Runtime) beginSwapOut(id ClusterID) ([]heap.ObjID, map[heap.ObjID]bool
 	// live on the stack and would collide with a later reload.
 	if err := rt.checkInactive(id, members); err != nil {
 		rt.setBusy(id, false)
-		return nil, nil, err
+		return nil, nil, noBase, nil, err
 	}
-	return memberIDs, members, nil
+	return memberIDs, members, base, dirty, nil
 }
 
 // commitSwapOut publishes a shipped cluster's swapped state: the replica set
 // is recorded on the replacement (comma-joined, primary first), every
 // inbound proxy is re-targeted at it, and the manager record flips to
-// swapped. Caller holds swapMu.
-func (rt *Runtime) commitSwapOut(id ClusterID, repl *heap.Object, devices []string, key string, payloadBytes int, residentBytes int64) error {
+// swapped. When delta shipment is enabled, a full shipment additionally
+// rotates the delta anchor — it becomes the new base, the dirty set resets,
+// and the previous base (returned to the caller) is due for donor cleanup; a
+// delta shipment leaves base and dirty untouched, since dirty is tracked
+// relative to the base, not to the last delta. Caller holds swapMu.
+func (rt *Runtime) commitSwapOut(id ClusterID, repl *heap.Object, devices []string, key string,
+	payloadBytes int, residentBytes int64, plan shipPlan,
+	memberIDs []heap.ObjID, slotTargets []heap.ObjID) (shipmentBase, error) {
 	if err := repl.SetFieldByName(fldStore, heap.Str(strings.Join(devices, ","))); err != nil {
-		return err
+		return shipmentBase{}, err
 	}
 	for _, pid := range rt.mgr.inboundProxies(id) {
 		p, err := rt.h.Get(pid)
@@ -291,7 +429,7 @@ func (rt *Runtime) commitSwapOut(id ClusterID, repl *heap.Object, devices []stri
 			continue // collected since snapshot; finalizer will purge
 		}
 		if err := p.SetFieldByName(fldTarget, repl.RefTo()); err != nil {
-			return fmt.Errorf("core: patch inbound proxy @%d: %w", pid, err)
+			return shipmentBase{}, fmt.Errorf("core: patch inbound proxy @%d: %w", pid, err)
 		}
 	}
 
@@ -299,7 +437,7 @@ func (rt *Runtime) commitSwapOut(id ClusterID, repl *heap.Object, devices []stri
 	cs, err := rt.mgr.state(id)
 	if err != nil {
 		rt.mgr.mu.Unlock()
-		return err
+		return shipmentBase{}, err
 	}
 	cs.swapped = true
 	cs.busy = false
@@ -308,9 +446,22 @@ func (rt *Runtime) commitSwapOut(id ClusterID, repl *heap.Object, devices []stri
 	cs.key = key
 	cs.payloadBytes = payloadBytes
 	cs.bytesAtSwap = residentBytes
+	cs.format = string(plan.format)
 	cs.swapOuts++
+	var oldBase shipmentBase
+	if rt.deltaEnabled() && !plan.delta {
+		oldBase = cs.base
+		cs.base = shipmentBase{
+			key:     key,
+			devices: append([]string(nil), devices...),
+			format:  string(plan.format),
+			members: append([]heap.ObjID(nil), memberIDs...),
+			slots:   append([]heap.ObjID(nil), slotTargets...),
+		}
+		cs.dirty = nil
+	}
 	rt.mgr.mu.Unlock()
-	return nil
+	return oldBase, nil
 }
 
 // setBusy clears (or sets) a cluster's in-flight reservation.
@@ -322,33 +473,34 @@ func (rt *Runtime) setBusy(id ClusterID, busy bool) {
 	rt.mgr.mu.Unlock()
 }
 
-// ship places a wrapped cluster on its donors: pinned (WithDevice) shipments
-// write exactly one copy, everything else goes through the rendezvous
-// planner, which ranks the reachable donors for the key and writes K
+// shipPlanned places an encoded cluster on the donors the negotiate phase
+// selected: pinned (WithDevice) shipments write exactly one copy in the
+// negotiated format, everything else ships over the plan's ranked candidate
+// list — the planner re-checks capacity against the encoded size and skips
+// donors that do not accept the plan's format, writing K format-uniform
 // replicas under a majority quorum. It returns the accepting replica set
-// (rank order, primary first) and the donors that rejected the payload.
-func (rt *Runtime) ship(ctx context.Context, o swapOpts, id ClusterID, key string, data []byte) ([]string, []string, error) {
+// (rank order, primary first), the donors that rejected the payload, and the
+// planner's shipment report.
+func (rt *Runtime) shipPlanned(ctx context.Context, o swapOpts, id ClusterID, key string, data []byte, plan shipPlan) ([]string, []string, placement.ShipReport, error) {
 	if o.device != "" {
 		s, err := rt.stores.Lookup(o.device)
 		if err != nil {
-			return nil, nil, fmt.Errorf("core: swap-out cluster %d: %w", id, err)
+			return nil, nil, placement.ShipReport{}, fmt.Errorf("core: swap-out cluster %d: %w", id, err)
 		}
-		if err := s.Put(ctx, key, data); err != nil {
-			return nil, nil, fmt.Errorf("core: ship cluster %d to %s: %w", id, o.device, err)
+		if err := store.PutWith(ctx, s, key, data, store.PutOpts{Format: string(plan.format)}); err != nil {
+			return nil, nil, placement.ShipReport{}, fmt.Errorf("core: ship cluster %d to %s: %w", id, o.device, err)
 		}
-		return []string{o.device}, nil, nil
+		return []string{o.device}, nil,
+			placement.ShipReport{Replicas: []string{o.device}, Requested: 1, Quorum: 1}, nil
 	}
 	if rt.placer == nil {
-		return nil, nil, fmt.Errorf("core: swap-out cluster %d: %w", id, ErrNoPlacement)
+		return nil, nil, placement.ShipReport{}, fmt.Errorf("core: swap-out cluster %d: %w", id, ErrNoPlacement)
 	}
-	k := o.replicas
-	if k < 1 {
-		k = rt.Replicas()
-	}
-	rep, err := rt.placer.Ship(ctx, placement.ShipRequest{
+	rep, err := rt.placer.ShipRanked(ctx, placement.ShipRequest{
 		Key:      key,
 		Data:     data,
-		Replicas: k,
+		Replicas: plan.replicas,
+		Format:   string(plan.format),
 		NoExtend: o.noFailover,
 		OnFailure: func(device string, perr error) {
 			rt.logger.Warn("swap-out failover", "trace", obs.TraceFrom(ctx),
@@ -358,11 +510,11 @@ func (rt *Runtime) ship(ctx context.Context, o swapOpts, id ClusterID, key strin
 				Trace: obs.TraceFrom(ctx),
 			})
 		},
-	})
+	}, plan.ranked)
 	if err != nil {
-		return nil, rep.Attempted, fmt.Errorf("core: ship cluster %d: %w", id, err)
+		return nil, rep.Attempted, rep, fmt.Errorf("core: ship cluster %d: %w", id, err)
 	}
-	return rep.Replicas, rep.Attempted, nil
+	return rep.Replicas, rep.Attempted, rep, nil
 }
 
 // checkInactive fails when any member of the cluster is on the invocation
@@ -469,6 +621,7 @@ func (rt *Runtime) SwapIn(id ClusterID, opts ...SwapOption) (ev SwapEvent, retEr
 	var (
 		data    []byte
 		device  string
+		serving store.Store
 		failed  []string
 		lastErr error
 	)
@@ -478,6 +631,7 @@ func (rt *Runtime) SwapIn(id ClusterID, opts ...SwapOption) (ev SwapEvent, retEr
 			data, err = s.Get(ctx, key)
 			if err == nil {
 				device = d
+				serving = s
 				break
 			}
 		}
@@ -498,11 +652,24 @@ func (rt *Runtime) SwapIn(id ClusterID, opts ...SwapOption) (ev SwapEvent, retEr
 	}
 	span.SetDevice(device)
 	span.AddBytes(int64(len(data)))
+
+	// Decode whatever format the shipment self-describes as. A delta fetches
+	// its base from the SAME donor that served it — deltas only ever ship to
+	// donors holding the base, so a donor that answered with the delta is the
+	// one place the base is known to live.
 	span.Phase("decode")
-	doc, err := xmlcodec.Decode(data)
+	fid, _ := wire.Detect(data)
+	decodeStart := rt.obsReg.Clock().Now()
+	doc, err := wire.Decode(data, &wire.DecodeOpts{
+		FetchBase: func(baseKey string) ([]byte, error) {
+			return serving.Get(ctx, baseKey)
+		},
+	})
 	if err != nil {
 		return SwapEvent{}, fmt.Errorf("core: unwrap cluster %d: %w", id, err)
 	}
+	rt.recordWire(fid, "decode", len(data), rt.obsReg.Clock().Now().Sub(decodeStart))
+	span.SetFormat(string(fid))
 	if doc.ClusterID != key {
 		return SwapEvent{}, fmt.Errorf("core: cluster %d: device returned wrong shipment %q", id, doc.ClusterID)
 	}
@@ -529,7 +696,7 @@ func (rt *Runtime) SwapIn(id ClusterID, opts ...SwapOption) (ev SwapEvent, retEr
 	span.Phase("install")
 	rt.swapMu.Lock()
 	rt.mutating.Store(true)
-	installed, payload, err := rt.commitSwapIn(id, cs, repl, doc)
+	installed, payload, err := rt.commitSwapIn(id, cs, repl, doc, fid, devices)
 	rt.mutating.Store(false)
 	rt.swapMu.Unlock()
 	if err != nil {
@@ -539,18 +706,33 @@ func (rt *Runtime) SwapIn(id ClusterID, opts ...SwapOption) (ev SwapEvent, retEr
 
 	// Every replica's copy is stale once the cluster is live again. Drops
 	// that fail (a replica on an unreachable donor) are deferred so the
-	// payload is reclaimed when the donor returns.
+	// payload is reclaimed when the donor returns. Delta-enabled runtimes
+	// deviate: a reloaded FULL shipment stays on its donors as the anchor a
+	// future delta re-ships against, while a reloaded delta drops only its
+	// own key — the base underneath it stays anchored either way.
 	if !rt.keepOnReload {
-		for _, d := range devices {
-			s, err := rt.stores.Lookup(d)
-			if err != nil || s.Drop(ctx, key) != nil {
-				rt.mgr.deferDrop(d, key, id)
+		switch {
+		case fid == wire.FormatDelta:
+			for _, d := range devices {
+				s, err := rt.stores.Lookup(d)
+				if err != nil || s.Drop(ctx, key) != nil {
+					rt.mgr.deferDrop(d, key, id)
+				}
+			}
+		case rt.deltaEnabled():
+			// Keep the payload: it is (or just became) the delta base.
+		default:
+			for _, d := range devices {
+				s, err := rt.stores.Lookup(d)
+				if err != nil || s.Drop(ctx, key) != nil {
+					rt.mgr.deferDrop(d, key, id)
+				}
 			}
 		}
 	}
 
 	ev = SwapEvent{Cluster: id, Device: device, Key: key, Objects: installed,
-		Bytes: payload, Attempted: failed, Trace: trace}
+		Bytes: payload, Attempted: failed, Trace: trace, Format: string(fid)}
 	ev.Phases, ev.Duration = span.End()
 	rt.logger.Info("swap-in", "trace", trace, "cluster", uint32(id),
 		"device", device, "key", key, "objects", installed,
@@ -568,9 +750,14 @@ func (rt *Runtime) SwapIn(id ClusterID, opts ...SwapOption) (ev SwapEvent, retEr
 }
 
 // commitSwapIn reinstalls a fetched cluster and flips its record to loaded.
+// On a delta-enabled runtime a reloaded full shipment re-anchors the delta
+// base (resident state now provably equals the retained payload, so the dirty
+// set resets and the base membership/slot table are refreshed — this is also
+// what re-arms delta encoding after a checkpoint restore dropped the
+// membership snapshot); a reloaded delta leaves base and dirty untouched.
 // Caller holds swapMu and has set the mutating flag (installation allocates;
 // an allocation failure here must not re-enter the evictor).
-func (rt *Runtime) commitSwapIn(id ClusterID, cs *clusterState, repl *heap.Object, doc *xmlcodec.Doc) (int, int, error) {
+func (rt *Runtime) commitSwapIn(id ClusterID, cs *clusterState, repl *heap.Object, doc *xmlcodec.Doc, fid wire.FormatID, devices []string) (int, int, error) {
 	// Resolve replacement slots back to the retained outbound proxies.
 	outboundVal, err := repl.FieldByName(fldOut)
 	if err != nil {
@@ -638,15 +825,40 @@ func (rt *Runtime) commitSwapIn(id ClusterID, cs *clusterState, repl *heap.Objec
 	}
 
 	rt.mgr.mu.Lock()
+	key := cs.key
 	cs.swapped = false
 	cs.busy = false
 	cs.replacement = heap.NilID
 	cs.devices = nil
 	cs.key = ""
+	cs.format = ""
 	payload := cs.payloadBytes
 	cs.payloadBytes = 0
 	cs.bytesAtSwap = 0
 	cs.swapIns++
+	if rt.deltaEnabled() && fid != wire.FormatDelta {
+		memberIDs := make([]heap.ObjID, 0, len(installed))
+		for _, o := range installed {
+			memberIDs = append(memberIDs, o.ID())
+		}
+		sort.Slice(memberIDs, func(i, j int) bool { return memberIDs[i] < memberIDs[j] })
+		slots := make([]heap.ObjID, len(outbound))
+		for i, v := range outbound {
+			if rid, err := v.Ref(); err == nil && rid != heap.NilID {
+				if p, perr := rt.h.Get(rid); perr == nil {
+					slots[i] = proxyUltimate(p)
+				}
+			}
+		}
+		cs.base = shipmentBase{
+			key:     key,
+			devices: append([]string(nil), devices...),
+			format:  string(fid),
+			members: memberIDs,
+			slots:   slots,
+		}
+		cs.dirty = nil
+	}
 	rt.mgr.mu.Unlock()
 	return len(installed), payload, nil
 }

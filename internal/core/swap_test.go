@@ -11,6 +11,7 @@ import (
 	"objectswap/internal/event"
 	"objectswap/internal/heap"
 	"objectswap/internal/store"
+	"objectswap/internal/wire"
 )
 
 // snapshotTags walks the list from the head via the swapping runtime and
@@ -57,13 +58,22 @@ func TestSwapOutFreesMemoryAndDetaches(t *testing.T) {
 	if ev.Objects != 10 || ev.Device != "pda-neighbor" || ev.Bytes <= 0 {
 		t.Fatalf("swap event = %+v", ev)
 	}
-	// The XML is on the device.
+	// The negotiated shipment is on the device and decodes back to a wrapper
+	// document for this key (binary framing by default; the self-describing
+	// payload carries its own format).
 	data, err := f.mem.Get(ctx, ev.Key)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(string(data), "<swapcluster") {
-		t.Fatal("device holds something that is not a wrapper document")
+	if ev.Format != string(wire.FormatBinary) {
+		t.Fatalf("negotiated format = %q, want %q", ev.Format, wire.FormatBinary)
+	}
+	doc, err := wire.Decode(data, nil)
+	if err != nil {
+		t.Fatalf("device holds something that is not a wrapper document: %v", err)
+	}
+	if doc.ClusterID != ev.Key {
+		t.Fatalf("wrapper document names %q, want %q", doc.ClusterID, ev.Key)
 	}
 
 	// Detachment completeness: no root-reachable path reaches any member.

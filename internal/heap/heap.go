@@ -63,8 +63,11 @@ type Heap struct {
 	// write with the written object's id (replication uses it for dirty
 	// tracking). Invoked outside heap locks. observerSuspend > 0 silences
 	// it (middleware-internal writes such as swap-in reinstallation are not
-	// user mutations).
+	// user mutations). extraObservers are additional independent hooks (the
+	// swapping runtime's delta dirty tracking) that SetWriteObserver does not
+	// replace.
 	writeObserver   func(ObjID)
+	extraObservers  []func(ObjID)
 	observerSuspend int
 
 	// nursery grants newly allocated objects a grace period of N collection
@@ -107,16 +110,32 @@ func (h *Heap) SetWriteObserver(fn func(ObjID)) {
 	h.writeObserver = fn
 }
 
-// observeWrite dispatches to the write observer, if any.
+// AddWriteObserver registers an additional write observer that coexists with
+// the SetWriteObserver slot (which historically belongs to replication
+// write-back). Observers cannot be removed; register once per heap.
+func (h *Heap) AddWriteObserver(fn func(ObjID)) {
+	if fn == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.extraObservers = append(h.extraObservers, fn)
+}
+
+// observeWrite dispatches to the write observers, if any.
 func (h *Heap) observeWrite(id ObjID) {
 	h.mu.RLock()
 	fn := h.writeObserver
+	extra := h.extraObservers
 	if h.observerSuspend > 0 {
-		fn = nil
+		fn, extra = nil, nil
 	}
 	h.mu.RUnlock()
 	if fn != nil {
 		fn(id)
+	}
+	for _, e := range extra {
+		e(id)
 	}
 }
 

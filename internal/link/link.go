@@ -125,6 +125,8 @@ func Wrap(s store.Store, p Profile, clock Clock) *Link {
 	return &Link{inner: s, profile: p, clock: clock}
 }
 
+var _ store.Envelope = (*Link)(nil)
+
 // Stats returns a copy of the traffic counters.
 func (l *Link) TrafficStats() Stats {
 	l.mu.Lock()
@@ -196,6 +198,43 @@ func (l *Link) Get(ctx context.Context, key string) ([]byte, error) {
 	l.stats.BytesReceived += int64(len(data))
 	l.mu.Unlock()
 	return data, nil
+}
+
+// PutEnvelope forwards the format-tagged write after accounting an upstream
+// transfer, so a link-wrapped donor accepts exactly the formats its inner
+// store does (the Stats it forwards advertise them).
+func (l *Link) PutEnvelope(ctx context.Context, key string, data []byte, opts store.PutOpts) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if err := l.transfer(len(data)); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	l.stats.BytesSent += int64(len(data))
+	l.mu.Unlock()
+	return store.PutWith(ctx, l.inner, key, data, opts)
+}
+
+// GetEnvelope forwards, then accounts a downstream transfer of the payload.
+func (l *Link) GetEnvelope(ctx context.Context, key string) ([]byte, store.PutOpts, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, store.PutOpts{}, err
+	}
+	data, opts, err := store.GetWith(ctx, l.inner, key)
+	if err != nil {
+		if terr := l.transfer(0); terr != nil {
+			return nil, store.PutOpts{}, terr
+		}
+		return nil, store.PutOpts{}, err
+	}
+	if err := l.transfer(len(data)); err != nil {
+		return nil, store.PutOpts{}, err
+	}
+	l.mu.Lock()
+	l.stats.BytesReceived += int64(len(data))
+	l.mu.Unlock()
+	return data, opts, nil
 }
 
 // Drop forwards after accounting a control round trip.

@@ -42,6 +42,8 @@ type SpanRecord struct {
 	// Replicas is the replica set holding the shipment (primary first), for
 	// replicated placements.
 	Replicas []string `json:"replicas,omitempty"`
+	// Format is the negotiated wire format the payload moved in, when known.
+	Format string `json:"format,omitempty"`
 	// Outcome is "ok" or "error".
 	Outcome string `json:"outcome"`
 	// Error is the failure text for Outcome == "error".

@@ -66,6 +66,7 @@ type Span struct {
 	cluster  uint32
 	key      string
 	replicas []string
+	format   string
 }
 
 // SetTrace labels the span with a cross-device trace ID.
@@ -101,6 +102,14 @@ func (s *Span) SetCluster(c uint32) {
 func (s *Span) SetKey(k string) {
 	if s != nil {
 		s.key = k
+	}
+}
+
+// SetFormat labels the span with the negotiated wire format the payload
+// moved in.
+func (s *Span) SetFormat(format string) {
+	if s != nil {
+		s.format = format
 	}
 }
 
@@ -202,6 +211,7 @@ func (s *Span) record(outcome, errDetail string, total time.Duration) {
 		Cluster:    s.cluster,
 		Key:        s.key,
 		Replicas:   append([]string(nil), s.replicas...),
+		Format:     s.format,
 		Outcome:    outcome,
 		Error:      errDetail,
 		Start:      s.start,

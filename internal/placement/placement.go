@@ -80,6 +80,23 @@ type Candidate struct {
 	// Score is the donor's weighted rendezvous score for the key; candidates
 	// are returned best-first.
 	Score float64
+	// Formats is the donor's wire-format advertisement from the same Stats
+	// probe (empty = pre-negotiation donor, XML only).
+	Formats []string
+}
+
+// Accepts reports whether the candidate's advertisement covers format. The
+// XML fallback is always accepted.
+func (c Candidate) Accepts(format string) bool {
+	if format == "" || format == store.FormatXML {
+		return true
+	}
+	for _, f := range c.Formats {
+		if f == format {
+			return true
+		}
+	}
+	return false
 }
 
 // Rank orders the reachable donors for key by weighted rendezvous hash,
@@ -108,6 +125,7 @@ func (p *Planner) Rank(ctx context.Context, key string, need int64, exclude []st
 		}
 		cands = append(cands, Candidate{
 			Name: d.Name, Store: d.Store, Free: free, Score: score(key, d.Name, free),
+			Formats: st.Formats,
 		})
 	}
 	sort.Slice(cands, func(i, j int) bool {
@@ -181,6 +199,10 @@ type ShipRequest struct {
 	// Exclude names donors that must not be selected (live replicas during a
 	// repair re-ship, or an operator blacklist).
 	Exclude []string
+	// Format names the payload's wire format. It rides the store envelope to
+	// every replica — all replicas of one shipment use ONE format, so any
+	// surviving replica can serve the fault-in. Empty means the XML fallback.
+	Format string
 	// NoExtend confines the shipment to the top K candidates: a rejecting
 	// donor is not replaced by the next-ranked one (the pre-resilience
 	// fail-fast behavior).
@@ -198,6 +220,10 @@ type ShipReport struct {
 	Attempted []string
 	// Quorum is the write quorum that applied.
 	Quorum int
+	// Requested is the replica count K the shipment aimed for; fewer landed
+	// replicas than Requested (with quorum still met) is a sparse-donor
+	// shortfall the caller surfaces on its swap event.
+	Requested int
 }
 
 // Ship stores the payload on the top K ranked donors in parallel and returns
@@ -209,6 +235,17 @@ type ShipReport struct {
 // the last Put failure — or store.ErrNoDevice when no donor was even
 // eligible.
 func (p *Planner) Ship(ctx context.Context, req ShipRequest) (ShipReport, error) {
+	cands := p.Rank(ctx, req.Key, int64(len(req.Data)), req.Exclude)
+	return p.ShipRanked(ctx, req, cands)
+}
+
+// ShipRanked ships over an already-ranked candidate list. The format
+// negotiation path ranks once (need 0, to see every donor's advertisement),
+// picks a format, then ships on the filtered ranking — without a second round
+// of Stats probes. Candidates without room for the payload or whose
+// advertisement does not cover req.Format are skipped here, so a stale or
+// over-broad ranking degrades to fewer replicas, not to misdirected Puts.
+func (p *Planner) ShipRanked(ctx context.Context, req ShipRequest, ranked []Candidate) (ShipReport, error) {
 	k := req.Replicas
 	if k < 1 {
 		k = 1
@@ -220,9 +257,15 @@ func (p *Planner) Ship(ctx context.Context, req ShipRequest) (ShipReport, error)
 	if quorum > k {
 		quorum = k
 	}
-	rep := ShipReport{Quorum: quorum}
+	rep := ShipReport{Quorum: quorum, Requested: k}
 
-	cands := p.Rank(ctx, req.Key, int64(len(req.Data)), req.Exclude)
+	need := int64(len(req.Data))
+	cands := make([]Candidate, 0, len(ranked))
+	for _, c := range ranked {
+		if c.Free >= need && c.Accepts(req.Format) {
+			cands = append(cands, c)
+		}
+	}
 	if len(cands) == 0 {
 		p.ships.With("no_donor").Inc()
 		return rep, fmt.Errorf("placement: ship %q (%d bytes, %d replicas): %w",
@@ -241,7 +284,9 @@ func (p *Planner) Ship(ctx context.Context, req ShipRequest) (ShipReport, error)
 			next++
 			inflight++
 			go func() {
-				results <- result{i, cands[i].Store.Put(ctx, req.Key, req.Data)}
+				err := store.PutWith(ctx, cands[i].Store, req.Key, req.Data,
+					store.PutOpts{Format: req.Format})
+				results <- result{i, err}
 			}()
 		}
 	}

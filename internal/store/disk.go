@@ -14,16 +14,29 @@ import (
 
 // Disk is a Store backed by a directory of files — the paper's desktop or
 // laptop PC holding swapped XML as plain files. Keys are hex-encoded into
-// file names so arbitrary key strings are safe.
+// file names so arbitrary key strings are safe. Disk implements the Envelope
+// extension: a payload's wire format persists in a tiny sidecar file
+// (<hexkey>.swapfmt) next to the payload, so a restarted donor still answers
+// GETs with the right format. Payloads without a sidecar are the XML
+// fallback, which keeps directories written before negotiation readable.
 type Disk struct {
 	mu       sync.Mutex
 	dir      string
 	capacity int64
+	formats  []string
 }
 
-var _ Store = (*Disk)(nil)
+var (
+	_ Store    = (*Disk)(nil)
+	_ Envelope = (*Disk)(nil)
+)
 
-const diskExt = ".swapxml"
+const (
+	diskExt = ".swapxml"
+	// fmtExt marks format sidecars; they are metadata, not shipments, so
+	// Keys and Stats skip them.
+	fmtExt = ".swapfmt"
+)
 
 // NewDisk returns a disk store rooted at dir, creating it if needed.
 // capacity <= 0 means unlimited.
@@ -31,7 +44,15 @@ func NewDisk(dir string, capacity int64) (*Disk, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: create dir: %w", err)
 	}
-	return &Disk{dir: dir, capacity: capacity}, nil
+	return &Disk{dir: dir, capacity: capacity, formats: BuiltinFormats}, nil
+}
+
+// SetFormats replaces the store's wire-format advertisement. The XML
+// fallback is always accepted regardless of the advertisement.
+func (d *Disk) SetFormats(formats ...string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.formats = append([]string(nil), formats...)
 }
 
 // Dir returns the backing directory.
@@ -41,8 +62,17 @@ func (d *Disk) path(key string) string {
 	return filepath.Join(d.dir, hex.EncodeToString([]byte(key))+diskExt)
 }
 
-// Put stores data under key.
+func (d *Disk) fmtPath(key string) string {
+	return filepath.Join(d.dir, hex.EncodeToString([]byte(key))+fmtExt)
+}
+
+// Put stores data under key with an unspecified (XML-fallback) envelope.
 func (d *Disk) Put(ctx context.Context, key string, data []byte) error {
+	return d.PutEnvelope(ctx, key, data, PutOpts{})
+}
+
+// PutEnvelope stores data under key with its envelope.
+func (d *Disk) PutEnvelope(ctx context.Context, key string, data []byte, opts PutOpts) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
@@ -51,6 +81,9 @@ func (d *Disk) Put(ctx context.Context, key string, data []byte) error {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if !formatAccepted(d.formats, opts.Format) {
+		return fmt.Errorf("%w: %q (accepts %v)", ErrUnsupportedFormat, opts.Format, d.formats)
+	}
 	if d.capacity > 0 {
 		st, err := d.statsLocked()
 		if err != nil {
@@ -72,7 +105,33 @@ func (d *Disk) Put(ctx context.Context, key string, data []byte) error {
 	if err := os.Rename(tmp, d.path(key)); err != nil {
 		return fmt.Errorf("store: rename: %w", err)
 	}
+	// Sidecar second: a crash between the two leaves a payload with no
+	// sidecar, which reads back as the XML fallback — the safe default.
+	if opts.Format == "" || opts.Format == FormatXML {
+		_ = os.Remove(d.fmtPath(key))
+		return nil
+	}
+	if err := os.WriteFile(d.fmtPath(key), []byte(opts.Format), 0o644); err != nil {
+		return fmt.Errorf("store: write format sidecar: %w", err)
+	}
 	return nil
+}
+
+// GetEnvelope returns the payload and the envelope it was stored with;
+// payloads without a format sidecar report the XML fallback.
+func (d *Disk) GetEnvelope(ctx context.Context, key string) ([]byte, PutOpts, error) {
+	data, err := d.Get(ctx, key)
+	if err != nil {
+		return nil, PutOpts{}, err
+	}
+	d.mu.Lock()
+	raw, err := os.ReadFile(d.fmtPath(key))
+	d.mu.Unlock()
+	format := FormatXML
+	if err == nil && len(raw) > 0 {
+		format = string(raw)
+	}
+	return data, PutOpts{Format: format}, nil
 }
 
 // Get returns the payload stored under key.
@@ -106,6 +165,7 @@ func (d *Disk) Drop(ctx context.Context, key string) error {
 	if err != nil {
 		return fmt.Errorf("store: remove: %w", err)
 	}
+	_ = os.Remove(d.fmtPath(key))
 	return nil
 }
 
@@ -155,7 +215,7 @@ func (d *Disk) statsLocked() (Stats, error) {
 	if err != nil {
 		return Stats{}, fmt.Errorf("store: list: %w", err)
 	}
-	st := Stats{Capacity: d.capacity}
+	st := Stats{Capacity: d.capacity, Formats: append([]string(nil), d.formats...)}
 	for _, e := range entries {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), diskExt) {
 			continue

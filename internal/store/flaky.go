@@ -69,7 +69,10 @@ type Flaky struct {
 	clock   Sleeper
 }
 
-var _ Store = (*Flaky)(nil)
+var (
+	_ Store    = (*Flaky)(nil)
+	_ Envelope = (*Flaky)(nil)
+)
 
 // NewFlaky wraps inner with an initially fault-free schedule. seed drives the
 // FailRate pseudo-random stream.
@@ -200,6 +203,23 @@ func (f *Flaky) Put(ctx context.Context, key string, data []byte) error {
 		return err
 	}
 	return f.inner.Put(ctx, key, data)
+}
+
+// PutEnvelope applies the OpPut fault schedule, then forwards the envelope
+// write (falling back per PutWith when the inner store is format-blind).
+func (f *Flaky) PutEnvelope(ctx context.Context, key string, data []byte, opts PutOpts) error {
+	if err := f.gate(ctx, OpPut); err != nil {
+		return err
+	}
+	return PutWith(ctx, f.inner, key, data, opts)
+}
+
+// GetEnvelope applies the OpGet fault schedule, then forwards.
+func (f *Flaky) GetEnvelope(ctx context.Context, key string) ([]byte, PutOpts, error) {
+	if err := f.gate(ctx, OpGet); err != nil {
+		return nil, PutOpts{}, err
+	}
+	return GetWith(ctx, f.inner, key)
 }
 
 // Get applies the fault schedule, then forwards.

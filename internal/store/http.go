@@ -23,11 +23,41 @@ import (
 //
 // Wire protocol (keys are path-escaped):
 //
-//	PUT    /clusters/{key}   body = payload      -> 204
+//	PUT    /clusters/{key}   body = payload      -> 204 | 415 (format refused)
 //	GET    /clusters/{key}                       -> 200 body = payload | 404
 //	DELETE /clusters/{key}                       -> 204 | 404
 //	GET    /clusters                             -> 200 JSON ["key", ...]
 //	GET    /stats                                -> 200 JSON Stats
+//
+// A payload's wire format rides in the Content-Type header: the XML fallback
+// is application/xml (also assumed when the header is absent, which is what
+// pre-negotiation peers send); every other format is
+// application/x-obiswap-<format>. The Stats JSON advertises the formats the
+// donor accepts; a PUT in a format the donor refuses answers 415 and stores
+// nothing.
+
+// contentTypePrefix prefixes non-XML wire formats on the HTTP bridge.
+const contentTypePrefix = "application/x-obiswap-"
+
+// formatContentType maps a wire format to its Content-Type value.
+func formatContentType(format string) string {
+	if format == "" || format == FormatXML {
+		return "application/xml"
+	}
+	return contentTypePrefix + format
+}
+
+// contentTypeFormat maps a Content-Type header back to a wire format.
+func contentTypeFormat(ct string) string {
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = ct[:i]
+	}
+	ct = strings.TrimSpace(ct)
+	if strings.HasPrefix(ct, contentTypePrefix) {
+		return strings.TrimPrefix(ct, contentTypePrefix)
+	}
+	return FormatXML
+}
 
 // Handler adapts a Store to HTTP.
 type Handler struct {
@@ -80,17 +110,21 @@ func (h *Handler) serveKey(w http.ResponseWriter, r *http.Request, key string) {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		if err := h.s.Put(r.Context(), key, data); err != nil {
+		opts := PutOpts{Format: contentTypeFormat(r.Header.Get("Content-Type"))}
+		if err := PutWith(r.Context(), h.s, key, data, opts); err != nil {
 			status := http.StatusInternalServerError
-			if errors.Is(err, ErrCapacity) {
+			switch {
+			case errors.Is(err, ErrCapacity):
 				status = http.StatusInsufficientStorage
+			case errors.Is(err, ErrUnsupportedFormat):
+				status = http.StatusUnsupportedMediaType
 			}
 			http.Error(w, err.Error(), status)
 			return
 		}
 		w.WriteHeader(http.StatusNoContent)
 	case http.MethodGet:
-		data, err := h.s.Get(r.Context(), key)
+		data, opts, err := GetWith(r.Context(), h.s, key)
 		if errors.Is(err, ErrNotFound) {
 			http.NotFound(w, r)
 			return
@@ -99,7 +133,7 @@ func (h *Handler) serveKey(w http.ResponseWriter, r *http.Request, key string) {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
-		w.Header().Set("Content-Type", "application/xml")
+		w.Header().Set("Content-Type", formatContentType(opts.Format))
 		_, _ = w.Write(data)
 	case http.MethodDelete:
 		err := h.s.Drop(r.Context(), key)
@@ -128,7 +162,10 @@ type Client struct {
 	hc   *http.Client
 }
 
-var _ Store = (*Client)(nil)
+var (
+	_ Store    = (*Client)(nil)
+	_ Envelope = (*Client)(nil)
+)
 
 // NewClient returns a store client for the device at baseURL
 // (e.g. "http://192.168.0.7:9980").
@@ -152,8 +189,16 @@ func setTrace(req *http.Request) {
 	}
 }
 
-// Put stores data under key on the remote device.
+// Put stores data under key on the remote device with the XML-fallback
+// envelope.
 func (c *Client) Put(ctx context.Context, key string, data []byte) error {
+	return c.PutEnvelope(ctx, key, data, PutOpts{})
+}
+
+// PutEnvelope stores data under key on the remote device, carrying the wire
+// format as the request Content-Type. A 415 answer (donor refuses the
+// format) surfaces as ErrUnsupportedFormat.
+func (c *Client) PutEnvelope(ctx context.Context, key string, data []byte, opts PutOpts) error {
 	if key == "" {
 		return errors.New("store: empty key")
 	}
@@ -161,6 +206,7 @@ func (c *Client) Put(ctx context.Context, key string, data []byte) error {
 	if err != nil {
 		return fmt.Errorf("store: http: %w", err)
 	}
+	req.Header.Set("Content-Type", formatContentType(opts.Format))
 	setTrace(req)
 	resp, err := c.hc.Do(req)
 	if err != nil {
@@ -172,6 +218,8 @@ func (c *Client) Put(ctx context.Context, key string, data []byte) error {
 		return nil
 	case http.StatusInsufficientStorage:
 		return fmt.Errorf("%w: remote device full", ErrCapacity)
+	case http.StatusUnsupportedMediaType:
+		return fmt.Errorf("%w: %q refused by remote device", ErrUnsupportedFormat, opts.Format)
 	default:
 		return fmt.Errorf("store: http put: status %d", resp.StatusCode)
 	}
@@ -179,23 +227,34 @@ func (c *Client) Put(ctx context.Context, key string, data []byte) error {
 
 // Get returns the payload stored under key on the remote device.
 func (c *Client) Get(ctx context.Context, key string) ([]byte, error) {
+	data, _, err := c.GetEnvelope(ctx, key)
+	return data, err
+}
+
+// GetEnvelope returns the payload and the wire format the remote device
+// serves it with (from the response Content-Type).
+func (c *Client) GetEnvelope(ctx context.Context, key string) ([]byte, PutOpts, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.keyURL(key), nil)
 	if err != nil {
-		return nil, fmt.Errorf("store: http: %w", err)
+		return nil, PutOpts{}, fmt.Errorf("store: http: %w", err)
 	}
 	setTrace(req)
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrUnavailable, err)
+		return nil, PutOpts{}, fmt.Errorf("%w: %v", ErrUnavailable, err)
 	}
 	defer drain(resp)
 	switch resp.StatusCode {
 	case http.StatusOK:
-		return io.ReadAll(resp.Body)
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return nil, PutOpts{}, fmt.Errorf("store: http get: %w", err)
+		}
+		return data, PutOpts{Format: contentTypeFormat(resp.Header.Get("Content-Type"))}, nil
 	case http.StatusNotFound:
-		return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+		return nil, PutOpts{}, fmt.Errorf("%w: %q", ErrNotFound, key)
 	default:
-		return nil, fmt.Errorf("store: http get: status %d", resp.StatusCode)
+		return nil, PutOpts{}, fmt.Errorf("store: http get: status %d", resp.StatusCode)
 	}
 }
 

@@ -37,11 +37,16 @@ var (
 	ErrUnavailable = errors.New("store: device unavailable")
 )
 
-// Stats describes a device's occupancy.
+// Stats describes a device's occupancy and capabilities.
 type Stats struct {
 	Capacity int64 `json:"capacity"` // bytes; 0 = unlimited
 	Used     int64 `json:"used"`
 	Items    int   `json:"items"`
+	// Formats lists the wire formats this donor accepts (see internal/wire).
+	// Empty or absent means the donor predates format negotiation and speaks
+	// only the universal XML fallback — constrained devices treat a missing
+	// advertisement as ["xml"].
+	Formats []string `json:"formats,omitempty"`
 }
 
 // Free returns the remaining byte capacity, or a very large number when
@@ -134,23 +139,48 @@ func (l Legacy) Stats(ctx context.Context) (Stats, error) {
 	return l.Inner.Stats()
 }
 
-// Mem is an in-memory Store with optional byte capacity.
+// Mem is an in-memory Store with optional byte capacity. It implements the
+// Envelope extension and by default accepts every built-in wire format;
+// SetFormats narrows the advertisement (e.g. to model an XML-only donor).
 type Mem struct {
 	mu       sync.RWMutex
 	capacity int64
 	used     int64
 	items    map[string][]byte
+	kinds    map[string]string // stored envelope format per key ("" = unspecified)
+	formats  []string
 }
 
-var _ Store = (*Mem)(nil)
+var (
+	_ Store    = (*Mem)(nil)
+	_ Envelope = (*Mem)(nil)
+)
 
 // NewMem returns an empty in-memory store. capacity <= 0 means unlimited.
 func NewMem(capacity int64) *Mem {
-	return &Mem{capacity: capacity, items: make(map[string][]byte)}
+	return &Mem{
+		capacity: capacity,
+		items:    make(map[string][]byte),
+		kinds:    make(map[string]string),
+		formats:  BuiltinFormats,
+	}
 }
 
-// Put stores data under key.
+// SetFormats replaces the store's wire-format advertisement. The XML
+// fallback is always accepted regardless of the advertisement.
+func (m *Mem) SetFormats(formats ...string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.formats = append([]string(nil), formats...)
+}
+
+// Put stores data under key with an unspecified (XML-fallback) envelope.
 func (m *Mem) Put(ctx context.Context, key string, data []byte) error {
+	return m.PutEnvelope(ctx, key, data, PutOpts{})
+}
+
+// PutEnvelope stores data under key with its envelope.
+func (m *Mem) PutEnvelope(ctx context.Context, key string, data []byte, opts PutOpts) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
@@ -159,6 +189,9 @@ func (m *Mem) Put(ctx context.Context, key string, data []byte) error {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if !formatAccepted(m.formats, opts.Format) {
+		return fmt.Errorf("%w: %q (accepts %v)", ErrUnsupportedFormat, opts.Format, m.formats)
+	}
 	next := m.used - int64(len(m.items[key])) + int64(len(data))
 	if m.capacity > 0 && next > m.capacity {
 		return fmt.Errorf("%w: need %d bytes, %d of %d used",
@@ -167,8 +200,29 @@ func (m *Mem) Put(ctx context.Context, key string, data []byte) error {
 	cp := make([]byte, len(data))
 	copy(cp, data)
 	m.items[key] = cp
+	if opts.Format == "" {
+		delete(m.kinds, key)
+	} else {
+		m.kinds[key] = opts.Format
+	}
 	m.used = next
 	return nil
+}
+
+// GetEnvelope returns the payload and the envelope it was stored with;
+// payloads stored without one report the XML fallback.
+func (m *Mem) GetEnvelope(ctx context.Context, key string) ([]byte, PutOpts, error) {
+	data, err := m.Get(ctx, key)
+	if err != nil {
+		return nil, PutOpts{}, err
+	}
+	m.mu.RLock()
+	format := m.kinds[key]
+	m.mu.RUnlock()
+	if format == "" {
+		format = FormatXML
+	}
+	return data, PutOpts{Format: format}, nil
 }
 
 // Get returns the payload stored under key.
@@ -199,6 +253,7 @@ func (m *Mem) Drop(ctx context.Context, key string) error {
 		return fmt.Errorf("%w: %q", ErrNotFound, key)
 	}
 	delete(m.items, key)
+	delete(m.kinds, key)
 	m.used -= int64(len(data))
 	return nil
 }
@@ -225,5 +280,10 @@ func (m *Mem) Stats(ctx context.Context) (Stats, error) {
 	}
 	m.mu.RLock()
 	defer m.mu.RUnlock()
-	return Stats{Capacity: m.capacity, Used: m.used, Items: len(m.items)}, nil
+	return Stats{
+		Capacity: m.capacity,
+		Used:     m.used,
+		Items:    len(m.items),
+		Formats:  append([]string(nil), m.formats...),
+	}, nil
 }

@@ -31,7 +31,10 @@ type Versioned struct {
 	gens map[string]int
 }
 
-var _ Store = (*Versioned)(nil)
+var (
+	_ Store    = (*Versioned)(nil)
+	_ Envelope = (*Versioned)(nil)
+)
 
 // versionSep separates the key from the generation suffix. Clients must not
 // use it in their own keys; Put rejects offenders.
@@ -67,6 +70,12 @@ func isVersionKey(k string) (string, int, bool) {
 // Put stores data under key, archiving any previous payload as a new
 // generation.
 func (v *Versioned) Put(ctx context.Context, key string, data []byte) error {
+	return v.PutEnvelope(ctx, key, data, PutOpts{})
+}
+
+// PutEnvelope stores data under key with its envelope, archiving any
+// previous payload (envelope included) as a new generation.
+func (v *Versioned) PutEnvelope(ctx context.Context, key string, data []byte, opts PutOpts) error {
 	if strings.Contains(key, versionSep) {
 		return fmt.Errorf("%w: %q", ErrVersionedKey, key)
 	}
@@ -75,13 +84,19 @@ func (v *Versioned) Put(ctx context.Context, key string, data []byte) error {
 	if err := v.archiveLocked(ctx, key); err != nil {
 		return err
 	}
-	return v.inner.Put(ctx, key, data)
+	return PutWith(ctx, v.inner, key, data, opts)
+}
+
+// GetEnvelope returns the current payload of key with its envelope.
+func (v *Versioned) GetEnvelope(ctx context.Context, key string) ([]byte, PutOpts, error) {
+	return GetWith(ctx, v.inner, key)
 }
 
 // archiveLocked moves the current payload of key (if any) into the next
-// generation slot and prunes beyond the retention bound.
+// generation slot — envelope preserved — and prunes beyond the retention
+// bound.
 func (v *Versioned) archiveLocked(ctx context.Context, key string) error {
-	cur, err := v.inner.Get(ctx, key)
+	cur, opts, err := GetWith(ctx, v.inner, key)
 	if errors.Is(err, ErrNotFound) {
 		return nil
 	}
@@ -90,7 +105,7 @@ func (v *Versioned) archiveLocked(ctx context.Context, key string) error {
 	}
 	gen := v.gens[key]
 	v.gens[key] = gen + 1
-	if err := v.inner.Put(ctx, versionKey(key, gen), cur); err != nil {
+	if err := PutWith(ctx, v.inner, versionKey(key, gen), cur, opts); err != nil {
 		return err
 	}
 	return v.pruneLocked(ctx, key)

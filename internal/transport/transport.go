@@ -141,7 +141,10 @@ type Resilient struct {
 	rng        uint64
 }
 
-var _ store.Store = (*Resilient)(nil)
+var (
+	_ store.Store    = (*Resilient)(nil)
+	_ store.Envelope = (*Resilient)(nil)
+)
 
 // NewResilient decorates inner, which serves the named device, with the
 // policy's resilience behavior.
@@ -259,6 +262,7 @@ func retryable(err error) bool {
 	case errors.Is(err, store.ErrNotFound),
 		errors.Is(err, store.ErrCapacity),
 		errors.Is(err, store.ErrVersionedKey),
+		errors.Is(err, store.ErrUnsupportedFormat),
 		errors.Is(err, context.Canceled),
 		errors.Is(err, context.DeadlineExceeded):
 		return false
@@ -364,6 +368,40 @@ func (r *Resilient) Put(ctx context.Context, key string, data []byte) error {
 		r.metrics.bytesOut(r.name, int64(len(data)))
 	}
 	return err
+}
+
+// PutEnvelope ships data with its wire-format envelope through the full
+// resilience stack. A format the device refuses is a definitive protocol
+// answer (like NotFound), never retried and never counted against the link.
+func (r *Resilient) PutEnvelope(ctx context.Context, key string, data []byte, opts store.PutOpts) error {
+	err := r.do(ctx, store.OpPut, func(ctx context.Context) error {
+		return store.PutWith(ctx, r.inner, key, data, opts)
+	})
+	if err == nil && r.metrics != nil {
+		r.metrics.bytesOut(r.name, int64(len(data)))
+	}
+	return err
+}
+
+// GetEnvelope fetches a payload and its envelope with retry, timeout and
+// breaker accounting.
+func (r *Resilient) GetEnvelope(ctx context.Context, key string) ([]byte, store.PutOpts, error) {
+	var (
+		data []byte
+		opts store.PutOpts
+	)
+	err := r.do(ctx, store.OpGet, func(ctx context.Context) error {
+		var ferr error
+		data, opts, ferr = store.GetWith(ctx, r.inner, key)
+		return ferr
+	})
+	if err != nil {
+		return nil, store.PutOpts{}, err
+	}
+	if r.metrics != nil {
+		r.metrics.bytesIn(r.name, int64(len(data)))
+	}
+	return data, opts, nil
 }
 
 // Get fetches a payload with retry, timeout and breaker accounting.

@@ -1,0 +1,182 @@
+package wire
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"objectswap/internal/heap"
+	"objectswap/internal/xmlcodec"
+)
+
+// Benchmarks on the same 64-object shipment document the xmlcodec
+// benchmarks use, so the numbers in BENCH_wire.json are directly comparable
+// with BENCH_codec.json. The motivating asymmetry there: XML decode costs
+// ~17.5x XML encode (1393534 vs 79431 ns/op). The binary framing exists to
+// close that gap to ~2x.
+
+const benchObjects = 64
+
+func benchEncoded(b *testing.B, id FormatID) []byte {
+	b.Helper()
+	data, err := Encode(id, testDoc(benchObjects), nil)
+	if err != nil {
+		b.Fatalf("%s: encode: %v", id, err)
+	}
+	return data
+}
+
+func BenchmarkBinaryEncode(b *testing.B) {
+	doc := testDoc(benchObjects)
+	c, _ := Lookup(FormatBinary)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Encode(doc, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBinaryDecode(b *testing.B) {
+	data := benchEncoded(b, FormatBinary)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(data, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFlateEncode(b *testing.B) {
+	doc := testDoc(benchObjects)
+	c, _ := Lookup(FormatFlate)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Encode(doc, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFlateDecode(b *testing.B) {
+	data := benchEncoded(b, FormatFlate)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(data, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// codecBaseline mirrors the slice of BENCH_codec.json the smoke test needs.
+type codecBaseline struct {
+	Benchmarks []struct {
+		Name    string `json:"name"`
+		NsPerOp int64  `json:"ns_per_op"`
+	} `json:"benchmarks"`
+}
+
+// baselineRatio reads the recorded XML decode/encode ns ratio (~17.54) from
+// BENCH_codec.json at the repository root. Zero when the file or entries are
+// missing, letting the caller fall back to the recorded constant.
+func baselineRatio(t testing.TB) float64 {
+	t.Helper()
+	raw, err := os.ReadFile("../../BENCH_codec.json")
+	if err != nil {
+		return 0
+	}
+	var base codecBaseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return 0
+	}
+	var enc, dec int64
+	for _, bm := range base.Benchmarks {
+		switch bm.Name {
+		case "BenchmarkEncodeStream":
+			enc = bm.NsPerOp
+		case "BenchmarkDecodeStream":
+			dec = bm.NsPerOp
+		}
+	}
+	if enc <= 0 || dec <= 0 {
+		return 0
+	}
+	return float64(dec) / float64(enc)
+}
+
+// TestCodecBenchSmoke is the check.sh codec-bench gate: the binary framing
+// codec's decode/encode ns ratio must stay well under the recorded XML
+// ratio of ~17.54 — if binary decode ever drifts past the XML asymmetry the
+// redesign was built to fix, the build fails. The 2x acceptance target is
+// asserted with slack for noisy CI machines (the gate trips at half the XML
+// baseline, an 8x regression headroom over the observed ~1-2x).
+func TestCodecBenchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark smoke skipped in -short mode")
+	}
+	xmlRatio := baselineRatio(t)
+	if xmlRatio == 0 {
+		xmlRatio = 17.54 // recorded in BENCH_codec.json at redesign time
+	}
+	enc := testing.Benchmark(BenchmarkBinaryEncode)
+	dec := testing.Benchmark(BenchmarkBinaryDecode)
+	if enc.N == 0 || dec.N == 0 || enc.NsPerOp() <= 0 {
+		t.Fatalf("benchmarks did not run: enc=%v dec=%v", enc, dec)
+	}
+	ratio := float64(dec.NsPerOp()) / float64(enc.NsPerOp())
+	t.Logf("binary encode %d ns/op (%d allocs), decode %d ns/op (%d allocs), ratio %.2f (xml baseline %.2f)",
+		enc.NsPerOp(), enc.AllocsPerOp(), dec.NsPerOp(), dec.AllocsPerOp(), ratio, xmlRatio)
+	if ratio >= xmlRatio/2 {
+		t.Fatalf("binary decode/encode ratio %.2f regressed toward the XML baseline %.2f", ratio, xmlRatio)
+	}
+	// The allocation budget from the redesign: ~1% of the 11892-alloc XML
+	// decode (asserted at 2x slack for toolchain drift).
+	if a := dec.AllocsPerOp(); a > 236 {
+		t.Fatalf("binary decode allocates %d/op, budget 236 (~2%% of the 11892 XML baseline)", a)
+	}
+}
+
+// BenchmarkDeltaEncode measures re-shipping a 1%-dirty document: one changed
+// object against a 64-object base (the acceptance scenario: delta bytes must
+// be under 10% of the full shipment).
+func BenchmarkDeltaEncode(b *testing.B) {
+	dirty := testDoc(benchObjects)
+	dirty.Objects = dirty.Objects[:1]
+	dirty.Objects[0].Fields[1].Value = xmlcodec.Value{Kind: heap.KindInt, I: 4242}
+	c, _ := Lookup(FormatDelta)
+	opts := &EncodeOpts{BaseKey: "bench-base-key"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Encode(dirty, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestDeltaBytesFraction pins the acceptance number at the codec layer: a
+// delta carrying 1/64 of the objects must be under 10% of the full binary
+// shipment's size.
+func TestDeltaBytesFraction(t *testing.T) {
+	full, err := Encode(FormatBinary, testDoc(benchObjects), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirty := testDoc(benchObjects)
+	dirty.Objects = dirty.Objects[:1]
+	delta, err := Encode(FormatDelta, dirty, &EncodeOpts{BaseKey: "bench-base-key"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(delta)*10 >= len(full) {
+		t.Fatalf("delta = %d bytes, full = %d — want < 10%%", len(delta), len(full))
+	}
+	t.Logf("full binary %d bytes, 1/64-dirty delta %d bytes (%.1f%%)",
+		len(full), len(delta), 100*float64(len(delta))/float64(len(full)))
+}

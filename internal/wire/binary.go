@@ -1,0 +1,590 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"objectswap/internal/heap"
+	"objectswap/internal/xmlcodec"
+)
+
+// Binary frame layout (all multi-byte integers are unsigned LEB128 varints
+// unless noted; PROTOCOL.md §"Wire formats v2" is the normative spec):
+//
+//	magic   "OBW"                    3 bytes
+//	version 0x01                     1 byte
+//	flags                            1 byte  (bit0 deflate, bit1 delta)
+//	bodyLen uvarint                  length of everything that follows
+//	body:
+//	  header: clusterIDLen docVersion nObjects nFields nListItems
+//	          strBytes blobBytes
+//	          [delta only: baseKeyLen nRemoved]
+//	  tree:   [delta only: nRemoved object IDs]
+//	          per object: id classLen fieldCount, then per field:
+//	          nameLen value
+//	  string arena  (clusterID, [baseKey], then tree strings in order)
+//	  blob arena    (bytes payloads in tree order)
+//
+// Values are a kind byte followed by a kind-specific payload:
+//
+//	0 nil | 1 int (zigzag) | 2 float (8B LE IEEE754) | 3 bool (1B)
+//	4 string (len→str arena) | 5 bytes (len→blob arena)
+//	6 internal ref (target) | 7 slot ref (slot)
+//	8 remote ref (target, classLen→str arena) | 9 list (count, items)
+//
+// Strings and blobs are split into trailing arenas so the decoder can
+// materialize every string of a document from ONE string conversion and
+// every byte payload from ONE copy — the decode side drops from ~12k allocs
+// per shipment (reflection XML) to a handful, which is the point: swap-in is
+// the latency-critical direction on a re-faulting constrained device.
+
+const (
+	magic0, magic1, magic2 = 'O', 'B', 'W'
+	frameVersion           = 1
+
+	flagFlate byte = 1 << 0
+	flagDelta byte = 1 << 1
+
+	// frameHeaderLen is magic+version+flags: the minimum prefix Detect needs.
+	frameHeaderLen = 5
+)
+
+// value kind tags on the wire.
+const (
+	bNil byte = iota
+	bInt
+	bFloat
+	bBool
+	bString
+	bBytes
+	bRefInternal
+	bRefSlot
+	bRefRemote
+	bList
+)
+
+// binaryCodec is the plain length-prefixed binary framing.
+type binaryCodec struct{}
+
+func init() { Register(binaryCodec{}) }
+
+func (binaryCodec) ID() FormatID { return FormatBinary }
+func (binaryCodec) Caps() Caps   { return CapSelfContained }
+
+func (binaryCodec) Encode(doc *xmlcodec.Doc, _ *EncodeOpts) ([]byte, error) {
+	return encodeFrame(doc, nil, 0)
+}
+
+func (binaryCodec) Decode(data []byte, _ *DecodeOpts) (*xmlcodec.Doc, error) {
+	body, flags, err := openFrame(data)
+	if err != nil {
+		return nil, err
+	}
+	if flags != 0 {
+		return nil, fmt.Errorf("%w: flags 0x%02x on plain binary payload", ErrBadFrame, flags)
+	}
+	doc, _, _, err := decodeBody(body, false)
+	return doc, err
+}
+
+// docStats sizes a document for one-pass arena encoding.
+type docStats struct {
+	treeBytes int // object/field/value tree section
+	fields    int
+	listItems int
+	strBytes  int
+	blobBytes int
+}
+
+func uvarintLen(x uint64) int {
+	n := 1
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
+}
+
+func zigzag(i int64) uint64   { return uint64(i<<1) ^ uint64(i>>63) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+func measureValue(v *xmlcodec.Value, st *docStats) error {
+	st.treeBytes++ // kind byte
+	switch v.Kind {
+	case heap.KindNil:
+	case heap.KindInt:
+		st.treeBytes += uvarintLen(zigzag(v.I))
+	case heap.KindFloat:
+		st.treeBytes += 8
+	case heap.KindBool:
+		st.treeBytes++
+	case heap.KindString:
+		st.treeBytes += uvarintLen(uint64(len(v.S)))
+		st.strBytes += len(v.S)
+	case heap.KindBytes:
+		st.treeBytes += uvarintLen(uint64(len(v.Data)))
+		st.blobBytes += len(v.Data)
+	case heap.KindRef:
+		switch v.RefClass {
+		case xmlcodec.RefInternal:
+			st.treeBytes += uvarintLen(uint64(v.Target))
+		case xmlcodec.RefSlot:
+			st.treeBytes += uvarintLen(uint64(v.Slot))
+		case xmlcodec.RefRemote:
+			st.treeBytes += uvarintLen(uint64(v.Target))
+			st.treeBytes += uvarintLen(uint64(len(v.Class)))
+			st.strBytes += len(v.Class)
+		default:
+			return fmt.Errorf("%w: ref class %d", ErrBadFrame, v.RefClass)
+		}
+	case heap.KindList:
+		st.treeBytes += uvarintLen(uint64(len(v.List)))
+		st.listItems += len(v.List)
+		for i := range v.List {
+			if err := measureValue(&v.List[i], st); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("wire: cannot encode kind %v", v.Kind)
+	}
+	return nil
+}
+
+func measureDoc(doc *xmlcodec.Doc, st *docStats) error {
+	st.strBytes += len(doc.ClusterID)
+	for i := range doc.Objects {
+		o := &doc.Objects[i]
+		st.treeBytes += uvarintLen(uint64(o.ID)) +
+			uvarintLen(uint64(len(o.Class))) +
+			uvarintLen(uint64(len(o.Fields)))
+		st.strBytes += len(o.Class)
+		st.fields += len(o.Fields)
+		for j := range o.Fields {
+			f := &o.Fields[j]
+			st.treeBytes += uvarintLen(uint64(len(f.Name)))
+			st.strBytes += len(f.Name)
+			if err := measureValue(&f.Value, st); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// frameEncoder appends the tree into out while routing strings and byte
+// payloads to their arenas.
+type frameEncoder struct {
+	out  []byte
+	strs []byte
+	blob []byte
+}
+
+func (e *frameEncoder) uvarint(x uint64) { e.out = binary.AppendUvarint(e.out, x) }
+
+func (e *frameEncoder) str(s string) {
+	e.uvarint(uint64(len(s)))
+	e.strs = append(e.strs, s...)
+}
+
+func (e *frameEncoder) value(v *xmlcodec.Value) error {
+	switch v.Kind {
+	case heap.KindNil:
+		e.out = append(e.out, bNil)
+	case heap.KindInt:
+		e.out = append(e.out, bInt)
+		e.uvarint(zigzag(v.I))
+	case heap.KindFloat:
+		e.out = append(e.out, bFloat)
+		e.out = binary.LittleEndian.AppendUint64(e.out, math.Float64bits(v.F))
+	case heap.KindBool:
+		b := byte(0)
+		if v.B {
+			b = 1
+		}
+		e.out = append(e.out, bBool, b)
+	case heap.KindString:
+		e.out = append(e.out, bString)
+		e.str(v.S)
+	case heap.KindBytes:
+		e.out = append(e.out, bBytes)
+		e.uvarint(uint64(len(v.Data)))
+		e.blob = append(e.blob, v.Data...)
+	case heap.KindRef:
+		switch v.RefClass {
+		case xmlcodec.RefInternal:
+			e.out = append(e.out, bRefInternal)
+			e.uvarint(uint64(v.Target))
+		case xmlcodec.RefSlot:
+			e.out = append(e.out, bRefSlot)
+			e.uvarint(uint64(v.Slot))
+		case xmlcodec.RefRemote:
+			e.out = append(e.out, bRefRemote)
+			e.uvarint(uint64(v.Target))
+			e.str(v.Class)
+		default:
+			return fmt.Errorf("%w: ref class %d", ErrBadFrame, v.RefClass)
+		}
+	case heap.KindList:
+		e.out = append(e.out, bList)
+		e.uvarint(uint64(len(v.List)))
+		for i := range v.List {
+			if err := e.value(&v.List[i]); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("wire: cannot encode kind %v", v.Kind)
+	}
+	return nil
+}
+
+// encodeBody renders the frame body (header + tree + arenas) for doc. A
+// non-nil delta carries the delta header extension.
+func encodeBody(doc *xmlcodec.Doc, delta *EncodeOpts) ([]byte, error) {
+	var st docStats
+	if err := measureDoc(doc, &st); err != nil {
+		return nil, err
+	}
+	if delta != nil {
+		st.strBytes += len(delta.BaseKey)
+		for _, id := range delta.Removed {
+			st.treeBytes += uvarintLen(uint64(id))
+		}
+	}
+
+	header := uvarintLen(uint64(len(doc.ClusterID))) +
+		uvarintLen(uint64(doc.Version)) +
+		uvarintLen(uint64(len(doc.Objects))) +
+		uvarintLen(uint64(st.fields)) +
+		uvarintLen(uint64(st.listItems)) +
+		uvarintLen(uint64(st.strBytes)) +
+		uvarintLen(uint64(st.blobBytes))
+	if delta != nil {
+		header += uvarintLen(uint64(len(delta.BaseKey))) +
+			uvarintLen(uint64(len(delta.Removed)))
+	}
+
+	e := frameEncoder{
+		out:  make([]byte, 0, header+st.treeBytes+st.strBytes+st.blobBytes),
+		strs: make([]byte, 0, st.strBytes),
+		blob: make([]byte, 0, st.blobBytes),
+	}
+	// Header.
+	e.str(doc.ClusterID)
+	e.uvarint(uint64(doc.Version))
+	e.uvarint(uint64(len(doc.Objects)))
+	e.uvarint(uint64(st.fields))
+	e.uvarint(uint64(st.listItems))
+	e.uvarint(uint64(st.strBytes))
+	e.uvarint(uint64(st.blobBytes))
+	if delta != nil {
+		e.str(delta.BaseKey)
+		e.uvarint(uint64(len(delta.Removed)))
+		for _, id := range delta.Removed {
+			e.uvarint(uint64(id))
+		}
+	}
+	// Tree.
+	for i := range doc.Objects {
+		o := &doc.Objects[i]
+		e.uvarint(uint64(o.ID))
+		e.str(o.Class)
+		e.uvarint(uint64(len(o.Fields)))
+		for j := range o.Fields {
+			f := &o.Fields[j]
+			e.str(f.Name)
+			if err := e.value(&f.Value); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Arenas.
+	e.out = append(e.out, e.strs...)
+	e.out = append(e.out, e.blob...)
+	return e.out, nil
+}
+
+// encodeFrame wraps a body in the OBW frame. delta may be nil.
+func encodeFrame(doc *xmlcodec.Doc, delta *EncodeOpts, flags byte) ([]byte, error) {
+	body, err := encodeBody(doc, delta)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, frameHeaderLen+uvarintLen(uint64(len(body)))+len(body))
+	out = append(out, magic0, magic1, magic2, frameVersion, flags)
+	out = binary.AppendUvarint(out, uint64(len(body)))
+	return append(out, body...), nil
+}
+
+// openFrame validates magic, version and the body length prefix, returning
+// the body and the flag byte.
+func openFrame(data []byte) ([]byte, byte, error) {
+	if len(data) < frameHeaderLen {
+		return nil, 0, fmt.Errorf("%w: short frame (%d bytes)", ErrBadFrame, len(data))
+	}
+	if data[0] != magic0 || data[1] != magic1 || data[2] != magic2 {
+		return nil, 0, fmt.Errorf("%w: bad magic", ErrBadFrame)
+	}
+	if data[3] != frameVersion {
+		return nil, 0, fmt.Errorf("%w: frame version %d", ErrBadFrame, data[3])
+	}
+	flags := data[4]
+	rest := data[frameHeaderLen:]
+	bodyLen, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return nil, 0, fmt.Errorf("%w: bad body length", ErrBadFrame)
+	}
+	rest = rest[n:]
+	if uint64(len(rest)) != bodyLen {
+		return nil, 0, fmt.Errorf("%w: body length %d, have %d bytes", ErrBadFrame, bodyLen, len(rest))
+	}
+	return rest, flags, nil
+}
+
+// frameDecoder walks the tree while consuming the arenas sequentially.
+type frameDecoder struct {
+	tree []byte // header+tree remainder
+	strs string // string arena (one conversion for the whole document)
+	blob []byte // blob arena (one copy for the whole document)
+
+	values []xmlcodec.Value // arena for list items
+}
+
+func (d *frameDecoder) uvarint() (uint64, error) {
+	x, n := binary.Uvarint(d.tree)
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: truncated varint", ErrBadFrame)
+	}
+	d.tree = d.tree[n:]
+	return x, nil
+}
+
+func (d *frameDecoder) str() (string, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(len(d.strs)) {
+		return "", fmt.Errorf("%w: string arena exhausted", ErrBadFrame)
+	}
+	s := d.strs[:n]
+	d.strs = d.strs[n:]
+	return s, nil
+}
+
+func (d *frameDecoder) bytes() ([]byte, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(d.blob)) {
+		return nil, fmt.Errorf("%w: blob arena exhausted", ErrBadFrame)
+	}
+	b := d.blob[:n:n]
+	d.blob = d.blob[n:]
+	return b, nil
+}
+
+func (d *frameDecoder) value(v *xmlcodec.Value) error {
+	if len(d.tree) == 0 {
+		return fmt.Errorf("%w: truncated value", ErrBadFrame)
+	}
+	kind := d.tree[0]
+	d.tree = d.tree[1:]
+	switch kind {
+	case bNil:
+		v.Kind = heap.KindNil
+	case bInt:
+		u, err := d.uvarint()
+		if err != nil {
+			return err
+		}
+		v.Kind, v.I = heap.KindInt, unzigzag(u)
+	case bFloat:
+		if len(d.tree) < 8 {
+			return fmt.Errorf("%w: truncated float", ErrBadFrame)
+		}
+		v.Kind = heap.KindFloat
+		v.F = math.Float64frombits(binary.LittleEndian.Uint64(d.tree))
+		d.tree = d.tree[8:]
+	case bBool:
+		if len(d.tree) < 1 {
+			return fmt.Errorf("%w: truncated bool", ErrBadFrame)
+		}
+		v.Kind, v.B = heap.KindBool, d.tree[0] != 0
+		d.tree = d.tree[1:]
+	case bString:
+		s, err := d.str()
+		if err != nil {
+			return err
+		}
+		v.Kind, v.S = heap.KindString, s
+	case bBytes:
+		b, err := d.bytes()
+		if err != nil {
+			return err
+		}
+		v.Kind, v.Data = heap.KindBytes, b
+	case bRefInternal:
+		t, err := d.uvarint()
+		if err != nil {
+			return err
+		}
+		v.Kind, v.RefClass, v.Target = heap.KindRef, xmlcodec.RefInternal, heap.ObjID(t)
+	case bRefSlot:
+		s, err := d.uvarint()
+		if err != nil {
+			return err
+		}
+		v.Kind, v.RefClass, v.Slot = heap.KindRef, xmlcodec.RefSlot, int(s)
+	case bRefRemote:
+		t, err := d.uvarint()
+		if err != nil {
+			return err
+		}
+		cls, err := d.str()
+		if err != nil {
+			return err
+		}
+		v.Kind, v.RefClass, v.Target, v.Class = heap.KindRef, xmlcodec.RefRemote, heap.ObjID(t), cls
+	case bList:
+		n, err := d.uvarint()
+		if err != nil {
+			return err
+		}
+		if n > uint64(len(d.values)) {
+			return fmt.Errorf("%w: list arena exhausted", ErrBadFrame)
+		}
+		v.Kind = heap.KindList
+		v.List = d.values[:n:n]
+		d.values = d.values[n:]
+		for i := range v.List {
+			if err := d.value(&v.List[i]); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("%w: value kind 0x%02x", ErrBadFrame, kind)
+	}
+	return nil
+}
+
+// decodeBody parses a frame body. When delta is true the delta header
+// extension is expected and the base key + removed IDs are returned.
+func decodeBody(body []byte, delta bool) (*xmlcodec.Doc, string, []heap.ObjID, error) {
+	d := frameDecoder{tree: body}
+	clusterIDLen, err := d.uvarint()
+	if err != nil {
+		return nil, "", nil, err
+	}
+	docVersion, err := d.uvarint()
+	if err != nil {
+		return nil, "", nil, err
+	}
+	nObjects, err := d.uvarint()
+	if err != nil {
+		return nil, "", nil, err
+	}
+	nFields, err := d.uvarint()
+	if err != nil {
+		return nil, "", nil, err
+	}
+	nListItems, err := d.uvarint()
+	if err != nil {
+		return nil, "", nil, err
+	}
+	strBytes, err := d.uvarint()
+	if err != nil {
+		return nil, "", nil, err
+	}
+	blobBytes, err := d.uvarint()
+	if err != nil {
+		return nil, "", nil, err
+	}
+	var baseKeyLen, nRemoved uint64
+	if delta {
+		if baseKeyLen, err = d.uvarint(); err != nil {
+			return nil, "", nil, err
+		}
+		if nRemoved, err = d.uvarint(); err != nil {
+			return nil, "", nil, err
+		}
+	}
+
+	// Sanity: every count costs at least one tree byte, and the arenas
+	// cannot exceed what remains — reject counts a hostile payload inflates.
+	remaining := uint64(len(d.tree))
+	if strBytes+blobBytes > remaining ||
+		nObjects > remaining || nFields > remaining ||
+		nListItems > remaining || nRemoved > remaining ||
+		clusterIDLen > strBytes || baseKeyLen > strBytes {
+		return nil, "", nil, fmt.Errorf("%w: header counts exceed body", ErrBadFrame)
+	}
+
+	// Split off the arenas; the tree is what's left in the middle.
+	arenaStart := remaining - strBytes - blobBytes
+	arena := d.tree[arenaStart:]
+	d.tree = d.tree[:arenaStart]
+	d.strs = string(arena[:strBytes])
+	d.blob = append([]byte(nil), arena[strBytes:]...)
+	d.values = make([]xmlcodec.Value, nListItems)
+
+	clusterID := d.strs[:clusterIDLen]
+	d.strs = d.strs[clusterIDLen:]
+	baseKey := d.strs[:baseKeyLen]
+	d.strs = d.strs[baseKeyLen:]
+
+	var removed []heap.ObjID
+	if nRemoved > 0 {
+		removed = make([]heap.ObjID, nRemoved)
+		for i := range removed {
+			id, err := d.uvarint()
+			if err != nil {
+				return nil, "", nil, err
+			}
+			removed[i] = heap.ObjID(id)
+		}
+	}
+
+	doc := &xmlcodec.Doc{
+		ClusterID: clusterID,
+		Version:   int(docVersion),
+		Objects:   make([]xmlcodec.Object, nObjects),
+	}
+	fields := make([]xmlcodec.Field, nFields)
+	for i := range doc.Objects {
+		o := &doc.Objects[i]
+		id, err := d.uvarint()
+		if err != nil {
+			return nil, "", nil, err
+		}
+		o.ID = heap.ObjID(id)
+		if o.Class, err = d.str(); err != nil {
+			return nil, "", nil, err
+		}
+		nf, err := d.uvarint()
+		if err != nil {
+			return nil, "", nil, err
+		}
+		if nf > uint64(len(fields)) {
+			return nil, "", nil, fmt.Errorf("%w: field arena exhausted", ErrBadFrame)
+		}
+		o.Fields = fields[:nf:nf]
+		fields = fields[nf:]
+		for j := range o.Fields {
+			f := &o.Fields[j]
+			if f.Name, err = d.str(); err != nil {
+				return nil, "", nil, err
+			}
+			if err := d.value(&f.Value); err != nil {
+				return nil, "", nil, err
+			}
+		}
+	}
+	if len(d.tree) != 0 {
+		return nil, "", nil, fmt.Errorf("%w: %d trailing tree bytes", ErrBadFrame, len(d.tree))
+	}
+	return doc, baseKey, removed, nil
+}

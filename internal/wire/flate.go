@@ -1,0 +1,78 @@
+package wire
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"objectswap/internal/baseline"
+	"objectswap/internal/xmlcodec"
+)
+
+// flateCodec is the binary framing with the body DEFLATE-compressed through
+// the baseline compressor. The frame header stays cleartext so Detect works;
+// the body is a uvarint raw length (the decoder's inflate size hint — one
+// output allocation, no growth copies) followed by the deflate stream of the
+// plain binary body.
+type flateCodec struct{}
+
+func init() { Register(flateCodec{}) }
+
+func (flateCodec) ID() FormatID { return FormatFlate }
+func (flateCodec) Caps() Caps   { return CapSelfContained | CapCompressed }
+
+func (flateCodec) Encode(doc *xmlcodec.Doc, _ *EncodeOpts) ([]byte, error) {
+	body, err := encodeBody(doc, nil)
+	if err != nil {
+		return nil, err
+	}
+	packed, err := baseline.Deflate(body, flate.DefaultCompression)
+	if err != nil {
+		return nil, err
+	}
+	inner := uvarintLen(uint64(len(body))) + len(packed)
+	out := make([]byte, 0, frameHeaderLen+uvarintLen(uint64(inner))+inner)
+	out = append(out, magic0, magic1, magic2, frameVersion, flagFlate)
+	out = binary.AppendUvarint(out, uint64(inner))
+	out = binary.AppendUvarint(out, uint64(len(body)))
+	return append(out, packed...), nil
+}
+
+func (flateCodec) Decode(data []byte, _ *DecodeOpts) (*xmlcodec.Doc, error) {
+	packed, flags, err := openFrame(data)
+	if err != nil {
+		return nil, err
+	}
+	if flags != flagFlate {
+		return nil, fmt.Errorf("%w: flags 0x%02x on compressed payload", ErrBadFrame, flags)
+	}
+	rawLen, n := binary.Uvarint(packed)
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: bad raw length", ErrBadFrame)
+	}
+	// An honest raw length is bounded by the achievable flate ratio (~1032x)
+	// and by what a constrained device could ever hold; reject anything else
+	// before allocating, and inflate EXACTLY the declared length — a stream
+	// that runs short or long is a lying frame, not a resize.
+	if rawLen > uint64(len(packed))*1032+64 || rawLen > maxInflate {
+		return nil, fmt.Errorf("%w: implausible raw length %d", ErrBadFrame, rawLen)
+	}
+	fr := flate.NewReader(bytes.NewReader(packed[n:]))
+	defer fr.Close()
+	body := make([]byte, rawLen)
+	if _, err := io.ReadFull(fr, body); err != nil {
+		return nil, fmt.Errorf("%w: inflate: %v", ErrBadFrame, err)
+	}
+	var probe [1]byte
+	if m, _ := fr.Read(probe[:]); m != 0 {
+		return nil, fmt.Errorf("%w: body longer than declared", ErrBadFrame)
+	}
+	doc, _, _, err := decodeBody(body, false)
+	return doc, err
+}
+
+// maxInflate caps a compressed body's declared raw size: far above any real
+// shipment from a constrained device, far below a decompression bomb.
+const maxInflate = 1 << 26

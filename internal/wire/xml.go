@@ -1,0 +1,22 @@
+package wire
+
+import "objectswap/internal/xmlcodec"
+
+// xmlCodec adapts the paper's Version=1 XML wrapper documents to the Codec
+// interface. It is the universal fallback — a donor that advertises no
+// formats still stores and returns this — and the compatibility oracle the
+// binary family is cross-fuzzed against.
+type xmlCodec struct{}
+
+func init() { Register(xmlCodec{}) }
+
+func (xmlCodec) ID() FormatID { return FormatXML }
+func (xmlCodec) Caps() Caps   { return CapSelfContained }
+
+func (xmlCodec) Encode(doc *xmlcodec.Doc, _ *EncodeOpts) ([]byte, error) {
+	return doc.Encode()
+}
+
+func (xmlCodec) Decode(data []byte, _ *DecodeOpts) (*xmlcodec.Doc, error) {
+	return xmlcodec.Decode(data)
+}

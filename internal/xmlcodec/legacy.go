@@ -136,8 +136,10 @@ func isSpace(c byte) bool {
 
 // EncodeIndent renders the document in the historical pretty-printed form
 // (two-space indentation, reflection-marshaled). It is byte-for-byte what the
-// original encoder shipped; use it for debugging and golden files — shipments
-// use the compact Encode/EncodeTo, which carries the same data in fewer bytes.
+// original encoder shipped; use it for debugging and golden files.
+//
+// Deprecated: shipments negotiate their format through the wire package
+// (wire.Encode); the indented rendering is never what a donor stores.
 func (d *Doc) EncodeIndent() ([]byte, error) {
 	wire := xmlDoc{ID: d.ClusterID, Version: d.Version}
 	for _, eo := range d.Objects {

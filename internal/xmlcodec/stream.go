@@ -87,8 +87,12 @@ type encoder struct {
 }
 
 // EncodeBuffer renders the document compactly into a pooled Buffer. It is
-// the allocation-lean form Encode and the swap hot path build on; callers
-// must Release the buffer when the bytes are no longer needed.
+// the allocation-lean engine Encode and the wire package's XML codec build
+// on; callers must Release the buffer when the bytes are no longer needed.
+//
+// Deprecated: shipment paths should encode through the registered codecs
+// (wire.Encode with wire.FormatXML) so the format choice is explicit and
+// negotiable; EncodeBuffer remains as the XML codec's implementation.
 func (d *Doc) EncodeBuffer() (*Buffer, error) {
 	bb := bufPool.Get().(*bytes.Buffer)
 	bb.Reset()
@@ -101,6 +105,10 @@ func (d *Doc) EncodeBuffer() (*Buffer, error) {
 }
 
 // EncodeTo streams the document, compactly rendered, into w.
+//
+// Deprecated: shipment paths should encode through the registered codecs
+// (wire.Encode with wire.FormatXML); EncodeTo remains for streaming sinks
+// that genuinely want raw XML (golden files, debugging, HTTP responses).
 func (d *Doc) EncodeTo(w io.Writer) error {
 	if bb, ok := w.(*bytes.Buffer); ok {
 		e := encoder{w: bb}
@@ -120,6 +128,10 @@ func (d *Doc) EncodeTo(w io.Writer) error {
 
 // Encode renders the document as compact XML text. (The pretty-printed
 // historical form remains available as EncodeIndent.)
+//
+// Deprecated: shipment paths should encode through the registered codecs
+// (wire.Encode with wire.FormatXML), which delegates here; calling Encode
+// directly bypasses format negotiation and the per-format metrics.
 func (d *Doc) Encode() ([]byte, error) {
 	buf, err := d.EncodeBuffer()
 	if err != nil {
@@ -349,6 +361,10 @@ func validXMLRune(r rune) bool {
 // ---- streaming decoder ------------------------------------------------
 
 // Decode parses XML text produced by either encoder (compact or indented).
+//
+// Deprecated: payloads fetched from donors should decode through wire.Decode,
+// which detects the self-described format (XML included) and routes to the
+// right codec; Decode remains as the XML codec's implementation.
 func Decode(data []byte) (*Doc, error) {
 	return DecodeFrom(bytes.NewReader(data))
 }

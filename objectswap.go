@@ -170,6 +170,17 @@ type Config struct {
 	// rings (0 = defaults, 256 and 512; negative disables the recorder).
 	FlightSpans  int
 	FlightEvents int
+	// WireFormats is the shipment-format preference order negotiated with the
+	// donors on each swap-out (see internal/wire for the registered formats:
+	// "binary", "binary+flate", "delta", "xml"). Empty selects the default,
+	// binary with XML fallback; XML is always the implicit last resort, so a
+	// neighborhood of pre-negotiation donors behaves exactly as before.
+	// Listing "delta" additionally enables dirty-only re-shipment: a reloaded
+	// cluster's full shipment stays on its donors as a base and later
+	// swap-outs ship only the objects written since — note this retains
+	// payloads on donors across reloads, like KeepOnReload but bounded to one
+	// base per cluster.
+	WireFormats []string
 }
 
 // System is the assembled middleware stack of one constrained device.
@@ -218,6 +229,9 @@ func New(cfg Config) (*System, error) {
 	}
 	if cfg.Replicas > 1 {
 		opts = append(opts, core.WithDefaultReplicas(cfg.Replicas))
+	}
+	if len(cfg.WireFormats) > 0 {
+		opts = append(opts, core.WithWireFormats(cfg.WireFormats...))
 	}
 	rt := core.NewRuntime(h, heap.NewRegistry(), opts...)
 	h.Instrument(reg, rt.Name())

@@ -118,7 +118,7 @@ func runPDA(id int, masterURL, store1URL, store2URL string, items int, swaps *at
 	}
 	sys.Bus().Subscribe(event.TopicSwapOut, func(ev event.Event) {
 		swaps.Add(1)
-		checkPhases(ev, []string{"reserve", "snapshot", "encode", "ship", "commit"})
+		checkPhases(ev, []string{"reserve", "snapshot", "negotiate", "encode", "ship", "commit"})
 	})
 	sys.Bus().Subscribe(event.TopicSwapIn, func(ev event.Event) {
 		checkPhases(ev, []string{"reserve", "fetch", "decode", "evict", "install"})
