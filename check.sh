@@ -23,4 +23,17 @@ go test -run '^TestSmoke$' -count=1 ./internal/opshttp/
 # far below the XML baseline (~17.54, BENCH_codec.json) and within its
 # allocation budget (BENCH_wire.json records the numbers).
 go test -run '^TestCodecBenchSmoke$' -count=1 ./internal/wire/
+# Shard-soak smoke: the sharded-core soak harness (control and default shard
+# counts) must execute at GOMAXPROCS 1 and 4. Full figures: BENCH_shard.json.
+go test -bench 'BenchmarkShardSoak' -benchtime=1x -cpu 1,4 -run '^$' .
+# Guard: the sharded core must never ship hardcoded to a single shard. Only
+# tests and the soak control may pin shards=1; WithShards(0)/Shards:0 means
+# "use DefaultShards".
+PINNED=$(grep -rnE 'WithShards\(1\)|Shards:[[:space:]]*1([^0-9]|$)|shards[[:space:]]*=[[:space:]]*1([^0-9]|$)' \
+    --include='*.go' . | grep -v '_test\.go' || true)
+if [ -n "$PINNED" ]; then
+    echo "sharded core pinned to a single shard outside tests:" >&2
+    echo "$PINNED" >&2
+    exit 1
+fi
 go test -bench . -benchtime=1x -run '^$' ./...

@@ -49,6 +49,7 @@ func run() error {
 	device := flag.String("device", "", "comma-separated swapstore URLs to use (default: in-process memory)")
 	replicas := flag.Int("replicas", 1, "replication factor: ship each swapped cluster to K donors")
 	wire := flag.String("wire", "binary,xml", "shipment wire-format preference order negotiated with donors (binary, binary+flate, delta, xml)")
+	shards := flag.Int("shards", 0, "independently locked swap shards in the core (0 = default; 1 = single global lock)")
 	threshold := flag.Float64("threshold", 0.75, "memory pressure threshold fraction")
 	dot := flag.Bool("dot", false, "after building, dump the object graph as Graphviz DOT to stdout and exit")
 	metrics := flag.Bool("metrics", false, "after the run, dump the full metrics page (Prometheus text format) to stdout")
@@ -79,6 +80,7 @@ func run() error {
 		MemoryThreshold: *threshold,
 		Replicas:        *replicas,
 		WireFormats:     wireFormats,
+		Shards:          *shards,
 		Logger:          logger,
 	})
 	if err != nil {

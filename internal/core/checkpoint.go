@@ -125,20 +125,18 @@ type ckptRoot struct {
 }
 
 // SaveCheckpoint writes the device's full middleware state. It must not run
-// with in-flight invocations.
+// with in-flight invocations. The save stops the world (every swap shard
+// lock, in order) so the stream is a consistent cut: no swap commits or
+// installs mid-checkpoint.
 func (rt *Runtime) SaveCheckpoint(w io.Writer) error {
 	if rt.depth != 0 {
 		return errors.New("core: checkpoint with in-flight invocations")
 	}
+	rt.lockAll()
+	defer rt.unlockAll()
 	doc := ckptDoc{Version: checkpointVersion, Device: rt.name, KeySeq: rt.keyseq.Load()}
 
-	rt.mgr.mu.Lock()
-	clusterIDs := make([]ClusterID, 0, len(rt.mgr.clusters))
-	for id := range rt.mgr.clusters {
-		clusterIDs = append(clusterIDs, id)
-	}
-	rt.mgr.mu.Unlock()
-	sort.Slice(clusterIDs, func(i, j int) bool { return clusterIDs[i] < clusterIDs[j] })
+	clusterIDs := rt.mgr.Clusters()
 
 	var maxID heap.ObjID
 	note := func(id heap.ObjID) {
@@ -151,8 +149,9 @@ func (rt *Runtime) SaveCheckpoint(w io.Writer) error {
 		if cid == RootCluster {
 			continue
 		}
-		rt.mgr.mu.Lock()
-		cs := rt.mgr.clusters[cid]
+		ts := rt.mgr.tab(cid)
+		ts.mu.Lock()
+		cs := ts.clusters[cid]
 		members := make([]heap.ObjID, 0, len(cs.objects))
 		for oid := range cs.objects {
 			members = append(members, oid)
@@ -168,7 +167,7 @@ func (rt *Runtime) SaveCheckpoint(w io.Writer) error {
 			devices: append([]string(nil), cs.base.devices...),
 		}
 		replID := cs.replacement
-		rt.mgr.mu.Unlock()
+		ts.mu.Unlock()
 		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
 
 		ck := ckptCluster{ID: uint32(cid), Swapped: swapped}
@@ -324,34 +323,46 @@ func (rt *Runtime) LoadCheckpoint(r io.Reader) error {
 	}
 	rt.name = doc.Device
 	rt.keyseq.Store(doc.KeySeq)
+	// Restoration stops the world (it rebuilds the whole table) and runs as a
+	// mutate section: middleware allocations below must not re-enter the
+	// evictor, whose Collect would deadlock on the held shard locks.
+	rt.lockAll()
+	defer rt.unlockAll()
+	endMutate := rt.beginMutate(nil)
+	defer endMutate()
 	// Restoration is not user mutation.
 	defer rt.h.SuspendWriteObserver()()
 	rt.h.EnsureIDAbove(heap.ObjID(doc.MaxID))
 
 	// Pass 1: recreate cluster records with their original ids.
-	rt.mgr.mu.Lock()
+	m := rt.mgr
+	m.mu.Lock()
 	for _, ck := range doc.Plain {
 		cid := ClusterID(ck.ID)
-		if _, dup := rt.mgr.clusters[cid]; dup {
-			rt.mgr.mu.Unlock()
+		ts := m.tab(cid)
+		ts.mu.Lock()
+		_, dup := ts.clusters[cid]
+		ts.mu.Unlock()
+		if dup {
+			m.mu.Unlock()
 			return fmt.Errorf("%w: duplicate cluster %d", ErrBadCheckpoint, cid)
 		}
 		cs := &clusterState{id: cid, objects: make(map[heap.ObjID]bool, len(ck.Members))}
-		for _, m := range ck.Members {
-			oid := heap.ObjID(m.ID)
+		for _, mem := range ck.Members {
+			oid := heap.ObjID(mem.ID)
 			cs.objects[oid] = true
-			rt.mgr.objects[oid] = objInfo{cluster: cid, class: m.Class}
+			m.objects[oid] = objInfo{cluster: cid, class: mem.Class}
 		}
 		if ck.Swapped {
 			devices := ck.replicaSet()
 			for _, d := range devices {
 				if d == "" {
-					rt.mgr.mu.Unlock()
+					m.mu.Unlock()
 					return fmt.Errorf("%w: cluster %d has an empty replica device", ErrBadCheckpoint, cid)
 				}
 			}
 			if len(devices) == 0 {
-				rt.mgr.mu.Unlock()
+				m.mu.Unlock()
 				return fmt.Errorf("%w: swapped cluster %d has no replica devices", ErrBadCheckpoint, cid)
 			}
 			cs.swapped = true
@@ -365,12 +376,14 @@ func (rt *Runtime) LoadCheckpoint(r io.Reader) error {
 				cs.base.devices = append(cs.base.devices, r.Device)
 			}
 		}
-		rt.mgr.clusters[cid] = cs
-		if cid > rt.mgr.nextCluster {
-			rt.mgr.nextCluster = cid
+		ts.mu.Lock()
+		ts.clusters[cid] = cs
+		ts.mu.Unlock()
+		if cid > m.nextCluster {
+			m.nextCluster = cid
 		}
 	}
-	rt.mgr.mu.Unlock()
+	m.mu.Unlock()
 
 	// Pass 2: install resident clusters under original identities.
 	decodeRef := func(v xmlcodec.Value) (heap.Value, error) {
@@ -421,9 +434,10 @@ func (rt *Runtime) LoadCheckpoint(r io.Reader) error {
 		if err := repl.SetFieldByName(fldStore, heap.Str(strings.Join(ck.replicaSet(), ","))); err != nil {
 			return err
 		}
-		rt.mgr.mu.Lock()
-		rt.mgr.clusters[ClusterID(ck.ID)].replacement = repl.ID()
-		rt.mgr.mu.Unlock()
+		ts := rt.mgr.tab(ClusterID(ck.ID))
+		ts.mu.Lock()
+		ts.clusters[ClusterID(ck.ID)].replacement = repl.ID()
+		ts.mu.Unlock()
 	}
 	for _, ck := range doc.Plain {
 		if !ck.Swapped {
@@ -453,9 +467,10 @@ func (rt *Runtime) LoadCheckpoint(r io.Reader) error {
 			}
 			slots[ob.Slot] = heap.Ref(pid)
 		}
-		rt.mgr.mu.Lock()
-		replID := rt.mgr.clusters[ClusterID(ck.ID)].replacement
-		rt.mgr.mu.Unlock()
+		ts := rt.mgr.tab(ClusterID(ck.ID))
+		ts.mu.Lock()
+		replID := ts.clusters[ClusterID(ck.ID)].replacement
+		ts.mu.Unlock()
 		repl, err := rt.h.Get(replID)
 		if err != nil {
 			return err

@@ -28,7 +28,7 @@ package core
 import (
 	"errors"
 	"fmt"
-	"sync"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -207,18 +207,23 @@ type Runtime struct {
 	stack []heap.ObjID
 	depth int
 
-	// swapMu serializes graph mutation: swap-out snapshot/reserve and
-	// commit/patch phases, swap-in install/patch, cluster resize, and the
-	// collector's mark-sweep. The expensive middle phases — encoding, device
-	// shipment, fetch and XML decode — run outside it, which is what lets
-	// SwapOutMany overlap the encoding of one cluster with the shipment of
-	// another. Lock order: swapMu, then mgr.mu, then h.mu.
-	swapMu sync.Mutex
-	// mutating is set while the holder of swapMu is inside a critical section
-	// that may allocate (swap-in install). Allocation failures then report
-	// ErrOutOfMemory instead of re-entering the evictor, whose swap-outs would
-	// deadlock on swapMu.
-	mutating atomic.Bool
+	// shards splits the swap machinery's serialization point by cluster: the
+	// snapshot/reserve and commit/patch phases of a swap run under the lock of
+	// the shard its cluster hashes onto, so swaps on different shards never
+	// contend. The expensive middle phases — encoding, device shipment, fetch
+	// and decode — run outside any shard lock, which is what lets SwapOutMany
+	// overlap the encoding of one cluster with the shipment of another. The
+	// whole-graph paths (Collect, resize, checkpoint save/restore) stop the
+	// world via lockAll. Lock order: shard mu → mgr.mu → tableShard mu → h.mu;
+	// see shard.go. nshards is the configured count (WithShards), fixed at
+	// construction.
+	shards  []*coreShard
+	nshards int
+	// mutatingCount counts open critical sections that may allocate while
+	// holding shard locks (swap-in install, resize, restore). While nonzero,
+	// allocation failures report ErrOutOfMemory instead of re-entering the
+	// evictor, whose swap-outs would deadlock on the held shard locks.
+	mutatingCount atomic.Int32
 
 	keepOnReload bool
 	name         string
@@ -344,10 +349,10 @@ func NewRuntime(h *heap.Heap, reg *heap.Registry, opts ...Option) *Runtime {
 	rt := &Runtime{
 		h:            h,
 		reg:          reg,
+		nshards:      DefaultShards,
 		proxyClasses: make(map[string]*heap.Class),
 		name:         fmt.Sprintf("dev%d", atomic.AddUint64(&runtimeSeq, 1)),
 	}
-	rt.mgr = newManager(rt)
 	rt.replacementClass = buildReplacementClass()
 	rt.objProxyClass = buildObjProxyClass()
 	// The replacement class is middleware-internal; it is not registered in
@@ -355,6 +360,14 @@ func NewRuntime(h *heap.Heap, reg *heap.Registry, opts ...Option) *Runtime {
 	for _, opt := range opts {
 		opt(rt)
 	}
+	if rt.nshards < 1 {
+		rt.nshards = DefaultShards
+	}
+	rt.shards = make([]*coreShard, rt.nshards)
+	for i := range rt.shards {
+		rt.shards[i] = &coreShard{idx: i}
+	}
+	rt.mgr = newManager(rt, rt.nshards)
 	if cap := h.Capacity(); cap > 0 && h.Reserve() == 0 {
 		reserve := cap / 16
 		if reserve < 512 {
@@ -419,15 +432,20 @@ func (rt *Runtime) shipFormats() []string {
 func (rt *Runtime) markDirty(oid heap.ObjID) {
 	m := rt.mgr
 	m.mu.Lock()
-	if info, ok := m.objects[oid]; ok {
-		if cs, ok := m.clusters[info.cluster]; ok && !cs.swapped && cs.base.key != "" {
-			if cs.dirty == nil {
-				cs.dirty = make(map[heap.ObjID]bool)
-			}
-			cs.dirty[oid] = true
-		}
-	}
+	info, ok := m.objects[oid]
 	m.mu.Unlock()
+	if !ok {
+		return
+	}
+	ts := m.tab(info.cluster)
+	ts.mu.Lock()
+	if cs, ok := ts.clusters[info.cluster]; ok && !cs.swapped && cs.base.key != "" {
+		if cs.dirty == nil {
+			cs.dirty = make(map[heap.ObjID]bool)
+		}
+		cs.dirty[oid] = true
+	}
+	ts.mu.Unlock()
 }
 
 // recordWire folds one codec run into the per-format instruments and returns
@@ -452,6 +470,29 @@ func (rt *Runtime) instrument() {
 		"format", "op")
 	rt.wireSeconds = r.HistogramVec("objectswap_wire_seconds",
 		"Codec run duration by wire format and operation.", nil, "format", "op")
+	lockWaits := r.HistogramVec("objectswap_swap_lock_wait_seconds",
+		"Swap-shard lock acquisition wait, by shard.", nil, "shard")
+	for _, sh := range rt.shards {
+		sh.wait = lockWaits.With(strconv.Itoa(sh.idx))
+	}
+	shardClusters := r.GaugeVec("objectswap_core_shard_clusters",
+		"Swap-clusters by table shard and state.", "shard", "state")
+	for i, ts := range rt.mgr.tabs {
+		ts := ts
+		label := strconv.Itoa(i)
+		shardClusters.WithFunc(func() float64 {
+			resident, _, _ := ts.counts()
+			return resident
+		}, label, "resident")
+		shardClusters.WithFunc(func() float64 {
+			_, swapped, _ := ts.counts()
+			return swapped
+		}, label, "swapped")
+		shardClusters.WithFunc(func() float64 {
+			_, _, busy := ts.counts()
+			return busy
+		}, label, "busy")
+	}
 	clusters := r.GaugeVec("objectswap_core_clusters",
 		"Swap-clusters by residency state.", "state")
 	clusters.WithFunc(func() float64 {
@@ -578,7 +619,7 @@ func (rt *Runtime) allocMiddleware(c *heap.Class) (*heap.Object, error) {
 func (rt *Runtime) allocWith(allocFn func(*heap.Class) (*heap.Object, error), c *heap.Class) (*heap.Object, error) {
 	o, err := allocFn(c)
 	if err == nil || !errors.Is(err, heap.ErrOutOfMemory) || rt.evictor == nil ||
-		rt.evicting.Load() || rt.mutating.Load() {
+		rt.evicting.Load() || rt.mutatingCount.Load() > 0 {
 		return o, err
 	}
 	need := int64(64 + 16*c.NumFields())

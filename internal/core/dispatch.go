@@ -211,11 +211,9 @@ func (rt *Runtime) assignReturn(p *heap.Object, src ClusterID, r heap.Value) ([]
 	}
 	// Patch self: point at the returned object and hand back self.
 	tgt := heap.Ref(ultimate)
-	rt.mgr.mu.Lock()
-	if cs, ok := rt.mgr.clusters[rcluster]; ok && cs.swapped {
-		tgt = heap.Ref(cs.replacement)
+	if rid, ok := rt.mgr.replacementIfSwapped(rcluster); ok {
+		tgt = heap.Ref(rid)
 	}
-	rt.mgr.mu.Unlock()
 	if err := p.SetFieldByName(fldTarget, tgt); err != nil {
 		return nil, err
 	}

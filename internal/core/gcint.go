@@ -23,16 +23,17 @@ import (
 // In-flight invocation operands (the middleware's stand-in for thread stacks)
 // are passed to the collector as extra roots.
 //
-// The mark-sweep and the swapped-cluster sweep run under the runtime's swap
-// lock: a collection never interleaves with the reserve/commit phases of a
-// concurrent swap-out or swap-in (in particular, freshly installed objects
-// cannot lose their nursery grace before the inbound proxies that make them
-// reachable are patched). Device-drop retries run unlocked — they are IO.
+// The mark-sweep and the swapped-cluster sweep stop the world: every swap
+// shard's lock is acquired (in order), so a collection never interleaves with
+// the reserve/commit phases of a concurrent swap-out or swap-in on any shard
+// (in particular, freshly installed objects cannot lose their nursery grace
+// before the inbound proxies that make them reachable are patched).
+// Device-drop retries run unlocked — they are IO.
 func (rt *Runtime) Collect() heap.CollectStats {
-	rt.swapMu.Lock()
+	rt.lockAll()
 	st := rt.h.Collect(rt.stack...)
 	rt.sweepSwapped()
-	rt.swapMu.Unlock()
+	rt.unlockAll()
 	rt.mgr.compact()
 	rt.mgr.retryDrops(rt)
 	return st
@@ -54,28 +55,33 @@ func (rt *Runtime) sweepSwapped() {
 	}
 	var victims []victim
 
-	rt.mgr.mu.Lock()
-	for id, cs := range rt.mgr.clusters {
-		if !cs.swapped || cs.busy {
-			continue // busy: a swap-in holds a pin on the replacement
+	m := rt.mgr
+	m.mu.Lock()
+	for _, ts := range m.tabs {
+		ts.mu.Lock()
+		for id, cs := range ts.clusters {
+			if !cs.swapped || cs.busy {
+				continue // busy: a swap-in holds a pin on the replacement
+			}
+			if rt.h.Contains(cs.replacement) {
+				continue
+			}
+			v := victim{id: id, devices: append([]string(nil), cs.devices...),
+				key: cs.key, bytes: cs.payloadBytes}
+			if cs.base.key != "" && cs.base.key != cs.key {
+				v.baseKey = cs.base.key
+				v.baseDevices = append([]string(nil), cs.base.devices...)
+			}
+			victims = append(victims, v)
+			for oid := range cs.objects {
+				delete(m.objects, oid)
+			}
+			delete(m.inbound, id)
+			delete(ts.clusters, id)
 		}
-		if rt.h.Contains(cs.replacement) {
-			continue
-		}
-		v := victim{id: id, devices: append([]string(nil), cs.devices...),
-			key: cs.key, bytes: cs.payloadBytes}
-		if cs.base.key != "" && cs.base.key != cs.key {
-			v.baseKey = cs.base.key
-			v.baseDevices = append([]string(nil), cs.base.devices...)
-		}
-		victims = append(victims, v)
-		for oid := range cs.objects {
-			delete(rt.mgr.objects, oid)
-		}
-		delete(rt.mgr.inbound, id)
-		delete(rt.mgr.clusters, id)
+		ts.mu.Unlock()
 	}
-	rt.mgr.mu.Unlock()
+	m.mu.Unlock()
 
 	for _, v := range victims {
 		for _, device := range v.devices {
@@ -185,36 +191,44 @@ func (m *Manager) AbandonedDrops() int {
 func (m *Manager) compact() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	for _, cs := range m.clusters {
-		if cs.swapped {
-			continue // members are away, not dead
-		}
-		for oid := range cs.objects {
-			if !m.rt.h.Contains(oid) {
-				delete(cs.objects, oid)
-				delete(m.objects, oid)
+	for _, ts := range m.tabs {
+		ts.mu.Lock()
+		for _, cs := range ts.clusters {
+			if cs.swapped {
+				continue // members are away, not dead
+			}
+			for oid := range cs.objects {
+				if !m.rt.h.Contains(oid) {
+					delete(cs.objects, oid)
+					delete(m.objects, oid)
+				}
 			}
 		}
+		ts.mu.Unlock()
 	}
 }
 
-// enterCrossing is the hot-path combination used by proxy dispatch: under a
-// single lock it resolves the target's cluster, records the crossing, and
-// reports whether the cluster is currently swapped out.
+// enterCrossing is the hot-path combination used by proxy dispatch: it
+// resolves the target's cluster, records the crossing, and reports whether
+// the cluster is currently swapped out. Only the object index lookup takes
+// the manager lock; the statistics land under the affected clusters' table
+// shards, so crossings into different shards proceed in parallel.
 func (m *Manager) enterCrossing(src ClusterID, ultimate heap.ObjID) (dst ClusterID, swapped bool) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if info, ok := m.objects[ultimate]; ok {
 		dst = info.cluster
 	}
-	m.clock++
-	if cs, ok := m.clusters[dst]; ok {
+	m.mu.Unlock()
+	now := m.clock.Add(1)
+	unlock := m.lockPair(dst, src)
+	if cs, ok := m.tab(dst).clusters[dst]; ok {
 		cs.crossings++
-		cs.lastAccess = m.clock
+		cs.lastAccess = now
 		swapped = cs.swapped
 	}
-	if cs, ok := m.clusters[src]; ok {
-		cs.lastAccess = m.clock
+	if cs, ok := m.tab(src).clusters[src]; ok {
+		cs.lastAccess = now
 	}
+	unlock()
 	return dst, swapped
 }

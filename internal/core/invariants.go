@@ -33,6 +33,16 @@ import (
 func (m *Manager) CheckInvariants() []error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.lockTabs()
+	defer m.unlockTabs()
+	// A merged view of the sharded table; every shard is locked above, so the
+	// cut is consistent.
+	clusters := make(map[ClusterID]*clusterState)
+	for _, ts := range m.tabs {
+		for cid, cs := range ts.clusters {
+			clusters[cid] = cs
+		}
+	}
 	h := m.rt.h
 	var errs []error
 	fail := func(format string, args ...any) {
@@ -41,7 +51,7 @@ func (m *Manager) CheckInvariants() []error {
 
 	// 1. Membership agreement.
 	for oid, info := range m.objects {
-		cs, ok := m.clusters[info.cluster]
+		cs, ok := clusters[info.cluster]
 		if !ok {
 			fail("object @%d assigned to unknown cluster %d", oid, info.cluster)
 			continue
@@ -50,7 +60,7 @@ func (m *Manager) CheckInvariants() []error {
 			fail("object @%d missing from cluster %d member set", oid, info.cluster)
 		}
 	}
-	for cid, cs := range m.clusters {
+	for cid, cs := range clusters {
 		for oid := range cs.objects {
 			if info, ok := m.objects[oid]; !ok || info.cluster != cid {
 				fail("cluster %d lists @%d but object index disagrees", cid, oid)
@@ -60,7 +70,7 @@ func (m *Manager) CheckInvariants() []error {
 
 	// 2. Residency.
 	reach := h.ReachableFromRoots()
-	for cid, cs := range m.clusters {
+	for cid, cs := range clusters {
 		if !cs.swapped {
 			continue
 		}
@@ -170,7 +180,7 @@ func (m *Manager) CheckInvariants() []error {
 				tc = info.cluster
 			}
 			tgt, _ := o.Field(slotTarget).Ref()
-			cs := m.clusters[tc]
+			cs := clusters[tc]
 			if cs != nil && cs.swapped {
 				if tgt != cs.replacement {
 					fail("proxy @%d to swapped cluster %d targets @%d, want replacement @%d",

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"objectswap/internal/heap"
 )
@@ -98,14 +99,57 @@ type proxyKey struct {
 	target heap.ObjID
 }
 
+// tableShard is one independently locked slice of the sharded cluster table:
+// the records (including the busy reservation flag) of every cluster whose id
+// hashes onto it. The object, proxy, drop and crossing-clock indexes stay
+// under Manager.mu. Lock order: Manager.mu may be held while taking a
+// tableShard lock, never the reverse; multiple tableShard locks are taken in
+// ascending index order.
+type tableShard struct {
+	mu       sync.Mutex
+	clusters map[ClusterID]*clusterState
+}
+
+// state returns the shard's record for id. The caller holds ts.mu.
+func (ts *tableShard) state(id ClusterID) (*clusterState, error) {
+	cs, ok := ts.clusters[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownCluster, id)
+	}
+	return cs, nil
+}
+
+// counts tallies the shard's clusters by state for the per-shard gauges. It
+// takes only the shard's own lock, so metric gathering never contends with
+// swaps on other shards.
+func (ts *tableShard) counts() (resident, swapped, busy float64) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	for _, cs := range ts.clusters {
+		if cs.busy {
+			busy++
+		}
+		if cs.swapped {
+			swapped++
+		} else {
+			resident++
+		}
+	}
+	return resident, swapped, busy
+}
+
 // Manager is the paper's SwappingManager: it tracks swap-clusters, the
 // objects belonging to each, and all swap-cluster-proxies (through weak
 // references purged by proxy finalizers).
 type Manager struct {
 	rt *Runtime
 
+	// tabs is the sharded cluster table; the record for cluster id lives on
+	// tabs[shardIndexFor(id, len(tabs))], aligned with the runtime's swap
+	// shards so one shard's swaps touch one table shard.
+	tabs []*tableShard
+
 	mu           sync.Mutex
-	clusters     map[ClusterID]*clusterState
 	nextCluster  ClusterID
 	objects      map[heap.ObjID]objInfo
 	proxies      map[proxyKey]heap.ObjID
@@ -126,7 +170,9 @@ type Manager struct {
 	dropRetryLimit int
 	abandonedDrops int
 
-	clock uint64
+	// clock is the recency clock advanced by boundary crossings and
+	// allocations; atomic so crossings on different shards never share a lock.
+	clock atomic.Uint64
 }
 
 type dropTicket struct {
@@ -136,10 +182,10 @@ type dropTicket struct {
 	attempts int
 }
 
-func newManager(rt *Runtime) *Manager {
+func newManager(rt *Runtime, shards int) *Manager {
 	m := &Manager{
 		rt:             rt,
-		clusters:       make(map[ClusterID]*clusterState),
+		tabs:           make([]*tableShard, shards),
 		objects:        make(map[heap.ObjID]objInfo),
 		proxies:        make(map[proxyKey]heap.ObjID),
 		proxyMeta:      make(map[heap.ObjID]proxyKey),
@@ -149,30 +195,91 @@ func newManager(rt *Runtime) *Manager {
 		inbound:        make(map[ClusterID]map[heap.ObjID]bool),
 		dropRetryLimit: DefaultDropRetryLimit,
 	}
-	m.clusters[RootCluster] = &clusterState{
+	for i := range m.tabs {
+		m.tabs[i] = &tableShard{clusters: make(map[ClusterID]*clusterState)}
+	}
+	m.tab(RootCluster).clusters[RootCluster] = &clusterState{
 		id:      RootCluster,
 		objects: make(map[heap.ObjID]bool),
 	}
 	return m
 }
 
+// tab returns the table shard holding cluster id's record.
+func (m *Manager) tab(id ClusterID) *tableShard {
+	return m.tabs[shardIndexFor(id, len(m.tabs))]
+}
+
+// lockPair locks the table shards of two clusters in ascending index order
+// (a single acquisition when they share one) and returns the unlock func.
+func (m *Manager) lockPair(a, b ClusterID) func() {
+	ia := shardIndexFor(a, len(m.tabs))
+	ib := shardIndexFor(b, len(m.tabs))
+	if ia == ib {
+		ts := m.tabs[ia]
+		ts.mu.Lock()
+		return ts.mu.Unlock
+	}
+	if ia > ib {
+		ia, ib = ib, ia
+	}
+	m.tabs[ia].mu.Lock()
+	m.tabs[ib].mu.Lock()
+	return func() {
+		m.tabs[ib].mu.Unlock()
+		m.tabs[ia].mu.Unlock()
+	}
+}
+
+// lockTabs locks every table shard in ascending index order, for whole-table
+// iteration (sweep, compact, invariants); unlockTabs reverses it.
+func (m *Manager) lockTabs() {
+	for _, ts := range m.tabs {
+		ts.mu.Lock()
+	}
+}
+
+func (m *Manager) unlockTabs() {
+	for i := len(m.tabs) - 1; i >= 0; i-- {
+		m.tabs[i].mu.Unlock()
+	}
+}
+
+// replacementIfSwapped reports the cluster's replacement-object while it is
+// swapped out — the target a fresh inbound reference must be mediated onto.
+func (m *Manager) replacementIfSwapped(id ClusterID) (heap.ObjID, bool) {
+	ts := m.tab(id)
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	cs, ok := ts.clusters[id]
+	if !ok || !cs.swapped {
+		return heap.NilID, false
+	}
+	return cs.replacement, true
+}
+
 // NewCluster declares a fresh, empty swap-cluster and returns its id.
 func (m *Manager) NewCluster() ClusterID {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	m.nextCluster++
 	id := m.nextCluster
-	m.clusters[id] = &clusterState{id: id, objects: make(map[heap.ObjID]bool)}
+	m.mu.Unlock()
+	ts := m.tab(id)
+	ts.mu.Lock()
+	ts.clusters[id] = &clusterState{id: id, objects: make(map[heap.ObjID]bool)}
+	ts.mu.Unlock()
 	return id
 }
 
 // Clusters returns the ids of all known swap-clusters in order.
 func (m *Manager) Clusters() []ClusterID {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	ids := make([]ClusterID, 0, len(m.clusters))
-	for id := range m.clusters {
-		ids = append(ids, id)
+	var ids []ClusterID
+	for _, ts := range m.tabs {
+		ts.mu.Lock()
+		for id := range ts.clusters {
+			ids = append(ids, id)
+		}
+		ts.mu.Unlock()
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids
@@ -182,7 +289,10 @@ func (m *Manager) Clusters() []ClusterID {
 func (m *Manager) assign(id heap.ObjID, cluster ClusterID, class string) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	cs, ok := m.clusters[cluster]
+	ts := m.tab(cluster)
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	cs, ok := ts.clusters[cluster]
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrUnknownCluster, cluster)
 	}
@@ -196,8 +306,7 @@ func (m *Manager) assign(id heap.ObjID, cluster ClusterID, class string) error {
 	cs.objects[id] = true
 	// Allocation into a cluster is a use signal: advance its recency so
 	// victim selection does not evict the cluster being built.
-	m.clock++
-	cs.lastAccess = m.clock
+	cs.lastAccess = m.clock.Add(1)
 	return nil
 }
 
@@ -221,20 +330,12 @@ func (m *Manager) classOf(id heap.ObjID) (string, bool) {
 	return info.class, ok
 }
 
-// state returns the cluster record, or an error for unknown ids.
-func (m *Manager) state(id ClusterID) (*clusterState, error) {
-	cs, ok := m.clusters[id]
-	if !ok {
-		return nil, fmt.Errorf("%w: %d", ErrUnknownCluster, id)
-	}
-	return cs, nil
-}
-
 // IsSwapped reports whether the cluster is currently swapped out.
 func (m *Manager) IsSwapped(id ClusterID) bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	cs, ok := m.clusters[id]
+	ts := m.tab(id)
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	cs, ok := ts.clusters[id]
 	return ok && cs.swapped
 }
 
@@ -380,32 +481,32 @@ type ClusterInfo struct {
 
 // Info snapshots one cluster.
 func (m *Manager) Info(id ClusterID) (ClusterInfo, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	cs, err := m.state(id)
+	ts := m.tab(id)
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	cs, err := ts.state(id)
 	if err != nil {
 		return ClusterInfo{}, err
 	}
-	return m.infoLocked(cs), nil
+	return m.infoOf(cs), nil
 }
 
 // InfoAll snapshots every cluster in id order.
 func (m *Manager) InfoAll() []ClusterInfo {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	ids := make([]ClusterID, 0, len(m.clusters))
-	for id := range m.clusters {
-		ids = append(ids, id)
+	var out []ClusterInfo
+	for _, ts := range m.tabs {
+		ts.mu.Lock()
+		for _, cs := range ts.clusters {
+			out = append(out, m.infoOf(cs))
+		}
+		ts.mu.Unlock()
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	out := make([]ClusterInfo, 0, len(ids))
-	for _, id := range ids {
-		out = append(out, m.infoLocked(m.clusters[id]))
-	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 
-func (m *Manager) infoLocked(cs *clusterState) ClusterInfo {
+// infoOf snapshots one record; the caller holds its table-shard lock.
+func (m *Manager) infoOf(cs *clusterState) ClusterInfo {
 	info := ClusterInfo{
 		ID:           cs.id,
 		Objects:      len(cs.objects),

@@ -117,11 +117,9 @@ func (rt *Runtime) newProxy(src ClusterID, target heap.ObjID, className string, 
 	// While the target's cluster is swapped out, fresh proxies point at the
 	// replacement-object so a traversal faults the cluster in.
 	tgt := heap.Ref(target)
-	rt.mgr.mu.Lock()
-	if cs, ok := rt.mgr.clusters[targetCluster]; ok && cs.swapped {
-		tgt = heap.Ref(cs.replacement)
+	if rid, ok := rt.mgr.replacementIfSwapped(targetCluster); ok {
+		tgt = heap.Ref(rid)
 	}
-	rt.mgr.mu.Unlock()
 
 	if err := setProxyFields(p, tgt, target, src, mode); err != nil {
 		return heap.NilID, err
@@ -184,11 +182,9 @@ func (rt *Runtime) newCursorProxy(src ClusterID, target heap.ObjID, className st
 	}
 	targetCluster := rt.mgr.ClusterOf(target)
 	tgt := heap.Ref(target)
-	rt.mgr.mu.Lock()
-	if cs, ok := rt.mgr.clusters[targetCluster]; ok && cs.swapped {
-		tgt = heap.Ref(cs.replacement)
+	if rid, ok := rt.mgr.replacementIfSwapped(targetCluster); ok {
+		tgt = heap.Ref(rid)
 	}
-	rt.mgr.mu.Unlock()
 	if err := setProxyFields(p, tgt, target, src, proxyModeAssign); err != nil {
 		return heap.NilID, err
 	}

@@ -28,9 +28,10 @@ import (
 // ReplicaSet returns a swapped cluster's recorded replica devices (primary
 // first), or nil when the cluster is resident or unknown.
 func (rt *Runtime) ReplicaSet(id ClusterID) []string {
-	rt.mgr.mu.Lock()
-	defer rt.mgr.mu.Unlock()
-	cs, ok := rt.mgr.clusters[id]
+	ts := rt.mgr.tab(id)
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	cs, ok := ts.clusters[id]
 	if !ok || !cs.swapped {
 		return nil
 	}
@@ -38,15 +39,17 @@ func (rt *Runtime) ReplicaSet(id ClusterID) []string {
 }
 
 // swappedSets snapshots the (id, replica set) pairs of every swapped,
-// non-busy cluster.
+// non-busy cluster, shard by shard.
 func (rt *Runtime) swappedSets() map[ClusterID][]string {
-	rt.mgr.mu.Lock()
-	defer rt.mgr.mu.Unlock()
 	out := make(map[ClusterID][]string)
-	for id, cs := range rt.mgr.clusters {
-		if cs.swapped && !cs.busy {
-			out[id] = append([]string(nil), cs.devices...)
+	for _, ts := range rt.mgr.tabs {
+		ts.mu.Lock()
+		for id, cs := range ts.clusters {
+			if cs.swapped && !cs.busy {
+				out[id] = append([]string(nil), cs.devices...)
+			}
 		}
+		ts.mu.Unlock()
 	}
 	return out
 }
@@ -133,9 +136,11 @@ func (rt *Runtime) RepairCluster(ctx context.Context, id ClusterID, k int) (ev S
 
 	// Reserve the cluster, like any swap transition.
 	span.Phase("reserve")
-	rt.swapMu.Lock()
-	rt.mgr.mu.Lock()
-	cs, err := rt.mgr.state(id)
+	sh := rt.shardOf(id)
+	rt.lockShard(sh)
+	ts := rt.mgr.tab(id)
+	ts.mu.Lock()
+	cs, err := ts.state(id)
 	if err == nil {
 		switch {
 		case cs.busy:
@@ -145,8 +150,8 @@ func (rt *Runtime) RepairCluster(ctx context.Context, id ClusterID, k int) (ev S
 		}
 	}
 	if err != nil {
-		rt.mgr.mu.Unlock()
-		rt.swapMu.Unlock()
+		ts.mu.Unlock()
+		sh.mu.Unlock()
 		return SwapEvent{}, err
 	}
 	cs.busy = true
@@ -157,8 +162,8 @@ func (rt *Runtime) RepairCluster(ctx context.Context, id ClusterID, k int) (ev S
 		format:  cs.base.format,
 		devices: append([]string(nil), cs.base.devices...),
 	}
-	rt.mgr.mu.Unlock()
-	rt.swapMu.Unlock()
+	ts.mu.Unlock()
+	sh.mu.Unlock()
 	committed := false
 	defer func() {
 		if !committed {
@@ -279,8 +284,8 @@ func (rt *Runtime) RepairCluster(ctx context.Context, id ClusterID, k int) (ev S
 	for _, d := range dead {
 		deadSet[d] = true
 	}
-	rt.swapMu.Lock()
-	rt.mgr.mu.Lock()
+	rt.lockShard(sh)
+	ts.mu.Lock()
 	cs.devices = append([]string(nil), newSet...)
 	baseKey := cs.base.key
 	if baseKey == key {
@@ -295,11 +300,11 @@ func (rt *Runtime) RepairCluster(ctx context.Context, id ClusterID, k int) (ev S
 		cs.base.devices = bd
 	}
 	replID := cs.replacement
-	rt.mgr.mu.Unlock()
+	ts.mu.Unlock()
 	if repl, gerr := rt.h.Get(replID); gerr == nil {
 		_ = repl.SetFieldByName(fldStore, heap.Str(strings.Join(newSet, ",")))
 	}
-	rt.swapMu.Unlock()
+	sh.mu.Unlock()
 	committed = true
 	rt.setBusy(id, false)
 	for _, d := range dead {

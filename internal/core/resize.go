@@ -30,38 +30,40 @@ func (rt *Runtime) MergeClusters(dst, src ClusterID) error {
 	}
 
 	// Resizing rewrites membership and member fields; it is a graph mutation
-	// and must not interleave with concurrent swaps or collections. The
-	// mutating flag keeps proxy allocations made during re-mediation from
-	// re-entering the evictor (whose swap-outs would deadlock on swapMu).
-	rt.swapMu.Lock()
-	defer rt.swapMu.Unlock()
-	rt.mutating.Store(true)
-	defer rt.mutating.Store(false)
+	// and must not interleave with concurrent swaps or collections, so it
+	// stops the world (every shard lock, in order). The mutate section keeps
+	// proxy allocations made during re-mediation from re-entering the evictor
+	// (whose swap-outs and Collect would deadlock on the held shard locks).
+	rt.lockAll()
+	defer rt.unlockAll()
+	endMutate := rt.beginMutate(nil)
+	defer endMutate()
 
-	rt.mgr.mu.Lock()
-	ds, err := rt.mgr.state(dst)
+	m := rt.mgr
+	unlock := m.lockPair(dst, src)
+	ds, err := m.tab(dst).state(dst)
 	if err != nil {
-		rt.mgr.mu.Unlock()
+		unlock()
 		return err
 	}
-	ss, err := rt.mgr.state(src)
+	ss, err := m.tab(src).state(src)
 	if err != nil {
-		rt.mgr.mu.Unlock()
+		unlock()
 		return err
 	}
 	if ds.swapped || ss.swapped {
-		rt.mgr.mu.Unlock()
+		unlock()
 		return fmt.Errorf("%w: merge requires both clusters resident", ErrClusterSwapped)
 	}
 	if ds.busy || ss.busy {
-		rt.mgr.mu.Unlock()
+		unlock()
 		return fmt.Errorf("%w: merge of clusters %d/%d", ErrClusterBusy, dst, src)
 	}
 	moved := make(map[heap.ObjID]bool, len(ss.objects))
 	for oid := range ss.objects {
 		moved[oid] = true
 	}
-	rt.mgr.mu.Unlock()
+	unlock()
 
 	members := make(map[heap.ObjID]bool, len(moved))
 	for oid := range moved {
@@ -70,21 +72,23 @@ func (rt *Runtime) MergeClusters(dst, src ClusterID) error {
 	if err := rt.checkInactive(src, members); err != nil {
 		return err
 	}
-	rt.mgr.mu.Lock()
+	dts := m.tab(dst)
+	dts.mu.Lock()
 	for oid := range ds.objects {
 		members[oid] = true
 	}
-	rt.mgr.mu.Unlock()
+	dts.mu.Unlock()
 	if err := rt.checkInactive(dst, members); err != nil {
 		return err
 	}
 
 	// 1. Move membership.
-	rt.mgr.mu.Lock()
+	m.mu.Lock()
+	unlock = m.lockPair(dst, src)
 	for oid := range moved {
-		info := rt.mgr.objects[oid]
+		info := m.objects[oid]
 		info.cluster = dst
-		rt.mgr.objects[oid] = info
+		m.objects[oid] = info
 		delete(ss.objects, oid)
 		ds.objects[oid] = true
 	}
@@ -93,20 +97,21 @@ func (rt *Runtime) MergeClusters(dst, src ClusterID) error {
 	if ss.lastAccess > ds.lastAccess {
 		ds.lastAccess = ss.lastAccess
 	}
-	delete(rt.mgr.clusters, src)
+	delete(m.tab(src).clusters, src)
 	// Inbound proxies previously indexed under src now target dst members.
-	if idx := rt.mgr.inbound[src]; idx != nil {
-		didx := rt.mgr.inbound[dst]
+	if idx := m.inbound[src]; idx != nil {
+		didx := m.inbound[dst]
 		if didx == nil {
 			didx = make(map[heap.ObjID]bool)
-			rt.mgr.inbound[dst] = didx
+			m.inbound[dst] = didx
 		}
 		for pid := range idx {
 			didx[pid] = true
 		}
-		delete(rt.mgr.inbound, src)
+		delete(m.inbound, src)
 	}
-	rt.mgr.mu.Unlock()
+	unlock()
+	m.mu.Unlock()
 
 	// 2. Re-mediate the fields of every member of the merged cluster:
 	// references to proxies whose ultimate target now shares the cluster are
@@ -130,29 +135,31 @@ func (rt *Runtime) SplitCluster(src ClusterID, members []heap.ObjID) (ClusterID,
 		return 0, fmt.Errorf("%w: empty split set", ErrClusterEmpty)
 	}
 
-	// See MergeClusters: resizing is a serialized graph mutation.
-	rt.swapMu.Lock()
-	defer rt.swapMu.Unlock()
-	rt.mutating.Store(true)
-	defer rt.mutating.Store(false)
+	// See MergeClusters: resizing is a stop-the-world graph mutation.
+	rt.lockAll()
+	defer rt.unlockAll()
+	endMutate := rt.beginMutate(nil)
+	defer endMutate()
 
-	rt.mgr.mu.Lock()
-	ss, err := rt.mgr.state(src)
+	m := rt.mgr
+	sts := m.tab(src)
+	sts.mu.Lock()
+	ss, err := sts.state(src)
 	if err != nil {
-		rt.mgr.mu.Unlock()
+		sts.mu.Unlock()
 		return 0, err
 	}
 	if ss.swapped {
-		rt.mgr.mu.Unlock()
+		sts.mu.Unlock()
 		return 0, fmt.Errorf("%w: cluster %d", ErrClusterSwapped, src)
 	}
 	if ss.busy {
-		rt.mgr.mu.Unlock()
+		sts.mu.Unlock()
 		return 0, fmt.Errorf("%w: cluster %d", ErrClusterBusy, src)
 	}
 	for _, oid := range members {
 		if !ss.objects[oid] {
-			rt.mgr.mu.Unlock()
+			sts.mu.Unlock()
 			return 0, fmt.Errorf("core: split: @%d is not a member of cluster %d", oid, src)
 		}
 	}
@@ -160,32 +167,33 @@ func (rt *Runtime) SplitCluster(src ClusterID, members []heap.ObjID) (ClusterID,
 	for oid := range ss.objects {
 		all[oid] = true
 	}
-	rt.mgr.mu.Unlock()
+	sts.mu.Unlock()
 	if err := rt.checkInactive(src, all); err != nil {
 		return 0, err
 	}
 
-	fresh := rt.mgr.NewCluster()
-	rt.mgr.mu.Lock()
-	fs := rt.mgr.clusters[fresh]
+	fresh := m.NewCluster()
+	m.mu.Lock()
+	unlock := m.lockPair(src, fresh)
+	fs := m.tab(fresh).clusters[fresh]
 	for _, oid := range members {
-		info := rt.mgr.objects[oid]
+		info := m.objects[oid]
 		info.cluster = fresh
-		rt.mgr.objects[oid] = info
+		m.objects[oid] = info
 		delete(ss.objects, oid)
 		fs.objects[oid] = true
 	}
 	fs.lastAccess = ss.lastAccess
 	// Inbound proxies whose ultimate moved follow it in the index.
-	if idx := rt.mgr.inbound[src]; idx != nil {
+	if idx := m.inbound[src]; idx != nil {
 		movedSet := make(map[heap.ObjID]bool, len(members))
 		for _, oid := range members {
 			movedSet[oid] = true
 		}
-		fidx := rt.mgr.inbound[fresh]
+		fidx := m.inbound[fresh]
 		if fidx == nil {
 			fidx = make(map[heap.ObjID]bool)
-			rt.mgr.inbound[fresh] = fidx
+			m.inbound[fresh] = fidx
 		}
 		for pid := range idx {
 			if p, err := rt.h.Get(pid); err == nil && movedSet[proxyUltimate(p)] {
@@ -194,7 +202,8 @@ func (rt *Runtime) SplitCluster(src ClusterID, members []heap.ObjID) (ClusterID,
 			}
 		}
 	}
-	rt.mgr.mu.Unlock()
+	unlock()
+	m.mu.Unlock()
 
 	// Re-mediate both halves: edges crossing the new boundary gain proxies;
 	// proxies that now point within their holder's cluster are dismantled.
@@ -213,17 +222,18 @@ func (rt *Runtime) SplitCluster(src ClusterID, members []heap.ObjID) (ClusterID,
 func (rt *Runtime) remediateCluster(id ClusterID) error {
 	// Re-mediation rewrites references to semantically identical ones.
 	defer rt.h.SuspendWriteObserver()()
-	rt.mgr.mu.Lock()
-	cs, err := rt.mgr.state(id)
+	ts := rt.mgr.tab(id)
+	ts.mu.Lock()
+	cs, err := ts.state(id)
 	if err != nil {
-		rt.mgr.mu.Unlock()
+		ts.mu.Unlock()
 		return err
 	}
 	ids := make([]heap.ObjID, 0, len(cs.objects))
 	for oid := range cs.objects {
 		ids = append(ids, oid)
 	}
-	rt.mgr.mu.Unlock()
+	ts.mu.Unlock()
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 
 	for _, oid := range ids {

@@ -72,12 +72,14 @@ func (rt *Runtime) SwapOut(id ClusterID, opts ...SwapOption) (ev SwapEvent, retE
 		}
 	}()
 
-	// Phase 1 — exclusive: validate the cluster and reserve it (busy) so no
-	// concurrent swap, victim selection or sweep touches it mid-flight.
+	// Phase 1 — exclusive on this cluster's shard: validate the cluster and
+	// reserve it (busy) so no concurrent swap, victim selection or sweep
+	// touches it mid-flight.
 	span.Phase("reserve")
-	rt.swapMu.Lock()
+	sh := rt.shardOf(id)
+	rt.lockShard(sh)
 	memberIDs, members, base, dirty, err := rt.beginSwapOut(id)
-	rt.swapMu.Unlock()
+	sh.mu.Unlock()
 	if err != nil {
 		return SwapEvent{}, err
 	}
@@ -265,26 +267,33 @@ func (rt *Runtime) SwapOut(id ClusterID, opts ...SwapOption) (ev SwapEvent, retE
 	span.SetFormat(string(plan.format))
 	span.AddBytes(int64(payloadBytes))
 
-	// Phase 3 — concurrent: replacement-object and shipment. The replacement
-	// is fresh and unpublished, so its field writes race with nothing; it is
-	// anchored against collection until the inbound proxies reference it. The
-	// destination device is recorded after the shipment lands (failover may
-	// move it).
+	// Phase 3 — shipment, with a brief exclusive window to build the
+	// replacement-object. The replacement is pinned the moment it exists
+	// (collection would otherwise reclaim it before the inbound proxies
+	// reference it), and a pinned object is a GC root: its field writes must
+	// not interleave with a concurrent Collect's mark on another shard's
+	// behalf, so allocation and initialization happen under this cluster's
+	// shard lock (beginMutate keeps the evictor out, as in every section
+	// that allocates while holding swap state). The shipment itself is IO
+	// and runs unlocked; the destination device is recorded after it lands
+	// (failover may move it).
 	span.Phase("ship")
+	rt.lockShard(sh)
+	endMutate := rt.beginMutate(sh)
 	repl, err := rt.allocMiddleware(rt.replacementClass)
+	if err == nil {
+		rt.h.Pin(repl.ID())
+		defer rt.h.Unpin(repl.ID())
+		if err = repl.SetFieldByName(fldClust, heap.Int(int64(id))); err == nil {
+			if err = repl.SetFieldByName(fldOut, heap.List(outbound...)); err == nil {
+				err = repl.SetFieldByName(fldKey, heap.Str(key))
+			}
+		}
+	}
+	endMutate()
+	sh.mu.Unlock()
 	if err != nil {
 		return SwapEvent{}, fmt.Errorf("core: replacement for cluster %d: %w", id, err)
-	}
-	rt.h.Pin(repl.ID())
-	defer rt.h.Unpin(repl.ID())
-	if err := repl.SetFieldByName(fldClust, heap.Int(int64(id))); err != nil {
-		return SwapEvent{}, err
-	}
-	if err := repl.SetFieldByName(fldOut, heap.List(outbound...)); err != nil {
-		return SwapEvent{}, err
-	}
-	if err := repl.SetFieldByName(fldKey, heap.Str(key)); err != nil {
-		return SwapEvent{}, err
 	}
 
 	// Ship first: a failed transfer must leave the graph untouched. The key
@@ -315,11 +324,12 @@ func (rt *Runtime) SwapOut(id ClusterID, opts ...SwapOption) (ev SwapEvent, retE
 	span.SetReplicas(devices)
 	span.AddBytes(int64(payloadBytes))
 
-	// Phase 4 — exclusive: detach the cluster from the application graph.
+	// Phase 4 — exclusive on this cluster's shard: detach the cluster from
+	// the application graph. Commits on sibling shards proceed concurrently.
 	span.Phase("commit")
-	rt.swapMu.Lock()
+	rt.lockShard(sh)
 	oldBase, err := rt.commitSwapOut(id, repl, devices, key, payloadBytes, residentBytes, plan, memberIDs, slotTargets)
-	rt.swapMu.Unlock()
+	sh.mu.Unlock()
 	if err != nil {
 		return SwapEvent{}, err
 	}
@@ -355,25 +365,26 @@ func (rt *Runtime) SwapOut(id ClusterID, opts ...SwapOption) (ev SwapEvent, retE
 
 // beginSwapOut validates and reserves a cluster for swap-out, additionally
 // snapshotting the delta-anchor state (retained base + dirty set) the
-// negotiate phase works from. Caller holds swapMu.
+// negotiate phase works from. Caller holds the cluster's shard lock.
 func (rt *Runtime) beginSwapOut(id ClusterID) ([]heap.ObjID, map[heap.ObjID]bool, shipmentBase, map[heap.ObjID]bool, error) {
 	var noBase shipmentBase
-	rt.mgr.mu.Lock()
-	cs, err := rt.mgr.state(id)
+	ts := rt.mgr.tab(id)
+	ts.mu.Lock()
+	cs, err := ts.state(id)
 	if err != nil {
-		rt.mgr.mu.Unlock()
+		ts.mu.Unlock()
 		return nil, nil, noBase, nil, err
 	}
 	if cs.busy {
-		rt.mgr.mu.Unlock()
+		ts.mu.Unlock()
 		return nil, nil, noBase, nil, fmt.Errorf("%w: cluster %d", ErrClusterBusy, id)
 	}
 	if cs.swapped {
-		rt.mgr.mu.Unlock()
+		ts.mu.Unlock()
 		return nil, nil, noBase, nil, fmt.Errorf("%w: cluster %d", ErrClusterSwapped, id)
 	}
 	if len(cs.objects) == 0 {
-		rt.mgr.mu.Unlock()
+		ts.mu.Unlock()
 		return nil, nil, noBase, nil, fmt.Errorf("%w: %d", ErrClusterEmpty, id)
 	}
 	members := make(map[heap.ObjID]bool, len(cs.objects))
@@ -397,7 +408,7 @@ func (rt *Runtime) beginSwapOut(id ClusterID) ([]heap.ObjID, map[heap.ObjID]bool
 		}
 	}
 	cs.busy = true
-	rt.mgr.mu.Unlock()
+	ts.mu.Unlock()
 	sort.Slice(memberIDs, func(i, j int) bool { return memberIDs[i] < memberIDs[j] })
 
 	// Refuse to detach a cluster with in-flight invocations: its objects are
@@ -416,7 +427,8 @@ func (rt *Runtime) beginSwapOut(id ClusterID) ([]heap.ObjID, map[heap.ObjID]bool
 // rotates the delta anchor — it becomes the new base, the dirty set resets,
 // and the previous base (returned to the caller) is due for donor cleanup; a
 // delta shipment leaves base and dirty untouched, since dirty is tracked
-// relative to the base, not to the last delta. Caller holds swapMu.
+// relative to the base, not to the last delta. Caller holds the cluster's
+// shard lock.
 func (rt *Runtime) commitSwapOut(id ClusterID, repl *heap.Object, devices []string, key string,
 	payloadBytes int, residentBytes int64, plan shipPlan,
 	memberIDs []heap.ObjID, slotTargets []heap.ObjID) (shipmentBase, error) {
@@ -433,10 +445,11 @@ func (rt *Runtime) commitSwapOut(id ClusterID, repl *heap.Object, devices []stri
 		}
 	}
 
-	rt.mgr.mu.Lock()
-	cs, err := rt.mgr.state(id)
+	ts := rt.mgr.tab(id)
+	ts.mu.Lock()
+	cs, err := ts.state(id)
 	if err != nil {
-		rt.mgr.mu.Unlock()
+		ts.mu.Unlock()
 		return shipmentBase{}, err
 	}
 	cs.swapped = true
@@ -460,17 +473,18 @@ func (rt *Runtime) commitSwapOut(id ClusterID, repl *heap.Object, devices []stri
 		}
 		cs.dirty = nil
 	}
-	rt.mgr.mu.Unlock()
+	ts.mu.Unlock()
 	return oldBase, nil
 }
 
 // setBusy clears (or sets) a cluster's in-flight reservation.
 func (rt *Runtime) setBusy(id ClusterID, busy bool) {
-	rt.mgr.mu.Lock()
-	if cs, ok := rt.mgr.clusters[id]; ok {
+	ts := rt.mgr.tab(id)
+	ts.mu.Lock()
+	if cs, ok := ts.clusters[id]; ok {
 		cs.busy = busy
 	}
-	rt.mgr.mu.Unlock()
+	ts.mu.Unlock()
 }
 
 // shipPlanned places an encoded cluster on the donors the negotiate phase
@@ -570,24 +584,26 @@ func (rt *Runtime) SwapIn(id ClusterID, opts ...SwapOption) (ev SwapEvent, retEr
 		}
 	}()
 
-	// Phase 1 — exclusive: validate and reserve.
+	// Phase 1 — exclusive on this cluster's shard: validate and reserve.
 	span.Phase("reserve")
-	rt.swapMu.Lock()
-	rt.mgr.mu.Lock()
-	cs, err := rt.mgr.state(id)
+	sh := rt.shardOf(id)
+	rt.lockShard(sh)
+	ts := rt.mgr.tab(id)
+	ts.mu.Lock()
+	cs, err := ts.state(id)
 	if err != nil {
-		rt.mgr.mu.Unlock()
-		rt.swapMu.Unlock()
+		ts.mu.Unlock()
+		sh.mu.Unlock()
 		return SwapEvent{}, err
 	}
 	if cs.busy {
-		rt.mgr.mu.Unlock()
-		rt.swapMu.Unlock()
+		ts.mu.Unlock()
+		sh.mu.Unlock()
 		return SwapEvent{}, fmt.Errorf("%w: cluster %d", ErrClusterBusy, id)
 	}
 	if !cs.swapped {
-		rt.mgr.mu.Unlock()
-		rt.swapMu.Unlock()
+		ts.mu.Unlock()
+		sh.mu.Unlock()
 		return SwapEvent{}, fmt.Errorf("%w: cluster %d", ErrClusterLoaded, id)
 	}
 	cs.busy = true
@@ -595,8 +611,8 @@ func (rt *Runtime) SwapIn(id ClusterID, opts ...SwapOption) (ev SwapEvent, retEr
 	key := cs.key
 	replID := cs.replacement
 	needBytes := cs.bytesAtSwap
-	rt.mgr.mu.Unlock()
-	rt.swapMu.Unlock()
+	ts.mu.Unlock()
+	sh.mu.Unlock()
 	committed := false
 	defer func() {
 		if !committed {
@@ -689,16 +705,17 @@ func (rt *Runtime) SwapIn(id ClusterID, opts ...SwapOption) (ev SwapEvent, retEr
 		}
 	}
 
-	// Phase 3 — exclusive: vacate stale identities, install, re-patch and
-	// publish, all in one critical section so no collection can run between
-	// installation (nursery-fresh objects) and the proxy patches that make
-	// them reachable.
+	// Phase 3 — exclusive on this cluster's shard: vacate stale identities,
+	// install, re-patch and publish, all in one critical section so no
+	// collection can run between installation (nursery-fresh objects) and the
+	// proxy patches that make them reachable — Collect's stop-the-world
+	// acquisition cannot slip in while this shard lock is held.
 	span.Phase("install")
-	rt.swapMu.Lock()
-	rt.mutating.Store(true)
+	rt.lockShard(sh)
+	endMutate := rt.beginMutate(sh)
 	installed, payload, err := rt.commitSwapIn(id, cs, repl, doc, fid, devices)
-	rt.mutating.Store(false)
-	rt.swapMu.Unlock()
+	endMutate()
+	sh.mu.Unlock()
 	if err != nil {
 		return SwapEvent{}, err
 	}
@@ -755,8 +772,9 @@ func (rt *Runtime) SwapIn(id ClusterID, opts ...SwapOption) (ev SwapEvent, retEr
 // set resets and the base membership/slot table are refreshed — this is also
 // what re-arms delta encoding after a checkpoint restore dropped the
 // membership snapshot); a reloaded delta leaves base and dirty untouched.
-// Caller holds swapMu and has set the mutating flag (installation allocates;
-// an allocation failure here must not re-enter the evictor).
+// Caller holds the cluster's shard lock inside a beginMutate section
+// (installation allocates; an allocation failure here must not re-enter the
+// evictor).
 func (rt *Runtime) commitSwapIn(id ClusterID, cs *clusterState, repl *heap.Object, doc *xmlcodec.Doc, fid wire.FormatID, devices []string) (int, int, error) {
 	// Resolve replacement slots back to the retained outbound proxies.
 	outboundVal, err := repl.FieldByName(fldOut)
@@ -789,12 +807,13 @@ func (rt *Runtime) commitSwapIn(id ClusterID, cs *clusterState, repl *heap.Objec
 	// The detached objects are merely *eligible* for collection; if no GC
 	// cycle ran since the swap-out they are still resident (as garbage) and
 	// their identities must be vacated before reinstalling.
-	rt.mgr.mu.Lock()
+	ts := rt.mgr.tab(id)
+	ts.mu.Lock()
 	stale := make([]heap.ObjID, 0, len(cs.objects))
 	for oid := range cs.objects {
 		stale = append(stale, oid)
 	}
-	rt.mgr.mu.Unlock()
+	ts.mu.Unlock()
 	for _, oid := range stale {
 		if rt.h.Contains(oid) {
 			_ = rt.h.Remove(oid)
@@ -824,7 +843,7 @@ func (rt *Runtime) commitSwapIn(id ClusterID, cs *clusterState, repl *heap.Objec
 		}
 	}
 
-	rt.mgr.mu.Lock()
+	ts.mu.Lock()
 	key := cs.key
 	cs.swapped = false
 	cs.busy = false
@@ -859,7 +878,7 @@ func (rt *Runtime) commitSwapIn(id ClusterID, cs *clusterState, repl *heap.Objec
 		}
 		cs.dirty = nil
 	}
-	rt.mgr.mu.Unlock()
+	ts.mu.Unlock()
 	return len(installed), payload, nil
 }
 
@@ -929,7 +948,15 @@ func (rt *Runtime) EvictWith(o EvictOptions, need int64) error {
 				if end > len(victims) {
 					end = len(victims)
 				}
-				evs, err := rt.SwapOutMany(victims[start:end], o.Parallelism)
+				batch := victims[start:end]
+				releases := make([]func(), len(batch))
+				for i, v := range batch {
+					releases[i] = rt.beginShardEvict(v)
+				}
+				evs, err := rt.SwapOutMany(batch, o.Parallelism)
+				for _, release := range releases {
+					release()
+				}
 				if err != nil {
 					return err
 				}
@@ -940,7 +967,10 @@ func (rt *Runtime) EvictWith(o EvictOptions, need int64) error {
 			}
 		} else {
 			for _, v := range victims {
-				if _, err := rt.SwapOut(v); err != nil {
+				release := rt.beginShardEvict(v)
+				_, err := rt.SwapOut(v)
+				release()
+				if err != nil {
 					if skippableVictimErr(err) {
 						continue // try the next victim
 					}
@@ -977,6 +1007,11 @@ func skippableVictimErr(err error) bool {
 // Clusters that are active, busy, already swapped or empty are skipped. The
 // returned events cover the clusters actually shipped, in input order; the
 // first hard failure is returned after all workers finish.
+//
+// Dispatch is scheduled per shard: the victims are interleaved round-robin
+// across their swap shards, so when one shard's commit holds up a worker the
+// next dispatched victim lands on a different shard instead of queueing
+// behind its sibling.
 func (rt *Runtime) SwapOutMany(ids []ClusterID, parallelism int, opts ...SwapOption) ([]SwapEvent, error) {
 	if parallelism < 1 {
 		parallelism = 1
@@ -988,7 +1023,8 @@ func (rt *Runtime) SwapOutMany(ids []ClusterID, parallelism int, opts ...SwapOpt
 	events := make([]*SwapEvent, len(ids))
 	errs := make([]error, len(ids))
 	var wg sync.WaitGroup
-	for i, id := range ids {
+	for _, i := range rt.interleaveByShard(ids) {
+		id := ids[i]
 		wg.Add(1)
 		sem <- struct{}{}
 		go func(i int, id ClusterID) {

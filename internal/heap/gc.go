@@ -93,8 +93,8 @@ func (h *Heap) Collect(extra ...ObjID) CollectStats {
 		}
 	}
 	st.Live = len(h.objects)
-	h.collections++
-	h.reclaimed += uint64(st.Reclaimed)
+	h.collections.Add(1)
+	h.reclaimed.Add(uint64(st.Reclaimed))
 	h.mu.Unlock()
 
 	h.release(st.BytesFreed)

@@ -65,7 +65,11 @@ type Heap struct {
 	// it (middleware-internal writes such as swap-in reinstallation are not
 	// user mutations). extraObservers are additional independent hooks (the
 	// swapping runtime's delta dirty tracking) that SetWriteObserver does not
-	// replace.
+	// replace. The observer slots live under their own lock so that the
+	// per-write dispatch check never contends with allocation and lookup
+	// traffic on h.mu — with the swap core sharded, field writes from many
+	// swap shards land here concurrently.
+	obsMu           sync.RWMutex
 	writeObserver   func(ObjID)
 	extraObservers  []func(ObjID)
 	observerSuspend int
@@ -77,9 +81,16 @@ type Heap struct {
 	nurseryGrace int
 	nursery      map[ObjID]int
 
-	allocated   uint64
-	collections uint64
-	reclaimed   uint64
+	// Lifetime counters are monotonic and independent of any map state, so
+	// they are plain atomics: bumping them never extends a h.mu critical
+	// section, and StatsSnapshot reads them without blocking allocators.
+	// The `used` byte counter (above) deliberately stays a single exact
+	// CAS-updated word instead of sharded counters: CheckInvariants demands
+	// it equal the live-byte sum to the byte, and the reserve path needs an
+	// exact read-modify-write against capacity.
+	allocated   atomic.Uint64
+	collections atomic.Uint64
+	reclaimed   atomic.Uint64
 
 	// GC observability hooks, installed by Instrument (nil when the heap is
 	// not instrumented). The clock keeps cycle timings deterministic in
@@ -105,8 +116,8 @@ func New(capacity int64) *Heap {
 // SetWriteObserver installs a hook invoked after every successful field
 // write. Pass nil to remove it.
 func (h *Heap) SetWriteObserver(fn func(ObjID)) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
+	h.obsMu.Lock()
+	defer h.obsMu.Unlock()
 	h.writeObserver = fn
 }
 
@@ -117,20 +128,20 @@ func (h *Heap) AddWriteObserver(fn func(ObjID)) {
 	if fn == nil {
 		return
 	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
+	h.obsMu.Lock()
+	defer h.obsMu.Unlock()
 	h.extraObservers = append(h.extraObservers, fn)
 }
 
 // observeWrite dispatches to the write observers, if any.
 func (h *Heap) observeWrite(id ObjID) {
-	h.mu.RLock()
+	h.obsMu.RLock()
 	fn := h.writeObserver
 	extra := h.extraObservers
 	if h.observerSuspend > 0 {
 		fn, extra = nil, nil
 	}
-	h.mu.RUnlock()
+	h.obsMu.RUnlock()
 	if fn != nil {
 		fn(id)
 	}
@@ -143,13 +154,13 @@ func (h *Heap) observeWrite(id ObjID) {
 // resume function is called (nestable). Middleware uses it around writes
 // that restore rather than mutate state.
 func (h *Heap) SuspendWriteObserver() (resume func()) {
-	h.mu.Lock()
+	h.obsMu.Lock()
 	h.observerSuspend++
-	h.mu.Unlock()
+	h.obsMu.Unlock()
 	return func() {
-		h.mu.Lock()
+		h.obsMu.Lock()
 		h.observerSuspend--
-		h.mu.Unlock()
+		h.obsMu.Unlock()
 	}
 }
 
@@ -218,9 +229,9 @@ func (h *Heap) StatsSnapshot() Stats {
 		Capacity:    h.Capacity(),
 		Used:        h.Used(),
 		Objects:     len(h.objects),
-		Allocated:   h.allocated,
-		Collections: h.collections,
-		Reclaimed:   h.reclaimed,
+		Allocated:   h.allocated.Load(),
+		Collections: h.collections.Load(),
+		Reclaimed:   h.reclaimed.Load(),
 	}
 }
 
@@ -299,7 +310,7 @@ func (h *Heap) newObject(c *Class, privileged bool) (*Object, error) {
 		size:   size,
 	}
 	h.objects[id] = o
-	h.allocated++
+	h.allocated.Add(1)
 	if h.nurseryGrace > 0 {
 		h.nursery[id] = h.nurseryGrace
 	}
@@ -353,7 +364,7 @@ func (h *Heap) NewAt(id ObjID, c *Class) (*Object, error) {
 		size:   size,
 	}
 	h.objects[id] = o
-	h.allocated++
+	h.allocated.Add(1)
 	if h.nurseryGrace > 0 {
 		h.nursery[id] = h.nurseryGrace
 	}

@@ -515,11 +515,14 @@ func decodeBody(body []byte, delta bool) (*xmlcodec.Doc, string, []heap.ObjID, e
 
 	// Sanity: every count costs at least one tree byte, and the arenas
 	// cannot exceed what remains — reject counts a hostile payload inflates.
+	// The arena lengths are compared individually before summing so a crafted
+	// strBytes+blobBytes cannot wrap around uint64 past the check, and the two
+	// string prefixes must fit the string arena together, not just separately.
 	remaining := uint64(len(d.tree))
-	if strBytes+blobBytes > remaining ||
+	if strBytes > remaining || blobBytes > remaining-strBytes ||
 		nObjects > remaining || nFields > remaining ||
 		nListItems > remaining || nRemoved > remaining ||
-		clusterIDLen > strBytes || baseKeyLen > strBytes {
+		clusterIDLen > strBytes || baseKeyLen > strBytes-clusterIDLen {
 		return nil, "", nil, fmt.Errorf("%w: header counts exceed body", ErrBadFrame)
 	}
 

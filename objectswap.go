@@ -157,6 +157,11 @@ type Config struct {
 	// of one cluster with the device shipment of another. 0 or 1 keeps the
 	// sequential one-victim-then-collect evictor.
 	EvictParallelism int
+	// Shards is the number of independently locked swap shards in the core:
+	// swaps on clusters hashed to different shards reserve and commit without
+	// contending. 0 selects the default (core.DefaultShards); 1 restores a
+	// single global swap lock (useful as a benchmark control).
+	Shards int
 	// Clock is the time source for all observability timings — event
 	// timestamps, swap-phase durations, GC pauses, transport latencies
 	// (default: the wall clock). Inject obs.NewVirtualClock in tests for
@@ -232,6 +237,9 @@ func New(cfg Config) (*System, error) {
 	}
 	if len(cfg.WireFormats) > 0 {
 		opts = append(opts, core.WithWireFormats(cfg.WireFormats...))
+	}
+	if cfg.Shards > 0 {
+		opts = append(opts, core.WithShards(cfg.Shards))
 	}
 	rt := core.NewRuntime(h, heap.NewRegistry(), opts...)
 	h.Instrument(reg, rt.Name())
@@ -427,9 +435,19 @@ func (s *System) HealthChecks() []opshttp.Check {
 			if !s.rt.HasEvictor() {
 				return errors.New("no evictor installed")
 			}
+			// Eviction liveness is tracked per swap shard: a pass wedged on
+			// one shard's victim is reported by shard index while its
+			// siblings keep evicting. The pass-level timestamp is the
+			// fallback for a pass stuck before it reached any victim.
+			now := s.obsReg.Clock().Now()
+			for _, se := range s.rt.ShardEvictions() {
+				if age := now.Sub(se.Since); age > evictorStuckAfter {
+					return fmt.Errorf("eviction on shard %d in flight for %s", se.Shard, age)
+				}
+			}
 			if since, running := s.rt.EvictingSince(); running {
-				if age := s.obsReg.Clock().Now().Sub(since); age > evictorStuckAfter {
-					return fmt.Errorf("eviction in flight for %s", age)
+				if age := now.Sub(since); age > evictorStuckAfter {
+					return fmt.Errorf("eviction pass in flight for %s (no shard progress)", age)
 				}
 			}
 			return nil

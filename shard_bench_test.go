@@ -1,0 +1,226 @@
+package objectswap
+
+// Many-tenant soak harness for the sharded swap core: a thousand concurrent
+// swap-clusters worked by a pool of tenants against in-process donors (one of
+// them flaky, for churn), under sustained eviction pressure from a heap sized
+// below the working set and a background collector sweeping detached members.
+// The shards=1 run is the control — the pre-sharding single global swap lock —
+// and shards=8 is the default configuration. The contended window is the
+// reserve/commit/install critical section of each swap: with one shard every
+// tenant's install serializes behind every other's; with eight, only
+// same-shard tenants queue. Results are recorded in BENCH_shard.json:
+//
+//	go test -bench BenchmarkShardSoak -benchtime 30000x -cpu 1,4,8 -run '^$' .
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"objectswap/internal/bench"
+	"objectswap/internal/core"
+	"objectswap/internal/heap"
+	"objectswap/internal/store"
+)
+
+func BenchmarkShardSoak(b *testing.B) {
+	for _, shards := range []int{1, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			runShardSoak(b, shards)
+		})
+	}
+}
+
+func runShardSoak(b *testing.B, shards int) {
+	const (
+		nClusters  = 1024
+		perCluster = 32
+		payloadLen = 64
+	)
+
+	sys, err := New(Config{Shards: shards, DeviceName: "soak"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sys.Close()
+	// Three healthy donors plus one that drops ~5% of its calls: swap traffic
+	// sees failovers, retries and breaker churn, like a real ad-hoc
+	// neighborhood.
+	for i := 0; i < 3; i++ {
+		if err := sys.AttachDevice(fmt.Sprintf("donor-%d", i), store.NewMem(0)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	flaky := store.NewFlaky(store.NewMem(0), 1)
+	flaky.FailRate(store.OpPut, 0.05)
+	flaky.FailRate(store.OpGet, 0.05)
+	if err := sys.AttachDevice("donor-flaky", flaky); err != nil {
+		b.Fatal(err)
+	}
+
+	cls := bench.NodeClass()
+	sys.MustRegisterClass(cls)
+	clusters := make([]core.ClusterID, nClusters)
+	payload := make([]byte, payloadLen)
+	for t := range clusters {
+		cluster := sys.NewCluster()
+		clusters[t] = cluster
+		var prev *heap.Object
+		for i := 0; i < perCluster; i++ {
+			o, err := sys.NewObject(cls, cluster)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := o.SetFieldByName("payload", heap.Bytes(payload)); err != nil {
+				b.Fatal(err)
+			}
+			if prev == nil {
+				if err := sys.SetRoot(fmt.Sprintf("tenant-%d", t), o.RefTo()); err != nil {
+					b.Fatal(err)
+				}
+			} else if err := sys.SetField(prev.RefTo(), "next", o.RefTo()); err != nil {
+				b.Fatal(err)
+			}
+			prev = o
+		}
+	}
+	// Pre-swap half the tenants and sweep the detached members, then size the
+	// heap just above the remaining resident set so reloads run under genuine
+	// eviction pressure for the whole soak.
+	if _, err := sys.SwapOutMany(clusters[:nClusters/2], 8); err != nil {
+		b.Fatal(err)
+	}
+	sys.Collect()
+	sys.Heap().SetCapacity(sys.Heap().Used() * 130 / 100)
+
+	skippable := func(err error) bool {
+		return errors.Is(err, core.ErrClusterBusy) || errors.Is(err, core.ErrClusterLoaded) ||
+			errors.Is(err, core.ErrClusterSwapped) || errors.Is(err, core.ErrClusterEmpty) ||
+			errors.Is(err, heap.ErrOutOfMemory)
+	}
+
+	workers := 16 * runtime.GOMAXPROCS(0)
+	if workers > b.N {
+		workers = b.N
+	}
+	var (
+		remaining = int64(b.N)
+		faults    atomic.Int64
+		swapOuts  atomic.Int64
+		skipped   atomic.Int64
+		churn     atomic.Int64
+		wg        sync.WaitGroup
+		latMu     sync.Mutex
+		faultLat  []time.Duration
+	)
+	// Background collector: detached swap-out members only return their bytes
+	// at the next collection, so a periodic stop-the-world sweep is what keeps
+	// the soak's reloads viable — and what exercises STW-vs-shard exclusion.
+	collectDone := make(chan struct{})
+	var collector sync.WaitGroup
+	collector.Add(1)
+	go func() {
+		defer collector.Done()
+		for {
+			select {
+			case <-collectDone:
+				return
+			case <-time.After(100 * time.Millisecond):
+				sys.Collect()
+			}
+		}
+	}()
+
+	b.ResetTimer()
+	start := time.Now()
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			var lat []time.Duration
+			for atomic.AddInt64(&remaining, -1) >= 0 {
+				c := clusters[rng.Intn(nClusters)]
+				switch r := rng.Intn(20); {
+				case r < 9:
+					// Fault a tenant back in (measured: this is the
+					// latency an application blocked on an object fault
+					// sees).
+					t0 := time.Now()
+					if _, err := sys.SwapIn(c); err == nil {
+						faults.Add(1)
+						lat = append(lat, time.Since(t0))
+					} else if skippable(err) {
+						skipped.Add(1)
+					} else {
+						// Fetch refused by a churning donor: the cluster
+						// stays consistently swapped, retryable later.
+						churn.Add(1)
+					}
+				case r < 18:
+					if _, err := sys.SwapOut(c); err == nil {
+						swapOuts.Add(1)
+					} else if skippable(err) {
+						skipped.Add(1)
+					} else {
+						churn.Add(1)
+					}
+				default:
+					// Allocation churn: a transient unrooted object keeps
+					// memory pressure live and, on a full heap, drives the
+					// evictor.
+					if o, err := sys.NewObject(cls, core.RootCluster); err == nil {
+						_ = o.SetFieldByName("payload", heap.Bytes(payload))
+					} else if !errors.Is(err, heap.ErrOutOfMemory) {
+						b.Errorf("alloc: %v", err)
+						return
+					}
+				}
+			}
+			latMu.Lock()
+			faultLat = append(faultLat, lat...)
+			latMu.Unlock()
+		}(int64(w + 1))
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(collectDone)
+	collector.Wait()
+	b.StopTimer()
+
+	sort.Slice(faultLat, func(i, j int) bool { return faultLat[i] < faultLat[j] })
+	pct := func(p float64) float64 {
+		if len(faultLat) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(faultLat)-1))
+		return float64(faultLat[i].Microseconds()) / 1000
+	}
+	swaps := faults.Load() + swapOuts.Load()
+	b.ReportMetric(float64(swaps)/elapsed.Seconds(), "swaps/s")
+	b.ReportMetric(float64(faults.Load())/elapsed.Seconds(), "faults/s")
+	b.ReportMetric(pct(0.50), "p50-ms")
+	b.ReportMetric(pct(0.95), "p95-ms")
+	b.ReportMetric(pct(0.99), "p99-ms")
+	b.ReportMetric(float64(skipped.Load()), "skipped")
+	b.ReportMetric(float64(churn.Load()), "churn-errors")
+	// Aggregate time all callers spent waiting for swap-shard locks, from the
+	// per-shard lock-wait histograms: the direct measure of the contention
+	// sharding removes (on a single-core host, where both configurations are
+	// capped by the same CPU, this is where the difference shows).
+	var waitSum float64
+	for i := 0; i < sys.Runtime().Shards(); i++ {
+		if hs, ok := sys.Metrics().HistogramSnapshotOf(
+			"objectswap_swap_lock_wait_seconds", strconv.Itoa(i)); ok {
+			waitSum += hs.Sum
+		}
+	}
+	b.ReportMetric(waitSum, "lock-wait-s")
+}
