@@ -23,6 +23,24 @@ go test -run '^TestSmoke$' -count=1 ./internal/opshttp/
 # far below the XML baseline (~17.54, BENCH_codec.json) and within its
 # allocation budget (BENCH_wire.json records the numbers).
 go test -run '^TestCodecBenchSmoke$' -count=1 ./internal/wire/
+# Generate-drift gate: obicomp output must stay in sync with its schema
+# sources — regenerating every //go:generate package must be a no-op.
+BEFORE=$(find . -name '*_gen.go' -o -name '*_gen.xml' | sort | xargs sha256sum)
+go generate ./...
+AFTER=$(find . -name '*_gen.go' -o -name '*_gen.xml' | sort | xargs sha256sum)
+if [ "$BEFORE" != "$AFTER" ]; then
+    echo "obicomp output drifted from its sources (rerun go generate ./... and commit):" >&2
+    echo "$BEFORE" >/tmp/obicomp-gen-before.$$
+    echo "$AFTER" >/tmp/obicomp-gen-after.$$
+    diff /tmp/obicomp-gen-before.$$ /tmp/obicomp-gen-after.$$ >&2 || true
+    rm -f /tmp/obicomp-gen-before.$$ /tmp/obicomp-gen-after.$$
+    exit 1
+fi
+# Generated-codec smoke: decoding through an obicomp codec must allocate
+# strictly less than the generic path, and generated dispatch must not
+# regress past the closure table it replaces (BENCH_obicomp.json records the
+# numbers).
+go test -run '^TestGenBenchSmoke$' -count=1 ./internal/schema/gentest/
 # Shard-soak smoke: the sharded-core soak harness (control and default shard
 # counts) must execute at GOMAXPROCS 1 and 4. Full figures: BENCH_shard.json.
 go test -bench 'BenchmarkShardSoak' -benchtime=1x -cpu 1,4 -run '^$' .

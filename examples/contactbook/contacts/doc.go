@@ -1,0 +1,7 @@
+// Package contacts is the contactbook's application model. The classes are
+// declared once in schema.xml; everything else in this package is obicomp
+// output — typed accessors, static dispatch, specialized wire codecs —
+// regenerated with:
+//
+//go:generate go run objectswap/cmd/obicomp -dir .
+package contacts

@@ -1,16 +1,14 @@
 // Contactbook: the obicomp workflow end to end.
 //
 // The application model (contacts and groups) is declared once in
-// contacts/schema.xml; `obicomp` generated contacts/contacts_gen.go with the
-// class definitions and swapping-safe accessors:
+// contacts/schema.xml; every Go file in the contacts package is obicomp
+// output (`go generate ./examples/contactbook/contacts`): per-class static
+// dispatch, specialized wire codecs, and typed proxy-stub wrappers.
 //
-//	go run ./cmd/obicomp -in examples/contactbook/contacts/schema.xml \
-//	                     -out examples/contactbook/contacts/contacts_gen.go
-//
-// The program then builds contact groups purely through generated accessors
+// The program builds contact groups purely through generated accessors
 // (setters route every reference through interception, so cross-cluster
 // links are proxied without any hand-written middleware code), swaps cold
-// groups out, and reads everything back.
+// groups out, and reads everything back through the typed wrappers.
 //
 // Run with:
 //
@@ -123,38 +121,35 @@ func run() error {
 	sys.Collect()
 	fmt.Printf("heap after swapping cold groups: %d bytes\n\n", sys.Heap().Used())
 
-	// Read every group back through generated getters; swapped groups fault
-	// back transparently.
+	// Read every group back through the generated typed wrappers; swapped
+	// groups fault back transparently on the first access.
 	for _, label := range groups {
 		root, err := sys.MustRoot("group-" + label)
 		if err != nil {
 			return err
 		}
-		out, err := sys.Invoke(root, "getLabel")
+		g := contacts.AsGroup(sys.Runtime(), root)
+		name, err := g.GetLabel()
 		if err != nil {
 			return err
 		}
-		name, _ := out[0].Str()
-		out, err = sys.Invoke(root, "getFirst")
+		first, err := g.GetFirst()
 		if err != nil {
 			return err
 		}
-		cur := out[0]
+		cur := first
 		count := 0
 		var firstPhone string
 		for !cur.IsNil() {
+			c := contacts.AsContact(sys.Runtime(), cur)
 			if count == 0 {
-				p, err := sys.Invoke(cur, "getPhone")
-				if err != nil {
+				if firstPhone, err = c.GetPhone(); err != nil {
 					return err
 				}
-				firstPhone, _ = p[0].Str()
 			}
-			nx, err := sys.Invoke(cur, "getNext")
-			if err != nil {
+			if cur, err = c.GetNext(); err != nil {
 				return err
 			}
-			cur = nx[0]
 			count++
 		}
 		fmt.Printf("group %-10s %2d contacts (first: %s)\n", name, count, firstPhone)

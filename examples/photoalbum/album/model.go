@@ -1,0 +1,17 @@
+// Package album declares the photoalbum's application model as an annotated
+// Go struct; the rest of the package is obicomp output, regenerated with:
+//
+//go:generate go run objectswap/cmd/obicomp -dir .
+package album
+
+// Photo is one photo in an album: a thumbnail payload, caption, and the next
+// photo. obicomp generates the class, accessors, wire codec and the typed
+// PhotoRef wrapper; main.go adds the hand-written thumbSize method on top —
+// generated static dispatch and closure methods coexist on one class.
+//
+//obiswap:class
+type Photo struct {
+	Thumb   []byte
+	Caption string
+	Next    *Photo
+}

@@ -7,6 +7,10 @@
 // files) whenever occupancy crosses the threshold. Browsing an album that was
 // demoted faults it back transparently — possibly demoting another.
 //
+// The Photo class is declared once in album/model.go and compiled by obicomp
+// (`go generate ./examples/photoalbum/album`); the hand-written thumbSize
+// method below is layered on top of the generated static dispatch.
+//
 // Run with:
 //
 //	go run ./examples/photoalbum
@@ -20,6 +24,7 @@ import (
 	"path/filepath"
 
 	"objectswap"
+	"objectswap/examples/photoalbum/album"
 	"objectswap/internal/event"
 	"objectswap/internal/heap"
 	"objectswap/internal/store"
@@ -37,28 +42,11 @@ func main() {
 	}
 }
 
-// photoClass models one photo: a thumbnail payload, caption, and the next
-// photo in the album.
+// photoClass is the obicomp-generated Photo class with one hand-written
+// method added: generated accessor dispatch answers get/set calls, the
+// closure table still serves everything else.
 func photoClass() *heap.Class {
-	c := heap.NewClass("Photo",
-		heap.FieldDef{Name: "thumb", Kind: heap.KindBytes},
-		heap.FieldDef{Name: "caption", Kind: heap.KindString},
-		heap.FieldDef{Name: "next", Kind: heap.KindRef},
-	)
-	c.AddMethod("caption", func(call *heap.Call) ([]heap.Value, error) {
-		v, err := call.Self.FieldByName("caption")
-		if err != nil {
-			return nil, err
-		}
-		return []heap.Value{v}, nil
-	})
-	c.AddMethod("next", func(call *heap.Call) ([]heap.Value, error) {
-		v, err := call.Self.FieldByName("next")
-		if err != nil {
-			return nil, err
-		}
-		return []heap.Value{v}, nil
-	})
+	c := album.NewPhotoClass()
 	c.AddMethod("thumbSize", func(call *heap.Call) ([]heap.Value, error) {
 		v, err := call.Self.FieldByName("thumb")
 		if err != nil {
@@ -165,7 +153,7 @@ func run() error {
 			}
 			n, _ := out[0].Int()
 			bytes += n
-			cur, err = sys.Field(cur, "next")
+			cur, err = album.AsPhoto(sys.Runtime(), cur).GetNext()
 			if err != nil {
 				return err
 			}

@@ -1,8 +1,13 @@
 // Quickstart: the smallest complete Object-Swapping program.
 //
-// It builds one swap-cluster of objects on a constrained device, swaps it out
-// to a nearby in-memory device, shows that the memory came back, and then
-// touches the data — which transparently faults the whole cluster back in.
+// The application model — one annotated Go struct — lives in notes/model.go;
+// obicomp generates the Note class, its accessors and a typed NoteRef
+// wrapper from it (`go generate ./examples/quickstart/notes`).
+//
+// The program builds one swap-cluster of notes on a constrained device,
+// swaps it out to a nearby in-memory device, shows that the memory came
+// back, and then touches the data — which transparently faults the whole
+// cluster back in.
 //
 // Run with:
 //
@@ -14,7 +19,7 @@ import (
 	"log"
 
 	"objectswap"
-	"objectswap/internal/heap"
+	"objectswap/examples/quickstart/notes"
 	"objectswap/internal/store"
 )
 
@@ -30,51 +35,39 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	// A nearby device: anything that can store, return and drop XML text.
+	// A nearby device: anything that can store, return and drop shipments.
 	if err := sys.AttachDevice("desktop-pc", store.NewMem(0)); err != nil {
 		return err
 	}
-
-	// An application class: a note with text and a link to the next note.
-	note := heap.NewClass("Note",
-		heap.FieldDef{Name: "text", Kind: heap.KindString},
-		heap.FieldDef{Name: "next", Kind: heap.KindRef},
-	)
-	note.AddMethod("text", func(c *heap.Call) ([]heap.Value, error) {
-		v, err := c.Self.FieldByName("text")
-		if err != nil {
-			return nil, err
-		}
-		return []heap.Value{v}, nil
-	})
-	note.AddMethod("next", func(c *heap.Call) ([]heap.Value, error) {
-		v, err := c.Self.FieldByName("next")
-		if err != nil {
-			return nil, err
-		}
-		return []heap.Value{v}, nil
-	})
-	sys.MustRegisterClass(note)
+	// One call registers every generated class.
+	if err := notes.RegisterAll(sys); err != nil {
+		return err
+	}
+	note, err := sys.Runtime().Registry().Lookup("Note")
+	if err != nil {
+		return err
+	}
 
 	// Build ten notes in one swap-cluster, rooted at "notes".
 	cluster := sys.NewCluster()
-	var prev *heap.Object
+	var prev notes.NoteRef
 	for i := 0; i < 10; i++ {
 		o, err := sys.NewObject(note, cluster)
 		if err != nil {
 			return err
 		}
-		if err := sys.SetField(o.RefTo(), "text", heap.Str(fmt.Sprintf("note #%d", i))); err != nil {
+		n := notes.AsNote(sys.Runtime(), o.RefTo())
+		if err := n.SetText(fmt.Sprintf("note #%d", i)); err != nil {
 			return err
 		}
-		if prev == nil {
+		if i == 0 {
 			if err := sys.SetRoot("notes", o.RefTo()); err != nil {
 				return err
 			}
-		} else if err := sys.SetField(prev.RefTo(), "next", o.RefTo()); err != nil {
+		} else if err := prev.SetNext(o.RefTo()); err != nil {
 			return err
 		}
-		prev = o
+		prev = n
 	}
 	fmt.Printf("built 10 notes: heap %d bytes used\n", sys.Heap().Used())
 
@@ -93,14 +86,13 @@ func run() error {
 		return err
 	}
 	for !cur.IsNil() {
-		out, err := sys.Invoke(cur, "text")
+		n := notes.AsNote(sys.Runtime(), cur)
+		text, err := n.GetText()
 		if err != nil {
 			return err
 		}
-		text, _ := out[0].Str()
 		fmt.Println(" ", text)
-		cur, err = sys.Field(cur, "next")
-		if err != nil {
+		if cur, err = n.GetNext(); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,15 @@
+// Package notes declares the quickstart's application model as an annotated
+// Go struct; every other file here is obicomp output, regenerated with:
+//
+//go:generate go run objectswap/cmd/obicomp -dir .
+package notes
+
+// Note is a linked note: obicomp turns this declaration into the Note class
+// with static accessor dispatch, a specialized wire codec and a typed
+// NoteRef wrapper.
+//
+//obiswap:class
+type Note struct {
+	Text string
+	Next *Note
+}

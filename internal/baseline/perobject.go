@@ -138,11 +138,7 @@ func (p *PerObject) Invoke(target heap.Value, method string, args ...heap.Value)
 	if err != nil {
 		return nil, err
 	}
-	m, ok := o.Class().Method(method)
-	if !ok {
-		return nil, fmt.Errorf("%w: %s.%s", heap.ErrNoSuchMethod, o.Class().Name, method)
-	}
-	return m(&heap.Call{RT: p, Self: o, Args: args})
+	return o.Class().Invoke(method, &heap.Call{RT: p, Self: o, Args: args})
 }
 
 // Field implements heap.Invoker.

@@ -63,6 +63,10 @@ type ckptCluster struct {
 	Key     string `xml:"key,attr,omitempty"`
 	Payload int    `xml:"payload,attr,omitempty"`
 	Bytes   int64  `xml:"bytes,attr,omitempty"`
+	// CRC is the IEEE CRC32 of the shipped payload, restored so swap-in and
+	// repair keep verifying replicas across a restart (0 = written by a
+	// stream that predates checksumming — verification is skipped).
+	CRC uint32 `xml:"crc,attr,omitempty"`
 	// Format is the negotiated wire format of the swapped shipment ("" = XML,
 	// as written by streams that predate negotiation).
 	Format   string         `xml:"format,attr,omitempty"`
@@ -82,6 +86,7 @@ type ckptCluster struct {
 type ckptBase struct {
 	Key      string        `xml:"key,attr"`
 	Format   string        `xml:"format,attr,omitempty"`
+	CRC      uint32        `xml:"crc,attr,omitempty"`
 	Replicas []ckptReplica `xml:"replica"`
 }
 
@@ -160,10 +165,12 @@ func (rt *Runtime) SaveCheckpoint(w io.Writer) error {
 		swapped := cs.swapped
 		devices := append([]string(nil), cs.devices...)
 		key, payload, bytesAtSwap := cs.key, cs.payloadBytes, cs.bytesAtSwap
+		crc := cs.crc
 		format := cs.format
 		base := shipmentBase{
 			key:     cs.base.key,
 			format:  cs.base.format,
+			crc:     cs.base.crc,
 			devices: append([]string(nil), cs.base.devices...),
 		}
 		replID := cs.replacement
@@ -177,6 +184,7 @@ func (rt *Runtime) SaveCheckpoint(w io.Writer) error {
 		}
 		if swapped {
 			ck.Key, ck.Payload, ck.Bytes = key, payload, bytesAtSwap
+			ck.CRC = crc
 			ck.Format = format
 			if len(devices) > 0 {
 				ck.Device = devices[0]
@@ -214,7 +222,7 @@ func (rt *Runtime) SaveCheckpoint(w io.Writer) error {
 			ck.Doc = string(data)
 		}
 		if base.key != "" {
-			ck.Base = &ckptBase{Key: base.key, Format: base.format}
+			ck.Base = &ckptBase{Key: base.key, Format: base.format, CRC: base.crc}
 			for _, d := range base.devices {
 				ck.Base.Replicas = append(ck.Base.Replicas, ckptReplica{Device: d})
 			}
@@ -368,10 +376,11 @@ func (rt *Runtime) LoadCheckpoint(r io.Reader) error {
 			cs.swapped = true
 			cs.devices, cs.key = devices, ck.Key
 			cs.payloadBytes, cs.bytesAtSwap = ck.Payload, ck.Bytes
+			cs.crc = ck.CRC
 			cs.format = ck.Format
 		}
 		if ck.Base != nil {
-			cs.base = shipmentBase{key: ck.Base.Key, format: ck.Base.Format}
+			cs.base = shipmentBase{key: ck.Base.Key, format: ck.Base.Format, crc: ck.Base.CRC}
 			for _, r := range ck.Base.Replicas {
 				cs.base.devices = append(cs.base.devices, r.Device)
 			}

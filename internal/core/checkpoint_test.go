@@ -80,6 +80,17 @@ func TestCheckpointWithSwappedClusters(t *testing.T) {
 	if !rt2.Manager().IsSwapped(clusters[1]) || !rt2.Manager().IsSwapped(clusters[3]) {
 		t.Fatal("swapped state lost in restore")
 	}
+	// The payload checksum survives the restore, so the restored runtime
+	// keeps verifying replicas against bit rot.
+	for _, cid := range []ClusterID{clusters[1], clusters[3]} {
+		ts := rt2.mgr.tab(cid)
+		ts.mu.Lock()
+		crc := ts.clusters[cid].crc
+		ts.mu.Unlock()
+		if crc == 0 {
+			t.Fatalf("cluster %d: payload CRC lost in checkpoint restore", cid)
+		}
+	}
 	if errs := rt2.Manager().CheckInvariants(); len(errs) > 0 {
 		for _, e := range errs {
 			t.Error(e)

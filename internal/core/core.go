@@ -106,6 +106,11 @@ var (
 	// donor holding the cluster's payload — the cluster is unrecoverable
 	// until one of its donors returns.
 	ErrNoLiveReplica = errors.New("core: no live replica")
+	// ErrCorruptReplica reports a fetched payload whose checksum disagrees
+	// with the one recorded at swap-out: the donor's copy rotted at rest.
+	// Swap-in and repair treat it like a dead replica and fall through to
+	// the next one.
+	ErrCorruptReplica = errors.New("core: replica payload corrupt")
 )
 
 // StoreProvider resolves nearby swapping devices by name. It is implemented
@@ -250,6 +255,12 @@ type Runtime struct {
 	replacementClass *heap.Class
 	objProxyClass    *heap.Class
 	proxyClasses     map[string]*heap.Class
+
+	// classCodecs holds the wire codecs of registered classes whose ops were
+	// generated by obicomp (wire.ClassCodecProvider). The set rides along on
+	// every binary-family encode/decode; classes without a codec fall back to
+	// the generic frame path, byte for byte.
+	classCodecs *wire.ClassCodecs
 }
 
 var _ heap.Invoker = (*Runtime)(nil)
@@ -351,6 +362,7 @@ func NewRuntime(h *heap.Heap, reg *heap.Registry, opts ...Option) *Runtime {
 		reg:          reg,
 		nshards:      DefaultShards,
 		proxyClasses: make(map[string]*heap.Class),
+		classCodecs:  wire.NewClassCodecs(),
 		name:         fmt.Sprintf("dev%d", atomic.AddUint64(&runtimeSeq, 1)),
 	}
 	rt.replacementClass = buildReplacementClass()
@@ -591,6 +603,11 @@ func (rt *Runtime) RegisterClass(c *heap.Class) error {
 		return err
 	}
 	rt.proxyClasses[c.Name] = buildProxyClass(c)
+	if p, ok := c.Ops().(wire.ClassCodecProvider); ok {
+		if cc := p.WireCodec(); cc != nil {
+			rt.classCodecs.Bind(cc)
+		}
+	}
 	return nil
 }
 

@@ -120,14 +120,11 @@ func (rt *Runtime) Invoke(target heap.Value, method string, args ...heap.Value) 
 	}
 }
 
-// invokeDirect is the intra-cluster fast path: plain class-table dispatch.
+// invokeDirect is the intra-cluster fast path: dispatch through the class's
+// behavior plane (generated switch or closure table — the runtime does not
+// care which). The receiver and arguments were already stacked by Invoke.
 func (rt *Runtime) invokeDirect(obj *heap.Object, method string, args []heap.Value) ([]heap.Value, error) {
-	m, ok := obj.Class().Method(method)
-	if !ok {
-		return nil, fmt.Errorf("%w: %s.%s", heap.ErrNoSuchMethod, obj.Class().Name, method)
-	}
-	// The receiver and arguments were already stacked by Invoke.
-	return m(&heap.Call{RT: rt, Self: obj, Args: args})
+	return obj.Class().Invoke(method, &heap.Call{RT: rt, Self: obj, Args: args})
 }
 
 // invokeProxy crosses a swap-cluster boundary: it reloads the target cluster
@@ -148,8 +145,7 @@ func (rt *Runtime) invokeProxy(p *heap.Object, method string, args []heap.Value)
 	if err != nil {
 		return nil, fmt.Errorf("core: proxy target @%d: %w", ultimate, err)
 	}
-	m, ok := obj.Class().Method(method)
-	if !ok {
+	if !obj.Class().HasMethod(method) {
 		return nil, fmt.Errorf("%w: %s.%s (via proxy)", heap.ErrNoSuchMethod, obj.Class().Name, method)
 	}
 
@@ -170,7 +166,7 @@ func (rt *Runtime) invokeProxy(p *heap.Object, method string, args []heap.Value)
 	for _, a := range targs {
 		rt.pushValueRefs(a)
 	}
-	res, err := m(&heap.Call{RT: rt, Self: obj, Args: targs})
+	res, err := obj.Class().Invoke(method, &heap.Call{RT: rt, Self: obj, Args: targs})
 	if err != nil {
 		return nil, err
 	}

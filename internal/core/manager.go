@@ -26,6 +26,9 @@ type shipmentBase struct {
 	key     string
 	devices []string
 	format  string
+	// crc is the IEEE CRC32 of the base payload as shipped, verified when a
+	// delta decode fetches the base back (0 = unknown, legacy state).
+	crc     uint32
 	members []heap.ObjID
 	// slots is the base document's outbound slot table: the ultimate target
 	// of each outbound slot, in slot order. A delta re-shipment must keep
@@ -62,6 +65,11 @@ type clusterState struct {
 	devices      []string
 	key          string
 	payloadBytes int
+	// crc is the IEEE CRC32 of the shipped payload (every replica is
+	// byte-identical). Swap-in and repair verify fetched bytes against it,
+	// detecting donor corruption at rest and falling through to the next
+	// replica. 0 means unknown (shipments recorded before checksumming).
+	crc uint32
 	// residentBytes at the moment of swap-out, used to pre-check reload room.
 	bytesAtSwap int64
 	// format is the wire format of the current shipment ("" = XML, the

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"sort"
 	"strings"
 
@@ -97,14 +98,17 @@ func (rt *Runtime) liveReplicaTotals() (live, swapped int) {
 	return live, swapped
 }
 
-// RepairCluster restores a swapped cluster toward k live replicas: it reads
-// the payload from a surviving replica, ships fresh copies to donors chosen
-// by the planner (excluding every donor already in the set), prunes replicas
-// recorded on dead donors (their copies go to the deferred-drop queue so a
-// returning donor is cleaned up), and commits the new replica set. k <= 0
-// selects the runtime default. A fully replicated cluster reports ErrNoRepair;
-// a cluster with no reachable replica at all reports ErrNoLiveReplica and
-// stays swapped, recoverable when a donor returns.
+// RepairCluster restores a swapped cluster toward k live replicas: it scrubs
+// every surviving replica's copy against the checksum recorded at swap-out
+// (convicting donor corruption at rest; with K>=2 and no recorded checksum,
+// the majority checksum convicts divergent minorities), ships fresh copies
+// to donors chosen by the planner (excluding every donor already in the
+// set), prunes replicas recorded on dead donors and corrupt copies (their
+// payloads go to the deferred-drop queue), and commits the new replica set.
+// k <= 0 selects the runtime default. A fully replicated cluster whose scrub
+// finds every copy intact reports ErrNoRepair; a cluster with no reachable,
+// uncorrupted replica at all reports ErrNoLiveReplica (or ErrCorruptReplica)
+// and stays swapped, recoverable when a donor returns.
 //
 // The cluster is reserved (busy) for the duration, exactly like a swap, so
 // repair never races a concurrent SwapIn/SwapOut or the sweep.
@@ -157,9 +161,11 @@ func (rt *Runtime) RepairCluster(ctx context.Context, id ClusterID, k int) (ev S
 	cs.busy = true
 	devices := append([]string(nil), cs.devices...)
 	key := cs.key
+	wantCRC := cs.crc
 	base := shipmentBase{
 		key:     cs.base.key,
 		format:  cs.base.format,
+		crc:     cs.base.crc,
 		devices: append([]string(nil), cs.base.devices...),
 	}
 	ts.mu.Unlock()
@@ -181,40 +187,105 @@ func (rt *Runtime) RepairCluster(ctx context.Context, id ClusterID, k int) (ev S
 			dead = append(dead, d)
 		}
 	}
-	if len(live) >= k && len(dead) == 0 {
-		return SwapEvent{}, ErrNoRepair
-	}
 	if len(live) == 0 {
 		return SwapEvent{}, fmt.Errorf("core: repair cluster %d (replicas %s): %w",
 			id, strings.Join(devices, ","), ErrNoLiveReplica)
 	}
 
-	// Fetch the payload from a surviving replica (fallthrough, like swap-in),
-	// keeping its format envelope so the fresh copies land tagged the same.
+	// Scrub every live replica: fetch its copy and checksum it, so donor
+	// corruption at rest is detected even when the replica set looks whole.
+	// Replicas are byte-identical at shipment time, so the checksum recorded
+	// at swap-out convicts a rotted copy directly; without one (state
+	// restored from a pre-CRC checkpoint) the copies themselves are the only
+	// evidence — with K>=2, the majority checksum convicts divergent
+	// minorities, and ties keep the primary-order copy a plain fetch would
+	// have served.
 	span.Phase("fetch")
 	span.SetKey(key)
-	var (
-		data         []byte
-		popts        store.PutOpts
-		serving      string
-		servingStore store.Store
-	)
+	type replicaCopy struct {
+		device string
+		store  store.Store
+		data   []byte
+		opts   store.PutOpts
+		sum    uint32
+	}
+	var copies []replicaCopy
+	var fetchErr error
 	for _, d := range live {
 		s, lerr := rt.stores.Lookup(d)
 		if lerr != nil {
 			continue
 		}
-		if data, popts, err = store.GetWith(ctx, s, key); err == nil {
-			serving = d
-			servingStore = s
-			break
+		b, o, gerr := store.GetWith(ctx, s, key)
+		if gerr != nil {
+			fetchErr = gerr
+			continue
+		}
+		copies = append(copies, replicaCopy{d, s, b, o, crc32.ChecksumIEEE(b)})
+	}
+	if wantCRC == 0 && len(copies) >= 2 {
+		counts := make(map[uint32]int, len(copies))
+		for _, c := range copies {
+			counts[c.sum]++
+		}
+		if len(counts) > 1 {
+			best := 0
+			for _, c := range copies {
+				if counts[c.sum] > best {
+					best, wantCRC = counts[c.sum], c.sum
+				}
+			}
+			rt.logger.Warn("repair: replica payloads diverge; majority checksum wins",
+				"trace", trace, "cluster", uint32(id), "groups", len(counts))
+		}
+	}
+	var (
+		data         []byte
+		popts        store.PutOpts
+		serving      string
+		servingStore store.Store
+		corrupt      []string
+	)
+	for _, c := range copies {
+		if wantCRC != 0 && c.sum != wantCRC {
+			rt.logger.Warn("repair: replica payload corrupt at rest",
+				"trace", trace, "cluster", uint32(id), "device", c.device)
+			corrupt = append(corrupt, c.device)
+			continue
+		}
+		if serving == "" {
+			data, popts, serving, servingStore = c.data, c.opts, c.device, c.store
 		}
 	}
 	if serving == "" {
+		err = fetchErr
+		if len(corrupt) > 0 {
+			err = fmt.Errorf("%w: key %s on %s", ErrCorruptReplica, key, strings.Join(corrupt, ","))
+		}
 		if err == nil {
 			err = ErrNoLiveReplica
 		}
 		return SwapEvent{}, fmt.Errorf("core: repair cluster %d: fetch: %w", id, err)
+	}
+	if len(corrupt) > 0 {
+		// Demote convicted copies: their donors are reachable but their
+		// bytes are worthless, so treat them exactly like dead replicas —
+		// pruned from the set, payload queued for dropping, re-shipped over.
+		corruptSet := make(map[string]bool, len(corrupt))
+		for _, d := range corrupt {
+			corruptSet[d] = true
+		}
+		kept := live[:0]
+		for _, d := range live {
+			if !corruptSet[d] {
+				kept = append(kept, d)
+			}
+		}
+		live = kept
+		dead = append(dead, corrupt...)
+	}
+	if len(live) >= k && len(dead) == 0 {
+		return SwapEvent{}, ErrNoRepair
 	}
 	span.SetDevice(serving)
 	span.SetFormat(popts.Format)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"sort"
 	"strings"
 	"sync"
@@ -252,6 +253,7 @@ func (rt *Runtime) SwapOut(id ClusterID, opts ...SwapOption) (ev SwapEvent, retE
 		payload, err := wire.Encode(p.format, doc, &wire.EncodeOpts{
 			BaseKey: p.baseKey,
 			Removed: p.removed,
+			Codecs:  rt.classCodecs,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("core: encode cluster %d as %s: %w", id, p.format, err)
@@ -328,7 +330,8 @@ func (rt *Runtime) SwapOut(id ClusterID, opts ...SwapOption) (ev SwapEvent, retE
 	// the application graph. Commits on sibling shards proceed concurrently.
 	span.Phase("commit")
 	rt.lockShard(sh)
-	oldBase, err := rt.commitSwapOut(id, repl, devices, key, payloadBytes, residentBytes, plan, memberIDs, slotTargets)
+	oldBase, err := rt.commitSwapOut(id, repl, devices, key, payloadBytes,
+		crc32.ChecksumIEEE(payload), residentBytes, plan, memberIDs, slotTargets)
 	sh.mu.Unlock()
 	if err != nil {
 		return SwapEvent{}, err
@@ -430,7 +433,7 @@ func (rt *Runtime) beginSwapOut(id ClusterID) ([]heap.ObjID, map[heap.ObjID]bool
 // relative to the base, not to the last delta. Caller holds the cluster's
 // shard lock.
 func (rt *Runtime) commitSwapOut(id ClusterID, repl *heap.Object, devices []string, key string,
-	payloadBytes int, residentBytes int64, plan shipPlan,
+	payloadBytes int, payloadCRC uint32, residentBytes int64, plan shipPlan,
 	memberIDs []heap.ObjID, slotTargets []heap.ObjID) (shipmentBase, error) {
 	if err := repl.SetFieldByName(fldStore, heap.Str(strings.Join(devices, ","))); err != nil {
 		return shipmentBase{}, err
@@ -458,6 +461,7 @@ func (rt *Runtime) commitSwapOut(id ClusterID, repl *heap.Object, devices []stri
 	cs.devices = append([]string(nil), devices...)
 	cs.key = key
 	cs.payloadBytes = payloadBytes
+	cs.crc = payloadCRC
 	cs.bytesAtSwap = residentBytes
 	cs.format = string(plan.format)
 	cs.swapOuts++
@@ -468,6 +472,7 @@ func (rt *Runtime) commitSwapOut(id ClusterID, repl *heap.Object, devices []stri
 			key:     key,
 			devices: append([]string(nil), devices...),
 			format:  string(plan.format),
+			crc:     payloadCRC,
 			members: append([]heap.ObjID(nil), memberIDs...),
 			slots:   append([]heap.ObjID(nil), slotTargets...),
 		}
@@ -611,6 +616,8 @@ func (rt *Runtime) SwapIn(id ClusterID, opts ...SwapOption) (ev SwapEvent, retEr
 	key := cs.key
 	replID := cs.replacement
 	needBytes := cs.bytesAtSwap
+	wantCRC := cs.crc
+	baseKey, baseCRC := cs.base.key, cs.base.crc
 	ts.mu.Unlock()
 	sh.mu.Unlock()
 	committed := false
@@ -645,6 +652,12 @@ func (rt *Runtime) SwapIn(id ClusterID, opts ...SwapOption) (ev SwapEvent, retEr
 		s, err := rt.stores.Lookup(d)
 		if err == nil {
 			data, err = s.Get(ctx, key)
+			// Replicas are byte-identical, so the checksum recorded at
+			// swap-out convicts a copy that rotted at rest; with K>=2 the
+			// reload falls through to an intact replica.
+			if err == nil && wantCRC != 0 && crc32.ChecksumIEEE(data) != wantCRC {
+				err = fmt.Errorf("%w: device %s key %s", ErrCorruptReplica, d, key)
+			}
 			if err == nil {
 				device = d
 				serving = s
@@ -676,10 +689,18 @@ func (rt *Runtime) SwapIn(id ClusterID, opts ...SwapOption) (ev SwapEvent, retEr
 	span.Phase("decode")
 	fid, _ := wire.Detect(data)
 	decodeStart := rt.obsReg.Clock().Now()
+	// Codecs also opts into the borrowed-blob decode: bytes values alias
+	// data, which is safe because the document is installed immediately
+	// below and heap.Bytes copies on installation.
 	doc, err := wire.Decode(data, &wire.DecodeOpts{
-		FetchBase: func(baseKey string) ([]byte, error) {
-			return serving.Get(ctx, baseKey)
+		FetchBase: func(k string) ([]byte, error) {
+			b, err := serving.Get(ctx, k)
+			if err == nil && k == baseKey && baseCRC != 0 && crc32.ChecksumIEEE(b) != baseCRC {
+				return nil, fmt.Errorf("%w: device %s base %s", ErrCorruptReplica, device, k)
+			}
+			return b, err
 		},
+		Codecs: rt.classCodecs,
 	})
 	if err != nil {
 		return SwapEvent{}, fmt.Errorf("core: unwrap cluster %d: %w", id, err)
@@ -713,7 +734,7 @@ func (rt *Runtime) SwapIn(id ClusterID, opts ...SwapOption) (ev SwapEvent, retEr
 	span.Phase("install")
 	rt.lockShard(sh)
 	endMutate := rt.beginMutate(sh)
-	installed, payload, err := rt.commitSwapIn(id, cs, repl, doc, fid, devices)
+	installed, payload, err := rt.commitSwapIn(id, cs, repl, doc, fid, devices, crc32.ChecksumIEEE(data))
 	endMutate()
 	sh.mu.Unlock()
 	if err != nil {
@@ -775,7 +796,7 @@ func (rt *Runtime) SwapIn(id ClusterID, opts ...SwapOption) (ev SwapEvent, retEr
 // Caller holds the cluster's shard lock inside a beginMutate section
 // (installation allocates; an allocation failure here must not re-enter the
 // evictor).
-func (rt *Runtime) commitSwapIn(id ClusterID, cs *clusterState, repl *heap.Object, doc *xmlcodec.Doc, fid wire.FormatID, devices []string) (int, int, error) {
+func (rt *Runtime) commitSwapIn(id ClusterID, cs *clusterState, repl *heap.Object, doc *xmlcodec.Doc, fid wire.FormatID, devices []string, dataCRC uint32) (int, int, error) {
 	// Resolve replacement slots back to the retained outbound proxies.
 	outboundVal, err := repl.FieldByName(fldOut)
 	if err != nil {
@@ -853,6 +874,7 @@ func (rt *Runtime) commitSwapIn(id ClusterID, cs *clusterState, repl *heap.Objec
 	cs.format = ""
 	payload := cs.payloadBytes
 	cs.payloadBytes = 0
+	cs.crc = 0
 	cs.bytesAtSwap = 0
 	cs.swapIns++
 	if rt.deltaEnabled() && fid != wire.FormatDelta {
@@ -873,6 +895,7 @@ func (rt *Runtime) commitSwapIn(id ClusterID, cs *clusterState, repl *heap.Objec
 			key:     key,
 			devices: append([]string(nil), devices...),
 			format:  string(fid),
+			crc:     dataCRC,
 			members: memberIDs,
 			slots:   slots,
 		}

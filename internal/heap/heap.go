@@ -306,7 +306,7 @@ func (h *Heap) newObject(c *Class, privileged bool) (*Object, error) {
 		id:     id,
 		class:  c,
 		heap:   h,
-		fields: newFieldVector(c),
+		fields: c.ops.NewFieldVector(),
 		size:   size,
 	}
 	h.objects[id] = o
@@ -316,16 +316,6 @@ func (h *Heap) newObject(c *Class, privileged bool) (*Object, error) {
 	}
 	h.mu.Unlock()
 	return o, nil
-}
-
-// newFieldVector builds the initial field slots of a class instance, with
-// every field set to the zero value of its declared kind.
-func newFieldVector(c *Class) []Value {
-	fields := make([]Value, c.NumFields())
-	for i := range fields {
-		fields[i] = zeroValue(c.Field(i).Kind)
-	}
-	return fields
 }
 
 // NewAt installs an object with a caller-chosen ID — used by swap-in and
@@ -360,7 +350,7 @@ func (h *Heap) NewAt(id ObjID, c *Class) (*Object, error) {
 		id:     id,
 		class:  c,
 		heap:   h,
-		fields: newFieldVector(c),
+		fields: c.ops.NewFieldVector(),
 		size:   size,
 	}
 	h.objects[id] = o

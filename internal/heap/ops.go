@@ -1,0 +1,87 @@
+package heap
+
+// ClassOps is the per-class behavior plane: method dispatch, typed field
+// resolution, field-vector synthesis and zero-alloc field iteration. Every
+// class carries exactly one implementation, so the runtime never
+// special-cases how a class came to exist:
+//
+//   - Classes built at registration time out of NewClass + AddMethod closures
+//     get defaultOps, which routes dispatch through the closure table and
+//     field resolution through the name→slot map — the synthesis path that
+//     predates code generation, now just the default implementation.
+//   - Classes emitted by cmd/obicomp bind generated ops (Class.BindOps) whose
+//     Dispatch is a static switch over the accessor names and whose field
+//     resolution never touches a map — the obicomp "full speed after proxy
+//     replacement" property from the paper, recovered by codegen instead of
+//     reflection.
+//
+// Generated ops may cover only the methods the generator emitted: Dispatch
+// reports ok=false for anything else and Class.Invoke falls back to the
+// closure table, so hand-added methods coexist with generated accessors.
+type ClassOps interface {
+	// Dispatch runs method on call. ok=false means these ops do not
+	// implement the method and the caller should fall back to the class's
+	// closure table (or report ErrNoSuchMethod).
+	Dispatch(method string, call *Call) (res []Value, ok bool, err error)
+	// Has reports whether Dispatch would handle method.
+	Has(method string) bool
+	// MethodNames lists the methods Dispatch handles, in any order.
+	MethodNames() []string
+	// FieldIndex resolves a field name to its slot.
+	FieldIndex(name string) (int, bool)
+	// NewFieldVector builds the zeroed initial field slots of an instance.
+	NewFieldVector() []Value
+	// EachField visits every field slot in declaration order without
+	// allocating; returning false stops the walk.
+	EachField(o *Object, visit func(slot int, def FieldDef, v Value) bool)
+}
+
+// defaultOps implements ClassOps over the class's own tables: the closure
+// method map and the field-index map built by NewClass. It is a single
+// pointer, so storing it in the Class's ops slot never allocates.
+type defaultOps struct{ c *Class }
+
+var _ ClassOps = defaultOps{}
+
+func (d defaultOps) Dispatch(method string, call *Call) ([]Value, bool, error) {
+	m, ok := d.c.methods[method]
+	if !ok {
+		return nil, false, nil
+	}
+	res, err := m(call)
+	return res, true, err
+}
+
+func (d defaultOps) Has(method string) bool {
+	_, ok := d.c.methods[method]
+	return ok
+}
+
+func (d defaultOps) MethodNames() []string {
+	names := make([]string, 0, len(d.c.methods))
+	for n := range d.c.methods {
+		names = append(names, n)
+	}
+	return names
+}
+
+func (d defaultOps) FieldIndex(name string) (int, bool) {
+	i, ok := d.c.fieldIndex[name]
+	return i, ok
+}
+
+func (d defaultOps) NewFieldVector() []Value {
+	fields := make([]Value, len(d.c.fields))
+	for i := range fields {
+		fields[i] = zeroValue(d.c.fields[i].Kind)
+	}
+	return fields
+}
+
+func (d defaultOps) EachField(o *Object, visit func(int, FieldDef, Value) bool) {
+	for i := range d.c.fields {
+		if !visit(i, d.c.fields[i], o.fields[i]) {
+			return
+		}
+	}
+}

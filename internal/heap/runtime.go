@@ -59,11 +59,7 @@ func (rt *DirectRuntime) Invoke(target Value, method string, args ...Value) ([]V
 	if err != nil {
 		return nil, err
 	}
-	m, ok := obj.Class().Method(method)
-	if !ok {
-		return nil, fmt.Errorf("%w: %s.%s", ErrNoSuchMethod, obj.Class().Name, method)
-	}
-	return m(&Call{RT: rt, Self: obj, Args: args})
+	return obj.Class().Invoke(method, &Call{RT: rt, Self: obj, Args: args})
 }
 
 // Field reads a field of the target object.

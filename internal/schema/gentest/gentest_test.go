@@ -1,0 +1,367 @@
+package gentest
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+
+	"objectswap/internal/core"
+	"objectswap/internal/heap"
+	"objectswap/internal/schema"
+	"objectswap/internal/store"
+	"objectswap/internal/wire"
+	"objectswap/internal/xmlcodec"
+)
+
+// TestGeneratedFilesInSync is the golden-file gate: regenerating from
+// model.go must reproduce the committed output byte for byte. A failure means
+// either the generator changed (rerun `go generate ./internal/schema/gentest`
+// and commit) or a generated file was hand-edited.
+func TestGeneratedFilesInSync(t *testing.T) {
+	src, err := os.ReadFile("model.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := schema.ParseGoSource("model.go", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files, err := schema.GenerateFiles(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{"record_gen.go": true, "register_gen.go": true, "schema_gen.xml": true}
+	for _, f := range files {
+		if !want[f.Name] {
+			t.Errorf("unexpected generated file %s", f.Name)
+		}
+		delete(want, f.Name)
+		disk, err := os.ReadFile(f.Name)
+		if err != nil {
+			t.Fatalf("%s: %v (rerun go generate ./internal/schema/gentest)", f.Name, err)
+		}
+		if !bytes.Equal(disk, f.Data) {
+			t.Errorf("%s is stale — rerun go generate ./internal/schema/gentest", f.Name)
+		}
+	}
+	for name := range want {
+		t.Errorf("generator no longer emits %s", name)
+	}
+}
+
+// synthesizedRecordClass hand-builds the closure-table equivalent of the
+// generated Record class: same fields, same accessor names, with every method
+// going through AddMethod closures and the default registration-time ops.
+func synthesizedRecordClass() *heap.Class {
+	c := heap.NewClass("Record", recordFieldDefs[:]...)
+	for i := range recordFieldDefs {
+		name := recordFieldDefs[i].Name
+		suffix := strings.ToUpper(name[:1]) + name[1:]
+		c.AddMethod("get"+suffix, func(call *heap.Call) ([]heap.Value, error) {
+			v, err := call.Self.FieldByName(name)
+			if err != nil {
+				return nil, err
+			}
+			return []heap.Value{v}, nil
+		})
+		c.AddMethod("set"+suffix, func(call *heap.Call) ([]heap.Value, error) {
+			return nil, call.RT.SetFieldValue(call.Self.RefTo(), name, call.Arg(0))
+		})
+	}
+	return c
+}
+
+func newRuntime() *core.Runtime {
+	devices := store.NewRegistry(store.SelectMostFree)
+	_ = devices.Add("d", store.NewMem(0))
+	return core.NewRuntime(heap.New(0), heap.NewRegistry(), core.WithStores(devices))
+}
+
+// TestGeneratedAccessorsAgree drives the generated static-dispatch class and
+// the hand-synthesized closure class through the same accessor script in two
+// identical runtimes and requires identical observable behavior — the
+// cross-oracle for dispatch: obicomp output must be indistinguishable from
+// the closures it replaces.
+func TestGeneratedAccessorsAgree(t *testing.T) {
+	gen, syn := NewRecordClass(), synthesizedRecordClass()
+
+	if g, s := gen.MethodNames(), syn.MethodNames(); !reflect.DeepEqual(g, s) {
+		t.Fatalf("method sets differ: generated %v vs synthesized %v", g, s)
+	}
+	for i := range recordFieldDefs {
+		name := recordFieldDefs[i].Name
+		gi, gok := gen.FieldIndex(name)
+		si, sok := syn.FieldIndex(name)
+		if gi != si || gok != sok {
+			t.Fatalf("FieldIndex(%q): generated (%d,%v) vs synthesized (%d,%v)", name, gi, gok, si, sok)
+		}
+	}
+
+	run := func(c *heap.Class) []string {
+		rt := newRuntime()
+		rt.MustRegisterClass(c)
+		c1, c2 := rt.Manager().NewCluster(), rt.Manager().NewCluster()
+		a, err := rt.NewObject(c, c1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := rt.NewObject(c, c2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		script := []struct {
+			method string
+			args   []heap.Value
+		}{
+			{"setTitle", []heap.Value{heap.Str("alpha")}},
+			{"setSeq", []heap.Value{heap.Int(-42)}},
+			{"setWeight", []heap.Value{heap.Float(2.5)}},
+			{"setDirty", []heap.Value{heap.Bool(true)}},
+			{"setBlob", []heap.Value{heap.Bytes([]byte{1, 2, 3})}},
+			{"setNext", []heap.Value{b.RefTo()}}, // cross-cluster: must be mediated
+			{"setTags", []heap.Value{heap.List(heap.Str("hot"), heap.Int(7))}},
+			{"getTitle", nil}, {"getSeq", nil}, {"getWeight", nil},
+			{"getDirty", nil}, {"getBlob", nil}, {"getTags", nil},
+			{"getMissing", nil}, // unknown method: same error on both
+		}
+		var trace []string
+		for _, step := range script {
+			out, err := rt.Invoke(a.RefTo(), step.method, step.args...)
+			trace = append(trace, fmt.Sprintf("%s -> %v err=%v", step.method, out, err))
+		}
+		// The mediated cross-cluster reference must be a proxy in both
+		// worlds; record the interception outcome, not the unstable IDs.
+		nv, err := a.FieldByName("next")
+		trace = append(trace, fmt.Sprintf("next proxied=%v err=%v", rt.IsProxyRef(nv), err))
+		return trace
+	}
+
+	got, want := run(gen), run(syn)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("accessor traces diverge:\ngenerated:   %v\nsynthesized: %v", got, want)
+	}
+}
+
+// recordDoc builds a shipment document of n Record objects exercising all
+// seven compiled field kinds.
+func recordDoc(n int) *xmlcodec.Doc {
+	payload := make([]byte, 192)
+	for i := range payload {
+		payload[i] = byte(i * 3)
+	}
+	doc := &xmlcodec.Doc{ClusterID: "gentest-swapcluster", Version: xmlcodec.Version}
+	for i := 0; i < n; i++ {
+		id := heap.ObjID(i + 1)
+		doc.Objects = append(doc.Objects, xmlcodec.Object{
+			ID:    id,
+			Class: "Record",
+			Fields: []xmlcodec.Field{
+				{Name: "title", Value: xmlcodec.Value{Kind: heap.KindString, S: fmt.Sprintf("rec-%d", i)}},
+				{Name: "seq", Value: xmlcodec.Value{Kind: heap.KindInt, I: int64(i)*31 - 7}},
+				{Name: "weight", Value: xmlcodec.Value{Kind: heap.KindFloat, F: float64(i) * 0.25}},
+				{Name: "dirty", Value: xmlcodec.Value{Kind: heap.KindBool, B: i%2 == 1}},
+				{Name: "blob", Value: xmlcodec.Value{Kind: heap.KindBytes, Data: payload}},
+				{Name: "next", Value: xmlcodec.InternalRef(heap.ObjID(i%n + 1))},
+				{Name: "tags", Value: xmlcodec.Value{Kind: heap.KindList, List: []xmlcodec.Value{
+					{Kind: heap.KindString, S: "hot"},
+					{Kind: heap.KindInt, I: int64(i)},
+				}}},
+			},
+		})
+	}
+	return doc
+}
+
+func recordCodecs() *wire.ClassCodecs {
+	cc := wire.NewClassCodecs()
+	cc.Bind(recordOps{}.WireCodec())
+	return cc
+}
+
+// TestGeneratedCodecByteIdentical: the committed generated codec must write
+// the same OBW bytes as the generic reflective path and decode them back to
+// the same document.
+func TestGeneratedCodecByteIdentical(t *testing.T) {
+	doc := recordDoc(16)
+	cc := recordCodecs()
+	for _, format := range []wire.FormatID{wire.FormatBinary, wire.FormatFlate} {
+		generic, err := wire.Encode(format, doc, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen, err := wire.Encode(format, doc, &wire.EncodeOpts{Codecs: cc})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(generic, gen) {
+			t.Fatalf("%s: generated codec changed the frame bytes", format)
+		}
+		back, err := wire.Decode(gen, &wire.DecodeOpts{Codecs: cc})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantXML, err := doc.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotXML, err := back.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(gotXML, wantXML) {
+			t.Fatalf("%s: generated codec decode diverged from the document", format)
+		}
+	}
+}
+
+// FuzzGeneratedCodec fuzzes field payloads through the committed generated
+// codec: whatever the values, the frame bytes must match the generic path
+// exactly and decode losslessly.
+func FuzzGeneratedCodec(f *testing.F) {
+	f.Add("alpha", int64(1), 0.5, true, []byte{9, 8, 7}, uint8(3))
+	f.Add("", int64(-1<<40), -0.0, false, []byte{}, uint8(1))
+	f.Add("uni\x00code \"&<>\"", int64(1<<62), 1e300, true, []byte{0xff}, uint8(5))
+	f.Fuzz(func(t *testing.T, title string, seq int64, weight float64, dirty bool, blob []byte, n uint8) {
+		objs := int(n%7) + 1
+		doc := recordDoc(objs)
+		for i := range doc.Objects {
+			fs := doc.Objects[i].Fields
+			fs[0].Value = xmlcodec.Value{Kind: heap.KindString, S: title}
+			fs[1].Value = xmlcodec.Value{Kind: heap.KindInt, I: seq + int64(i)}
+			fs[2].Value = xmlcodec.Value{Kind: heap.KindFloat, F: weight}
+			fs[3].Value = xmlcodec.Value{Kind: heap.KindBool, B: dirty}
+			fs[4].Value = xmlcodec.Value{Kind: heap.KindBytes, Data: blob}
+		}
+		oracle, err := doc.Encode()
+		if err != nil {
+			t.Skip("oracle rejects document")
+		}
+		cc := recordCodecs()
+		generic, err := wire.Encode(wire.FormatBinary, doc, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen, err := wire.Encode(wire.FormatBinary, doc, &wire.EncodeOpts{Codecs: cc})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(generic, gen) {
+			t.Fatal("generated codec changed the frame bytes")
+		}
+		back, err := wire.Decode(gen, &wire.DecodeOpts{Codecs: cc})
+		if err != nil {
+			t.Fatal(err)
+		}
+		backXML, err := back.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(backXML, oracle) {
+			t.Fatal("generated codec decode diverged from the XML oracle")
+		}
+	})
+}
+
+func benchRuntime(b *testing.B, c *heap.Class) (*core.Runtime, heap.Value) {
+	b.Helper()
+	rt := newRuntime()
+	rt.MustRegisterClass(c)
+	o, err := rt.NewObject(c, rt.Manager().NewCluster())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := rt.Invoke(o.RefTo(), "setSeq", heap.Int(77)); err != nil {
+		b.Fatal(err)
+	}
+	return rt, o.RefTo()
+}
+
+// BenchmarkDispatchGenerated measures one accessor call through the
+// generated static switch.
+func BenchmarkDispatchGenerated(b *testing.B) {
+	rt, ref := benchRuntime(b, NewRecordClass())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rt.Invoke(ref, "getSeq"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDispatchSynthesized measures the same call through the closure
+// table the generator replaces.
+func BenchmarkDispatchSynthesized(b *testing.B) {
+	rt, ref := benchRuntime(b, synthesizedRecordClass())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rt.Invoke(ref, "getSeq"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+const benchDocObjects = 64
+
+// BenchmarkDecodeGeneric decodes a Record shipment through the reflective
+// per-value switch.
+func BenchmarkDecodeGeneric(b *testing.B) {
+	data, err := wire.Encode(wire.FormatBinary, recordDoc(benchDocObjects), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := wire.Decode(data, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecodeGenerated decodes the identical bytes through the generated
+// typed codec (borrowed-blob contract: no defensive arena copy).
+func BenchmarkDecodeGenerated(b *testing.B) {
+	data, err := wire.Encode(wire.FormatBinary, recordDoc(benchDocObjects), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := &wire.DecodeOpts{Codecs: recordCodecs()}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := wire.Decode(data, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestGenBenchSmoke is the check.sh generated-codec gate: decoding through
+// the generated codec must allocate strictly less than the generic path (the
+// borrowed-blob contract saves the arena copy), and generated dispatch must
+// not regress past the closure table it replaces. Alloc counts are
+// deterministic; the dispatch ratio gets 1.5x slack for noisy machines.
+func TestGenBenchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark smoke skipped in -short mode")
+	}
+	decGeneric := testing.Benchmark(BenchmarkDecodeGeneric)
+	decGen := testing.Benchmark(BenchmarkDecodeGenerated)
+	t.Logf("decode: generic %d allocs/op %d ns/op, generated %d allocs/op %d ns/op",
+		decGeneric.AllocsPerOp(), decGeneric.NsPerOp(), decGen.AllocsPerOp(), decGen.NsPerOp())
+	if decGen.AllocsPerOp() >= decGeneric.AllocsPerOp() {
+		t.Fatalf("generated decode allocates %d/op, generic %d/op — the specialized codec must allocate strictly less",
+			decGen.AllocsPerOp(), decGeneric.AllocsPerOp())
+	}
+	dispGen := testing.Benchmark(BenchmarkDispatchGenerated)
+	dispSyn := testing.Benchmark(BenchmarkDispatchSynthesized)
+	t.Logf("dispatch: generated %d ns/op, synthesized %d ns/op", dispGen.NsPerOp(), dispSyn.NsPerOp())
+	if float64(dispGen.NsPerOp()) > 1.5*float64(dispSyn.NsPerOp()) {
+		t.Fatalf("generated dispatch %d ns/op regressed past synthesized closures %d ns/op",
+			dispGen.NsPerOp(), dispSyn.NsPerOp())
+	}
+}

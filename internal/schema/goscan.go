@@ -1,0 +1,163 @@
+package schema
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+
+	"objectswap/internal/heap"
+)
+
+// Marker is the magic comment that opts a Go struct declaration into obicomp
+// code generation, by analogy with the paper's compiler processing annotated
+// application classes:
+//
+//	//obiswap:class
+//	type Contact struct {
+//		Name  string
+//		Vcard []byte
+//		Next  *Contact
+//	}
+//
+// Field types map onto heap kinds: int/int64 -> int, float64 -> float,
+// bool -> bool, string -> string, []byte -> bytes, a pointer to any struct
+// or heap.ObjID -> ref, []heap.Value -> list. Exported Go field names become
+// lower-cased schema field names (Name -> name). The struct itself is an IDL
+// declaration only — no code is generated FROM its body, and instances live
+// in the managed heap, not as Go values.
+const Marker = "obiswap:class"
+
+// ParseGoSource scans one annotated Go source file and returns the schema it
+// declares. A file with no annotated structs yields a schema with the file's
+// package name and no classes (callers merging a directory skip it).
+func ParseGoSource(filename string, src []byte) (*Schema, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, filename, src, parser.ParseComments)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSchema, err)
+	}
+	out := &Schema{Package: f.Name.Name}
+	seen := make(map[string]bool)
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.TYPE {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			ts, ok := spec.(*ast.TypeSpec)
+			if !ok {
+				continue
+			}
+			if !marked(gd.Doc) && !marked(ts.Doc) {
+				continue
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return nil, fmt.Errorf("%w: %s: %s is annotated %s but is not a struct",
+					ErrBadSchema, filename, ts.Name.Name, Marker)
+			}
+			c, err := classFromStruct(filename, ts.Name.Name, st)
+			if err != nil {
+				return nil, err
+			}
+			if seen[c.Name] {
+				return nil, fmt.Errorf("%w: %s: duplicate class %q", ErrBadSchema, filename, c.Name)
+			}
+			seen[c.Name] = true
+			out.Classes = append(out.Classes, *c)
+		}
+	}
+	return out, nil
+}
+
+// marked reports whether a doc comment carries the obiswap:class marker.
+func marked(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimPrefix(c.Text, "//")
+		if strings.TrimSpace(text) == Marker {
+			return true
+		}
+	}
+	return false
+}
+
+func classFromStruct(filename, name string, st *ast.StructType) (*Class, error) {
+	if !isIdent(name) {
+		return nil, fmt.Errorf("%w: %s: class name %q", ErrBadSchema, filename, name)
+	}
+	c := &Class{Name: name}
+	for _, field := range st.Fields.List {
+		if len(field.Names) == 0 {
+			return nil, fmt.Errorf("%w: %s.%s: embedded fields are not supported",
+				ErrBadSchema, filename, name)
+		}
+		kind, err := kindOfExpr(field.Type)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %s: %s.%s: %v",
+				ErrBadSchema, filename, name, field.Names[0].Name, err)
+		}
+		for _, fn := range field.Names {
+			if !ast.IsExported(fn.Name) {
+				return nil, fmt.Errorf("%w: %s: %s.%s must be exported",
+					ErrBadSchema, filename, name, fn.Name)
+			}
+			c.Fields = append(c.Fields, Field{Name: lowerFirst(fn.Name), Kind: kind})
+		}
+	}
+	if len(c.Fields) == 0 {
+		return nil, fmt.Errorf("%w: %s: class %s has no fields", ErrBadSchema, filename, name)
+	}
+	return c, nil
+}
+
+// kindOfExpr maps a struct field's type expression to a heap kind.
+func kindOfExpr(t ast.Expr) (heap.Kind, error) {
+	switch x := t.(type) {
+	case *ast.Ident:
+		switch x.Name {
+		case "int", "int64":
+			return heap.KindInt, nil
+		case "float64":
+			return heap.KindFloat, nil
+		case "bool":
+			return heap.KindBool, nil
+		case "string":
+			return heap.KindString, nil
+		}
+	case *ast.StarExpr:
+		// A pointer to any named type is a managed reference.
+		switch x.X.(type) {
+		case *ast.Ident, *ast.SelectorExpr:
+			return heap.KindRef, nil
+		}
+	case *ast.SelectorExpr:
+		if pkg, ok := x.X.(*ast.Ident); ok && pkg.Name == "heap" {
+			switch x.Sel.Name {
+			case "ObjID":
+				return heap.KindRef, nil
+			case "Value":
+				return 0, fmt.Errorf("use a concrete type or []heap.Value")
+			}
+		}
+	case *ast.ArrayType:
+		if x.Len != nil {
+			break // fixed-size arrays have no kind mapping
+		}
+		switch elem := x.Elt.(type) {
+		case *ast.Ident:
+			if elem.Name == "byte" {
+				return heap.KindBytes, nil
+			}
+		case *ast.SelectorExpr:
+			if pkg, ok := elem.X.(*ast.Ident); ok && pkg.Name == "heap" && elem.Sel.Name == "Value" {
+				return heap.KindList, nil
+			}
+		}
+	}
+	return 0, fmt.Errorf("unsupported field type (want int64, float64, bool, string, []byte, *T, heap.ObjID or []heap.Value)")
+}

@@ -72,11 +72,11 @@ func init() { Register(binaryCodec{}) }
 func (binaryCodec) ID() FormatID { return FormatBinary }
 func (binaryCodec) Caps() Caps   { return CapSelfContained }
 
-func (binaryCodec) Encode(doc *xmlcodec.Doc, _ *EncodeOpts) ([]byte, error) {
-	return encodeFrame(doc, nil, 0)
+func (binaryCodec) Encode(doc *xmlcodec.Doc, opts *EncodeOpts) ([]byte, error) {
+	return encodeFrame(doc, opts, 0)
 }
 
-func (binaryCodec) Decode(data []byte, _ *DecodeOpts) (*xmlcodec.Doc, error) {
+func (binaryCodec) Decode(data []byte, opts *DecodeOpts) (*xmlcodec.Doc, error) {
 	body, flags, err := openFrame(data)
 	if err != nil {
 		return nil, err
@@ -84,7 +84,7 @@ func (binaryCodec) Decode(data []byte, _ *DecodeOpts) (*xmlcodec.Doc, error) {
 	if flags != 0 {
 		return nil, fmt.Errorf("%w: flags 0x%02x on plain binary payload", ErrBadFrame, flags)
 	}
-	doc, _, _, err := decodeBody(body, false)
+	doc, _, _, err := decodeBody(body, false, opts.classCodecs())
 	return doc, err
 }
 
@@ -152,7 +152,7 @@ func measureValue(v *xmlcodec.Value, st *docStats) error {
 	return nil
 }
 
-func measureDoc(doc *xmlcodec.Doc, st *docStats) error {
+func measureDoc(doc *xmlcodec.Doc, st *docStats, cc *ClassCodecs) error {
 	st.strBytes += len(doc.ClusterID)
 	for i := range doc.Objects {
 		o := &doc.Objects[i]
@@ -161,6 +161,12 @@ func measureDoc(doc *xmlcodec.Doc, st *docStats) error {
 			uvarintLen(uint64(len(o.Fields)))
 		st.strBytes += len(o.Class)
 		st.fields += len(o.Fields)
+		if c, ok := cc.Lookup(o.Class); ok {
+			if err := c.Measure(o, Stats{st}); err != nil {
+				return err
+			}
+			continue
+		}
 		for j := range o.Fields {
 			f := &o.Fields[j]
 			st.treeBytes += uvarintLen(uint64(len(f.Name)))
@@ -240,16 +246,18 @@ func (e *frameEncoder) value(v *xmlcodec.Value) error {
 	return nil
 }
 
-// encodeBody renders the frame body (header + tree + arenas) for doc. A
-// non-nil delta carries the delta header extension.
-func encodeBody(doc *xmlcodec.Doc, delta *EncodeOpts) ([]byte, error) {
+// encodeBody renders the frame body (header + tree + arenas) for doc. When
+// isDelta is set the delta header extension (base key, removed IDs) is taken
+// from opts; otherwise opts contributes only its class codec set.
+func encodeBody(doc *xmlcodec.Doc, opts *EncodeOpts, isDelta bool) ([]byte, error) {
+	cc := opts.classCodecs()
 	var st docStats
-	if err := measureDoc(doc, &st); err != nil {
+	if err := measureDoc(doc, &st, cc); err != nil {
 		return nil, err
 	}
-	if delta != nil {
-		st.strBytes += len(delta.BaseKey)
-		for _, id := range delta.Removed {
+	if isDelta {
+		st.strBytes += len(opts.BaseKey)
+		for _, id := range opts.Removed {
 			st.treeBytes += uvarintLen(uint64(id))
 		}
 	}
@@ -261,9 +269,9 @@ func encodeBody(doc *xmlcodec.Doc, delta *EncodeOpts) ([]byte, error) {
 		uvarintLen(uint64(st.listItems)) +
 		uvarintLen(uint64(st.strBytes)) +
 		uvarintLen(uint64(st.blobBytes))
-	if delta != nil {
-		header += uvarintLen(uint64(len(delta.BaseKey))) +
-			uvarintLen(uint64(len(delta.Removed)))
+	if isDelta {
+		header += uvarintLen(uint64(len(opts.BaseKey))) +
+			uvarintLen(uint64(len(opts.Removed)))
 	}
 
 	e := frameEncoder{
@@ -279,10 +287,10 @@ func encodeBody(doc *xmlcodec.Doc, delta *EncodeOpts) ([]byte, error) {
 	e.uvarint(uint64(st.listItems))
 	e.uvarint(uint64(st.strBytes))
 	e.uvarint(uint64(st.blobBytes))
-	if delta != nil {
-		e.str(delta.BaseKey)
-		e.uvarint(uint64(len(delta.Removed)))
-		for _, id := range delta.Removed {
+	if isDelta {
+		e.str(opts.BaseKey)
+		e.uvarint(uint64(len(opts.Removed)))
+		for _, id := range opts.Removed {
 			e.uvarint(uint64(id))
 		}
 	}
@@ -292,6 +300,12 @@ func encodeBody(doc *xmlcodec.Doc, delta *EncodeOpts) ([]byte, error) {
 		e.uvarint(uint64(o.ID))
 		e.str(o.Class)
 		e.uvarint(uint64(len(o.Fields)))
+		if c, ok := cc.Lookup(o.Class); ok {
+			if err := c.Encode(Enc{&e}, o); err != nil {
+				return nil, err
+			}
+			continue
+		}
 		for j := range o.Fields {
 			f := &o.Fields[j]
 			e.str(f.Name)
@@ -306,9 +320,9 @@ func encodeBody(doc *xmlcodec.Doc, delta *EncodeOpts) ([]byte, error) {
 	return e.out, nil
 }
 
-// encodeFrame wraps a body in the OBW frame. delta may be nil.
-func encodeFrame(doc *xmlcodec.Doc, delta *EncodeOpts, flags byte) ([]byte, error) {
-	body, err := encodeBody(doc, delta)
+// encodeFrame wraps a body in the OBW frame. opts may be nil.
+func encodeFrame(doc *xmlcodec.Doc, opts *EncodeOpts, flags byte) ([]byte, error) {
+	body, err := encodeBody(doc, opts, flags&flagDelta != 0)
 	if err != nil {
 		return nil, err
 	}
@@ -393,6 +407,13 @@ func (d *frameDecoder) value(v *xmlcodec.Value) error {
 	}
 	kind := d.tree[0]
 	d.tree = d.tree[1:]
+	return d.valueBody(kind, v)
+}
+
+// valueBody decodes the payload of a value whose kind tag has already been
+// consumed — the shared tail of the generic reader and the typed Dec readers,
+// which peel the tag themselves to fast-path their expected kind.
+func (d *frameDecoder) valueBody(kind byte, v *xmlcodec.Value) error {
 	switch kind {
 	case bNil:
 		v.Kind = heap.KindNil
@@ -473,7 +494,14 @@ func (d *frameDecoder) value(v *xmlcodec.Value) error {
 
 // decodeBody parses a frame body. When delta is true the delta header
 // extension is expected and the base key + removed IDs are returned.
-func decodeBody(body []byte, delta bool) (*xmlcodec.Doc, string, []heap.ObjID, error) {
+//
+// A non-nil cc opts the caller into the borrowed-blob contract: byte payloads
+// alias the input buffer instead of a defensive copy (one allocation fewer
+// per decode). That is the swap-in path's shape — the runtime installs the
+// document immediately and heap.Bytes copies during installation — so the
+// alias never outlives the caller's buffer. Callers that hand decoded
+// documents to unknown consumers pass nil codecs and keep the copy.
+func decodeBody(body []byte, delta bool, cc *ClassCodecs) (*xmlcodec.Doc, string, []heap.ObjID, error) {
 	d := frameDecoder{tree: body}
 	clusterIDLen, err := d.uvarint()
 	if err != nil {
@@ -531,7 +559,11 @@ func decodeBody(body []byte, delta bool) (*xmlcodec.Doc, string, []heap.ObjID, e
 	arena := d.tree[arenaStart:]
 	d.tree = d.tree[:arenaStart]
 	d.strs = string(arena[:strBytes])
-	d.blob = append([]byte(nil), arena[strBytes:]...)
+	if cc != nil {
+		d.blob = arena[strBytes:] // borrowed-blob contract, see above
+	} else {
+		d.blob = append([]byte(nil), arena[strBytes:]...)
+	}
 	d.values = make([]xmlcodec.Value, nListItems)
 
 	clusterID := d.strs[:clusterIDLen]
@@ -576,6 +608,12 @@ func decodeBody(body []byte, delta bool) (*xmlcodec.Doc, string, []heap.ObjID, e
 		}
 		o.Fields = fields[:nf:nf]
 		fields = fields[nf:]
+		if c, ok := cc.Lookup(o.Class); ok {
+			if err := c.Decode(Dec{&d}, o); err != nil {
+				return nil, "", nil, err
+			}
+			continue
+		}
 		for j := range o.Fields {
 			f := &o.Fields[j]
 			if f.Name, err = d.str(); err != nil {

@@ -40,7 +40,7 @@ func (deltaCodec) Decode(data []byte, opts *DecodeOpts) (*xmlcodec.Doc, error) {
 	if flags != flagDelta {
 		return nil, fmt.Errorf("%w: flags 0x%02x on delta payload", ErrBadFrame, flags)
 	}
-	changes, baseKey, removed, err := decodeBody(body, true)
+	changes, baseKey, removed, err := decodeBody(body, true, opts.classCodecs())
 	if err != nil {
 		return nil, err
 	}
@@ -57,7 +57,7 @@ func (deltaCodec) Decode(data []byte, opts *DecodeOpts) (*xmlcodec.Doc, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: fetch %q: %v", ErrNeedBase, baseKey, err)
 	}
-	baseOpts := &DecodeOpts{FetchBase: opts.FetchBase, depth: opts.depth + 1}
+	baseOpts := &DecodeOpts{FetchBase: opts.FetchBase, Codecs: opts.Codecs, depth: opts.depth + 1}
 	base, err := Decode(baseData, baseOpts)
 	if err != nil {
 		return nil, fmt.Errorf("%w: decode base %q: %v", ErrNeedBase, baseKey, err)

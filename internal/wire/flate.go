@@ -23,8 +23,8 @@ func init() { Register(flateCodec{}) }
 func (flateCodec) ID() FormatID { return FormatFlate }
 func (flateCodec) Caps() Caps   { return CapSelfContained | CapCompressed }
 
-func (flateCodec) Encode(doc *xmlcodec.Doc, _ *EncodeOpts) ([]byte, error) {
-	body, err := encodeBody(doc, nil)
+func (flateCodec) Encode(doc *xmlcodec.Doc, opts *EncodeOpts) ([]byte, error) {
+	body, err := encodeBody(doc, opts, false)
 	if err != nil {
 		return nil, err
 	}
@@ -40,7 +40,7 @@ func (flateCodec) Encode(doc *xmlcodec.Doc, _ *EncodeOpts) ([]byte, error) {
 	return append(out, packed...), nil
 }
 
-func (flateCodec) Decode(data []byte, _ *DecodeOpts) (*xmlcodec.Doc, error) {
+func (flateCodec) Decode(data []byte, opts *DecodeOpts) (*xmlcodec.Doc, error) {
 	packed, flags, err := openFrame(data)
 	if err != nil {
 		return nil, err
@@ -69,7 +69,7 @@ func (flateCodec) Decode(data []byte, _ *DecodeOpts) (*xmlcodec.Doc, error) {
 	if m, _ := fr.Read(probe[:]); m != 0 {
 		return nil, fmt.Errorf("%w: body longer than declared", ErrBadFrame)
 	}
-	doc, _, _, err := decodeBody(body, false)
+	doc, _, _, err := decodeBody(body, false, opts.classCodecs())
 	return doc, err
 }
 

@@ -78,25 +78,51 @@ var (
 	ErrNeedBase = errors.New("wire: delta requires base shipment")
 )
 
-// EncodeOpts carries per-shipment encoding parameters. Only the delta codec
-// reads it; self-contained codecs accept nil.
+// EncodeOpts carries per-shipment encoding parameters. Self-contained codecs
+// accept nil; only the delta codec requires one.
 type EncodeOpts struct {
 	// BaseKey names the base shipment a delta encodes against. The donor
 	// receiving the delta must already hold this key.
 	BaseKey string
 	// Removed lists base member object IDs absent from the new shipment.
 	Removed []heap.ObjID
+	// Codecs optionally supplies the runtime's per-class codec set. Binary-
+	// family formats route matching objects through their class codec; the
+	// bytes produced are identical either way (the ClassCodec contract).
+	Codecs *ClassCodecs
 }
 
-// DecodeOpts carries per-shipment decoding parameters. Only the delta codec
-// reads it; self-contained codecs accept nil.
+// DecodeOpts carries per-shipment decoding parameters. Self-contained codecs
+// accept nil; only the delta codec requires one.
 type DecodeOpts struct {
 	// FetchBase returns the payload bytes of the named base shipment,
 	// normally a Get against the same donor the delta came from.
 	FetchBase func(key string) ([]byte, error)
 
+	// Codecs optionally supplies the runtime's per-class codec set. Setting
+	// it also opts into the borrowed-blob decode contract: bytes values in
+	// the returned document alias the input payload, so the caller must
+	// install (or copy) the document before reusing the buffer.
+	Codecs *ClassCodecs
+
 	// depth guards against delta-of-delta recursion.
 	depth int
+}
+
+// classCodecs returns the codec set of a possibly-nil opts.
+func (o *EncodeOpts) classCodecs() *ClassCodecs {
+	if o == nil {
+		return nil
+	}
+	return o.Codecs
+}
+
+// classCodecs returns the codec set of a possibly-nil opts.
+func (o *DecodeOpts) classCodecs() *ClassCodecs {
+	if o == nil {
+		return nil
+	}
+	return o.Codecs
 }
 
 // maxDeltaDepth bounds base-chain recursion; the runtime only ever deltas

@@ -219,13 +219,21 @@ func EncodeObject(o *heap.Object, encodeRef RefEncoder) (Object, error) {
 		Class:  o.Class().Name,
 		Fields: make([]Field, 0, o.NumFields()),
 	}
-	for i := 0; i < o.NumFields(); i++ {
-		def := o.Class().Field(i)
-		ev, err := FromHeapValue(o.Field(i), encodeRef)
+	var eerr error
+	// Walk the fields through the class's behavior plane: generated ops
+	// iterate their static layout, synthesized classes their declaration
+	// slice — the codec no longer assumes how a class stores its fields.
+	o.EachField(func(_ int, def heap.FieldDef, v heap.Value) bool {
+		ev, err := FromHeapValue(v, encodeRef)
 		if err != nil {
-			return Object{}, fmt.Errorf("encode %s.%s: %w", o.Class().Name, def.Name, err)
+			eerr = fmt.Errorf("encode %s.%s: %w", o.Class().Name, def.Name, err)
+			return false
 		}
 		out.Fields = append(out.Fields, Field{Name: def.Name, Value: ev})
+		return true
+	})
+	if eerr != nil {
+		return Object{}, eerr
 	}
 	return out, nil
 }
