@@ -15,10 +15,18 @@ go vet ./...
 go build ./...
 go test ./...
 go test -race ./...
-go test -cover ./internal/obs/ ./internal/core/ ./internal/opshttp/ ./internal/placement/
+go test -cover ./internal/obs/ ./internal/core/ ./internal/opshttp/ ./internal/placement/ ./internal/telemetry/
 # Ops-surface smoke: a real listener on :0 must answer 200 on /metrics,
-# /healthz, /debug/traces and /debug/events.
+# /healthz, /debug/traces, /debug/events, /debug/heat and /debug/wss.
 go test -run '^TestSmoke$' -count=1 ./internal/opshttp/
+# Exposition gate: the /metrics page must survive a strict Prometheus
+# text-format parser — adversarial label values, histograms and the
+# telemetry families included.
+go test -run '^TestMetricsPageParses$' -count=1 ./internal/opshttp/
+# Telemetry-consistency gate: heat ranking must agree with the coldest-first
+# victim order, fault causes must be attributed, and the thrash health check
+# must flip degraded and recover.
+go test -run '^TestHeatRankingMatchesEvictionOrder$|^TestFaultCauseAttribution$|^TestThrashHealthFlips$' -count=1 .
 # Codec-bench smoke: the binary wire codec's decode/encode ns ratio must stay
 # far below the XML baseline (~17.54, BENCH_codec.json) and within its
 # allocation budget (BENCH_wire.json records the numbers).

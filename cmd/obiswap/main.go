@@ -8,7 +8,7 @@
 //
 //	obiswap [-heap bytes] [-clusters N] [-per N] [-payload bytes]
 //	        [-device url[,url...]] [-replicas K] [-threshold 0.75] [-metrics]
-//	        [-ops :9982] [-linger 30s] [-log-level info] [-log-json]
+//	        [-ops :9982] [-linger 30s] [-watch 1s] [-log-level info] [-log-json]
 //
 // With -device, shipments go to running swapstores over HTTP (comma-separate
 // several URLs to form a donor pool); otherwise in-process memory devices are
@@ -16,12 +16,14 @@
 // donors and a background repair loop restores lost copies. With -ops, the
 // operator surface (/metrics, /healthz, /debug/traces, /debug/events,
 // /debug/pprof) is served on a side port; -linger keeps the process alive
-// after the run so the endpoints can be inspected.
+// after the run so the endpoints can be inspected, and -watch renders a live
+// top-like heat/WSS/thrash view from the telemetry plane while it lingers.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -32,6 +34,7 @@ import (
 	olog "objectswap/internal/obs/log"
 	"objectswap/internal/opshttp"
 	"objectswap/internal/store"
+	"objectswap/internal/telemetry"
 )
 
 func main() {
@@ -55,6 +58,7 @@ func run() error {
 	metrics := flag.Bool("metrics", false, "after the run, dump the full metrics page (Prometheus text format) to stdout")
 	ops := flag.String("ops", "", "serve the ops surface (/metrics, /healthz, /debug/traces, /debug/pprof) on this address, e.g. :9982")
 	linger := flag.Duration("linger", 0, "keep the process (and ops server) alive this long after the run")
+	watch := flag.Duration("watch", 0, "after the run, render a live top-like heat/WSS/thrash view refreshing at this interval (for -linger, default 30s)")
 	logLevel := flag.String("log-level", "info", "structured log level: debug, info, warn, error")
 	logJSON := flag.Bool("log-json", false, "emit structured logs as JSON instead of key=value")
 	flag.Parse()
@@ -242,9 +246,62 @@ func run() error {
 	if got != want {
 		return fmt.Errorf("checksum mismatch")
 	}
-	if *linger > 0 {
+	switch {
+	case *watch > 0:
+		dur := *linger
+		if dur <= 0 {
+			dur = 30 * time.Second
+		}
+		logger.Info("live telemetry view", "refresh", *watch, "dur", dur)
+		watchTelemetry(sys, *watch, dur)
+	case *linger > 0:
 		logger.Info("lingering for ops inspection", "dur", *linger)
 		time.Sleep(*linger)
 	}
 	return nil
+}
+
+// watchTelemetry renders a top-like live view of the telemetry plane —
+// cluster heat ranking, working-set estimate and thrash state — repainting
+// every interval until dur has elapsed.
+func watchTelemetry(sys *objectswap.System, interval, dur time.Duration) {
+	deadline := time.Now().Add(dur)
+	for {
+		var b strings.Builder
+		renderTelemetry(&b, sys.Telemetry())
+		// Repaint from the top-left, top(1)-style.
+		fmt.Print("\033[H\033[2J" + b.String())
+		if !time.Now().Add(interval).Before(deadline) {
+			return
+		}
+		time.Sleep(interval)
+	}
+}
+
+// renderTelemetry writes one frame of the live view.
+func renderTelemetry(w io.Writer, t *telemetry.Tracker) {
+	hot, warm, cold := t.Counts()
+	wssClusters, wssBytes := t.WSS(0)
+	score, degraded := t.ThrashState()
+	state := "ok"
+	if degraded {
+		state = "DEGRADED"
+	}
+	fmt.Fprintf(w, "obiswap telemetry  %s\n\n", time.Now().Format("15:04:05"))
+	fmt.Fprintf(w, "heat    hot %d | warm %d | cold %d\n", hot, warm, cold)
+	fmt.Fprintf(w, "wss     %d clusters, %d bytes (window %s)\n", wssClusters, wssBytes, t.Window())
+	fmt.Fprintf(w, "thrash  score %.2f, %s\n\n", score, state)
+	ranked := t.HeatSnapshot()
+	fmt.Fprintf(w, "%-9s %-5s %9s %9s %10s %6s %5s %9s %7s\n",
+		"CLUSTER", "CLASS", "SCORE", "TOUCHES", "CROSSINGS", "OUTS", "INS", "PINGPONG", "THRASH")
+	const maxRows = 20
+	for i, h := range ranked {
+		if i == maxRows {
+			fmt.Fprintf(w, "... (%d more)\n", len(ranked)-maxRows)
+			break
+		}
+		fmt.Fprintf(w, "%-9d %-5s %9.2f %9d %10d %6d %5d %9d %7.2f\n",
+			h.Cluster, h.Class, h.Score, h.Touches, h.Crossings,
+			h.SwapOuts, h.SwapIns, h.PingPongs, h.Thrash)
+	}
 }

@@ -29,6 +29,7 @@ import (
 	"errors"
 	"fmt"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -176,6 +177,10 @@ type SwapEvent struct {
 	Phases []obs.Phase
 	// Duration is the whole-operation time from the same trace span.
 	Duration time.Duration
+	// Cause attributes the swap (one of the Cause* constants): explicit API
+	// call, evictor pressure, policy action, implicit reload, or repair.
+	// Empty on events not tied to one attributed operation.
+	Cause string
 }
 
 // Runtime is the swapping-aware Invoker: the OBIWAN middleware instance
@@ -251,6 +256,10 @@ type Runtime struct {
 	wireSeconds *obs.HistogramVec
 	recorder    *obs.Recorder
 	logger      *olog.Logger
+	// telem, when set (WithTelemetry), receives the access-touch stream and
+	// completed swap faults. Calls are nil-guarded and happen either at leaf
+	// positions under the lock order or after all locks are released.
+	telem Telemetry
 
 	replacementClass *heap.Class
 	objProxyClass    *heap.Class
@@ -299,6 +308,26 @@ func WithFlightRecorder(rec *obs.Recorder) Option {
 // logger (the default) logs nothing.
 func WithLogger(lg *olog.Logger) Option {
 	return func(rt *Runtime) { rt.logger = lg }
+}
+
+// Telemetry receives the runtime's access-touch stream and completed swap
+// faults. Implementations must treat both methods as leaf calls: they may be
+// invoked while manager table locks are held, so they must not call back
+// into the runtime.
+type Telemetry interface {
+	// Touch reports one access to a cluster; crossing marks proxy boundary
+	// crossings (the recency feed) as opposed to intra-cluster accesses.
+	Touch(cluster uint32, crossing bool)
+	// RecordSwap reports one completed fault: op is the span name
+	// ("swap_out", "swap_in", "swap_repair"), cause a Cause* value.
+	RecordSwap(op string, cluster uint32, cause string, seconds float64, bytes int64)
+}
+
+// WithTelemetry streams cluster touches and completed swap faults into t
+// (the telemetry plane: heat classification, working-set estimation, fault
+// attribution, thrash scoring).
+func WithTelemetry(t Telemetry) Option {
+	return func(rt *Runtime) { rt.telem = t }
 }
 
 // WithKeepOnReload keeps the XML copy on the device after a successful
@@ -401,6 +430,12 @@ func NewRuntime(h *heap.Heap, reg *heap.Registry, opts ...Option) *Runtime {
 		// base. The observer coexists with replication's SetWriteObserver slot.
 		h.AddWriteObserver(rt.markDirty)
 	}
+	if rt.telem != nil {
+		// Heat tracking consumes every observed access: field writes arrive
+		// via the heap's access observers, read-side dispatches via
+		// NoteAccess, boundary crossings directly from enterCrossing.
+		h.AddAccessObserver(rt.noteAccess)
+	}
 	rt.instrument()
 	return rt
 }
@@ -458,6 +493,50 @@ func (rt *Runtime) markDirty(oid heap.ObjID) {
 		cs.dirty[oid] = true
 	}
 	ts.mu.Unlock()
+}
+
+// noteAccess is the heap access observer feeding heat tracking: it resolves
+// the accessed object's cluster and reports a (non-crossing) touch. Same
+// cost and race profile as markDirty; the telemetry Touch is a leaf call.
+func (rt *Runtime) noteAccess(oid heap.ObjID) {
+	if rt.telem == nil {
+		return
+	}
+	m := rt.mgr
+	m.mu.Lock()
+	info, ok := m.objects[oid]
+	m.mu.Unlock()
+	if !ok {
+		return
+	}
+	rt.telem.Touch(uint32(info.cluster), false)
+}
+
+// noteTouch streams one cluster touch into the telemetry plane, if present.
+func (rt *Runtime) noteTouch(id ClusterID, crossing bool) {
+	if rt.telem != nil {
+		rt.telem.Touch(uint32(id), crossing)
+	}
+}
+
+// resolveCause defaults an unattributed swap: to the evictor while an
+// eviction pass is in flight, and to an explicit API call otherwise.
+func (rt *Runtime) resolveCause(cause string) string {
+	if cause != "" {
+		return cause
+	}
+	if rt.evicting.Load() {
+		return CauseEvictor
+	}
+	return CauseExplicit
+}
+
+// recordFault streams one completed swap fault into the telemetry plane.
+// Called after all locks are released, alongside event emission.
+func (rt *Runtime) recordFault(op string, id ClusterID, cause string, d time.Duration, bytes int) {
+	if rt.telem != nil {
+		rt.telem.RecordSwap(op, uint32(id), cause, d.Seconds(), int64(bytes))
+	}
 }
 
 // recordWire folds one codec run into the per-format instruments and returns
@@ -537,6 +616,12 @@ func (rt *Runtime) instrument() {
 		}
 		return float64(live) / float64(swapped)
 	}, "factor")
+	// Constant 1; the labels carry the build-time configuration so
+	// dashboards can correlate config changes with perf shifts across soaks.
+	r.GaugeVec("objectswap_build_info",
+		"Constant gauge whose labels record the configured shard count, replication factor and wire-format preference order.",
+		"shards", "replicas", "formats").
+		With(strconv.Itoa(rt.nshards), strconv.Itoa(rt.Replicas()), strings.Join(rt.wireFormats, ",")).Set(1)
 }
 
 // Obs returns the runtime's observability registry (never nil).
@@ -684,7 +769,7 @@ func (rt *Runtime) NewObject(c *heap.Class, cluster ClusterID) (*heap.Object, er
 	// Allocating into a swapped-out cluster faults it back in first: the new
 	// object joins its cluster-mates wherever they are.
 	if rt.mgr.IsSwapped(cluster) {
-		if _, err := rt.SwapIn(cluster); err != nil {
+		if _, err := rt.SwapIn(cluster, WithCause(CauseReload)); err != nil {
 			return nil, fmt.Errorf("core: NewObject: reload cluster %d: %w", cluster, err)
 		}
 	}

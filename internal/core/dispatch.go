@@ -27,7 +27,7 @@ func (rt *Runtime) materialize(id heap.ObjID) (*heap.Object, error) {
 	if !rt.mgr.IsSwapped(cluster) {
 		return nil, err
 	}
-	if _, serr := rt.SwapIn(cluster); serr != nil {
+	if _, serr := rt.SwapIn(cluster, WithCause(CauseReload)); serr != nil {
 		return nil, fmt.Errorf("core: reload cluster %d: %w", cluster, serr)
 	}
 	return rt.h.Get(id)
@@ -124,6 +124,7 @@ func (rt *Runtime) Invoke(target heap.Value, method string, args ...heap.Value) 
 // behavior plane (generated switch or closure table — the runtime does not
 // care which). The receiver and arguments were already stacked by Invoke.
 func (rt *Runtime) invokeDirect(obj *heap.Object, method string, args []heap.Value) ([]heap.Value, error) {
+	rt.h.NoteAccess(obj.ID())
 	return obj.Class().Invoke(method, &heap.Call{RT: rt, Self: obj, Args: args})
 }
 
@@ -136,7 +137,7 @@ func (rt *Runtime) invokeProxy(p *heap.Object, method string, args []heap.Value)
 	ultimate := proxyUltimate(p)
 	dst, swapped := rt.mgr.enterCrossing(src, ultimate)
 	if swapped {
-		if _, err := rt.SwapIn(dst); err != nil {
+		if _, err := rt.SwapIn(dst, WithCause(CauseReload)); err != nil {
 			return nil, fmt.Errorf("core: reload cluster %d: %w", dst, err)
 		}
 	}
@@ -256,13 +257,14 @@ func (rt *Runtime) Field(target heap.Value, name string) (res heap.Value, err er
 	}
 	switch obj.Class().Special {
 	case heap.SpecialNone:
+		rt.h.NoteAccess(obj.ID())
 		return obj.FieldByName(name)
 	case heap.SpecialSCProxy:
 		src := proxySrc(obj)
 		ultimate := proxyUltimate(obj)
 		dst, swapped := rt.mgr.enterCrossing(src, ultimate)
 		if swapped {
-			if _, err := rt.SwapIn(dst); err != nil {
+			if _, err := rt.SwapIn(dst, WithCause(CauseReload)); err != nil {
 				return heap.Nil(), fmt.Errorf("core: reload cluster %d: %w", dst, err)
 			}
 		}
@@ -339,7 +341,7 @@ func (rt *Runtime) SetFieldValue(target heap.Value, name string, v heap.Value) e
 		ultimate := proxyUltimate(obj)
 		dst, swapped := rt.mgr.enterCrossing(src, ultimate)
 		if swapped {
-			if _, err := rt.SwapIn(dst); err != nil {
+			if _, err := rt.SwapIn(dst, WithCause(CauseReload)); err != nil {
 				return fmt.Errorf("core: reload cluster %d: %w", dst, err)
 			}
 		}

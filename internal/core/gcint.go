@@ -230,5 +230,12 @@ func (m *Manager) enterCrossing(src ClusterID, ultimate heap.ObjID) (dst Cluster
 		cs.lastAccess = now
 	}
 	unlock()
+	// Heat tracking mirrors the recency feed; touches go out after the
+	// table locks are released (Touch is leaf-safe, but there is no reason
+	// to extend the critical section for it).
+	m.rt.noteTouch(dst, true)
+	if src != dst {
+		m.rt.noteTouch(src, false)
+	}
 	return dst, swapped
 }

@@ -55,7 +55,7 @@ func (rt *Runtime) Deref(v heap.Value) (*heap.Object, error) {
 	}
 	cluster := rt.mgr.ClusterOf(id)
 	if rt.mgr.IsSwapped(cluster) {
-		if _, err := rt.SwapIn(cluster); err != nil {
+		if _, err := rt.SwapIn(cluster, WithCause(CauseReload)); err != nil {
 			return nil, err
 		}
 	}

@@ -313,8 +313,10 @@ func (m *Manager) assign(id heap.ObjID, cluster ClusterID, class string) error {
 	m.objects[id] = objInfo{cluster: cluster, class: class}
 	cs.objects[id] = true
 	// Allocation into a cluster is a use signal: advance its recency so
-	// victim selection does not evict the cluster being built.
+	// victim selection does not evict the cluster being built. Heat
+	// tracking sees the same signal (Touch is a leaf call, safe here).
 	cs.lastAccess = m.clock.Add(1)
+	m.rt.noteTouch(cluster, false)
 	return nil
 }
 

@@ -16,6 +16,36 @@ type swapOpts struct {
 	device     string
 	noFailover bool
 	replicas   int
+	cause      string
+}
+
+// Fault causes: why a swap happened. They label SwapEvent.Cause and the
+// objectswap_fault_seconds{cause} histograms. When no WithCause is given,
+// the runtime attributes the swap to the evictor while an eviction pass is
+// in flight and to an explicit API call otherwise.
+const (
+	// CauseExplicit: a direct SwapOut/SwapIn/Evict API call.
+	CauseExplicit = "explicit"
+	// CauseEvictor: the allocation-pressure evictor freeing memory.
+	CauseEvictor = "evictor-pressure"
+	// CausePolicy: a policy-engine action fired by a rule.
+	CausePolicy = "policy-action"
+	// CauseReload: a demand fault — a dispatch touched a swapped cluster
+	// and the runtime reloaded it implicitly.
+	CauseReload = "reload"
+	// CauseRepair: replica repair re-shipping a degraded cluster.
+	CauseRepair = "repair"
+)
+
+// WithCause attributes the swap to a cause (one of the Cause* constants) for
+// fault-attribution telemetry. Internal callers tag implicit reloads, policy
+// actions and repairs; external callers rarely need it.
+func WithCause(cause string) SwapOption {
+	return func(o *swapOpts) {
+		if cause != "" {
+			o.cause = cause
+		}
+	}
 }
 
 // WithContext runs the swap under ctx: device operations observe its

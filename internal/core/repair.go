@@ -386,9 +386,11 @@ func (rt *Runtime) RepairCluster(ctx context.Context, id ClusterID, k int) (ev S
 	}
 
 	ev = SwapEvent{Cluster: id, Device: newSet[0], Key: key, Bytes: len(data),
-		Attempted: dead, Replicas: newSet, Trace: trace, Format: popts.Format}
+		Attempted: dead, Replicas: newSet, Trace: trace, Format: popts.Format,
+		Cause: CauseRepair}
 	span.SetReplicas(newSet)
 	ev.Phases, ev.Duration = span.End()
+	rt.recordFault("swap_repair", id, ev.Cause, ev.Duration, len(data))
 	rt.logger.Info("cluster repaired", "trace", trace, "cluster", uint32(id),
 		"replicas", strings.Join(newSet, ","), "pruned", strings.Join(dead, ","),
 		"shipped", strings.Join(fresh, ","))

@@ -356,8 +356,9 @@ func (rt *Runtime) SwapOut(id ClusterID, opts ...SwapOption) (ev SwapEvent, retE
 	ev = SwapEvent{Cluster: id, Device: devices[0], Key: key, Objects: len(objs),
 		Bytes: payloadBytes, Attempted: attempted, Replicas: devices, Trace: trace,
 		Format: string(plan.format), Requested: rep.Requested, Quorum: rep.Quorum,
-		Shortfall: shortfall}
+		Shortfall: shortfall, Cause: rt.resolveCause(o.cause)}
 	ev.Phases, ev.Duration = span.End()
+	rt.recordFault("swap_out", id, ev.Cause, ev.Duration, payloadBytes)
 	rt.logger.Info("swap-out", "trace", trace, "cluster", uint32(id),
 		"device", devices[0], "replicas", len(devices), "key", key,
 		"format", string(plan.format), "objects", len(objs),
@@ -570,7 +571,7 @@ func (rt *Runtime) checkInactive(id ClusterID, members map[heap.ObjID]bool) erro
 // serialized under the swap lock. A cluster mid-transition elsewhere reports
 // ErrClusterBusy.
 func (rt *Runtime) SwapIn(id ClusterID, opts ...SwapOption) (ev SwapEvent, retErr error) {
-	_, ctx, cancel := resolveSwapOpts(opts)
+	o, ctx, cancel := resolveSwapOpts(opts)
 	defer cancel()
 	if rt.stores == nil {
 		return SwapEvent{}, ErrNoStores
@@ -770,8 +771,10 @@ func (rt *Runtime) SwapIn(id ClusterID, opts ...SwapOption) (ev SwapEvent, retEr
 	}
 
 	ev = SwapEvent{Cluster: id, Device: device, Key: key, Objects: installed,
-		Bytes: payload, Attempted: failed, Trace: trace, Format: string(fid)}
+		Bytes: payload, Attempted: failed, Trace: trace, Format: string(fid),
+		Cause: rt.resolveCause(o.cause)}
 	ev.Phases, ev.Duration = span.End()
+	rt.recordFault("swap_in", id, ev.Cause, ev.Duration, payload)
 	rt.logger.Info("swap-in", "trace", trace, "cluster", uint32(id),
 		"device", device, "key", key, "objects", installed,
 		"bytes", payload, "dur", ev.Duration)

@@ -73,6 +73,13 @@ type Heap struct {
 	writeObserver   func(ObjID)
 	extraObservers  []func(ObjID)
 	observerSuspend int
+	// accessObservers fire on every observed object access — both field
+	// writes (dispatched alongside the write observers) and explicit
+	// NoteAccess calls from the method/field dispatch path. They feed the
+	// telemetry plane's heat tracking and share observerSuspend so that
+	// middleware-internal traffic (swap-in reinstallation) never reads as
+	// application heat.
+	accessObservers []func(ObjID)
 
 	// nursery grants newly allocated objects a grace period of N collection
 	// cycles before they become collectable, protecting host-held references
@@ -133,13 +140,15 @@ func (h *Heap) AddWriteObserver(fn func(ObjID)) {
 	h.extraObservers = append(h.extraObservers, fn)
 }
 
-// observeWrite dispatches to the write observers, if any.
+// observeWrite dispatches to the write observers, if any. A write is also
+// an access, so the access observers fire too.
 func (h *Heap) observeWrite(id ObjID) {
 	h.obsMu.RLock()
 	fn := h.writeObserver
 	extra := h.extraObservers
+	access := h.accessObservers
 	if h.observerSuspend > 0 {
-		fn, extra = nil, nil
+		fn, extra, access = nil, nil, nil
 	}
 	h.obsMu.RUnlock()
 	if fn != nil {
@@ -147,6 +156,36 @@ func (h *Heap) observeWrite(id ObjID) {
 	}
 	for _, e := range extra {
 		e(id)
+	}
+	for _, a := range access {
+		a(id)
+	}
+}
+
+// AddAccessObserver registers a hook invoked on every observed object
+// access (field writes plus NoteAccess reads). Observers cannot be removed;
+// register once per heap. SuspendWriteObserver silences these too.
+func (h *Heap) AddAccessObserver(fn func(ObjID)) {
+	if fn == nil {
+		return
+	}
+	h.obsMu.Lock()
+	defer h.obsMu.Unlock()
+	h.accessObservers = append(h.accessObservers, fn)
+}
+
+// NoteAccess reports a read-side access (method dispatch, direct field
+// read) to the access observers. It is a no-op when none are registered or
+// while observers are suspended, so read paths pay only an RLock.
+func (h *Heap) NoteAccess(id ObjID) {
+	h.obsMu.RLock()
+	access := h.accessObservers
+	if h.observerSuspend > 0 {
+		access = nil
+	}
+	h.obsMu.RUnlock()
+	for _, a := range access {
+		a(id)
 	}
 }
 

@@ -91,6 +91,12 @@ type Recorder struct {
 
 	spansTotal  uint64 // spans ever admitted (retained + overwritten)
 	eventsTotal uint64
+
+	// Drop counters: admissions that overwrote a retained entry because the
+	// ring was already full. A nonzero rate means the ring is undersized
+	// for the retention window scrape-side tooling expects.
+	spanDrops  uint64
+	eventDrops uint64
 }
 
 // NewRecorder returns a flight recorder retaining the last spanCap spans and
@@ -117,6 +123,9 @@ func (r *Recorder) RecordSpan(s SpanRecord) {
 	r.mu.Lock()
 	r.seq++
 	s.Seq = r.seq
+	if r.spanLen == len(r.spans) {
+		r.spanDrops++
+	}
 	r.spans[r.spanPos] = s
 	r.spanPos = (r.spanPos + 1) % len(r.spans)
 	if r.spanLen < len(r.spans) {
@@ -134,6 +143,9 @@ func (r *Recorder) RecordEvent(e EventRecord) {
 	r.mu.Lock()
 	r.seq++
 	e.Seq = r.seq
+	if r.eventLen == len(r.events) {
+		r.eventDrops++
+	}
 	r.events[r.eventPos] = e
 	r.eventPos = (r.eventPos + 1) % len(r.events)
 	if r.eventLen < len(r.events) {
@@ -215,6 +227,31 @@ func (r *Recorder) Totals() (spans, events uint64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.spansTotal, r.eventsTotal
+}
+
+// Dropped reports how many admissions overwrote a retained span or event
+// because the corresponding ring was full.
+func (r *Recorder) Dropped() (spans, events uint64) {
+	if r == nil {
+		return 0, 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.spanDrops, r.eventDrops
+}
+
+// Instrument exposes the recorder's ring-overwrite counters in reg as
+// objectswap_flight_dropped_total{kind}, so scrape-side tooling can detect
+// undersized rings without diffing Totals against retained counts.
+func (r *Recorder) Instrument(reg *Registry) {
+	if r == nil || reg == nil {
+		return
+	}
+	dropped := reg.CounterVec("objectswap_flight_dropped_total",
+		"Flight-recorder ring overwrites (oldest retained entry lost) by kind.",
+		"kind")
+	dropped.WithFunc(func() float64 { s, _ := r.Dropped(); return float64(s) }, "span")
+	dropped.WithFunc(func() float64 { _, e := r.Dropped(); return float64(e) }, "event")
 }
 
 // FlightDump is the deterministic JSON export shape of a Recorder: retained

@@ -11,6 +11,8 @@
 //	GET /debug/traces   flight-recorder span dump; ?n= limits, ?slowest=N
 //	                    orders by duration, ?errors=N filters failed spans
 //	GET /debug/events   flight-recorder bus-event dump; ?n= limits
+//	GET /debug/heat     ranked cluster heat snapshot (telemetry); ?n= limits
+//	GET /debug/wss      working-set time series (telemetry); ?window=30s
 //	GET /debug/pprof/…  net/http/pprof (unless disabled)
 package opshttp
 
@@ -26,6 +28,7 @@ import (
 
 	"objectswap/internal/obs"
 	olog "objectswap/internal/obs/log"
+	"objectswap/internal/telemetry"
 )
 
 // Check is one named health probe. Probe returns nil when the subsystem is
@@ -51,6 +54,9 @@ type Options struct {
 	CheckTimeout time.Duration
 	// DisablePprof unmounts /debug/pprof.
 	DisablePprof bool
+	// Telemetry serves GET /debug/heat and /debug/wss from the access
+	// telemetry plane.
+	Telemetry *telemetry.Tracker
 }
 
 // CheckResult is one health probe's outcome in the /healthz JSON.
@@ -84,6 +90,14 @@ func NewHandler(o Options) http.Handler {
 		})
 		mux.HandleFunc("/debug/events", func(w http.ResponseWriter, r *http.Request) {
 			serveEvents(w, r, o.Recorder)
+		})
+	}
+	if o.Telemetry != nil {
+		mux.HandleFunc("/debug/heat", func(w http.ResponseWriter, r *http.Request) {
+			serveHeat(w, r, o.Telemetry)
+		})
+		mux.HandleFunc("/debug/wss", func(w http.ResponseWriter, r *http.Request) {
+			serveWSS(w, r, o.Telemetry)
 		})
 	}
 	if !o.DisablePprof {
@@ -194,6 +208,59 @@ func serveEvents(w http.ResponseWriter, r *http.Request, rec *obs.Recorder) {
 		EventsTotal uint64            `json:"events_total"`
 		Events      []obs.EventRecord `json:"events"`
 	}{total, events})
+}
+
+// serveHeat renders the ranked cluster heat snapshot: hottest first, with
+// per-class totals and the thrash state. ?n= limits the ranking.
+func serveHeat(w http.ResponseWriter, r *http.Request, t *telemetry.Tracker) {
+	clusters := t.HeatSnapshot()
+	if n := intParam(r.URL.Query().Get("n")); n > 0 && n < len(clusters) {
+		clusters = clusters[:n]
+	}
+	if clusters == nil {
+		clusters = []telemetry.ClusterHeat{}
+	}
+	hot, warm, cold := t.Counts()
+	score, degraded := t.ThrashState()
+	writeJSON(w, http.StatusOK, struct {
+		Hot         int                     `json:"hot"`
+		Warm        int                     `json:"warm"`
+		Cold        int                     `json:"cold"`
+		ThrashScore float64                 `json:"thrash_score"`
+		Degraded    bool                    `json:"degraded"`
+		Clusters    []telemetry.ClusterHeat `json:"clusters"`
+	}{hot, warm, cold, score, degraded, clusters})
+}
+
+// serveWSS renders the working-set estimate: the windowed aggregate plus the
+// per-interval time series (paper Fig. 5 shape). ?window= accepts a Go
+// duration ("30s", "5m"); absent or invalid selects the tracker default.
+func serveWSS(w http.ResponseWriter, r *http.Request, t *telemetry.Tracker) {
+	window := time.Duration(0)
+	if s := r.URL.Query().Get("window"); s != "" {
+		if d, err := time.ParseDuration(s); err == nil && d > 0 {
+			window = d
+		} else {
+			writeJSON(w, http.StatusBadRequest, struct {
+				Error string `json:"error"`
+			}{fmt.Sprintf("bad window %q: want a Go duration like 30s", s)})
+			return
+		}
+	}
+	if window <= 0 {
+		window = t.Window()
+	}
+	clusters, bytes := t.WSS(window)
+	samples := t.WSSSeries(window)
+	if samples == nil {
+		samples = []telemetry.WSSSample{}
+	}
+	writeJSON(w, http.StatusOK, struct {
+		WindowSeconds float64               `json:"window_seconds"`
+		Clusters      int                   `json:"clusters"`
+		Bytes         int64                 `json:"bytes"`
+		Samples       []telemetry.WSSSample `json:"samples"`
+	}{window.Seconds(), clusters, bytes, samples})
 }
 
 // intParam parses a query count ("" or junk yields 0 = unlimited).

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"objectswap/internal/obs"
+	"objectswap/internal/telemetry"
 )
 
 // TestSmoke starts a real listener on :0 and asserts 200 on /metrics and
@@ -21,16 +22,18 @@ func TestSmoke(t *testing.T) {
 	reg := obs.NewRegistry(nil)
 	reg.Counter("objectswap_smoke_total", "Smoke counter.").Inc()
 	srv, err := Start("127.0.0.1:0", NewHandler(Options{
-		Metrics:  reg,
-		Recorder: obs.NewRecorder(0, 0),
-		Checks:   []Check{{Name: "always", Probe: func(context.Context) error { return nil }}},
+		Metrics:   reg,
+		Recorder:  obs.NewRecorder(0, 0),
+		Telemetry: telemetry.New(reg, telemetry.Options{}),
+		Checks:    []Check{{Name: "always", Probe: func(context.Context) error { return nil }}},
 	}))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer srv.Close()
 
-	for _, path := range []string{"/metrics", "/healthz", "/debug/traces", "/debug/events"} {
+	for _, path := range []string{"/metrics", "/healthz", "/debug/traces", "/debug/events",
+		"/debug/heat", "/debug/wss"} {
 		resp, err := http.Get(srv.URL() + path)
 		if err != nil {
 			t.Fatalf("GET %s: %v", path, err)

@@ -39,7 +39,9 @@ func BindSwapActions(e *Engine, rt *core.Runtime) {
 		count := spec.IntParam("count", 1)
 		collect := spec.BoolParam("collect", true)
 		parallel := spec.IntParam("parallel", 1)
-		var swapOpts []core.SwapOption
+		// Policy-driven swap-outs are attributed to the rule that fired
+		// them, not to the evictor or an explicit call.
+		swapOpts := []core.SwapOption{core.WithCause(core.CausePolicy)}
 		if replicas := spec.IntParam("replicas", 0); replicas > 0 {
 			swapOpts = append(swapOpts, core.WithReplicas(replicas))
 		}
@@ -90,7 +92,7 @@ func BindSwapActions(e *Engine, rt *core.Runtime) {
 		if id < 0 {
 			return errors.New("swap-in: missing cluster parameter")
 		}
-		_, err := rt.SwapIn(core.ClusterID(id))
+		_, err := rt.SwapIn(core.ClusterID(id), core.WithCause(core.CausePolicy))
 		return err
 	})
 

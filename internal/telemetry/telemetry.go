@@ -1,0 +1,505 @@
+// Package telemetry is the access-telemetry plane for the swap runtime: it
+// turns the raw touch stream (boundary crossings, heap accesses, swap events)
+// into cluster heat classes, a sliding-window working-set estimate, per-cause
+// fault latency histograms and a thrash score. It depends only on
+// internal/obs and is driven entirely by the registry Clock, so every decay
+// and window computation is deterministic under a VirtualClock.
+//
+// Lock discipline: the per-shard heat mutexes are strict leaf locks — Touch
+// and RecordSwap may be called while core table locks are held. The WSS
+// roll-up mutex (wssMu) is the opposite: the SizeOf callback it invokes may
+// take core locks, so wssMu must only ever be acquired from read paths
+// (gauge scrapes, endpoints, snapshots) that hold no core locks.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"objectswap/internal/obs"
+)
+
+// Heat classes, in decreasing temperature. The strings are the label values
+// of objectswap_cluster_heat{class}.
+const (
+	ClassHot  = "hot"
+	ClassWarm = "warm"
+	ClassCold = "cold"
+)
+
+// Fault kinds for objectswap_fault_seconds{kind}. Every fault today is a
+// demand fault; KindPrefetch is reserved for the async prefetcher so
+// dashboards keyed on the label survive its introduction.
+const (
+	KindDemand   = "demand"
+	KindPrefetch = "prefetch"
+)
+
+// Options tunes the estimators. Zero values select the defaults below.
+type Options struct {
+	// HeatHalfLife is the half-life of the per-cluster access EWMA: a
+	// cluster's heat score halves every HeatHalfLife of silence.
+	HeatHalfLife time.Duration
+	// Hot/Warm enter and exit thresholds on the decayed score. Enter is
+	// deliberately above exit (hysteresis) so a cluster oscillating around
+	// a boundary does not flap between classes.
+	HotEnter, HotExit   float64
+	WarmEnter, WarmExit float64
+
+	// WSSInterval is the sampling interval of the working-set estimator:
+	// each elapsed interval seals one sample of distinct clusters touched
+	// and their bytes. WSSWindow is the default aggregation window used by
+	// the gauges and by /debug/wss when no ?window= is given.
+	WSSInterval time.Duration
+	WSSWindow   time.Duration
+
+	// ThrashWindow: a swap-in arriving within ThrashWindow of the same
+	// cluster's last swap-out counts as one ping-pong. ThrashHalfLife
+	// decays the accumulated ping-pong score; the health check degrades
+	// when the worst cluster's score crosses ThrashHigh and recovers only
+	// once it falls back below ThrashLow.
+	ThrashWindow   time.Duration
+	ThrashHalfLife time.Duration
+	ThrashHigh     float64
+	ThrashLow      float64
+
+	// Shards is the number of independently locked heat shards.
+	Shards int
+}
+
+func (o Options) withDefaults() Options {
+	if o.HeatHalfLife <= 0 {
+		o.HeatHalfLife = 30 * time.Second
+	}
+	if o.HotEnter <= 0 {
+		o.HotEnter = 4
+	}
+	if o.HotExit <= 0 {
+		o.HotExit = 2
+	}
+	if o.WarmEnter <= 0 {
+		o.WarmEnter = 1
+	}
+	if o.WarmExit <= 0 {
+		o.WarmExit = 0.5
+	}
+	if o.WSSInterval <= 0 {
+		o.WSSInterval = time.Second
+	}
+	if o.WSSWindow <= 0 {
+		o.WSSWindow = time.Minute
+	}
+	if o.ThrashWindow <= 0 {
+		o.ThrashWindow = 10 * time.Second
+	}
+	if o.ThrashHalfLife <= 0 {
+		o.ThrashHalfLife = 30 * time.Second
+	}
+	if o.ThrashHigh <= 0 {
+		o.ThrashHigh = 3
+	}
+	if o.ThrashLow <= 0 {
+		o.ThrashLow = 1
+	}
+	if o.Shards <= 0 {
+		o.Shards = 8
+	}
+	return o
+}
+
+// clusterStat is one cluster's telemetry state. All fields are guarded by
+// the owning shard's mutex; scores are stored decayed-as-of `last` /
+// `thrashLast` and lazily re-decayed on every read or update.
+type clusterStat struct {
+	score     float64
+	last      time.Time
+	class     string
+	touches   uint64
+	crossings uint64
+
+	lastSwapOut time.Time
+	haveSwapOut bool
+	thrash      float64
+	thrashLast  time.Time
+	pingPongs   uint64
+	swapOuts    uint64
+	swapIns     uint64
+}
+
+type heatShard struct {
+	mu       sync.Mutex
+	clusters map[uint32]*clusterStat
+	// touched accumulates the clusters seen in the current (unsealed) WSS
+	// interval; the roll-up drains it.
+	touched map[uint32]struct{}
+}
+
+func (s *heatShard) stat(id uint32) *clusterStat {
+	cs := s.clusters[id]
+	if cs == nil {
+		cs = &clusterStat{class: ClassCold}
+		s.clusters[id] = cs
+	}
+	return cs
+}
+
+// wssSample is one sealed sampling interval: the distinct clusters touched
+// between Start and End and the bytes measured for each at seal time.
+type wssSample struct {
+	start, end time.Time
+	sizes      map[uint32]int64
+}
+
+// Tracker is the telemetry plane. All methods are safe on a nil receiver so
+// callers can plumb an optional *Tracker without guarding every call.
+type Tracker struct {
+	opt    Options
+	clock  obs.Clock
+	shards []*heatShard
+
+	faults *obs.HistogramVec
+
+	// wssMu guards the sample ring and the SizeOf callback; see the
+	// package comment for why it must never be taken under core locks.
+	wssMu    sync.Mutex
+	sizeOf   func(cluster uint32) int64
+	curStart time.Time
+	samples  []wssSample
+
+	thrashMu sync.Mutex
+	degraded bool
+}
+
+// maxWSSSamples bounds the sealed-sample ring; at the default 1s interval
+// this retains ~8.5 minutes of working-set history.
+const maxWSSSamples = 512
+
+// New builds a Tracker on reg's clock and registers its metric families
+// (cluster heat gauges, WSS gauges, thrash gauge, fault histograms) with reg.
+func New(reg *obs.Registry, opt Options) *Tracker {
+	if reg == nil {
+		reg = obs.NewRegistry(obs.RealClock{})
+	}
+	opt = opt.withDefaults()
+	t := &Tracker{
+		opt:    opt,
+		clock:  reg.Clock(),
+		shards: make([]*heatShard, opt.Shards),
+	}
+	for i := range t.shards {
+		t.shards[i] = &heatShard{
+			clusters: make(map[uint32]*clusterStat),
+			touched:  make(map[uint32]struct{}),
+		}
+	}
+	t.instrument(reg)
+	return t
+}
+
+func (t *Tracker) instrument(reg *obs.Registry) {
+	heat := reg.GaugeVec("objectswap_cluster_heat",
+		"Swap-clusters currently in each heat class (EWMA-scored with hysteresis).",
+		"class")
+	heat.WithFunc(func() float64 { h, _, _ := t.Counts(); return float64(h) }, ClassHot)
+	heat.WithFunc(func() float64 { _, w, _ := t.Counts(); return float64(w) }, ClassWarm)
+	heat.WithFunc(func() float64 { _, _, c := t.Counts(); return float64(c) }, ClassCold)
+	reg.GaugeFunc("objectswap_wss_clusters",
+		"Working-set size over the default window: distinct swap-clusters touched.",
+		func() float64 { c, _ := t.WSS(0); return float64(c) })
+	reg.GaugeFunc("objectswap_wss_bytes",
+		"Working-set size over the default window: bytes of the touched swap-clusters.",
+		func() float64 { _, b := t.WSS(0); return float64(b) })
+	reg.GaugeFunc("objectswap_thrash_score",
+		"Decayed ping-pong score of the worst-thrashing swap-cluster.",
+		func() float64 { return t.ThrashScore() })
+	t.faults = reg.HistogramVec("objectswap_fault_seconds",
+		"Swap fault latency by operation, cause and kind (demand now; prefetch reserved for the async prefetcher).",
+		nil, "op", "cause", "kind")
+}
+
+// SetSizeOf installs the per-cluster byte measurer used when sealing WSS
+// samples. The callback may take core locks; it is only ever invoked from
+// read paths that hold none.
+func (t *Tracker) SetSizeOf(fn func(cluster uint32) int64) {
+	if t == nil {
+		return
+	}
+	t.wssMu.Lock()
+	t.sizeOf = fn
+	t.wssMu.Unlock()
+}
+
+func (t *Tracker) shard(cluster uint32) *heatShard {
+	return t.shards[int(cluster)%len(t.shards)]
+}
+
+// decayFactor is 0.5^(dt/halfLife).
+func decayFactor(dt, halfLife time.Duration) float64 {
+	if dt <= 0 {
+		return 1
+	}
+	return math.Exp2(-float64(dt) / float64(halfLife))
+}
+
+func (cs *clusterStat) decayTo(now time.Time, halfLife time.Duration) {
+	if !cs.last.IsZero() {
+		cs.score *= decayFactor(now.Sub(cs.last), halfLife)
+	}
+	cs.last = now
+}
+
+func (cs *clusterStat) decayThrashTo(now time.Time, halfLife time.Duration) {
+	if !cs.thrashLast.IsZero() {
+		cs.thrash *= decayFactor(now.Sub(cs.thrashLast), halfLife)
+	}
+	cs.thrashLast = now
+}
+
+// reclassify applies the hysteresis thresholds to the (already decayed)
+// score. A class is only left once the score crosses the *exit* threshold,
+// and only entered once it crosses the higher *enter* threshold.
+func (t *Tracker) reclassify(cs *clusterStat) {
+	switch cs.class {
+	case ClassHot:
+		if cs.score < t.opt.HotExit {
+			cs.class = ClassWarm
+		}
+		if cs.score < t.opt.WarmExit {
+			cs.class = ClassCold
+		}
+	case ClassWarm:
+		switch {
+		case cs.score >= t.opt.HotEnter:
+			cs.class = ClassHot
+		case cs.score < t.opt.WarmExit:
+			cs.class = ClassCold
+		}
+	default:
+		switch {
+		case cs.score >= t.opt.HotEnter:
+			cs.class = ClassHot
+		case cs.score >= t.opt.WarmEnter:
+			cs.class = ClassWarm
+		}
+	}
+}
+
+// Touch records one access to a cluster. crossing marks accesses that came
+// through a proxy boundary crossing (the manager's recency feed) as opposed
+// to intra-cluster heap reads/writes. Touch is a leaf call: safe under core
+// table locks and safe on a nil Tracker.
+func (t *Tracker) Touch(cluster uint32, crossing bool) {
+	if t == nil {
+		return
+	}
+	now := t.clock.Now()
+	sh := t.shard(cluster)
+	sh.mu.Lock()
+	cs := sh.stat(cluster)
+	cs.decayTo(now, t.opt.HeatHalfLife)
+	cs.score++
+	cs.touches++
+	if crossing {
+		cs.crossings++
+	}
+	t.reclassify(cs)
+	sh.touched[cluster] = struct{}{}
+	sh.mu.Unlock()
+}
+
+// RecordSwap records one completed swap fault: op is "swap_out", "swap_in"
+// or "swap_repair", cause one of the core.Cause* values. seconds is the
+// whole-fault latency (the per-phase decomposition is already recorded by
+// the span tracer). Swap-ins arriving within ThrashWindow of the same
+// cluster's last swap-out feed the thrash score. Leaf call, nil-safe.
+func (t *Tracker) RecordSwap(op string, cluster uint32, cause string, seconds float64, bytes int64) {
+	if t == nil {
+		return
+	}
+	if cause == "" {
+		cause = "unknown"
+	}
+	if t.faults != nil {
+		t.faults.With(op, cause, KindDemand).Observe(seconds)
+	}
+	now := t.clock.Now()
+	sh := t.shard(cluster)
+	sh.mu.Lock()
+	cs := sh.stat(cluster)
+	switch op {
+	case "swap_out":
+		cs.swapOuts++
+		cs.lastSwapOut = now
+		cs.haveSwapOut = true
+	case "swap_in":
+		cs.swapIns++
+		cs.decayThrashTo(now, t.opt.ThrashHalfLife)
+		if cs.haveSwapOut && now.Sub(cs.lastSwapOut) <= t.opt.ThrashWindow {
+			cs.thrash++
+			cs.pingPongs++
+		}
+		cs.haveSwapOut = false
+	}
+	sh.mu.Unlock()
+}
+
+// ClusterHeat is one cluster's entry in the ranked heat snapshot.
+type ClusterHeat struct {
+	Cluster   uint32    `json:"cluster"`
+	Class     string    `json:"class"`
+	Score     float64   `json:"score"`
+	Touches   uint64    `json:"touches"`
+	Crossings uint64    `json:"crossings"`
+	SwapOuts  uint64    `json:"swap_outs"`
+	SwapIns   uint64    `json:"swap_ins"`
+	Thrash    float64   `json:"thrash"`
+	PingPongs uint64    `json:"ping_pongs"`
+	LastTouch time.Time `json:"last_touch"`
+}
+
+// HeatSnapshot returns every tracked cluster with its decayed score and
+// class, hottest first (ties broken by cluster id for determinism).
+func (t *Tracker) HeatSnapshot() []ClusterHeat {
+	if t == nil {
+		return nil
+	}
+	now := t.clock.Now()
+	var out []ClusterHeat
+	for _, sh := range t.shards {
+		sh.mu.Lock()
+		for id, cs := range sh.clusters {
+			cs.decayTo(now, t.opt.HeatHalfLife)
+			cs.decayThrashTo(now, t.opt.ThrashHalfLife)
+			t.reclassify(cs)
+			out = append(out, ClusterHeat{
+				Cluster:   id,
+				Class:     cs.class,
+				Score:     cs.score,
+				Touches:   cs.touches,
+				Crossings: cs.crossings,
+				SwapOuts:  cs.swapOuts,
+				SwapIns:   cs.swapIns,
+				Thrash:    cs.thrash,
+				PingPongs: cs.pingPongs,
+				LastTouch: cs.last,
+			})
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Cluster < out[j].Cluster
+	})
+	return out
+}
+
+// HeatClassOf returns the current class of one cluster (ClassCold for
+// clusters never touched).
+func (t *Tracker) HeatClassOf(cluster uint32) string {
+	if t == nil {
+		return ClassCold
+	}
+	now := t.clock.Now()
+	sh := t.shard(cluster)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	cs := sh.clusters[cluster]
+	if cs == nil {
+		return ClassCold
+	}
+	cs.decayTo(now, t.opt.HeatHalfLife)
+	t.reclassify(cs)
+	return cs.class
+}
+
+// Counts returns how many tracked clusters are currently hot, warm and cold.
+func (t *Tracker) Counts() (hot, warm, cold int) {
+	if t == nil {
+		return 0, 0, 0
+	}
+	now := t.clock.Now()
+	for _, sh := range t.shards {
+		sh.mu.Lock()
+		for _, cs := range sh.clusters {
+			cs.decayTo(now, t.opt.HeatHalfLife)
+			t.reclassify(cs)
+			switch cs.class {
+			case ClassHot:
+				hot++
+			case ClassWarm:
+				warm++
+			default:
+				cold++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return hot, warm, cold
+}
+
+// ThrashScore returns the decayed ping-pong score of the worst cluster.
+// Pure read: it does not move the health-check hysteresis state.
+func (t *Tracker) ThrashScore() float64 {
+	if t == nil {
+		return 0
+	}
+	now := t.clock.Now()
+	var worst float64
+	for _, sh := range t.shards {
+		sh.mu.Lock()
+		for _, cs := range sh.clusters {
+			cs.decayThrashTo(now, t.opt.ThrashHalfLife)
+			if cs.thrash > worst {
+				worst = cs.thrash
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return worst
+}
+
+// ThrashState returns the current worst score and steps the degraded
+// hysteresis: degraded turns on at ThrashHigh and only clears again below
+// ThrashLow, so a sustained ping-pong regime reads degraded across the gap.
+func (t *Tracker) ThrashState() (score float64, degraded bool) {
+	if t == nil {
+		return 0, false
+	}
+	score = t.ThrashScore()
+	t.thrashMu.Lock()
+	if t.degraded {
+		if score < t.opt.ThrashLow {
+			t.degraded = false
+		}
+	} else if score >= t.opt.ThrashHigh {
+		t.degraded = true
+	}
+	degraded = t.degraded
+	t.thrashMu.Unlock()
+	return score, degraded
+}
+
+// HealthCheck is a probe for the ops health endpoint: it returns an error
+// while the thrash hysteresis reads degraded.
+func (t *Tracker) HealthCheck() error {
+	if t == nil {
+		return nil
+	}
+	if score, degraded := t.ThrashState(); degraded {
+		return fmt.Errorf("sustained swap ping-pong: worst cluster thrash score %.2f >= %.2f", score, t.opt.ThrashHigh)
+	}
+	return nil
+}
+
+// Window returns the default WSS aggregation window.
+func (t *Tracker) Window() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return t.opt.WSSWindow
+}

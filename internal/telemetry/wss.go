@@ -1,0 +1,155 @@
+package telemetry
+
+import "time"
+
+// WSSSample is one sealed sampling interval of the working-set estimator,
+// shaped for the /debug/wss JSON time series (paper Fig. 5 style: distinct
+// clusters touched per interval and their byte footprint).
+type WSSSample struct {
+	Start    time.Time `json:"start"`
+	End      time.Time `json:"end"`
+	Clusters int       `json:"clusters"`
+	Bytes    int64     `json:"bytes"`
+}
+
+// rollUp seals the current sampling interval if it has elapsed and returns
+// the current time. Must be called with no core locks held: sealing invokes
+// the SizeOf callback, which may itself take core locks.
+func (t *Tracker) rollUp() time.Time {
+	now := t.clock.Now()
+	t.wssMu.Lock()
+	t.rollUpLocked(now)
+	t.wssMu.Unlock()
+	return now
+}
+
+func (t *Tracker) rollUpLocked(now time.Time) {
+	if t.curStart.IsZero() {
+		t.curStart = now
+		return
+	}
+	if now.Sub(t.curStart) < t.opt.WSSInterval {
+		return
+	}
+	ids := t.drainTouched()
+	sample := wssSample{start: t.curStart, end: now, sizes: make(map[uint32]int64, len(ids))}
+	for _, id := range ids {
+		var b int64
+		if t.sizeOf != nil {
+			b = t.sizeOf(id)
+		}
+		sample.sizes[id] = b
+	}
+	t.samples = append(t.samples, sample)
+	if len(t.samples) > maxWSSSamples {
+		// Re-slice into a fresh array so the dropped head can be collected.
+		t.samples = append([]wssSample(nil), t.samples[len(t.samples)-maxWSSSamples:]...)
+	}
+	t.curStart = now
+}
+
+// drainTouched collects and clears every shard's current-interval touch set.
+// Shard locks are leaf locks, taken one at a time with no core locks held.
+func (t *Tracker) drainTouched() []uint32 {
+	var ids []uint32
+	for _, sh := range t.shards {
+		sh.mu.Lock()
+		for id := range sh.touched {
+			ids = append(ids, id)
+		}
+		sh.touched = make(map[uint32]struct{})
+		sh.mu.Unlock()
+	}
+	return ids
+}
+
+// peekTouched returns the current (unsealed) interval's touch set without
+// clearing it, so reads reflect activity since the last seal.
+func (t *Tracker) peekTouched() []uint32 {
+	var ids []uint32
+	for _, sh := range t.shards {
+		sh.mu.Lock()
+		for id := range sh.touched {
+			ids = append(ids, id)
+		}
+		sh.mu.Unlock()
+	}
+	return ids
+}
+
+// WSS returns the working-set estimate over the given window (0 selects the
+// default window): the number of distinct clusters touched and the byte
+// footprint, counting each cluster's most recent measurement. The live
+// (unsealed) interval is included so a scrape right after activity is not
+// blind for up to one interval. Must not be called with core locks held.
+func (t *Tracker) WSS(window time.Duration) (clusters int, bytes int64) {
+	if t == nil {
+		return 0, 0
+	}
+	if window <= 0 {
+		window = t.opt.WSSWindow
+	}
+	now := t.rollUp()
+	cutoff := now.Add(-window)
+	t.wssMu.Lock()
+	defer t.wssMu.Unlock()
+	union := make(map[uint32]int64)
+	for _, s := range t.samples {
+		if !s.end.After(cutoff) {
+			continue
+		}
+		for id, b := range s.sizes {
+			union[id] = b
+		}
+	}
+	for _, id := range t.peekTouched() {
+		if _, ok := union[id]; !ok {
+			var b int64
+			if t.sizeOf != nil {
+				b = t.sizeOf(id)
+			}
+			union[id] = b
+		}
+	}
+	for _, b := range union {
+		bytes += b
+	}
+	return len(union), bytes
+}
+
+// WSSSeries returns the per-interval samples inside the window, oldest
+// first, with a trailing partial sample for the live interval when it has
+// any activity. Must not be called with core locks held.
+func (t *Tracker) WSSSeries(window time.Duration) []WSSSample {
+	if t == nil {
+		return nil
+	}
+	if window <= 0 {
+		window = t.opt.WSSWindow
+	}
+	now := t.rollUp()
+	cutoff := now.Add(-window)
+	t.wssMu.Lock()
+	defer t.wssMu.Unlock()
+	var out []WSSSample
+	for _, s := range t.samples {
+		if !s.end.After(cutoff) {
+			continue
+		}
+		var b int64
+		for _, sz := range s.sizes {
+			b += sz
+		}
+		out = append(out, WSSSample{Start: s.start, End: s.end, Clusters: len(s.sizes), Bytes: b})
+	}
+	if live := t.peekTouched(); len(live) > 0 {
+		var b int64
+		for _, id := range live {
+			if t.sizeOf != nil {
+				b += t.sizeOf(id)
+			}
+		}
+		out = append(out, WSSSample{Start: t.curStart, End: now, Clusters: len(live), Bytes: b})
+	}
+	return out
+}

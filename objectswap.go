@@ -48,6 +48,7 @@ import (
 	"objectswap/internal/policy"
 	"objectswap/internal/replication"
 	"objectswap/internal/store"
+	"objectswap/internal/telemetry"
 	"objectswap/internal/transport"
 	"objectswap/internal/txn"
 )
@@ -205,6 +206,7 @@ type System struct {
 	recorder     *obs.Recorder
 	logger       *olog.Logger
 	repairer     *placement.Repairer
+	telem        *telemetry.Tracker
 }
 
 // New assembles a System from cfg. Every layer reports into one shared
@@ -224,8 +226,15 @@ func New(cfg Config) (*System, error) {
 		event.WithFlightRecorder(recorder))
 	devices := store.NewRegistry(cfg.DeviceSelection)
 
+	// Ring overwrites surface as objectswap_flight_dropped_total{kind}.
+	recorder.Instrument(reg)
+	// The access-telemetry plane: cluster heat, working-set estimation,
+	// fault attribution and thrash scoring, driven by the registry clock.
+	telem := telemetry.New(reg, telemetry.Options{})
+
 	opts := []core.Option{core.WithStores(devices), core.WithBus(bus), core.WithObs(reg),
-		core.WithFlightRecorder(recorder), core.WithLogger(cfg.Logger)}
+		core.WithFlightRecorder(recorder), core.WithLogger(cfg.Logger),
+		core.WithTelemetry(telem)}
 	if cfg.KeepOnReload {
 		opts = append(opts, core.WithKeepOnReload())
 	}
@@ -243,11 +252,35 @@ func New(cfg Config) (*System, error) {
 	}
 	rt := core.NewRuntime(h, heap.NewRegistry(), opts...)
 	h.Instrument(reg, rt.Name())
+	// WSS samples measure each touched cluster at seal time: resident bytes
+	// while loaded, last shipped payload size while swapped out. The
+	// callback takes core locks, which is safe — the tracker only invokes
+	// it from read paths (scrapes, endpoints) that hold none.
+	telem.SetSizeOf(func(cluster uint32) int64 {
+		info, err := rt.Manager().Info(core.ClusterID(cluster))
+		if err != nil {
+			return 0
+		}
+		if info.Swapped {
+			return int64(info.PayloadBytes)
+		}
+		return info.ResidentBytes
+	})
 
 	conn := devctx.NewConnectivityMonitor(bus, devices)
 	conn.Instrument(reg)
 	conn.SetLogger(cfg.Logger)
 	ctx := devctx.NewContext(h, conn)
+	// Surface the telemetry plane in policy snapshots so rules can condition
+	// on heat class counts, working-set size and thrash (e.g. "swap out only
+	// while heat.cold > 0"). ThrashScore is the pure read — the hysteresis
+	// state machine is only stepped by the health check and /debug/heat.
+	ctx.RegisterMetric("heat.hot", func() float64 { hot, _, _ := telem.Counts(); return float64(hot) })
+	ctx.RegisterMetric("heat.warm", func() float64 { _, warm, _ := telem.Counts(); return float64(warm) })
+	ctx.RegisterMetric("heat.cold", func() float64 { _, _, cold := telem.Counts(); return float64(cold) })
+	ctx.RegisterMetric("thrash.score", func() float64 { return telem.ThrashScore() })
+	ctx.RegisterMetric("wss.clusters", func() float64 { c, _ := telem.WSS(0); return float64(c) })
+	ctx.RegisterMetric("wss.bytes", func() float64 { _, b := telem.WSS(0); return float64(b) })
 	engine := policy.NewEngine(bus, ctx)
 	engine.Instrument(reg)
 	engine.SetLogger(cfg.Logger)
@@ -301,6 +334,7 @@ func New(cfg Config) (*System, error) {
 		recorder:     recorder,
 		logger:       cfg.Logger,
 		repairer:     repairer,
+		telem:        telem,
 	}, nil
 }
 
@@ -453,6 +487,12 @@ func (s *System) HealthChecks() []opshttp.Check {
 			return nil
 		}},
 	}
+	checks = append(checks, opshttp.Check{Name: "thrash", Probe: func(context.Context) error {
+		// Degrades while the telemetry plane sees sustained swap ping-pong
+		// (swap-ins landing right after swap-outs of the same cluster);
+		// recovers once the decayed score falls below the low-water mark.
+		return s.telem.HealthCheck()
+	}})
 	if s.rt.Replicas() > 1 {
 		checks = append(checks, opshttp.Check{Name: "underreplicated", Probe: func(context.Context) error {
 			if under := s.rt.UnderReplicated(0); len(under) > 0 {
@@ -465,20 +505,25 @@ func (s *System) HealthChecks() []opshttp.Check {
 }
 
 // OpsHandler assembles the operator-facing HTTP surface for this system:
-// /metrics, /healthz (HealthChecks), /debug/traces, /debug/events and
-// /debug/pprof. Mount it on a side port via opshttp.Start (the obiswap
-// command's -ops flag does exactly this).
+// /metrics, /healthz (HealthChecks), /debug/traces, /debug/events,
+// /debug/heat, /debug/wss and /debug/pprof. Mount it on a side port via
+// opshttp.Start (the obiswap command's -ops flag does exactly this).
 func (s *System) OpsHandler() http.Handler {
 	return opshttp.NewHandler(opshttp.Options{
-		Metrics:  s.obsReg,
-		Recorder: s.recorder,
-		Checks:   s.HealthChecks(),
-		Logger:   s.logger,
+		Metrics:   s.obsReg,
+		Recorder:  s.recorder,
+		Checks:    s.HealthChecks(),
+		Logger:    s.logger,
+		Telemetry: s.telem,
 	})
 }
 
 // Runtime exposes the swapping runtime.
 func (s *System) Runtime() *core.Runtime { return s.rt }
+
+// Telemetry exposes the access-telemetry plane: cluster heat, working-set
+// estimation, fault attribution and thrash scoring.
+func (s *System) Telemetry() *telemetry.Tracker { return s.telem }
 
 // Heap exposes the device heap.
 func (s *System) Heap() *heap.Heap { return s.heap }
