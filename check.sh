@@ -62,4 +62,13 @@ if [ -n "$PINNED" ]; then
     echo "$PINNED" >&2
     exit 1
 fi
+# Fault-storm smoke: 64 goroutines faulting 8 swapped clusters must issue
+# exactly 8 donor fetches (single-flight coalescing), race-clean at
+# GOMAXPROCS 1 and 4.
+go test -race -run '^TestFaultStormCoalesces$' -count=1 -cpu 1,4 ./internal/core/
+# Fault-bench smoke: a pointer chase with the prefetcher on must serve at
+# least half its cluster boundaries from the prefetch inventory, with the
+# mean prefetch-hit crossing >= 10x cheaper than a demand fault
+# (BENCH_fault.json records the full numbers).
+go test -run '^TestFaultBenchSmoke$' -count=1 .
 go test -bench . -benchtime=1x -run '^$' ./...

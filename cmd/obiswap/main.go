@@ -8,6 +8,7 @@
 //
 //	obiswap [-heap bytes] [-clusters N] [-per N] [-payload bytes]
 //	        [-device url[,url...]] [-replicas K] [-threshold 0.75] [-metrics]
+//	        [-prefetch N] [-prefetch-workers N]
 //	        [-ops :9982] [-linger 30s] [-watch 1s] [-log-level info] [-log-json]
 //
 // With -device, shipments go to running swapstores over HTTP (comma-separate
@@ -53,6 +54,8 @@ func run() error {
 	replicas := flag.Int("replicas", 1, "replication factor: ship each swapped cluster to K donors")
 	wire := flag.String("wire", "binary,xml", "shipment wire-format preference order negotiated with donors (binary, binary+flate, delta, xml)")
 	shards := flag.Int("shards", 0, "independently locked swap shards in the core (0 = default; 1 = single global lock)")
+	prefetch := flag.Int("prefetch", 0, "graph-driven prefetch depth: speculatively swap in up to N neighbor clusters after each demand fault (0 = off)")
+	prefetchWorkers := flag.Int("prefetch-workers", 0, "background prefetch swap-in goroutines (0 = default)")
 	threshold := flag.Float64("threshold", 0.75, "memory pressure threshold fraction")
 	dot := flag.Bool("dot", false, "after building, dump the object graph as Graphviz DOT to stdout and exit")
 	metrics := flag.Bool("metrics", false, "after the run, dump the full metrics page (Prometheus text format) to stdout")
@@ -85,6 +88,7 @@ func run() error {
 		Replicas:        *replicas,
 		WireFormats:     wireFormats,
 		Shards:          *shards,
+		Prefetch:        objectswap.PrefetchConfig{Depth: *prefetch, Workers: *prefetchWorkers},
 		Logger:          logger,
 	})
 	if err != nil {

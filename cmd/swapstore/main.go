@@ -5,7 +5,7 @@
 // Usage:
 //
 //	swapstore [-addr :9980] [-dir path] [-capacity bytes] [-formats xml,...]
-//	          [-ops :9981] [-log-level info] [-log-json]
+//	          [-keep N] [-lease-ttl 30s] [-ops :9981] [-log-level info] [-log-json]
 //
 // With -dir, shipments persist as files (a desktop PC holding swap files);
 // otherwise they are held in memory (another PDA's RAM). The store's Stats
@@ -46,6 +46,7 @@ func run() error {
 	dir := flag.String("dir", "", "persist shipments under this directory (default: in-memory)")
 	capacity := flag.Int64("capacity", 0, "byte capacity offered to neighbors (0 = unlimited)")
 	keep := flag.Int("keep", -1, "archive up to N replaced/dropped generations per key (-1 = off, 0 = unlimited)")
+	leaseTTL := flag.Duration("lease-ttl", 0, "expire shipments whose owner has not renewed within this TTL (0 = keep forever); lapsed replicas are archived, not destroyed")
 	formats := flag.String("formats", "", "wire formats to advertise, comma-separated (default: all built-in; e.g. \"xml\" models a legacy XML-only donor)")
 	ops := flag.String("ops", "", "serve the ops surface (/metrics, /healthz, /debug/traces) on this address, e.g. :9981")
 	logLevel := flag.String("log-level", "info", "structured log level: debug, info, warn, error")
@@ -88,12 +89,50 @@ func run() error {
 	if *keep >= 0 {
 		s = store.NewVersioned(s, *keep)
 		logger.Info("versioning enabled", "keep", *keep)
+	} else if *leaseTTL > 0 {
+		// Lease expiry must be non-destructive: without an explicit -keep the
+		// GC drops through a one-generation archive, so a lapsed replica is
+		// recoverable as <key>#v1 rather than gone.
+		s = store.NewVersioned(s, 1)
+		logger.Info("versioning enabled for lease GC", "keep", 1)
+	}
+
+	var leases *store.LeaseGC
+	if *leaseTTL > 0 {
+		leases = store.NewLeaseGC(s, *leaseTTL, nil)
+		s = leases
+		logger.Info("lease GC enabled", "ttl", *leaseTTL)
 	}
 
 	reg := obs.NewRegistry(nil)
 	recorder := obs.NewRecorder(0, 0)
 	requests := reg.CounterVec("swapstore_requests_total",
 		"Requests served, by method and status.", "method", "status")
+
+	if leases != nil {
+		expired := reg.Counter("swapstore_leases_expired_total",
+			"Shipments archived because their owner's lease lapsed.")
+		every := *leaseTTL / 4
+		if every < time.Second {
+			every = time.Second
+		}
+		go func() {
+			ticker := time.NewTicker(every)
+			defer ticker.Stop()
+			for range ticker.C {
+				ctx, cancel := context.WithTimeout(context.Background(), every)
+				lapsed, err := leases.ExpireLapsed(ctx)
+				cancel()
+				if err != nil {
+					logger.Warn("lease sweep", "err", err)
+				}
+				if len(lapsed) > 0 {
+					expired.Add(float64(len(lapsed)))
+					logger.Info("leases expired", "keys", len(lapsed))
+				}
+			}
+		}()
+	}
 
 	// Advertise the donor's live capacity on the metrics page, mirroring what
 	// the Stats endpoint reports to constrained devices for HRW weighting.

@@ -1,0 +1,194 @@
+package objectswap
+
+// Pointer-chase benchmark for the asynchronous fault engine: a list of
+// objects spread across a chain of swap-clusters is walked end to end after
+// everything was swapped out. Without prefetch every cluster boundary is a
+// demand fault (device round trip + decode + install); with the
+// graph-driven prefetcher the next cluster is speculatively resident by the
+// time the walker arrives, and the crossing costs an inventory map lookup.
+// TestFaultBenchSmoke is the check.sh gate asserting the ≥10x separation;
+// BenchmarkPointerChase produces the BENCH_fault.json numbers.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"objectswap/internal/heap"
+	"objectswap/internal/store"
+)
+
+const (
+	chaseClusters   = 16
+	chasePerCluster = 32
+	chasePayload    = 128
+)
+
+// buildChaseChain allocates chaseClusters clusters of chasePerCluster nodes
+// each, linked into one list crossing every cluster boundary, and roots the
+// head. Returns the cluster ids in chain order.
+func buildChaseChain(t testing.TB, sys *System) []ClusterID {
+	t.Helper()
+	cls, err := sys.Runtime().Registry().Lookup("Task")
+	if err != nil {
+		cls = sys.MustRegisterClass(taskClass())
+	}
+	payload := strings.Repeat("x", chasePayload)
+	var clusters []ClusterID
+	var prev *heap.Object
+	var head *heap.Object
+	for c := 0; c < chaseClusters; c++ {
+		cluster := sys.NewCluster()
+		clusters = append(clusters, cluster)
+		for i := 0; i < chasePerCluster; i++ {
+			o, err := sys.NewObject(cls, cluster)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sys.SetField(o.RefTo(), "title", heap.Str(payload)); err != nil {
+				t.Fatal(err)
+			}
+			if prev != nil {
+				if err := sys.SetField(prev.RefTo(), "next", o.RefTo()); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				head = o
+			}
+			prev = o
+		}
+	}
+	if err := sys.SetRoot("chase-head", head.RefTo()); err != nil {
+		t.Fatal(err)
+	}
+	return clusters
+}
+
+// swapOutChase detaches the whole chain, tail first.
+func swapOutChase(t testing.TB, sys *System, clusters []ClusterID) {
+	t.Helper()
+	for i := len(clusters) - 1; i >= 0; i-- {
+		if _, err := sys.SwapOut(clusters[i]); err != nil {
+			t.Fatalf("swap-out %d: %v", clusters[i], err)
+		}
+	}
+	sys.Collect()
+}
+
+// walkChase follows next links across the whole chain, quiescing the
+// prefetcher at each cluster boundary so speculation (when enabled) has
+// landed before the walker crosses — the steady-state shape where the
+// fetcher runs ahead of the chaser.
+func walkChase(t testing.TB, sys *System) {
+	t.Helper()
+	cur, err := sys.MustRoot("chase-head")
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := chaseClusters * chasePerCluster
+	for i := 0; i < total; i++ {
+		v, err := sys.Field(cur, "next")
+		if err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		if v.IsNil() {
+			break
+		}
+		cur = v
+		if i%chasePerCluster == chasePerCluster-2 {
+			sys.Runtime().FaultEngine().Quiesce()
+		}
+	}
+}
+
+// TestFaultBenchSmoke is the check.sh performance gate: after one full
+// pointer chase with the prefetcher on, the mean prefetch-hit crossing must
+// be at least 10x cheaper than the mean demand fault, and at least half the
+// cluster boundaries must have been hits.
+func TestFaultBenchSmoke(t *testing.T) {
+	sys, err := New(Config{
+		HeapCapacity: 16 << 20, // roomy: the admission guard must never trip here
+		Prefetch:     PrefetchConfig{Depth: 2, Workers: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	if err := sys.AttachDevice("desktop", store.NewMem(0)); err != nil {
+		t.Fatal(err)
+	}
+
+	clusters := buildChaseChain(t, sys)
+	swapOutChase(t, sys, clusters)
+	walkChase(t, sys)
+	sys.Runtime().FaultEngine().Quiesce()
+
+	reg := sys.Metrics()
+	demand, ok := reg.HistogramSnapshotOf("objectswap_fault_seconds",
+		"swap_in", "reload", "demand")
+	if !ok || demand.Count == 0 {
+		t.Fatal("no demand faults recorded — the walk never missed?")
+	}
+	hits, ok := reg.HistogramSnapshotOf("objectswap_fault_seconds",
+		"swap_in", "reload", "prefetch-hit")
+	if !ok || hits.Count == 0 {
+		t.Fatalf("no prefetch hits recorded; engine: %+v",
+			sys.Runtime().FaultEngine().Snapshot())
+	}
+	if hits.Count < chaseClusters/2 {
+		t.Fatalf("prefetch hits = %d, want at least %d of %d boundaries; engine: %+v",
+			hits.Count, chaseClusters/2, chaseClusters,
+			sys.Runtime().FaultEngine().Snapshot())
+	}
+
+	demandMean := demand.Sum / float64(demand.Count)
+	hitMean := hits.Sum / float64(hits.Count)
+	if hitMean <= 0 {
+		return // hits below clock resolution: unmeasurably fast is a pass
+	}
+	ratio := demandMean / hitMean
+	t.Logf("demand mean %.2fµs (n=%d), prefetch-hit mean %.3fµs (n=%d), ratio %.0fx",
+		demandMean*1e6, demand.Count, hitMean*1e6, hits.Count, ratio)
+	if ratio < 10 {
+		t.Fatalf("prefetch hit only %.1fx faster than demand fault, want >= 10x", ratio)
+	}
+}
+
+// BenchmarkPointerChase measures one full chain walk per iteration —
+// demand-only vs prefetch-ahead. The recorded wall time covers swap-out +
+// walk; the per-crossing split lives in the objectswap_fault_seconds
+// histogram (see BENCH_fault.json).
+func BenchmarkPointerChase(b *testing.B) {
+	for _, mode := range []struct {
+		name  string
+		depth int
+	}{{"demand", 0}, {"prefetch", 2}} {
+		b.Run(mode.name, func(b *testing.B) {
+			sys, err := New(Config{
+				HeapCapacity: 16 << 20,
+				Prefetch:     PrefetchConfig{Depth: mode.depth, Workers: 2},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer sys.Close()
+			if err := sys.AttachDevice("desktop", store.NewMem(0)); err != nil {
+				b.Fatal(err)
+			}
+			clusters := buildChaseChain(b, sys)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				swapOutChase(b, sys, clusters)
+				walkChase(b, sys)
+			}
+			b.StopTimer()
+			reg := sys.Metrics()
+			for _, kind := range []string{"demand", "prefetch-hit"} {
+				if hs, ok := reg.HistogramSnapshotOf("objectswap_fault_seconds",
+					"swap_in", "reload", kind); ok && hs.Count > 0 {
+					b.ReportMetric(hs.Sum/float64(hs.Count)*1e9, fmt.Sprintf("ns/%s", kind))
+				}
+			}
+		})
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"objectswap/internal/event"
+	"objectswap/internal/fault"
 	"objectswap/internal/heap"
 	"objectswap/internal/obs"
 	olog "objectswap/internal/obs/log"
@@ -261,6 +262,14 @@ type Runtime struct {
 	// positions under the lock order or after all locks are released.
 	telem Telemetry
 
+	// faults is the asynchronous fault engine: single-flight coalescing of
+	// concurrent swap-ins, donor-batched fetches, and (when enabled via
+	// WithPrefetch) the graph-driven prefetcher. Always non-nil after
+	// NewRuntime.
+	faults          *fault.Engine
+	prefetchDepth   int
+	prefetchWorkers int
+
 	replacementClass *heap.Class
 	objProxyClass    *heap.Class
 	proxyClasses     map[string]*heap.Class
@@ -437,6 +446,13 @@ func NewRuntime(h *heap.Heap, reg *heap.Registry, opts ...Option) *Runtime {
 		h.AddAccessObserver(rt.noteAccess)
 	}
 	rt.instrument()
+	rt.faults = fault.New(fault.Config{
+		Obs:             rt.obsReg,
+		PrefetchDepth:   rt.prefetchDepth,
+		PrefetchWorkers: rt.prefetchWorkers,
+		Neighbors:       rt.mgr.NeighborClusters,
+		SwapIn:          rt.prefetchSwapIn,
+	})
 	return rt
 }
 

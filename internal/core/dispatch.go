@@ -140,6 +140,8 @@ func (rt *Runtime) invokeProxy(p *heap.Object, method string, args []heap.Value)
 		if _, err := rt.SwapIn(dst, WithCause(CauseReload)); err != nil {
 			return nil, fmt.Errorf("core: reload cluster %d: %w", dst, err)
 		}
+	} else {
+		rt.notePrefetchHit(dst)
 	}
 
 	obj, err := rt.h.Get(ultimate)
@@ -267,6 +269,8 @@ func (rt *Runtime) Field(target heap.Value, name string) (res heap.Value, err er
 			if _, err := rt.SwapIn(dst, WithCause(CauseReload)); err != nil {
 				return heap.Nil(), fmt.Errorf("core: reload cluster %d: %w", dst, err)
 			}
+		} else {
+			rt.notePrefetchHit(dst)
 		}
 		real, err := rt.h.Get(ultimate)
 		if err != nil {
@@ -344,6 +348,8 @@ func (rt *Runtime) SetFieldValue(target heap.Value, name string, v heap.Value) e
 			if _, err := rt.SwapIn(dst, WithCause(CauseReload)); err != nil {
 				return fmt.Errorf("core: reload cluster %d: %w", dst, err)
 			}
+		} else {
+			rt.notePrefetchHit(dst)
 		}
 		real, err := rt.h.Get(ultimate)
 		if err != nil {

@@ -459,6 +459,51 @@ func (m *Manager) inboundProxies(id ClusterID) []heap.ObjID {
 	return out
 }
 
+// NeighborClusters ranks the clusters reachable from cluster through its
+// registered swap-cluster-proxies — the replacement-object graph's
+// inter-cluster edges — by edge count, best first, at most k entries (ties
+// break toward the lower cluster id for determinism). The root cluster and
+// self-edges are excluded. This is the prefetcher's ranking signal: a proxy
+// from A to B exists exactly because application references cross that
+// boundary, so a demand fault on A makes B the next likely fault.
+func (m *Manager) NeighborClusters(cluster uint32, k int) []uint32 {
+	if k <= 0 {
+		return nil
+	}
+	src := ClusterID(cluster)
+	counts := make(map[ClusterID]int)
+	m.mu.Lock()
+	for _, pk := range m.proxyMeta {
+		if pk.src != src {
+			continue
+		}
+		dst := m.objects[pk.target].cluster
+		if dst == src || dst == RootCluster {
+			continue
+		}
+		counts[dst]++
+	}
+	m.mu.Unlock()
+	ranked := make([]ClusterID, 0, len(counts))
+	for dst := range counts {
+		ranked = append(ranked, dst)
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if counts[ranked[i]] != counts[ranked[j]] {
+			return counts[ranked[i]] > counts[ranked[j]]
+		}
+		return ranked[i] < ranked[j]
+	})
+	if len(ranked) > k {
+		ranked = ranked[:k]
+	}
+	out := make([]uint32, len(ranked))
+	for i, id := range ranked {
+		out[i] = uint32(id)
+	}
+	return out
+}
+
 // ProxyCount reports the number of live registered swap-cluster-proxies.
 func (m *Manager) ProxyCount() int {
 	m.mu.Lock()
@@ -482,7 +527,11 @@ type ClusterInfo struct {
 	PayloadBytes int
 	// Format is the wire format of the current shipment ("" while resident
 	// or for pre-negotiation XML shipments).
-	Format     string
+	Format string
+	// BaseKey is the retained delta-base shipment's key ("" when the
+	// runtime is not delta-enabled or no base is anchored). Lease renewal
+	// covers it alongside Key — the base lives on donors too.
+	BaseKey    string
 	Crossings  uint64
 	LastAccess uint64
 	SwapOuts   uint64
@@ -527,6 +576,7 @@ func (m *Manager) infoOf(cs *clusterState) ClusterInfo {
 		Key:          cs.key,
 		PayloadBytes: cs.payloadBytes,
 		Format:       cs.format,
+		BaseKey:      cs.base.key,
 		Crossings:    cs.crossings,
 		LastAccess:   cs.lastAccess,
 		SwapOuts:     cs.swapOuts,

@@ -35,6 +35,9 @@ const (
 	CauseReload = "reload"
 	// CauseRepair: replica repair re-shipping a degraded cluster.
 	CauseRepair = "repair"
+	// CausePrefetch: the fault engine speculatively reloading a graph
+	// neighbor of a demand-faulted cluster.
+	CausePrefetch = "prefetch"
 )
 
 // WithCause attributes the swap to a cause (one of the Cause* constants) for

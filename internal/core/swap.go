@@ -359,6 +359,9 @@ func (rt *Runtime) SwapOut(id ClusterID, opts ...SwapOption) (ev SwapEvent, retE
 		Shortfall: shortfall, Cause: rt.resolveCause(o.cause)}
 	ev.Phases, ev.Duration = span.End()
 	rt.recordFault("swap_out", id, ev.Cause, ev.Duration, payloadBytes)
+	// A prefetched cluster evicted before any touch was a wasted round trip;
+	// let the fault engine settle its inventory accounting.
+	rt.faults.NoteEvicted(uint32(id))
 	rt.logger.Info("swap-out", "trace", trace, "cluster", uint32(id),
 		"device", devices[0], "replicas", len(devices), "key", key,
 		"format", string(plan.format), "objects", len(objs),
@@ -570,7 +573,11 @@ func (rt *Runtime) checkInactive(id ClusterID, members map[heap.ObjID]bool) erro
 // and decode overlap freely, and only the install/re-patch phase is
 // serialized under the swap lock. A cluster mid-transition elsewhere reports
 // ErrClusterBusy.
-func (rt *Runtime) SwapIn(id ClusterID, opts ...SwapOption) (ev SwapEvent, retErr error) {
+// swapInDirect is the uncoalesced swap-in path. The public SwapIn (fault.go
+// glue) wraps it in the fault engine's single-flight table so concurrent
+// faults on the same cluster park on one fetch; everything below runs once
+// per flight, on the leader's goroutine.
+func (rt *Runtime) swapInDirect(id ClusterID, opts ...SwapOption) (ev SwapEvent, retErr error) {
 	o, ctx, cancel := resolveSwapOpts(opts)
 	defer cancel()
 	if rt.stores == nil {
@@ -652,7 +659,10 @@ func (rt *Runtime) SwapIn(id ClusterID, opts ...SwapOption) (ev SwapEvent, retEr
 	for _, d := range devices {
 		s, err := rt.stores.Lookup(d)
 		if err == nil {
-			data, err = s.Get(ctx, key)
+			// Route through the fault engine's donor batcher: misses that
+			// land on a donor already serving a fetch ride one multi-key
+			// round trip instead of issuing their own.
+			data, err = rt.faults.Fetch(ctx, d, s, key)
 			// Replicas are byte-identical, so the checksum recorded at
 			// swap-out convicts a copy that rotted at rest; with K>=2 the
 			// reload falls through to an intact replica.
@@ -695,7 +705,7 @@ func (rt *Runtime) SwapIn(id ClusterID, opts ...SwapOption) (ev SwapEvent, retEr
 	// below and heap.Bytes copies on installation.
 	doc, err := wire.Decode(data, &wire.DecodeOpts{
 		FetchBase: func(k string) ([]byte, error) {
-			b, err := serving.Get(ctx, k)
+			b, err := rt.faults.Fetch(ctx, device, serving, k)
 			if err == nil && k == baseKey && baseCRC != 0 && crc32.ChecksumIEEE(b) != baseCRC {
 				return nil, fmt.Errorf("%w: device %s base %s", ErrCorruptReplica, device, k)
 			}
@@ -844,8 +854,18 @@ func (rt *Runtime) commitSwapIn(id ClusterID, cs *clusterState, repl *heap.Objec
 		}
 	}
 
-	// Reinstallation restores state; it is not a user mutation.
-	resumeObserver := rt.h.SuspendWriteObserver()
+	// Reinstallation restores state; it is not a user mutation. Suspend the
+	// observers only for this cluster's own member identities: a background
+	// prefetch install must not silence concurrent application writes to
+	// unrelated clusters (their delta dirty-marks and heat must keep
+	// flowing).
+	members := make(map[heap.ObjID]bool, len(stale))
+	for _, oid := range stale {
+		members[oid] = true
+	}
+	resumeObserver := rt.h.SuspendWriteObserverFor(func(oid heap.ObjID) bool {
+		return members[oid]
+	})
 	installed, err := doc.Install(rt.h, rt.reg, decodeRef)
 	if err != nil {
 		resumeObserver()

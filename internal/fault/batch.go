@@ -1,0 +1,104 @@
+package fault
+
+import (
+	"context"
+	"fmt"
+
+	"objectswap/internal/store"
+)
+
+// donorQueue serializes fetches against one donor so concurrent misses can
+// be merged. All fields are guarded by Engine.dmu.
+type donorQueue struct {
+	inflight bool
+	waiting  []*fetchReq
+}
+
+// fetchReq is one queued key waiting to ride a batched donor round trip.
+type fetchReq struct {
+	ctx  context.Context
+	key  string
+	done chan struct{}
+	data []byte
+	err  error
+}
+
+// Fetch reads key from the named donor with natural batching: the first
+// fetch against an idle donor goes out directly (no added latency), and any
+// fetch arriving while the donor is busy queues up. The in-flight caller
+// drains the queue in one multi-key round trip (store.GetMulti, with a
+// per-key fallback for donors without the extension) before releasing the
+// donor, looping until nothing is waiting.
+//
+// Single-flight coalescing runs above this, so the queue only ever merges
+// fetches for distinct clusters — exactly the case where one batched round
+// trip replaces several.
+func (e *Engine) Fetch(ctx context.Context, donor string, s store.Store, key string) ([]byte, error) {
+	if e == nil {
+		return s.Get(ctx, key)
+	}
+	e.dmu.Lock()
+	q := e.donors[donor]
+	if q == nil {
+		q = &donorQueue{}
+		e.donors[donor] = q
+	}
+	if q.inflight {
+		req := &fetchReq{ctx: ctx, key: key, done: make(chan struct{})}
+		q.waiting = append(q.waiting, req)
+		e.dmu.Unlock()
+		<-req.done
+		return req.data, req.err
+	}
+	q.inflight = true
+	e.dmu.Unlock()
+
+	data, err := s.Get(ctx, key)
+
+	for {
+		e.dmu.Lock()
+		batch := q.waiting
+		q.waiting = nil
+		if len(batch) == 0 {
+			q.inflight = false
+			e.dmu.Unlock()
+			return data, err
+		}
+		e.dmu.Unlock()
+		e.serveBatch(s, batch)
+	}
+}
+
+// serveBatch resolves a drained queue of fetch requests with one multi-key
+// round trip, falling back to per-request Gets if the batch itself fails in
+// transit.
+func (e *Engine) serveBatch(s store.Store, batch []*fetchReq) {
+	keys := make([]string, 0, len(batch))
+	seen := make(map[string]bool, len(batch))
+	for _, r := range batch {
+		if !seen[r.key] {
+			seen[r.key] = true
+			keys = append(keys, r.key)
+		}
+	}
+	e.batchRounds.Inc()
+	e.batchKeys.Add(float64(len(keys)))
+
+	got, err := store.GetMulti(batch[0].ctx, s, keys)
+	for _, r := range batch {
+		switch {
+		case err != nil:
+			// The batch transport failed wholesale; give each waiter its
+			// own direct attempt under its own context.
+			r.data, r.err = s.Get(r.ctx, r.key)
+		default:
+			data, ok := got[r.key]
+			if !ok {
+				r.err = fmt.Errorf("%w: %s", store.ErrNotFound, r.key)
+			} else {
+				r.data = data
+			}
+		}
+		close(r.done)
+	}
+}

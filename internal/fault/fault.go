@@ -1,0 +1,408 @@
+// Package fault is the asynchronous object-fault engine: it owns the
+// swap-in miss path between a proxy crossing and the swap core.
+//
+// Three mechanisms live here:
+//
+//   - Single-flight coalescing (Do): concurrent faults on the same cluster
+//     park on one in-flight swap-in and all resume with its result — error
+//     included — instead of queueing on the shard lock and paying the fetch
+//     once each. A failed flight is cleared before its waiters wake, so an
+//     immediate retry starts fresh.
+//
+//   - Donor batching (Fetch, batch.go): faults that land on the same donor
+//     while a fetch is already in flight are queued and drained in one
+//     multi-key round trip via the optional store.MultiGetter extension,
+//     with a per-key fallback for legacy donors.
+//
+//   - A graph-driven prefetcher (TriggerPrefetch): on a demand fault the
+//     replacement-object graph ranks the faulted cluster's neighbor
+//     clusters, and a small worker pool speculatively swaps the top-k in
+//     through the normal reserve/commit path, gated by a heap-pressure
+//     admission check. Prefetched clusters are tracked in an inventory; a
+//     later crossing that finds its target resident consumes the entry as a
+//     prefetch hit (ConsumeHit), and an eviction that beats the touch counts
+//     it as wasted (NoteEvicted).
+//
+// The package deliberately knows nothing about the swap core: the core
+// injects its graph, swap-in and admission behavior through the Config
+// callbacks, which keeps the dependency arrow pointing downward.
+package fault
+
+import (
+	"sort"
+	"sync"
+
+	"objectswap/internal/obs"
+)
+
+// Config parameterizes an Engine. Only Obs is required; an Engine with nil
+// callbacks degrades to pure single-flight coalescing.
+type Config struct {
+	// Obs is the registry the engine instruments itself into (nil: a
+	// private registry, keeping the engine usable in isolation).
+	Obs *obs.Registry
+	// PrefetchDepth is the number of neighbor clusters speculatively
+	// swapped in after a demand fault (0 disables the prefetcher).
+	PrefetchDepth int
+	// PrefetchWorkers sizes the background worker pool (default 2).
+	PrefetchWorkers int
+	// Neighbors ranks the clusters reachable from cluster through
+	// replacement-object edges, best first, at most k entries.
+	Neighbors func(cluster uint32, k int) []uint32
+	// SwapIn performs one speculative swap-in and reports the resident
+	// payload size and whether this call actually installed the cluster
+	// (false when it was already resident, mid-flight elsewhere, or gone).
+	SwapIn func(cluster uint32) (bytes int64, installed bool, err error)
+	// Admit is the heap-pressure guard consulted before every speculative
+	// swap-in; nil admits everything. Replaceable later via SetAdmit.
+	Admit func() bool
+}
+
+// flight is one in-progress swap-in shared by every coalesced waiter.
+type flight struct {
+	done chan struct{}
+	res  any
+	err  error
+}
+
+// Engine coordinates coalesced faults, donor-batched fetches and background
+// prefetch for one runtime. The zero value is not usable; construct with New.
+type Engine struct {
+	cfg Config
+
+	fmu     sync.Mutex
+	flights map[uint32]*flight
+
+	dmu    sync.Mutex
+	donors map[string]*donorQueue
+
+	pmu       sync.Mutex
+	idle      *sync.Cond // signaled when pending returns to 0
+	admit     func() bool
+	queued    map[uint32]bool  // enqueued but not yet picked up
+	inventory map[uint32]int64 // prefetched cluster -> resident bytes
+	pending   int              // queued + running prefetch tasks
+	stopped   bool
+	queue     chan uint32
+	wg        sync.WaitGroup
+
+	coalesced   *obs.Counter
+	batchRounds *obs.Counter
+	batchKeys   *obs.Counter
+	prefetches  *obs.CounterVec
+	wastedBytes *obs.Counter
+}
+
+// Prefetch outcome labels for objectswap_prefetch_events_total.
+const (
+	prefEnqueued = "enqueued"
+	prefDropped  = "dropped"
+	prefSkipped  = "skipped-pressure"
+	prefNoop     = "noop"
+	prefError    = "error"
+	prefInstall  = "installed"
+	prefHit      = "hit"
+	prefWasted   = "wasted"
+)
+
+// New builds an Engine and, when cfg enables prefetching, starts its worker
+// pool. Call Stop to wind the workers down.
+func New(cfg Config) *Engine {
+	if cfg.Obs == nil {
+		cfg.Obs = obs.NewRegistry(nil)
+	}
+	if cfg.PrefetchWorkers <= 0 {
+		cfg.PrefetchWorkers = 2
+	}
+	e := &Engine{
+		cfg:       cfg,
+		flights:   make(map[uint32]*flight),
+		donors:    make(map[string]*donorQueue),
+		admit:     cfg.Admit,
+		queued:    make(map[uint32]bool),
+		inventory: make(map[uint32]int64),
+		coalesced: cfg.Obs.Counter("objectswap_fault_coalesced_total",
+			"Faults that parked on another goroutine's in-flight swap-in."),
+		batchRounds: cfg.Obs.Counter("objectswap_fault_batch_rounds_total",
+			"Multi-key donor fetches issued by the fault engine."),
+		batchKeys: cfg.Obs.Counter("objectswap_fault_batch_keys_total",
+			"Keys served through batched donor fetches."),
+		prefetches: cfg.Obs.CounterVec("objectswap_prefetch_events_total",
+			"Prefetcher outcomes by event.", "event"),
+		wastedBytes: cfg.Obs.Counter("objectswap_prefetch_wasted_bytes_total",
+			"Bytes of prefetched clusters evicted before any touch."),
+	}
+	e.idle = sync.NewCond(&e.pmu)
+	if e.prefetchEnabled() {
+		e.queue = make(chan uint32, 64*cfg.PrefetchWorkers)
+		for i := 0; i < cfg.PrefetchWorkers; i++ {
+			e.wg.Add(1)
+			go e.worker()
+		}
+	}
+	return e
+}
+
+func (e *Engine) prefetchEnabled() bool {
+	return e.cfg.PrefetchDepth > 0 && e.cfg.Neighbors != nil && e.cfg.SwapIn != nil
+}
+
+// Do runs one coalesced fault on cluster. The first caller becomes the
+// flight leader and executes run; every caller that arrives while the flight
+// is open parks and resumes with the leader's result and error. leader
+// reports which role this call played. The flight is removed from the table
+// before the waiters wake, so a retry after an error starts a fresh flight.
+func (e *Engine) Do(cluster uint32, run func() (any, error)) (res any, leader bool, err error) {
+	if e == nil {
+		res, err = run()
+		return res, true, err
+	}
+	e.fmu.Lock()
+	if f, ok := e.flights[cluster]; ok {
+		e.fmu.Unlock()
+		e.coalesced.Inc()
+		<-f.done
+		return f.res, false, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	e.flights[cluster] = f
+	e.fmu.Unlock()
+
+	f.res, f.err = run()
+
+	e.fmu.Lock()
+	delete(e.flights, cluster)
+	e.fmu.Unlock()
+	close(f.done)
+	return f.res, true, f.err
+}
+
+// SetAdmit installs (or replaces) the heap-pressure admission guard. The
+// facade calls this after the memory monitor exists; passing nil admits
+// every speculative swap-in.
+func (e *Engine) SetAdmit(fn func() bool) {
+	if e == nil {
+		return
+	}
+	e.pmu.Lock()
+	e.admit = fn
+	e.pmu.Unlock()
+}
+
+// TriggerPrefetch enqueues the top-k graph neighbors of cluster for
+// speculative swap-in. It never blocks: a full queue drops the excess.
+func (e *Engine) TriggerPrefetch(cluster uint32) {
+	if e == nil || !e.prefetchEnabled() {
+		return
+	}
+	for _, n := range e.cfg.Neighbors(cluster, e.cfg.PrefetchDepth) {
+		e.enqueue(n)
+	}
+}
+
+func (e *Engine) enqueue(cluster uint32) {
+	e.pmu.Lock()
+	defer e.pmu.Unlock()
+	if e.stopped || e.queued[cluster] {
+		return
+	}
+	if _, have := e.inventory[cluster]; have {
+		return // already prefetched and untouched
+	}
+	select {
+	case e.queue <- cluster:
+		e.queued[cluster] = true
+		e.pending++
+		e.prefetches.With(prefEnqueued).Inc()
+	default:
+		e.prefetches.With(prefDropped).Inc()
+	}
+}
+
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for cluster := range e.queue {
+		e.runPrefetch(cluster)
+	}
+}
+
+func (e *Engine) runPrefetch(cluster uint32) {
+	defer e.taskDone()
+	e.pmu.Lock()
+	delete(e.queued, cluster)
+	admit := e.admit
+	e.pmu.Unlock()
+	if admit != nil && !admit() {
+		e.prefetches.With(prefSkipped).Inc()
+		return
+	}
+	bytes, installed, err := e.cfg.SwapIn(cluster)
+	switch {
+	case err != nil:
+		e.prefetches.With(prefError).Inc()
+	case !installed:
+		e.prefetches.With(prefNoop).Inc()
+	default:
+		e.pmu.Lock()
+		e.inventory[cluster] = bytes
+		e.pmu.Unlock()
+		e.prefetches.With(prefInstall).Inc()
+	}
+}
+
+func (e *Engine) taskDone() {
+	e.pmu.Lock()
+	e.pending--
+	if e.pending == 0 {
+		e.idle.Broadcast()
+	}
+	e.pmu.Unlock()
+}
+
+// ConsumeHit reports whether cluster was resident thanks to the prefetcher
+// and, if so, consumes the inventory entry and returns its payload size.
+// The caller records the hit latency; this is the "~a map lookup" path.
+func (e *Engine) ConsumeHit(cluster uint32) (int64, bool) {
+	if e == nil {
+		return 0, false
+	}
+	e.pmu.Lock()
+	bytes, ok := e.inventory[cluster]
+	if ok {
+		delete(e.inventory, cluster)
+	}
+	e.pmu.Unlock()
+	if ok {
+		e.prefetches.With(prefHit).Inc()
+	}
+	return bytes, ok
+}
+
+// NoteEvicted records that cluster left the heap. A still-unconsumed
+// inventory entry means the prefetch was wasted: it paid a round trip and
+// was evicted before any touch.
+func (e *Engine) NoteEvicted(cluster uint32) {
+	if e == nil {
+		return
+	}
+	e.pmu.Lock()
+	bytes, ok := e.inventory[cluster]
+	if ok {
+		delete(e.inventory, cluster)
+	}
+	e.pmu.Unlock()
+	if ok {
+		e.prefetches.With(prefWasted).Inc()
+		e.wastedBytes.Add(float64(bytes))
+	}
+}
+
+// Rank exposes the prefetcher's neighbor ranking for cluster (at most k
+// entries, best first) — the /debug/prefetch endpoint's payload. Nil when
+// no graph callback is wired.
+func (e *Engine) Rank(cluster uint32, k int) []uint32 {
+	if e == nil || e.cfg.Neighbors == nil || k <= 0 {
+		return nil
+	}
+	return e.cfg.Neighbors(cluster, k)
+}
+
+// Quiesce blocks until every enqueued and running prefetch task has
+// finished. Tests and drain points use it; steady-state operation never
+// needs to.
+func (e *Engine) Quiesce() {
+	if e == nil {
+		return
+	}
+	e.pmu.Lock()
+	for e.pending > 0 {
+		e.idle.Wait()
+	}
+	e.pmu.Unlock()
+}
+
+// Stop shuts the prefetch worker pool down and waits for in-flight tasks.
+// Coalescing and batching keep working after Stop; further TriggerPrefetch
+// calls are no-ops. Safe to call multiple times.
+func (e *Engine) Stop() {
+	if e == nil {
+		return
+	}
+	e.pmu.Lock()
+	if e.stopped {
+		e.pmu.Unlock()
+		return
+	}
+	e.stopped = true
+	if e.queue != nil {
+		close(e.queue)
+	}
+	e.pmu.Unlock()
+	// Workers drain what is already queued (range over a closed channel
+	// keeps yielding buffered items), then exit.
+	e.wg.Wait()
+}
+
+// InventoryEntry is one prefetched-but-untouched cluster.
+type InventoryEntry struct {
+	Cluster uint32 `json:"cluster"`
+	Bytes   int64  `json:"bytes"`
+}
+
+// Snapshot is the /debug/prefetch view of the engine.
+type Snapshot struct {
+	Depth            int              `json:"depth"`
+	Workers          int              `json:"workers"`
+	CoalescedWaiters uint64           `json:"coalesced_waiters"`
+	BatchRounds      uint64           `json:"batch_rounds"`
+	BatchKeys        uint64           `json:"batch_keys"`
+	Enqueued         uint64           `json:"enqueued"`
+	Installed        uint64           `json:"installed"`
+	Hits             uint64           `json:"hits"`
+	Wasted           uint64           `json:"wasted"`
+	WastedBytes      int64            `json:"wasted_bytes"`
+	SkippedPressure  uint64           `json:"skipped_pressure"`
+	Errors           uint64           `json:"errors"`
+	Dropped          uint64           `json:"dropped"`
+	Inventory        []InventoryEntry `json:"inventory"`
+}
+
+// Accuracy returns the fraction of installed prefetches that were later
+// consumed by a crossing (0 when nothing has been installed yet).
+func (s Snapshot) Accuracy() float64 {
+	if s.Installed == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Installed)
+}
+
+// Snapshot copies the engine's counters and current inventory.
+func (e *Engine) Snapshot() Snapshot {
+	if e == nil {
+		return Snapshot{}
+	}
+	s := Snapshot{
+		Depth:            e.cfg.PrefetchDepth,
+		Workers:          e.cfg.PrefetchWorkers,
+		CoalescedWaiters: uint64(e.coalesced.Value()),
+		BatchRounds:      uint64(e.batchRounds.Value()),
+		BatchKeys:        uint64(e.batchKeys.Value()),
+		Enqueued:         uint64(e.prefetches.With(prefEnqueued).Value()),
+		Installed:        uint64(e.prefetches.With(prefInstall).Value()),
+		Hits:             uint64(e.prefetches.With(prefHit).Value()),
+		Wasted:           uint64(e.prefetches.With(prefWasted).Value()),
+		WastedBytes:      int64(e.wastedBytes.Value()),
+		SkippedPressure:  uint64(e.prefetches.With(prefSkipped).Value()),
+		Errors:           uint64(e.prefetches.With(prefError).Value()),
+		Dropped:          uint64(e.prefetches.With(prefDropped).Value()),
+	}
+	e.pmu.Lock()
+	for c, b := range e.inventory {
+		s.Inventory = append(s.Inventory, InventoryEntry{Cluster: c, Bytes: b})
+	}
+	e.pmu.Unlock()
+	sort.Slice(s.Inventory, func(i, j int) bool {
+		return s.Inventory[i].Cluster < s.Inventory[j].Cluster
+	})
+	return s
+}

@@ -1,0 +1,373 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"objectswap/internal/store"
+)
+
+// TestDoCoalesces parks N concurrent callers for one cluster on a single
+// flight: the leader's run fires once and every waiter resumes with the
+// leader's result.
+func TestDoCoalesces(t *testing.T) {
+	e := New(Config{})
+	defer e.Stop()
+
+	release := make(chan struct{})
+	var runs atomic.Int32
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		res, leader, err := e.Do(7, func() (any, error) {
+			runs.Add(1)
+			<-release
+			return "payload", nil
+		})
+		if !leader || err != nil || res != "payload" {
+			t.Errorf("leader: res=%v leader=%v err=%v", res, leader, err)
+		}
+	}()
+	// Wait until the leader owns the flight before spawning waiters.
+	waitFor(t, func() bool {
+		e.fmu.Lock()
+		defer e.fmu.Unlock()
+		return len(e.flights) == 1
+	})
+
+	const waiters = 8
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, leader, err := e.Do(7, func() (any, error) {
+				runs.Add(1)
+				return "unexpected", nil
+			})
+			if leader || err != nil || res != "payload" {
+				t.Errorf("waiter: res=%v leader=%v err=%v", res, leader, err)
+			}
+		}()
+	}
+	waitFor(t, func() bool { return e.Snapshot().CoalescedWaiters == waiters })
+	close(release)
+	<-leaderDone
+	wg.Wait()
+
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("run fired %d times, want 1", got)
+	}
+	// A different cluster never coalesces with cluster 7's flight.
+	if _, leader, _ := e.Do(8, func() (any, error) { return nil, nil }); !leader {
+		t.Fatal("fresh cluster did not lead its own flight")
+	}
+}
+
+// TestDoErrorPropagatesAndClears delivers the leader's error to every
+// waiter and leaves no flight behind, so a retry starts fresh.
+func TestDoErrorPropagatesAndClears(t *testing.T) {
+	e := New(Config{})
+	defer e.Stop()
+
+	sentinel := errors.New("donor flaked")
+	release := make(chan struct{})
+	results := make(chan error, 4)
+	go func() {
+		_, _, err := e.Do(3, func() (any, error) { <-release; return nil, sentinel })
+		results <- err
+	}()
+	waitFor(t, func() bool {
+		e.fmu.Lock()
+		defer e.fmu.Unlock()
+		return len(e.flights) == 1
+	})
+	for i := 0; i < 3; i++ {
+		go func() {
+			_, _, err := e.Do(3, func() (any, error) { return nil, nil })
+			results <- err
+		}()
+	}
+	waitFor(t, func() bool { return e.Snapshot().CoalescedWaiters == 3 })
+	close(release)
+	for i := 0; i < 4; i++ {
+		if err := <-results; !errors.Is(err, sentinel) {
+			t.Fatalf("caller %d got %v, want the leader's error", i, err)
+		}
+	}
+	// The failed flight is gone: the next caller leads and can succeed.
+	res, leader, err := e.Do(3, func() (any, error) { return 42, nil })
+	if !leader || err != nil || res != 42 {
+		t.Fatalf("retry after failure: res=%v leader=%v err=%v", res, leader, err)
+	}
+}
+
+// blockingStore blocks the first Get until released, then serves from the
+// inner Mem. It counts Get and GetMulti keys separately.
+type blockingStore struct {
+	*store.Mem
+	release   chan struct{}
+	gets      atomic.Int32
+	multiKeys atomic.Int32
+	multis    atomic.Int32
+}
+
+func (b *blockingStore) Get(ctx context.Context, key string) ([]byte, error) {
+	if b.gets.Add(1) == 1 {
+		<-b.release
+	}
+	return b.Mem.Get(ctx, key)
+}
+
+func (b *blockingStore) GetMulti(ctx context.Context, keys []string) (map[string][]byte, error) {
+	b.multis.Add(1)
+	b.multiKeys.Add(int32(len(keys)))
+	return b.Mem.GetMulti(ctx, keys)
+}
+
+// TestFetchBatchesPerDonor merges fetches that land on a busy donor into one
+// multi-key round served by the in-flight caller.
+func TestFetchBatchesPerDonor(t *testing.T) {
+	e := New(Config{})
+	defer e.Stop()
+
+	bs := &blockingStore{Mem: store.NewMem(0), release: make(chan struct{})}
+	ctx := context.Background()
+	for _, k := range []string{"a", "b", "c"} {
+		if err := bs.Put(ctx, k, []byte("payload-"+k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	got := make([][]byte, 3)
+	errs := make([]error, 3)
+	wg.Add(1)
+	go func() { defer wg.Done(); got[0], errs[0] = e.Fetch(ctx, "donor", bs, "a") }()
+	// The first fetch must be in flight (blocked in Get) before the others
+	// arrive, or they would lead their own direct fetches.
+	waitFor(t, func() bool { return bs.gets.Load() == 1 })
+	wg.Add(2)
+	go func() { defer wg.Done(); got[1], errs[1] = e.Fetch(ctx, "donor", bs, "b") }()
+	go func() { defer wg.Done(); got[2], errs[2] = e.Fetch(ctx, "donor", bs, "c") }()
+	waitFor(t, func() bool {
+		e.dmu.Lock()
+		defer e.dmu.Unlock()
+		q := e.donors["donor"]
+		return q != nil && len(q.waiting) == 2
+	})
+	close(bs.release)
+	wg.Wait()
+
+	for i, k := range []string{"a", "b", "c"} {
+		if errs[i] != nil {
+			t.Fatalf("fetch %q: %v", k, errs[i])
+		}
+		if want := "payload-" + k; string(got[i]) != want {
+			t.Fatalf("fetch %q = %q, want %q", k, got[i], want)
+		}
+	}
+	if bs.gets.Load() != 1 {
+		t.Fatalf("per-key Gets = %d, want 1 (the leader's direct fetch)", bs.gets.Load())
+	}
+	if bs.multis.Load() != 1 || bs.multiKeys.Load() != 2 {
+		t.Fatalf("GetMulti rounds=%d keys=%d, want one 2-key round",
+			bs.multis.Load(), bs.multiKeys.Load())
+	}
+	snap := e.Snapshot()
+	if snap.BatchRounds != 1 || snap.BatchKeys != 2 {
+		t.Fatalf("snapshot batching = %d rounds / %d keys, want 1 / 2",
+			snap.BatchRounds, snap.BatchKeys)
+	}
+}
+
+// TestFetchBatchMissingKey maps a key the donor no longer holds to
+// store.ErrNotFound for that caller only.
+func TestFetchBatchMissingKey(t *testing.T) {
+	e := New(Config{})
+	defer e.Stop()
+
+	bs := &blockingStore{Mem: store.NewMem(0), release: make(chan struct{})}
+	ctx := context.Background()
+	if err := bs.Put(ctx, "a", []byte("A")); err != nil {
+		t.Fatal(err)
+	}
+	if err := bs.Put(ctx, "b", []byte("B")); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	var errA, errB, errGone error
+	wg.Add(1)
+	go func() { defer wg.Done(); _, errA = e.Fetch(ctx, "d", bs, "a") }()
+	waitFor(t, func() bool { return bs.gets.Load() == 1 })
+	wg.Add(2)
+	go func() { defer wg.Done(); _, errB = e.Fetch(ctx, "d", bs, "b") }()
+	go func() { defer wg.Done(); _, errGone = e.Fetch(ctx, "d", bs, "gone") }()
+	waitFor(t, func() bool {
+		e.dmu.Lock()
+		defer e.dmu.Unlock()
+		q := e.donors["d"]
+		return q != nil && len(q.waiting) == 2
+	})
+	close(bs.release)
+	wg.Wait()
+
+	if errA != nil || errB != nil {
+		t.Fatalf("present keys errored: a=%v b=%v", errA, errB)
+	}
+	if !errors.Is(errGone, store.ErrNotFound) {
+		t.Fatalf("missing key error = %v, want store.ErrNotFound", errGone)
+	}
+}
+
+// TestPrefetchPipeline drives the whole speculative path: trigger →
+// neighbor ranking → worker swap-in → inventory → hit / waste accounting.
+func TestPrefetchPipeline(t *testing.T) {
+	var mu sync.Mutex
+	installed := []uint32{}
+	e := New(Config{
+		PrefetchDepth:   2,
+		PrefetchWorkers: 2,
+		Neighbors: func(cluster uint32, k int) []uint32 {
+			if cluster == 1 {
+				return []uint32{2, 3}
+			}
+			return nil
+		},
+		SwapIn: func(cluster uint32) (int64, bool, error) {
+			mu.Lock()
+			installed = append(installed, cluster)
+			mu.Unlock()
+			return 100 * int64(cluster), true, nil
+		},
+	})
+	defer e.Stop()
+
+	e.TriggerPrefetch(1)
+	e.Quiesce()
+
+	mu.Lock()
+	n := len(installed)
+	mu.Unlock()
+	if n != 2 {
+		t.Fatalf("prefetcher installed %d clusters, want 2", n)
+	}
+	snap := e.Snapshot()
+	if snap.Enqueued != 2 || snap.Installed != 2 {
+		t.Fatalf("snapshot enqueued=%d installed=%d, want 2/2", snap.Enqueued, snap.Installed)
+	}
+	if len(snap.Inventory) != 2 {
+		t.Fatalf("inventory = %+v, want clusters 2 and 3", snap.Inventory)
+	}
+
+	// A crossing into cluster 2 is a hit and consumes its inventory entry;
+	// re-triggering it is then allowed again (the queued-dedup cleared).
+	if bytes, ok := e.ConsumeHit(2); !ok || bytes != 200 {
+		t.Fatalf("ConsumeHit(2) = %d,%v want 200,true", bytes, ok)
+	}
+	if _, ok := e.ConsumeHit(2); ok {
+		t.Fatal("second ConsumeHit(2) still found inventory")
+	}
+	// Cluster 3 is evicted untouched: wasted.
+	e.NoteEvicted(3)
+	if _, ok := e.ConsumeHit(3); ok {
+		t.Fatal("evicted cluster still in inventory")
+	}
+	snap = e.Snapshot()
+	if snap.Hits != 1 || snap.Wasted != 1 || snap.WastedBytes != 300 {
+		t.Fatalf("hits=%d wasted=%d wastedBytes=%d, want 1/1/300",
+			snap.Hits, snap.Wasted, snap.WastedBytes)
+	}
+	if acc := snap.Accuracy(); acc != 0.5 {
+		t.Fatalf("accuracy = %v, want 0.5 (1 hit of 2 installs)", acc)
+	}
+}
+
+// TestPrefetchAdmissionGate drops speculation while the admission guard
+// reports memory pressure — the SwapIn callback must never fire.
+func TestPrefetchAdmissionGate(t *testing.T) {
+	var swapIns atomic.Int32
+	e := New(Config{
+		PrefetchDepth: 1,
+		Neighbors:     func(uint32, int) []uint32 { return []uint32{9} },
+		SwapIn:        func(uint32) (int64, bool, error) { swapIns.Add(1); return 1, true, nil },
+	})
+	defer e.Stop()
+	e.SetAdmit(func() bool { return false })
+
+	e.TriggerPrefetch(1)
+	e.Quiesce()
+	if swapIns.Load() != 0 {
+		t.Fatalf("SwapIn fired %d times under pressure, want 0", swapIns.Load())
+	}
+	if snap := e.Snapshot(); snap.SkippedPressure != 1 {
+		t.Fatalf("skipped-pressure = %d, want 1", snap.SkippedPressure)
+	}
+
+	// Pressure relieved: the same trigger now installs.
+	e.SetAdmit(func() bool { return true })
+	e.TriggerPrefetch(1)
+	e.Quiesce()
+	if swapIns.Load() != 1 {
+		t.Fatalf("SwapIn fired %d times after relief, want 1", swapIns.Load())
+	}
+}
+
+// TestNilEngineDegenerates keeps the nil engine a pure pass-through, so a
+// runtime without a fault engine still works.
+func TestNilEngineDegenerates(t *testing.T) {
+	var e *Engine
+	res, leader, err := e.Do(1, func() (any, error) { return "x", nil })
+	if res != "x" || !leader || err != nil {
+		t.Fatalf("nil Do = %v,%v,%v", res, leader, err)
+	}
+	m := store.NewMem(0)
+	if err := m.Put(context.Background(), "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := e.Fetch(context.Background(), "d", m, "k")
+	if err != nil || string(data) != "v" {
+		t.Fatalf("nil Fetch = %q,%v", data, err)
+	}
+	e.TriggerPrefetch(1)
+	e.NoteEvicted(1)
+	e.Quiesce()
+	e.Stop()
+	if _, ok := e.ConsumeHit(1); ok {
+		t.Fatal("nil engine reported a hit")
+	}
+}
+
+// TestStopDrainsWorkers shuts the pool down with work still queued and
+// leaves Quiesce non-blocking afterwards.
+func TestStopDrainsWorkers(t *testing.T) {
+	e := New(Config{
+		PrefetchDepth: 4,
+		Neighbors:     func(uint32, int) []uint32 { return []uint32{2, 3, 4, 5} },
+		SwapIn: func(uint32) (int64, bool, error) {
+			time.Sleep(time.Millisecond)
+			return 1, true, nil
+		},
+	})
+	e.TriggerPrefetch(1)
+	e.Stop()
+	e.Stop() // idempotent
+	e.Quiesce()
+	e.TriggerPrefetch(1) // no-op after Stop, must not panic on the closed queue
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in 5s")
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}

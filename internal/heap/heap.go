@@ -73,6 +73,11 @@ type Heap struct {
 	writeObserver   func(ObjID)
 	extraObservers  []func(ObjID)
 	observerSuspend int
+	// suspendScopes are predicate-scoped suspensions (see
+	// SuspendWriteObserverFor): observers stay silent only for the object
+	// ids a scope's predicate claims, so a background reinstallation of one
+	// cluster does not swallow concurrent application writes to others.
+	suspendScopes []*suspendScope
 	// accessObservers fire on every observed object access — both field
 	// writes (dispatched alongside the write observers) and explicit
 	// NoteAccess calls from the method/field dispatch path. They feed the
@@ -147,7 +152,7 @@ func (h *Heap) observeWrite(id ObjID) {
 	fn := h.writeObserver
 	extra := h.extraObservers
 	access := h.accessObservers
-	if h.observerSuspend > 0 {
+	if h.observerSuspend > 0 || h.scopedSilenceLocked(id) {
 		fn, extra, access = nil, nil, nil
 	}
 	h.obsMu.RUnlock()
@@ -180,7 +185,7 @@ func (h *Heap) AddAccessObserver(fn func(ObjID)) {
 func (h *Heap) NoteAccess(id ObjID) {
 	h.obsMu.RLock()
 	access := h.accessObservers
-	if h.observerSuspend > 0 {
+	if h.observerSuspend > 0 || h.scopedSilenceLocked(id) {
 		access = nil
 	}
 	h.obsMu.RUnlock()
@@ -199,6 +204,51 @@ func (h *Heap) SuspendWriteObserver() (resume func()) {
 	return func() {
 		h.obsMu.Lock()
 		h.observerSuspend--
+		h.obsMu.Unlock()
+	}
+}
+
+// suspendScope is one predicate-bounded observer suspension.
+type suspendScope struct {
+	pred func(ObjID) bool
+}
+
+// scopedSilenceLocked reports whether any active scope claims id. The
+// caller holds obsMu (read or write); predicates must be pure functions of
+// the id (typically a membership-set lookup) and must not call back into
+// the heap.
+func (h *Heap) scopedSilenceLocked(id ObjID) bool {
+	for _, sc := range h.suspendScopes {
+		if sc.pred(id) {
+			return true
+		}
+	}
+	return false
+}
+
+// SuspendWriteObserverFor silences the write and access observers only for
+// the object ids pred claims, until the returned resume function is called.
+// Concurrent scopes compose (each silences its own ids), and writes to any
+// other object keep flowing to the observers — this is what lets a
+// background prefetch install one cluster without swallowing the delta
+// dirty-marks and heat of application writes happening elsewhere. A nil
+// pred falls back to the global SuspendWriteObserver.
+func (h *Heap) SuspendWriteObserverFor(pred func(ObjID) bool) (resume func()) {
+	if pred == nil {
+		return h.SuspendWriteObserver()
+	}
+	sc := &suspendScope{pred: pred}
+	h.obsMu.Lock()
+	h.suspendScopes = append(h.suspendScopes, sc)
+	h.obsMu.Unlock()
+	return func() {
+		h.obsMu.Lock()
+		for i, cur := range h.suspendScopes {
+			if cur == sc {
+				h.suspendScopes = append(h.suspendScopes[:i], h.suspendScopes[i+1:]...)
+				break
+			}
+		}
 		h.obsMu.Unlock()
 	}
 }

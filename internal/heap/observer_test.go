@@ -1,0 +1,123 @@
+package heap
+
+import (
+	"testing"
+)
+
+// TestSuspendWriteObserverForIsScoped proves predicate-scoped suspension:
+// writes to the claimed ids go silent, writes to everything else keep
+// reaching the write AND access observers — the property that lets a
+// background swap-in reinstall one cluster's objects without swallowing the
+// dirty-marks and heat of concurrent application writes elsewhere.
+func TestSuspendWriteObserverForIsScoped(t *testing.T) {
+	h := New(0)
+	c := nodeClass()
+	inCluster, err := h.New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outside, err := h.New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var writes, accesses []ObjID
+	h.SetWriteObserver(func(id ObjID) { writes = append(writes, id) })
+	h.AddAccessObserver(func(id ObjID) { accesses = append(accesses, id) })
+
+	members := map[ObjID]bool{inCluster.ID(): true}
+	resume := h.SuspendWriteObserverFor(func(id ObjID) bool { return members[id] })
+
+	if err := inCluster.SetFieldByName("tag", Int(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := outside.SetFieldByName("tag", Int(2)); err != nil {
+		t.Fatal(err)
+	}
+	h.NoteAccess(inCluster.ID())
+	h.NoteAccess(outside.ID())
+
+	if len(writes) != 1 || writes[0] != outside.ID() {
+		t.Fatalf("writes under scope = %v, want only %d", writes, outside.ID())
+	}
+	// The outside object's write counts as an access too, plus its explicit
+	// NoteAccess; the member's accesses are silenced.
+	for _, id := range accesses {
+		if id == inCluster.ID() {
+			t.Fatalf("member access leaked through the scope: %v", accesses)
+		}
+	}
+	if len(accesses) != 2 {
+		t.Fatalf("outside accesses = %v, want write-access + NoteAccess", accesses)
+	}
+
+	// Resume: the member's writes flow again.
+	resume()
+	writes = writes[:0]
+	if err := inCluster.SetFieldByName("tag", Int(3)); err != nil {
+		t.Fatal(err)
+	}
+	if len(writes) != 1 || writes[0] != inCluster.ID() {
+		t.Fatalf("writes after resume = %v, want %d", writes, inCluster.ID())
+	}
+}
+
+// TestSuspendScopesCompose runs two scopes at once: each silences its own
+// ids, neither silences the other's, and a global suspension still trumps
+// everything.
+func TestSuspendScopesCompose(t *testing.T) {
+	h := New(0)
+	c := nodeClass()
+	a, _ := h.New(c)
+	b, _ := h.New(c)
+	free, _ := h.New(c)
+
+	var writes []ObjID
+	h.SetWriteObserver(func(id ObjID) { writes = append(writes, id) })
+
+	resumeA := h.SuspendWriteObserverFor(func(id ObjID) bool { return id == a.ID() })
+	resumeB := h.SuspendWriteObserverFor(func(id ObjID) bool { return id == b.ID() })
+	for _, o := range []*Object{a, b, free} {
+		if err := o.SetFieldByName("tag", Int(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(writes) != 1 || writes[0] != free.ID() {
+		t.Fatalf("writes under two scopes = %v, want only %d", writes, free.ID())
+	}
+
+	resumeA()
+	writes = writes[:0]
+	if err := a.SetFieldByName("tag", Int(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetFieldByName("tag", Int(2)); err != nil {
+		t.Fatal(err)
+	}
+	if len(writes) != 1 || writes[0] != a.ID() {
+		t.Fatalf("writes after resuming scope A = %v, want only %d", writes, a.ID())
+	}
+
+	// Global suspension silences even unscoped objects.
+	resumeAll := h.SuspendWriteObserver()
+	writes = writes[:0]
+	if err := free.SetFieldByName("tag", Int(3)); err != nil {
+		t.Fatal(err)
+	}
+	if len(writes) != 0 {
+		t.Fatalf("writes under global suspension = %v, want none", writes)
+	}
+	resumeAll()
+	resumeB()
+
+	// A nil predicate is the global form.
+	resumeNil := h.SuspendWriteObserverFor(nil)
+	writes = writes[:0]
+	if err := free.SetFieldByName("tag", Int(4)); err != nil {
+		t.Fatal(err)
+	}
+	if len(writes) != 0 {
+		t.Fatalf("writes under nil-pred scope = %v, want none", writes)
+	}
+	resumeNil()
+}

@@ -13,6 +13,9 @@
 //	GET /debug/events   flight-recorder bus-event dump; ?n= limits
 //	GET /debug/heat     ranked cluster heat snapshot (telemetry); ?n= limits
 //	GET /debug/wss      working-set time series (telemetry); ?window=30s
+//	GET /debug/prefetch fault-engine snapshot: coalescing/batching counters,
+//	                    prefetch accuracy and inventory; ?cluster=N&k=8 adds
+//	                    that cluster's current neighbor ranking
 //	GET /debug/pprof/…  net/http/pprof (unless disabled)
 package opshttp
 
@@ -26,6 +29,7 @@ import (
 	"strconv"
 	"time"
 
+	"objectswap/internal/fault"
 	"objectswap/internal/obs"
 	olog "objectswap/internal/obs/log"
 	"objectswap/internal/telemetry"
@@ -57,6 +61,10 @@ type Options struct {
 	// Telemetry serves GET /debug/heat and /debug/wss from the access
 	// telemetry plane.
 	Telemetry *telemetry.Tracker
+	// Prefetch serves GET /debug/prefetch from the asynchronous fault
+	// engine (coalescing and batching counters, prefetch accuracy, the
+	// current inventory and on-demand neighbor rankings).
+	Prefetch *fault.Engine
 }
 
 // CheckResult is one health probe's outcome in the /healthz JSON.
@@ -98,6 +106,11 @@ func NewHandler(o Options) http.Handler {
 		})
 		mux.HandleFunc("/debug/wss", func(w http.ResponseWriter, r *http.Request) {
 			serveWSS(w, r, o.Telemetry)
+		})
+	}
+	if o.Prefetch != nil {
+		mux.HandleFunc("/debug/prefetch", func(w http.ResponseWriter, r *http.Request) {
+			servePrefetch(w, r, o.Prefetch)
 		})
 	}
 	if !o.DisablePprof {
@@ -261,6 +274,42 @@ func serveWSS(w http.ResponseWriter, r *http.Request, t *telemetry.Tracker) {
 		Bytes         int64                 `json:"bytes"`
 		Samples       []telemetry.WSSSample `json:"samples"`
 	}{window.Seconds(), clusters, bytes, samples})
+}
+
+// servePrefetch renders the fault engine's snapshot — coalesced-waiter and
+// donor-batching counters, prefetch accuracy/waste and the current
+// prefetched-but-untouched inventory. With ?cluster=N (and optional ?k=,
+// default 8) the response adds that cluster's live neighbor ranking, the
+// order the prefetcher would speculate in right now.
+func servePrefetch(w http.ResponseWriter, r *http.Request, e *fault.Engine) {
+	snap := e.Snapshot()
+	resp := struct {
+		fault.Snapshot
+		Accuracy    float64   `json:"accuracy"`
+		RankCluster *uint32   `json:"rank_cluster,omitempty"`
+		Ranking     *[]uint32 `json:"ranking,omitempty"`
+	}{Snapshot: snap, Accuracy: snap.Accuracy()}
+	if s := r.URL.Query().Get("cluster"); s != "" {
+		id, err := strconv.ParseUint(s, 10, 32)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, struct {
+				Error string `json:"error"`
+			}{fmt.Sprintf("bad cluster %q: want a cluster id", s)})
+			return
+		}
+		k := intParam(r.URL.Query().Get("k"))
+		if k <= 0 {
+			k = 8
+		}
+		cluster := uint32(id)
+		resp.RankCluster = &cluster
+		ranking := e.Rank(cluster, k)
+		if ranking == nil {
+			ranking = []uint32{}
+		}
+		resp.Ranking = &ranking
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // intParam parses a query count ("" or junk yields 0 = unlimited).

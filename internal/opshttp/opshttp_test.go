@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"objectswap/internal/fault"
 	"objectswap/internal/obs"
 	"objectswap/internal/telemetry"
 )
@@ -21,10 +22,16 @@ import (
 func TestSmoke(t *testing.T) {
 	reg := obs.NewRegistry(nil)
 	reg.Counter("objectswap_smoke_total", "Smoke counter.").Inc()
+	engine := fault.New(fault.Config{
+		PrefetchDepth: 2,
+		Neighbors:     func(uint32, int) []uint32 { return []uint32{4, 2} },
+	})
+	defer engine.Stop()
 	srv, err := Start("127.0.0.1:0", NewHandler(Options{
 		Metrics:   reg,
 		Recorder:  obs.NewRecorder(0, 0),
 		Telemetry: telemetry.New(reg, telemetry.Options{}),
+		Prefetch:  engine,
 		Checks:    []Check{{Name: "always", Probe: func(context.Context) error { return nil }}},
 	}))
 	if err != nil {
@@ -33,7 +40,7 @@ func TestSmoke(t *testing.T) {
 	defer srv.Close()
 
 	for _, path := range []string{"/metrics", "/healthz", "/debug/traces", "/debug/events",
-		"/debug/heat", "/debug/wss"} {
+		"/debug/heat", "/debug/wss", "/debug/prefetch", "/debug/prefetch?cluster=1&k=2"} {
 		resp, err := http.Get(srv.URL() + path)
 		if err != nil {
 			t.Fatalf("GET %s: %v", path, err)

@@ -28,6 +28,14 @@ import (
 //	DELETE /clusters/{key}                       -> 204 | 404
 //	GET    /clusters                             -> 200 JSON ["key", ...]
 //	GET    /stats                                -> 200 JSON Stats
+//	POST   /batch            body = JSON keys    -> 200 JSON {key: base64, ...}
+//	POST   /leases/{key}?ttl=30s                 -> 204 | 404 | 501 (no leases)
+//
+// /batch serves several keys in one round trip (the fault engine's donor
+// batching); missing keys are omitted from the response map. /leases renews
+// the lease on one replica key when the donor runs lease GC. Both answer
+// 404/501 on donors predating them, which the Client turns into the per-key
+// fallback and ErrLeaseUnsupported respectively.
 //
 // A payload's wire format rides in the Content-Type header: the XML fallback
 // is application/xml (also assumed when the header is absent, which is what
@@ -89,6 +97,48 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			keys = []string{}
 		}
 		writeJSON(w, keys)
+	case r.URL.Path == "/batch" && r.Method == http.MethodPost:
+		var keys []string
+		if err := json.NewDecoder(r.Body).Decode(&keys); err != nil {
+			http.Error(w, "bad batch: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		got, err := GetMulti(r.Context(), h.s, keys)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		if got == nil {
+			got = map[string][]byte{}
+		}
+		writeJSON(w, got)
+	case strings.HasPrefix(r.URL.Path, "/leases/") && r.Method == http.MethodPost:
+		key, err := url.PathUnescape(strings.TrimPrefix(r.URL.Path, "/leases/"))
+		if err != nil || key == "" {
+			http.Error(w, "bad key", http.StatusBadRequest)
+			return
+		}
+		l, ok := h.s.(Leaser)
+		if !ok {
+			http.Error(w, "leases unsupported", http.StatusNotImplemented)
+			return
+		}
+		var ttl time.Duration
+		if raw := r.URL.Query().Get("ttl"); raw != "" {
+			if ttl, err = time.ParseDuration(raw); err != nil {
+				http.Error(w, "bad ttl: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+		}
+		if err := l.RenewLease(r.Context(), key, ttl); err != nil {
+			if errors.Is(err, ErrNotFound) {
+				http.NotFound(w, r)
+				return
+			}
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
 	case strings.HasPrefix(r.URL.Path, "/clusters/"):
 		rawKey := strings.TrimPrefix(r.URL.Path, "/clusters/")
 		key, err := url.PathUnescape(rawKey)
@@ -163,8 +213,10 @@ type Client struct {
 }
 
 var (
-	_ Store    = (*Client)(nil)
-	_ Envelope = (*Client)(nil)
+	_ Store       = (*Client)(nil)
+	_ Envelope    = (*Client)(nil)
+	_ MultiGetter = (*Client)(nil)
+	_ Leaser      = (*Client)(nil)
 )
 
 // NewClient returns a store client for the device at baseURL
@@ -255,6 +307,86 @@ func (c *Client) GetEnvelope(ctx context.Context, key string) ([]byte, PutOpts, 
 		return nil, PutOpts{}, fmt.Errorf("%w: %q", ErrNotFound, key)
 	default:
 		return nil, PutOpts{}, fmt.Errorf("store: http get: status %d", resp.StatusCode)
+	}
+}
+
+// GetMulti fetches several keys in one POST /batch round trip. A donor
+// predating the endpoint answers 404 or 405; the client then falls back to
+// sequential per-key Gets, so batching degrades instead of failing. Missing
+// keys are omitted from the result map.
+func (c *Client) GetMulti(ctx context.Context, keys []string) (map[string][]byte, error) {
+	body, err := json.Marshal(keys)
+	if err != nil {
+		return nil, fmt.Errorf("store: http batch: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/batch", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("store: http: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	setTrace(req)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrUnavailable, err)
+	}
+	defer drain(resp)
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var got map[string][]byte
+		if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+			return nil, fmt.Errorf("store: http batch: %w", err)
+		}
+		if got == nil {
+			got = map[string][]byte{}
+		}
+		return got, nil
+	case http.StatusNotFound, http.StatusMethodNotAllowed:
+		// Legacy donor: per-key fallback, not-found keys omitted.
+		out := make(map[string][]byte, len(keys))
+		for _, key := range keys {
+			data, err := c.Get(ctx, key)
+			if err != nil {
+				if errors.Is(err, ErrNotFound) {
+					continue
+				}
+				return nil, err
+			}
+			out[key] = data
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("store: http batch: status %d", resp.StatusCode)
+	}
+}
+
+// RenewLease extends the lease on key via POST /leases/{key}. Donors that
+// run no lease GC (501, or pre-lease servers answering 404 for the whole
+// /leases namespace on an unknown key) report ErrLeaseUnsupported or
+// ErrNotFound; callers treat ErrLeaseUnsupported as "nothing to renew".
+func (c *Client) RenewLease(ctx context.Context, key string, ttl time.Duration) error {
+	u := c.base + "/leases/" + url.PathEscape(key)
+	if ttl > 0 {
+		u += "?ttl=" + url.QueryEscape(ttl.String())
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, nil)
+	if err != nil {
+		return fmt.Errorf("store: http: %w", err)
+	}
+	setTrace(req)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrUnavailable, err)
+	}
+	defer drain(resp)
+	switch resp.StatusCode {
+	case http.StatusNoContent, http.StatusOK:
+		return nil
+	case http.StatusNotFound:
+		return fmt.Errorf("%w: %q", ErrNotFound, key)
+	case http.StatusNotImplemented, http.StatusMethodNotAllowed:
+		return fmt.Errorf("%w: %s", ErrLeaseUnsupported, c.base)
+	default:
+		return fmt.Errorf("store: http lease: status %d", resp.StatusCode)
 	}
 }
 

@@ -1,0 +1,147 @@
+package store
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// leaseClock is a hand-cranked time source for deterministic lease tests.
+type leaseClock struct{ t time.Time }
+
+func (c *leaseClock) now() time.Time          { return c.t }
+func (c *leaseClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newLeaseClock() *leaseClock              { return &leaseClock{t: time.Unix(1000, 0)} }
+
+func TestLeaseGCRenewAndExpire(t *testing.T) {
+	clk := newLeaseClock()
+	l := NewLeaseGC(NewMem(0), 30*time.Second, clk.now)
+
+	if err := l.Put(ctx, "held", []byte("H")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Put(ctx, "lapsed", []byte("L")); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.LeaseCount(); got != 2 {
+		t.Fatalf("leases = %d, want 2", got)
+	}
+
+	// The owner keeps renewing "held"; "lapsed" goes quiet.
+	clk.advance(20 * time.Second)
+	if err := l.RenewLease(ctx, "held", 0); err != nil {
+		t.Fatal(err)
+	}
+	clk.advance(20 * time.Second) // lapsed: 40s > 30s TTL; held: 20s into renewal
+
+	expired, err := l.ExpireLapsed(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(expired) != 1 || expired[0] != "lapsed" {
+		t.Fatalf("expired = %v, want [lapsed]", expired)
+	}
+	if _, err := l.Get(ctx, "lapsed"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("lapsed key survived expiry: %v", err)
+	}
+	if got, err := l.Get(ctx, "held"); err != nil || string(got) != "H" {
+		t.Fatalf("held key = %q, %v", got, err)
+	}
+	if got := l.LeaseCount(); got != 1 {
+		t.Fatalf("leases after sweep = %d, want 1", got)
+	}
+}
+
+// TestLeaseGCExpiryArchivesThroughVersioned is the satellite's
+// non-destructive requirement: wrapping a Versioned store means a lapsed
+// replica is archived as a generation, not destroyed.
+func TestLeaseGCExpiryArchivesThroughVersioned(t *testing.T) {
+	clk := newLeaseClock()
+	v := NewVersioned(NewMem(0), 1)
+	l := NewLeaseGC(v, time.Second, clk.now)
+
+	if err := l.Put(ctx, "replica", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	clk.advance(2 * time.Second)
+	expired, err := l.ExpireLapsed(ctx)
+	if err != nil || len(expired) != 1 {
+		t.Fatalf("expired = %v, %v", expired, err)
+	}
+	if _, err := l.Get(ctx, "replica"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("live key survived expiry: %v", err)
+	}
+	gens, err := v.Versions(ctx, "replica")
+	if err != nil || len(gens) != 1 {
+		t.Fatalf("archived generations = %v, %v", gens, err)
+	}
+	got, err := v.GetVersion(ctx, "replica", gens[0])
+	if err != nil || string(got) != "payload" {
+		t.Fatalf("archived payload = %q, %v (operator recovery path)", got, err)
+	}
+}
+
+func TestLeaseGCAdoptsUntrackedKeys(t *testing.T) {
+	clk := newLeaseClock()
+	mem := NewMem(0)
+	// Stored before the wrapper existed (donor restart loses the lease map).
+	if err := mem.Put(ctx, "old", []byte("O")); err != nil {
+		t.Fatal(err)
+	}
+	l := NewLeaseGC(mem, 30*time.Second, clk.now)
+	if err := l.RenewLease(ctx, "old", 0); err != nil {
+		t.Fatalf("adopting a present key: %v", err)
+	}
+	if got := l.LeaseCount(); got != 1 {
+		t.Fatalf("leases = %d, want the adopted key", got)
+	}
+	if err := l.RenewLease(ctx, "ghost", 0); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("renewing an absent key = %v, want ErrNotFound", err)
+	}
+}
+
+func TestHTTPLeaseRenewal(t *testing.T) {
+	clk := newLeaseClock()
+	l := NewLeaseGC(NewMem(0), 30*time.Second, clk.now)
+	srv := httptest.NewServer(NewHandler(l))
+	defer srv.Close()
+	c := NewClient(srv.URL)
+
+	if err := c.Put(ctx, "k", []byte("V")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RenewLease(ctx, "k", 45*time.Second); err != nil {
+		t.Fatalf("renew over HTTP: %v", err)
+	}
+	if err := c.RenewLease(ctx, "ghost", 0); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("renewing absent key over HTTP = %v, want ErrNotFound", err)
+	}
+	// The 45s explicit TTL outlives the 30s default: at +40s the key must
+	// still be leased.
+	clk.advance(40 * time.Second)
+	if expired, err := l.ExpireLapsed(ctx); err != nil || len(expired) != 0 {
+		t.Fatalf("renewed key expired early: %v, %v", expired, err)
+	}
+}
+
+// TestHTTPLeaseUnsupported maps a donor without lease support to
+// ErrLeaseUnsupported, which owners treat as "nothing to renew".
+func TestHTTPLeaseUnsupported(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(NewMem(0)))
+	defer srv.Close()
+	err := NewClient(srv.URL).RenewLease(ctx, "k", 0)
+	if !errors.Is(err, ErrLeaseUnsupported) {
+		t.Fatalf("plain donor renewal = %v, want ErrLeaseUnsupported", err)
+	}
+
+	// A donor predating the protocol entirely (no /leases route): same
+	// mapping, via the 404/405 fallback.
+	legacy := httptest.NewServer(http.HandlerFunc(http.NotFound))
+	defer legacy.Close()
+	err = NewClient(legacy.URL).RenewLease(ctx, "k", 0)
+	if !errors.Is(err, ErrLeaseUnsupported) && !errors.Is(err, ErrNotFound) {
+		t.Fatalf("legacy donor renewal = %v", err)
+	}
+}

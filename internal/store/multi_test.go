@@ -1,0 +1,146 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+)
+
+// ctxT shortens the adapter method signatures below.
+type ctxT = context.Context
+
+// plainStore strips Mem down to the bare Store interface so the GetMulti
+// helper's per-key fallback path is exercised (no MultiGetter assertion).
+type plainStore struct{ m *Mem }
+
+func (p plainStore) Put(ctx0 ctxT, key string, data []byte) error { return p.m.Put(ctx0, key, data) }
+func (p plainStore) Get(ctx0 ctxT, key string) ([]byte, error)    { return p.m.Get(ctx0, key) }
+func (p plainStore) Drop(ctx0 ctxT, key string) error             { return p.m.Drop(ctx0, key) }
+func (p plainStore) Keys(ctx0 ctxT) ([]string, error)             { return p.m.Keys(ctx0) }
+func (p plainStore) Stats(ctx0 ctxT) (Stats, error)               { return p.m.Stats(ctx0) }
+
+func seedMulti(t *testing.T, s Store) {
+	t.Helper()
+	for k, v := range map[string]string{"a": "A", "b": "B", "c": "C"} {
+		if err := s.Put(ctx, k, []byte(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestGetMultiNativeAndFallback(t *testing.T) {
+	mem := NewMem(0)
+	seedMulti(t, mem)
+	want := map[string][]byte{"a": []byte("A"), "c": []byte("C")}
+
+	// Native path: Mem implements MultiGetter, one lock for the batch.
+	got, err := GetMulti(ctx, mem, []string{"a", "c", "missing"})
+	if err != nil || !reflect.DeepEqual(got, want) {
+		t.Fatalf("native GetMulti = %v, %v", got, err)
+	}
+
+	// Fallback path: a bare Store is served per-key, missing keys omitted.
+	got, err = GetMulti(ctx, plainStore{mem}, []string{"a", "c", "missing"})
+	if err != nil || !reflect.DeepEqual(got, want) {
+		t.Fatalf("fallback GetMulti = %v, %v", got, err)
+	}
+}
+
+func TestGetMultiPayloadsAreCopies(t *testing.T) {
+	mem := NewMem(0)
+	seedMulti(t, mem)
+	got, err := GetMulti(ctx, mem, []string{"a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got["a"][0] = 'Z'
+	again, err := mem.Get(ctx, "a")
+	if err != nil || string(again) != "A" {
+		t.Fatalf("stored payload mutated through the batch result: %q, %v", again, err)
+	}
+}
+
+func TestHTTPBatchEndpoint(t *testing.T) {
+	mem := NewMem(0)
+	seedMulti(t, mem)
+	srv := httptest.NewServer(NewHandler(mem))
+	defer srv.Close()
+	c := NewClient(srv.URL)
+
+	got, err := c.GetMulti(ctx, []string{"a", "b", "missing"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string][]byte{"a": []byte("A"), "b": []byte("B")}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("batch round trip = %v, want %v", got, want)
+	}
+
+	// Empty key list is a valid (empty) batch.
+	got, err = c.GetMulti(ctx, nil)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty batch = %v, %v", got, err)
+	}
+}
+
+// TestHTTPBatchLegacyFallback points the client at a donor without the
+// /batch route (a pre-protocol swapstore): the 404 must degrade to per-key
+// Gets, not an error.
+func TestHTTPBatchLegacyFallback(t *testing.T) {
+	mem := NewMem(0)
+	seedMulti(t, mem)
+	inner := NewHandler(mem)
+	legacy := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/batch" {
+			http.NotFound(w, r)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	})
+	srv := httptest.NewServer(legacy)
+	defer srv.Close()
+
+	got, err := NewClient(srv.URL).GetMulti(ctx, []string{"a", "missing", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string][]byte{"a": []byte("A"), "c": []byte("C")}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("legacy fallback = %v, want %v", got, want)
+	}
+}
+
+func TestVersionedGetMultiSkipsArchive(t *testing.T) {
+	v := NewVersioned(NewMem(0), 0)
+	seedMulti(t, v)
+	if err := v.Put(ctx, "a", []byte("A2")); err != nil { // archives A as a#v1
+		t.Fatal(err)
+	}
+	got, err := GetMulti(ctx, v, []string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string][]byte{"a": []byte("A2"), "b": []byte("B")}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("versioned batch = %v, want %v", got, want)
+	}
+}
+
+func TestGetMultiAbortsOnRealError(t *testing.T) {
+	boom := errors.New("donor exploded")
+	fs := failingStore{err: boom}
+	if _, err := GetMulti(ctx, fs, []string{"a"}); !errors.Is(err, boom) {
+		t.Fatalf("fallback swallowed a non-NotFound error: %v", err)
+	}
+}
+
+type failingStore struct{ err error }
+
+func (f failingStore) Put(ctx0 ctxT, key string, data []byte) error { return f.err }
+func (f failingStore) Get(ctx0 ctxT, key string) ([]byte, error)    { return nil, f.err }
+func (f failingStore) Drop(ctx0 ctxT, key string) error             { return f.err }
+func (f failingStore) Keys(ctx0 ctxT) ([]string, error)             { return nil, f.err }
+func (f failingStore) Stats(ctx0 ctxT) (Stats, error)               { return Stats{}, f.err }

@@ -134,6 +134,12 @@ func (v *Versioned) Get(ctx context.Context, key string) ([]byte, error) {
 	return v.inner.Get(ctx, key)
 }
 
+// GetMulti serves a batch through the wrapped store (batched when the inner
+// store supports it). Reads never touch the archive, so no lock is needed.
+func (v *Versioned) GetMulti(ctx context.Context, keys []string) (map[string][]byte, error) {
+	return GetMulti(ctx, v.inner, keys)
+}
+
 // Drop sets the current payload aside as a generation instead of destroying
 // it, then removes the live key.
 func (v *Versioned) Drop(ctx context.Context, key string) error {

@@ -30,13 +30,21 @@ const (
 	ClassCold = "cold"
 )
 
-// Fault kinds for objectswap_fault_seconds{kind}. Every fault today is a
-// demand fault; KindPrefetch is reserved for the async prefetcher so
-// dashboards keyed on the label survive its introduction.
+// Fault kinds for objectswap_fault_seconds{kind}. A fault caused by the
+// prefetcher (cause "prefetch") records as KindPrefetch — background work,
+// not caller-visible latency; everything else is a demand fault. A crossing
+// served from the prefetch inventory records as KindPrefetchHit with the
+// cost the caller actually paid (a lookup, not a round trip), so the demand
+// vs prefetch-hit split of swap_in latencies is directly comparable.
 const (
-	KindDemand   = "demand"
-	KindPrefetch = "prefetch"
+	KindDemand      = "demand"
+	KindPrefetch    = "prefetch"
+	KindPrefetchHit = "prefetch-hit"
 )
+
+// causePrefetch mirrors core.CausePrefetch (telemetry depends only on
+// internal/obs, so the constant is duplicated rather than imported).
+const causePrefetch = "prefetch"
 
 // Options tunes the estimators. Zero values select the defaults below.
 type Options struct {
@@ -216,7 +224,7 @@ func (t *Tracker) instrument(reg *obs.Registry) {
 		"Decayed ping-pong score of the worst-thrashing swap-cluster.",
 		func() float64 { return t.ThrashScore() })
 	t.faults = reg.HistogramVec("objectswap_fault_seconds",
-		"Swap fault latency by operation, cause and kind (demand now; prefetch reserved for the async prefetcher).",
+		"Swap fault latency by operation, cause and kind (demand, prefetch, prefetch-hit).",
 		nil, "op", "cause", "kind")
 }
 
@@ -322,8 +330,12 @@ func (t *Tracker) RecordSwap(op string, cluster uint32, cause string, seconds fl
 	if cause == "" {
 		cause = "unknown"
 	}
+	kind := KindDemand
+	if cause == causePrefetch {
+		kind = KindPrefetch
+	}
 	if t.faults != nil {
-		t.faults.With(op, cause, KindDemand).Observe(seconds)
+		t.faults.With(op, cause, kind).Observe(seconds)
 	}
 	now := t.clock.Now()
 	sh := t.shard(cluster)
@@ -344,6 +356,19 @@ func (t *Tracker) RecordSwap(op string, cluster uint32, cause string, seconds fl
 		cs.haveSwapOut = false
 	}
 	sh.mu.Unlock()
+}
+
+// RecordPrefetchHit records a crossing that found its target cluster
+// already resident thanks to the prefetcher: an inventory lookup instead of
+// a fetch+decode round trip. It lands in objectswap_fault_seconds as
+// (op "swap_in", cause "reload", kind "prefetch-hit") — the same series a
+// demand reload of that crossing would have hit, under the kind that names
+// what actually happened. Leaf call, nil-safe.
+func (t *Tracker) RecordPrefetchHit(cluster uint32, seconds float64) {
+	if t == nil || t.faults == nil {
+		return
+	}
+	t.faults.With("swap_in", "reload", KindPrefetchHit).Observe(seconds)
 }
 
 // ClusterHeat is one cluster's entry in the ranked heat snapshot.

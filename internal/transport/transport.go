@@ -421,6 +421,57 @@ func (r *Resilient) Get(ctx context.Context, key string) ([]byte, error) {
 	return data, nil
 }
 
+// GetMulti serves a batched fetch with retry, timeout and breaker
+// accounting when the wrapped store supports the extension; otherwise each
+// key goes through the resilient Get individually (not-found keys omitted,
+// per the store.MultiGetter contract).
+func (r *Resilient) GetMulti(ctx context.Context, keys []string) (map[string][]byte, error) {
+	mg, ok := r.inner.(store.MultiGetter)
+	if !ok {
+		out := make(map[string][]byte, len(keys))
+		for _, key := range keys {
+			data, err := r.Get(ctx, key)
+			if err != nil {
+				if errors.Is(err, store.ErrNotFound) {
+					continue
+				}
+				return nil, err
+			}
+			out[key] = data
+		}
+		return out, nil
+	}
+	var got map[string][]byte
+	err := r.do(ctx, store.OpGet, func(ctx context.Context) error {
+		var ferr error
+		got, ferr = mg.GetMulti(ctx, keys)
+		return ferr
+	})
+	if err != nil {
+		return nil, err
+	}
+	if r.metrics != nil {
+		var n int64
+		for _, data := range got {
+			n += int64(len(data))
+		}
+		r.metrics.bytesIn(r.name, n)
+	}
+	return got, nil
+}
+
+// RenewLease extends a replica key's lease with retry, timeout and breaker
+// accounting. Devices without lease GC report store.ErrLeaseUnsupported.
+func (r *Resilient) RenewLease(ctx context.Context, key string, ttl time.Duration) error {
+	l, ok := r.inner.(store.Leaser)
+	if !ok {
+		return fmt.Errorf("%w: device %s", store.ErrLeaseUnsupported, r.name)
+	}
+	return r.do(ctx, store.OpStats, func(ctx context.Context) error {
+		return l.RenewLease(ctx, key, ttl)
+	})
+}
+
 // Drop removes a payload with retry, timeout and breaker accounting.
 func (r *Resilient) Drop(ctx context.Context, key string) error {
 	return r.do(ctx, store.OpDrop, func(ctx context.Context) error {

@@ -1,0 +1,106 @@
+package objectswap
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"objectswap/internal/store"
+)
+
+// TestRenewLeasesNowKeepsSwappedClustersAlive drives the owner side of the
+// donor lease GC through the facade: swapped clusters' keys are renewed on
+// their (lease-tracking) donor, so a sweep after the renewal expires only
+// what the owner stopped claiming.
+func TestRenewLeasesNowKeepsSwappedClustersAlive(t *testing.T) {
+	now := time.Unix(5000, 0)
+	clock := func() time.Time { return now }
+	donor := store.NewLeaseGC(store.NewVersioned(store.NewMem(0), 1), 30*time.Second, clock)
+
+	sys, err := New(Config{HeapCapacity: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	// Through AttachDevice: the transport decorator must pass the Leaser
+	// capability through, or the facade loop cannot see it.
+	if err := sys.AttachDevice("donor", donor); err != nil {
+		t.Fatal(err)
+	}
+	cls := sys.MustRegisterClass(taskClass())
+	clusters := buildClusters(t, sys, cls, 2)
+	for _, c := range clusters {
+		if _, err := sys.SwapOut(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := donor.LeaseCount(); got != 2 {
+		t.Fatalf("leases after swap-out = %d, want 2", got)
+	}
+
+	// 20s later the owner renews; 20s after that only an unclaimed orphan
+	// (stored out-of-band, never renewed) lapses.
+	if err := donor.Put(context.Background(), "orphan", []byte("stale")); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(20 * time.Second)
+	if renewed := sys.RenewLeasesNow(context.Background()); renewed != 2 {
+		t.Fatalf("RenewLeasesNow renewed %d keys, want 2", renewed)
+	}
+	now = now.Add(20 * time.Second) // orphan: 40s > TTL; renewed keys: 20s in
+
+	expired, err := donor.ExpireLapsed(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(expired) != 1 || expired[0] != "orphan" {
+		t.Fatalf("expired = %v, want only the orphan", expired)
+	}
+
+	// The swapped clusters survive and still fault back in.
+	for i := range clusters {
+		root, err := sys.MustRoot(string(rune('a' + i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys.Invoke(root, "title"); err != nil {
+			t.Fatalf("reload cluster %d after sweep: %v", clusters[i], err)
+		}
+	}
+}
+
+// TestLeaseRenewLoopRuns starts the background loop and observes at least
+// one renewal tick without any explicit RenewLeasesNow call.
+func TestLeaseRenewLoopRuns(t *testing.T) {
+	donor := store.NewLeaseGC(store.NewMem(0), time.Hour, nil)
+	sys, err := New(Config{HeapCapacity: 1 << 20, LeaseRenewEvery: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	if err := sys.AttachDevice("donor", donor); err != nil {
+		t.Fatal(err)
+	}
+	cls := sys.MustRegisterClass(taskClass())
+	c := buildClusters(t, sys, cls, 1)[0]
+	if _, err := sys.SwapOut(c); err != nil {
+		t.Fatal(err)
+	}
+
+	key := sys.Clusters()[len(sys.Clusters())-1].Key
+	deadlineAt := func() (time.Time, bool) { return donor.Deadline(key) }
+	first, ok := deadlineAt()
+	if !ok {
+		t.Fatalf("no lease for swapped key %q", key)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if d, ok := deadlineAt(); ok && d.After(first) {
+			break // the loop renewed: the deadline moved forward
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("lease loop never renewed the swapped key")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -187,6 +187,28 @@ type Config struct {
 	// payloads on donors across reloads, like KeepOnReload but bounded to one
 	// base per cluster.
 	WireFormats []string
+	// Prefetch enables the graph-driven prefetcher in the asynchronous fault
+	// engine: after every demand swap-in, the top-Depth neighbor clusters by
+	// replacement-object edge count are speculatively swapped in by Workers
+	// background goroutines, gated by the memory monitor (no speculation
+	// while the heap sits over threshold). The zero value disables
+	// prefetching; coalescing and donor batching are always on.
+	Prefetch PrefetchConfig
+	// LeaseRenewEvery starts a background loop renewing the storage leases of
+	// every swapped cluster's payload (and delta base) on its donors each
+	// period, so lease-GC'ing donors (swapstore -lease-ttl) keep live
+	// payloads and archive only orphans. Pick a period well under the donors'
+	// TTL — a third or less. Zero disables the loop; call Close to stop it.
+	LeaseRenewEvery time.Duration
+}
+
+// PrefetchConfig tunes the fault engine's speculative swap-in.
+type PrefetchConfig struct {
+	// Depth is how many neighbor clusters to consider after each demand
+	// fault (0 disables prefetching).
+	Depth int
+	// Workers is the background swap-in pool size (default 2).
+	Workers int
 }
 
 // System is the assembled middleware stack of one constrained device.
@@ -207,6 +229,10 @@ type System struct {
 	logger       *olog.Logger
 	repairer     *placement.Repairer
 	telem        *telemetry.Tracker
+
+	leaseEvery time.Duration
+	leaseStop  chan struct{}
+	leaseDone  chan struct{}
 }
 
 // New assembles a System from cfg. Every layer reports into one shared
@@ -249,6 +275,9 @@ func New(cfg Config) (*System, error) {
 	}
 	if cfg.Shards > 0 {
 		opts = append(opts, core.WithShards(cfg.Shards))
+	}
+	if cfg.Prefetch.Depth > 0 {
+		opts = append(opts, core.WithPrefetch(cfg.Prefetch.Depth, cfg.Prefetch.Workers))
 	}
 	rt := core.NewRuntime(h, heap.NewRegistry(), opts...)
 	h.Instrument(reg, rt.Name())
@@ -311,6 +340,13 @@ func New(cfg Config) (*System, error) {
 	monitor := devctx.NewMemoryMonitor(h, bus, cfg.MemoryThreshold)
 	monitor.Instrument(reg)
 	monitor.SetLogger(cfg.Logger)
+	// Pressure-gate speculation: the prefetcher asks before every background
+	// swap-in and stands down while the heap sits at or over the monitor's
+	// threshold, so prefetch can never be the thing that trips eviction.
+	rt.FaultEngine().SetAdmit(func() bool {
+		sample := monitor.Sample()
+		return sample.Capacity <= 0 || sample.Fraction < monitor.Threshold()
+	})
 
 	var repairer *placement.Repairer
 	if cfg.Replicas > 1 {
@@ -319,7 +355,7 @@ func New(cfg Config) (*System, error) {
 		repairer.Start()
 	}
 
-	return &System{
+	sys := &System{
 		heap:         h,
 		rt:           rt,
 		bus:          bus,
@@ -335,7 +371,73 @@ func New(cfg Config) (*System, error) {
 		logger:       cfg.Logger,
 		repairer:     repairer,
 		telem:        telem,
-	}, nil
+		leaseEvery:   cfg.LeaseRenewEvery,
+	}
+	if sys.leaseEvery > 0 {
+		sys.leaseStop = make(chan struct{})
+		sys.leaseDone = make(chan struct{})
+		go sys.leaseLoop()
+	}
+	return sys, nil
+}
+
+// leaseLoop renews swapped-cluster leases every Config.LeaseRenewEvery until
+// Close. Renewal errors are swallowed here — a donor that is briefly down
+// misses one round and catches the next; a donor without lease support is
+// skipped permanently by RenewLeasesNow.
+func (s *System) leaseLoop() {
+	defer close(s.leaseDone)
+	ticker := time.NewTicker(s.leaseEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.leaseStop:
+			return
+		case <-ticker.C:
+			ctx, cancel := context.WithTimeout(context.Background(), s.leaseEvery)
+			s.RenewLeasesNow(ctx)
+			cancel()
+		}
+	}
+}
+
+// RenewLeasesNow walks every swapped cluster once and renews the lease on its
+// payload key — and its delta base key, when one is retained — on each donor
+// device holding a copy. Donors that do not support leases (no swapstore
+// -lease-ttl, plain stores) are skipped silently; the count of successful
+// per-key renewals is returned. The background loop (Config.LeaseRenewEvery)
+// calls this on a timer; call it directly before a planned disconnection.
+func (s *System) RenewLeasesNow(ctx context.Context) int {
+	renewed := 0
+	for _, info := range s.rt.Manager().InfoAll() {
+		if !info.Swapped && info.BaseKey == "" {
+			continue
+		}
+		keys := make([]string, 0, 2)
+		if info.Swapped && info.Key != "" {
+			keys = append(keys, info.Key)
+		}
+		if info.BaseKey != "" && info.BaseKey != info.Key {
+			keys = append(keys, info.BaseKey)
+		}
+		for _, d := range info.Devices {
+			st, ok := s.devices.Peek(d)
+			if !ok {
+				continue
+			}
+			l, ok := st.(store.Leaser)
+			if !ok {
+				continue
+			}
+			for _, key := range keys {
+				// TTL 0 asks the donor for its configured default.
+				if err := l.RenewLease(ctx, key, 0); err == nil {
+					renewed++
+				}
+			}
+		}
+	}
+	return renewed
 }
 
 // repairTarget adapts core.Runtime to placement.RepairTarget: cluster ids are
@@ -374,12 +476,23 @@ func (s *System) RepairNow(ctx context.Context) (int, error) {
 	return s.repairer.RepairNow(ctx)
 }
 
-// Close stops the System's background work (the re-replication loop). It is
-// safe to call multiple times and on systems without one.
+// Close stops the System's background work: the re-replication loop, the
+// lease-renewal loop and the fault engine's prefetch workers. It is safe to
+// call multiple times and on systems without any of them.
 func (s *System) Close() {
 	if s.repairer != nil {
 		s.repairer.Close()
 	}
+	if s.leaseStop != nil {
+		select {
+		case <-s.leaseStop:
+			// already closed by an earlier Close
+		default:
+			close(s.leaseStop)
+		}
+		<-s.leaseDone
+	}
+	s.rt.FaultEngine().Stop()
 }
 
 // DetachDevice removes a nearby device from the registry and announces the
@@ -506,7 +619,8 @@ func (s *System) HealthChecks() []opshttp.Check {
 
 // OpsHandler assembles the operator-facing HTTP surface for this system:
 // /metrics, /healthz (HealthChecks), /debug/traces, /debug/events,
-// /debug/heat, /debug/wss and /debug/pprof. Mount it on a side port via
+// /debug/heat, /debug/wss, /debug/prefetch and /debug/pprof. Mount it on a
+// side port via
 // opshttp.Start (the obiswap command's -ops flag does exactly this).
 func (s *System) OpsHandler() http.Handler {
 	return opshttp.NewHandler(opshttp.Options{
@@ -515,6 +629,7 @@ func (s *System) OpsHandler() http.Handler {
 		Checks:    s.HealthChecks(),
 		Logger:    s.logger,
 		Telemetry: s.telem,
+		Prefetch:  s.rt.FaultEngine(),
 	})
 }
 
